@@ -1,0 +1,1 @@
+bench/e1.ml: Bignum Hashtbl List Printf Report Ruid Rworkload Rxml

@@ -1,0 +1,1 @@
+bench/e10.ml: Array Baselines List Printf Report Rstorage Ruid Rworkload Rxml

@@ -1,0 +1,1 @@
+bench/e2.ml: Baselines List Printf Report Ruid Rworkload Rxml

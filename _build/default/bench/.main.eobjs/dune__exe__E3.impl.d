@@ -1,0 +1,1 @@
+bench/e3.ml: Array Bechamel Bignum List Micro Report Ruid Rworkload Rxml Staged Test

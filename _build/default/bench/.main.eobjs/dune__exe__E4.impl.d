@@ -1,0 +1,1 @@
+bench/e4.ml: Bechamel List Micro Printf Report Ruid Rworkload Rxml Rxpath Staged Test

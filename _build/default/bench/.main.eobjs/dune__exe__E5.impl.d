@@ -1,0 +1,1 @@
+bench/e5.ml: Array List Report Rstorage Ruid Rworkload Rxml

@@ -1,0 +1,1 @@
+bench/e6.ml: Array List Printf Report Ruid Rworkload Rxml

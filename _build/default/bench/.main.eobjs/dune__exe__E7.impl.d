@@ -1,0 +1,1 @@
+bench/e7.ml: List Report Ruid Rworkload Rxml

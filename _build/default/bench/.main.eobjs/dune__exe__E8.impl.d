@@ -1,0 +1,1 @@
+bench/e8.ml: Array List Report Ruid Rworkload Rxml

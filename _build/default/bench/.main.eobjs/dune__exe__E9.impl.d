@@ -1,0 +1,1 @@
+bench/e9.ml: Baselines List Option Printf Report Rjoin Ruid Rworkload Rxml Rxpath

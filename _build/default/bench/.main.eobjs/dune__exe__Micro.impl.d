@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Float Hashtbl Instance List Measure Report String Test Time Toolkit

@@ -1,0 +1,136 @@
+(* E10 — Identifier storage footprint, and the Section 4 table-selection
+   application.
+
+   (a) Per-scheme label storage: total and per-node label bits on several
+   documents, plus the concrete varint-encoded byte sizes of ruid
+   identifiers (Codec).  This quantifies the Section 1 complaint that the
+   original UID "consumes too much identifier value".
+
+   (b) Partitioned tables named (tag, global index): fraction of a tag's
+   tables a descendant query opens, decided by identifier arithmetic. *)
+
+module Dom = Rxml.Dom
+module R2 = Ruid.Ruid2
+module Shape = Rworkload.Shape
+module Rng = Rworkload.Rng
+
+let schemes : (module Ruid.Scheme.S) list =
+  [
+    (module Ruid.Scheme_uid);
+    (module Ruid.Scheme_ruid2);
+    (module Ruid.Scheme_multilevel);
+    (module Baselines.Prepost);
+    (module Baselines.Interval);
+    (module Baselines.Dewey);
+  ]
+
+let label_table () =
+  Report.subsection "E10.a  Label storage per scheme (bits per node, average)";
+  let documents =
+    [
+      ("uniform-8k", Shape.generate ~seed:101 ~target:8_000
+          (Shape.Uniform { fanout_lo = 0; fanout_hi = 5 }));
+      ("deep-3k", Shape.generate ~seed:102 ~target:3_000
+          (Shape.Deep { fanout = 3; bias = 0.85 }));
+      ("dblp-1k", Rworkload.Dblp.generate ~seed:103 ~publications:1_000);
+    ]
+  in
+  List.iter
+    (fun (name, base) ->
+      let n = Dom.size base in
+      Report.note "document %s: %d nodes" name n;
+      let rows =
+        List.map
+          (fun (module S : Ruid.Scheme.S) ->
+            let t = S.build (Dom.clone base) in
+            [
+              S.name;
+              Printf.sprintf "%.1f" (float_of_int (S.total_label_bits t) /. float_of_int n);
+              Report.fint (S.max_label_bits t);
+              Report.fint (S.aux_memory_words t);
+            ])
+          schemes
+      in
+      Report.table
+        [ "scheme"; "avg bits/label"; "max label bits"; "aux memory (words)" ]
+        rows)
+    documents;
+  Report.note
+    "Shape: uid's average explodes on deep documents (k^depth); ruid trades a";
+  Report.note "small K table for uniformly small labels."
+
+let codec_table () =
+  Report.subsection "E10.b  Wire-encoded identifier sizes (varint bytes)";
+  let base = Shape.generate ~seed:104 ~target:10_000
+      (Shape.Uniform { fanout_lo = 0; fanout_hi = 5 }) in
+  let r2 = R2.number ~max_area_size:64 base in
+  let m = Ruid.Mruid.build ~max_area_size:16 base in
+  let lb = Ruid.Uid.Over_big.label base in
+  let nodes = Dom.preorder base in
+  let n = List.length nodes in
+  let sum f = List.fold_left (fun acc x -> acc + f x) 0 nodes in
+  let uid_bytes =
+    sum (fun x -> Ruid.Codec.bignat_size (Ruid.Uid.Over_big.id_of_node lb x))
+  in
+  let ruid2_bytes = sum (fun x -> Ruid.Codec.ruid2_size (R2.id_of_node r2 x)) in
+  let mruid_bytes =
+    sum (fun x -> Ruid.Codec.mruid_size (Ruid.Mruid.id_of_node m x))
+  in
+  Report.table
+    [ "encoding"; "total bytes"; "bytes/node" ]
+    [
+      [ "uid (length-prefixed bignum)"; Report.fint uid_bytes;
+        Printf.sprintf "%.2f" (float_of_int uid_bytes /. float_of_int n) ];
+      [ "ruid2 (flag + 2 varints)"; Report.fint ruid2_bytes;
+        Printf.sprintf "%.2f" (float_of_int ruid2_bytes /. float_of_int n) ];
+      [ Printf.sprintf "mruid (%d levels)" (Ruid.Mruid.levels m);
+        Report.fint mruid_bytes;
+        Printf.sprintf "%.2f" (float_of_int mruid_bytes /. float_of_int n) ];
+    ]
+
+let partitioned_table () =
+  Report.subsection
+    "E10.c  Section 4 table selection: tables opened per descendant query";
+  let root =
+    Shape.generate ~seed:105 ~tags:[| "a"; "b"; "c"; "d" |] ~target:20_000
+      (Shape.Uniform { fanout_lo = 0; fanout_hi = 5 })
+  in
+  let rows =
+    List.map
+      (fun area ->
+        let r2 = R2.number ~max_area_size:area root in
+        let p = Rstorage.Partitioned.create r2 in
+        let rng = Rng.create 11 in
+        let opened = ref 0 and available = ref 0 and queries = ref 0 in
+        for _ = 1 to 100 do
+          let ctx = Shape.random_internal rng root in
+          let tag = [| "a"; "b"; "c"; "d" |].(Rng.int rng 4) in
+          let names, _ =
+            Rstorage.Partitioned.descendant_query p
+              ~context:(R2.id_of_node r2 ctx) ~tag
+          in
+          opened := !opened + List.length names;
+          available := !available + Rstorage.Partitioned.tables_for_tag p tag;
+          incr queries
+        done;
+        [
+          Report.fint area;
+          Report.fint (Rstorage.Partitioned.table_count p);
+          Printf.sprintf "%.1f" (float_of_int !opened /. float_of_int !queries);
+          Printf.sprintf "%.1f%%"
+            (100. *. float_of_int !opened /. float_of_int (max 1 !available));
+        ])
+      [ 16; 64; 256 ]
+  in
+  Report.table
+    [ "max area"; "tables"; "tables opened/query"; "fraction of tag's tables" ]
+    rows;
+  Report.note
+    "The candidate tables are chosen from identifiers alone; everything else";
+  Report.note "stays closed (Section 4, 'Database file/table selection')."
+
+let run () =
+  Report.section "E10  Identifier storage and table partitioning";
+  label_table ();
+  codec_table ();
+  partitioned_table ()

@@ -1,0 +1,78 @@
+(* E8 — Ablation: partition granularity (max UID-local area size).
+
+   The design trade-off the scheme exposes (Sections 2.1, 3.1-3.3): small
+   areas mean a large K table (more main memory) but small local indices
+   and small update scopes; one huge area degenerates to the original UID.
+   One document, one update script, one axis workload — swept over the
+   area-size budget. *)
+
+module Dom = Rxml.Dom
+module R2 = Ruid.Ruid2
+module Shape = Rworkload.Shape
+module Updates = Rworkload.Updates
+module Rng = Rworkload.Rng
+
+let run () =
+  Report.section "E8  Ablation: UID-local area size budget";
+  let base = Shape.generate ~seed:81 ~target:10_000
+      (Shape.Uniform { fanout_lo = 0; fanout_hi = 5 }) in
+  Report.note "document: %d nodes; script: 100 mixed updates (seed 82)"
+    (Dom.size base);
+  let ops = Updates.script ~seed:82 ~ops:100 base in
+  let rng = Rng.create 83 in
+  let sample = Array.init 200 (fun _ -> Shape.random_node rng base) in
+  let rows =
+    List.map
+      (fun area ->
+        let tree = Dom.clone base in
+        let (r2 : R2.t), build_s = Report.time (fun () -> R2.number ~max_area_size:area tree) in
+        (* Axis throughput proxy: ancestor lists for sampled nodes (the
+           sample indexes by rank so it transfers to the clone). *)
+        let ranks = Array.map (fun n ->
+            let r = ref 0 and found = ref 0 in
+            Dom.iter_preorder (fun x -> if Dom.equal x n then found := !r; incr r) base;
+            !found) sample in
+        let sample_ids =
+          Array.map
+            (fun rank -> R2.id_of_node r2 (Updates.node_at_rank tree rank))
+            ranks
+        in
+        let _, anc_s =
+          Report.time (fun () ->
+              for _ = 1 to 50 do
+                Array.iter (fun i -> ignore (R2.rancestors r2 i)) sample_ids
+              done)
+        in
+        let relabels = ref 0 in
+        List.iter
+          (fun op ->
+            relabels :=
+              !relabels
+              + Updates.apply tree
+                  ~insert:(fun ~parent ~pos node ->
+                    R2.insert_node r2 ~parent ~pos node)
+                  ~delete:(fun n -> R2.delete_subtree r2 n)
+                  op)
+          ops;
+        [
+          Report.fint area;
+          Report.fint (R2.area_count r2);
+          Report.fint (R2.aux_memory_words r2);
+          Report.fint (R2.max_local_bits r2);
+          Report.fint !relabels;
+          Report.fns (build_s *. 1e9);
+          Report.fns (anc_s *. 1e9 /. (200. *. 50.));
+        ])
+      [ 4; 16; 64; 256; 1024; 100_000 ]
+  in
+  Report.table
+    [
+      "max area"; "areas (K rows)"; "K memory (words)"; "index bits";
+      "relabels/script"; "numbering time"; "rancestor/node";
+    ]
+    rows;
+  Report.note
+    "Shape: K memory falls and index width grows with the area budget; the";
+  Report.note
+    "100000 row is effectively the original UID (one area) - largest update";
+  Report.note "scope and widest identifiers, but a one-row K table."

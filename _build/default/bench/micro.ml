@@ -1,0 +1,50 @@
+(* Bechamel wrapper: run a group of micro-benchmarks and return the OLS
+   ns/run estimates, in declaration order. *)
+
+open Bechamel
+open Toolkit
+
+let estimate_ns ?(quota = 0.5) tests =
+  let grouped = Test.make_grouped ~name:"g" ~fmt:"%s/%s" tests in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:None ()
+  in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] grouped in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Hashtbl.fold
+    (fun name ols acc ->
+      let ns =
+        match Analyze.OLS.estimates ols with
+        | Some (e :: _) -> e
+        | Some [] | None -> Float.nan
+      in
+      (* Strip the exact "g/" group prefix (test names may contain '/'). *)
+      let name =
+        if String.length name > 2 && String.sub name 0 2 = "g/" then
+          String.sub name 2 (String.length name - 2)
+        else name
+      in
+      (name, ns) :: acc)
+    results []
+
+let run_table ?quota title tests =
+  Report.subsection title;
+  let est = estimate_ns ?quota tests in
+  (* Preserve the declaration order of the tests. *)
+  let order =
+    List.map (fun t -> Test.Elt.name t)
+      (List.concat_map Test.elements tests)
+  in
+  let rows =
+    List.filter_map
+      (fun name ->
+        match List.assoc_opt name est with
+        | Some ns -> Some [ name; Report.fns ns ]
+        | None -> None)
+      order
+  in
+  Report.table [ "operation"; "time/op" ] rows;
+  est

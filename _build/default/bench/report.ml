@@ -1,0 +1,49 @@
+(* Plain-text tables for the experiment harness. *)
+
+let section title =
+  let line = String.make 72 '=' in
+  Printf.printf "\n%s\n%s\n%s\n" line title line
+
+let subsection title = Printf.printf "\n--- %s ---\n" title
+
+let note fmt = Printf.printf ("  " ^^ fmt ^^ "\n")
+
+(* Print a table given headers and rows of strings; columns sized to fit. *)
+let table headers rows =
+  let cols = List.length headers in
+  let width i =
+    List.fold_left
+      (fun acc row -> max acc (String.length (List.nth row i)))
+      (String.length (List.nth headers i))
+      rows
+  in
+  let widths = List.init cols width in
+  let print_row row =
+    List.iteri
+      (fun i cell ->
+        let w = List.nth widths i in
+        if i = 0 then Printf.printf "  %-*s" w cell
+        else Printf.printf "  %*s" w cell)
+      row;
+    print_newline ()
+  in
+  print_row headers;
+  print_row (List.map (fun w -> String.make w '-') widths);
+  List.iter print_row rows
+
+let fint n = string_of_int n
+let ffloat f = Printf.sprintf "%.2f" f
+
+let fns ns =
+  if ns < 1e3 then Printf.sprintf "%.1f ns" ns
+  else if ns < 1e6 then Printf.sprintf "%.2f us" (ns /. 1e3)
+  else if ns < 1e9 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+  else Printf.sprintf "%.2f s" (ns /. 1e9)
+
+let fbool b = if b then "yes" else "no"
+
+(* Wall-clock timing for macro operations (result, seconds). *)
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)

@@ -1,0 +1,399 @@
+(* ruidtool — command-line front end to the ruid library.
+
+   Subcommands: generate, stats, number, parent, query, update-sim.
+   Try: dune exec bin/ruidtool.exe -- number --help *)
+
+open Cmdliner
+
+module Dom = Rxml.Dom
+module R2 = Ruid.Ruid2
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let input_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"FILE" ~doc:"Input XML document.")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
+
+let area_arg =
+  Arg.(
+    value
+    & opt int 64
+    & info [ "area" ] ~docv:"N"
+        ~doc:"Maximal number of nodes enumerated per UID-local area.")
+
+let load path = Rxml.Parser.parse_file path |> Dom.root_element
+
+(* ------------------------------------------------------------------ *)
+(* generate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let generate_cmd =
+  let kind =
+    Arg.(
+      value
+      & opt (enum [ ("xmark", `Xmark); ("dblp", `Dblp); ("uniform", `Uniform);
+                    ("deep", `Deep); ("chain", `Chain) ])
+          `Xmark
+      & info [ "kind" ] ~docv:"KIND"
+          ~doc:"Document family: $(b,xmark), $(b,dblp), $(b,uniform), $(b,deep) or $(b,chain).")
+  in
+  let size =
+    Arg.(
+      value & opt int 1000
+      & info [ "size" ] ~docv:"N" ~doc:"Approximate number of element nodes.")
+  in
+  let out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output path (default stdout).")
+  in
+  let run kind size seed out =
+    let root =
+      match kind with
+      | `Xmark ->
+        Rworkload.Xmark.generate ~seed ~scale:(float_of_int size /. 2000.)
+      | `Dblp -> Rworkload.Dblp.generate ~seed ~publications:(max 1 (size / 12))
+      | `Uniform ->
+        Rworkload.Shape.generate ~seed ~target:size
+          (Rworkload.Shape.Uniform { fanout_lo = 0; fanout_hi = 5 })
+      | `Deep ->
+        Rworkload.Shape.generate ~seed ~target:size
+          (Rworkload.Shape.Deep { fanout = 3; bias = 0.85 })
+      | `Chain -> Rworkload.Shape.chain ~depth:(max 1 (size - 1)) ()
+    in
+    let xml = Rxml.Serializer.to_string ~indent:2 root in
+    match out with
+    | None -> print_endline xml
+    | Some path ->
+      let oc = open_out path in
+      output_string oc xml;
+      output_string oc "\n";
+      close_out oc;
+      Printf.printf "wrote %d nodes to %s\n" (Dom.size root) path
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a synthetic XML document.")
+    Term.(const run $ kind $ size $ seed_arg $ out)
+
+(* ------------------------------------------------------------------ *)
+(* stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let stats_cmd =
+  let run path =
+    let root = load path in
+    let st = Rxml.Stats.compute root in
+    Format.printf "%a@." Rxml.Stats.pp st;
+    print_endline "fan-out histogram (degree: nodes):";
+    List.iter
+      (fun (deg, count) -> Printf.printf "  %4d: %d\n" deg count)
+      (Rxml.Stats.fanout_histogram root)
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Print shape statistics of a document.")
+    Term.(const run $ input_arg)
+
+(* ------------------------------------------------------------------ *)
+(* number                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let number_cmd =
+  let show =
+    Arg.(
+      value & opt int 20
+      & info [ "show" ] ~docv:"N" ~doc:"How many node identifiers to list.")
+  in
+  let run path area show =
+    let root = load path in
+    match R2.number ~max_area_size:area root with
+    | r2 ->
+      Printf.printf "nodes: %d   kappa: %d   areas: %d   aux memory: %d words\n"
+        (Dom.size root) (R2.kappa r2) (R2.area_count r2)
+        (R2.aux_memory_words r2);
+      Format.printf "K table:@.%a@." Ruid.Ktable.pp (R2.ktable r2);
+      Printf.printf "first %d identifiers (document order):\n" show;
+      List.iteri
+        (fun i n ->
+          if i < show then
+            Printf.printf "  %-24s %s\n"
+              (Format.asprintf "%a" Dom.pp_kind n)
+              (R2.id_to_string (R2.id_of_node r2 n)))
+        (R2.all_nodes r2)
+    | exception Ruid.Uid.Overflow ->
+      print_endline
+        "2-level numbering overflows on this document; multilevel view:";
+      let m = Ruid.Mruid.build root in
+      Printf.printf "levels: %d   K rows: %d   widest component: %d bits\n"
+        (Ruid.Mruid.levels m) (Ruid.Mruid.area_count m)
+        (Ruid.Mruid.max_component_bits m);
+      List.iteri
+        (fun i n ->
+          if i < show then
+            Printf.printf "  %-24s %s\n"
+              (Format.asprintf "%a" Dom.pp_kind n)
+              (Ruid.Mruid.id_to_string (Ruid.Mruid.id_of_node m n)))
+        (Dom.preorder root)
+  in
+  Cmd.v
+    (Cmd.info "number" ~doc:"Number a document with the 2-level ruid.")
+    Term.(const run $ input_arg $ area_arg $ show)
+
+(* ------------------------------------------------------------------ *)
+(* parent                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let id_of_string s =
+  (* "(g, l, true)" or "g,l,r" *)
+  let clean =
+    String.map (fun c -> if c = '(' || c = ')' then ' ' else c) s
+  in
+  match String.split_on_char ',' clean |> List.map String.trim with
+  | [ g; l; r ] ->
+    { R2.global = int_of_string g; local = int_of_string l;
+      is_root = bool_of_string r }
+  | _ -> failwith "expected an identifier of the form (global, local, bool)"
+
+let parent_cmd =
+  let id =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "id" ] ~docv:"ID" ~doc:"Identifier, e.g. '(2, 7, false)'.")
+  in
+  let run path area id_str =
+    let root = load path in
+    let r2 = R2.number ~max_area_size:area root in
+    let id = id_of_string id_str in
+    Printf.printf "rancestor chain of %s:\n" (R2.id_to_string id);
+    List.iter
+      (fun a ->
+        let tag =
+          match R2.node_of_id r2 a with
+          | Some n -> Format.asprintf "%a" Dom.pp_kind n
+          | None -> "(no such node)"
+        in
+        Printf.printf "  %-18s %s\n" (R2.id_to_string a) tag)
+      (R2.rancestors r2 id)
+  in
+  Cmd.v
+    (Cmd.info "parent"
+       ~doc:"Derive the ancestor identifiers of a node from kappa and K alone.")
+    Term.(const run $ input_arg $ area_arg $ id)
+
+(* ------------------------------------------------------------------ *)
+(* query                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let query_cmd =
+  let expr =
+    Arg.(
+      required & pos 1 (some string) None
+      & info [] ~docv:"XPATH" ~doc:"XPath location path.")
+  in
+  let engine =
+    Arg.(
+      value
+      & opt (enum [ ("naive", `Naive); ("ruid", `Ruid) ]) `Ruid
+      & info [ "engine" ] ~docv:"ENGINE" ~doc:"$(b,naive) or $(b,ruid).")
+  in
+  let run path area expr engine =
+    let doc = Rxml.Parser.parse_file path in
+    let eng =
+      match engine with
+      | `Naive -> Rxpath.Engine_naive.create doc
+      | `Ruid -> Rxpath.Engine_ruid.create (R2.number ~max_area_size:area doc)
+    in
+    let results = Rxpath.Eval.query eng expr in
+    Printf.printf "%d result(s)\n" (List.length results);
+    List.iteri
+      (fun i n ->
+        if i < 25 then begin
+          let text = Dom.text_content n in
+          let text =
+            if String.length text > 60 then String.sub text 0 57 ^ "..." else text
+          in
+          Printf.printf "  %-20s %s\n"
+            (Format.asprintf "%a" Dom.pp_kind n)
+            text
+        end)
+      results
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Evaluate an XPath expression over a document.")
+    Term.(const run $ input_arg $ area_arg $ expr $ engine)
+
+(* ------------------------------------------------------------------ *)
+(* update-sim                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let update_sim_cmd =
+  let ops =
+    Arg.(value & opt int 100 & info [ "ops" ] ~docv:"N" ~doc:"Number of edits.")
+  in
+  let run path ops seed =
+    let base = load path in
+    let script = Rworkload.Updates.script ~seed ~ops base in
+    Printf.printf "replaying %d edits on %d nodes\n\n" ops (Dom.size base);
+    Printf.printf "%-12s %16s %10s\n" "scheme" "ids rewritten" "worst op";
+    List.iter
+      (fun (module S : Ruid.Scheme.S) ->
+        let tree = Dom.clone base in
+        let t = S.build tree in
+        let total = ref 0 and worst = ref 0 in
+        List.iter
+          (fun op ->
+            let c =
+              Rworkload.Updates.apply tree
+                ~insert:(fun ~parent ~pos node -> S.insert t ~parent ~pos node)
+                ~delete:(fun n -> S.delete t n)
+                op
+            in
+            total := !total + c;
+            if c > !worst then worst := c)
+          script;
+        Printf.printf "%-12s %16d %10d\n" S.name !total !worst)
+      [
+        (module Ruid.Scheme_uid); (module Ruid.Scheme_ruid2);
+        (module Ruid.Scheme_multilevel); (module Baselines.Prepost);
+        (module Baselines.Interval); (module Baselines.Dewey);
+      ]
+  in
+  Cmd.v
+    (Cmd.info "update-sim"
+       ~doc:"Replay a random edit script against every numbering scheme.")
+    Term.(const run $ input_arg $ ops $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* reconstruct                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let reconstruct_cmd =
+  let expr =
+    Arg.(
+      required & pos 1 (some string) None
+      & info [] ~docv:"XPATH" ~doc:"Selects the fragment's elements.")
+  in
+  let run path area expr =
+    let doc = Rxml.Parser.parse_file path in
+    let r2 = R2.number ~max_area_size:area doc in
+    let eng = Rxpath.Engine_ruid.create r2 in
+    let hits = Rxpath.Eval.query eng expr in
+    Printf.printf "<!-- %d element(s) matched; fragment below -->\n"
+      (List.length hits);
+    let fragment = Ruid.Reconstruct.fragment_nodes r2 hits in
+    print_endline (Rxml.Serializer.to_string ~indent:2 fragment)
+  in
+  Cmd.v
+    (Cmd.info "reconstruct"
+       ~doc:
+         "Reconstruct the document fragment spanned by a query's results \
+          (Section 3.3).")
+    Term.(const run $ input_arg $ area_arg $ expr)
+
+(* ------------------------------------------------------------------ *)
+(* plan                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let plan_cmd =
+  let expr =
+    Arg.(
+      required & pos 1 (some string) None
+      & info [] ~docv:"XPATH" ~doc:"A child/descendant name-test path.")
+  in
+  let run path area expr =
+    let doc = Rxml.Parser.parse_file path in
+    let r2 = R2.number ~max_area_size:area doc in
+    match Rxpath.Pathplan.compile (Rxpath.Xparser.parse expr) with
+    | None ->
+      prerr_endline "not plannable (predicates, wildcards or other axes)";
+      exit 1
+    | Some plan ->
+      Format.printf "plan: %a@." Rxpath.Pathplan.pp_plan plan;
+      let index = Rxpath.Tag_index.create r2 in
+      List.iter
+        (fun (_, tag) ->
+          Printf.printf "  scan %-16s %6d candidates\n" tag
+            (Rxpath.Tag_index.cardinality index tag))
+        plan.Rxpath.Pathplan.steps;
+      let results = Rxpath.Pathplan.run r2 index plan in
+      Printf.printf "%d result(s)\n" (List.length results)
+  in
+  Cmd.v
+    (Cmd.info "plan"
+       ~doc:"Show and run the structural-join plan of a simple path.")
+    Term.(const run $ input_arg $ area_arg $ expr)
+
+(* ------------------------------------------------------------------ *)
+(* save / load                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let sidecar_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "sidecar" ] ~docv:"FILE" ~doc:"Binary numbering sidecar path.")
+
+let save_cmd =
+  let out =
+    Arg.(
+      required & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output XML path.")
+  in
+  let run path area out sidecar =
+    let doc = Rxml.Parser.parse_file ~keep_whitespace:true path in
+    let r2 = R2.number ~max_area_size:area doc in
+    Ruid.Persist.save r2 ~xml:out ~sidecar;
+    Printf.printf "saved %d identifiers (%d areas, kappa %d) to %s + %s\n"
+      (List.length (R2.all_nodes r2))
+      (R2.area_count r2) (R2.kappa r2) out sidecar
+  in
+  Cmd.v
+    (Cmd.info "save" ~doc:"Number a document and persist XML + numbering sidecar.")
+    Term.(const run $ input_arg $ area_arg $ out $ sidecar_arg)
+
+let load_cmd =
+  let run path sidecar =
+    let _doc, r2 = Ruid.Persist.load ~xml:path ~sidecar in
+    R2.check_consistency r2;
+    Printf.printf
+      "restored %d identifiers (%d areas, kappa %d); consistency verified\n"
+      (List.length (R2.all_nodes r2))
+      (R2.area_count r2) (R2.kappa r2);
+    Format.printf "K table:@.%a@." Ruid.Ktable.pp (R2.ktable r2)
+  in
+  Cmd.v
+    (Cmd.info "load" ~doc:"Restore a persisted numbering and verify it.")
+    Term.(const run $ input_arg $ sidecar_arg)
+
+(* ------------------------------------------------------------------ *)
+(* guide                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let guide_cmd =
+  let run path =
+    let root = load path in
+    let g = Rsummary.Dataguide.build root in
+    Printf.printf "%d document elements, %d distinct label paths\n"
+      (Rsummary.Dataguide.document_nodes g)
+      (Rsummary.Dataguide.guide_nodes g);
+    Format.printf "%a@." Rsummary.Dataguide.pp g
+  in
+  Cmd.v
+    (Cmd.info "guide" ~doc:"Print the document's DataGuide (label-path summary).")
+    Term.(const run $ input_arg)
+
+let () =
+  let doc = "structural numbering schemes for XML (EDBT 2002 reproduction)" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "ruidtool" ~doc)
+          [ generate_cmd; stats_cmd; number_cmd; parent_cmd; query_cmd;
+            update_sim_cmd; reconstruct_cmd; plan_cmd; save_cmd; load_cmd;
+            guide_cmd ]))

@@ -1,0 +1,1 @@
+examples/change_tracking.ml: Baselines List Printf Ruid Rworkload Rxml

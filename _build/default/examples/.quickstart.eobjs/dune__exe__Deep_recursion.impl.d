@@ -1,0 +1,1 @@
+examples/deep_recursion.ml: Bignum Hashtbl List Printf Ruid Rworkload Rxml

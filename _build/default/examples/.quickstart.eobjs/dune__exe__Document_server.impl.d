@@ -1,0 +1,1 @@
+examples/document_server.ml: Filename List Option Printf Rsummary Ruid Rworkload Rxml Rxpath String Sys

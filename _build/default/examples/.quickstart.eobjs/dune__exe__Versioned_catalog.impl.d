@@ -1,0 +1,1 @@
+examples/versioned_catalog.ml: Baselines List Printf Ruid Rworkload Rxml

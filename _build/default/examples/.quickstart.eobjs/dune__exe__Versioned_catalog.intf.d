@@ -1,0 +1,1 @@
+examples/versioned_catalog.mli:

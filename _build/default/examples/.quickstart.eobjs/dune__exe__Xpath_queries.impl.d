@@ -1,0 +1,1 @@
+examples/xpath_queries.ml: List Printf Ruid Rworkload Rxml Rxpath Unix

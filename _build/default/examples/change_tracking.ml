@@ -1,0 +1,81 @@
+(* Stable identifiers under churn (Section 4, "Generating stable
+   identifiers"): an application keeps external annotations — bookmarks,
+   review comments, cross-references — keyed by node identifier.  Every
+   identifier a structural update rewrites invalidates such a key.  This
+   example attaches bookmarks to random elements, replays an edit stream,
+   and reports how many bookmarks survive per scheme.
+
+   Run with: dune exec examples/change_tracking.exe *)
+
+module Dom = Rxml.Dom
+module Rng = Rworkload.Rng
+module Updates = Rworkload.Updates
+module Shape = Rworkload.Shape
+
+let schemes : (module Ruid.Scheme.S) list =
+  [
+    (module Ruid.Scheme_uid);
+    (module Ruid.Scheme_ruid2);
+    (module Ruid.Scheme_multilevel);
+    (module Baselines.Prepost);
+    (module Baselines.Interval);
+    (module Baselines.Dewey);
+  ]
+
+let () =
+  let base =
+    Shape.generate ~seed:2002 ~target:3_000
+      (Shape.Uniform { fanout_lo = 0; fanout_hi = 5 })
+  in
+  let rng = Rng.create 17 in
+  (* Choose bookmark targets by preorder rank so the same nodes are marked
+     in every clone; avoid ranks near the end so deletions rarely remove
+     the target itself (we only want to observe relabelling). *)
+  let bookmark_ranks =
+    List.init 60 (fun _ -> Rng.int rng (Dom.size base / 2))
+  in
+  let ops = Updates.script ~seed:18 ~ops:300 base in
+  Printf.printf
+    "document: %d nodes; %d bookmarks; %d edits replayed per scheme\n\n"
+    (Dom.size base) (List.length bookmark_ranks) (List.length ops);
+  Printf.printf "%-12s %10s %10s %12s\n" "scheme" "surviving" "stale" "%% stale";
+  List.iter
+    (fun (module S : Ruid.Scheme.S) ->
+      let tree = Dom.clone base in
+      let t = S.build tree in
+      (* A bookmark stores the label *string* of its target at creation. *)
+      let bookmarks =
+        List.map
+          (fun rank ->
+            let n = Updates.node_at_rank tree rank in
+            (n, S.label_string t n))
+          bookmark_ranks
+      in
+      List.iter
+        (fun op ->
+          ignore
+            (Updates.apply tree
+               ~insert:(fun ~parent ~pos node -> S.insert t ~parent ~pos node)
+               ~delete:(fun n -> S.delete t n)
+               op))
+        ops;
+      let surviving, stale =
+        List.fold_left
+          (fun (ok, bad) (n, saved_label) ->
+            (* A bookmark survives if its target still exists with the same
+               label; deleted targets (no label any more) count as neither. *)
+            match S.label_string t n with
+            | exception Not_found -> (ok, bad)
+            | l when l = saved_label -> (ok + 1, bad)
+            | _ -> (ok, bad + 1))
+          (0, 0) bookmarks
+      in
+      let pct =
+        100. *. float_of_int stale /. float_of_int (max 1 (surviving + stale))
+      in
+      Printf.printf "%-12s %10d %10d %11.1f%%\n" S.name surviving stale pct)
+    schemes;
+  print_endline
+    "\nStale bookmarks are keys an external system must chase after each edit;";
+  print_endline
+    "ruid's area-confined relabelling keeps most identifiers stable (Section 4)."

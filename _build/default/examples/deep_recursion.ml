@@ -1,0 +1,65 @@
+(* The overflow story of Section 1 / observation O1, end to end.
+
+   A deeply recursive document and a deep-AND-wide one are numbered three
+   ways: the original UID over native integers (overflows), the original
+   UID over bignums (works, at hundreds of bits per identifier), and the
+   recursive multilevel ruid (small components, a few levels).
+
+   Run with: dune exec examples/deep_recursion.exe *)
+
+module Dom = Rxml.Dom
+module B = Bignum.Bignat
+module U_int = Ruid.Uid.Over_int
+module U_big = Ruid.Uid.Over_big
+module Shape = Rworkload.Shape
+
+let inspect name root =
+  let st = Rxml.Stats.compute root in
+  Printf.printf "\n%s: %d nodes, depth %d, max fan-out %d\n" name
+    st.Rxml.Stats.nodes st.Rxml.Stats.max_depth st.Rxml.Stats.max_fanout;
+  (* 1. Original UID over native ints. *)
+  (match U_int.label root with
+  | _ -> print_endline "  uid over int     : fits (tree is small enough)"
+  | exception Ruid.Uid.Overflow ->
+    print_endline "  uid over int     : OVERFLOW - identifiers exceed 63 bits");
+  (* 2. Original UID over the bignum substrate. *)
+  let lb = U_big.label root in
+  let widest =
+    Hashtbl.fold (fun _ v acc -> max acc (B.bit_length v)) lb.U_big.id_of 0
+  in
+  Printf.printf "  uid over bignums : works, widest identifier = %d bits\n"
+    widest;
+  (* 3. 2-level ruid, if it fits. *)
+  (match Ruid.Ruid2.number root with
+  | r2 ->
+    Printf.printf "  2-level ruid     : works, widest index = %d bits, %d areas\n"
+      (Ruid.Ruid2.max_local_bits r2)
+      (Ruid.Ruid2.area_count r2)
+  | exception Ruid.Uid.Overflow ->
+    print_endline
+      "  2-level ruid     : frame overflows - this document needs more levels");
+  (* 4. Recursive multilevel ruid. *)
+  let m = Ruid.Mruid.build root in
+  Ruid.Mruid.check_consistency m;
+  Printf.printf "  multilevel ruid  : works, %d levels, widest component = %d bits\n"
+    (Ruid.Mruid.levels m)
+    (Ruid.Mruid.max_component_bits m);
+  (* Navigate from the deepest node purely by identifier arithmetic. *)
+  let deepest =
+    List.fold_left
+      (fun best n -> if Dom.depth_of n > Dom.depth_of best then n else best)
+      root (Dom.preorder root)
+  in
+  let chain = Ruid.Mruid.rancestors m (Ruid.Mruid.id_of_node m deepest) in
+  Printf.printf "  rancestor from depth %d: %d identifiers, e.g. parent = %s\n"
+    (Dom.depth_of deepest) (List.length chain)
+    (match chain with p :: _ -> Ruid.Mruid.id_to_string p | [] -> "-")
+
+let () =
+  print_endline "Identifier magnitude on hostile document shapes";
+  inspect "deep recursive document"
+    (Shape.generate ~seed:99 ~target:5_000 (Shape.Deep { fanout = 3; bias = 0.9 }));
+  inspect "deep and wide comb" (Shape.comb ~depth:12 ~width:200 ());
+  inspect "bibliography (3000 publications under one root)"
+    (Rworkload.Dblp.generate ~seed:1 ~publications:3_000);
+  print_endline "\ndone."

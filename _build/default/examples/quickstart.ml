@@ -1,0 +1,72 @@
+(* Quickstart: parse an XML document, number it with the 2-level ruid, and
+   navigate using nothing but identifier arithmetic.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Dom = Rxml.Dom
+module R2 = Ruid.Ruid2
+
+let xml =
+  {|<catalog>
+      <section name="databases">
+        <book id="b1"><title>Data on the Web</title><year>1999</year></book>
+        <book id="b2"><title>Transaction Processing</title><year>1992</year></book>
+      </section>
+      <section name="xml">
+        <book id="b3"><title>XML Numbering Schemes</title><year>2002</year></book>
+      </section>
+    </catalog>|}
+
+let () =
+  (* 1. Parse. *)
+  let doc = Rxml.Parser.parse_string xml in
+  let root = Dom.root_element doc in
+  Printf.printf "parsed <%s> with %d nodes\n" (Dom.tag root) (Dom.size root);
+
+  (* 2. Number: partition into UID-local areas and enumerate. *)
+  let r2 = R2.number ~max_area_size:6 root in
+  Printf.printf "kappa = %d, %d UID-local areas, K table:\n" (R2.kappa r2)
+    (R2.area_count r2);
+  Format.printf "%a@." Ruid.Ktable.pp (R2.ktable r2);
+
+  (* 3. Every node now carries a (global, local, root?) identifier. *)
+  List.iter
+    (fun n ->
+      if Dom.tag n = "book" then
+        Printf.printf "  book id=%s  ->  %s\n"
+          (Option.value ~default:"?" (Dom.attr n "id"))
+          (R2.id_to_string (R2.id_of_node r2 n)))
+    (Dom.preorder root);
+
+  (* 4. Parent and ancestors from the identifier alone (no tree access). *)
+  let some_title =
+    List.find (fun n -> Dom.tag n = "title") (Dom.preorder root)
+  in
+  let tid = R2.id_of_node r2 some_title in
+  Printf.printf "\ntitle %s has identifier %s\n"
+    (Dom.text_content some_title) (R2.id_to_string tid);
+  List.iter
+    (fun anc_id ->
+      match R2.node_of_id r2 anc_id with
+      | Some n ->
+        Printf.printf "  ancestor %s = <%s>\n" (R2.id_to_string anc_id) (Dom.tag n)
+      | None -> ())
+    (R2.rancestors r2 tid);
+
+  (* 5. Structural relations decided by arithmetic over kappa and K. *)
+  let books = List.filter (fun n -> Dom.tag n = "book") (Dom.preorder root) in
+  (match books with
+  | b1 :: b2 :: _ ->
+    Printf.printf "\nrelationship(book1, book2) = %s\n"
+      (Ruid.Rel.to_string
+         (R2.relationship r2 (R2.id_of_node r2 b1) (R2.id_of_node r2 b2)))
+  | _ -> ());
+
+  (* 6. A structural update stays local: insert a new book up front. *)
+  let section = List.find (fun n -> Dom.tag n = "section") (Dom.preorder root) in
+  let changed =
+    R2.insert_node r2 ~parent:section ~pos:0 (Dom.element "book")
+  in
+  Printf.printf "inserted a book; %d existing identifiers changed\n" changed;
+  R2.check_consistency r2;
+  print_endline "numbering still consistent - done."

@@ -1,0 +1,1 @@
+lib/baselines/dewey.ml: Hashtbl List Ruid Rxml String

@@ -1,0 +1,1 @@
+lib/baselines/dewey.mli: Ruid Rxml

@@ -1,0 +1,1 @@
+lib/baselines/interval.ml: Hashtbl List Printf Ruid Rxml

@@ -1,0 +1,1 @@
+lib/baselines/interval.mli: Ruid Rxml

@@ -1,0 +1,1 @@
+lib/baselines/prepost.ml: Hashtbl List Printf Ruid Rxml

@@ -1,0 +1,1 @@
+lib/baselines/prepost.mli: Ruid Rxml

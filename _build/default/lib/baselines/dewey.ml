@@ -1,0 +1,74 @@
+module Dom = Rxml.Dom
+module Rel = Ruid.Rel
+
+let name = "dewey"
+let parent_derivable = true
+
+type label = int list
+
+type t = { root : Dom.t; mutable labels : (int, label) Hashtbl.t }
+
+let relabel t =
+  let labels = Hashtbl.create 256 in
+  let rec go path n =
+    Hashtbl.replace labels n.Dom.serial (List.rev path);
+    List.iteri (fun i c -> go ((i + 1) :: path) c) n.Dom.children
+  in
+  go [] t.root;
+  t.labels <- labels
+
+let build root =
+  let t = { root; labels = Hashtbl.create 16 } in
+  relabel t;
+  t
+
+let label_of t n = Hashtbl.find t.labels n.Dom.serial
+
+let relation t a b =
+  let rec cmp la lb =
+    match (la, lb) with
+    | [], [] -> Rel.Self
+    | [], _ :: _ -> Rel.Ancestor
+    | _ :: _, [] -> Rel.Descendant
+    | x :: la', y :: lb' ->
+      if x = y then cmp la' lb' else if x < y then Rel.Before else Rel.After
+  in
+  cmp (label_of t a) (label_of t b)
+
+let label_string t n =
+  "(" ^ String.concat "." (List.map string_of_int (label_of t n)) ^ ")"
+
+let change ?skip t mutate =
+  let old_labels = t.labels in
+  mutate ();
+  relabel t;
+  Ruid.Scheme.diff_count ~old_labels ~new_labels:t.labels ~skip
+
+let insert t ~parent ~pos node =
+  change ~skip:node.Dom.serial t (fun () -> Dom.insert_child parent ~pos node)
+
+let delete t node =
+  change t (fun () ->
+      match node.Dom.parent with
+      | None -> invalid_arg "Dewey.delete: cannot delete the root"
+      | Some p -> Dom.remove_child p node)
+
+let max_label_bits t =
+  let bits v =
+    let rec go acc v = if v = 0 then acc else go (acc + 1) (v lsr 1) in
+    go 0 v
+  in
+  Hashtbl.fold
+    (fun _ l acc -> max acc (List.fold_left (fun s c -> s + bits c) 0 l))
+    t.labels 0
+
+let total_label_bits t =
+  let bits v =
+    let rec go acc v = if v = 0 then acc else go (acc + 1) (v lsr 1) in
+    max 1 (go 0 v)
+  in
+  Hashtbl.fold
+    (fun _ l acc -> acc + List.fold_left (fun s c -> s + bits c) 1 l)
+    t.labels 0
+
+let aux_memory_words _ = 0

@@ -1,0 +1,10 @@
+(** Dewey (path) labelling: a node's label is the sequence of 1-based child
+    ordinals on its root path.  The parent label is derivable (drop the last
+    component) like the UID family, but label length grows with depth, and
+    an insertion relabels every right sibling's entire subtree. *)
+
+include Ruid.Scheme.S
+
+type label = int list
+
+val label_of : t -> Rxml.Dom.t -> label

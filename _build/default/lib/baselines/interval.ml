@@ -1,0 +1,115 @@
+module Dom = Rxml.Dom
+module Rel = Ruid.Rel
+
+let name = "interval"
+let parent_derivable = false
+
+type label = { lo : int; hi : int; level : int }
+
+type t = {
+  root : Dom.t;
+  gap : int;
+  mutable labels : (int, label) Hashtbl.t;
+  mutable renumbers : int;
+}
+
+let relabel t =
+  let labels = Hashtbl.create 256 in
+  let counter = ref 0 in
+  let next () =
+    counter := !counter + t.gap;
+    !counter
+  in
+  let rec go level n =
+    let lo = next () in
+    List.iter (go (level + 1)) n.Dom.children;
+    let hi = next () in
+    Hashtbl.replace labels n.Dom.serial { lo; hi; level }
+  in
+  go 0 t.root;
+  t.labels <- labels
+
+let build_with_gap ~gap root =
+  if gap < 2 then invalid_arg "Interval.build_with_gap: gap < 2";
+  let t = { root; gap; labels = Hashtbl.create 16; renumbers = 0 } in
+  relabel t;
+  t
+
+let build root = build_with_gap ~gap:16 root
+
+let label_of t n = Hashtbl.find t.labels n.Dom.serial
+
+let relation t a b =
+  let la = label_of t a and lb = label_of t b in
+  if la.lo = lb.lo then Rel.Self
+  else if la.lo < lb.lo && lb.hi < la.hi then Rel.Ancestor
+  else if lb.lo < la.lo && la.hi < lb.hi then Rel.Descendant
+  else if la.lo < lb.lo then Rel.Before
+  else Rel.After
+
+let label_string t n =
+  let l = label_of t n in
+  Printf.sprintf "[%d, %d] lvl=%d" l.lo l.hi l.level
+
+let renumber_count t = t.renumbers
+
+(* Free space for the new leaf: strictly between the previous boundary
+   (left sibling's hi, or parent's lo) and the next one (right sibling's
+   lo, or parent's hi). *)
+let insert t ~parent ~pos node =
+  Dom.insert_child parent ~pos node;
+  let lp = label_of t parent in
+  let pos = Dom.child_index node in
+  let left =
+    if pos = 0 then lp.lo
+    else (label_of t (List.nth parent.Dom.children (pos - 1))).hi
+  in
+  let right =
+    if pos = Dom.degree parent - 1 then lp.hi
+    else (label_of t (List.nth parent.Dom.children (pos + 1))).lo
+  in
+  if right - left > 2 then begin
+    let third = (right - left) / 3 in
+    let lo = left + max 1 third in
+    let hi = min (right - 1) (lo + max 1 third) in
+    Hashtbl.replace t.labels node.Dom.serial { lo; hi; level = lp.level + 1 };
+    0
+  end
+  else begin
+    (* Gap exhausted: global renumbering. *)
+    let old_labels = t.labels in
+    relabel t;
+    t.renumbers <- t.renumbers + 1;
+    Ruid.Scheme.diff_count ~old_labels ~new_labels:t.labels
+      ~skip:(Some node.Dom.serial)
+  end
+
+let delete t node =
+  match node.Dom.parent with
+  | None -> invalid_arg "Interval.delete: cannot delete the root"
+  | Some p ->
+    List.iter
+      (fun x -> Hashtbl.remove t.labels x.Dom.serial)
+      (Dom.preorder node);
+    Dom.remove_child p node;
+    0
+
+let max_label_bits t =
+  let bits v =
+    let rec go acc v = if v = 0 then acc else go (acc + 1) (v lsr 1) in
+    go 0 v
+  in
+  Hashtbl.fold
+    (fun _ l acc -> max acc ((2 * bits l.hi) + bits l.level))
+    t.labels 0
+
+let total_label_bits t =
+  let bits v =
+    let rec go acc v = if v = 0 then acc else go (acc + 1) (v lsr 1) in
+    max 1 (go 0 v)
+  in
+  Hashtbl.fold
+    (fun _ l acc -> acc + bits l.lo + bits l.hi + bits l.level)
+    t.labels 0
+
+let aux_memory_words _ = 0

@@ -1,0 +1,22 @@
+(** Interval (range) numbering with gaps — "durable node numbers" in the
+    style of Chien, Tsotras, Zaniolo & Zhang (Related Work, Section 6).
+
+    Each node carries [lo < hi]; descendants nest strictly inside their
+    ancestors' intervals.  Boundaries are spaced [gap] apart at build time,
+    so insertions can usually squeeze a fresh interval between existing
+    boundaries without touching any other label; only when the local gap is
+    exhausted does the document renumber.  Deletion never relabels. *)
+
+include Ruid.Scheme.S
+
+type label = { lo : int; hi : int; level : int }
+
+val label_of : t -> Rxml.Dom.t -> label
+
+val build_with_gap : gap:int -> Rxml.Dom.t -> t
+(** [build] uses a gap of 16; small gaps exhaust quickly (more global
+    renumberings), large gaps burn label bits — the classic trade-off,
+    exercised by the E2 sweep. *)
+
+val renumber_count : t -> int
+(** How many full renumberings insertions have forced so far. *)

@@ -1,0 +1,77 @@
+module Dom = Rxml.Dom
+module Rel = Ruid.Rel
+
+let name = "prepost"
+let parent_derivable = false
+
+type label = { pre : int; post : int; level : int }
+
+type t = { root : Dom.t; mutable labels : (int, label) Hashtbl.t }
+
+let relabel t =
+  let labels = Hashtbl.create 256 in
+  let pre = ref 0 and post = ref 0 in
+  let rec go level n =
+    let my_pre = !pre in
+    incr pre;
+    List.iter (go (level + 1)) n.Dom.children;
+    let my_post = !post in
+    incr post;
+    Hashtbl.replace labels n.Dom.serial { pre = my_pre; post = my_post; level }
+  in
+  go 0 t.root;
+  t.labels <- labels
+
+let build root =
+  let t = { root; labels = Hashtbl.create 16 } in
+  relabel t;
+  t
+
+let label_of t n = Hashtbl.find t.labels n.Dom.serial
+
+let relation t a b =
+  let la = label_of t a and lb = label_of t b in
+  if la.pre = lb.pre then Rel.Self
+  else if la.pre < lb.pre && la.post > lb.post then Rel.Ancestor
+  else if lb.pre < la.pre && lb.post > la.post then Rel.Descendant
+  else if la.pre < lb.pre then Rel.Before
+  else Rel.After
+
+let label_string t n =
+  let l = label_of t n in
+  Printf.sprintf "(pre=%d, post=%d, lvl=%d)" l.pre l.post l.level
+
+let change ?skip t mutate =
+  let old_labels = t.labels in
+  mutate ();
+  relabel t;
+  Ruid.Scheme.diff_count ~old_labels ~new_labels:t.labels ~skip
+
+let insert t ~parent ~pos node =
+  change ~skip:node.Dom.serial t (fun () -> Dom.insert_child parent ~pos node)
+
+let delete t node =
+  change t (fun () ->
+      match node.Dom.parent with
+      | None -> invalid_arg "Prepost.delete: cannot delete the root"
+      | Some p -> Dom.remove_child p node)
+
+let max_label_bits t =
+  let bits v =
+    let rec go acc v = if v = 0 then acc else go (acc + 1) (v lsr 1) in
+    go 0 v
+  in
+  Hashtbl.fold
+    (fun _ l acc -> max acc (bits l.pre + bits l.post + bits l.level))
+    t.labels 0
+
+let total_label_bits t =
+  let bits v =
+    let rec go acc v = if v = 0 then acc else go (acc + 1) (v lsr 1) in
+    max 1 (go 0 v)
+  in
+  Hashtbl.fold
+    (fun _ l acc -> acc + bits l.pre + bits l.post + bits l.level)
+    t.labels 0
+
+let aux_memory_words _ = 0

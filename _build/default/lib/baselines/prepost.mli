@@ -1,0 +1,15 @@
+(** Pre/post/level numbering (Dietz-style traversal pairs, as used by
+    Li-Moon and Zhang et al. containment joins — Related Work, Section 6).
+
+    Ancestorship is [pre_a < pre_b && post_a > post_b]; document order is
+    pre-order rank.  The parent label is {e not} derivable from a node's
+    label alone — the property the UID family adds.  Insertion shifts the
+    pre ranks of everything after the insertion point and the post ranks of
+    everything after it in post order, which is what experiment E2
+    measures. *)
+
+include Ruid.Scheme.S
+
+type label = { pre : int; post : int; level : int }
+
+val label_of : t -> Rxml.Dom.t -> label

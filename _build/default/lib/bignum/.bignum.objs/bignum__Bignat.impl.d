@@ -1,0 +1,1 @@
+lib/bignum/bignat.ml: Array Buffer Char Format List Printf Seq Stdlib String Sys

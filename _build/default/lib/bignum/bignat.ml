@@ -1,0 +1,228 @@
+(* Unsigned bignums in base 2^30, little-endian int arrays, normalized so the
+   top digit is non-zero (zero = empty array).  Base 2^30 keeps every
+   intermediate product of two digits below 2^60, safely inside OCaml's
+   63-bit native ints. *)
+
+let base_bits = 30
+let base = 1 lsl base_bits
+let base_mask = base - 1
+
+type t = int array
+
+let zero : t = [||]
+let one : t = [| 1 |]
+
+let is_zero a = Array.length a = 0
+
+(* Drop trailing zero digits. *)
+let normalize (a : int array) : t =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0 do
+    decr n
+  done;
+  if !n = Array.length a then a else Array.sub a 0 !n
+
+let of_int n =
+  if n < 0 then invalid_arg "Bignat.of_int: negative";
+  if n = 0 then zero
+  else begin
+    let rec count acc n = if n = 0 then acc else count (acc + 1) (n lsr base_bits) in
+    let len = count 0 n in
+    Array.init len (fun i -> (n lsr (i * base_bits)) land base_mask)
+  end
+
+let to_int_opt a =
+  (* max_int has 62 bits: at most three digits (30 + 30 + 2). *)
+  match Array.length a with
+  | 0 -> Some 0
+  | 1 -> Some a.(0)
+  | 2 -> Some (a.(0) lor (a.(1) lsl base_bits))
+  | 3 when a.(2) < 1 lsl (Sys.int_size - 1 - (2 * base_bits)) ->
+    Some (a.(0) lor (a.(1) lsl base_bits) lor (a.(2) lsl (2 * base_bits)))
+  | _ -> None
+
+let compare a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Stdlib.compare la lb
+  else begin
+    let rec go i =
+      if i < 0 then 0
+      else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i)
+      else go (i - 1)
+    in
+    go (la - 1)
+  end
+
+let equal a b = compare a b = 0
+
+let add a b =
+  let la = Array.length a and lb = Array.length b in
+  let lr = 1 + max la lb in
+  let r = Array.make lr 0 in
+  let carry = ref 0 in
+  for i = 0 to lr - 1 do
+    let s =
+      (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry
+    in
+    r.(i) <- s land base_mask;
+    carry := s lsr base_bits
+  done;
+  normalize r
+
+let sub a b =
+  if compare a b < 0 then invalid_arg "Bignat.sub: negative result";
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let d = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+    if d < 0 then begin
+      r.(i) <- d + base;
+      borrow := 1
+    end else begin
+      r.(i) <- d;
+      borrow := 0
+    end
+  done;
+  normalize r
+
+let succ a = add a one
+
+let pred a = if is_zero a then invalid_arg "Bignat.pred: zero" else sub a one
+
+let mul a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then zero
+  else begin
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      for j = 0 to lb - 1 do
+        let v = r.(i + j) + (a.(i) * b.(j)) + !carry in
+        r.(i + j) <- v land base_mask;
+        carry := v lsr base_bits
+      done;
+      let k = ref (i + lb) in
+      while !carry <> 0 do
+        let v = r.(!k) + !carry in
+        r.(!k) <- v land base_mask;
+        carry := v lsr base_bits;
+        incr k
+      done
+    done;
+    normalize r
+  end
+
+let mul_int a m =
+  if m < 0 then invalid_arg "Bignat.mul_int: negative";
+  mul a (of_int m)
+
+let add_int a m =
+  if m < 0 then invalid_arg "Bignat.add_int: negative";
+  add a (of_int m)
+
+let sub_int a m =
+  if m < 0 then invalid_arg "Bignat.sub_int: negative";
+  sub a (of_int m)
+
+let divmod_int a d =
+  if d = 0 then raise Division_by_zero;
+  if d < 0 || d >= base then invalid_arg "Bignat.divmod_int: divisor out of range";
+  let la = Array.length a in
+  let q = Array.make la 0 in
+  let rem = ref 0 in
+  for i = la - 1 downto 0 do
+    let cur = (!rem lsl base_bits) lor a.(i) in
+    q.(i) <- cur / d;
+    rem := cur mod d
+  done;
+  (normalize q, !rem)
+
+let bit_length a =
+  let la = Array.length a in
+  if la = 0 then 0
+  else begin
+    let top = a.(la - 1) in
+    let rec bits acc n = if n = 0 then acc else bits (acc + 1) (n lsr 1) in
+    ((la - 1) * base_bits) + bits 0 top
+  end
+
+let nth_bit a i =
+  let w = i / base_bits and b = i mod base_bits in
+  if w >= Array.length a then 0 else (a.(w) lsr b) land 1
+
+(* Binary long division: process the dividend's bits from most significant
+   to least, maintaining remainder < divisor.  O(bits(a) * words(b)), ample
+   for identifier-sized numbers. *)
+let divmod a b =
+  if is_zero b then raise Division_by_zero;
+  if compare a b < 0 then (zero, a)
+  else begin
+    let nb = bit_length a in
+    let qwords = (nb + base_bits - 1) / base_bits in
+    let q = Array.make qwords 0 in
+    let r = ref zero in
+    for i = nb - 1 downto 0 do
+      (* r := 2r + bit i of a *)
+      let r2 = mul_int !r 2 in
+      r := if nth_bit a i = 1 then succ r2 else r2;
+      if compare !r b >= 0 then begin
+        r := sub !r b;
+        q.(i / base_bits) <- q.(i / base_bits) lor (1 lsl (i mod base_bits))
+      end
+    done;
+    (normalize q, !r)
+  end
+
+let pow b e =
+  if e < 0 then invalid_arg "Bignat.pow: negative exponent";
+  let rec go acc b e =
+    if e = 0 then acc
+    else begin
+      let acc = if e land 1 = 1 then mul acc b else acc in
+      go acc (mul b b) (e lsr 1)
+    end
+  in
+  go one b e
+
+let to_string a =
+  if is_zero a then "0"
+  else begin
+    let buf = Buffer.create 32 in
+    let rec go a =
+      if not (is_zero a) then begin
+        (* Peel nine decimal digits at a time (10^9 < 2^30). *)
+        let q, r = divmod_int a 1_000_000_000 in
+        if is_zero q then Buffer.add_string buf (string_of_int r)
+        else begin
+          go q;
+          Buffer.add_string buf (Printf.sprintf "%09d" r)
+        end
+      end
+    in
+    go a;
+    Buffer.contents buf
+  end
+
+let of_string s =
+  let digits =
+    String.to_seq s |> Seq.filter (fun c -> c <> '_') |> String.of_seq
+  in
+  let digits =
+    if String.length digits > 0 && digits.[0] = '+' then
+      String.sub digits 1 (String.length digits - 1)
+    else digits
+  in
+  if String.length digits = 0 then invalid_arg "Bignat.of_string: empty";
+  String.fold_left
+    (fun acc c ->
+      if c < '0' || c > '9' then invalid_arg "Bignat.of_string: bad digit"
+      else add_int (mul_int acc 10) (Char.code c - Char.code '0'))
+    zero digits
+
+let pp ppf a = Format.pp_print_string ppf (to_string a)
+
+let to_float a =
+  Array.to_list a
+  |> List.rev
+  |> List.fold_left (fun acc d -> (acc *. float_of_int base) +. float_of_int d) 0.

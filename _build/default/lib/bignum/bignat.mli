@@ -1,0 +1,78 @@
+(** Arbitrary-precision natural numbers.
+
+    The original UID numbering scheme assigns identifiers that grow as
+    [k^depth] where [k] is the maximal fan-out of the document; the paper
+    (Section 1) notes that such values "easily exceed the maximal manageable
+    integer value" and that "additional purpose-specific libraries are
+    necessary".  This module is that library: an unsigned bignum sufficient
+    to represent, compare and do the UID parent/children arithmetic on
+    identifiers of arbitrarily large virtual trees.
+
+    Representation: little-endian array of base-2{^30} digits, no trailing
+    zero digit, the number zero being the empty array.  All values are
+    immutable. *)
+
+type t
+
+val zero : t
+val one : t
+
+val of_int : int -> t
+(** [of_int n] converts a non-negative machine integer.
+    @raise Invalid_argument if [n < 0]. *)
+
+val to_int_opt : t -> int option
+(** [to_int_opt n] is [Some i] when [n] fits in a non-negative OCaml [int]. *)
+
+val of_string : string -> t
+(** [of_string s] parses a decimal string (optional leading [+], underscores
+    allowed as separators).
+    @raise Invalid_argument on empty or malformed input. *)
+
+val to_string : t -> string
+(** Decimal rendering, no leading zeros. *)
+
+val pp : Format.formatter -> t -> unit
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val is_zero : t -> bool
+
+val add : t -> t -> t
+val succ : t -> t
+
+val sub : t -> t -> t
+(** [sub a b] is [a - b].
+    @raise Invalid_argument if [b > a]. *)
+
+val pred : t -> t
+(** @raise Invalid_argument on zero. *)
+
+val mul : t -> t -> t
+
+val mul_int : t -> int -> t
+(** [mul_int a m] with [0 <= m]. *)
+
+val add_int : t -> int -> t
+(** [add_int a m] with [0 <= m]. *)
+
+val sub_int : t -> int -> t
+(** [sub_int a m] with [0 <= m].
+    @raise Invalid_argument if [a < m]. *)
+
+val divmod_int : t -> int -> t * int
+(** [divmod_int a d] is [(a / d, a mod d)] for [0 < d < 2{^30}].
+    @raise Division_by_zero if [d = 0].
+    @raise Invalid_argument if [d] is negative or too large. *)
+
+val divmod : t -> t -> t * t
+(** Long division. @raise Division_by_zero on a zero divisor. *)
+
+val pow : t -> int -> t
+(** [pow b e] with [e >= 0]. *)
+
+val bit_length : t -> int
+(** Number of bits in the binary representation; [bit_length zero = 0]. *)
+
+val to_float : t -> float
+(** Nearest float, [infinity] when out of range; for reporting magnitudes. *)

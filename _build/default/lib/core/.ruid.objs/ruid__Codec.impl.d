@@ -1,0 +1,1 @@
+lib/core/codec.ml: Bignum Buffer Bytes Char List Mruid Ruid2

@@ -1,0 +1,1 @@
+lib/core/codec.mli: Bignum Buffer Mruid Ruid2

@@ -1,0 +1,1 @@
+lib/core/frame.mli: Rxml

@@ -1,0 +1,1 @@
+lib/core/ktable.ml: Array Format List Stdlib

@@ -1,0 +1,1 @@
+lib/core/ktable.mli: Format

@@ -1,0 +1,1 @@
+lib/core/mruid.ml: Array Format Frame Hashtbl List Rel Rxml Uid

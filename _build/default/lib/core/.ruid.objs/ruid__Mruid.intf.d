@@ -1,0 +1,1 @@
+lib/core/mruid.mli: Format Rel Rxml

@@ -1,0 +1,1 @@
+lib/core/multilevel.ml: Array Bignum Format Frame Hashtbl List Ruid2 Rxml

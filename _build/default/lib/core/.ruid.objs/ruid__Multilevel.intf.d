@@ -1,0 +1,1 @@
+lib/core/multilevel.mli: Bignum Format Rel Ruid2 Rxml

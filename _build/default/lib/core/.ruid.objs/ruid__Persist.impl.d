@@ -1,0 +1,1 @@
+lib/core/persist.ml: Buffer Bytes Codec Ktable List Ruid2 Rxml String

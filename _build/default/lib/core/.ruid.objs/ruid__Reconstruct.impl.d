@@ -1,0 +1,1 @@
+lib/core/reconstruct.ml: Hashtbl List Ruid2 Rxml

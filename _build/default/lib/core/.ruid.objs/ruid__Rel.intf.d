@@ -1,0 +1,1 @@
+lib/core/rel.mli: Format

@@ -1,0 +1,1 @@
+lib/core/ruid2.ml: Format Frame Fun Hashtbl Ktable List Option Rel Rxml Stdlib Uid

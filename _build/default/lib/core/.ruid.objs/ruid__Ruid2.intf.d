@@ -1,0 +1,1 @@
+lib/core/ruid2.mli: Format Frame Ktable Rel Rxml

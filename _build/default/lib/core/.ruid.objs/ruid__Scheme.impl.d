@@ -1,0 +1,1 @@
+lib/core/scheme.ml: Hashtbl Rel Rxml

@@ -1,0 +1,1 @@
+lib/core/scheme_multilevel.mli: Mruid Scheme

@@ -1,0 +1,1 @@
+lib/core/scheme_ruid2.ml: Ruid2 Rxml

@@ -1,0 +1,1 @@
+lib/core/scheme_uid.ml: Bignum Hashtbl Rxml Scheme Uid

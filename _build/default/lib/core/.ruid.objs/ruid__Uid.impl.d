@@ -1,0 +1,1 @@
+lib/core/uid.ml: Bignum Format Hashtbl Int List Printf Rel Rxml Stdlib

@@ -1,0 +1,1 @@
+lib/core/uid.mli: Bignum Format Hashtbl Rel Rxml

@@ -1,0 +1,83 @@
+(** Frames and UID-local areas (Definitions 1 and 2 of the paper).
+
+    A partition of an XML tree is represented by its {e cut set}: the set of
+    area-root nodes, which always contains the tree root.  The frame is the
+    tree induced on the cut set (an edge between two area roots when one is
+    an ancestor of the other with no area root strictly between).  The
+    UID-local area rooted at an area root [r] consists of [r] together with
+    every descendant reachable without passing through another area root;
+    roots of child areas are included as leaves of the upper area — they are
+    the single-node intersections of adjacent areas.
+
+    Every node is {e enumerated} in exactly one area: the area of its parent
+    (the tree root is enumerated in its own area, at index 1). *)
+
+type t
+
+val root : t -> Rxml.Dom.t
+
+val partition :
+  ?max_area_size:int -> ?max_area_depth:int -> ?adjust:bool -> Rxml.Dom.t -> t
+(** Cut the tree greedily, in document order, into areas of at most
+    [max_area_size] enumerated nodes (default 64; minimum 2).  With [adjust]
+    (default [true]), apply the Section 2.3 refinement: promote branching
+    nodes to area roots until the frame's maximal fan-out does not exceed
+    the source tree's maximal fan-out.
+
+    [max_area_depth] additionally cuts any root path longer than that many
+    edges inside one area.  Because a local index can reach [k{^d}] for an
+    area of fan-out [k] and depth [d], unbounded area depth overflows
+    native-integer locals on deeply recursive documents; the default limit
+    is [max 4 (48 / bits (max_fanout + 1))], which keeps every local index
+    under roughly 48 bits — "appropriately dividing an XML tree into
+    UID-local areas" (Section 3.1). *)
+
+val of_cut_set : Rxml.Dom.t -> Rxml.Dom.t list -> t
+(** Build a frame from an explicit cut set (the tree root is added
+    implicitly).  Used by tests reconstructing the paper's figures.
+    @raise Invalid_argument if a listed node is not in the tree. *)
+
+val is_area_root : t -> Rxml.Dom.t -> bool
+
+val area_root_of : t -> Rxml.Dom.t -> Rxml.Dom.t
+(** The root of the area in which the node is {e enumerated}: the nearest
+    area root that is a strict ancestor — or the node itself for the tree
+    root. *)
+
+val own_area_root : t -> Rxml.Dom.t -> Rxml.Dom.t
+(** Nearest area root that is the node itself or an ancestor. *)
+
+val frame_parent : t -> Rxml.Dom.t -> Rxml.Dom.t option
+(** For an area root: the nearest strict-ancestor area root. *)
+
+val frame_children : t -> Rxml.Dom.t -> Rxml.Dom.t list
+(** For an area root: its frame children in document order. *)
+
+val area_roots : t -> Rxml.Dom.t list
+(** All area roots in document order (the tree root first). *)
+
+val area_count : t -> int
+
+val area_members : t -> Rxml.Dom.t -> Rxml.Dom.t list
+(** Nodes enumerated in the area of the given area root, in document order,
+    the area root itself first.  Roots of child areas appear (as leaves);
+    their own members do not. *)
+
+val area_fanout : t -> Rxml.Dom.t -> int
+(** Maximal fan-out used to enumerate the area: the maximum degree over
+    nodes whose children are enumerated in this area (at least 1). *)
+
+val frame_fanout : t -> int
+(** kappa: the maximal number of frame children over all area roots (at
+    least 1). *)
+
+val frame_depth : t -> int
+
+val uncut : t -> Rxml.Dom.t -> unit
+(** Remove a node from the cut set (used when a whole area is deleted).
+    @raise Invalid_argument on the tree root. *)
+
+val check_invariants : t -> unit
+(** Validate Definitions 1-2: cut set covers the tree, areas are induced
+    subtrees, adjacent areas intersect in exactly the child-area root.
+    @raise Failure describing the violated invariant. *)

@@ -1,0 +1,154 @@
+module Dom = Rxml.Dom
+
+type component = { index : int; is_root : bool }
+type id = { top : int; components : component list }
+
+let pp_id ppf i =
+  Format.fprintf ppf "{%d" i.top;
+  List.iter
+    (fun c -> Format.fprintf ppf ", (%d, %b)" c.index c.is_root)
+    i.components;
+  Format.fprintf ppf "}"
+
+let id_to_string i = Format.asprintf "%a" pp_id i
+let id_equal (a : id) (b : id) = a = b
+
+type level = {
+  ruid : Ruid2.t;
+  (* Mapping between this level's area roots and the next level's mirror
+     nodes; [None] at the topmost level. *)
+  mirror_of : (int, Dom.t) Hashtbl.t option;
+  orig_of : (int, Dom.t) Hashtbl.t option;
+}
+
+type t = { levels : level array; doc_root : Dom.t }
+
+let levels t = Array.length t.levels + 1
+let base t = t.levels.(0).ruid
+
+(* Mirror a frame as a fresh element tree whose shape is the frame's. *)
+let mirror_frame frame =
+  let mirror_of = Hashtbl.create 64 in
+  let orig_of = Hashtbl.create 64 in
+  let rec go orig =
+    let m = Dom.element "frame-node" in
+    Hashtbl.replace mirror_of orig.Dom.serial m;
+    Hashtbl.replace orig_of m.Dom.serial orig;
+    List.iter
+      (fun c -> Dom.append_child m (go c))
+      (Frame.frame_children frame orig);
+    m
+  in
+  let root = go (Frame.root frame) in
+  (root, mirror_of, orig_of)
+
+let build ?(levels = 3) ?max_area_size doc_root =
+  if levels < 2 then invalid_arg "Multilevel.build: need at least 2 levels";
+  let rec go depth tree =
+    let ruid = Ruid2.number ?max_area_size tree in
+    if depth >= levels - 1 || Ruid2.area_count ruid <= 1 then
+      [ { ruid; mirror_of = None; orig_of = None } ]
+    else begin
+      let mroot, mirror_of, orig_of = mirror_frame (Ruid2.frame ruid) in
+      { ruid; mirror_of = Some mirror_of; orig_of = Some orig_of }
+      :: go (depth + 1) mroot
+    end
+  in
+  { levels = Array.of_list (go 1 doc_root); doc_root }
+
+let id_of_node t n =
+  let rec go lvl node comps =
+    let level = t.levels.(lvl) in
+    let i = Ruid2.id_of_node level.ruid node in
+    let comps = { index = i.Ruid2.local; is_root = i.Ruid2.is_root } :: comps in
+    match level.mirror_of with
+    | None -> { top = i.Ruid2.global; components = comps }
+    | Some mirror_of ->
+      let area_root =
+        match Ruid2.area_root_node level.ruid i.Ruid2.global with
+        | Some r -> r
+        | None -> assert false
+      in
+      go (lvl + 1) (Hashtbl.find mirror_of area_root.Dom.serial) comps
+  in
+  go 0 n []
+
+let node_of_id t i =
+  (* Resolve top-down: reconstruct each level's Ruid2 identifier, starting
+     from the topmost global. *)
+  let top_level = Array.length t.levels - 1 in
+  let rec go lvl global comps =
+    match comps with
+    | [] -> None
+    | c :: rest ->
+      let level = t.levels.(lvl) in
+      let rid = { Ruid2.global; local = c.index; is_root = c.is_root } in
+      (match Ruid2.node_of_id level.ruid rid with
+      | None -> None
+      | Some node ->
+        if lvl = 0 then Some node
+        else begin
+          (* [node] mirrors an area root one level down. *)
+          match t.levels.(lvl - 1).orig_of with
+          | None -> assert false
+          | Some orig_of ->
+            (match Hashtbl.find_opt orig_of node.Dom.serial with
+            | None -> None
+            | Some orig ->
+              (match Ruid2.global_of_area t.levels.(lvl - 1).ruid orig with
+              | None -> None
+              | Some g -> go (lvl - 1) g rest))
+        end)
+  in
+  if List.length i.components <> top_level + 1 then None
+  else go top_level i.top i.components
+
+let parent t i =
+  match node_of_id t i with
+  | None -> None
+  | Some n -> (
+    match Ruid2.rparent (base t) (Ruid2.id_of_node (base t) n) with
+    | None -> None
+    | Some p -> (
+      match Ruid2.node_of_id (base t) p with
+      | None -> None
+      | Some pn -> Some (id_of_node t pn)))
+
+let relationship t a b =
+  match (node_of_id t a, node_of_id t b) with
+  | Some na, Some nb ->
+    Ruid2.relationship (base t)
+      (Ruid2.id_of_node (base t) na)
+      (Ruid2.id_of_node (base t) nb)
+  | _ -> invalid_arg "Multilevel.relationship: unresolvable identifier"
+
+let insert_node ?slack t ~parent ~pos node =
+  Ruid2.insert_node ?slack (base t) ~parent ~pos node
+
+let delete_subtree t node = Ruid2.delete_subtree (base t) node
+
+let aux_memory_words t =
+  Array.fold_left
+    (fun acc l -> acc + Ruid2.aux_memory_words l.ruid)
+    0 t.levels
+
+let max_component_bits t =
+  Array.fold_left
+    (fun acc l -> max acc (Ruid2.max_local_bits l.ruid))
+    0 t.levels
+
+let addressable ~e ~levels =
+  Bignum.Bignat.pow (Bignum.Bignat.of_int e) levels
+
+let check_consistency t =
+  Array.iter (fun l -> Ruid2.check_consistency l.ruid) t.levels;
+  (* Identifier round-trip for every document node. *)
+  Dom.iter_preorder
+    (fun n ->
+      let i = id_of_node t n in
+      match node_of_id t i with
+      | Some m when Dom.equal m n -> ()
+      | _ ->
+        Format.kasprintf failwith "multilevel id %s does not resolve back"
+          (id_to_string i))
+    t.doc_root

@@ -1,0 +1,66 @@
+(** Multilevel recursive UID (Section 2.4, Definition 4).
+
+    The frame of a 2-level ruid is itself a tree; numbering it with its own
+    2-level ruid — and repeating — yields the l-level scheme.  An l-level
+    identifier is [{theta, (a_(l-1), b_(l-1)), ..., (a_1, b_1)}]: the
+    original UID [theta] in the topmost frame followed by one
+    (local index, root indicator) pair per level, level 1 (the document
+    itself) last.
+
+    Internally the structure is a chain of {!Ruid2} instances: level 0
+    numbers the document over its frame; each further level numbers a
+    mirror tree of the previous level's frame.  All derivation routines run
+    on level 0 — exactly the paper's design, where upper levels only
+    compress the global index — and the multilevel form is obtained by
+    decomposing globals through the chain (Example 3: the 2-level identifier
+    [{8, (a, true)}] becomes [{2, (4, false), (a, true)}] at 3 levels). *)
+
+type component = { index : int; is_root : bool }
+
+type id = { top : int; components : component list }
+(** [components] holds the (alpha, beta) pairs from the topmost level down
+    to level 1; it is never empty. *)
+
+val pp_id : Format.formatter -> id -> unit
+val id_to_string : id -> string
+val id_equal : id -> id -> bool
+
+type t
+
+val build : ?levels:int -> ?max_area_size:int -> Rxml.Dom.t -> t
+(** Number a tree with up to [levels] recursive levels (default 3; at least
+    2, i.e. one {!Ruid2} layer).  Recursion stops early once a frame
+    shrinks to a single area, so small documents get fewer levels. *)
+
+val levels : t -> int
+(** Number of levels in the paper's counting: a plain 2-level ruid is 2. *)
+
+val base : t -> Ruid2.t
+(** The level numbering the document itself — where every derivation
+    (parent, relations, axes, updates) runs. *)
+
+val id_of_node : t -> Rxml.Dom.t -> id
+val node_of_id : t -> id -> Rxml.Dom.t option
+
+val parent : t -> id -> id option
+(** [rparent] at the base level, re-rendered in multilevel form. *)
+
+val relationship : t -> id -> id -> Rel.t
+
+val insert_node : ?slack:int -> t -> parent:Rxml.Dom.t -> pos:int -> Rxml.Dom.t -> int
+(** Delegates to the base level; upper levels never change because the
+    document frame is update-stable (Section 3.2). *)
+
+val delete_subtree : t -> Rxml.Dom.t -> int
+
+val aux_memory_words : t -> int
+(** All K tables plus the per-level kappas. *)
+
+val max_component_bits : t -> int
+(** Bits of the widest index anywhere in an identifier. *)
+
+val addressable : e:int -> levels:int -> Bignum.Bignat.t
+(** Section 3.1: if one level can enumerate [e] nodes, [levels] levels can
+    enumerate about [e{^levels}]. *)
+
+val check_consistency : t -> unit

@@ -1,0 +1,77 @@
+module Dom = Rxml.Dom
+
+let magic = "RUID2\x02"
+
+let sidecar_to_bytes t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf magic;
+  (* Whether the numbered root is the document node itself (vs its root
+     element): load must restore against the same node. *)
+  let is_document =
+    match (Ruid2.root t).Dom.kind with Dom.Document -> 1 | _ -> 0
+  in
+  Codec.write_varint buf is_document;
+  Codec.write_varint buf (Ruid2.kappa t);
+  let rows = Ktable.rows (Ruid2.ktable t) in
+  Codec.write_varint buf (List.length rows);
+  List.iter
+    (fun r ->
+      Codec.write_varint buf r.Ktable.global;
+      Codec.write_varint buf r.Ktable.root_local;
+      Codec.write_varint buf r.Ktable.fanout)
+    rows;
+  let nodes = Ruid2.all_nodes t in
+  Codec.write_varint buf (List.length nodes);
+  List.iter
+    (fun n -> Buffer.add_bytes buf (Codec.encode_ruid2 (Ruid2.id_of_node t n)))
+    nodes;
+  Buffer.to_bytes buf
+
+let sidecar_of_bytes root bytes =
+  let len = Bytes.length bytes in
+  if len < String.length magic || Bytes.sub_string bytes 0 (String.length magic) <> magic
+  then invalid_arg "Persist: bad magic";
+  let pos = ref (String.length magic) in
+  let next () =
+    let v, p = Codec.read_varint bytes ~pos:!pos in
+    pos := p;
+    v
+  in
+  let _is_document = next () in
+  let kappa = next () in
+  let nrows = next () in
+  let rows =
+    List.init nrows (fun _ ->
+        let global = next () in
+        let root_local = next () in
+        let fanout = next () in
+        { Ktable.global; root_local; fanout })
+  in
+  let nnodes = next () in
+  let ids =
+    List.init nnodes (fun _ ->
+        let flag = next () in
+        let global = next () in
+        let local = next () in
+        { Ruid2.global; local; is_root = flag = 1 })
+  in
+  if !pos <> len then invalid_arg "Persist: trailing bytes in sidecar";
+  Ruid2.restore ~kappa ~ktable:(Ktable.make rows) ~ids root
+
+let save t ~xml ~sidecar =
+  Rxml.Serializer.to_file xml (Ruid2.root t);
+  let oc = open_out_bin sidecar in
+  output_bytes oc (sidecar_to_bytes t);
+  close_out oc
+
+let load ~xml ~sidecar =
+  let doc = Rxml.Parser.parse_file ~keep_whitespace:true xml in
+  let ic = open_in_bin sidecar in
+  let n = in_channel_length ic in
+  let bytes = Bytes.create n in
+  really_input ic bytes 0 n;
+  close_in ic;
+  (* The root-kind flag sits right after the magic. *)
+  let flag, _ = Codec.read_varint bytes ~pos:(String.length magic) in
+  let root = if flag = 1 then doc else Dom.root_element doc in
+  (doc, sidecar_of_bytes root bytes)

@@ -1,0 +1,27 @@
+(** Persistence of numbered documents.
+
+    Identifiers are only useful as external keys if they survive process
+    restarts without a renumbering (which would defeat the stability the
+    scheme buys).  This module writes a numbered document as the XML text
+    plus a compact binary sidecar — kappa, the K table, and the varint
+    identifier stream in document order — and restores the exact numbering
+    on load.
+
+    Sidecar format (all integers LEB128 varints):
+    {v magic "RUID2\x02" | root-kind (1 = document node) | kappa | #K rows
+       | rows (global, root_local, fanout) | #nodes | per node: root flag
+       + global + local v} *)
+
+val save : Ruid2.t -> xml:string -> sidecar:string -> unit
+(** Write the document (compact XML) and its numbering. *)
+
+val load : xml:string -> sidecar:string -> Rxml.Dom.t * Ruid2.t
+(** Parse, restore and verify (via {!Ruid2.restore}); returns the document
+    node and the numbering over its root element.
+    @raise Invalid_argument if the sidecar is malformed or does not match
+    the document. *)
+
+val sidecar_to_bytes : Ruid2.t -> bytes
+val sidecar_of_bytes : Rxml.Dom.t -> bytes -> Ruid2.t
+(** In-memory variants (the file functions are thin wrappers); the [Dom.t]
+    argument is the numbered root element. *)

@@ -1,0 +1,23 @@
+(** Reconstruction of document fragments from identifier sets
+    (Section 3.3).
+
+    "This property ... is also important for the fast reconstruction of a
+    portion of an XML document from a set of elements.  The output is a
+    portion of an XML document generated from these elements respecting the
+    ancestor-descendant order existing in the source data."
+
+    Given a set of elements (say, the matches of a query delivered as
+    identifiers), the ancestor chain of every element is derived by
+    [rparent] arithmetic, and a fresh tree is built containing each
+    selected element (with its whole subtree, by default) under its
+    original chain of ancestors, siblings in document order. *)
+
+val fragment_nodes : ?deep:bool -> Ruid2.t -> Rxml.Dom.t list -> Rxml.Dom.t
+(** Fragment containing the given nodes.  With [deep] (default [true])
+    selected nodes keep their entire subtrees; ancestors are rebuilt as
+    shallow copies (tag and attributes only).  The result is a fresh,
+    detached tree rooted at a copy of the numbered root. *)
+
+val fragment : ?deep:bool -> Ruid2.t -> Ruid2.id list -> Rxml.Dom.t
+(** Same, from identifiers.
+    @raise Invalid_argument if an identifier does not resolve. *)

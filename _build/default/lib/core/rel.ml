@@ -1,0 +1,24 @@
+type t = Self | Ancestor | Descendant | Before | After
+
+let equal (a : t) (b : t) = a = b
+
+let inverse = function
+  | Self -> Self
+  | Ancestor -> Descendant
+  | Descendant -> Ancestor
+  | Before -> After
+  | After -> Before
+
+let to_order = function
+  | Self -> 0
+  | Ancestor | Before -> -1
+  | Descendant | After -> 1
+
+let to_string = function
+  | Self -> "self"
+  | Ancestor -> "ancestor"
+  | Descendant -> "descendant"
+  | Before -> "before"
+  | After -> "after"
+
+let pp ppf r = Format.pp_print_string ppf (to_string r)

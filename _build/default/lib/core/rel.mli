@@ -1,0 +1,17 @@
+(** Structural relationship between two nodes of a tree, as decided by a
+    numbering scheme.  [Ancestor] and [Descendant] are strict; [Before] and
+    [After] are document order among nodes with disjoint subtrees (the XPath
+    [preceding] / [following] axes). *)
+
+type t = Self | Ancestor | Descendant | Before | After
+
+val equal : t -> t -> bool
+
+val inverse : t -> t
+(** [inverse (relation a b)] is [relation b a]. *)
+
+val to_order : t -> int
+(** Document-order comparison: ancestors precede descendants. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

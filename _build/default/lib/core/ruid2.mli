@@ -1,0 +1,140 @@
+(** The 2-level recursive UID numbering scheme (Sections 2.1-2.3) with the
+    axis routines of Section 3.5 and the structural-update behaviour of
+    Section 3.2.
+
+    A node identifier is the triple of Definition 3: global index (the
+    kappa-ary UID of its area in the frame), local index (its UID inside an
+    area) and root indicator.  For a non-root node the pair is
+    (area, index inside the area); for an area root the global index is the
+    index of {e its own} area while the local index is its leaf index in the
+    {e upper} area.  The identifier of the whole tree's root is
+    [(1, 1, true)].
+
+    The structure keeps the paper's global parameters — kappa and the table
+    K — plus the node/identifier maps that play the role of the stored data.
+    Every derivation routine ([rparent], [rchildren], relations) touches only
+    kappa and K: no tree access. *)
+
+type id = { global : int; local : int; is_root : bool }
+
+val pp_id : Format.formatter -> id -> unit
+val id_to_string : id -> string
+val id_equal : id -> id -> bool
+val id_compare : id -> id -> int
+(** Arbitrary total order for use as a map key (not document order). *)
+
+type t
+
+(** {1 Construction} *)
+
+val number :
+  ?max_area_size:int -> ?max_area_depth:int -> ?adjust:bool -> Rxml.Dom.t -> t
+(** Partition (see {!Frame.partition}) and enumerate the tree.
+    @raise Uid.Overflow if the frame enumeration overflows native-int UIDs
+    (a very deep branching frame) — such documents need more levels: see
+    {!Mruid}. *)
+
+val number_with_frame : Frame.t -> t
+(** Enumerate with an explicit partition (tests, ablations). *)
+
+val restore :
+  kappa:int -> ktable:Ktable.t -> ids:id list -> Rxml.Dom.t -> t
+(** Rebuild a numbering from persisted state: [ids] lists the identifier of
+    every node of the tree in document order.  The partition is recovered
+    from the root indicators.  Used by {!Persist.load}.
+    @raise Invalid_argument if the identifier list does not match the tree
+    or is internally inconsistent (checked via {!check_consistency}). *)
+
+(** {1 Global parameters (what must sit in main memory)} *)
+
+val kappa : t -> int
+val ktable : t -> Ktable.t
+val frame : t -> Frame.t
+val root : t -> Rxml.Dom.t
+val area_count : t -> int
+
+val aux_memory_words : t -> int
+(** Words of main memory the derivation routines need: K plus kappa. *)
+
+(** {1 Identifiers} *)
+
+val id_of_node : t -> Rxml.Dom.t -> id
+(** @raise Not_found for a node outside the numbered tree. *)
+
+val node_of_id : t -> id -> Rxml.Dom.t option
+
+val area_root_node : t -> int -> Rxml.Dom.t option
+(** The node rooting the area with the given global index. *)
+
+val global_of_area : t -> Rxml.Dom.t -> int option
+(** The global index of the area rooted at the given node, if it is an
+    area root. *)
+
+val all_nodes : t -> Rxml.Dom.t list
+(** All numbered nodes in document order. *)
+
+val max_local_bits : t -> int
+(** Bits of the largest global or local index in use — identifier
+    magnitude, for experiment E1. *)
+
+val total_label_bits : t -> int
+(** Sum over all nodes of the identifier size in bits (global + local +
+    root flag). *)
+
+(** {1 Derivation routines (identifier arithmetic over kappa and K only)} *)
+
+val rparent : t -> id -> id option
+(** The algorithm of Fig. 6.  [None] on the tree root. *)
+
+val rancestors : t -> id -> id list
+(** Strict ancestors by iterated {!rparent}, nearest first. *)
+
+val rlevel : t -> id -> int
+
+val possible_children_ids : t -> id -> id list
+(** The candidate list L of routine [rchildren] (Section 3.5), from K alone:
+    identifiers every child of the node {e would} have, with correct root
+    indicators; includes slots not occupied by real nodes. *)
+
+val relationship : t -> id -> id -> Rel.t
+(** Full structural relation of two identifiers, using kappa, K and
+    identifier arithmetic only (Lemmas 1-3). *)
+
+val doc_order : t -> id -> id -> int
+
+(** {1 Axes (actual node sets, in document order)} *)
+
+val parent_node : t -> Rxml.Dom.t -> Rxml.Dom.t option
+val ancestors : t -> Rxml.Dom.t -> Rxml.Dom.t list
+val children : t -> Rxml.Dom.t -> Rxml.Dom.t list
+
+val descendants : t -> Rxml.Dom.t -> Rxml.Dom.t list
+
+(** Like {!descendants} but in unspecified order and asymptotically
+    cheaper: one virtual-ancestry test per member of the context node's own
+    area, and descendant areas are swallowed whole. *)
+val descendants_unordered : t -> Rxml.Dom.t -> Rxml.Dom.t list
+val following_siblings : t -> Rxml.Dom.t -> Rxml.Dom.t list
+val preceding_siblings : t -> Rxml.Dom.t -> Rxml.Dom.t list
+val preceding : t -> Rxml.Dom.t -> Rxml.Dom.t list
+val following : t -> Rxml.Dom.t -> Rxml.Dom.t list
+
+(** {1 Structural update (Section 3.2)} *)
+
+val insert_node : ?slack:int -> t -> parent:Rxml.Dom.t -> pos:int -> Rxml.Dom.t -> int
+(** Insert a fresh leaf as the [pos]-th child and re-enumerate the single
+    affected UID-local area, enlarging its fan-out when the parent's degree
+    outgrows it ([slack] adds headroom on such growth, default 0).  Returns
+    the number of {e pre-existing} nodes whose identifier changed. *)
+
+val delete_subtree : t -> Rxml.Dom.t -> int
+(** Cascading deletion (Section 3.2): remove the node and all descendants,
+    drop the K rows of any areas inside, re-enumerate only the area where
+    the deleted root was enumerated.  Returns the number of surviving nodes
+    whose identifier changed.
+    @raise Invalid_argument when asked to delete the tree root. *)
+
+val check_consistency : t -> unit
+(** Verify the identifier maps against the DOM: every node labeled, ids
+    unique, [rparent] agreeing with the DOM parent, K well-formed.
+    @raise Failure on the first violation. *)

@@ -1,0 +1,28 @@
+module type S = sig
+  val name : string
+  val parent_derivable : bool
+
+  type t
+
+  val build : Rxml.Dom.t -> t
+  val relation : t -> Rxml.Dom.t -> Rxml.Dom.t -> Rel.t
+  val label_string : t -> Rxml.Dom.t -> string
+  val insert : t -> parent:Rxml.Dom.t -> pos:int -> Rxml.Dom.t -> int
+  val delete : t -> Rxml.Dom.t -> int
+  val max_label_bits : t -> int
+  val total_label_bits : t -> int
+  val aux_memory_words : t -> int
+end
+
+type packed = (module S)
+
+let diff_count ~old_labels ~new_labels ~skip =
+  Hashtbl.fold
+    (fun serial old acc ->
+      if skip = Some serial then acc
+      else
+        match Hashtbl.find_opt new_labels serial with
+        | Some fresh when fresh = old -> acc
+        | Some _ -> acc + 1
+        | None -> acc (* node removed: not a relabel *))
+    old_labels 0

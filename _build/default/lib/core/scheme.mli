@@ -1,0 +1,59 @@
+(** A common interface over structural numbering schemes, so that the
+    update-robustness and query experiments (E2, E4) can run the paper's
+    scheme, the original UID and the related-work baselines side by side.
+
+    The contract mirrors what the paper compares: build labels for a
+    document, decide structural relations from labels, and perform node
+    insertion / cascading deletion while reporting how many {e existing}
+    nodes had their label changed by the operation. *)
+
+module type S = sig
+  val name : string
+
+  (** Whether the parent label is computable from a node's label alone
+      (the UID family's distinguishing property, Section 3.3). *)
+  val parent_derivable : bool
+
+  type t
+
+  val build : Rxml.Dom.t -> t
+  (** Label every node of the tree rooted at the argument. *)
+
+  val relation : t -> Rxml.Dom.t -> Rxml.Dom.t -> Rel.t
+  (** Structural relation decided from the two nodes' labels. *)
+
+  val label_string : t -> Rxml.Dom.t -> string
+  (** Printable label, for traces and the CLI. *)
+
+  val insert : t -> parent:Rxml.Dom.t -> pos:int -> Rxml.Dom.t -> int
+  (** Insert a fresh leaf, relabel per the scheme's rules, and return the
+      number of pre-existing nodes whose label changed. *)
+
+  val delete : t -> Rxml.Dom.t -> int
+  (** Cascading delete; returns the number of surviving nodes whose label
+      changed. *)
+
+  val max_label_bits : t -> int
+  (** Size of the widest label currently assigned. *)
+
+  val total_label_bits : t -> int
+  (** Sum of label sizes over all nodes — the storage footprint a
+      label-bearing index pays. *)
+
+  val aux_memory_words : t -> int
+  (** Main-memory side structures needed by the derivation routines (the
+      ruid K table; zero for schemes without global parameters). *)
+end
+
+type packed = (module S)
+
+(** {1 Helpers shared by implementations} *)
+
+val diff_count :
+  old_labels:(int, 'a) Hashtbl.t ->
+  new_labels:(int, 'a) Hashtbl.t ->
+  skip:int option ->
+  int
+(** Number of serials present in both tables whose label differs (serials
+    missing from [new_labels] were deleted, not relabeled); [skip] excludes
+    the serial of a freshly inserted node. *)

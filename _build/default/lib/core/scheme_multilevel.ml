@@ -1,0 +1,24 @@
+(* Multilevel ruid as a Scheme.S, backed by the fully recursive {!Mruid}
+   (no flat global integers, so it builds on every document shape).
+   Structural updates run at the document level, so update costs match
+   ruid2's area-confined behaviour; the multilevel form only bounds the
+   magnitude of the individual indices. *)
+
+module Dom = Rxml.Dom
+
+let name = "ruid-multi"
+let parent_derivable = true
+
+type t = Mruid.t
+
+let build root = Mruid.build ~max_area_size:16 root
+
+let relation t a b =
+  Mruid.relationship t (Mruid.id_of_node t a) (Mruid.id_of_node t b)
+
+let label_string t n = Mruid.id_to_string (Mruid.id_of_node t n)
+let insert t ~parent ~pos node = Mruid.insert_node t ~parent ~pos node
+let delete t node = Mruid.delete_subtree t node
+let max_label_bits t = Mruid.max_component_bits t
+let total_label_bits t = Mruid.total_label_bits t
+let aux_memory_words t = Mruid.aux_memory_words t

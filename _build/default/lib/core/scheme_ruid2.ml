@@ -1,0 +1,22 @@
+(* 2-level ruid as a Scheme.S. *)
+
+module Dom = Rxml.Dom
+
+let name = "ruid2"
+let parent_derivable = true
+
+type t = Ruid2.t
+
+let default_area_size = 64
+
+let build root = Ruid2.number ~max_area_size:default_area_size root
+
+let relation t a b =
+  Ruid2.relationship t (Ruid2.id_of_node t a) (Ruid2.id_of_node t b)
+
+let label_string t n = Ruid2.id_to_string (Ruid2.id_of_node t n)
+let insert t ~parent ~pos node = Ruid2.insert_node t ~parent ~pos node
+let delete t node = Ruid2.delete_subtree t node
+let max_label_bits t = 1 + (2 * Ruid2.max_local_bits t) (* two indices + flag *)
+let total_label_bits t = Ruid2.total_label_bits t
+let aux_memory_words t = Ruid2.aux_memory_words t

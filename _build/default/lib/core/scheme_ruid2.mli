@@ -1,0 +1,4 @@
+(** The paper's 2-level ruid packaged as a {!Scheme.S} (default partition
+    budget of 64 enumerated nodes per UID-local area). *)
+
+include Scheme.S with type t = Ruid2.t

@@ -1,0 +1,60 @@
+(* The original UID as a Scheme.S: identifiers over Bignat (they overflow
+   native ints by design), full re-enumeration on every structural change —
+   the behaviour Section 1 and Fig. 1 describe. *)
+
+module Dom = Rxml.Dom
+module U = Uid.Over_big
+module B = Bignum.Bignat
+
+let name = "uid"
+let parent_derivable = true
+
+type t = {
+  root : Dom.t;
+  mutable k : int;
+  mutable labels : (int, B.t) Hashtbl.t;
+}
+
+let relabel t =
+  let lb = U.label ~k:t.k t.root in
+  t.labels <- lb.U.id_of
+
+let build root =
+  let max_fanout = Dom.fold_preorder (fun acc n -> max acc (Dom.degree n)) 1 root in
+  let t = { root; k = max_fanout; labels = Hashtbl.create 16 } in
+  relabel t;
+  t
+
+let label t n = Hashtbl.find t.labels n.Dom.serial
+
+let relation t a b = U.relation ~k:t.k (label t a) (label t b)
+
+let label_string t n = B.to_string (label t n)
+
+let change ?skip t mutate =
+  let old_labels = t.labels in
+  mutate ();
+  relabel t;
+  Scheme.diff_count ~old_labels ~new_labels:t.labels ~skip
+
+let insert t ~parent ~pos node =
+  change ~skip:node.Dom.serial t (fun () ->
+      Dom.insert_child parent ~pos node;
+      (* Fan-out overflow forces a larger enumeration tree — and with it a
+         renumbering of the entire document. *)
+      if Dom.degree parent > t.k then t.k <- Dom.degree parent)
+
+let delete t node =
+  change t (fun () ->
+      match node.Dom.parent with
+      | None -> invalid_arg "Scheme_uid.delete: cannot delete the root"
+      | Some p -> Dom.remove_child p node)
+
+let max_label_bits t =
+  Hashtbl.fold (fun _ l acc -> max acc (B.bit_length l)) t.labels 0
+
+let total_label_bits t =
+  Hashtbl.fold (fun _ l acc -> acc + max 1 (B.bit_length l)) t.labels 0
+
+let aux_memory_words _ = 1 (* just k *)
+let k t = t.k

@@ -1,0 +1,8 @@
+(** The original UID technique packaged as a {!Scheme.S}: identifiers over
+    arbitrary-precision naturals, with the full-document renumbering
+    behaviour on structural updates that Section 1 and Fig. 1 describe. *)
+
+include Scheme.S
+
+val k : t -> int
+(** Current fan-out of the enumeration tree. *)

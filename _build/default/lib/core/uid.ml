@@ -1,0 +1,186 @@
+module Dom = Rxml.Dom
+module Bignat = Bignum.Bignat
+
+exception Overflow
+
+module type NUM = sig
+  type t
+
+  val one : t
+  val of_int : int -> t
+  val to_int_opt : t -> int option
+  val compare : t -> t -> int
+  val equal : t -> t -> bool
+  val add_int : t -> int -> t
+  val sub_int : t -> int -> t
+  val mul_int : t -> int -> t
+  val divmod_int : t -> int -> t * int
+  val pp : Format.formatter -> t -> unit
+  val to_string : t -> string
+end
+
+module Int_num : NUM with type t = int = struct
+  type t = int
+
+  let one = 1
+  let of_int n = n
+  let to_int_opt n = Some n
+  let compare = Stdlib.compare
+  let equal = Int.equal
+
+  let add_int a b =
+    let r = a + b in
+    if b >= 0 && r < a then raise Overflow;
+    r
+
+  let sub_int a b = a - b
+
+  let mul_int a b =
+    if a <> 0 && b <> 0 then begin
+      let r = a * b in
+      if r / a <> b then raise Overflow;
+      r
+    end
+    else 0
+
+  let divmod_int a b = (a / b, a mod b)
+  let pp = Format.pp_print_int
+  let to_string = string_of_int
+end
+
+module Big_num : NUM with type t = Bignat.t = struct
+  type t = Bignat.t
+
+  let one = Bignat.one
+  let of_int = Bignat.of_int
+  let to_int_opt = Bignat.to_int_opt
+  let compare = Bignat.compare
+  let equal = Bignat.equal
+  let add_int = Bignat.add_int
+  let sub_int = Bignat.sub_int
+  let mul_int = Bignat.mul_int
+  let divmod_int = Bignat.divmod_int
+  let pp = Bignat.pp
+  let to_string = Bignat.to_string
+end
+
+module Make (N : NUM) = struct
+  type id = N.t
+
+  let root = N.one
+  let is_root i = N.equal i root
+
+  let check_k k = if k < 1 then invalid_arg "Uid: k must be >= 1"
+
+  (* parent(i) = (i - 2) / k + 1, formula (1) of the paper. *)
+  let parent ~k i =
+    check_k k;
+    if is_root i then None
+    else begin
+      let q, _ = N.divmod_int (N.sub_int i 2) k in
+      Some (N.add_int q 1)
+    end
+
+  let child ~k i j =
+    check_k k;
+    if j < 0 || j >= k then invalid_arg "Uid.child: slot out of range";
+    N.add_int (N.mul_int (N.sub_int i 1) k) (2 + j)
+
+  let children_range ~k i =
+    (child ~k i 0, child ~k i (k - 1))
+
+  let child_rank ~k i =
+    check_k k;
+    if is_root i then invalid_arg "Uid.child_rank: root has no rank";
+    let _, r = N.divmod_int (N.sub_int i 2) k in
+    r
+
+  let level ~k i =
+    let rec go acc i =
+      match parent ~k i with None -> acc | Some p -> go (acc + 1) p
+    in
+    go 0 i
+
+  let ancestors ~k i =
+    let rec go acc i =
+      match parent ~k i with
+      | None -> List.rev acc
+      | Some p -> go (p :: acc) p
+    in
+    go [] i
+
+  (* Lift [i] up [steps] levels. *)
+  let rec lift ~k i steps =
+    if steps = 0 then i
+    else
+      match parent ~k i with
+      | None -> invalid_arg "Uid.lift: passed the root"
+      | Some p -> lift ~k p (steps - 1)
+
+  (* Within one level of the k-ary embedding, numeric order equals
+     left-to-right order, which for nodes with disjoint subtrees equals
+     document order; so the relation of two identifiers is decided by
+     lifting the deeper one to the level of the other and comparing. *)
+  let relation ~k a b =
+    let c = N.compare a b in
+    if c = 0 then Rel.Self
+    else begin
+      let la = level ~k a and lb = level ~k b in
+      if la = lb then (if c < 0 then Rel.Before else Rel.After)
+      else if la < lb then begin
+        let b' = lift ~k b (lb - la) in
+        if N.equal a b' then Rel.Ancestor
+        else if N.compare a b' < 0 then Rel.Before
+        else Rel.After
+      end
+      else begin
+        let a' = lift ~k a (la - lb) in
+        if N.equal a' b then Rel.Descendant
+        else if N.compare a' b < 0 then Rel.Before
+        else Rel.After
+      end
+    end
+
+  let is_ancestor ~k ~anc ~desc = relation ~k anc desc = Rel.Ancestor
+  let order ~k a b = Rel.to_order (relation ~k a b)
+
+  let max_id_at_depth ~k ~depth =
+    check_k k;
+    if depth < 0 then invalid_arg "Uid.max_id_at_depth: negative depth";
+    (* Number of nodes of the complete k-ary tree of that depth: the last
+       identifier.  Computed iteratively: n_{d+1} = n_d * k + 1. *)
+    let rec go d acc = if d = 0 then acc else go (d - 1) (N.add_int (N.mul_int acc k) 1) in
+    go depth N.one
+
+  type labeling = {
+    k : int;
+    root_node : Dom.t;
+    id_of : (int, id) Hashtbl.t;
+    node_of : (id, Dom.t) Hashtbl.t;
+  }
+
+  let label ?k root_node =
+    let max_fanout =
+      Dom.fold_preorder (fun acc n -> max acc (Dom.degree n)) 0 root_node
+    in
+    let k = match k with Some k -> k | None -> max 1 max_fanout in
+    check_k k;
+    if k < max_fanout then
+      invalid_arg
+        (Printf.sprintf "Uid.label: k = %d below maximal fan-out %d" k max_fanout);
+    let id_of = Hashtbl.create 256 in
+    let node_of = Hashtbl.create 256 in
+    let rec go i n =
+      Hashtbl.replace id_of n.Dom.serial i;
+      Hashtbl.replace node_of i n;
+      List.iteri (fun j c -> go (child ~k i j) c) n.Dom.children
+    in
+    go root root_node;
+    { k; root_node; id_of; node_of }
+
+  let id_of_node lb n = Hashtbl.find lb.id_of n.Dom.serial
+  let node_of_id lb i = Hashtbl.find_opt lb.node_of i
+end
+
+module Over_int = Make (Int_num)
+module Over_big = Make (Big_num)

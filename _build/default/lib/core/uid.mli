@@ -1,0 +1,105 @@
+(** The original UID numbering scheme (Lee, Yoo, Yoon & Berra), as recalled
+    in Section 1 of the paper.
+
+    The XML tree is embedded in a complete [k]-ary tree, [k] being the
+    maximal fan-out, and nodes — real and virtual — are numbered level by
+    level, left to right, starting from 1 at the root.  The key property is
+    formula (1): [parent(i) = (i - 2) / k + 1] (integer division), so the
+    parent identifier is computable from the child identifier alone, with no
+    access to the data.
+
+    All arithmetic is provided over an abstract numeric type: identifiers
+    grow as [k{^depth}], so the [int] instance ({!Int_num}) raises
+    {!Overflow} beyond 62 bits while the {!Bignat} instance ({!Big_num})
+    never overflows.  This pair is exactly the situation the paper describes
+    — "the value easily exceeds the maximal manageable integer value" and
+    needs "additional purpose-specific libraries". *)
+
+exception Overflow
+(** Raised by {!Int_num} arithmetic when an identifier exceeds the native
+    integer range. *)
+
+(** Numeric operations a UID identifier domain must provide. *)
+module type NUM = sig
+  type t
+
+  val one : t
+  val of_int : int -> t
+  val to_int_opt : t -> int option
+  val compare : t -> t -> int
+  val equal : t -> t -> bool
+
+  val add_int : t -> int -> t
+  (** May raise {!Overflow}. *)
+
+  val sub_int : t -> int -> t
+  val mul_int : t -> int -> t
+  (** May raise {!Overflow}. *)
+
+  val divmod_int : t -> int -> t * int
+  val pp : Format.formatter -> t -> unit
+  val to_string : t -> string
+end
+
+module Int_num : NUM with type t = int
+module Big_num : NUM with type t = Bignum.Bignat.t
+
+module Make (N : NUM) : sig
+  type id = N.t
+
+  val root : id
+  (** The identifier 1. *)
+
+  val parent : k:int -> id -> id option
+  (** Formula (1); [None] on the root.  Pure arithmetic. *)
+
+  val child : k:int -> id -> int -> id
+  (** [child ~k i j] is the identifier of the [j]-th (0-based) child slot of
+      node [i]: [(i - 1) * k + 2 + j].  @raise Invalid_argument unless
+      [0 <= j < k]. *)
+
+  val children_range : k:int -> id -> id * id
+  (** First and last child-slot identifiers. *)
+
+  val child_rank : k:int -> id -> int
+  (** 0-based position of a non-root node among its parent's [k] slots. *)
+
+  val level : k:int -> id -> int
+  (** Depth in edges below the root; O(depth) arithmetic. *)
+
+  val ancestors : k:int -> id -> id list
+  (** Strict ancestors, nearest first — the [rancestor] building block. *)
+
+  val relation : k:int -> id -> id -> Rel.t
+  (** Full structural relation decided from the two identifiers alone. *)
+
+  val is_ancestor : k:int -> anc:id -> desc:id -> bool
+  val order : k:int -> id -> id -> int
+
+  val max_id_at_depth : k:int -> depth:int -> id
+  (** Identifier of the last node of a complete [k]-ary tree of the given
+      depth — the magnitude the scheme must be able to represent. *)
+
+  (** {1 Labeling a DOM tree} *)
+
+  type labeling = {
+    k : int;
+    root_node : Rxml.Dom.t;
+    id_of : (int, id) Hashtbl.t;  (** node serial -> identifier *)
+    node_of : (id, Rxml.Dom.t) Hashtbl.t;
+  }
+
+  val label : ?k:int -> Rxml.Dom.t -> labeling
+  (** Assign identifiers to every node of the (sub)tree.  [k] defaults to
+      the maximal fan-out of the tree (minimum 1).
+      @raise Invalid_argument if [k] is smaller than some fan-out.
+      May raise {!Overflow} with {!Int_num}. *)
+
+  val id_of_node : labeling -> Rxml.Dom.t -> id
+  (** @raise Not_found if the node was not labeled. *)
+
+  val node_of_id : labeling -> id -> Rxml.Dom.t option
+end
+
+module Over_int : module type of Make (Int_num)
+module Over_big : module type of Make (Big_num)

@@ -1,0 +1,1 @@
+lib/join/structural_join.ml: Baselines Hashtbl List Ruid Rxml Stdlib

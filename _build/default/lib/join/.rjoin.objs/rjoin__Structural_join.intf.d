@@ -1,0 +1,1 @@
+lib/join/structural_join.mli: Baselines Ruid Rxml

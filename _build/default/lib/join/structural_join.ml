@@ -1,0 +1,117 @@
+module Dom = Rxml.Dom
+module R2 = Ruid.Ruid2
+module Rel = Ruid.Rel
+
+type pair = { anc : Dom.t; desc : Dom.t }
+
+(* Canonical result order: descendant document order, then ancestor from
+   the nearest upward (so equal multisets compare equal). *)
+let normalize r2 pairs =
+  let key p =
+    let da = R2.id_of_node r2 p.desc and aa = R2.id_of_node r2 p.anc in
+    (da, aa)
+  in
+  List.sort
+    (fun p q ->
+      let dp, ap = key p and dq, aq = key q in
+      let c = R2.doc_order r2 dp dq in
+      if c <> 0 then c else R2.doc_order r2 aq ap)
+    pairs
+
+let nested_loop r2 ~anc ~desc =
+  let out = ref [] in
+  List.iter
+    (fun a ->
+      let aid = R2.id_of_node r2 a in
+      List.iter
+        (fun d ->
+          if R2.relationship r2 aid (R2.id_of_node r2 d) = Rel.Ancestor then
+            out := { anc = a; desc = d } :: !out)
+        desc)
+    anc;
+  normalize r2 !out
+
+let ancestor_probe r2 ~anc ~desc =
+  let table = Hashtbl.create (List.length anc * 2) in
+  List.iter (fun a -> Hashtbl.replace table (R2.id_of_node r2 a) a) anc;
+  let out = ref [] in
+  List.iter
+    (fun d ->
+      List.iter
+        (fun aid ->
+          match Hashtbl.find_opt table aid with
+          | Some a -> out := { anc = a; desc = d } :: !out
+          | None -> ())
+        (R2.rancestors r2 (R2.id_of_node r2 d)))
+    desc;
+  normalize r2 !out
+
+let semijoin_descendants r2 ~anc ~desc =
+  let table = Hashtbl.create (List.length anc * 2) in
+  List.iter (fun a -> Hashtbl.replace table (R2.id_of_node r2 a) ()) anc;
+  List.filter
+    (fun d ->
+      List.exists
+        (fun aid -> Hashtbl.mem table aid)
+        (R2.rancestors r2 (R2.id_of_node r2 d)))
+    desc
+
+let parent_child r2 ~parent ~child =
+  let table = Hashtbl.create (List.length parent * 2) in
+  List.iter (fun p -> Hashtbl.replace table (R2.id_of_node r2 p) p) parent;
+  let out = ref [] in
+  List.iter
+    (fun c ->
+      match R2.rparent r2 (R2.id_of_node r2 c) with
+      | Some pid -> (
+        match Hashtbl.find_opt table pid with
+        | Some p -> out := { anc = p; desc = c } :: !out
+        | None -> ())
+      | None -> ())
+    child;
+  normalize r2 !out
+
+(* Stack-tree merge over interval labels (Al-Khalifa et al. style): both
+   inputs sorted by pre rank; the stack holds the current chain of open
+   ancestors. *)
+let stack_tree pp ~anc ~desc =
+  let pre n = (Baselines.Prepost.label_of pp n).Baselines.Prepost.pre in
+  let post n = (Baselines.Prepost.label_of pp n).Baselines.Prepost.post in
+  let anc = List.sort (fun a b -> Stdlib.compare (pre a) (pre b)) anc in
+  let desc = List.sort (fun a b -> Stdlib.compare (pre a) (pre b)) desc in
+  let out = ref [] in
+  (* The stack is the chain of already-seen a-nodes whose subtrees contain
+     the scan position; an entry contains node x iff its post rank exceeds
+     x's (pre order is guaranteed by the scan). *)
+  let stack = ref [] in
+  let rec go anc desc =
+    match (anc, desc) with
+    | _, [] -> ()
+    | [], d :: rest ->
+      (* Only the stack can contain ancestors of d. *)
+      let pd = post d in
+      stack := List.filter (fun a -> post a > pd) !stack;
+      List.iter (fun a -> out := { anc = a; desc = d } :: !out) !stack;
+      go [] rest
+    | a :: arest, d :: drest ->
+      if pre a < pre d then begin
+        (* Entering a: first close ancestors whose subtree ended. *)
+        stack := List.filter (fun x -> post x > post a) !stack;
+        stack := a :: !stack;
+        go arest desc
+      end
+      else begin
+        let pd = post d in
+        stack := List.filter (fun x -> post x > pd) !stack;
+        List.iter (fun x -> out := { anc = x; desc = d } :: !out) !stack;
+        go anc drest
+      end
+  in
+  go anc desc;
+  (* Normalize like the others, but without a Ruid2 context: order by
+     (desc pre, anc pre descending). *)
+  List.sort
+    (fun p q ->
+      let c = Stdlib.compare (pre p.desc) (pre q.desc) in
+      if c <> 0 then c else Stdlib.compare (pre q.anc) (pre p.anc))
+    !out

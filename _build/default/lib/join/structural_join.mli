@@ -1,0 +1,43 @@
+(** Structural (ancestor-descendant) joins over numbered element sets.
+
+    The paper's parent-derivation property feeds directly into the
+    structural-join literature it cites (Li-Moon, Zhang et al.) and
+    influenced: given two element lists A and D, find all pairs
+    [(a, d)] with [a] an ancestor of [d].  Three algorithms are provided:
+
+    - {!nested_loop}: one relation decision per pair — the baseline any
+      numbering scheme supports.
+    - {!ancestor_probe}: the UID-family algorithm.  For each [d], generate
+      its ancestor {e identifiers} by pure arithmetic ([rancestor]) and
+      probe a hash set of A's identifiers: O(|D| * depth), independent of
+      |A|, no order requirements.  This is exactly the "identifiers of the
+      ancestors of a node [are] generated quickly" use of Section 3.3.
+    - {!stack_tree}: the classic merge with a stack over interval
+      (pre/post) labels, O(|A| + |D| + output), requiring both inputs in
+      document order.
+
+    All three return the same pair multiset; result order is normalized to
+    (descendant document order, ancestor depth). *)
+
+type pair = { anc : Rxml.Dom.t; desc : Rxml.Dom.t }
+
+val nested_loop :
+  Ruid.Ruid2.t -> anc:Rxml.Dom.t list -> desc:Rxml.Dom.t list -> pair list
+
+val ancestor_probe :
+  Ruid.Ruid2.t -> anc:Rxml.Dom.t list -> desc:Rxml.Dom.t list -> pair list
+
+val stack_tree :
+  Baselines.Prepost.t -> anc:Rxml.Dom.t list -> desc:Rxml.Dom.t list -> pair list
+(** Inputs need not be pre-sorted; they are sorted by pre rank internally
+    (sorting cost is reported separately by the E9 bench). *)
+
+val semijoin_descendants :
+  Ruid.Ruid2.t -> anc:Rxml.Dom.t list -> desc:Rxml.Dom.t list -> Rxml.Dom.t list
+(** Descendants having at least one ancestor in [anc] — the node-set
+    semantics an XPath step needs — via {!ancestor_probe} with early exit. *)
+
+val parent_child :
+  Ruid.Ruid2.t -> parent:Rxml.Dom.t list -> child:Rxml.Dom.t list -> pair list
+(** The parent-child join: one [rparent] per candidate child, then a hash
+    probe — O(|child|). *)

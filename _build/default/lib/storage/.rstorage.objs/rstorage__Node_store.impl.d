@@ -1,0 +1,1 @@
+lib/storage/node_store.ml: Btree Buffer_pool Io_stats List Ruid Rxml

@@ -1,0 +1,1 @@
+lib/storage/partitioned.ml: Hashtbl List Printf Ruid Rxml Stdlib

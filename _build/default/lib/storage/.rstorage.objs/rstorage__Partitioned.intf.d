@@ -1,0 +1,1 @@
+lib/storage/partitioned.mli: Ruid Rxml

@@ -1,0 +1,322 @@
+type 'a leaf = {
+  mutable lkeys : int array;
+  mutable lvals : 'a array;
+  mutable lnext : 'a leaf option;
+}
+
+type 'a inner = {
+  mutable ikeys : int array;
+      (* ikeys.(i) separates children.(i) and children.(i+1): it is the
+         smallest key reachable under children.(i+1). *)
+  mutable children : 'a node array;
+}
+
+and 'a node = Leaf of 'a leaf | Internal of 'a inner
+
+type 'a t = {
+  mutable root : 'a node;
+  order : int;
+  mutable count : int;
+}
+
+let create ?(order = 32) () =
+  if order < 4 then invalid_arg "Btree.create: order < 4";
+  { root = Leaf { lkeys = [||]; lvals = [||]; lnext = None }; order; count = 0 }
+
+(* Index of the child to descend into for [key]. *)
+let child_index ikeys key =
+  let n = Array.length ikeys in
+  let rec go lo hi =
+    (* smallest i with key < ikeys.(i); descend into child i *)
+    if lo >= hi then lo
+    else begin
+      let mid = (lo + hi) / 2 in
+      if key < ikeys.(mid) then go lo mid else go (mid + 1) hi
+    end
+  in
+  go 0 n
+
+(* Position of [key] in a sorted array, or the insertion point. *)
+let search keys key =
+  let n = Array.length keys in
+  let rec go lo hi =
+    if lo >= hi then lo
+    else begin
+      let mid = (lo + hi) / 2 in
+      if keys.(mid) < key then go (mid + 1) hi else go lo mid
+    end
+  in
+  go 0 n
+
+let array_insert arr i x =
+  let n = Array.length arr in
+  Array.init (n + 1) (fun j ->
+      if j < i then arr.(j) else if j = i then x else arr.(j - 1))
+
+let array_remove arr i =
+  let n = Array.length arr in
+  Array.init (n - 1) (fun j -> if j < i then arr.(j) else arr.(j + 1))
+
+let rec insert_node t node key value =
+  match node with
+  | Leaf l ->
+    let i = search l.lkeys key in
+    if i < Array.length l.lkeys && l.lkeys.(i) = key then begin
+      l.lvals.(i) <- value;
+      None
+    end
+    else begin
+      l.lkeys <- array_insert l.lkeys i key;
+      l.lvals <- array_insert l.lvals i value;
+      t.count <- t.count + 1;
+      if Array.length l.lkeys <= t.order then None
+      else begin
+        (* Split the leaf in half; the new right leaf's first key is the
+           separator pushed up. *)
+        let n = Array.length l.lkeys in
+        let mid = n / 2 in
+        let right =
+          {
+            lkeys = Array.sub l.lkeys mid (n - mid);
+            lvals = Array.sub l.lvals mid (n - mid);
+            lnext = l.lnext;
+          }
+        in
+        l.lkeys <- Array.sub l.lkeys 0 mid;
+        l.lvals <- Array.sub l.lvals 0 mid;
+        l.lnext <- Some right;
+        Some (right.lkeys.(0), Leaf right)
+      end
+    end
+  | Internal inode -> (
+    let ci = child_index inode.ikeys key in
+    match insert_node t inode.children.(ci) key value with
+    | None -> None
+    | Some (sep, right) ->
+      inode.ikeys <- array_insert inode.ikeys ci sep;
+      inode.children <- array_insert inode.children (ci + 1) right;
+      if Array.length inode.children <= t.order then None
+      else begin
+        let n = Array.length inode.ikeys in
+        let mid = n / 2 in
+        let push_up = inode.ikeys.(mid) in
+        let right_keys = Array.sub inode.ikeys (mid + 1) (n - mid - 1) in
+        let right_children =
+          Array.sub inode.children (mid + 1) (Array.length inode.children - mid - 1)
+        in
+        inode.ikeys <- Array.sub inode.ikeys 0 mid;
+        inode.children <- Array.sub inode.children 0 (mid + 1);
+        Some (push_up, Internal { ikeys = right_keys; children = right_children })
+      end)
+
+let insert t key value =
+  match insert_node t t.root key value with
+  | None -> ()
+  | Some (sep, right) ->
+    t.root <- Internal { ikeys = [| sep |]; children = [| t.root; right |] }
+
+let rec find_leaf node key =
+  match node with
+  | Leaf l -> l
+  | Internal inode -> find_leaf inode.children.(child_index inode.ikeys key) key
+
+let find t key =
+  let l = find_leaf t.root key in
+  let i = search l.lkeys key in
+  if i < Array.length l.lkeys && l.lkeys.(i) = key then Some l.lvals.(i)
+  else None
+
+(* Deletion with rebalancing.  Minimum occupancy for non-root nodes:
+   ceil(order/2) keys in a leaf, ceil(order/2) children in an internal
+   node — exactly what splits produce, so the invariants are stable. *)
+let min_occupancy t = (t.order + 1) / 2
+
+let node_size = function
+  | Leaf l -> Array.length l.lkeys
+  | Internal i -> Array.length i.children
+
+(* Re-join child [ci] of [inode] with a sibling after it dropped below the
+   minimum: borrow one entry if a sibling has spare capacity, otherwise
+   merge with a sibling and drop one separator. *)
+let fix_underflow t (inode : _ inner) ci =
+  let child = inode.children.(ci) in
+  let nsib = Array.length inode.children in
+  let borrow_from_left li =
+    match (inode.children.(li), child) with
+    | Leaf left, Leaf c ->
+      let n = Array.length left.lkeys in
+      c.lkeys <- array_insert c.lkeys 0 left.lkeys.(n - 1);
+      c.lvals <- array_insert c.lvals 0 left.lvals.(n - 1);
+      left.lkeys <- array_remove left.lkeys (n - 1);
+      left.lvals <- array_remove left.lvals (n - 1);
+      inode.ikeys.(li) <- c.lkeys.(0)
+    | Internal left, Internal c ->
+      let nk = Array.length left.ikeys in
+      let moved_child = left.children.(Array.length left.children - 1) in
+      c.ikeys <- array_insert c.ikeys 0 inode.ikeys.(li);
+      c.children <- array_insert c.children 0 moved_child;
+      inode.ikeys.(li) <- left.ikeys.(nk - 1);
+      left.ikeys <- array_remove left.ikeys (nk - 1);
+      left.children <- array_remove left.children (Array.length left.children - 1)
+    | _ -> assert false
+  and borrow_from_right ri =
+    match (child, inode.children.(ri)) with
+    | Leaf c, Leaf right ->
+      c.lkeys <- array_insert c.lkeys (Array.length c.lkeys) right.lkeys.(0);
+      c.lvals <- array_insert c.lvals (Array.length c.lvals) right.lvals.(0);
+      right.lkeys <- array_remove right.lkeys 0;
+      right.lvals <- array_remove right.lvals 0;
+      inode.ikeys.(ri - 1) <- right.lkeys.(0)
+    | Internal c, Internal right ->
+      c.ikeys <- array_insert c.ikeys (Array.length c.ikeys) inode.ikeys.(ri - 1);
+      c.children <-
+        array_insert c.children (Array.length c.children) right.children.(0);
+      inode.ikeys.(ri - 1) <- right.ikeys.(0);
+      right.ikeys <- array_remove right.ikeys 0;
+      right.children <- array_remove right.children 0
+    | _ -> assert false
+  and merge li ri =
+    (* Merge children li and ri (adjacent, li < ri) into li; drop the
+       separator ikeys.(li). *)
+    (match (inode.children.(li), inode.children.(ri)) with
+    | Leaf left, Leaf right ->
+      left.lkeys <- Array.append left.lkeys right.lkeys;
+      left.lvals <- Array.append left.lvals right.lvals;
+      left.lnext <- right.lnext
+    | Internal left, Internal right ->
+      left.ikeys <-
+        Array.concat [ left.ikeys; [| inode.ikeys.(li) |]; right.ikeys ];
+      left.children <- Array.append left.children right.children
+    | _ -> assert false);
+    inode.ikeys <- array_remove inode.ikeys li;
+    inode.children <- array_remove inode.children ri
+  in
+  let min = min_occupancy t in
+  if ci > 0 && node_size inode.children.(ci - 1) > min then
+    borrow_from_left (ci - 1)
+  else if ci < nsib - 1 && node_size inode.children.(ci + 1) > min then
+    borrow_from_right (ci + 1)
+  else if ci > 0 then merge (ci - 1) ci
+  else merge ci (ci + 1)
+
+let delete t key =
+  let rec del node =
+    match node with
+    | Leaf l ->
+      let i = search l.lkeys key in
+      if i < Array.length l.lkeys && l.lkeys.(i) = key then begin
+        l.lkeys <- array_remove l.lkeys i;
+        l.lvals <- array_remove l.lvals i;
+        t.count <- t.count - 1;
+        true
+      end
+      else false
+    | Internal inode ->
+      let ci = child_index inode.ikeys key in
+      let deleted = del inode.children.(ci) in
+      if deleted && node_size inode.children.(ci) < min_occupancy t then
+        fix_underflow t inode ci;
+      deleted
+  in
+  let deleted = del t.root in
+  (* Collapse a root left with a single child. *)
+  (match t.root with
+  | Internal inode when Array.length inode.children = 1 ->
+    t.root <- inode.children.(0)
+  | Internal _ | Leaf _ -> ());
+  deleted
+
+let range t ~lo ~hi =
+  let acc = ref [] in
+  let rec walk = function
+    | None -> ()
+    | Some l ->
+      let n = Array.length l.lkeys in
+      let stop = ref false in
+      for i = 0 to n - 1 do
+        let k = l.lkeys.(i) in
+        if k > hi then stop := true
+        else if k >= lo then acc := (k, l.lvals.(i)) :: !acc
+      done;
+      if not !stop then walk l.lnext
+  in
+  walk (Some (find_leaf t.root lo));
+  List.rev !acc
+
+let iter f t =
+  let rec leftmost = function
+    | Leaf l -> l
+    | Internal inode -> leftmost inode.children.(0)
+  in
+  let rec walk = function
+    | None -> ()
+    | Some l ->
+      Array.iteri (fun i k -> f k l.lvals.(i)) l.lkeys;
+      walk l.lnext
+  in
+  walk (Some (leftmost t.root))
+
+let length t = t.count
+
+let height t =
+  let rec go = function
+    | Leaf _ -> 1
+    | Internal inode -> 1 + go inode.children.(0)
+  in
+  go t.root
+
+let check_invariants t =
+  let fail fmt = Format.kasprintf failwith fmt in
+  (* Occupancy: every non-root node holds at least ceil(order/2) entries
+     (keys in a leaf, children in an internal node). *)
+  let min = min_occupancy t in
+  let rec occupancy ~is_root = function
+    | Leaf l ->
+      if (not is_root) && Array.length l.lkeys < min then
+        fail "leaf under-occupied: %d < %d" (Array.length l.lkeys) min
+    | Internal inode ->
+      let n = Array.length inode.children in
+      if (not is_root) && n < min then
+        fail "internal node under-occupied: %d < %d" n min;
+      if is_root && n < 2 then fail "internal root with fewer than 2 children";
+      Array.iter (occupancy ~is_root:false) inode.children
+  in
+  occupancy ~is_root:true t.root;
+  let rec check lo hi = function
+    | Leaf l ->
+      Array.iteri
+        (fun i k ->
+          if i > 0 && l.lkeys.(i - 1) >= k then fail "leaf keys out of order";
+          (match lo with Some b when k < b -> fail "leaf key below bound" | _ -> ());
+          (match hi with Some b when k >= b -> fail "leaf key above bound" | _ -> ()))
+        l.lkeys
+    | Internal inode ->
+      let n = Array.length inode.ikeys in
+      if Array.length inode.children <> n + 1 then
+        fail "internal node arity mismatch";
+      Array.iteri
+        (fun i k -> if i > 0 && inode.ikeys.(i - 1) >= k then fail "separators out of order")
+        inode.ikeys;
+      Array.iteri
+        (fun i c ->
+          let lo' = if i = 0 then lo else Some inode.ikeys.(i - 1) in
+          let hi' = if i = n then hi else Some inode.ikeys.(i) in
+          check lo' hi' c)
+        inode.children
+  in
+  check None None t.root;
+  (* Leaf chain covers exactly [count] entries in sorted order. *)
+  let seen = ref 0 in
+  let last = ref min_int in
+  iter
+    (fun k _ ->
+      if k < !last then fail "leaf chain out of order";
+      last := k;
+      incr seen)
+    t;
+  if !seen <> t.count then fail "count mismatch: %d vs %d" !seen t.count
+
+let pack_key ~global ~local =
+  if global < 0 || local < 0 then invalid_arg "Btree.pack_key: negative";
+  if local > 0x7FFFFFFF then invalid_arg "Btree.pack_key: local too large";
+  (global lsl 31) lor local

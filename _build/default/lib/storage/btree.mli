@@ -1,0 +1,39 @@
+(** An in-memory B+tree from integer keys to arbitrary values.
+
+    Plays the role of the RDBMS index in the paper's setup: data items are
+    "sorted first by the global index, and then by local index"
+    (Section 2.1), which we realize by indexing the packed
+    [(global << 31) | local] key.  Leaves are chained for range scans;
+    deletion rebalances (borrow from a sibling, else merge and collapse),
+    so non-root nodes always hold at least ceil(order/2) entries. *)
+
+type 'a t
+
+val create : ?order:int -> unit -> 'a t
+(** [order] is the maximal number of keys per node (default 32, minimum 4). *)
+
+val insert : 'a t -> int -> 'a -> unit
+(** Inserts or replaces. *)
+
+val find : 'a t -> int -> 'a option
+
+val delete : 'a t -> int -> bool
+(** Removes the key, rebalancing on underflow; [false] if absent. *)
+
+val range : 'a t -> lo:int -> hi:int -> (int * 'a) list
+(** All pairs with [lo <= key <= hi] in increasing key order. *)
+
+val iter : (int -> 'a -> unit) -> 'a t -> unit
+(** In increasing key order. *)
+
+val length : 'a t -> int
+val height : 'a t -> int
+
+val check_invariants : 'a t -> unit
+(** Key ordering, separator correctness, leaf chaining, minimum occupancy.
+    @raise Failure on violation. *)
+
+val pack_key : global:int -> local:int -> int
+(** The composite (global, local) key used throughout the storage layer.
+    @raise Invalid_argument if either component is negative or the local
+    index exceeds 2{^31} - 1. *)

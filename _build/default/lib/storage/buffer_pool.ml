@@ -1,0 +1,72 @@
+(* Doubly-linked LRU list with a hashtable from page id to list cell. *)
+
+type cell = {
+  page : int;
+  mutable prev : cell option;
+  mutable next : cell option;
+}
+
+type t = {
+  capacity : int;
+  stats : Io_stats.t;
+  table : (int, cell) Hashtbl.t;
+  mutable head : cell option;  (* most recently used *)
+  mutable tail : cell option;  (* least recently used *)
+  mutable size : int;
+}
+
+let create ~capacity ~stats =
+  if capacity < 1 then invalid_arg "Buffer_pool.create: capacity < 1";
+  { capacity; stats; table = Hashtbl.create (capacity * 2);
+    head = None; tail = None; size = 0 }
+
+let unlink t cell =
+  (match cell.prev with
+  | Some p -> p.next <- cell.next
+  | None -> t.head <- cell.next);
+  (match cell.next with
+  | Some n -> n.prev <- cell.prev
+  | None -> t.tail <- cell.prev);
+  cell.prev <- None;
+  cell.next <- None
+
+let push_front t cell =
+  cell.next <- t.head;
+  cell.prev <- None;
+  (match t.head with Some h -> h.prev <- Some cell | None -> t.tail <- Some cell);
+  t.head <- Some cell
+
+let evict_lru t =
+  match t.tail with
+  | None -> ()
+  | Some lru ->
+    unlink t lru;
+    Hashtbl.remove t.table lru.page;
+    t.size <- t.size - 1
+
+let touch t page =
+  match Hashtbl.find_opt t.table page with
+  | Some cell ->
+    t.stats.Io_stats.hits <- t.stats.Io_stats.hits + 1;
+    unlink t cell;
+    push_front t cell
+  | None ->
+    t.stats.Io_stats.page_reads <- t.stats.Io_stats.page_reads + 1;
+    if t.size >= t.capacity then evict_lru t;
+    let cell = { page; prev = None; next = None } in
+    Hashtbl.replace t.table page cell;
+    push_front t cell;
+    t.size <- t.size + 1
+
+let touch_write t page =
+  touch t page;
+  t.stats.Io_stats.page_writes <- t.stats.Io_stats.page_writes + 1
+
+let resident t page = Hashtbl.mem t.table page
+let capacity t = t.capacity
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.head <- None;
+  t.tail <- None;
+  t.size <- 0

@@ -1,0 +1,21 @@
+(** Fixed-capacity LRU buffer pool over page identifiers.
+
+    Models the memory/disk boundary: touching a resident page is a hit,
+    touching an evicted or cold page is a simulated disk read.  The RDBMS
+    the paper ran against has exactly this behaviour underneath. *)
+
+type t
+
+val create : capacity:int -> stats:Io_stats.t -> t
+(** @raise Invalid_argument if [capacity < 1]. *)
+
+val touch : t -> int -> unit
+(** Access a page: records a hit or a read-miss (with eviction) in the
+    shared {!Io_stats}. *)
+
+val touch_write : t -> int -> unit
+(** Like {!touch} but also counts a page write. *)
+
+val resident : t -> int -> bool
+val capacity : t -> int
+val clear : t -> unit

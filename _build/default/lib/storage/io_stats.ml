@@ -1,0 +1,21 @@
+type t = {
+  mutable page_reads : int;
+  mutable page_writes : int;
+  mutable hits : int;
+}
+
+let create () = { page_reads = 0; page_writes = 0; hits = 0 }
+
+let reset t =
+  t.page_reads <- 0;
+  t.page_writes <- 0;
+  t.hits <- 0
+
+let add into from =
+  into.page_reads <- into.page_reads + from.page_reads;
+  into.page_writes <- into.page_writes + from.page_writes;
+  into.hits <- into.hits + from.hits
+
+let pp ppf t =
+  Format.fprintf ppf "reads=%d writes=%d hits=%d" t.page_reads t.page_writes
+    t.hits

@@ -1,0 +1,16 @@
+(** Disk-access accounting for the simulated storage layer.
+
+    The paper's performance claims (Lemma 1, Section 3.3) are about which
+    operations require {e no} I/O once kappa and K are memory-resident;
+    these counters are the measurement instrument. *)
+
+type t = {
+  mutable page_reads : int;  (** buffer-pool misses: simulated disk reads *)
+  mutable page_writes : int;
+  mutable hits : int;  (** buffer-pool hits: served from memory *)
+}
+
+val create : unit -> t
+val reset : t -> unit
+val add : t -> t -> unit
+val pp : Format.formatter -> t -> unit

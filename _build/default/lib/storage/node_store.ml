@@ -1,0 +1,98 @@
+module Dom = Rxml.Dom
+module R2 = Ruid.Ruid2
+module Rel = Ruid.Rel
+
+type record = {
+  id : R2.id;
+  tag : string;
+  parent_id : R2.id option;
+  serial : int;
+}
+
+type t = {
+  r2 : R2.t;
+  stats : Io_stats.t;
+  pool : Buffer_pool.t;
+  index : (int * record) Btree.t;  (* identifier key -> (page, record) *)
+  pages : int;
+  records : int;
+}
+
+(* A root identifier (g, l, true) and a member identifier (g, l, false) can
+   denote different nodes, so the root flag is part of the key; ordering by
+   (global, local) is preserved, as Section 2.1 prescribes for storage. *)
+let key_of_id (i : R2.id) =
+  (i.R2.global lsl 32) lor (i.R2.local lsl 1) lor (if i.R2.is_root then 1 else 0)
+
+let create ?(records_per_page = 32) ?(cache_pages = 8) r2 =
+  if records_per_page < 1 then invalid_arg "Node_store: records_per_page < 1";
+  let stats = Io_stats.create () in
+  let pool = Buffer_pool.create ~capacity:cache_pages ~stats in
+  let index = Btree.create ~order:32 () in
+  let nodes = R2.all_nodes r2 in
+  List.iteri
+    (fun i n ->
+      let id = R2.id_of_node r2 n in
+      let parent_id = R2.rparent r2 id in
+      let record = { id; tag = Dom.tag n; parent_id; serial = n.Dom.serial } in
+      Btree.insert index (key_of_id id) (i / records_per_page, record))
+    nodes;
+  {
+    r2;
+    stats;
+    pool;
+    index;
+    pages = ((List.length nodes + records_per_page - 1) / records_per_page);
+    records = List.length nodes;
+  }
+
+let stats t = t.stats
+let reset_stats t = Io_stats.reset t.stats
+let clear_cache t = Buffer_pool.clear t.pool
+let page_count t = t.pages
+let record_count t = t.records
+let index_height t = Btree.height t.index
+
+let fetch t id =
+  match Btree.find t.index (key_of_id id) with
+  | None -> None
+  | Some (page, record) ->
+    Buffer_pool.touch t.pool page;
+    Some record
+
+let fetch_by_node t n = fetch t (R2.id_of_node t.r2 n)
+
+let ancestor_ids_arithmetic t id = R2.rancestors t.r2 id
+
+let ancestor_ids_pointer_chase t id =
+  let rec go acc id =
+    match fetch t id with
+    | None -> List.rev acc
+    | Some r -> (
+      match r.parent_id with
+      | None -> List.rev acc
+      | Some p -> go (p :: acc) p)
+  in
+  go [] id
+
+let is_ancestor_arithmetic t ~anc ~desc =
+  Rel.equal (R2.relationship t.r2 anc desc) Rel.Ancestor
+
+let is_ancestor_pointer_chase t ~anc ~desc =
+  let rec go id =
+    match fetch t id with
+    | None -> false
+    | Some r -> (
+      match r.parent_id with
+      | None -> false
+      | Some p -> R2.id_equal p anc || go p)
+  in
+  go desc
+
+let fetch_subtree t id =
+  let rec go id =
+    match fetch t id with
+    | None -> []
+    | Some r -> r :: List.concat_map go (R2.possible_children_ids t.r2 id)
+  in
+  go id

@@ -1,0 +1,55 @@
+(** A paged store of node records, indexed by ruid identifier through a
+    B+tree, with all accesses metered through an LRU buffer pool.
+
+    This substitutes for the RDBMS of the paper's experiments: records are
+    laid out in document order (sorted by global then local index, as
+    Section 2.1 prescribes), and every record fetch touches its page.  The
+    point of experiment E5 is the contrast between operations that can be
+    answered from identifiers alone (zero reads once kappa and K are
+    resident) and operations that must chase records through the pool. *)
+
+type record = {
+  id : Ruid.Ruid2.id;
+  tag : string;
+  parent_id : Ruid.Ruid2.id option;  (** stored parent pointer *)
+  serial : int;  (** DOM serial, for cross-checking *)
+}
+
+type t
+
+val create :
+  ?records_per_page:int -> ?cache_pages:int -> Ruid.Ruid2.t -> t
+(** Lay out every node of the numbered document (defaults: 32 records per
+    page, 8 cached pages). *)
+
+val stats : t -> Io_stats.t
+val reset_stats : t -> unit
+val clear_cache : t -> unit
+val page_count : t -> int
+val record_count : t -> int
+val index_height : t -> int
+
+val fetch : t -> Ruid.Ruid2.id -> record option
+(** Look up a record by identifier: walks the B+tree (memory-resident, as
+    an RDBMS index largely is) and touches the record's page. *)
+
+val fetch_by_node : t -> Rxml.Dom.t -> record option
+
+(** {1 The two ancestor-listing strategies of experiment E5} *)
+
+val ancestor_ids_arithmetic : t -> Ruid.Ruid2.id -> Ruid.Ruid2.id list
+(** [rancestor]: the full ancestor identifier list computed from kappa and
+    K only — no page is touched. *)
+
+val ancestor_ids_pointer_chase : t -> Ruid.Ruid2.id -> Ruid.Ruid2.id list
+(** The same list obtained the way a store without derivable parents must:
+    fetch the record, read its parent pointer, fetch again — one record
+    access per ancestor. *)
+
+val is_ancestor_arithmetic : t -> anc:Ruid.Ruid2.id -> desc:Ruid.Ruid2.id -> bool
+val is_ancestor_pointer_chase : t -> anc:Ruid.Ruid2.id -> desc:Ruid.Ruid2.id -> bool
+
+val fetch_subtree : t -> Ruid.Ruid2.id -> record list
+(** Range-scan the B+tree for the contiguous (global, local) block of a
+    subtree's own area and recurse into descendant areas — the
+    "reconstruction of a portion of an XML document" of Section 3.3. *)

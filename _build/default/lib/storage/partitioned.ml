@@ -1,0 +1,91 @@
+module Dom = Rxml.Dom
+module R2 = Ruid.Ruid2
+module Rel = Ruid.Rel
+
+type t = {
+  r2 : R2.t;
+  (* (tag, area global) -> rows in document order *)
+  tables : (string * int, Dom.t list ref) Hashtbl.t;
+  rows : int;
+}
+
+let table_name ~tag ~global = Printf.sprintf "%s.%d" tag global
+
+(* The area in which a node is enumerated: the global component of its
+   position (an area root belongs to the upper area's tables, matching the
+   enumeration that Section 2.1 sorts by). *)
+let pos_global r2 n =
+  let i = R2.id_of_node r2 n in
+  if not i.R2.is_root then i.R2.global
+  else
+    (* An area root is enumerated in the upper area, which is also its
+       parent's area whatever the parent's own identifier form. *)
+    match R2.rparent r2 i with Some p -> p.R2.global | None -> 1
+
+let create r2 =
+  let tables = Hashtbl.create 256 in
+  let rows = ref 0 in
+  List.iter
+    (fun n ->
+      if Dom.is_element n then begin
+        incr rows;
+        let key = (Dom.tag n, pos_global r2 n) in
+        match Hashtbl.find_opt tables key with
+        | Some l -> l := n :: !l
+        | None -> Hashtbl.replace tables key (ref [ n ])
+      end)
+    (List.rev (R2.all_nodes r2));
+  { r2; tables; rows = !rows }
+
+let table_count t = Hashtbl.length t.tables
+let row_count t = t.rows
+
+let select t ~tag ~global =
+  match Hashtbl.find_opt t.tables (tag, global) with
+  | Some l -> !l
+  | None -> []
+
+let tables_for_tag t tag =
+  Hashtbl.fold
+    (fun (tg, _) _ acc -> if tg = tag then acc + 1 else acc)
+    t.tables 0
+
+let descendant_query t ~context ~tag =
+  (* An area can hold descendants of the context node iff it is the
+     context's own area or its root lies below the context — decided by
+     identifier arithmetic only (Lemmas 1-3). *)
+  (* For a non-root context this is its enumeration area; for an area root
+     it is its own area — in both cases, the one area whose table may hold
+     descendants not covered by a descendant area root. *)
+  let ctx_area = context.R2.global in
+  let consult g =
+    if g = ctx_area then true
+    else
+      match R2.area_root_node t.r2 g with
+      | None -> false
+      | Some root_node ->
+        (match R2.relationship t.r2 (R2.id_of_node t.r2 root_node) context with
+        | Rel.Descendant | Rel.Self -> true
+        | Rel.Ancestor | Rel.Before | Rel.After -> false)
+  in
+  let opened = ref [] in
+  let hits = ref [] in
+  Hashtbl.iter
+    (fun (tg, g) rows ->
+      if tg = tag && consult g then begin
+        opened := table_name ~tag ~global:g :: !opened;
+        List.iter
+          (fun n ->
+            if
+              R2.relationship t.r2 context (R2.id_of_node t.r2 n)
+              = Rel.Ancestor
+            then hits := n :: !hits)
+          !rows
+      end)
+    t.tables;
+  let hits =
+    List.sort
+      (fun a b -> R2.doc_order t.r2 (R2.id_of_node t.r2 a) (R2.id_of_node t.r2 b))
+      !hits
+  in
+  (List.sort Stdlib.compare !opened, hits)

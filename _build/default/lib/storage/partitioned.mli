@@ -1,0 +1,36 @@
+(** Partitioned table naming (Section 4, "Database file/table selection").
+
+    "One solution is to create the name of data files or tables using two
+    parts: the first part is extracted from the text value such as the
+    element or attribute names.  The second part is the common global index
+    of ruid of items."
+
+    This module simulates that layout: one table per (element name, global
+    index) pair holding the nodes of that tag enumerated in that UID-local
+    area.  A structural query — all [tag] descendants of a context node —
+    then needs to open only the tables whose area can lie below the
+    context, a decision made from identifiers alone. *)
+
+type t
+
+val create : Ruid.Ruid2.t -> t
+
+val table_name : tag:string -> global:int -> string
+(** The two-part name, e.g. ["item.27"]. *)
+
+val table_count : t -> int
+val row_count : t -> int
+
+val select : t -> tag:string -> global:int -> Rxml.Dom.t list
+(** Rows of one table (document order). *)
+
+val descendant_query :
+  t -> context:Ruid.Ruid2.id -> tag:string -> string list * Rxml.Dom.t list
+(** All [tag] descendants of the context node: returns the names of the
+    tables that had to be opened (chosen by frame arithmetic) and the
+    matching nodes.  Correctness is checked against the axes in tests; the
+    point is the table count, reported by the E5 bench. *)
+
+val tables_for_tag : t -> string -> int
+(** How many tables exist for a tag — the denominator for the "fraction of
+    tables opened" measurement. *)

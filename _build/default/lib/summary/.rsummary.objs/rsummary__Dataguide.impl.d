@@ -1,0 +1,1 @@
+lib/summary/dataguide.ml: Format Hashtbl List Rxml

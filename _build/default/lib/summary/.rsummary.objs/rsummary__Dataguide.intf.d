@@ -1,0 +1,1 @@
+lib/summary/dataguide.mli: Format Rxml

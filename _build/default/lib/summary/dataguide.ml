@@ -1,0 +1,104 @@
+module Dom = Rxml.Dom
+
+type node = {
+  label : string;
+  mutable targets : Dom.t list;  (* reverse document order while building *)
+  children : (string, node) Hashtbl.t;
+  mutable child_order : string list;  (* first-occurrence order, reversed *)
+}
+
+type t = { root : node; doc_nodes : int }
+
+let make_node label =
+  { label; targets = []; children = Hashtbl.create 4; child_order = [] }
+
+let build doc_root =
+  let root = make_node (Dom.tag doc_root) in
+  let count = ref 0 in
+  let rec go guide n =
+    incr count;
+    guide.targets <- n :: guide.targets;
+    List.iter
+      (fun c ->
+        if Dom.is_element c then begin
+          let label = Dom.tag c in
+          let child =
+            match Hashtbl.find_opt guide.children label with
+            | Some g -> g
+            | None ->
+              let g = make_node label in
+              Hashtbl.replace guide.children label g;
+              guide.child_order <- label :: guide.child_order;
+              g
+          in
+          go child c
+        end)
+      n.Dom.children
+  in
+  if Dom.is_element doc_root then go root doc_root
+  else
+    (* A document node: summarize its root element. *)
+    List.iter
+      (fun c -> if Dom.is_element c then go root c)
+      doc_root.Dom.children;
+  { root; doc_nodes = !count }
+
+let document_nodes t = t.doc_nodes
+
+let rec count_guide n =
+  Hashtbl.fold (fun _ c acc -> acc + count_guide c) n.children 1
+
+let guide_nodes t = count_guide t.root
+
+let find t path =
+  match path with
+  | [] -> None
+  | first :: rest ->
+    if first <> t.root.label then None
+    else begin
+      let rec go guide = function
+        | [] -> Some guide
+        | l :: rest -> (
+          match Hashtbl.find_opt guide.children l with
+          | Some c -> go c rest
+          | None -> None)
+      in
+      go t.root rest
+    end
+
+let targets t path =
+  match find t path with
+  | Some g -> List.rev g.targets
+  | None -> []
+
+let mem t path = find t path <> None
+
+let child_labels t path =
+  match find t path with
+  | Some g -> List.rev g.child_order
+  | None -> []
+
+let paths t =
+  let acc = ref [] in
+  let rec go prefix n =
+    let path = List.rev (n.label :: prefix) in
+    acc := path :: !acc;
+    List.iter
+      (fun l -> go (n.label :: prefix) (Hashtbl.find n.children l))
+      (List.rev n.child_order)
+  in
+  go [] t.root;
+  List.rev !acc
+
+let answer_child_path t path = Some (targets t path)
+
+let pp ppf t =
+  let rec go indent n =
+    Format.fprintf ppf "%s%s (%d)@," indent n.label (List.length n.targets);
+    List.iter
+      (fun l -> go (indent ^ "  ") (Hashtbl.find n.children l))
+      (List.rev n.child_order)
+  in
+  Format.fprintf ppf "@[<v>";
+  go "" t.root;
+  Format.fprintf ppf "@]"

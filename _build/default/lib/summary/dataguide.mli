@@ -1,0 +1,42 @@
+(** DataGuide structural summaries (Goldman & Widom, cited as the paper's
+    Related Work on structural summaries).
+
+    For tree-shaped data the strong DataGuide is the label-path trie: one
+    guide node per distinct root label path, annotated with the target set
+    of document nodes reachable by that path.  It serves as a path index —
+    a child-only location path is answered by one trie walk — and as the
+    "guide by which users can perform meaningful and valid queries"
+    (Section 6). *)
+
+type t
+
+val build : Rxml.Dom.t -> t
+(** Summarize the element tree rooted at the argument. *)
+
+val guide_nodes : t -> int
+(** Number of distinct label paths — the summary's size. *)
+
+val document_nodes : t -> int
+
+val paths : t -> string list list
+(** All label paths in document order of first occurrence, root path
+    first. *)
+
+val targets : t -> string list -> Rxml.Dom.t list
+(** Document nodes reachable by the given label path (document order);
+    empty if the path does not occur. *)
+
+val mem : t -> string list -> bool
+
+val child_labels : t -> string list -> string list
+(** Labels observed immediately below a path — what a query assistant
+    offers for completion. *)
+
+val answer_child_path : t -> string list -> Rxml.Dom.t list option
+(** Answer an absolute child-only path [/l1/l2/...] from the summary alone:
+    [Some targets] when the first label matches the root, [None] never (an
+    absent path yields [Some []]).  Verified against the XPath evaluator in
+    tests. *)
+
+val pp : Format.formatter -> t -> unit
+(** The trie with target-set cardinalities. *)

@@ -1,0 +1,1 @@
+lib/workload/dblp.ml: Printf Rng Rxml

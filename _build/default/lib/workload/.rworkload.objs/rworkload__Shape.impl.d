@@ -1,0 +1,1 @@
+lib/workload/shape.ml: Array List Queue Rng Rxml

@@ -1,0 +1,1 @@
+lib/workload/shape.mli: Rng Rxml

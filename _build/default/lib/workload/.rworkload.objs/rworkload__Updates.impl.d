@@ -1,0 +1,1 @@
+lib/workload/updates.ml: Float Format List Rng Rxml

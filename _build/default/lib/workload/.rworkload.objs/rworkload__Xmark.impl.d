@@ -1,0 +1,1 @@
+lib/workload/xmark.ml: List Printf Rng Rxml String

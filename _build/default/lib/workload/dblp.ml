@@ -1,0 +1,43 @@
+module Dom = Rxml.Dom
+
+let authors =
+  [| "Abiteboul"; "Widom"; "Suciu"; "Gray"; "Yoshikawa"; "Uemura"; "Kha";
+     "Moon"; "Zaniolo"; "Tsotras"; "Naughton"; "DeWitt" |]
+
+let venues = [| "VLDB"; "SIGMOD"; "ICDE"; "EDBT"; "TODS"; "WISE" |]
+
+let leaf tag s =
+  let n = Dom.element tag in
+  Dom.append_child n (Dom.text s);
+  n
+
+let generate ~seed ~publications =
+  let rng = Rng.create seed in
+  let root = Dom.element "dblp" in
+  for i = 1 to publications do
+    let kind = if Rng.bool rng then "article" else "inproceedings" in
+    let p =
+      Dom.element ~attrs:[ ("key", Printf.sprintf "%s/%d" kind i) ] kind
+    in
+    for _ = 1 to Rng.int_in rng 1 4 do
+      Dom.append_child p (leaf "author" (Rng.pick rng authors))
+    done;
+    Dom.append_child p (leaf "title" (Printf.sprintf "Paper number %d" i));
+    Dom.append_child p
+      (leaf
+         (if kind = "article" then "journal" else "booktitle")
+         (Rng.pick rng venues));
+    Dom.append_child p (leaf "year" (string_of_int (Rng.int_in rng 1990 2002)));
+    Dom.append_child root p
+  done;
+  root
+
+let queries =
+  [
+    "//article/author";
+    "//article[year=2001]/title";
+    "//inproceedings[booktitle='EDBT']";
+    "//author[.='Yoshikawa']/..";
+    "/dblp/article[1]";
+    "//title/following-sibling::year";
+  ]

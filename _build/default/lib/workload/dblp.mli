@@ -1,0 +1,13 @@
+(** DBLP-like bibliography documents: one extremely wide root with shallow
+    publication records underneath.
+
+    This is the original UID's worst realistic case (Section 1): the root's
+    fan-out equals the number of publications, so UID identifiers blow past
+    native integers after just a few levels, while most nodes have tiny
+    fan-out — maximal fan-out disparity (Section 3.1). *)
+
+val generate : seed:int -> publications:int -> Rxml.Dom.t
+(** Returns the [dblp] root element with the given number of publication
+    children. *)
+
+val queries : string list

@@ -1,0 +1,38 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    Every workload and experiment in the repository draws randomness from
+    this generator with an explicit seed, so each reported row is exactly
+    reproducible.  Not cryptographic. *)
+
+type t
+
+val create : int -> t
+(** Seeded generator. *)
+
+val copy : t -> t
+
+val next64 : t -> int64
+(** Next raw 64-bit state output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0 .. bound-1].
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [lo .. hi] inclusive. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val bool : t -> bool
+
+val pick : t -> 'a array -> 'a
+(** @raise Invalid_argument on an empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates. *)
+
+val zipf : t -> s:float -> n:int -> int
+(** Zipf-distributed rank in [1 .. n] with exponent [s] (inverse-CDF by
+    bisection over the precomputed partial sums is avoided: simple linear
+    scan over n <= a few thousand). *)

@@ -1,0 +1,80 @@
+module Dom = Rxml.Dom
+
+type profile =
+  | Uniform of { fanout_lo : int; fanout_hi : int }
+  | Fixed of int
+  | Deep of { fanout : int; bias : float }
+  | Skewed of { max_fanout : int; s : float }
+
+let default_tags = [| "a"; "b"; "c"; "d"; "item"; "entry"; "sec"; "p" |]
+
+let draw_degree rng = function
+  | Uniform { fanout_lo; fanout_hi } -> Rng.int_in rng fanout_lo fanout_hi
+  | Fixed k -> k
+  | Deep { fanout; bias } ->
+    if Rng.float rng < bias then 1 else Rng.int_in rng 0 fanout
+  | Skewed { max_fanout; s } -> Rng.zipf rng ~s ~n:max_fanout
+
+let generate ?(tags = default_tags) ~seed ~target profile =
+  let rng = Rng.create seed in
+  let root = Dom.element (Rng.pick rng tags) in
+  let produced = ref 1 in
+  let queue = Queue.create () in
+  Queue.add root queue;
+  while !produced < target && not (Queue.is_empty queue) do
+    let n = Queue.pop queue in
+    let deg = draw_degree rng profile in
+    for _ = 1 to deg do
+      if !produced < target + deg then begin
+        let c = Dom.element (Rng.pick rng tags) in
+        Dom.append_child n c;
+        incr produced;
+        Queue.add c queue
+      end
+    done;
+    (* Keep growth alive if every frontier node drew degree zero. *)
+    if Queue.is_empty queue && !produced < target then begin
+      let c = Dom.element (Rng.pick rng tags) in
+      Dom.append_child n c;
+      incr produced;
+      Queue.add c queue
+    end
+  done;
+  root
+
+let chain ?(tags = default_tags) ~depth () =
+  let root = Dom.element tags.(0) in
+  let rec go n d =
+    if d > 0 then begin
+      let c = Dom.element tags.(d mod Array.length tags) in
+      Dom.append_child n c;
+      go c (d - 1)
+    end
+  in
+  go root depth;
+  root
+
+let comb ?(tags = default_tags) ~depth ~width () =
+  let root = Dom.element tags.(0) in
+  let rec go n d =
+    for i = 1 to width - 1 do
+      Dom.append_child n (Dom.element tags.(i mod Array.length tags))
+    done;
+    if d > 0 then begin
+      let spine = Dom.element tags.(d mod Array.length tags) in
+      Dom.append_child n spine;
+      go spine (d - 1)
+    end
+  in
+  go root depth;
+  root
+
+let random_node rng root =
+  let nodes = Array.of_list (Dom.preorder root) in
+  Rng.pick rng nodes
+
+let random_internal rng root =
+  let nodes =
+    Array.of_list (List.filter (fun n -> Dom.degree n > 0) (Dom.preorder root))
+  in
+  if Array.length nodes = 0 then root else Rng.pick rng nodes

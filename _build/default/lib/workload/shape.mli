@@ -1,0 +1,37 @@
+(** Synthetic element trees with controlled shape.
+
+    The paper's observations hinge on tree shape — fan-out disparity, depth,
+    degree of recursion (Sections 1, 3.1, 5) — so the generators here sweep
+    those dimensions deterministically.  All generated nodes are elements
+    with small tag alphabets, which is what the numbering layer sees. *)
+
+type profile =
+  | Uniform of { fanout_lo : int; fanout_hi : int }
+      (** every internal node draws its degree uniformly *)
+  | Fixed of int  (** complete-ish tree of constant fan-out *)
+  | Deep of { fanout : int; bias : float }
+      (** mostly-path tree: with probability [bias] a node gets exactly one
+          child, otherwise up to [fanout]; models highly recursive documents *)
+  | Skewed of { max_fanout : int; s : float }
+      (** Zipf-distributed degrees: a few huge fan-outs, many small ones —
+          the fan-out disparity of Section 3.1 *)
+
+val generate :
+  ?tags:string array -> seed:int -> target:int -> profile -> Rxml.Dom.t
+(** Grow a tree of approximately [target] element nodes (never fewer than 1,
+    overshoot bounded by one node's fan-out), breadth-first so depth stays
+    balanced except for [Deep].  Returns the root element. *)
+
+val chain : ?tags:string array -> depth:int -> unit -> Rxml.Dom.t
+(** A pure path of the given edge count: the extreme recursive document. *)
+
+val comb : ?tags:string array -> depth:int -> width:int -> unit -> Rxml.Dom.t
+(** A spine of [depth] nodes, each also carrying [width - 1] leaf children:
+    deep {e and} wide, the original UID's worst case. *)
+
+val random_node : Rng.t -> Rxml.Dom.t -> Rxml.Dom.t
+(** Uniformly random node of the tree. *)
+
+val random_internal : Rng.t -> Rxml.Dom.t -> Rxml.Dom.t
+(** Uniformly random node that has at least one child (falls back to the
+    root on a single-node tree). *)

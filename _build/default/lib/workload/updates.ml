@@ -1,0 +1,82 @@
+module Dom = Rxml.Dom
+
+type op =
+  | Insert of { parent_rank : int; pos : int }
+  | Delete of { rank : int }
+
+let pp_op ppf = function
+  | Insert { parent_rank; pos } ->
+    Format.fprintf ppf "insert(parent@%d, pos %d)" parent_rank pos
+  | Delete { rank } -> Format.fprintf ppf "delete(@%d)" rank
+
+let node_at_rank root rank =
+  let nodes = Dom.preorder root in
+  match List.nth_opt nodes rank with
+  | Some n -> n
+  | None -> invalid_arg "Updates.node_at_rank: rank out of range"
+
+let apply root ~insert ~delete op =
+  match op with
+  | Insert { parent_rank; pos } ->
+    let parent = node_at_rank root parent_rank in
+    insert ~parent ~pos (Dom.element "upd")
+  | Delete { rank } -> delete (node_at_rank root rank)
+
+let script ~seed ~ops ?(delete_ratio = 0.3) tree =
+  let rng = Rng.create seed in
+  let scratch = Dom.clone tree in
+  let out = ref [] in
+  for _ = 1 to ops do
+    let size = Dom.size scratch in
+    let do_delete = size > 2 && Rng.float rng < delete_ratio in
+    if do_delete then begin
+      let rank = Rng.int_in rng 1 (size - 1) in
+      let victim = node_at_rank scratch rank in
+      (match victim.Dom.parent with
+      | Some p -> Dom.remove_child p victim
+      | None -> assert false);
+      out := Delete { rank } :: !out
+    end
+    else begin
+      let parent_rank = Rng.int rng size in
+      let parent = node_at_rank scratch parent_rank in
+      let pos = Rng.int rng (Dom.degree parent + 1) in
+      Dom.insert_child parent ~pos (Dom.element "upd");
+      out := Insert { parent_rank; pos } :: !out
+    end
+  done;
+  List.rev !out
+
+let deep_insert_script root ~depth_fraction =
+  if depth_fraction < 0. || depth_fraction > 1. then
+    invalid_arg "Updates.deep_insert_script: fraction out of range";
+  let max_depth =
+    Dom.fold_preorder (fun acc n -> max acc (Dom.depth_of n)) 0 root
+  in
+  let target = int_of_float (Float.round (depth_fraction *. float_of_int max_depth)) in
+  (* First internal node in document order at the target depth, so the
+     insertion has right siblings to displace; fall back to any node
+     there. *)
+  let chosen = ref None and fallback = ref None in
+  Dom.iter_preorder
+    (fun n ->
+      if Dom.depth_of n = target then begin
+        if !fallback = None then fallback := Some n;
+        if !chosen = None && Dom.degree n > 0 then chosen := Some n
+      end)
+    root;
+  let parent =
+    match (!chosen, !fallback) with
+    | Some n, _ | None, Some n -> n
+    | None, None -> root
+  in
+  let rank =
+    let r = ref 0 and found = ref (-1) in
+    Dom.iter_preorder
+      (fun n ->
+        if Dom.equal n parent then found := !r;
+        incr r)
+      root;
+    !found
+  in
+  Insert { parent_rank = rank; pos = 0 }

@@ -1,0 +1,138 @@
+module Dom = Rxml.Dom
+
+let words =
+  [| "quick"; "brown"; "fox"; "auction"; "vintage"; "rare"; "mint"; "boxed";
+     "signed"; "limited"; "edition"; "classic"; "antique"; "modern" |]
+
+let sentence rng n =
+  String.concat " " (List.init n (fun _ -> Rng.pick rng words))
+
+let el = Dom.element
+let txt parent s = Dom.append_child parent (Dom.text s)
+
+let leaf tag s =
+  let n = el tag in
+  txt n s;
+  n
+
+(* Recursive parlist/listitem description, the recursive part of XMark. *)
+let rec description rng depth =
+  let parlist = el "parlist" in
+  let items = Rng.int_in rng 1 3 in
+  for _ = 1 to items do
+    let li = el "listitem" in
+    if depth > 0 && Rng.float rng < 0.35 then
+      Dom.append_child li (description rng (depth - 1))
+    else Dom.append_child li (leaf "text" (sentence rng 6));
+    Dom.append_child parlist li
+  done;
+  parlist
+
+let item rng i region =
+  let it = el ~attrs:[ ("id", Printf.sprintf "item%s%d" region i) ] "item" in
+  Dom.append_child it (leaf "location" (sentence rng 1));
+  Dom.append_child it (leaf "name" (sentence rng 2));
+  Dom.append_child it (leaf "payment" "Cash");
+  let d = el "description" in
+  Dom.append_child d (description rng 3);
+  Dom.append_child it d;
+  Dom.append_child it (leaf "quantity" (string_of_int (Rng.int_in rng 1 5)));
+  it
+
+let person rng i =
+  let p = el ~attrs:[ ("id", Printf.sprintf "person%d" i) ] "person" in
+  Dom.append_child p (leaf "name" (sentence rng 2));
+  Dom.append_child p (leaf "emailaddress" (Printf.sprintf "mailto:p%d@example.org" i));
+  if Rng.bool rng then
+    Dom.append_child p (leaf "creditcard" (string_of_int (Rng.int rng 10_000)));
+  let prof =
+    el ~attrs:[ ("income", string_of_int (Rng.int_in rng 10_000 99_999)) ] "profile"
+  in
+  for _ = 1 to Rng.int_in rng 0 3 do
+    Dom.append_child prof
+      (el ~attrs:[ ("category", Printf.sprintf "category%d" (Rng.int rng 10)) ]
+         "interest")
+  done;
+  Dom.append_child p prof;
+  p
+
+let open_auction rng i n_people n_items =
+  let a = el ~attrs:[ ("id", Printf.sprintf "open_auction%d" i) ] "open_auction" in
+  Dom.append_child a (leaf "initial" (string_of_int (Rng.int_in rng 1 200)));
+  for _ = 1 to Rng.int_in rng 0 4 do
+    let b = el "bidder" in
+    Dom.append_child b (leaf "date" (Printf.sprintf "%02d/%02d/2001" (Rng.int_in rng 1 12) (Rng.int_in rng 1 28)));
+    Dom.append_child b (leaf "increase" (string_of_int (Rng.int_in rng 1 50)));
+    Dom.append_child a b
+  done;
+  Dom.append_child a (leaf "current" (string_of_int (Rng.int_in rng 1 500)));
+  Dom.append_child a
+    (el ~attrs:[ ("item", Printf.sprintf "itemafrica%d" (Rng.int rng (max 1 n_items))) ] "itemref");
+  Dom.append_child a
+    (el ~attrs:[ ("person", Printf.sprintf "person%d" (Rng.int rng (max 1 n_people))) ] "seller");
+  a
+
+let closed_auction rng i n_people n_items =
+  let a = el ~attrs:[ ("id", Printf.sprintf "closed_auction%d" i) ] "closed_auction" in
+  Dom.append_child a (leaf "price" (string_of_int (Rng.int_in rng 1 500)));
+  Dom.append_child a
+    (el ~attrs:[ ("person", Printf.sprintf "person%d" (Rng.int rng (max 1 n_people))) ] "buyer");
+  Dom.append_child a
+    (el ~attrs:[ ("person", Printf.sprintf "person%d" (Rng.int rng (max 1 n_people))) ] "seller");
+  Dom.append_child a
+    (el ~attrs:[ ("item", Printf.sprintf "itemasia%d" (Rng.int rng (max 1 n_items))) ] "itemref");
+  let ann = el "annotation" in
+  Dom.append_child ann (description rng 2);
+  Dom.append_child a ann;
+  a
+
+let generate ~seed ~scale =
+  if scale < 0.01 then invalid_arg "Xmark.generate: scale too small";
+  let rng = Rng.create seed in
+  let n_items_per_region = max 1 (int_of_float (scale *. 20.)) in
+  let n_people = max 1 (int_of_float (scale *. 50.)) in
+  let n_open = max 1 (int_of_float (scale *. 25.)) in
+  let n_closed = max 1 (int_of_float (scale *. 15.)) in
+  let site = el "site" in
+  let regions = el "regions" in
+  List.iter
+    (fun region ->
+      let r = el region in
+      for i = 1 to n_items_per_region do
+        Dom.append_child r (item rng i region)
+      done;
+      Dom.append_child regions r)
+    [ "africa"; "asia"; "australia"; "europe"; "namerica"; "samerica" ];
+  Dom.append_child site regions;
+  let people = el "people" in
+  for i = 1 to n_people do
+    Dom.append_child people (person rng i)
+  done;
+  Dom.append_child site people;
+  let opens = el "open_auctions" in
+  for i = 1 to n_open do
+    Dom.append_child opens (open_auction rng i n_people n_items_per_region)
+  done;
+  Dom.append_child site opens;
+  let closeds = el "closed_auctions" in
+  for i = 1 to n_closed do
+    Dom.append_child closeds (closed_auction rng i n_people n_items_per_region)
+  done;
+  Dom.append_child site closeds;
+  site
+
+let queries =
+  [
+    "/site/regions/africa/item";
+    "//item/name";
+    "//open_auction/bidder/increase";
+    "//person[creditcard]/name";
+    "//closed_auction//listitem";
+    "//listitem/ancestor::item";
+    "/site/people/person[1]";
+    "//bidder[position()=last()]";
+    "//item[quantity>3]/name";
+    "//annotation/preceding::bidder";
+    "/site/*/person";
+    "//parlist//text";
+  ]

@@ -1,0 +1,17 @@
+(** XMark-like auction-site documents.
+
+    A deterministic, scaled-down rendition of the XMark benchmark schema
+    (site / regions / items, people, open and closed auctions) standing in
+    for the unnamed "sample XML documents" of the paper's Section 5.  The
+    shape carries the features the experiments need: a wide, shallow region
+    catalogue, recursive [parlist]/[listitem] descriptions, moderate-depth
+    auction records and a tag alphabet realistic enough for tag-index
+    driven query plans. *)
+
+val generate : seed:int -> scale:float -> Rxml.Dom.t
+(** A document of roughly [scale * 2000] element nodes ([scale >= 0.01]).
+    Returns the [site] root element. *)
+
+val queries : string list
+(** Representative XPath queries over the schema (used by E4 and the
+    examples): child chains, descendant searches, predicates, axis mixes. *)

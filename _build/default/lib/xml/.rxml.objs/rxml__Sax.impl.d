@@ -1,0 +1,1 @@
+lib/xml/sax.ml: Buffer Char Dom Hashtbl List Option Parser Printf String

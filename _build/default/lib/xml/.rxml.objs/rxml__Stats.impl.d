@@ -1,0 +1,1 @@
+lib/xml/stats.ml: Dom Format Hashtbl List Option Stdlib

@@ -1,0 +1,107 @@
+(** Mutable DOM-style tree for XML documents.
+
+    The paper's setting is a parsed XML document exposed as a tree of
+    elements, attributes and text (DOM Level 2); numbering schemes label the
+    element tree.  This module provides that substrate: a compact mutable
+    tree with parent pointers, child insertion/removal at arbitrary
+    positions (needed by the structural-update experiments) and the standard
+    traversals.
+
+    Every node carries a process-unique serial number, stable across
+    structural edits, used as a hashtable key by the numbering layers. *)
+
+type t = {
+  serial : int;  (** unique, stable id of the node *)
+  mutable kind : kind;
+  mutable parent : t option;
+  mutable children : t list;
+}
+
+and kind =
+  | Document
+  | Element of element
+  | Text of string
+  | Comment of string
+  | Pi of string * string  (** target, data *)
+
+and element = { mutable tag : string; mutable attrs : (string * string) list }
+
+(** {1 Construction} *)
+
+val document : unit -> t
+val element : ?attrs:(string * string) list -> string -> t
+val text : string -> t
+val comment : string -> t
+val pi : string -> string -> t
+
+(** {1 Accessors} *)
+
+val tag : t -> string
+(** Tag of an element, [""] for other kinds. *)
+
+val attr : t -> string -> string option
+val set_attr : t -> string -> string -> unit
+val is_element : t -> bool
+val is_text : t -> bool
+
+val text_content : t -> string
+(** Concatenated text of all descendant text nodes. *)
+
+val root_element : t -> t
+(** The single element child of a [Document] node.
+    @raise Not_found if there is none. *)
+
+(** {1 Structure edits} *)
+
+val append_child : t -> t -> unit
+(** [append_child parent child]. @raise Invalid_argument if [child] already
+    has a parent. *)
+
+val insert_child : t -> pos:int -> t -> unit
+(** [insert_child parent ~pos child] inserts [child] so that it becomes the
+    [pos]-th child (0-based); [pos] is clamped to [0 .. degree]. *)
+
+val remove_child : t -> t -> unit
+(** [remove_child parent child] detaches [child].
+    @raise Invalid_argument if [child] is not a child of [parent]. *)
+
+val child_index : t -> int
+(** 0-based position among the parent's children.
+    @raise Invalid_argument on a parentless node. *)
+
+(** {1 Traversal} *)
+
+val degree : t -> int
+val nth_child : t -> int -> t option
+val iter_preorder : (t -> unit) -> t -> unit
+val fold_preorder : ('a -> t -> 'a) -> 'a -> t -> 'a
+val preorder : t -> t list
+(** All nodes of the subtree in document order, root first. *)
+
+val elements : t -> t list
+(** Element nodes of the subtree in document order (includes the root if it
+    is an element). *)
+
+val size : t -> int
+val depth_of : t -> int
+(** Edge distance from [t] up to its root. *)
+
+val ancestors : t -> t list
+(** Strict ancestors, nearest first. *)
+
+val descendants : t -> t list
+(** Strict descendants in document order. *)
+
+val is_ancestor : anc:t -> desc:t -> bool
+(** Strict ancestorship via parent pointers. *)
+
+val document_order : root:t -> t -> t -> int
+(** Preorder comparison of two nodes under [root]; 0 iff same node. O(n). *)
+
+val equal : t -> t -> bool
+(** Physical identity (serial equality). *)
+
+val clone : t -> t
+(** Deep copy of a subtree with fresh serials; the copy is detached. *)
+
+val pp_kind : Format.formatter -> t -> unit

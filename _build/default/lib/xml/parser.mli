@@ -1,0 +1,24 @@
+(** Hand-written XML 1.0 parser producing {!Dom} trees.
+
+    Covers the subset any DOM build of the paper's era exposes: elements,
+    attributes (single- or double-quoted), character data, CDATA sections,
+    comments, processing instructions, the five predefined entities plus
+    decimal/hexadecimal character references, an XML declaration, and a
+    DOCTYPE declaration (skipped, including an internal subset).  Namespaces
+    are not interpreted; prefixed names are kept verbatim, which is all the
+    numbering schemes need. *)
+
+type error = { line : int; col : int; message : string }
+
+exception Parse_error of error
+
+val pp_error : Format.formatter -> error -> unit
+
+val parse_string : ?keep_whitespace:bool -> string -> Dom.t
+(** [parse_string s] parses a complete document and returns its [Document]
+    node.  Whitespace-only text between elements is dropped unless
+    [keep_whitespace] is [true] (default [false]).
+    @raise Parse_error on malformed input. *)
+
+val parse_file : ?keep_whitespace:bool -> string -> Dom.t
+(** [parse_file path] reads and parses the file at [path]. *)

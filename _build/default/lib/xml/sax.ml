@@ -1,0 +1,337 @@
+(* Event-stream layer: reuses Parser's lexical machinery conceptually but
+   is written directly against the source string so no tree is built. *)
+
+type event =
+  | Start_element of { tag : string; attrs : (string * string) list }
+  | End_element of string
+  | Text of string
+  | Comment of string
+  | Pi of string * string
+
+(* A tiny re-statement of the Parser cursor; kept separate so the DOM
+   parser and the streaming layer cannot interfere with each other's
+   invariants. *)
+type state = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let fail st message =
+  raise
+    (Parser.Parse_error { Parser.line = st.line; col = st.col; message })
+
+let eof st = st.pos >= String.length st.src
+let peek st = if eof st then '\000' else st.src.[st.pos]
+
+let advance st =
+  if not (eof st) then begin
+    if st.src.[st.pos] = '\n' then begin
+      st.line <- st.line + 1;
+      st.col <- 1
+    end
+    else st.col <- st.col + 1;
+    st.pos <- st.pos + 1
+  end
+
+let looking_at st s =
+  let n = String.length s in
+  st.pos + n <= String.length st.src && String.sub st.src st.pos n = s
+
+let skip_str st s =
+  if looking_at st s then begin
+    String.iter (fun _ -> advance st) s;
+    true
+  end
+  else false
+
+let expect st c =
+  if peek st <> c then fail st (Printf.sprintf "expected %C, got %C" c (peek st));
+  advance st
+
+let expect_str st s = String.iter (fun c -> expect st c) s
+
+let is_space c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
+
+let skip_ws st =
+  while (not (eof st)) && is_space (peek st) do
+    advance st
+  done
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || c = '_' || c = ':'
+  || Char.code c >= 128
+
+let is_name_char c =
+  is_name_start c || (c >= '0' && c <= '9') || c = '-' || c = '.'
+
+let parse_name st =
+  if not (is_name_start (peek st)) then fail st "expected a name";
+  let start = st.pos in
+  while (not (eof st)) && is_name_char (peek st) do
+    advance st
+  done;
+  String.sub st.src start (st.pos - start)
+
+let add_codepoint buf code =
+  if code < 0x80 then Buffer.add_char buf (Char.chr code)
+  else if code < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+  else if code < 0x10000 then begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xF0 lor (code lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+
+let parse_entity st buf =
+  expect st '&';
+  if peek st = '#' then begin
+    advance st;
+    let hex = peek st = 'x' || peek st = 'X' in
+    if hex then advance st;
+    let start = st.pos in
+    while peek st <> ';' && not (eof st) do
+      advance st
+    done;
+    let digits = String.sub st.src start (st.pos - start) in
+    expect st ';';
+    let code =
+      try int_of_string (if hex then "0x" ^ digits else digits)
+      with Failure _ -> fail st "malformed character reference"
+    in
+    if code < 0 || code > 0x10FFFF then fail st "character reference out of range";
+    add_codepoint buf code
+  end
+  else begin
+    let name = parse_name st in
+    expect st ';';
+    match name with
+    | "lt" -> Buffer.add_char buf '<'
+    | "gt" -> Buffer.add_char buf '>'
+    | "amp" -> Buffer.add_char buf '&'
+    | "apos" -> Buffer.add_char buf '\''
+    | "quot" -> Buffer.add_char buf '"'
+    | other -> fail st (Printf.sprintf "unknown entity &%s;" other)
+  end
+
+let parse_attr_value st =
+  let quote = peek st in
+  if quote <> '"' && quote <> '\'' then fail st "expected quoted attribute value";
+  advance st;
+  let buf = Buffer.create 16 in
+  let rec go () =
+    if eof st then fail st "unterminated attribute value"
+    else if peek st = quote then advance st
+    else if peek st = '&' then begin
+      parse_entity st buf;
+      go ()
+    end
+    else if peek st = '<' then fail st "'<' in attribute value"
+    else begin
+      Buffer.add_char buf (peek st);
+      advance st;
+      go ()
+    end
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_attributes st =
+  let rec go acc =
+    skip_ws st;
+    if is_name_start (peek st) then begin
+      let name = parse_name st in
+      skip_ws st;
+      expect st '=';
+      skip_ws st;
+      let value = parse_attr_value st in
+      if List.mem_assoc name acc then
+        fail st (Printf.sprintf "duplicate attribute %s" name);
+      go ((name, value) :: acc)
+    end
+    else List.rev acc
+  in
+  go []
+
+let scan_until st terminator what =
+  let start = st.pos in
+  let rec find () =
+    if eof st then fail st (Printf.sprintf "unterminated %s" what)
+    else if looking_at st terminator then ()
+    else begin
+      advance st;
+      find ()
+    end
+  in
+  find ();
+  let body = String.sub st.src start (st.pos - start) in
+  expect_str st terminator;
+  body
+
+let skip_doctype st =
+  let rec go () =
+    if eof st then fail st "unterminated DOCTYPE"
+    else
+      match peek st with
+      | '[' ->
+        advance st;
+        ignore (scan_until st "]" "DOCTYPE internal subset");
+        go ()
+      | '>' -> advance st
+      | _ ->
+        advance st;
+        go ()
+  in
+  go ()
+
+let is_all_whitespace s = String.for_all is_space s
+
+let fold ?(keep_whitespace = false) src ~init ~f =
+  let st = { src; pos = 0; line = 1; col = 1 } in
+  let acc = ref init in
+  let emit e = acc := f !acc e in
+  let stack = ref [] in
+  let seen_root = ref false in
+  (* prolog *)
+  skip_ws st;
+  if looking_at st "<?xml" then begin
+    expect_str st "<?";
+    ignore (parse_name st);
+    ignore (scan_until st "?>" "XML declaration")
+  end;
+  let flush_text buf =
+    let s = Buffer.contents buf in
+    Buffer.clear buf;
+    if String.length s > 0 && (keep_whitespace || not (is_all_whitespace s))
+    then
+      if !stack <> [] then emit (Text s)
+      else if not (is_all_whitespace s) then fail st "text outside the root element"
+  in
+  let text_buf = Buffer.create 64 in
+  let rec loop () =
+    if eof st then ()
+    else if looking_at st "<!--" then begin
+      flush_text text_buf;
+      expect_str st "<!--";
+      emit (Comment (scan_until st "-->" "comment"));
+      loop ()
+    end
+    else if looking_at st "<![CDATA[" then begin
+      if !stack = [] then fail st "CDATA outside the root element";
+      expect_str st "<![CDATA[";
+      Buffer.add_string text_buf (scan_until st "]]>" "CDATA section");
+      loop ()
+    end
+    else if looking_at st "<!DOCTYPE" then begin
+      if !seen_root then fail st "DOCTYPE after the root element";
+      expect_str st "<!DOCTYPE";
+      skip_doctype st;
+      loop ()
+    end
+    else if looking_at st "<?" then begin
+      flush_text text_buf;
+      expect_str st "<?";
+      let target = parse_name st in
+      skip_ws st;
+      let data = scan_until st "?>" "processing instruction" in
+      emit (Pi (target, data));
+      loop ()
+    end
+    else if looking_at st "</" then begin
+      flush_text text_buf;
+      expect_str st "</";
+      let tag = parse_name st in
+      skip_ws st;
+      expect st '>';
+      (match !stack with
+      | top :: rest when top = tag ->
+        stack := rest;
+        emit (End_element tag)
+      | top :: _ ->
+        fail st (Printf.sprintf "mismatched end tag: <%s> closed by </%s>" top tag)
+      | [] -> fail st "end tag without open element");
+      loop ()
+    end
+    else if peek st = '<' then begin
+      flush_text text_buf;
+      if !stack = [] && !seen_root then fail st "content after root element";
+      advance st;
+      let tag = parse_name st in
+      let attrs = parse_attributes st in
+      skip_ws st;
+      seen_root := true;
+      if skip_str st "/>" then begin
+        emit (Start_element { tag; attrs });
+        emit (End_element tag)
+      end
+      else begin
+        expect st '>';
+        emit (Start_element { tag; attrs });
+        stack := tag :: !stack
+      end;
+      loop ()
+    end
+    else if peek st = '&' then begin
+      if !stack = [] then fail st "entity outside the root element";
+      parse_entity st text_buf;
+      loop ()
+    end
+    else begin
+      Buffer.add_char text_buf (peek st);
+      advance st;
+      loop ()
+    end
+  in
+  loop ();
+  flush_text text_buf;
+  if !stack <> [] then fail st "unterminated element";
+  if not !seen_root then fail st "expected root element";
+  !acc
+
+let iter ?keep_whitespace src ~f =
+  fold ?keep_whitespace src ~init:() ~f:(fun () e -> f e)
+
+let count_elements src =
+  let tbl = Hashtbl.create 64 in
+  iter src ~f:(function
+    | Start_element { tag; _ } ->
+      Hashtbl.replace tbl tag (1 + Option.value ~default:0 (Hashtbl.find_opt tbl tag))
+    | End_element _ | Text _ | Comment _ | Pi _ -> ());
+  tbl
+
+let max_depth src =
+  let depth = ref 0 and best = ref 0 in
+  iter src ~f:(function
+    | Start_element _ ->
+      incr depth;
+      if !depth > !best then best := !depth
+    | End_element _ -> decr depth
+    | Text _ | Comment _ | Pi _ -> ());
+  !best
+
+let build_dom ?keep_whitespace src =
+  let doc = Dom.document () in
+  let stack = ref [ doc ] in
+  let top () = match !stack with t :: _ -> t | [] -> assert false in
+  iter ?keep_whitespace src ~f:(function
+    | Start_element { tag; attrs } ->
+      let e = Dom.element ~attrs tag in
+      Dom.append_child (top ()) e;
+      stack := e :: !stack
+    | End_element _ -> (
+      match !stack with _ :: rest -> stack := rest | [] -> assert false)
+    | Text s -> Dom.append_child (top ()) (Dom.text s)
+    | Comment s -> Dom.append_child (top ()) (Dom.comment s)
+    | Pi (t, d) -> Dom.append_child (top ()) (Dom.pi t d));
+  doc

@@ -1,0 +1,31 @@
+(** Streaming (SAX-style) XML parsing.
+
+    The event layer under {!Parser}: documents too large to hold as a DOM
+    can be scanned, filtered or counted in one pass, and the DOM builder
+    itself is just a fold over these events.  Shares the lexical subset of
+    {!Parser} (elements, attributes, text, CDATA, comments, PIs, skipped
+    DOCTYPE, predefined and character entities). *)
+
+type event =
+  | Start_element of { tag : string; attrs : (string * string) list }
+  | End_element of string
+  | Text of string
+  | Comment of string
+  | Pi of string * string
+
+val fold : ?keep_whitespace:bool -> string -> init:'a -> f:('a -> event -> 'a) -> 'a
+(** [fold src ~init ~f] runs [f] over the event stream of the document
+    text.  Events arrive in document order; element nesting is validated.
+    @raise Parser.Parse_error on malformed input. *)
+
+val iter : ?keep_whitespace:bool -> string -> f:(event -> unit) -> unit
+
+val count_elements : string -> (string, int) Hashtbl.t
+(** Tag histogram in one pass, no tree built. *)
+
+val max_depth : string -> int
+(** Maximal element nesting depth in one pass. *)
+
+val build_dom : ?keep_whitespace:bool -> string -> Dom.t
+(** The DOM builder expressed as a fold over events; equivalent to
+    {!Parser.parse_string} (tested against it). *)

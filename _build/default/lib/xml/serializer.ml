@@ -1,0 +1,106 @@
+let escape generic s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' when not generic -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let escape_text s = escape true s
+let escape_attr s = escape false s
+
+let to_buffer ?indent buf node =
+  let pad level =
+    match indent with
+    | None -> ()
+    | Some w ->
+      if level >= 0 then begin
+        Buffer.add_char buf '\n';
+        Buffer.add_string buf (String.make (level * w) ' ')
+      end
+  in
+  let rec emit level (n : Dom.t) =
+    match n.Dom.kind with
+    | Dom.Document -> List.iter (emit level) n.children
+    | Dom.Text s -> Buffer.add_string buf (escape_text s)
+    | Dom.Comment s ->
+      pad level;
+      Buffer.add_string buf "<!--";
+      Buffer.add_string buf s;
+      Buffer.add_string buf "-->"
+    | Dom.Pi (target, data) ->
+      pad level;
+      Buffer.add_string buf "<?";
+      Buffer.add_string buf target;
+      if data <> "" then begin
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf data
+      end;
+      Buffer.add_string buf "?>"
+    | Dom.Element e ->
+      pad level;
+      Buffer.add_char buf '<';
+      Buffer.add_string buf e.tag;
+      List.iter
+        (fun (k, v) ->
+          Buffer.add_char buf ' ';
+          Buffer.add_string buf k;
+          Buffer.add_string buf "=\"";
+          Buffer.add_string buf (escape_attr v);
+          Buffer.add_char buf '"')
+        e.attrs;
+      if n.Dom.children = [] then Buffer.add_string buf "/>"
+      else begin
+        Buffer.add_char buf '>';
+        let only_text = List.for_all Dom.is_text n.Dom.children in
+        if only_text then List.iter (emit (-1)) n.Dom.children
+        else begin
+          List.iter (emit (level + 1)) n.Dom.children;
+          pad level
+        end;
+        Buffer.add_string buf "</";
+        Buffer.add_string buf e.tag;
+        Buffer.add_char buf '>'
+      end
+  in
+  match node.Dom.kind with
+  | Dom.Document ->
+    (* Suppress the leading newline the first pad would add. *)
+    List.iteri
+      (fun i c ->
+        if i = 0 && indent <> None then begin
+          let save = Buffer.length buf in
+          emit 0 c;
+          (* Drop leading '\n' if the very first emission added one. *)
+          if Buffer.length buf > save && Buffer.nth buf save = '\n' then begin
+            let s = Buffer.sub buf save (Buffer.length buf - save) in
+            Buffer.truncate buf save;
+            Buffer.add_string buf (String.sub s 1 (String.length s - 1))
+          end
+        end
+        else emit 0 c)
+      node.Dom.children
+  | _ ->
+    let save = Buffer.length buf in
+    emit 0 node;
+    if indent <> None && Buffer.length buf > save && Buffer.nth buf save = '\n'
+    then begin
+      let s = Buffer.sub buf save (Buffer.length buf - save) in
+      Buffer.truncate buf save;
+      Buffer.add_string buf (String.sub s 1 (String.length s - 1))
+    end
+
+let to_string ?indent node =
+  let buf = Buffer.create 1024 in
+  to_buffer ?indent buf node;
+  Buffer.contents buf
+
+let to_file ?indent path node =
+  let oc = open_out_bin path in
+  output_string oc (to_string ?indent node);
+  close_out oc

@@ -1,0 +1,17 @@
+(** Serialization of {!Dom} trees back to XML text. *)
+
+val escape_text : string -> string
+(** Escape [&], [<], [>] for character data. *)
+
+val escape_attr : string -> string
+(** Escape ampersand, angle brackets and double quote for attribute values. *)
+
+val to_buffer : ?indent:int -> Buffer.t -> Dom.t -> unit
+(** Serialize a node (document or subtree).  With [indent] set, pretty-print
+    using that many spaces per nesting level; by default the output is
+    compact and round-trips exactly through {!Parser.parse_string} with
+    [keep_whitespace:true]. *)
+
+val to_string : ?indent:int -> Dom.t -> string
+
+val to_file : ?indent:int -> string -> Dom.t -> unit

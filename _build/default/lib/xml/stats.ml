@@ -1,0 +1,56 @@
+type t = {
+  nodes : int;
+  element_nodes : int;
+  max_fanout : int;
+  max_depth : int;
+  leaves : int;
+  avg_fanout : float;
+}
+
+let compute root =
+  let nodes = ref 0 in
+  let element_nodes = ref 0 in
+  let max_fanout = ref 0 in
+  let max_depth = ref 0 in
+  let leaves = ref 0 in
+  let internal = ref 0 in
+  let child_total = ref 0 in
+  let rec go depth (n : Dom.t) =
+    incr nodes;
+    if Dom.is_element n then incr element_nodes;
+    let d = Dom.degree n in
+    if d > !max_fanout then max_fanout := d;
+    if depth > !max_depth then max_depth := depth;
+    if d = 0 then incr leaves
+    else begin
+      incr internal;
+      child_total := !child_total + d
+    end;
+    List.iter (go (depth + 1)) n.Dom.children
+  in
+  go 0 root;
+  {
+    nodes = !nodes;
+    element_nodes = !element_nodes;
+    max_fanout = !max_fanout;
+    max_depth = !max_depth;
+    leaves = !leaves;
+    avg_fanout =
+      (if !internal = 0 then 0.
+       else float_of_int !child_total /. float_of_int !internal);
+  }
+
+let fanout_histogram root =
+  let tbl = Hashtbl.create 16 in
+  Dom.iter_preorder
+    (fun n ->
+      let d = Dom.degree n in
+      Hashtbl.replace tbl d (1 + Option.value ~default:0 (Hashtbl.find_opt tbl d)))
+    root;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> Stdlib.compare a b)
+
+let pp ppf s =
+  Format.fprintf ppf
+    "nodes=%d elements=%d max_fanout=%d max_depth=%d leaves=%d avg_fanout=%.2f"
+    s.nodes s.element_nodes s.max_fanout s.max_depth s.leaves s.avg_fanout

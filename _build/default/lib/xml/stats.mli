@@ -1,0 +1,21 @@
+(** Shape statistics of a DOM tree.
+
+    The paper's claims are all shape-driven (maximal fan-out, path length,
+    fan-out disparity); this module computes the quantities quoted in
+    Sections 1 and 3 for a given document. *)
+
+type t = {
+  nodes : int;  (** all nodes of the subtree, root included *)
+  element_nodes : int;
+  max_fanout : int;  (** maximal number of children of any node *)
+  max_depth : int;  (** longest root-to-leaf path, in edges *)
+  leaves : int;
+  avg_fanout : float;  (** mean degree over internal nodes *)
+}
+
+val compute : Dom.t -> t
+
+val fanout_histogram : Dom.t -> (int * int) list
+(** [(degree, how many nodes have it)] sorted by degree. *)
+
+val pp : Format.formatter -> t -> unit

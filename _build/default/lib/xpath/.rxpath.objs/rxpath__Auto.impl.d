@@ -1,0 +1,1 @@
+lib/xpath/auto.ml: Engine_ruid Eval Format Pathplan Ruid Rxml Tag_index Twig Xparser

@@ -1,0 +1,1 @@
+lib/xpath/auto.mli: Format Ruid Rxml

@@ -1,0 +1,1 @@
+lib/xpath/collection.ml: Array Engine_ruid Eval Format List Ruid Rxml Xparser

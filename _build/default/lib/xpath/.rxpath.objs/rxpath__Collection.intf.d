@@ -1,0 +1,1 @@
+lib/xpath/collection.mli: Format Ruid Rxml

@@ -1,0 +1,1 @@
+lib/xpath/engine_naive.ml: Ast Eval Hashtbl List Rxml Stdlib

@@ -1,0 +1,1 @@
+lib/xpath/engine_naive.mli: Eval Rxml

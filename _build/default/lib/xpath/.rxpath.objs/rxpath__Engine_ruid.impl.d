@@ -1,0 +1,1 @@
+lib/xpath/engine_ruid.ml: Ast Eval Hashtbl List Option Ruid Rxml Stdlib Tag_index

@@ -1,0 +1,1 @@
+lib/xpath/engine_ruid.mli: Eval Ruid

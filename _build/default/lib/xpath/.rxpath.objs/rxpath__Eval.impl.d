@@ -1,0 +1,1 @@
+lib/xpath/eval.ml: Ast Float Hashtbl List Option Rxml Stdlib String Xparser

@@ -1,0 +1,1 @@
+lib/xpath/pathplan.ml: Ast Format Hashtbl List Option Rjoin Ruid Rxml Tag_index Xparser

@@ -1,0 +1,1 @@
+lib/xpath/pathplan.mli: Ast Format Ruid Rxml Tag_index

@@ -1,0 +1,1 @@
+lib/xpath/tag_index.ml: Hashtbl List Ruid Rxml

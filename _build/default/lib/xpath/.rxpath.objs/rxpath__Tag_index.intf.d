@@ -1,0 +1,1 @@
+lib/xpath/tag_index.mli: Ruid Rxml

@@ -1,0 +1,1 @@
+lib/xpath/twig.ml: Ast Hashtbl List Option Ruid Rxml Tag_index Xparser

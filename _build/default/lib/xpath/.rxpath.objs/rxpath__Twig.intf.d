@@ -1,0 +1,1 @@
+lib/xpath/twig.mli: Ast Ruid Rxml Tag_index

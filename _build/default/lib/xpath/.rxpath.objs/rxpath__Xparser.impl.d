@@ -1,0 +1,1 @@
+lib/xpath/xparser.ml: Ast Format List String

@@ -1,0 +1,1 @@
+lib/xpath/xparser.mli: Ast

@@ -1,0 +1,111 @@
+type axis =
+  | Child
+  | Descendant
+  | Parent
+  | Ancestor
+  | Following_sibling
+  | Preceding_sibling
+  | Following
+  | Preceding
+  | Self
+  | Descendant_or_self
+  | Ancestor_or_self
+  | Attribute
+
+let axis_name = function
+  | Child -> "child"
+  | Descendant -> "descendant"
+  | Parent -> "parent"
+  | Ancestor -> "ancestor"
+  | Following_sibling -> "following-sibling"
+  | Preceding_sibling -> "preceding-sibling"
+  | Following -> "following"
+  | Preceding -> "preceding"
+  | Self -> "self"
+  | Descendant_or_self -> "descendant-or-self"
+  | Ancestor_or_self -> "ancestor-or-self"
+  | Attribute -> "attribute"
+
+let is_reverse_axis = function
+  | Parent | Ancestor | Ancestor_or_self | Preceding | Preceding_sibling -> true
+  | Child | Descendant | Following_sibling | Following | Self
+  | Descendant_or_self | Attribute -> false
+
+type node_test = Name of string | Wildcard | Text_test | Node_any | Comment_test
+
+type cmp = Eq | Neq | Lt | Le | Gt | Ge
+
+type expr =
+  | Or of expr * expr
+  | And of expr * expr
+  | Cmp of cmp * expr * expr
+  | Num of float
+  | Str of string
+  | Position
+  | Last
+  | Count of path
+  | Not of expr
+  | Contains of expr * expr
+  | Starts_with of expr * expr
+  | String_length of expr
+  | Name_fun
+  | Path of path
+
+and step = { axis : axis; test : node_test; preds : expr list }
+and path = { absolute : bool; steps : step list }
+
+type union_path = path list
+
+let cmp_name = function
+  | Eq -> "="
+  | Neq -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let test_name = function
+  | Name s -> s
+  | Wildcard -> "*"
+  | Text_test -> "text()"
+  | Node_any -> "node()"
+  | Comment_test -> "comment()"
+
+let rec pp_expr ppf = function
+  | Or (a, b) -> Format.fprintf ppf "%a or %a" pp_expr a pp_expr b
+  | And (a, b) -> Format.fprintf ppf "%a and %a" pp_expr a pp_expr b
+  | Cmp (op, a, b) ->
+    Format.fprintf ppf "%a %s %a" pp_expr a (cmp_name op) pp_expr b
+  | Num f ->
+    if Float.is_integer f then Format.fprintf ppf "%d" (int_of_float f)
+    else Format.fprintf ppf "%g" f
+  | Str s -> Format.fprintf ppf "%S" s
+  | Position -> Format.pp_print_string ppf "position()"
+  | Last -> Format.pp_print_string ppf "last()"
+  | Count p -> Format.fprintf ppf "count(%a)" pp_path p
+  | Not e -> Format.fprintf ppf "not(%a)" pp_expr e
+  | Contains (a, b) -> Format.fprintf ppf "contains(%a, %a)" pp_expr a pp_expr b
+  | Starts_with (a, b) ->
+    Format.fprintf ppf "starts-with(%a, %a)" pp_expr a pp_expr b
+  | String_length e -> Format.fprintf ppf "string-length(%a)" pp_expr e
+  | Name_fun -> Format.pp_print_string ppf "name()"
+  | Path p -> pp_path ppf p
+
+and pp_step ppf s =
+  Format.fprintf ppf "%s::%s" (axis_name s.axis) (test_name s.test);
+  List.iter (fun p -> Format.fprintf ppf "[%a]" pp_expr p) s.preds
+
+and pp_path ppf p =
+  if p.absolute then Format.pp_print_string ppf "/";
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "/")
+    pp_step ppf p.steps
+
+let path_to_string p = Format.asprintf "%a" pp_path p
+
+let pp_union ppf u =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " | ")
+    pp_path ppf u
+
+let union_to_string u = Format.asprintf "%a" pp_union u

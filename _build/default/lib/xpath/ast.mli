@@ -1,0 +1,62 @@
+(** Abstract syntax for the XPath 1.0 location-path subset of Section 3.5.
+
+    A location path is a sequence of steps [axis::node-test[pred]*]
+    (grammar rules [1]-[3] quoted in the paper); predicates carry the core
+    expression language (comparisons, [and]/[or], [position()], [last()],
+    [count()], nested relative paths). *)
+
+type axis =
+  | Child
+  | Descendant
+  | Parent
+  | Ancestor
+  | Following_sibling
+  | Preceding_sibling
+  | Following
+  | Preceding
+  | Self
+  | Descendant_or_self
+  | Ancestor_or_self
+  | Attribute
+
+val axis_name : axis -> string
+
+val is_reverse_axis : axis -> bool
+(** Axes whose proximity positions count in reverse document order. *)
+
+type node_test =
+  | Name of string  (** element name test *)
+  | Wildcard  (** [*] *)
+  | Text_test  (** [text()] *)
+  | Node_any  (** [node()] *)
+  | Comment_test  (** [comment()] *)
+
+type cmp = Eq | Neq | Lt | Le | Gt | Ge
+
+type expr =
+  | Or of expr * expr
+  | And of expr * expr
+  | Cmp of cmp * expr * expr
+  | Num of float
+  | Str of string
+  | Position
+  | Last
+  | Count of path
+  | Not of expr
+  | Contains of expr * expr
+  | Starts_with of expr * expr
+  | String_length of expr
+  | Name_fun  (** [name()]: tag of the context node *)
+  | Path of path  (** relative path: node-set value / existence test *)
+
+and step = { axis : axis; test : node_test; preds : expr list }
+
+and path = { absolute : bool; steps : step list }
+
+type union_path = path list
+(** Alternatives of a ['|'] expression, in source order; non-empty. *)
+
+val pp_path : Format.formatter -> path -> unit
+val path_to_string : path -> string
+val pp_union : Format.formatter -> union_path -> unit
+val union_to_string : union_path -> string

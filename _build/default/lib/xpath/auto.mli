@@ -1,0 +1,30 @@
+(** Automatic strategy selection for XPath queries over a numbered document.
+
+    One entry point that picks the cheapest applicable machinery, most
+    specific first:
+
+    + {!Pathplan} — child/descendant name-test chains run as semijoin
+      pipelines over the tag index;
+    + {!Twig} — the same with structural predicates;
+    + {!Engine_ruid} — everything else (all axes, positional and value
+      predicates, unions), by identifier arithmetic.
+
+    All three produce evaluator-identical node sets (property-tested), so
+    the choice is purely a matter of cost. *)
+
+type strategy = Plan | Twig_join | Engine
+
+val pp_strategy : Format.formatter -> strategy -> unit
+
+type t
+
+val create : Ruid.Ruid2.t -> t
+(** Builds the tag index and the ruid engine once. *)
+
+val choose : t -> string -> strategy
+(** Which machinery {!query} will use for this source text.
+    @raise Xparser.Syntax_error on malformed input. *)
+
+val query : t -> ?context:Rxml.Dom.t -> string -> Rxml.Dom.t list
+(** Evaluate with the selected strategy.  Union expressions always use the
+    engine. *)

@@ -1,0 +1,66 @@
+module Dom = Rxml.Dom
+
+type doc_id = int
+
+type gid = { doc : doc_id; id : Ruid.Ruid2.id }
+
+let pp_gid ppf g = Format.fprintf ppf "doc%d:%a" g.doc Ruid.Ruid2.pp_id g.id
+
+type entry = { name : string; r2 : Ruid.Ruid2.t }
+
+type t = { max_area_size : int; mutable docs : entry array }
+
+let create ?(max_area_size = 64) () = { max_area_size; docs = [||] }
+
+let doc_count t = Array.length t.docs
+let names t = Array.to_list (Array.map (fun e -> e.name) t.docs)
+
+let find t name =
+  let rec go i =
+    if i >= Array.length t.docs then None
+    else if t.docs.(i).name = name then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let entry t doc =
+  if doc < 0 || doc >= Array.length t.docs then
+    invalid_arg "Collection: unknown document id";
+  t.docs.(doc)
+
+let name_of t doc = (entry t doc).name
+let ruid t doc = (entry t doc).r2
+
+let add t ~name root =
+  (match find t name with
+  | Some _ -> invalid_arg ("Collection.add: duplicate name " ^ name)
+  | None -> ());
+  let r2 = Ruid.Ruid2.number ~max_area_size:t.max_area_size root in
+  t.docs <- Array.append t.docs [| { name; r2 } |];
+  Array.length t.docs - 1
+
+let gid_of_node t doc n = { doc; id = Ruid.Ruid2.id_of_node (ruid t doc) n }
+
+let node_of_gid t g =
+  if g.doc < 0 || g.doc >= Array.length t.docs then None
+  else Ruid.Ruid2.node_of_id (ruid t g.doc) g.id
+
+let relationship t a b =
+  if a.doc <> b.doc then None
+  else Some (Ruid.Ruid2.relationship (ruid t a.doc) a.id b.id)
+
+let query t src =
+  let u = Xparser.parse_union src in
+  Array.to_list t.docs
+  |> List.mapi (fun i e ->
+         let eng = Engine_ruid.create e.r2 in
+         (i, Eval.select_union eng u))
+  |> List.filter (fun (_, nodes) -> nodes <> [])
+
+let total_nodes t =
+  Array.fold_left
+    (fun acc e -> acc + List.length (Ruid.Ruid2.all_nodes e.r2))
+    0 t.docs
+
+let aux_memory_words t =
+  Array.fold_left (fun acc e -> acc + Ruid.Ruid2.aux_memory_words e.r2) 0 t.docs

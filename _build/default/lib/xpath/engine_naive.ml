@@ -1,0 +1,60 @@
+module Dom = Rxml.Dom
+
+let create root =
+  let rank = Hashtbl.create 1024 in
+  let i = ref 0 in
+  Dom.iter_preorder
+    (fun n ->
+      Hashtbl.replace rank n.Dom.serial !i;
+      incr i)
+    root;
+  let rank_of n =
+    match Hashtbl.find_opt rank n.Dom.serial with
+    | Some r -> r
+    | None -> invalid_arg "Engine_naive: node outside the snapshot"
+  in
+  let compare_order a b = Stdlib.compare (rank_of a) (rank_of b) in
+  let siblings ~before n =
+    match n.Dom.parent with
+    | None -> []
+    | Some p ->
+      let idx = Dom.child_index n in
+      let keep i _ = if before then i < idx else i > idx in
+      let l = List.filteri keep p.Dom.children in
+      if before then List.rev l else l
+  in
+  let axis (a : Ast.axis) n =
+    match a with
+    | Ast.Self -> [ n ]
+    | Ast.Child -> n.Dom.children
+    | Ast.Descendant -> Dom.descendants n
+    | Ast.Descendant_or_self -> n :: Dom.descendants n
+    | Ast.Parent -> ( match n.Dom.parent with Some p -> [ p ] | None -> [])
+    | Ast.Ancestor -> Dom.ancestors n
+    | Ast.Ancestor_or_self -> n :: Dom.ancestors n
+    | Ast.Following_sibling -> siblings ~before:false n
+    | Ast.Preceding_sibling -> siblings ~before:true n
+    | Ast.Following ->
+      let r = rank_of n in
+      List.filter
+        (fun x ->
+          rank_of x > r
+          && not (Dom.is_ancestor ~anc:n ~desc:x))
+        (Dom.preorder root)
+    | Ast.Preceding ->
+      let r = rank_of n in
+      List.rev
+        (List.filter
+           (fun x ->
+             rank_of x < r
+             && not (Dom.is_ancestor ~anc:x ~desc:n))
+           (Dom.preorder root))
+    | Ast.Attribute -> invalid_arg "Engine_naive: attribute axis"
+  in
+  {
+    Eval.root;
+    axis;
+    named_axis = (fun _ _ _ -> None);
+    compare_order;
+    rank_of = (fun n -> Hashtbl.find_opt rank n.Dom.serial);
+  }

@@ -1,0 +1,8 @@
+(** Baseline axis engine: every axis is computed by walking the DOM, with a
+    precomputed preorder-rank table for document-order comparisons.  This is
+    the "scan the tree" evaluation the paper's numbering-driven approach is
+    measured against in experiment E4. *)
+
+val create : Rxml.Dom.t -> Eval.engine
+(** Snapshot the tree rooted at the argument.  Rebuild after structural
+    updates. *)

@@ -1,0 +1,75 @@
+module Dom = Rxml.Dom
+module R2 = Ruid.Ruid2
+module Rel = Ruid.Rel
+
+let create r2 =
+  let root = R2.root r2 in
+  let index = Tag_index.create r2 in
+  let by_tag tag = Tag_index.find index tag in
+  let id n = R2.id_of_node r2 n in
+  (* Document-order ranks are snapshotted alongside the tag index; pairwise
+     order between arbitrary identifiers is still available through
+     [R2.doc_order], but result merging sorts by rank. *)
+  let rank = Hashtbl.create 1024 in
+  List.iteri (fun i n -> Hashtbl.replace rank n.Dom.serial i) (R2.all_nodes r2);
+  let compare_order a b =
+    match (Hashtbl.find_opt rank a.Dom.serial, Hashtbl.find_opt rank b.Dom.serial) with
+    | Some ra, Some rb -> Stdlib.compare ra rb
+    | _ -> R2.doc_order r2 (id a) (id b)
+  in
+  let rank_sorted nodes =
+    List.map
+      (fun n ->
+        (Option.value ~default:max_int (Hashtbl.find_opt rank n.Dom.serial), n))
+      nodes
+    |> List.sort (fun (a, _) (b, _) -> Stdlib.compare a b)
+    |> List.map snd
+  in
+  let axis (a : Ast.axis) n =
+    match a with
+    | Ast.Self -> [ n ]
+    | Ast.Child -> R2.children r2 n
+    | Ast.Descendant -> rank_sorted (R2.descendants_unordered r2 n)
+    | Ast.Descendant_or_self ->
+      n :: rank_sorted (R2.descendants_unordered r2 n)
+    | Ast.Parent -> (
+      match R2.parent_node r2 n with Some p -> [ p ] | None -> [])
+    | Ast.Ancestor -> R2.ancestors r2 n
+    | Ast.Ancestor_or_self -> n :: R2.ancestors r2 n
+    | Ast.Following_sibling -> R2.following_siblings r2 n
+    | Ast.Preceding_sibling -> List.rev (R2.preceding_siblings r2 n)
+    | Ast.Following -> R2.following r2 n
+    | Ast.Preceding -> List.rev (R2.preceding r2 n)
+    | Ast.Attribute -> invalid_arg "Engine_ruid: attribute axis"
+  in
+  (* Name tests on unbounded axes: take the tag's posting list and decide
+     membership per candidate by identifier arithmetic alone. *)
+  let named_axis (a : Ast.axis) tag n =
+    let rel_filter want =
+      let nid = id n in
+      List.filter (fun c -> Rel.equal (R2.relationship r2 (id c) nid) want)
+        (by_tag tag)
+    in
+    match a with
+    | Ast.Descendant ->
+      (* Filtering the posting list costs one relationship check per posted
+         node; past a point, generating the axis and testing the tag is
+         cheaper (the trade-off Section 3.5 discusses). *)
+      if List.length (by_tag tag) <= 256 then Some (rel_filter Rel.Descendant)
+      else None
+    | Ast.Following -> Some (rel_filter Rel.After)
+    | Ast.Preceding -> Some (List.rev (rel_filter Rel.Before))
+    | Ast.Ancestor ->
+      (* rancestor, then tag filter: O(depth) identifiers. *)
+      Some (List.filter (fun x -> Dom.tag x = tag) (R2.ancestors r2 n))
+    | Ast.Child | Ast.Parent | Ast.Self | Ast.Descendant_or_self
+    | Ast.Ancestor_or_self | Ast.Following_sibling | Ast.Preceding_sibling
+    | Ast.Attribute -> None
+  in
+  {
+    Eval.root;
+    axis;
+    named_axis;
+    compare_order;
+    rank_of = (fun n -> Hashtbl.find_opt rank n.Dom.serial);
+  }

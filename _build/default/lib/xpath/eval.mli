@@ -1,0 +1,47 @@
+(** XPath evaluation core, parameterized by an axis {e engine}.
+
+    The paper's Section 3.5 point is that the same location-path semantics
+    can be driven either by walking the tree or by identifier arithmetic
+    over kappa and K; the two engines ({!Engine_naive}, {!Engine_ruid})
+    plug into this shared evaluator, which implements node tests,
+    predicates with proximity positions (reverse axes count backwards),
+    document-order result merging and the core function library. *)
+
+type engine = {
+  root : Rxml.Dom.t;
+  axis : Ast.axis -> Rxml.Dom.t -> Rxml.Dom.t list;
+      (** nodes of the axis in {e axis order} (reverse axes nearest-first);
+          never called with {!Ast.Attribute} *)
+  named_axis : Ast.axis -> string -> Rxml.Dom.t -> Rxml.Dom.t list option;
+      (** optional fast path for a name test on an axis; must return the
+          same nodes as filtering [axis] by tag, in axis order *)
+  compare_order : Rxml.Dom.t -> Rxml.Dom.t -> int;  (** document order *)
+  rank_of : Rxml.Dom.t -> int option;
+      (** snapshot preorder rank when the engine keeps one; [None] lets
+          sorts fall back to [compare_order] *)
+}
+
+type value =
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Nodes of Rxml.Dom.t list  (** in document order *)
+  | Attrs of string list  (** attribute values, when a path ends in [@...] *)
+
+val select : engine -> ?context:Rxml.Dom.t -> Ast.path -> Rxml.Dom.t list
+(** Evaluate a location path; context defaults to the root.  Results are in
+    document order without duplicates.
+    @raise Invalid_argument if the path ends on the attribute axis. *)
+
+val eval : engine -> ?context:Rxml.Dom.t -> Ast.path -> value
+(** Like {!select} but keeps attribute results. *)
+
+val select_union : engine -> ?context:Rxml.Dom.t -> Ast.union_path -> Rxml.Dom.t list
+(** Union of the alternatives, merged into document order. *)
+
+val query : engine -> ?context:Rxml.Dom.t -> string -> Rxml.Dom.t list
+(** Parse (unions allowed) and select. *)
+
+val to_bool : value -> bool
+val to_num : value -> float
+val to_str : value -> string

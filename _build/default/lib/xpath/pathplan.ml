@@ -1,0 +1,66 @@
+module Dom = Rxml.Dom
+module R2 = Ruid.Ruid2
+module J = Rjoin.Structural_join
+
+type connector = Child | Descendant
+
+type plan = { absolute : bool; steps : (connector * string) list }
+
+let pp_plan ppf p =
+  List.iteri
+    (fun i (c, tag) ->
+      let sep = match c with Child -> "/" | Descendant -> "//" in
+      if i > 0 || p.absolute || c = Descendant then
+        Format.pp_print_string ppf sep;
+      Format.pp_print_string ppf tag)
+    p.steps
+
+let compile (path : Ast.path) : plan option =
+  (* Recognize alternating [descendant-or-self::node()] + [child::name]
+     (the // expansion) and plain [child::name] / [descendant::name]
+     steps, all without predicates. *)
+  let rec go acc = function
+    | [] -> Some (List.rev acc)
+    | { Ast.axis = Ast.Descendant_or_self; test = Ast.Node_any; preds = [] }
+      :: { Ast.axis = Ast.Child; test = Ast.Name t; preds = [] }
+      :: rest ->
+      go ((Descendant, t) :: acc) rest
+    | { Ast.axis = Ast.Child; test = Ast.Name t; preds = [] } :: rest ->
+      go ((Child, t) :: acc) rest
+    | { Ast.axis = Ast.Descendant; test = Ast.Name t; preds = [] } :: rest ->
+      go ((Descendant, t) :: acc) rest
+    | _ -> None
+  in
+  match go [] path.Ast.steps with
+  | Some ((_ :: _) as steps) -> Some { absolute = path.Ast.absolute; steps }
+  | Some [] | None -> None
+
+let run r2 index ?context plan =
+  let context = Option.value ~default:(R2.root r2) context in
+  let start = [ context ] in
+  List.fold_left
+    (fun frontier (connector, tag) ->
+      let candidates = Tag_index.find index tag in
+      match connector with
+      | Descendant -> J.semijoin_descendants r2 ~anc:frontier ~desc:candidates
+      | Child ->
+        (* One rparent probe per candidate. *)
+        let table = Hashtbl.create (List.length frontier * 2) in
+        List.iter
+          (fun p -> Hashtbl.replace table (R2.id_of_node r2 p) ())
+          frontier;
+        List.filter
+          (fun c ->
+            match R2.rparent r2 (R2.id_of_node r2 c) with
+            | Some pid -> Hashtbl.mem table pid
+            | None -> false)
+          candidates)
+    start plan.steps
+
+let query r2 index ?context src =
+  match Xparser.parse src with
+  | exception Xparser.Syntax_error _ -> None
+  | path -> (
+    match compile path with
+    | None -> None
+    | Some plan -> Some (run r2 index ?context plan))

@@ -1,0 +1,31 @@
+(** Structural-join query plans for simple location paths.
+
+    A path consisting only of child and descendant name-test steps (the
+    common [/a/b//c] shape) can be evaluated without walking the tree at
+    all: take each tag's posting list from the {!Tag_index} and connect
+    adjacent step candidates with the semijoins of {!Rjoin.Structural_join}
+    — one [rparent] probe per candidate for child steps, one [rancestor]
+    probe for descendant steps.  This is the query-evaluation application
+    of Section 4 spelled out as an operator pipeline.
+
+    Paths with predicates, other axes, wildcards or text tests are not
+    plannable and {!compile} returns [None]; callers fall back to
+    {!Eval}. *)
+
+type connector = Child | Descendant
+
+type plan = { absolute : bool; steps : (connector * string) list }
+
+val compile : Ast.path -> plan option
+
+val pp_plan : Format.formatter -> plan -> unit
+
+val run :
+  Ruid.Ruid2.t -> Tag_index.t -> ?context:Rxml.Dom.t -> plan -> Rxml.Dom.t list
+(** Evaluate by forward semijoins; context defaults to the numbered root.
+    Results are in document order (the final posting list's own order
+    filtered in place). *)
+
+val query :
+  Ruid.Ruid2.t -> Tag_index.t -> ?context:Rxml.Dom.t -> string -> Rxml.Dom.t list option
+(** Parse, compile and run; [None] when the path is not plannable. *)

@@ -1,0 +1,23 @@
+module Dom = Rxml.Dom
+
+type t = (string, Dom.t list ref) Hashtbl.t
+
+let create r2 =
+  let index = Hashtbl.create 64 in
+  List.iter
+    (fun n ->
+      if Dom.is_element n then begin
+        let tag = Dom.tag n in
+        match Hashtbl.find_opt index tag with
+        | Some l -> l := n :: !l
+        | None -> Hashtbl.replace index tag (ref [ n ])
+      end)
+    (List.rev (Ruid.Ruid2.all_nodes r2));
+  index
+
+let find t tag =
+  match Hashtbl.find_opt t tag with Some l -> !l | None -> []
+
+let cardinality t tag = List.length (find t tag)
+let tags t = Hashtbl.fold (fun tag _ acc -> tag :: acc) t []
+let total t = Hashtbl.fold (fun _ l acc -> acc + List.length !l) t 0

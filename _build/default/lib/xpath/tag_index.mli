@@ -1,0 +1,14 @@
+(** Element-name index over a numbered document: tag -> nodes in document
+    order.  The paper's query-processing strategy (Section 3.5) starts from
+    "the set of nodes satisfying C" — for name tests, exactly this index —
+    and decides axis membership per candidate by identifier arithmetic. *)
+
+type t
+
+val create : Ruid.Ruid2.t -> t
+val find : t -> string -> Rxml.Dom.t list
+(** Document order; empty for unknown tags. *)
+
+val cardinality : t -> string -> int
+val tags : t -> string list
+val total : t -> int

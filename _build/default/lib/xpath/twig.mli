@@ -1,0 +1,45 @@
+(** Twig (branching path) pattern matching over a numbered document.
+
+    A twig is a tree of (tag, edge) nodes — edges are child or descendant —
+    the shape behind XPath steps with structural predicates, e.g.
+    [//item[name][description//text]/payment].  Matching runs in two
+    semijoin passes over the tag index, every structural test being
+    identifier arithmetic:
+
+    - bottom-up: a node survives if, for every pattern child, some
+      candidate of that child has it as parent ([rparent]) or ancestor
+      ([rancestor]);
+    - top-down: a node survives if its own parent/ancestor chain reaches a
+      surviving candidate of the pattern parent.
+
+    The result is the match set of a designated {e output} node (the last
+    spine step of the originating XPath).  Equivalence with the full XPath
+    evaluator is property-tested. *)
+
+type edge = Child | Descendant
+
+type pattern = {
+  tag : string;
+  edge : edge;  (** relation to the pattern parent (or to the context for
+                    the root) *)
+  branches : pattern list;  (** structural predicates *)
+  spine : pattern option;  (** continuation of the extraction path *)
+}
+
+type t
+
+val pattern : t -> pattern
+
+val of_xpath : Ast.path -> t option
+(** Compile an XPath whose steps are child/descendant name tests and whose
+    predicates are (conjunctions of) relative child/descendant name-test
+    paths — the twig fragment.  [None] for anything else. *)
+
+val run :
+  Ruid.Ruid2.t -> Tag_index.t -> ?context:Rxml.Dom.t -> t -> Rxml.Dom.t list
+(** Matches of the output node, in document order. *)
+
+val query :
+  Ruid.Ruid2.t -> Tag_index.t -> ?context:Rxml.Dom.t -> string ->
+  Rxml.Dom.t list option
+(** Parse, compile and run; [None] when not a twig. *)

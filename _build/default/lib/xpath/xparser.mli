@@ -1,0 +1,19 @@
+(** Parser for the XPath subset (lexing included).
+
+    Supported syntax: absolute and relative location paths; all axes of
+    {!Ast.axis} in explicit [axis::test] form; the abbreviations [//], [.],
+    [..], [@name]; name, [*], [text()], [node()], [comment()] node tests;
+    predicates with [or]/[and], the six comparison operators, numeric and
+    string literals, [position()], [last()], [count(path)], [not(expr)],
+    and nested relative paths. *)
+
+exception Syntax_error of string
+
+val parse : string -> Ast.path
+(** @raise Syntax_error on malformed input (including union expressions —
+    use {!parse_union} for those). *)
+
+val parse_union : string -> Ast.union_path
+(** Parse a ['|']-separated union of location paths (a single path yields
+    a one-element union).
+    @raise Syntax_error on malformed input. *)

@@ -1,0 +1,1 @@
+test/test_auto.ml: Alcotest List Ruid Rworkload Rxml Rxpath Util

@@ -1,0 +1,1 @@
+test/test_bignat.ml: Alcotest Bignum List QCheck Util

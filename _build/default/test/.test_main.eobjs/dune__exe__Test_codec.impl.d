@@ -1,0 +1,1 @@
+test/test_codec.ml: Alcotest Bignum Buffer Bytes List QCheck Ruid Rworkload Rxml Util

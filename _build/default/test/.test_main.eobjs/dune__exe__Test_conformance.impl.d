@@ -1,0 +1,1 @@
+test/test_conformance.ml: Alcotest List Printf Ruid Rxml Rxpath String

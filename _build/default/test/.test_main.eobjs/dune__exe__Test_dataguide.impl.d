@@ -1,0 +1,1 @@
+test/test_dataguide.ml: Alcotest List QCheck Rsummary Rworkload Rxml Rxpath String Util

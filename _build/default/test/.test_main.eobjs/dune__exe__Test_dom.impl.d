@@ -1,0 +1,1 @@
+test/test_dom.ml: Alcotest List QCheck Rworkload Rxml Util

@@ -1,0 +1,1 @@
+test/test_frame.ml: Alcotest List Printf QCheck Ruid Rworkload Rxml Util

@@ -1,0 +1,1 @@
+test/test_join.ml: Alcotest Baselines List Printf QCheck Rjoin Ruid Rworkload Rxml Stdlib Util

@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Float List Ruid Rxml Rxpath Util

@@ -1,0 +1,1 @@
+test/test_mruid.ml: Alcotest List Printf QCheck Ruid Rworkload Rxml Unix Util

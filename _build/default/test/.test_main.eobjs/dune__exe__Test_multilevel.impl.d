@@ -1,0 +1,1 @@
+test/test_multilevel.ml: Alcotest Bignum List Printf Ruid Rworkload Rxml Util

@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Format List QCheck Rworkload Rxml String Util

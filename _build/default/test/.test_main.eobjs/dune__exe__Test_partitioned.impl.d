@@ -1,0 +1,1 @@
+test/test_partitioned.ml: Alcotest Array List Printf Rstorage Ruid Rworkload Rxml Util

@@ -1,0 +1,1 @@
+test/test_pathplan.ml: Alcotest Format List Option QCheck Ruid Rworkload Rxml Rxpath Util

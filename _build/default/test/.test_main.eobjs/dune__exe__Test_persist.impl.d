@@ -1,0 +1,1 @@
+test/test_persist.ml: Alcotest Bytes Filename List QCheck Ruid Rworkload Rxml Sys Util

@@ -1,0 +1,1 @@
+test/test_reconstruct.ml: Alcotest List Ruid Rworkload Rxml Util

@@ -1,0 +1,1 @@
+test/test_ruid2.ml: Alcotest Array List QCheck Ruid Rworkload Rxml Util

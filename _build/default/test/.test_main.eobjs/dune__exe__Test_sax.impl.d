@@ -1,0 +1,1 @@
+test/test_sax.ml: Alcotest Hashtbl List QCheck Rworkload Rxml Util

@@ -1,0 +1,1 @@
+test/test_schemes.ml: Alcotest Baselines List Printf QCheck Ruid Rworkload Rxml String Util

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Array Hashtbl List Option QCheck Rstorage Ruid Rworkload Rxml Util

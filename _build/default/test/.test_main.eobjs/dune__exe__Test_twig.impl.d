@@ -1,0 +1,1 @@
+test/test_twig.ml: Alcotest List Option QCheck Ruid Rworkload Rxml Rxpath Util

@@ -1,0 +1,1 @@
+test/test_uid.ml: Alcotest Bignum Hashtbl List QCheck Ruid Rworkload Rxml Util

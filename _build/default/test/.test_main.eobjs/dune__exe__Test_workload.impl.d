@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array List Ruid Rworkload Rxml Rxpath

@@ -1,0 +1,1 @@
+test/test_xpath.ml: Alcotest List Printf QCheck Ruid Rworkload Rxml Rxpath Util

@@ -1,0 +1,1 @@
+test/util.ml: Alcotest List QCheck QCheck_alcotest Ruid Rxml

@@ -1,0 +1,59 @@
+module Dom = Rxml.Dom
+module Auto = Rxpath.Auto
+open Util
+
+let setup () =
+  let site = Rworkload.Xmark.generate ~seed:31 ~scale:0.8 in
+  let doc = Dom.document () in
+  Dom.append_child doc site;
+  let r2 = Ruid.Ruid2.number ~max_area_size:16 doc in
+  (Auto.create r2, Rxpath.Engine_naive.create doc)
+
+let strategy = Alcotest.testable Auto.pp_strategy ( = )
+
+let test_strategy_selection () =
+  let auto, _ = setup () in
+  List.iter
+    (fun (q, expected) ->
+      Alcotest.check strategy q expected (Auto.choose auto q))
+    [
+      ("//item/name", Auto.Plan);
+      ("/site/regions/africa/item", Auto.Plan);
+      ("//person[creditcard]/name", Auto.Twig_join);
+      ("//item[description//listitem]", Auto.Twig_join);
+      ("//item[@id='x']", Auto.Engine);
+      ("//item[2]", Auto.Engine);
+      ("//name | //payment", Auto.Engine);
+      ("//listitem/ancestor::item", Auto.Engine);
+    ]
+
+let test_results_match_naive () =
+  let auto, naive = setup () in
+  List.iter
+    (fun q ->
+      check_node_list q (Rxpath.Eval.query naive q) (Auto.query auto q))
+    [
+      "//item/name";
+      "/site/regions/africa/item";
+      "//person[creditcard]/name";
+      "//item[description//listitem]/quantity";
+      "//item[@id='itemafrica1']";
+      "//bidder[1]/increase";
+      "//name | //payment";
+      "//listitem/ancestor::item";
+      "//annotation/preceding::bidder";
+    ]
+
+let test_context_respected () =
+  let auto, naive = setup () in
+  let regions = List.hd (Rxpath.Eval.query naive "/site/regions") in
+  check_node_list "relative plan from context"
+    (Rxpath.Eval.query naive ~context:regions "africa/item/name")
+    (Auto.query auto ~context:regions "africa/item/name")
+
+let suite =
+  [
+    Alcotest.test_case "strategy selection" `Quick test_strategy_selection;
+    Alcotest.test_case "results match the naive engine" `Quick test_results_match_naive;
+    Alcotest.test_case "context respected" `Quick test_context_respected;
+  ]

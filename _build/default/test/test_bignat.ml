@@ -1,0 +1,116 @@
+module B = Bignum.Bignat
+
+let big s = B.of_string s
+
+let check_b msg expected actual =
+  Alcotest.(check string) msg (B.to_string expected) (B.to_string actual)
+
+let test_of_to_int () =
+  Alcotest.(check (option int)) "0" (Some 0) (B.to_int_opt B.zero);
+  Alcotest.(check (option int)) "1" (Some 1) (B.to_int_opt B.one);
+  Alcotest.(check (option int)) "max_int round-trips" (Some max_int)
+    (B.to_int_opt (B.of_int max_int));
+  let beyond = B.add_int (B.of_int max_int) 1 in
+  Alcotest.(check (option int)) "max_int+1 does not fit" None (B.to_int_opt beyond);
+  Alcotest.check_raises "negative rejected" (Invalid_argument "Bignat.of_int: negative")
+    (fun () -> ignore (B.of_int (-1)))
+
+let test_string_round_trip () =
+  List.iter
+    (fun s -> Alcotest.(check string) s s (B.to_string (big s)))
+    [ "0"; "1"; "42"; "999999999"; "1000000000";
+      "123456789012345678901234567890";
+      "340282366920938463463374607431768211456" (* 2^128 *) ]
+
+let test_arith_basics () =
+  check_b "add" (big "1000000000000000000000") (B.add (big "999999999999999999999") B.one);
+  check_b "sub" (big "999999999999999999999") (B.sub (big "1000000000000000000000") B.one);
+  check_b "mul" (big "340282366920938463463374607431768211456")
+    (B.mul (big "18446744073709551616") (big "18446744073709551616"));
+  check_b "pow" (big "18446744073709551616") (B.pow (B.of_int 2) 64);
+  Alcotest.check_raises "negative sub" (Invalid_argument "Bignat.sub: negative result")
+    (fun () -> ignore (B.sub B.one (B.of_int 2)))
+
+let test_divmod () =
+  let q, r = B.divmod_int (big "1000000000000000000001") 7 in
+  check_b "quotient" (big "142857142857142857143") q;
+  Alcotest.(check int) "remainder" 0 r;
+  let q2, r2 = B.divmod (big "123456789012345678901234567890") (big "987654321") in
+  check_b "recompose" (big "123456789012345678901234567890")
+    (B.add (B.mul q2 (big "987654321")) r2);
+  Alcotest.(check bool) "rem < divisor" true (B.compare r2 (big "987654321") < 0)
+
+let test_bit_length () =
+  Alcotest.(check int) "0" 0 (B.bit_length B.zero);
+  Alcotest.(check int) "1" 1 (B.bit_length B.one);
+  Alcotest.(check int) "2^64" 65 (B.bit_length (B.pow (B.of_int 2) 64));
+  Alcotest.(check int) "2^64 - 1" 64 (B.bit_length (B.sub (B.pow (B.of_int 2) 64) B.one))
+
+let test_compare () =
+  Alcotest.(check bool) "lt" true (B.compare (big "99") (big "100") < 0);
+  Alcotest.(check bool) "multi-digit lt" true
+    (B.compare (big "999999999999999999") (big "1000000000000000000") < 0);
+  Alcotest.(check bool) "eq" true (B.equal (big "12345678901234567890") (big "12345678901234567890"))
+
+(* Property tests: model Bignat against native ints where both apply. *)
+let small = QCheck.map abs QCheck.int
+
+let prop_int_model =
+  Util.qtest "of_int/to_int round-trip" small (fun n ->
+      B.to_int_opt (B.of_int n) = Some n)
+
+let prop_add_model =
+  Util.qtest "add matches int add"
+    QCheck.(pair (map abs small_int) (map abs small_int))
+    (fun (a, b) -> B.to_int_opt (B.add (B.of_int a) (B.of_int b)) = Some (a + b))
+
+let prop_mul_model =
+  Util.qtest "mul matches int mul"
+    QCheck.(pair (int_bound 1_000_000) (int_bound 1_000_000))
+    (fun (a, b) -> B.to_int_opt (B.mul (B.of_int a) (B.of_int b)) = Some (a * b))
+
+let prop_string_round_trip =
+  Util.qtest "decimal string round-trip" small (fun n ->
+      B.equal (B.of_string (B.to_string (B.of_int n))) (B.of_int n))
+
+let prop_divmod =
+  Util.qtest "divmod recomposes"
+    QCheck.(pair (map abs int) (int_range 1 1_000_000))
+    (fun (a, d) ->
+      let q, r = B.divmod_int (B.of_int a) (d land 0x3FFFFFFF |> max 1) in
+      let d = d land 0x3FFFFFFF |> max 1 in
+      r >= 0 && r < d && B.equal (B.add_int (B.mul_int q d) r) (B.of_int a))
+
+let prop_sub_add =
+  Util.qtest "a + b - b = a" QCheck.(pair (map abs int) (map abs int))
+    (fun (a, b) ->
+      let ba = B.of_int a and bb = B.of_int b in
+      B.equal (B.sub (B.add ba bb) bb) ba)
+
+let prop_compare_model =
+  Util.qtest "compare matches int compare" QCheck.(pair (map abs int) (map abs int))
+    (fun (a, b) -> compare a b = B.compare (B.of_int a) (B.of_int b))
+
+let prop_pow =
+  Util.qtest "pow = iterated mul" QCheck.(pair (int_range 0 9) (int_range 0 9))
+    (fun (b, e) ->
+      let rec imul acc i = if i = 0 then acc else imul (B.mul_int acc b) (i - 1) in
+      B.equal (B.pow (B.of_int b) e) (imul B.one e))
+
+let suite =
+  [
+    Alcotest.test_case "of_int/to_int_opt" `Quick test_of_to_int;
+    Alcotest.test_case "string round-trip" `Quick test_string_round_trip;
+    Alcotest.test_case "add/sub/mul/pow" `Quick test_arith_basics;
+    Alcotest.test_case "divmod" `Quick test_divmod;
+    Alcotest.test_case "bit_length" `Quick test_bit_length;
+    Alcotest.test_case "compare" `Quick test_compare;
+    prop_int_model;
+    prop_add_model;
+    prop_mul_model;
+    prop_string_round_trip;
+    prop_divmod;
+    prop_sub_add;
+    prop_compare_model;
+    prop_pow;
+  ]

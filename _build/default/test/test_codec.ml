@@ -1,0 +1,100 @@
+module C = Ruid.Codec
+module R2 = Ruid.Ruid2
+module M = Ruid.Mruid
+module Shape = Rworkload.Shape
+
+let test_varint_sizes () =
+  List.iter
+    (fun (n, expected) ->
+      Alcotest.(check int) (string_of_int n) expected (C.varint_size n))
+    [ (0, 1); (127, 1); (128, 2); (16383, 2); (16384, 3); (1 lsl 60, 9) ]
+
+let test_varint_round_trip () =
+  List.iter
+    (fun n ->
+      let buf = Buffer.create 8 in
+      C.write_varint buf n;
+      let bytes = Buffer.to_bytes buf in
+      Alcotest.(check int) "size matches" (C.varint_size n) (Bytes.length bytes);
+      let v, pos = C.read_varint bytes ~pos:0 in
+      Alcotest.(check int) "value" n v;
+      Alcotest.(check int) "position" (Bytes.length bytes) pos)
+    [ 0; 1; 127; 128; 300; 65535; 1_000_000; max_int ]
+
+let test_ruid2_round_trip () =
+  let root = Shape.generate ~seed:2 ~target:300 (Shape.Uniform { fanout_lo = 0; fanout_hi = 5 }) in
+  let r2 = R2.number ~max_area_size:8 root in
+  List.iter
+    (fun n ->
+      let id = R2.id_of_node r2 n in
+      let enc = C.encode_ruid2 id in
+      Alcotest.(check int) "declared size" (C.ruid2_size id) (Bytes.length enc);
+      Alcotest.(check bool) "round trip" true
+        (R2.id_equal (C.decode_ruid2 enc) id))
+    (Rxml.Dom.preorder root)
+
+let test_mruid_round_trip () =
+  let root = Shape.generate ~seed:5 ~target:400 (Shape.Uniform { fanout_lo = 1; fanout_hi = 4 }) in
+  let m = M.build ~max_area_size:6 ~top_size:8 root in
+  List.iter
+    (fun n ->
+      let id = M.id_of_node m n in
+      let enc = C.encode_mruid id in
+      Alcotest.(check int) "declared size" (C.mruid_size id) (Bytes.length enc);
+      Alcotest.(check bool) "round trip" true (M.id_equal (C.decode_mruid enc) id))
+    (Rxml.Dom.preorder root)
+
+let test_bignat_size () =
+  let b = Bignum.Bignat.pow (Bignum.Bignat.of_int 2) 140 in
+  (* 141 bits -> 21 payload bytes + 1 length byte *)
+  Alcotest.(check int) "2^140" 22 (C.bignat_size b);
+  Alcotest.(check int) "zero still occupies a byte" 2 (C.bignat_size Bignum.Bignat.zero)
+
+let test_decode_garbage () =
+  Alcotest.check_raises "truncated"
+    (Invalid_argument "Codec.read_varint: truncated input") (fun () ->
+      ignore (C.read_varint (Bytes.of_string "\xff") ~pos:0));
+  Alcotest.check_raises "trailing"
+    (Invalid_argument "Codec.decode_ruid2: trailing bytes") (fun () ->
+      let buf = Buffer.create 8 in
+      C.write_varint buf 0;
+      C.write_varint buf 1;
+      C.write_varint buf 1;
+      C.write_varint buf 9;
+      ignore (C.decode_ruid2 (Buffer.to_bytes buf)))
+
+let prop_varint_round_trip =
+  Util.qtest "varint round-trips arbitrary non-negative ints"
+    QCheck.(map abs int)
+    (fun n ->
+      let buf = Buffer.create 10 in
+      C.write_varint buf n;
+      fst (C.read_varint (Buffer.to_bytes buf) ~pos:0) = n)
+
+let prop_concatenated_varints =
+  Util.qtest "varint streams decode in sequence"
+    QCheck.(small_list (map abs small_int))
+    (fun ns ->
+      let buf = Buffer.create 32 in
+      List.iter (C.write_varint buf) ns;
+      let bytes = Buffer.to_bytes buf in
+      let rec go pos acc =
+        if pos >= Bytes.length bytes then List.rev acc
+        else begin
+          let v, pos = C.read_varint bytes ~pos in
+          go pos (v :: acc)
+        end
+      in
+      go 0 [] = ns)
+
+let suite =
+  [
+    Alcotest.test_case "varint sizes" `Quick test_varint_sizes;
+    prop_varint_round_trip;
+    prop_concatenated_varints;
+    Alcotest.test_case "varint round trip" `Quick test_varint_round_trip;
+    Alcotest.test_case "ruid2 round trip" `Quick test_ruid2_round_trip;
+    Alcotest.test_case "mruid round trip" `Quick test_mruid_round_trip;
+    Alcotest.test_case "bignat size" `Quick test_bignat_size;
+    Alcotest.test_case "garbage rejected" `Quick test_decode_garbage;
+  ]

@@ -1,0 +1,104 @@
+(* XPath conformance against hand-computed expectations on a fixed document.
+   Unlike the engine-equivalence properties (which would miss a bug shared
+   by both engines), every expectation here was derived by hand. *)
+
+module Dom = Rxml.Dom
+
+let doc_text =
+  {|<company>
+      <dept name="eng">
+        <team name="db">
+          <emp id="e1"><name>Ada</name><salary>120</salary></emp>
+          <emp id="e2"><name>Bob</name><salary>90</salary><lead/></emp>
+        </team>
+        <team name="ml">
+          <emp id="e3"><name>Cleo</name><salary>150</salary><lead/></emp>
+        </team>
+      </dept>
+      <dept name="ops">
+        <emp id="e4"><name>Dan</name><salary>80</salary></emp>
+      </dept>
+      <note>restructuring planned</note>
+    </company>|}
+
+let engines () =
+  let d1 = Rxml.Parser.parse_string doc_text in
+  let d2 = Rxml.Parser.parse_string doc_text in
+  [
+    ("naive", Rxpath.Engine_naive.create d1);
+    ("ruid", Rxpath.Engine_ruid.create (Ruid.Ruid2.number ~max_area_size:5 d2));
+  ]
+
+(* (query, expected count, expected concatenated text or "" to skip) *)
+let expectations =
+  [
+    ("/company", 1, "");
+    ("/company/dept", 2, "");
+    ("/company/dept/team", 2, "");
+    ("//emp", 4, "");
+    ("//emp/name", 4, "AdaBobCleoDan");
+    ("//team//name", 3, "AdaBobCleo");
+    ("//emp[lead]", 2, "");
+    ("//emp[lead]/name", 2, "BobCleo");
+    ("//emp[not(lead)]/name", 2, "AdaDan");
+    ("//emp[salary>100]/name", 2, "AdaCleo");
+    ("//emp[salary>100][lead]/name", 1, "Cleo");
+    ("//dept[@name='eng']//emp", 3, "");
+    ("//dept[@name='ops']/emp/name", 1, "Dan");
+    ("//team[1]/emp", 2, "");
+    ("//team/emp[2]", 1, "");
+    ("//team/emp[last()]/name", 2, "BobCleo");
+    ("//emp[position()=1]/name", 3, "AdaCleoDan");
+    ("/company/*", 3, "");
+    ("/company/*[name()='note']", 1, "restructuring planned");
+    ("//name[.='Ada']", 1, "Ada");
+    ("//name[starts-with(., 'C')]", 1, "Cleo");
+    ("//name[contains(., 'a')]", 2, "AdaDan");
+    ("//salary[string-length(.)=2]", 2, "9080");
+    ("//emp[name='Bob']/following-sibling::emp", 0, "");
+    ("//emp[name='Ada']/following-sibling::emp/name", 1, "Bob");
+    ("//lead/parent::emp/name", 2, "BobCleo");
+    ("//lead/ancestor::team", 2, "");
+    ("//lead/ancestor::dept", 1, "");
+    ("//note/preceding::emp", 4, "");
+    ("//emp[name='Cleo']/preceding::emp", 2, "");
+    ("//emp[name='Ada']/following::emp", 3, "");
+    ("//team[@name='ml']/preceding-sibling::team", 1, "");
+    ("//emp/name | //note", 5, "");
+    ("//dept[count(team)=0]", 1, "");
+    ("//dept[count(.//emp)=3]", 1, "");
+    ("//emp[salary<100 and lead]/name", 1, "Bob");
+    ("//emp[salary<100 or lead]/name", 3, "BobCleoDan");
+  ]
+
+let test_expectations () =
+  List.iter
+    (fun (name, eng) ->
+      List.iter
+        (fun (q, count, text) ->
+          let results = Rxpath.Eval.query eng q in
+          Alcotest.(check int)
+            (Printf.sprintf "%s: count %s" name q)
+            count (List.length results);
+          if text <> "" then
+            Alcotest.(check string)
+              (Printf.sprintf "%s: text %s" name q)
+              text
+              (String.concat "" (List.map Dom.text_content results)))
+        expectations)
+    (engines ())
+
+let test_attribute_expectations () =
+  List.iter
+    (fun (name, eng) ->
+      match Rxpath.Eval.eval eng (Rxpath.Xparser.parse "//dept/@name") with
+      | Rxpath.Eval.Attrs vs ->
+        Alcotest.(check (list string)) (name ^ ": dept names") [ "eng"; "ops" ] vs
+      | _ -> Alcotest.fail "expected attribute values")
+    (engines ())
+
+let suite =
+  [
+    Alcotest.test_case "hand-computed expectations" `Quick test_expectations;
+    Alcotest.test_case "attribute expectations" `Quick test_attribute_expectations;
+  ]

@@ -1,0 +1,88 @@
+module Dom = Rxml.Dom
+module G = Rsummary.Dataguide
+module Shape = Rworkload.Shape
+open Util
+
+let sample () =
+  Rxml.Parser.parse_string
+    {|<site>
+        <people><person><name/></person><person><name/><age/></person></people>
+        <items><item><name/></item></items>
+      </site>|}
+  |> Dom.root_element
+
+let test_structure () =
+  let g = G.build (sample ()) in
+  Alcotest.(check int) "document nodes" 10 (G.document_nodes g);
+  (* Distinct paths: site, site/people, site/people/person,
+     site/people/person/name, site/people/person/age, site/items,
+     site/items/item, site/items/item/name. *)
+  Alcotest.(check int) "guide nodes" 8 (G.guide_nodes g);
+  Alcotest.(check int) "paths enumerated" 8 (List.length (G.paths g))
+
+let test_targets () =
+  let root = sample () in
+  let g = G.build root in
+  Alcotest.(check int) "two persons" 2
+    (List.length (G.targets g [ "site"; "people"; "person" ]));
+  Alcotest.(check int) "person names share a guide node" 2
+    (List.length (G.targets g [ "site"; "people"; "person"; "name" ]));
+  Alcotest.(check int) "item name distinct from person name" 1
+    (List.length (G.targets g [ "site"; "items"; "item"; "name" ]));
+  Alcotest.(check int) "absent path" 0
+    (List.length (G.targets g [ "site"; "nothing" ]));
+  Alcotest.(check bool) "mem" true (G.mem g [ "site"; "people" ]);
+  Alcotest.(check bool) "not mem" false (G.mem g [ "wrong" ])
+
+let test_child_labels () =
+  let g = G.build (sample ()) in
+  Alcotest.(check (list string)) "completion at root" [ "people"; "items" ]
+    (G.child_labels g [ "site" ]);
+  Alcotest.(check (list string)) "completion under person" [ "name"; "age" ]
+    (G.child_labels g [ "site"; "people"; "person" ])
+
+(* The guide answers child-only absolute paths exactly like the XPath
+   evaluator. *)
+let test_matches_xpath () =
+  let root =
+    Shape.generate ~seed:5 ~tags:[| "a"; "b"; "c" |] ~target:300
+      (Shape.Uniform { fanout_lo = 0; fanout_hi = 4 })
+  in
+  let g = G.build root in
+  let doc = Dom.document () in
+  Dom.append_child doc root;
+  let eng = Rxpath.Engine_naive.create doc in
+  List.iter
+    (fun path ->
+      let xpath = "/" ^ String.concat "/" path in
+      match G.answer_child_path g path with
+      | Some guided ->
+        check_node_list xpath (Rxpath.Eval.query eng xpath) guided
+      | None -> Alcotest.fail "guide refused a child path")
+    (G.paths g)
+
+let prop_guide_invariants =
+  Util.qtest ~count:30 "guide target sets partition the document"
+    QCheck.(int_range 2 200)
+    (fun n ->
+      let root =
+        Shape.generate ~seed:(n * 3) ~tags:[| "a"; "b" |] ~target:n
+          (Shape.Uniform { fanout_lo = 0; fanout_hi = 3 })
+      in
+      let g = G.build root in
+      let total =
+        List.fold_left
+          (fun acc p -> acc + List.length (G.targets g p))
+          0 (G.paths g)
+      in
+      (* Every element has exactly one label path. *)
+      total = G.document_nodes g && G.document_nodes g = Dom.size root)
+
+let suite =
+  [
+    Alcotest.test_case "structure" `Quick test_structure;
+    Alcotest.test_case "target sets" `Quick test_targets;
+    Alcotest.test_case "child label completion" `Quick test_child_labels;
+    Alcotest.test_case "guide answers match XPath" `Quick test_matches_xpath;
+    prop_guide_invariants;
+  ]

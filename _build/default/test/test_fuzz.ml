@@ -1,0 +1,97 @@
+(* Failure injection: decoders and parsers must reject garbage with their
+   documented exceptions, never crash or loop. *)
+
+module Rng = Rworkload.Rng
+
+let random_bytes rng n =
+  Bytes.init n (fun _ -> Char.chr (Rng.int rng 256))
+
+let test_parser_fuzz () =
+  let rng = Rng.create 1 in
+  for _ = 1 to 500 do
+    let src = Bytes.to_string (random_bytes rng (Rng.int_in rng 0 80)) in
+    match Rxml.Parser.parse_string src with
+    | _ -> () (* the rare accidental well-formed input is fine *)
+    | exception Rxml.Parser.Parse_error _ -> ()
+  done
+
+let test_parser_mutation_fuzz () =
+  (* Mutate a valid document: every outcome must be parse or clean error. *)
+  let base = Rxml.Serializer.to_string (Rworkload.Xmark.generate ~seed:2 ~scale:0.05) in
+  let rng = Rng.create 3 in
+  for _ = 1 to 300 do
+    let b = Bytes.of_string base in
+    for _ = 1 to Rng.int_in rng 1 4 do
+      Bytes.set b (Rng.int rng (Bytes.length b)) (Char.chr (Rng.int rng 256))
+    done;
+    match Rxml.Parser.parse_string (Bytes.to_string b) with
+    | _ -> ()
+    | exception Rxml.Parser.Parse_error _ -> ()
+  done
+
+let test_sax_fuzz () =
+  let rng = Rng.create 5 in
+  for _ = 1 to 500 do
+    let src = Bytes.to_string (random_bytes rng (Rng.int_in rng 0 60)) in
+    match Rxml.Sax.iter src ~f:(fun _ -> ()) with
+    | () -> ()
+    | exception Rxml.Parser.Parse_error _ -> ()
+  done
+
+let test_codec_fuzz () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 500 do
+    let b = random_bytes rng (Rng.int_in rng 0 20) in
+    (match Ruid.Codec.decode_ruid2 b with
+    | _ -> ()
+    | exception Invalid_argument _ -> ());
+    match Ruid.Codec.decode_mruid b with
+    | _ -> ()
+    | exception Invalid_argument _ -> ()
+  done
+
+let test_sidecar_fuzz () =
+  let root =
+    Rworkload.Shape.generate ~seed:9 ~target:50
+      (Rworkload.Shape.Uniform { fanout_lo = 1; fanout_hi = 3 })
+  in
+  let rng = Rng.create 11 in
+  (* Random garbage. *)
+  for _ = 1 to 200 do
+    let b = random_bytes rng (Rng.int_in rng 0 40) in
+    match Ruid.Persist.sidecar_of_bytes root b with
+    | _ -> ()
+    | exception Invalid_argument _ -> ()
+  done;
+  (* Mutated valid sidecars. *)
+  let r2 = Ruid.Ruid2.number ~max_area_size:8 root in
+  let valid = Ruid.Persist.sidecar_to_bytes r2 in
+  for _ = 1 to 200 do
+    let b = Bytes.copy valid in
+    Bytes.set b (Rng.int rng (Bytes.length b)) (Char.chr (Rng.int rng 256));
+    match Ruid.Persist.sidecar_of_bytes (Rxml.Dom.clone root) b with
+    | _ -> () (* mutation may land in padding-insensitive spots *)
+    | exception Invalid_argument _ -> ()
+    | exception Not_found -> Alcotest.fail "leaked Not_found"
+  done
+
+let test_xpath_fuzz () =
+  let rng = Rng.create 13 in
+  let chars = "ab/[]@*().|'\"<>=0123 :" in
+  for _ = 1 to 800 do
+    let n = Rng.int_in rng 1 25 in
+    let src = String.init n (fun _ -> chars.[Rng.int rng (String.length chars)]) in
+    match Rxpath.Xparser.parse_union src with
+    | _ -> ()
+    | exception Rxpath.Xparser.Syntax_error _ -> ()
+  done
+
+let suite =
+  [
+    Alcotest.test_case "parser random bytes" `Quick test_parser_fuzz;
+    Alcotest.test_case "parser mutations" `Quick test_parser_mutation_fuzz;
+    Alcotest.test_case "sax random bytes" `Quick test_sax_fuzz;
+    Alcotest.test_case "codec random bytes" `Quick test_codec_fuzz;
+    Alcotest.test_case "sidecar garbage and mutations" `Quick test_sidecar_fuzz;
+    Alcotest.test_case "xpath random strings" `Quick test_xpath_fuzz;
+  ]

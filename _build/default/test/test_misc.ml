@@ -1,0 +1,118 @@
+(* Direct unit tests for small modules otherwise covered only through
+   their callers: Rel, Ktable, Eval value coercions, Stats. *)
+
+module K = Ruid.Ktable
+module Rel = Ruid.Rel
+module Eval = Rxpath.Eval
+open Util
+
+(* ------------------------------------------------------------------ *)
+(* Rel                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_rel_inverse () =
+  List.iter
+    (fun r -> Alcotest.check rel "double inverse" r (Rel.inverse (Rel.inverse r)))
+    [ Rel.Self; Rel.Ancestor; Rel.Descendant; Rel.Before; Rel.After ];
+  Alcotest.check rel "anc/desc" Rel.Descendant (Rel.inverse Rel.Ancestor);
+  Alcotest.check rel "before/after" Rel.After (Rel.inverse Rel.Before)
+
+let test_rel_order () =
+  Alcotest.(check int) "self" 0 (Rel.to_order Rel.Self);
+  Alcotest.(check int) "ancestor first" (-1) (Rel.to_order Rel.Ancestor);
+  Alcotest.(check int) "before first" (-1) (Rel.to_order Rel.Before);
+  Alcotest.(check int) "after last" 1 (Rel.to_order Rel.After);
+  Alcotest.(check string) "printing" "ancestor" (Rel.to_string Rel.Ancestor)
+
+(* ------------------------------------------------------------------ *)
+(* Ktable                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let sample_rows =
+  [
+    { K.global = 1; root_local = 1; fanout = 4 };
+    { K.global = 2; root_local = 2; fanout = 2 };
+    { K.global = 3; root_local = 3; fanout = 3 };
+    { K.global = 10; root_local = 9; fanout = 2 };
+  ]
+
+let test_ktable_lookup () =
+  let t = K.make sample_rows in
+  Alcotest.(check int) "size" 4 (K.size t);
+  Alcotest.(check int) "fanout" 3 (K.fanout t 3);
+  Alcotest.(check int) "root_local" 9 (K.root_local t 10);
+  Alcotest.(check bool) "mem" true (K.mem t 2);
+  Alcotest.(check bool) "not mem" false (K.mem t 7);
+  Alcotest.check_raises "missing raises" Not_found (fun () ->
+      ignore (K.fanout t 99))
+
+let test_ktable_duplicates () =
+  Alcotest.check_raises "duplicate rejected"
+    (Invalid_argument "Ktable.make: duplicate global index") (fun () ->
+      ignore (K.make (sample_rows @ [ { K.global = 2; root_local = 5; fanout = 1 } ])))
+
+let test_ktable_update () =
+  let t = K.make sample_rows in
+  let t = K.with_row t { K.global = 2; root_local = 7; fanout = 6 } in
+  Alcotest.(check int) "replaced" 7 (K.root_local t 2);
+  let t = K.with_row t { K.global = 5; root_local = 4; fanout = 1 } in
+  Alcotest.(check int) "inserted keeps order" 5 (K.size t);
+  Alcotest.(check (list int)) "sorted globals" [ 1; 2; 3; 5; 10 ]
+    (List.map (fun r -> r.K.global) (K.rows t));
+  let t = K.without t 3 in
+  Alcotest.(check bool) "removed" false (K.mem t 3);
+  Alcotest.(check int) "memory words" (3 * 4) (K.memory_words t)
+
+let test_ktable_frame_children () =
+  let t = K.make sample_rows in
+  (* kappa = 4: frame children of 1 occupy globals 2..5. *)
+  Alcotest.(check (list int)) "children of area 1" [ 2; 3 ]
+    (List.map
+       (fun r -> r.K.global)
+       (K.frame_children_rows t ~parent_global:1 ~kappa:4));
+  Alcotest.(check (option int)) "area rooted at local 3" (Some 3)
+    (K.area_rooted_at t ~parent_global:1 ~kappa:4 ~local:3);
+  Alcotest.(check (option int)) "no area at local 4" None
+    (K.area_rooted_at t ~parent_global:1 ~kappa:4 ~local:4)
+
+(* ------------------------------------------------------------------ *)
+(* Eval value coercions                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_coercions () =
+  Alcotest.(check bool) "num true" true (Eval.to_bool (Eval.Num 2.));
+  Alcotest.(check bool) "num false" false (Eval.to_bool (Eval.Num 0.));
+  Alcotest.(check bool) "nan false" false (Eval.to_bool (Eval.Num Float.nan));
+  Alcotest.(check bool) "empty string" false (Eval.to_bool (Eval.Str ""));
+  Alcotest.(check bool) "empty set" false (Eval.to_bool (Eval.Nodes []));
+  Alcotest.(check string) "int rendering" "42" (Eval.to_str (Eval.Num 42.));
+  Alcotest.(check string) "bool rendering" "true" (Eval.to_str (Eval.Bool true));
+  Alcotest.(check (float 0.001)) "str to num" 3.5 (Eval.to_num (Eval.Str " 3.5 "));
+  Alcotest.(check bool) "junk to nan" true
+    (Float.is_nan (Eval.to_num (Eval.Str "abc")))
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_stats () =
+  let root = t "a" [ t "b" [ t "c" []; t "d" [] ]; t "e" [] ] in
+  let s = Rxml.Stats.compute root in
+  Alcotest.(check int) "nodes" 5 s.Rxml.Stats.nodes;
+  Alcotest.(check int) "max fanout" 2 s.Rxml.Stats.max_fanout;
+  Alcotest.(check int) "depth" 2 s.Rxml.Stats.max_depth;
+  Alcotest.(check int) "leaves" 3 s.Rxml.Stats.leaves;
+  Alcotest.(check (list (pair int int))) "histogram" [ (0, 3); (2, 2) ]
+    (Rxml.Stats.fanout_histogram root)
+
+let suite =
+  [
+    Alcotest.test_case "Rel inverse" `Quick test_rel_inverse;
+    Alcotest.test_case "Rel ordering" `Quick test_rel_order;
+    Alcotest.test_case "Ktable lookup" `Quick test_ktable_lookup;
+    Alcotest.test_case "Ktable duplicates" `Quick test_ktable_duplicates;
+    Alcotest.test_case "Ktable update" `Quick test_ktable_update;
+    Alcotest.test_case "Ktable frame children" `Quick test_ktable_frame_children;
+    Alcotest.test_case "Eval coercions" `Quick test_coercions;
+    Alcotest.test_case "Stats" `Quick test_stats;
+  ]

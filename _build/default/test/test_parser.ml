@@ -1,0 +1,137 @@
+module Dom = Rxml.Dom
+module P = Rxml.Parser
+module S = Rxml.Serializer
+
+let parse = P.parse_string
+
+let root s = Dom.root_element (parse s)
+
+let test_basic () =
+  let r = root "<a><b/><c>text</c></a>" in
+  Alcotest.(check string) "root tag" "a" (Dom.tag r);
+  Alcotest.(check int) "two children" 2 (Dom.degree r);
+  Alcotest.(check string) "text" "text" (Dom.text_content r)
+
+let test_attributes () =
+  let r = root {|<a x="1" y='two' z="a&amp;b"/>|} in
+  Alcotest.(check (option string)) "double quoted" (Some "1") (Dom.attr r "x");
+  Alcotest.(check (option string)) "single quoted" (Some "two") (Dom.attr r "y");
+  Alcotest.(check (option string)) "entity in value" (Some "a&b") (Dom.attr r "z")
+
+let test_entities () =
+  let r = root "<a>&lt;&gt;&amp;&apos;&quot;&#65;&#x42;</a>" in
+  Alcotest.(check string) "decoded" "<>&'\"AB" (Dom.text_content r)
+
+let test_cdata () =
+  let r = root "<a><![CDATA[<not>&parsed;]]></a>" in
+  Alcotest.(check string) "raw" "<not>&parsed;" (Dom.text_content r)
+
+let test_comments_pis () =
+  let doc = parse "<?xml version=\"1.0\"?><!-- top --><a><!-- in --><?target data?></a>" in
+  let r = Dom.root_element doc in
+  let kinds = List.map (fun n -> n.Dom.kind) r.Dom.children in
+  (match kinds with
+  | [ Dom.Comment c; Dom.Pi (t, d) ] ->
+    Alcotest.(check string) "comment body" " in " c;
+    Alcotest.(check string) "pi target" "target" t;
+    Alcotest.(check string) "pi data" "data" d
+  | _ -> Alcotest.fail "expected comment and pi children")
+
+let test_doctype_skipped () =
+  let r = root "<!DOCTYPE a [ <!ELEMENT a (#PCDATA)> ]><a>ok</a>" in
+  Alcotest.(check string) "parsed past doctype" "ok" (Dom.text_content r)
+
+let test_whitespace_modes () =
+  let src = "<a>\n  <b/>\n</a>" in
+  let r1 = root src in
+  Alcotest.(check int) "whitespace dropped" 1 (Dom.degree r1);
+  let r2 = Dom.root_element (P.parse_string ~keep_whitespace:true src) in
+  Alcotest.(check int) "whitespace kept" 3 (Dom.degree r2)
+
+let test_nested_depth () =
+  let n = 500 in
+  let src = String.concat "" (List.init n (fun _ -> "<d>"))
+            ^ "x"
+            ^ String.concat "" (List.init n (fun _ -> "</d>")) in
+  let r = root src in
+  Alcotest.(check int) "deep nesting" n (Rxml.Stats.(compute r).max_depth);
+  Alcotest.(check string) "content" "x" (Dom.text_content r)
+
+let contains ~sub s =
+  let n = String.length sub in
+  let rec go i =
+    i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+  in
+  go 0
+
+let expect_error src msg_fragment =
+  match parse src with
+  | exception P.Parse_error e ->
+    let rendered = Format.asprintf "%a" P.pp_error e in
+    if not (contains ~sub:msg_fragment rendered) then
+      Alcotest.failf "error %S does not mention %S" rendered msg_fragment
+  | _ -> Alcotest.failf "expected a parse error for %S" src
+
+let test_errors () =
+  expect_error "<a><b></a>" "mismatched end tag";
+  expect_error "<a>" "expected";
+  expect_error "<a x=1/>" "quoted attribute";
+  expect_error "<a>&bogus;</a>" "unknown entity";
+  expect_error "<a/><b/>" "content after root";
+  expect_error "<a x='1' x='2'/>" "duplicate attribute";
+  expect_error "" "expected root element"
+
+let test_error_position () =
+  match parse "<a>\n<b>\n</c>\n</a>" with
+  | exception P.Parse_error e -> Alcotest.(check int) "line number" 3 e.P.line
+  | _ -> Alcotest.fail "expected parse error"
+
+let test_round_trip () =
+  let src = {|<a id="1"><b>x &amp; y</b><c/><!--note--><?pi data?></a>|} in
+  let doc = P.parse_string ~keep_whitespace:true src in
+  let out = S.to_string doc in
+  let doc2 = P.parse_string ~keep_whitespace:true out in
+  Alcotest.(check string) "stable after one round" out (S.to_string doc2)
+
+let test_escape () =
+  Alcotest.(check string) "text" "a&amp;b&lt;c&gt;d" (S.escape_text "a&b<c>d");
+  Alcotest.(check string) "attr" "say &quot;hi&quot;" (S.escape_attr "say \"hi\"")
+
+let test_pretty_print () =
+  let doc = parse "<a><b><c/></b></a>" in
+  let pretty = S.to_string ~indent:2 doc in
+  Alcotest.(check bool) "contains newline-indented child" true
+    (contains ~sub:"\n  <b>" pretty)
+
+let prop_generated_round_trip =
+  Util.qtest "generated trees survive serialize/parse" QCheck.(int_range 1 60)
+    (fun n ->
+      let root =
+        Rworkload.Shape.generate ~seed:(n * 13) ~target:n
+          (Rworkload.Shape.Uniform { fanout_lo = 0; fanout_hi = 3 })
+      in
+      let s = S.to_string root in
+      let back = Dom.root_element (P.parse_string s) in
+      (* Compare shapes and tags. *)
+      let shape r =
+        List.map (fun x -> (Dom.tag x, Dom.degree x)) (Dom.preorder r)
+      in
+      shape root = shape back)
+
+let suite =
+  [
+    Alcotest.test_case "basic structure" `Quick test_basic;
+    Alcotest.test_case "attributes" `Quick test_attributes;
+    Alcotest.test_case "entities" `Quick test_entities;
+    Alcotest.test_case "CDATA" `Quick test_cdata;
+    Alcotest.test_case "comments and PIs" `Quick test_comments_pis;
+    Alcotest.test_case "doctype skipped" `Quick test_doctype_skipped;
+    Alcotest.test_case "whitespace modes" `Quick test_whitespace_modes;
+    Alcotest.test_case "deep nesting" `Quick test_nested_depth;
+    Alcotest.test_case "malformed inputs" `Quick test_errors;
+    Alcotest.test_case "error positions" `Quick test_error_position;
+    Alcotest.test_case "serialize round-trip" `Quick test_round_trip;
+    Alcotest.test_case "escaping" `Quick test_escape;
+    Alcotest.test_case "pretty printing" `Quick test_pretty_print;
+    prop_generated_round_trip;
+  ]

@@ -1,0 +1,88 @@
+module Dom = Rxml.Dom
+module R2 = Ruid.Ruid2
+module P = Rstorage.Partitioned
+module Shape = Rworkload.Shape
+module Rng = Rworkload.Rng
+open Util
+
+let setup () =
+  let root =
+    Shape.generate ~seed:7 ~tags:[| "a"; "b"; "c"; "d" |] ~target:600
+      (Shape.Uniform { fanout_lo = 0; fanout_hi = 4 })
+  in
+  let r2 = R2.number ~max_area_size:12 root in
+  (root, r2, P.create r2)
+
+let test_naming () =
+  Alcotest.(check string) "two-part name" "item.27"
+    (P.table_name ~tag:"item" ~global:27)
+
+let test_coverage () =
+  let root, _, p = setup () in
+  Alcotest.(check int) "every element stored"
+    (List.length (List.filter Dom.is_element (Dom.preorder root)))
+    (P.row_count p);
+  Alcotest.(check bool) "partitioned into many tables" true (P.table_count p > 10)
+
+let test_select_by_area () =
+  let root, r2, p = setup () in
+  (* Each table holds exactly the tag's elements enumerated in that area. *)
+  let total =
+    List.fold_left
+      (fun acc tag ->
+        let count = ref 0 in
+        List.iter
+          (fun n -> if Dom.tag n = tag then incr count)
+          (Dom.preorder root);
+        acc + !count)
+      0 [ "a"; "b"; "c"; "d" ]
+  in
+  ignore r2;
+  Alcotest.(check int) "tables partition the elements" (P.row_count p) total
+
+let test_descendant_query_correct () =
+  let root, r2, p = setup () in
+  let rng = Rng.create 3 in
+  for _ = 1 to 20 do
+    let ctx = Shape.random_internal rng root in
+    let tag = [| "a"; "b"; "c"; "d" |].(Rng.int rng 4) in
+    let _opened, hits = P.descendant_query p ~context:(R2.id_of_node r2 ctx) ~tag in
+    let expected =
+      List.filter (fun n -> Dom.tag n = tag) (Dom.descendants ctx)
+    in
+    check_node_list (Printf.sprintf "descendants %s" tag) expected hits
+  done
+
+let test_descendant_query_prunes () =
+  let root, r2, p = setup () in
+  (* From a mid-level context, only a fraction of the tag's tables should
+     be opened. *)
+  let rng = Rng.create 9 in
+  let ctx = ref root in
+  (* Pick an internal node that is not the root and has a reasonably small
+     subtree. *)
+  for _ = 1 to 50 do
+    let cand = Shape.random_internal rng root in
+    if
+      (not (Dom.equal cand root))
+      && Dom.size cand * 4 < Dom.size root
+      && Dom.size cand > 5
+    then ctx := cand
+  done;
+  if not (Dom.equal !ctx root) then begin
+    let opened, _ = P.descendant_query p ~context:(R2.id_of_node r2 !ctx) ~tag:"a" in
+    let all = P.tables_for_tag p "a" in
+    Alcotest.(check bool)
+      (Printf.sprintf "opened %d of %d tables" (List.length opened) all)
+      true
+      (List.length opened < all)
+  end
+
+let suite =
+  [
+    Alcotest.test_case "table naming" `Quick test_naming;
+    Alcotest.test_case "coverage" `Quick test_coverage;
+    Alcotest.test_case "tables partition elements" `Quick test_select_by_area;
+    Alcotest.test_case "descendant query correct" `Quick test_descendant_query_correct;
+    Alcotest.test_case "descendant query prunes tables" `Quick test_descendant_query_prunes;
+  ]

@@ -1,0 +1,120 @@
+module Dom = Rxml.Dom
+module R2 = Ruid.Ruid2
+module Pp = Rxpath.Pathplan
+module Ti = Rxpath.Tag_index
+module Shape = Rworkload.Shape
+open Util
+
+let setup () =
+  let site = Rworkload.Xmark.generate ~seed:3 ~scale:1.0 in
+  let doc = Dom.document () in
+  Dom.append_child doc site;
+  let r2 = R2.number ~max_area_size:16 doc in
+  (doc, r2, Ti.create r2, Rxpath.Engine_naive.create doc)
+
+let plannable =
+  [
+    "/site/regions/africa/item";
+    "//item/name";
+    "//closed_auction//listitem";
+    "/site//bidder/increase";
+    "//parlist//text";
+    "//open_auction/bidder";
+    "/site/people/person/profile/interest";
+  ]
+
+let not_plannable =
+  [
+    "//item[1]/name";                (* predicate *)
+    "//item/*";                      (* wildcard *)
+    "//listitem/ancestor::item";     (* other axis *)
+    "//title/text()";                (* text test *)
+    "//person[@id='person1']";       (* predicate *)
+    "..";                            (* parent *)
+  ]
+
+let test_compile_recognizes () =
+  List.iter
+    (fun q ->
+      match Pp.compile (Rxpath.Xparser.parse q) with
+      | Some _ -> ()
+      | None -> Alcotest.failf "%s should be plannable" q)
+    plannable;
+  List.iter
+    (fun q ->
+      match Pp.compile (Rxpath.Xparser.parse q) with
+      | None -> ()
+      | Some _ -> Alcotest.failf "%s should not be plannable" q)
+    not_plannable
+
+let test_plan_matches_eval () =
+  let _doc, r2, index, naive = setup () in
+  List.iter
+    (fun q ->
+      match Pp.query r2 index q with
+      | None -> Alcotest.failf "%s did not compile" q
+      | Some planned ->
+        check_node_list q (Rxpath.Eval.query naive q) planned)
+    plannable
+
+let test_plan_with_context () =
+  let doc, r2, index, naive = setup () in
+  let site = Dom.root_element doc in
+  let regions = List.find (fun n -> Dom.tag n = "regions") site.Dom.children in
+  match Pp.query r2 index ~context:regions "africa/item/name" with
+  | None -> Alcotest.fail "relative plan did not compile"
+  | Some planned ->
+    check_node_list "relative from context"
+      (Rxpath.Eval.query naive ~context:regions "africa/item/name")
+      planned
+
+let test_plan_printing () =
+  let p = Option.get (Pp.compile (Rxpath.Xparser.parse "//a/b//c")) in
+  Alcotest.(check string) "round trip" "//a/b//c"
+    (Format.asprintf "%a" Pp.pp_plan p);
+  let p = Option.get (Pp.compile (Rxpath.Xparser.parse "/x//y")) in
+  Alcotest.(check string) "absolute" "/x//y" (Format.asprintf "%a" Pp.pp_plan p)
+
+let test_tag_index () =
+  let _doc, r2, index, _ = setup () in
+  Alcotest.(check bool) "items indexed" true (Ti.cardinality index "item" > 0);
+  Alcotest.(check int) "unknown tag" 0 (Ti.cardinality index "zzz");
+  (* Postings are in document order. *)
+  let items = Ti.find index "item" in
+  let sorted =
+    List.sort (fun a b -> R2.doc_order r2 (R2.id_of_node r2 a) (R2.id_of_node r2 b)) items
+  in
+  check_node_list "document order" sorted items;
+  Alcotest.(check int) "total counts elements"
+    (List.length (List.filter Dom.is_element (R2.all_nodes r2)))
+    (Ti.total index)
+
+let prop_plan_equals_eval_random =
+  Util.qtest ~count:25 "plans agree with the evaluator on random documents"
+    QCheck.(int_range 20 200)
+    (fun n ->
+      let root =
+        Shape.generate ~seed:(n * 7) ~tags:[| "a"; "b"; "c" |] ~target:n
+          (Shape.Uniform { fanout_lo = 0; fanout_hi = 4 })
+      in
+      let r2 = R2.number ~max_area_size:8 root in
+      let index = Ti.create r2 in
+      let naive = Rxpath.Engine_naive.create root in
+      List.for_all
+        (fun q ->
+          match Pp.query r2 index q with
+          | None -> false
+          | Some planned ->
+            List.map (fun x -> x.Dom.serial) planned
+            = List.map (fun x -> x.Dom.serial) (Rxpath.Eval.query naive q))
+        [ "//a/b"; "//b//c"; "//a//b/c"; "//c" ])
+
+let suite =
+  [
+    Alcotest.test_case "compile recognition" `Quick test_compile_recognizes;
+    Alcotest.test_case "plans match the evaluator" `Quick test_plan_matches_eval;
+    Alcotest.test_case "relative plans" `Quick test_plan_with_context;
+    Alcotest.test_case "plan printing" `Quick test_plan_printing;
+    Alcotest.test_case "tag index" `Quick test_tag_index;
+    prop_plan_equals_eval_random;
+  ]

@@ -1,0 +1,137 @@
+module Dom = Rxml.Dom
+module R2 = Ruid.Ruid2
+module P = Ruid.Persist
+module Shape = Rworkload.Shape
+module Rng = Rworkload.Rng
+
+let tmp name = Filename.concat (Filename.get_temp_dir_name ()) name
+
+let build_doc seed n =
+  let root =
+    Shape.generate ~seed ~target:n (Shape.Uniform { fanout_lo = 0; fanout_hi = 4 })
+  in
+  (root, R2.number ~max_area_size:10 root)
+
+let test_bytes_round_trip () =
+  let root, r2 = build_doc 1 200 in
+  let bytes = P.sidecar_to_bytes r2 in
+  (* Restore against a structurally identical clone. *)
+  let clone = Dom.clone root in
+  let r2' = P.sidecar_of_bytes clone bytes in
+  R2.check_consistency r2';
+  Alcotest.(check int) "kappa preserved" (R2.kappa r2) (R2.kappa r2');
+  Alcotest.(check int) "areas preserved" (R2.area_count r2) (R2.area_count r2');
+  List.iter2
+    (fun a b ->
+      Alcotest.(check string) "identifiers preserved"
+        (R2.id_to_string (R2.id_of_node r2 a))
+        (R2.id_to_string (R2.id_of_node r2' b)))
+    (Dom.preorder root) (Dom.preorder clone)
+
+let test_file_round_trip () =
+  let _root, r2 = build_doc 2 150 in
+  let xml = tmp "ruid_test.xml" and sidecar = tmp "ruid_test.ruid" in
+  P.save r2 ~xml ~sidecar;
+  let _doc, r2' = P.load ~xml ~sidecar in
+  R2.check_consistency r2';
+  Alcotest.(check int) "same node count"
+    (List.length (R2.all_nodes r2))
+    (List.length (R2.all_nodes r2'));
+  (* Identifier streams coincide in document order. *)
+  List.iter2
+    (fun a b ->
+      Alcotest.(check string) "ids equal"
+        (R2.id_to_string (R2.id_of_node r2 a))
+        (R2.id_to_string (R2.id_of_node r2' b)))
+    (R2.all_nodes r2) (R2.all_nodes r2');
+  Sys.remove xml;
+  Sys.remove sidecar
+
+let test_updates_after_load () =
+  let root, r2 = build_doc 3 120 in
+  let bytes = P.sidecar_to_bytes r2 in
+  let clone = Dom.clone root in
+  let r2' = P.sidecar_of_bytes clone bytes in
+  let rng = Rng.create 6 in
+  for _ = 1 to 20 do
+    let parent = Shape.random_node rng clone in
+    ignore
+      (R2.insert_node r2' ~parent ~pos:(Rng.int rng (Dom.degree parent + 1))
+         (Dom.element "post-load"))
+  done;
+  R2.check_consistency r2'
+
+let test_garbage_rejected () =
+  let root, r2 = build_doc 4 50 in
+  ignore r2;
+  (match P.sidecar_of_bytes root (Bytes.of_string "NOTRUID") with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected rejection of bad magic");
+  (* A sidecar from a different document must fail the consistency check. *)
+  let other, other_r2 = build_doc 5 60 in
+  ignore other;
+  match P.sidecar_of_bytes root (P.sidecar_to_bytes other_r2) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected rejection of mismatched sidecar"
+
+let test_whitespace_preserved () =
+  (* Text nodes are numbered too; persistence must keep them so the
+     identifier stream lines up. *)
+  let doc = Rxml.Parser.parse_string ~keep_whitespace:true "<a> <b/> <c>x</c></a>" in
+  let root = Dom.root_element doc in
+  let r2 = R2.number ~max_area_size:4 root in
+  let xml = tmp "ruid_ws.xml" and sidecar = tmp "ruid_ws.ruid" in
+  P.save r2 ~xml ~sidecar;
+  let _, r2' = P.load ~xml ~sidecar in
+  R2.check_consistency r2';
+  Alcotest.(check int) "all nodes restored"
+    (List.length (R2.all_nodes r2))
+    (List.length (R2.all_nodes r2'));
+  Sys.remove xml;
+  Sys.remove sidecar
+
+let prop_round_trip_random =
+  Util.qtest ~count:25 "sidecars restore random documents"
+    QCheck.(pair (int_range 2 200) (int_range 2 20))
+    (fun (n, area) ->
+      let root =
+        Shape.generate ~seed:(n * 17 + area) ~target:n
+          (Shape.Uniform { fanout_lo = 0; fanout_hi = 5 })
+      in
+      let r2 = R2.number ~max_area_size:area root in
+      let clone = Dom.clone root in
+      let r2' = P.sidecar_of_bytes clone (P.sidecar_to_bytes r2) in
+      List.for_all2
+        (fun a b ->
+          R2.id_equal (R2.id_of_node r2 a) (R2.id_of_node r2' b))
+        (Dom.preorder root) (Dom.preorder clone))
+
+(* Regression: numbering rooted at the document node (the CLI's normal
+   mode) must restore against the reparsed document node, not its root
+   element. *)
+let test_document_rooted_round_trip () =
+  let doc =
+    Rxml.Parser.parse_string ~keep_whitespace:true
+      "<?xml version='1.0'?><!-- prolog --><a><b>x</b><c/></a>"
+  in
+  let r2 = R2.number ~max_area_size:3 doc in
+  let xml = tmp "ruid_docroot.xml" and sidecar = tmp "ruid_docroot.ruid" in
+  P.save r2 ~xml ~sidecar;
+  let _doc2, r2' = P.load ~xml ~sidecar in
+  R2.check_consistency r2';
+  Alcotest.(check int) "all nodes restored"
+    (List.length (R2.all_nodes r2))
+    (List.length (R2.all_nodes r2'));
+  Sys.remove xml;
+  Sys.remove sidecar
+
+let suite =
+  [
+    Alcotest.test_case "bytes round trip" `Quick test_bytes_round_trip;
+    Alcotest.test_case "document-rooted round trip" `Quick test_document_rooted_round_trip;
+    prop_round_trip_random;
+    Alcotest.test_case "file round trip" `Quick test_file_round_trip;
+    Alcotest.test_case "updates after load" `Quick test_updates_after_load;
+    Alcotest.test_case "garbage rejected" `Quick test_garbage_rejected;
+    Alcotest.test_case "whitespace-bearing documents" `Quick test_whitespace_preserved;
+  ]

@@ -1,0 +1,86 @@
+module Dom = Rxml.Dom
+module R2 = Ruid.Ruid2
+module Rc = Ruid.Reconstruct
+module Shape = Rworkload.Shape
+module Rng = Rworkload.Rng
+open Util
+
+let test_single_node () =
+  let c = t "c" [] in
+  let b = t "b" [] in
+  Dom.append_child b c;
+  let root = t "a" [ t "x" [] ] in
+  Dom.append_child root b;
+  let r2 = R2.number ~max_area_size:3 root in
+  let frag = Rc.fragment_nodes r2 [ c ] in
+  Alcotest.(check string) "root kept" "a" (Dom.tag frag);
+  Alcotest.(check int) "only the chain" 3 (Dom.size frag);
+  (* x is not on c's root path and must not appear *)
+  Alcotest.(check bool) "x dropped" true
+    (List.for_all (fun n -> Dom.tag n <> "x") (Dom.preorder frag))
+
+let test_deep_subtrees_kept () =
+  let leaf = t "leaf" [] in
+  let keep = t "keep" [ t "inner" [] ] in
+  Dom.append_child keep leaf;
+  let root = t "root" [ t "other" [ t "deep" [] ] ] in
+  Dom.append_child root keep;
+  let r2 = R2.number ~max_area_size:3 root in
+  let frag = Rc.fragment_nodes r2 [ keep ] in
+  Alcotest.(check int) "keep's subtree included" 4 (Dom.size frag);
+  let shallow = Rc.fragment_nodes ~deep:false r2 [ keep ] in
+  Alcotest.(check int) "shallow keeps only the chain" 2 (Dom.size shallow)
+
+let test_from_identifiers () =
+  let root = Shape.generate ~seed:3 ~target:80 (Shape.Uniform { fanout_lo = 1; fanout_hi = 3 }) in
+  let r2 = R2.number ~max_area_size:8 root in
+  let rng = Rng.create 4 in
+  let chosen = List.init 5 (fun _ -> Shape.random_node rng root) in
+  let ids = List.map (R2.id_of_node r2) chosen in
+  let frag = Rc.fragment r2 ids in
+  (* Every chosen node's tag sequence to the root is present. *)
+  Alcotest.(check bool) "fragment nonempty" true (Dom.size frag >= List.length chosen);
+  Alcotest.check_raises "bad identifier rejected"
+    (Invalid_argument
+       "Reconstruct.fragment: unresolvable identifier (999, 999, false)")
+    (fun () ->
+      ignore (Rc.fragment r2 [ { R2.global = 999; local = 999; is_root = false } ]))
+
+(* The fragment must preserve document order and ancestor relations of the
+   selected nodes: serializing the fragment built from ALL nodes gives back
+   the original document. *)
+let test_identity_fragment () =
+  let root = Shape.generate ~seed:8 ~target:120 (Shape.Uniform { fanout_lo = 0; fanout_hi = 4 }) in
+  let r2 = R2.number ~max_area_size:10 root in
+  let frag = Rc.fragment_nodes r2 (Dom.preorder root) in
+  Alcotest.(check string) "identity"
+    (Rxml.Serializer.to_string root)
+    (Rxml.Serializer.to_string frag)
+
+let test_order_preserved () =
+  let root = Shape.generate ~seed:12 ~target:150 (Shape.Uniform { fanout_lo = 1; fanout_hi = 4 }) in
+  let r2 = R2.number ~max_area_size:12 root in
+  let rng = Rng.create 7 in
+  let chosen =
+    List.filter (fun _ -> Rng.float rng < 0.2) (Dom.preorder root)
+  in
+  let frag = Rc.fragment_nodes ~deep:false r2 chosen in
+  (* The fragment's tag sequence is a subsequence of the original's. *)
+  let tags n = List.map Dom.tag (Dom.preorder n) in
+  let rec subsequence xs ys =
+    match (xs, ys) with
+    | [], _ -> true
+    | _, [] -> false
+    | x :: xr, y :: yr -> if x = y then subsequence xr yr else subsequence xs yr
+  in
+  Alcotest.(check bool) "subsequence of the original" true
+    (subsequence (tags frag) (tags root))
+
+let suite =
+  [
+    Alcotest.test_case "single node chain" `Quick test_single_node;
+    Alcotest.test_case "deep vs shallow" `Quick test_deep_subtrees_kept;
+    Alcotest.test_case "from identifiers" `Quick test_from_identifiers;
+    Alcotest.test_case "identity fragment" `Quick test_identity_fragment;
+    Alcotest.test_case "order preserved" `Quick test_order_preserved;
+  ]

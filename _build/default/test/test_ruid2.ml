@@ -1,0 +1,337 @@
+module Dom = Rxml.Dom
+module Frame = Ruid.Frame
+module R2 = Ruid.Ruid2
+module K = Ruid.Ktable
+module Shape = Rworkload.Shape
+module Rng = Rworkload.Rng
+open Util
+
+let uniform lo hi = Shape.Uniform { fanout_lo = lo; fanout_hi = hi }
+
+let mkid global local is_root = { R2.global; local; is_root }
+
+(* --------------------------------------------------------------------- *)
+(* Reconstruction of the worked example of Figs. 4-5 and Example 2.      *)
+(*                                                                       *)
+(* kappa = 4, six UID-local areas with globals 1, 2, 3, 4, 5, 10 and     *)
+(* K rows (1,1,4) (2,2,2) (3,3,3) (4,4,1) (5,5,1) (10,9,2).              *)
+(* --------------------------------------------------------------------- *)
+type example =
+  { root : Dom.t; r2 : R2.t; x27 : Dom.t; x33 : Dom.t; a10 : Dom.t; a3 : Dom.t }
+
+let example () =
+  (* Area 2 (fan-out 2): root -> children at locals 2,3; the child at
+     local 3 has two children at locals 6,7. *)
+  let a2 = t "a2" [ t "x22" []; t "x23" [ t "x26" []; t "x27" [] ] ] in
+  let x27 = List.nth (List.nth a2.Dom.children 1).Dom.children 1 in
+  (* Area 3 (fan-out 3): root has three children at locals 2,3,4; the one
+     at local 3 has two children at locals 8,9; local 9 roots area 10. *)
+  let a10 = t "a10" [ t "y" []; t "z" [] ] in
+  let x33 = t "x33" [ t "x38" [] ] in
+  Dom.append_child x33 a10;
+  let a3 = t "a3" [ t "x32" [] ] in
+  Dom.append_child a3 x33;
+  Dom.append_child a3 (t "x34" []);
+  (* Areas 4, 5: single-child areas. *)
+  let a4 = t "a4" [ t "p" [] ] in
+  let a5 = t "a5" [ t "q" [] ] in
+  let root = t "R" [] in
+  List.iter (Dom.append_child root) [ a2; a3; a4; a5 ];
+  let frame = Frame.of_cut_set root [ a2; a3; a4; a5; a10 ] in
+  let r2 = R2.number_with_frame frame in
+  { root; r2; x27; x33; a10; a3 }
+
+let test_example_globals () =
+  let e = example () in
+  Alcotest.(check int) "kappa = 4" 4 (R2.kappa e.r2);
+  Alcotest.(check int) "six areas" 6 (R2.area_count e.r2);
+  let rows =
+    List.map
+      (fun r -> (r.K.global, r.K.root_local, r.K.fanout))
+      (K.rows (R2.ktable e.r2))
+  in
+  Alcotest.(check (list (triple int int int)))
+    "the K table of Fig. 5"
+    [ (1, 1, 4); (2, 2, 2); (3, 3, 3); (4, 4, 1); (5, 5, 1); (10, 9, 2) ]
+    rows
+
+let test_example_ids () =
+  let e = example () in
+  Alcotest.check rid "tree root is (1,1,true)" (mkid 1 1 true)
+    (R2.id_of_node e.r2 e.root);
+  Alcotest.check rid "x27 is (2,7,false)" (mkid 2 7 false)
+    (R2.id_of_node e.r2 e.x27);
+  Alcotest.check rid "x33 is (3,3,false)" (mkid 3 3 false)
+    (R2.id_of_node e.r2 e.x33);
+  Alcotest.check rid "area-10 root is (10,9,true)" (mkid 10 9 true)
+    (R2.id_of_node e.r2 e.a10);
+  Alcotest.check rid "area-3 root is (3,3,true)" (mkid 3 3 true)
+    (R2.id_of_node e.r2 e.a3)
+
+(* The three walks of Example 2. *)
+let test_example2_rparent () =
+  let e = example () in
+  let rp i = R2.rparent e.r2 i in
+  Alcotest.(check (option rid)) "(2,7,f) -> (2,3,f)"
+    (Some (mkid 2 3 false)) (rp (mkid 2 7 false));
+  Alcotest.(check (option rid)) "(10,9,t) -> (3,3,f)"
+    (Some (mkid 3 3 false)) (rp (mkid 10 9 true));
+  Alcotest.(check (option rid)) "(3,3,f) -> (3,3,t)"
+    (Some (mkid 3 3 true)) (rp (mkid 3 3 false));
+  Alcotest.(check (option rid)) "tree root has no parent" None (rp (mkid 1 1 true))
+
+let test_example_consistency () =
+  let e = example () in
+  R2.check_consistency e.r2
+
+(* --------------------------------------------------------------------- *)
+(* Generic validation against the DOM oracle.                            *)
+(* --------------------------------------------------------------------- *)
+
+let build ?(max_area_size = 16) root = R2.number ~max_area_size root
+
+let test_consistency_small () =
+  let root = t "a" [ t "b" [ t "c" [] ]; t "d" [] ] in
+  let r2 = build root in
+  R2.check_consistency r2
+
+let test_single_node () =
+  let root = t "solo" [] in
+  let r2 = build root in
+  R2.check_consistency r2;
+  Alcotest.check rid "root id" (mkid 1 1 true) (R2.id_of_node r2 root);
+  Alcotest.(check int) "no children" 0 (List.length (R2.children r2 root));
+  Alcotest.(check int) "no descendants" 0 (List.length (R2.descendants r2 root));
+  Alcotest.(check int) "no preceding" 0 (List.length (R2.preceding r2 root))
+
+let test_chain () =
+  let root = Shape.chain ~depth:40 () in
+  let r2 = R2.number ~max_area_size:6 root in
+  R2.check_consistency r2;
+  let deepest = List.nth (Dom.preorder root) 40 in
+  Alcotest.(check int) "rlevel equals depth" 40
+    (R2.rlevel r2 (R2.id_of_node r2 deepest));
+  check_node_list "ancestors on chain" (Dom.ancestors deepest)
+    (R2.ancestors r2 deepest)
+
+let axes_agree root r2 n =
+  check_node_list "children" (dom_children n) (R2.children r2 n);
+  check_node_list "descendants" (dom_descendants n) (R2.descendants r2 n);
+  check_node_list "ancestors" (dom_ancestors n) (R2.ancestors r2 n);
+  check_node_list "preceding siblings" (dom_siblings ~before:true n)
+    (R2.preceding_siblings r2 n);
+  check_node_list "following siblings" (dom_siblings ~before:false n)
+    (R2.following_siblings r2 n);
+  check_node_list "preceding" (dom_preceding root n) (R2.preceding r2 n);
+  check_node_list "following" (dom_following root n) (R2.following r2 n)
+
+let test_axes_exhaustive_small () =
+  let root =
+    t "a"
+      [ t "b" [ t "c" []; t "d" [ t "e" [] ] ];
+        t "f" [];
+        t "g" [ t "h" [ t "i" []; t "j" [] ] ] ]
+  in
+  let r2 = R2.number ~max_area_size:3 root in
+  R2.check_consistency r2;
+  List.iter (axes_agree root r2) (Dom.preorder root)
+
+let test_axes_random () =
+  List.iter
+    (fun (seed, size, area) ->
+      let root = Shape.generate ~seed ~target:size (uniform 0 5) in
+      let r2 = R2.number ~max_area_size:area root in
+      R2.check_consistency r2;
+      let rng = Rng.create seed in
+      for _ = 1 to 12 do
+        axes_agree root r2 (Shape.random_node rng root)
+      done)
+    [ (1, 120, 8); (2, 200, 16); (3, 300, 5); (4, 80, 50); (5, 150, 2) ]
+
+let test_relationship_random () =
+  let root = Shape.generate ~seed:99 ~target:250 (uniform 0 4) in
+  let r2 = R2.number ~max_area_size:12 root in
+  let rng = Rng.create 5 in
+  for _ = 1 to 200 do
+    let a = Shape.random_node rng root in
+    let b = Shape.random_node rng root in
+    Alcotest.check rel "relationship matches DOM"
+      (dom_relation root a b)
+      (R2.relationship r2 (R2.id_of_node r2 a) (R2.id_of_node r2 b))
+  done
+
+let test_possible_children () =
+  let e = example () in
+  (* Possible children of the area-3 root: three slots, one of which is
+     occupied by real nodes (locals 2,3,4 exist). *)
+  let ids = R2.possible_children_ids e.r2 (mkid 3 3 true) in
+  Alcotest.(check int) "three candidate slots" 3 (List.length ids);
+  Alcotest.(check (list rid)) "candidates"
+    [ mkid 3 2 false; mkid 3 3 false; mkid 3 4 false ]
+    ids;
+  (* Possible children of x33: slots 8, 9, 10; slot 9 is the root of
+     area 10 and must carry the root form of the identifier. *)
+  let ids = R2.possible_children_ids e.r2 (mkid 3 3 false) in
+  Alcotest.(check (list rid)) "root indicator derived from K"
+    [ mkid 3 8 false; mkid 10 9 true; mkid 3 10 false ]
+    ids
+
+let test_node_of_id () =
+  let e = example () in
+  (match R2.node_of_id e.r2 (mkid 2 7 false) with
+  | Some n -> Alcotest.(check string) "resolves x27" "x27" (Dom.tag n)
+  | None -> Alcotest.fail "should resolve");
+  Alcotest.(check bool) "virtual slot gives None" true
+    (R2.node_of_id e.r2 (mkid 2 6 true) = None)
+
+(* --------------------------------------------------------------------- *)
+(* Structural update (Section 3.2).                                      *)
+(* --------------------------------------------------------------------- *)
+
+let test_insert_scope_confined () =
+  let e = example () in
+  (* Insert before x26 inside area 2: only area-2 members may change;
+     area 10 and the other areas must be untouched. *)
+  let before = R2.id_of_node e.r2 e.a10 in
+  let x23 = List.nth (List.nth e.root.Dom.children 0).Dom.children 1 in
+  let changed = R2.insert_node e.r2 ~parent:x23 ~pos:0 (Dom.element "new") in
+  R2.check_consistency e.r2;
+  Alcotest.(check bool) "some relabeling happened" true (changed >= 1);
+  Alcotest.check rid "area 10 untouched" before (R2.id_of_node e.r2 e.a10)
+
+let test_insert_overflow_confined () =
+  let e = example () in
+  (* Give the area-3 root a fourth child: area fan-out grows 3 -> 4, the
+     whole area re-enumerates, but other areas keep their identifiers. *)
+  let before_x27 = R2.id_of_node e.r2 e.x27 in
+  let _ = R2.insert_node e.r2 ~parent:e.a3 ~pos:3 (Dom.element "fourth") in
+  R2.check_consistency e.r2;
+  Alcotest.(check int) "area 3 fan-out grew" 4 (K.fanout (R2.ktable e.r2) 3);
+  Alcotest.check rid "area 2 untouched" before_x27 (R2.id_of_node e.r2 e.x27)
+
+let test_insert_updates_joint () =
+  let e = example () in
+  (* Insert a first child of x33 before the slot of area 10's root: the
+     joint's local index moves, so area 10's root identifier and K row
+     change, but area 10's inner nodes do not. *)
+  let inner_before =
+    List.map (R2.id_of_node e.r2) e.a10.Dom.children
+  in
+  let _ = R2.insert_node e.r2 ~parent:e.x33 ~pos:0 (Dom.element "shift") in
+  R2.check_consistency e.r2;
+  let a10_id = R2.id_of_node e.r2 e.a10 in
+  Alcotest.(check bool) "joint moved" true (a10_id.R2.local <> 9);
+  Alcotest.(check bool) "area-10 root keeps global and flag" true
+    (a10_id.R2.global = 10 && a10_id.R2.is_root);
+  Alcotest.(check (list rid)) "area-10 members unchanged" inner_before
+    (List.map (R2.id_of_node e.r2) e.a10.Dom.children)
+
+let test_delete_subtree () =
+  let e = example () in
+  (* Delete x33 (which contains area 10): area 10's K row disappears. *)
+  let n_before = List.length (R2.all_nodes e.r2) in
+  let removed = Dom.size e.x33 in
+  let _ = R2.delete_subtree e.r2 e.x33 in
+  R2.check_consistency e.r2;
+  Alcotest.(check int) "nodes removed" (n_before - removed)
+    (List.length (R2.all_nodes e.r2));
+  Alcotest.(check bool) "area 10 gone from K" true
+    (K.find (R2.ktable e.r2) 10 = None);
+  Alcotest.(check int) "five areas remain" 5 (R2.area_count e.r2)
+
+let test_delete_left_sibling_shifts () =
+  let e = example () in
+  let x23 = List.nth (List.nth e.root.Dom.children 0).Dom.children 1 in
+  let x22 = List.nth (List.nth e.root.Dom.children 0).Dom.children 0 in
+  let changed = R2.delete_subtree e.r2 x22 in
+  R2.check_consistency e.r2;
+  (* x23 and its two children shift left within area 2. *)
+  Alcotest.(check int) "three relabeled" 3 changed;
+  Alcotest.check rid "x23 now at local 2" (mkid 2 2 false)
+    (R2.id_of_node e.r2 x23)
+
+let test_parsed_document_root () =
+  (* Regression: a parsed document's root element has the #document node as
+     its DOM parent; numbering and updates must treat it as the root. *)
+  let doc = Rxml.Parser.parse_string "<a><b><c/></b><d/></a>" in
+  let root = Dom.root_element doc in
+  let r2 = R2.number ~max_area_size:3 root in
+  R2.check_consistency r2;
+  let b = List.hd root.Dom.children in
+  let changed = R2.insert_node r2 ~parent:b ~pos:0 (Dom.element "new") in
+  R2.check_consistency r2;
+  Alcotest.(check bool) "insert under parsed root works" true (changed >= 0);
+  Alcotest.(check (option rid)) "root id has no parent" None
+    (R2.rparent r2 (R2.id_of_node r2 root))
+
+let test_update_random_stays_consistent () =
+  let root = Shape.generate ~seed:21 ~target:200 (uniform 0 4) in
+  let r2 = R2.number ~max_area_size:10 root in
+  let rng = Rng.create 77 in
+  for i = 1 to 60 do
+    if Rng.bool rng then begin
+      let parent = Shape.random_node rng root in
+      let pos = Rng.int rng (Dom.degree parent + 1) in
+      ignore (R2.insert_node r2 ~parent ~pos (Dom.element "ins"))
+    end
+    else begin
+      let candidates =
+        List.filter (fun n -> not (Dom.equal n root)) (Dom.preorder root)
+      in
+      if candidates <> [] then begin
+        let victim = List.nth candidates (Rng.int rng (List.length candidates)) in
+        ignore (R2.delete_subtree r2 victim)
+      end
+    end;
+    if i mod 10 = 0 then R2.check_consistency r2
+  done;
+  R2.check_consistency r2
+
+let prop_numbering_consistent =
+  Util.qtest ~count:40 "numbering is consistent on random trees"
+    QCheck.(pair (int_range 2 250) (int_range 2 30))
+    (fun (n, area) ->
+      let root = Shape.generate ~seed:(n * 1021 + area) ~target:n (uniform 0 6) in
+      let r2 = R2.number ~max_area_size:area root in
+      R2.check_consistency r2;
+      true)
+
+let prop_doc_order_total =
+  Util.qtest ~count:30 "doc_order sorts into document order"
+    QCheck.(int_range 2 120)
+    (fun n ->
+      let root = Shape.generate ~seed:(n * 7919) ~target:n (uniform 0 5) in
+      let r2 = R2.number ~max_area_size:9 root in
+      let nodes = Array.of_list (Dom.preorder root) in
+      let shuffled = Array.copy nodes in
+      Rng.shuffle (Rng.create n) shuffled;
+      Array.sort
+        (fun a b -> R2.doc_order r2 (R2.id_of_node r2 a) (R2.id_of_node r2 b))
+        shuffled;
+      Array.map (fun x -> x.Dom.serial) shuffled
+      = Array.map (fun x -> x.Dom.serial) nodes)
+
+let suite =
+  [
+    Alcotest.test_case "Fig. 5: K table" `Quick test_example_globals;
+    Alcotest.test_case "Fig. 4: identifiers" `Quick test_example_ids;
+    Alcotest.test_case "Example 2: rparent walks" `Quick test_example2_rparent;
+    Alcotest.test_case "example consistency" `Quick test_example_consistency;
+    Alcotest.test_case "small tree consistency" `Quick test_consistency_small;
+    Alcotest.test_case "single node" `Quick test_single_node;
+    Alcotest.test_case "chain" `Quick test_chain;
+    Alcotest.test_case "axes on a small tree (all nodes)" `Quick test_axes_exhaustive_small;
+    Alcotest.test_case "axes on random trees" `Quick test_axes_random;
+    Alcotest.test_case "relationship random" `Quick test_relationship_random;
+    Alcotest.test_case "possible children from K" `Quick test_possible_children;
+    Alcotest.test_case "node_of_id" `Quick test_node_of_id;
+    Alcotest.test_case "insert confined to area" `Quick test_insert_scope_confined;
+    Alcotest.test_case "fan-out overflow confined to area" `Quick test_insert_overflow_confined;
+    Alcotest.test_case "joint move leaves child area intact" `Quick test_insert_updates_joint;
+    Alcotest.test_case "cascading delete" `Quick test_delete_subtree;
+    Alcotest.test_case "delete shifts right siblings" `Quick test_delete_left_sibling_shifts;
+    Alcotest.test_case "parsed document root" `Quick test_parsed_document_root;
+    Alcotest.test_case "random update storm" `Quick test_update_random_stays_consistent;
+    prop_numbering_consistent;
+    prop_doc_order_total;
+  ]

@@ -1,0 +1,99 @@
+module Sax = Rxml.Sax
+module Dom = Rxml.Dom
+module Shape = Rworkload.Shape
+
+let events src =
+  List.rev (Sax.fold src ~init:[] ~f:(fun acc e -> e :: acc))
+
+let test_event_stream () =
+  let evs = events "<a x='1'><b>hi</b><!--c--><?p d?></a>" in
+  match evs with
+  | [ Sax.Start_element { tag = "a"; attrs = [ ("x", "1") ] };
+      Sax.Start_element { tag = "b"; attrs = [] };
+      Sax.Text "hi";
+      Sax.End_element "b";
+      Sax.Comment "c";
+      Sax.Pi ("p", "d");
+      Sax.End_element "a" ] -> ()
+  | _ -> Alcotest.failf "unexpected stream of %d events" (List.length evs)
+
+let test_self_closing () =
+  match events "<a><b/></a>" with
+  | [ Sax.Start_element { tag = "a"; _ }; Sax.Start_element { tag = "b"; _ };
+      Sax.End_element "b"; Sax.End_element "a" ] -> ()
+  | _ -> Alcotest.fail "self-closing elements emit start+end"
+
+let test_entities_and_cdata () =
+  match events "<a>&lt;x&gt;<![CDATA[ & raw ]]></a>" with
+  | [ Sax.Start_element _; Sax.Text t; Sax.End_element _ ] ->
+    Alcotest.(check string) "merged text" "<x> & raw " t
+  | _ -> Alcotest.fail "expected one merged text event"
+
+let test_count_and_depth () =
+  let src = "<r><x><y/><y/></x><x/></r>" in
+  let counts = Sax.count_elements src in
+  Alcotest.(check (option int)) "x count" (Some 2) (Hashtbl.find_opt counts "x");
+  Alcotest.(check (option int)) "y count" (Some 2) (Hashtbl.find_opt counts "y");
+  Alcotest.(check int) "depth" 3 (Sax.max_depth src)
+
+let test_errors () =
+  List.iter
+    (fun src ->
+      match Sax.iter src ~f:(fun _ -> ()) with
+      | exception Rxml.Parser.Parse_error _ -> ()
+      | () -> Alcotest.failf "expected error for %S" src)
+    [ "<a><b></a>"; "<a>"; "</a>"; "<a/><b/>"; "text"; "" ]
+
+let test_build_dom_equivalence () =
+  List.iter
+    (fun src ->
+      let via_parser = Rxml.Parser.parse_string ~keep_whitespace:true src in
+      let via_sax = Sax.build_dom ~keep_whitespace:true src in
+      Alcotest.(check string) src
+        (Rxml.Serializer.to_string via_parser)
+        (Rxml.Serializer.to_string via_sax))
+    [
+      "<a><b>x</b><c y='2'/></a>";
+      "<a>  <b/>  </a>";
+      "<r><![CDATA[<raw>]]>&amp;</r>";
+      "<a><!--note--><?pi data?></a>";
+    ]
+
+let prop_sax_matches_parser =
+  Util.qtest ~count:40 "SAX DOM equals parser DOM on generated documents"
+    QCheck.(int_range 1 80)
+    (fun n ->
+      let root =
+        Shape.generate ~seed:(n * 11) ~target:n
+          (Shape.Uniform { fanout_lo = 0; fanout_hi = 4 })
+      in
+      let src = Rxml.Serializer.to_string root in
+      Rxml.Serializer.to_string (Sax.build_dom src)
+      = Rxml.Serializer.to_string (Rxml.Parser.parse_string src))
+
+let test_streaming_large_doc () =
+  (* Count a 50k-element document without building a tree. *)
+  let root = Rworkload.Dblp.generate ~seed:4 ~publications:2_000 in
+  let src = Rxml.Serializer.to_string root in
+  let counts = Sax.count_elements src in
+  Alcotest.(check (option int)) "publications counted" (Some 2000)
+    (match
+       ( Hashtbl.find_opt counts "article",
+         Hashtbl.find_opt counts "inproceedings" )
+     with
+    | Some a, Some b -> Some (a + b)
+    | Some a, None -> Some a
+    | None, Some b -> Some b
+    | None, None -> None)
+
+let suite =
+  [
+    Alcotest.test_case "event stream" `Quick test_event_stream;
+    Alcotest.test_case "self-closing" `Quick test_self_closing;
+    Alcotest.test_case "entities and CDATA merge" `Quick test_entities_and_cdata;
+    Alcotest.test_case "count/depth one-pass" `Quick test_count_and_depth;
+    Alcotest.test_case "malformed input" `Quick test_errors;
+    Alcotest.test_case "build_dom equals parser" `Quick test_build_dom_equivalence;
+    prop_sax_matches_parser;
+    Alcotest.test_case "streaming a large document" `Quick test_streaming_large_doc;
+  ]

@@ -1,0 +1,205 @@
+module Dom = Rxml.Dom
+module Shape = Rworkload.Shape
+module Rng = Rworkload.Rng
+open Util
+
+let all_schemes : (module Ruid.Scheme.S) list =
+  [
+    (module Ruid.Scheme_uid);
+    (module Ruid.Scheme_ruid2);
+    (module Ruid.Scheme_multilevel);
+    (module Baselines.Prepost);
+    (module Baselines.Interval);
+    (module Baselines.Dewey);
+  ]
+
+let uniform lo hi = Shape.Uniform { fanout_lo = lo; fanout_hi = hi }
+
+(* Every scheme must decide relations exactly as the DOM does. *)
+let test_relation_oracle () =
+  List.iter
+    (fun (module S : Ruid.Scheme.S) ->
+      let root = Shape.generate ~seed:31 ~target:150 (uniform 0 4) in
+      let t = S.build root in
+      let rng = Rng.create 8 in
+      for _ = 1 to 120 do
+        let a = Shape.random_node rng root in
+        let b = Shape.random_node rng root in
+        Alcotest.check rel
+          (Printf.sprintf "%s relation" S.name)
+          (dom_relation root a b) (S.relation t a b)
+      done)
+    all_schemes
+
+(* Relations must stay correct across a random workload of updates. *)
+let test_relation_after_updates () =
+  List.iter
+    (fun (module S : Ruid.Scheme.S) ->
+      let root = Shape.generate ~seed:5 ~target:80 (uniform 0 3) in
+      let t = S.build root in
+      let rng = Rng.create 99 in
+      for _ = 1 to 40 do
+        if Rng.bool rng then begin
+          let parent = Shape.random_node rng root in
+          let pos = Rng.int rng (Dom.degree parent + 1) in
+          ignore (S.insert t ~parent ~pos (Dom.element "ins"))
+        end
+        else begin
+          match List.filter (fun n -> not (Dom.equal n root)) (Dom.preorder root) with
+          | [] -> ()
+          | candidates ->
+            let victim = List.nth candidates (Rng.int rng (List.length candidates)) in
+            ignore (S.delete t victim)
+        end
+      done;
+      for _ = 1 to 80 do
+        let a = Shape.random_node rng root in
+        let b = Shape.random_node rng root in
+        Alcotest.check rel
+          (Printf.sprintf "%s post-update relation" S.name)
+          (dom_relation root a b) (S.relation t a b)
+      done)
+    all_schemes
+
+(* Fig. 1 quantified: inserting between UID nodes 2 and 3 relabels the six
+   nodes 3, 8, 9, 23, 26, 27; a second insertion overflows the fan-out and
+   renumbers the descendants wholesale. *)
+let fig1_tree () =
+  let e tag = Dom.element tag in
+  let n8 = e "n8" and n9 = e "n9" in
+  Dom.append_child n8 (e "n23");
+  Dom.append_child n9 (e "n26");
+  Dom.append_child n9 (e "n27");
+  let n3 = e "n3" in
+  Dom.append_child n3 n8;
+  Dom.append_child n3 n9;
+  let root = e "root" in
+  Dom.append_child root (e "n2");
+  Dom.append_child root n3;
+  root
+
+let test_uid_fig1_costs () =
+  let root = fig1_tree () in
+  (* Pad the root's fan-out to 3 so that k = 3 as in the figure. *)
+  let pad = Dom.element "pad" in
+  Dom.append_child root pad;
+  let t = Ruid.Scheme_uid.build root in
+  Alcotest.(check int) "k = 3" 3 (Ruid.Scheme_uid.k t);
+  ignore (Ruid.Scheme_uid.delete t pad);
+  let c1 = Ruid.Scheme_uid.insert t ~parent:root ~pos:1 (Dom.element "new") in
+  Alcotest.(check int) "first insertion relabels 6 nodes" 6 c1;
+  let c2 = Ruid.Scheme_uid.insert t ~parent:root ~pos:2 (Dom.element "new2") in
+  Alcotest.(check int) "overflow insertion grows k" 4 (Ruid.Scheme_uid.k t);
+  Alcotest.(check int) "overflow renumbers the old subtree" 6 c2
+
+(* The headline claim of Section 3.2: on a deep-and-wide document an
+   insertion near the root relabels vastly less under ruid2 than under the
+   original UID. *)
+let test_update_scope_comparison () =
+  let build_doc () = Shape.comb ~depth:40 ~width:10 () in
+  let cost (module S : Ruid.Scheme.S) =
+    let root = build_doc () in
+    let t = S.build root in
+    S.insert t ~parent:root ~pos:0 (Dom.element "new")
+  in
+  let uid_cost = cost (module Ruid.Scheme_uid) in
+  let ruid_cost = cost (module Ruid.Scheme_ruid2) in
+  Alcotest.(check bool)
+    (Printf.sprintf "ruid2 (%d) relabels less than uid (%d)" ruid_cost uid_cost)
+    true
+    (ruid_cost * 4 < uid_cost)
+
+let test_interval_gap_behaviour () =
+  let root = t "a" [ t "b" []; t "c" [] ] in
+  let iv = Baselines.Interval.build_with_gap ~gap:64 root in
+  (* Plenty of room: the first insertions touch nothing. *)
+  let c1 = Baselines.Interval.insert iv ~parent:root ~pos:1 (Dom.element "x") in
+  Alcotest.(check int) "first insert free" 0 c1;
+  Alcotest.(check int) "no renumber yet" 0 (Baselines.Interval.renumber_count iv);
+  (* Hammer one spot until the gap is exhausted. *)
+  let total = ref 0 in
+  for _ = 1 to 64 do
+    total := !total + Baselines.Interval.insert iv ~parent:root ~pos:1 (Dom.element "y")
+  done;
+  Alcotest.(check bool) "eventually renumbers" true
+    (Baselines.Interval.renumber_count iv >= 1 && !total > 0)
+
+let test_dewey_behaviour () =
+  let root = t "a" [ t "b" [ t "c" [] ]; t "d" [] ] in
+  let dw = Baselines.Dewey.build root in
+  Alcotest.(check int) "append at end is free" 0
+    (Baselines.Dewey.insert dw ~parent:root ~pos:2 (Dom.element "x"));
+  (* Insert at the front: b's subtree, d and x all shift. *)
+  Alcotest.(check int) "front insert shifts right siblings" 4
+    (Baselines.Dewey.insert dw ~parent:root ~pos:0 (Dom.element "y"))
+
+let test_prepost_insert_cost () =
+  (* A chain: inserting at the top changes the pre of everything below. *)
+  let root = Shape.chain ~depth:10 () in
+  let pp = Baselines.Prepost.build root in
+  let changed = Baselines.Prepost.insert pp ~parent:root ~pos:0 (Dom.element "x") in
+  (* The 10 nodes below get new pre ranks and the root a new post rank. *)
+  Alcotest.(check int) "all 11 existing nodes relabel" 11 changed
+
+let test_parent_derivable_flags () =
+  let flags =
+    List.map
+      (fun (module S : Ruid.Scheme.S) -> (S.name, S.parent_derivable))
+      all_schemes
+  in
+  Alcotest.(check (list (pair string bool)))
+    "UID family derives parents from labels; traversal schemes do not"
+    [
+      ("uid", true); ("ruid2", true); ("ruid-multi", true);
+      ("prepost", false); ("interval", false); ("dewey", true);
+    ]
+    flags
+
+let test_label_strings_nonempty () =
+  List.iter
+    (fun (module S : Ruid.Scheme.S) ->
+      let root = Shape.generate ~seed:3 ~target:30 (uniform 1 3) in
+      let t = S.build root in
+      List.iter
+        (fun n ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s label renders" S.name)
+            true
+            (String.length (S.label_string t n) > 0))
+        (Dom.preorder root))
+    all_schemes
+
+let prop_delete_then_relation =
+  Util.qtest ~count:25 "relations survive a random deletion in every scheme"
+    QCheck.(int_range 10 80)
+    (fun n ->
+      List.for_all
+        (fun (module S : Ruid.Scheme.S) ->
+          let root = Shape.generate ~seed:n ~target:n (uniform 1 3) in
+          let t = S.build root in
+          let rng = Rng.create (n * 3) in
+          (match List.filter (fun x -> not (Dom.equal x root)) (Dom.preorder root) with
+          | [] -> ()
+          | cs -> ignore (S.delete t (List.nth cs (Rng.int rng (List.length cs)))));
+          let ok = ref true in
+          for _ = 1 to 30 do
+            let a = Shape.random_node rng root in
+            let b = Shape.random_node rng root in
+            if S.relation t a b <> dom_relation root a b then ok := false
+          done;
+          !ok)
+        all_schemes)
+
+let suite =
+  [
+    Alcotest.test_case "relation oracle (all schemes)" `Quick test_relation_oracle;
+    Alcotest.test_case "relations after update storm" `Quick test_relation_after_updates;
+    Alcotest.test_case "Fig. 1 relabel counts under UID" `Quick test_uid_fig1_costs;
+    Alcotest.test_case "Section 3.2: ruid2 beats UID on update scope" `Quick test_update_scope_comparison;
+    Alcotest.test_case "interval gaps" `Quick test_interval_gap_behaviour;
+    Alcotest.test_case "dewey shifts" `Quick test_dewey_behaviour;
+    Alcotest.test_case "prepost insert cost" `Quick test_prepost_insert_cost;
+    Alcotest.test_case "parent derivability flags" `Quick test_parent_derivable_flags;
+    Alcotest.test_case "label rendering" `Quick test_label_strings_nonempty;
+    prop_delete_then_relation;
+  ]

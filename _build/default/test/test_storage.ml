@@ -1,0 +1,265 @@
+module Dom = Rxml.Dom
+module R2 = Ruid.Ruid2
+module Bt = Rstorage.Btree
+module Bp = Rstorage.Buffer_pool
+module Io = Rstorage.Io_stats
+module Ns = Rstorage.Node_store
+module Shape = Rworkload.Shape
+module Rng = Rworkload.Rng
+
+(* ------------------------------------------------------------------ *)
+(* B+tree                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_btree_basics () =
+  let t = Bt.create ~order:4 () in
+  List.iter (fun k -> Bt.insert t k (k * 10)) [ 5; 1; 9; 3; 7; 2; 8; 4; 6; 0 ];
+  Bt.check_invariants t;
+  Alcotest.(check int) "length" 10 (Bt.length t);
+  Alcotest.(check (option int)) "find 7" (Some 70) (Bt.find t 7);
+  Alcotest.(check (option int)) "find missing" None (Bt.find t 42);
+  Bt.insert t 7 700;
+  Alcotest.(check (option int)) "replace" (Some 700) (Bt.find t 7);
+  Alcotest.(check int) "replace keeps length" 10 (Bt.length t);
+  Alcotest.(check bool) "splits happened" true (Bt.height t > 1)
+
+let test_btree_range () =
+  let t = Bt.create ~order:4 () in
+  for k = 0 to 99 do
+    Bt.insert t (k * 2) k
+  done;
+  Bt.check_invariants t;
+  let r = Bt.range t ~lo:10 ~hi:20 in
+  Alcotest.(check (list int)) "range keys" [ 10; 12; 14; 16; 18; 20 ]
+    (List.map fst r);
+  Alcotest.(check (list int)) "empty range" []
+    (List.map fst (Bt.range t ~lo:201 ~hi:300));
+  Alcotest.(check int) "full range" 100 (List.length (Bt.range t ~lo:min_int ~hi:max_int))
+
+let test_btree_delete () =
+  let t = Bt.create ~order:4 () in
+  for k = 0 to 50 do
+    Bt.insert t k k
+  done;
+  Alcotest.(check bool) "delete present" true (Bt.delete t 25);
+  Alcotest.(check bool) "delete absent" false (Bt.delete t 25);
+  Alcotest.(check (option int)) "gone" None (Bt.find t 25);
+  Alcotest.(check int) "length dropped" 50 (Bt.length t);
+  Bt.check_invariants t
+
+let test_btree_iter_sorted () =
+  let t = Bt.create ~order:6 () in
+  let rng = Rng.create 3 in
+  for _ = 1 to 500 do
+    let k = Rng.int rng 10_000 in
+    Bt.insert t k k
+  done;
+  let prev = ref min_int in
+  Bt.iter
+    (fun k _ ->
+      Alcotest.(check bool) "sorted" true (k > !prev);
+      prev := k)
+    t;
+  Bt.check_invariants t
+
+let prop_btree_model =
+  Util.qtest ~count:40 "btree matches a sorted-map model"
+    QCheck.(small_list (pair (int_bound 1000) (int_bound 1000)))
+    (fun ops ->
+      let t = Bt.create ~order:4 () in
+      let m = Hashtbl.create 16 in
+      List.iter
+        (fun (k, v) ->
+          Bt.insert t k v;
+          Hashtbl.replace m k v)
+        ops;
+      Bt.check_invariants t;
+      Bt.length t = Hashtbl.length m
+      && Hashtbl.fold (fun k v acc -> acc && Bt.find t k = Some v) m true)
+
+let test_btree_delete_rebalancing () =
+  (* Drain a populated tree in random order: occupancy invariants must hold
+     after every deletion, and the root must collapse back to a leaf. *)
+  let t = Bt.create ~order:4 () in
+  let keys = Array.init 300 (fun i -> i * 3) in
+  Array.iter (fun k -> Bt.insert t k k) keys;
+  Alcotest.(check bool) "grew several levels" true (Bt.height t >= 3);
+  let rng = Rng.create 17 in
+  Rng.shuffle rng keys;
+  Array.iteri
+    (fun i k ->
+      Alcotest.(check bool) "deleted" true (Bt.delete t k);
+      if i mod 10 = 0 then Bt.check_invariants t)
+    keys;
+  Bt.check_invariants t;
+  Alcotest.(check int) "empty" 0 (Bt.length t);
+  Alcotest.(check int) "root collapsed" 1 (Bt.height t)
+
+let prop_btree_mixed_model =
+  Util.qtest ~count:40 "btree matches a map under mixed insert/delete"
+    QCheck.(small_list (pair bool (int_bound 200)))
+    (fun ops ->
+      let t = Bt.create ~order:4 () in
+      let m = Hashtbl.create 16 in
+      List.iter
+        (fun (is_insert, k) ->
+          if is_insert then begin
+            Bt.insert t k k;
+            Hashtbl.replace m k k
+          end
+          else begin
+            let deleted = Bt.delete t k in
+            let expected = Hashtbl.mem m k in
+            Hashtbl.remove m k;
+            if deleted <> expected then failwith "delete result mismatch"
+          end)
+        ops;
+      Bt.check_invariants t;
+      Bt.length t = Hashtbl.length m
+      && Hashtbl.fold (fun k v acc -> acc && Bt.find t k = Some v) m true)
+
+let test_pack_key_order () =
+  let k1 = Bt.pack_key ~global:1 ~local:500 in
+  let k2 = Bt.pack_key ~global:2 ~local:3 in
+  Alcotest.(check bool) "global dominates" true (k1 < k2);
+  Alcotest.(check bool) "local orders within global" true
+    (Bt.pack_key ~global:2 ~local:3 < Bt.pack_key ~global:2 ~local:4)
+
+(* ------------------------------------------------------------------ *)
+(* Buffer pool                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_lru () =
+  let stats = Io.create () in
+  let pool = Bp.create ~capacity:2 ~stats in
+  Bp.touch pool 1;
+  Bp.touch pool 2;
+  Alcotest.(check int) "two cold reads" 2 stats.Io.page_reads;
+  Bp.touch pool 1;
+  Alcotest.(check int) "hit" 1 stats.Io.hits;
+  Bp.touch pool 3;
+  (* page 2 is now the LRU victim *)
+  Alcotest.(check bool) "2 evicted" false (Bp.resident pool 2);
+  Alcotest.(check bool) "1 kept" true (Bp.resident pool 1);
+  Bp.touch pool 2;
+  Alcotest.(check int) "re-read after eviction" 4 stats.Io.page_reads
+
+let test_pool_writes () =
+  let stats = Io.create () in
+  let pool = Bp.create ~capacity:4 ~stats in
+  Bp.touch_write pool 9;
+  Alcotest.(check int) "write counted" 1 stats.Io.page_writes;
+  Alcotest.(check int) "read counted too" 1 stats.Io.page_reads
+
+(* ------------------------------------------------------------------ *)
+(* Node store                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let store_of_tree ?(cache_pages = 4) n seed =
+  let root =
+    Shape.generate ~seed ~target:n (Shape.Uniform { fanout_lo = 0; fanout_hi = 4 })
+  in
+  let r2 = R2.number ~max_area_size:16 root in
+  (root, r2, Ns.create ~records_per_page:8 ~cache_pages r2)
+
+let test_store_fetch () =
+  let root, r2, store = store_of_tree 200 5 in
+  Alcotest.(check int) "record count" (Dom.size root) (Ns.record_count store);
+  List.iter
+    (fun n ->
+      match Ns.fetch store (R2.id_of_node r2 n) with
+      | Some r -> Alcotest.(check string) "tag matches" (Dom.tag n) r.Ns.tag
+      | None -> Alcotest.fail "record missing")
+    (Dom.preorder root);
+  Alcotest.(check bool) "reads happened" true ((Ns.stats store).Io.page_reads > 0)
+
+let test_store_parent_pointers () =
+  let root, r2, store = store_of_tree 150 9 in
+  List.iter
+    (fun n ->
+      let r = Option.get (Ns.fetch store (R2.id_of_node r2 n)) in
+      match (n.Dom.parent, r.Ns.parent_id) with
+      | None, None -> ()
+      | Some p, Some pid ->
+        Alcotest.(check bool) "parent pointer correct" true
+          (R2.id_equal pid (R2.id_of_node r2 p))
+      | _ -> Alcotest.fail "parent pointer mismatch")
+    (Dom.preorder root)
+
+let test_ancestor_strategies_agree () =
+  let root, r2, store = store_of_tree 300 13 in
+  let rng = Rng.create 4 in
+  for _ = 1 to 30 do
+    let n = Shape.random_node rng root in
+    let id = R2.id_of_node r2 n in
+    Alcotest.(check (list string)) "ancestor lists agree"
+      (List.map R2.id_to_string (Ns.ancestor_ids_arithmetic store id))
+      (List.map R2.id_to_string (Ns.ancestor_ids_pointer_chase store id))
+  done
+
+let test_arithmetic_needs_no_io () =
+  let root, r2, store = store_of_tree 400 21 in
+  let rng = Rng.create 6 in
+  Ns.reset_stats store;
+  Ns.clear_cache store;
+  for _ = 1 to 50 do
+    let a = Shape.random_node rng root in
+    let b = Shape.random_node rng root in
+    ignore (Ns.is_ancestor_arithmetic store
+              ~anc:(R2.id_of_node r2 a) ~desc:(R2.id_of_node r2 b));
+    ignore (Ns.ancestor_ids_arithmetic store (R2.id_of_node r2 a))
+  done;
+  Alcotest.(check int) "zero page reads" 0 (Ns.stats store).Io.page_reads;
+  (* The pointer chase, by contrast, reads pages. *)
+  let deep =
+    List.fold_left
+      (fun best n -> if Dom.depth_of n > Dom.depth_of best then n else best)
+      root (Dom.preorder root)
+  in
+  ignore (Ns.ancestor_ids_pointer_chase store (R2.id_of_node r2 deep));
+  Alcotest.(check bool) "pointer chase reads" true
+    ((Ns.stats store).Io.page_reads > 0)
+
+let test_ancestor_check_strategies_agree () =
+  let root, r2, store = store_of_tree 250 17 in
+  let rng = Rng.create 11 in
+  for _ = 1 to 60 do
+    let a = Shape.random_node rng root in
+    let b = Shape.random_node rng root in
+    let anc = R2.id_of_node r2 a and desc = R2.id_of_node r2 b in
+    Alcotest.(check bool) "is_ancestor agrees"
+      (Ns.is_ancestor_arithmetic store ~anc ~desc)
+      (Ns.is_ancestor_pointer_chase store ~anc ~desc)
+  done
+
+let test_fetch_subtree () =
+  let root, r2, store = store_of_tree 120 23 in
+  let rng = Rng.create 2 in
+  for _ = 1 to 10 do
+    let n = Shape.random_node rng root in
+    let records = Ns.fetch_subtree store (R2.id_of_node r2 n) in
+    Alcotest.(check int) "subtree size" (Dom.size n) (List.length records);
+    Alcotest.(check (list int)) "document order"
+      (List.map (fun x -> x.Dom.serial) (Dom.preorder n))
+      (List.map (fun r -> r.Ns.serial) records)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "btree basics" `Quick test_btree_basics;
+    Alcotest.test_case "btree range scan" `Quick test_btree_range;
+    Alcotest.test_case "btree delete" `Quick test_btree_delete;
+    Alcotest.test_case "btree iter sorted" `Quick test_btree_iter_sorted;
+    prop_btree_model;
+    Alcotest.test_case "btree delete rebalancing" `Quick test_btree_delete_rebalancing;
+    prop_btree_mixed_model;
+    Alcotest.test_case "composite key order" `Quick test_pack_key_order;
+    Alcotest.test_case "LRU behaviour" `Quick test_pool_lru;
+    Alcotest.test_case "write counting" `Quick test_pool_writes;
+    Alcotest.test_case "store fetch" `Quick test_store_fetch;
+    Alcotest.test_case "stored parent pointers" `Quick test_store_parent_pointers;
+    Alcotest.test_case "ancestor strategies agree" `Quick test_ancestor_strategies_agree;
+    Alcotest.test_case "arithmetic needs no I/O" `Quick test_arithmetic_needs_no_io;
+    Alcotest.test_case "ancestor checks agree" `Quick test_ancestor_check_strategies_agree;
+    Alcotest.test_case "fetch_subtree" `Quick test_fetch_subtree;
+  ]

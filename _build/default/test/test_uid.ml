@@ -1,0 +1,210 @@
+module Dom = Rxml.Dom
+module U = Ruid.Uid.Over_int
+module UB = Ruid.Uid.Over_big
+module B = Bignum.Bignat
+open Util
+
+let test_parent_formula () =
+  (* parent(i) = (i - 2) / k + 1, formula (1). *)
+  Alcotest.(check (option int)) "root" None (U.parent ~k:3 1);
+  Alcotest.(check (option int)) "2 -> 1" (Some 1) (U.parent ~k:3 2);
+  Alcotest.(check (option int)) "4 -> 1" (Some 1) (U.parent ~k:3 4);
+  Alcotest.(check (option int)) "5 -> 2" (Some 2) (U.parent ~k:3 5);
+  Alcotest.(check (option int)) "23 -> 8" (Some 8) (U.parent ~k:3 23);
+  Alcotest.(check (option int)) "k=1 chain" (Some 9) (U.parent ~k:1 10)
+
+let test_children () =
+  Alcotest.(check (pair int int)) "children of root, k=3" (2, 4)
+    (U.children_range ~k:3 1);
+  Alcotest.(check int) "first child of 3" 8 (U.child ~k:3 3 0);
+  Alcotest.(check int) "third child of 9" 28 (U.child ~k:3 9 2);
+  Alcotest.check_raises "slot range enforced"
+    (Invalid_argument "Uid.child: slot out of range") (fun () ->
+      ignore (U.child ~k:3 1 3))
+
+let test_levels_ancestors () =
+  Alcotest.(check int) "root level" 0 (U.level ~k:3 1);
+  Alcotest.(check int) "level of 23" 3 (U.level ~k:3 23);
+  Alcotest.(check (list int)) "ancestors of 23" [ 8; 3; 1 ] (U.ancestors ~k:3 23)
+
+let test_relation () =
+  let check msg expected a b =
+    Alcotest.check rel msg expected (U.relation ~k:3 a b)
+  in
+  check "self" Ruid.Rel.Self 23 23;
+  check "ancestor" Ruid.Rel.Ancestor 3 23;
+  check "descendant" Ruid.Rel.Descendant 23 3;
+  check "root ancestor of all" Ruid.Rel.Ancestor 1 28;
+  check "2 before 3's subtree" Ruid.Rel.Before 2 23;
+  check "23 after 2" Ruid.Rel.After 23 2;
+  check "same level order" Ruid.Rel.Before 8 9;
+  check "uncle after nephew's subtree" Ruid.Rel.After 28 23
+
+(* Reconstruction of Fig. 1: the sample tree enumerated with k = 3; real
+   nodes carry UIDs 1, 2, 3, 8, 9, 23, 26, 27. *)
+let fig1_tree () =
+  let e = Dom.element in
+  let n23 = e "n23" and n26 = e "n26" and n27 = e "n27" in
+  let n8 = e "n8" and n9 = e "n9" in
+  Dom.append_child n8 n23;
+  Dom.append_child n9 n26;
+  Dom.append_child n9 n27;
+  let n2 = e "n2" and n3 = e "n3" in
+  Dom.append_child n3 n8;
+  Dom.append_child n3 n9;
+  let root = e "root" in
+  Dom.append_child root n2;
+  Dom.append_child root n3;
+  (root, n2, n3, n8, n9, n23, n26, n27)
+
+let ids_of lb nodes = List.map (U.id_of_node lb) nodes
+
+let test_fig1_before_insertion () =
+  let root, n2, n3, n8, n9, n23, n26, n27 = fig1_tree () in
+  let lb = U.label ~k:3 root in
+  Alcotest.(check (list int)) "Fig. 1(a) enumeration" [ 1; 2; 3; 8; 9; 23; 26; 27 ]
+    (ids_of lb [ root; n2; n3; n8; n9; n23; n26; n27 ])
+
+let test_fig1_after_insertion () =
+  (* Inserting a node between nodes 2 and 3 renumbers 3, 8, 9, 23, 26, 27
+     into 4, 11, 12, 32, 35, 36. *)
+  let root, n2, n3, n8, n9, n23, n26, n27 = fig1_tree () in
+  let inserted = Dom.element "new" in
+  Dom.insert_child root ~pos:1 inserted;
+  let lb = U.label ~k:3 root in
+  Alcotest.(check (list int)) "Fig. 1(b) enumeration" [ 1; 2; 3; 4; 11; 12; 32; 35; 36 ]
+    (ids_of lb [ root; n2; inserted; n3; n8; n9; n23; n26; n27 ])
+
+let test_label_round_trip () =
+  let root, _, _, _, _, n23, _, _ = fig1_tree () in
+  let lb = U.label ~k:3 root in
+  (match U.node_of_id lb 23 with
+  | Some n -> Alcotest.(check int) "id resolves" n23.Dom.serial n.Dom.serial
+  | None -> Alcotest.fail "id 23 should resolve");
+  Alcotest.(check bool) "virtual id resolves to nothing" true
+    (U.node_of_id lb 4 = None)
+
+let test_label_default_k () =
+  let root, _, _, _, n9, _, _, _ = fig1_tree () in
+  let lb = U.label root in
+  Alcotest.(check int) "k defaults to max fan-out" 2 lb.U.k;
+  Alcotest.(check int) "n9 under k=2" 7 (U.id_of_node lb n9)
+
+let test_label_k_too_small () =
+  let root, _, _, _, _, _, _, _ = fig1_tree () in
+  Alcotest.check_raises "k below fan-out rejected"
+    (Invalid_argument "Uid.label: k = 1 below maximal fan-out 2") (fun () ->
+      ignore (U.label ~k:1 root))
+
+let test_int_overflow () =
+  (* A fan-out 1000 tree overflows 63-bit identifiers at depth 7:
+     1000^7 > 2^62. *)
+  let deep = Rworkload.Shape.comb ~depth:7 ~width:2 () in
+  (* Force a huge k by attaching many children to the root. *)
+  for _ = 1 to 998 do
+    Dom.append_child deep (Dom.element "pad")
+  done;
+  (match U.label deep with
+  | exception Ruid.Uid.Overflow -> ()
+  | _ -> Alcotest.fail "expected Overflow");
+  (* The Bignat instance handles the same tree. *)
+  let lb = UB.label deep in
+  Alcotest.(check bool) "bignat labeling succeeds" true
+    (Hashtbl.length lb.UB.id_of = Dom.size deep)
+
+let test_max_id_at_depth () =
+  Alcotest.(check int) "k=3 depth 2: 13 nodes" 13 (U.max_id_at_depth ~k:3 ~depth:2);
+  Alcotest.(check int) "k=1 depth 5" 6 (U.max_id_at_depth ~k:1 ~depth:5);
+  Alcotest.(check string) "k=1000 depth 7 via bignat"
+    "1001001001001001001001"
+    (B.to_string (UB.max_id_at_depth ~k:1000 ~depth:7))
+
+(* Properties: formula (1) inverts child; relation agrees with a DOM oracle. *)
+let prop_parent_inverts_child =
+  Util.qtest "parent inverts child"
+    QCheck.(triple (int_range 1 20) (int_range 1 10_000) (int_range 0 19))
+    (fun (k, i, j) ->
+      QCheck.assume (j < k);
+      U.parent ~k (U.child ~k i j) = Some i)
+
+let prop_relation_matches_dom =
+  Util.qtest "relation matches DOM oracle" QCheck.(int_range 2 80) (fun n ->
+      let root =
+        Rworkload.Shape.generate ~seed:(n * 31) ~target:n
+          (Rworkload.Shape.Uniform { fanout_lo = 0; fanout_hi = 4 })
+      in
+      let lb = U.label root in
+      let rng = Rworkload.Rng.create n in
+      let ok = ref true in
+      for _ = 1 to 20 do
+        let a = Rworkload.Shape.random_node rng root in
+        let b = Rworkload.Shape.random_node rng root in
+        let got = U.relation ~k:lb.U.k (U.id_of_node lb a) (U.id_of_node lb b) in
+        if got <> dom_relation root a b then ok := false
+      done;
+      !ok)
+
+let prop_level_matches_depth =
+  Util.qtest "level matches DOM depth" QCheck.(int_range 1 60) (fun n ->
+      let root =
+        Rworkload.Shape.generate ~seed:(n * 17) ~target:n
+          (Rworkload.Shape.Uniform { fanout_lo = 1; fanout_hi = 3 })
+      in
+      let lb = U.label root in
+      List.for_all
+        (fun x -> U.level ~k:lb.U.k (U.id_of_node lb x) = Dom.depth_of x)
+        (Dom.preorder root))
+
+(* The int and bignum backends implement identical numbering: labels,
+   parents and relations agree wherever both apply. *)
+let prop_backends_agree =
+  Util.qtest ~count:40 "int and bignum backends agree"
+    QCheck.(int_range 2 120)
+    (fun n ->
+      let root =
+        Rworkload.Shape.generate ~seed:(n * 23) ~target:n
+          (Rworkload.Shape.Uniform { fanout_lo = 0; fanout_hi = 4 })
+      in
+      let li = U.label root in
+      let lb = UB.label root in
+      let k = li.U.k in
+      let rng = Rworkload.Rng.create n in
+      let ok = ref (lb.UB.k = k) in
+      List.iter
+        (fun x ->
+          let i = U.id_of_node li x in
+          let b = UB.id_of_node lb x in
+          if B.to_int_opt b <> Some i then ok := false;
+          (match (U.parent ~k i, UB.parent ~k b) with
+          | None, None -> ()
+          | Some p, Some pb when B.to_int_opt pb = Some p -> ()
+          | _ -> ok := false))
+        (Dom.preorder root);
+      for _ = 1 to 20 do
+        let a = Rworkload.Shape.random_node rng root in
+        let c = Rworkload.Shape.random_node rng root in
+        if
+          U.relation ~k (U.id_of_node li a) (U.id_of_node li c)
+          <> UB.relation ~k (UB.id_of_node lb a) (UB.id_of_node lb c)
+        then ok := false
+      done;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "formula (1)" `Quick test_parent_formula;
+    prop_backends_agree;
+    Alcotest.test_case "children arithmetic" `Quick test_children;
+    Alcotest.test_case "levels and ancestors" `Quick test_levels_ancestors;
+    Alcotest.test_case "relation" `Quick test_relation;
+    Alcotest.test_case "Fig. 1(a): initial enumeration" `Quick test_fig1_before_insertion;
+    Alcotest.test_case "Fig. 1(b): renumbering after insertion" `Quick test_fig1_after_insertion;
+    Alcotest.test_case "label round-trip" `Quick test_label_round_trip;
+    Alcotest.test_case "default k" `Quick test_label_default_k;
+    Alcotest.test_case "k too small" `Quick test_label_k_too_small;
+    Alcotest.test_case "int overflow vs bignat" `Quick test_int_overflow;
+    Alcotest.test_case "max_id_at_depth" `Quick test_max_id_at_depth;
+    prop_parent_inverts_child;
+    prop_relation_matches_dom;
+    prop_level_matches_depth;
+  ]

@@ -1,0 +1,165 @@
+module Dom = Rxml.Dom
+module Rng = Rworkload.Rng
+module Shape = Rworkload.Shape
+module Xmark = Rworkload.Xmark
+module Dblp = Rworkload.Dblp
+module Updates = Rworkload.Updates
+module Stats = Rxml.Stats
+
+let test_rng_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done;
+  let c = Rng.create 43 in
+  let diffs = ref 0 in
+  let a' = Rng.create 42 in
+  for _ = 1 to 50 do
+    if Rng.int a' 1000 <> Rng.int c 1000 then incr diffs
+  done;
+  Alcotest.(check bool) "different seeds diverge" true (!diffs > 30)
+
+let test_rng_ranges () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Rng.int_in rng 5 10 in
+    Alcotest.(check bool) "in range" true (v >= 5 && v <= 10);
+    let f = Rng.float rng in
+    Alcotest.(check bool) "unit float" true (f >= 0. && f < 1.)
+  done
+
+let test_rng_zipf_skew () =
+  let rng = Rng.create 11 in
+  let counts = Array.make 11 0 in
+  for _ = 1 to 5000 do
+    let r = Rng.zipf rng ~s:1.2 ~n:10 in
+    counts.(r) <- counts.(r) + 1
+  done;
+  Alcotest.(check bool) "rank 1 dominates rank 10" true
+    (counts.(1) > 4 * counts.(10))
+
+let test_shape_profiles () =
+  let uni =
+    Shape.generate ~seed:1 ~target:500 (Shape.Uniform { fanout_lo = 1; fanout_hi = 4 })
+  in
+  Alcotest.(check bool) "uniform size near target" true
+    (abs (Dom.size uni - 500) < 20);
+  let deep = Shape.generate ~seed:2 ~target:300 (Shape.Deep { fanout = 3; bias = 0.8 }) in
+  Alcotest.(check bool) "deep profile is deeper" true
+    (Stats.(compute deep).max_depth > Stats.(compute uni).max_depth);
+  let skew = Shape.generate ~seed:3 ~target:800 (Shape.Skewed { max_fanout = 60; s = 1.1 }) in
+  let st = Stats.compute skew in
+  Alcotest.(check bool) "skewed has fan-out disparity" true
+    (float_of_int st.Stats.max_fanout > 4. *. st.Stats.avg_fanout)
+
+let test_chain_comb () =
+  let ch = Shape.chain ~depth:25 () in
+  Alcotest.(check int) "chain size" 26 (Dom.size ch);
+  Alcotest.(check int) "chain depth" 25 Stats.(compute ch).max_depth;
+  let cb = Shape.comb ~depth:10 ~width:4 () in
+  Alcotest.(check int) "comb size" (1 + 10 + (11 * 3)) (Dom.size cb)
+
+let test_xmark_shape () =
+  let site = Xmark.generate ~seed:5 ~scale:1.0 in
+  let st = Stats.compute site in
+  Alcotest.(check string) "root tag" "site" (Dom.tag site);
+  Alcotest.(check bool) "size scales" true (st.Stats.nodes > 1500);
+  Alcotest.(check bool) "recursive depth" true (st.Stats.max_depth >= 6);
+  (* Determinism. *)
+  let site2 = Xmark.generate ~seed:5 ~scale:1.0 in
+  Alcotest.(check string) "deterministic" (Rxml.Serializer.to_string site)
+    (Rxml.Serializer.to_string site2);
+  (* Queries parse and run. *)
+  let eng = Rxpath.Engine_naive.create site in
+  List.iter
+    (fun q -> ignore (Rxpath.Eval.query eng q))
+    Xmark.queries
+
+let test_dblp_shape () =
+  let root = Dblp.generate ~seed:9 ~publications:200 in
+  Alcotest.(check int) "root fan-out equals publications" 200 (Dom.degree root);
+  let eng = Rxpath.Engine_naive.create root in
+  List.iter (fun q -> ignore (Rxpath.Eval.query eng q)) Dblp.queries;
+  Alcotest.(check bool) "authors found" true
+    (List.length (Rxpath.Eval.query eng "//author") > 200)
+
+let test_update_script_replay () =
+  (* The same script applied to two clones yields identical trees. *)
+  let base =
+    Shape.generate ~seed:17 ~target:120 (Shape.Uniform { fanout_lo = 0; fanout_hi = 4 })
+  in
+  let ops = Updates.script ~seed:3 ~ops:40 base in
+  Alcotest.(check int) "script length" 40 (List.length ops);
+  let play tree =
+    List.iter
+      (fun op ->
+        ignore
+          (Updates.apply tree
+             ~insert:(fun ~parent ~pos node -> Dom.insert_child parent ~pos node)
+             ~delete:(fun n ->
+               match n.Dom.parent with
+               | Some p -> Dom.remove_child p n
+               | None -> ())
+             op))
+      ops;
+    Rxml.Serializer.to_string tree
+  in
+  let a = play (Dom.clone base) and b = play (Dom.clone base) in
+  Alcotest.(check string) "replicas agree" a b
+
+let test_update_script_against_schemes () =
+  (* Replaying through a real scheme must keep the scheme consistent. *)
+  let base =
+    Shape.generate ~seed:23 ~target:100 (Shape.Uniform { fanout_lo = 0; fanout_hi = 3 })
+  in
+  let ops = Updates.script ~seed:7 ~ops:30 base in
+  let tree = Dom.clone base in
+  let r2 = Ruid.Ruid2.number ~max_area_size:8 tree in
+  List.iter
+    (fun op ->
+      ignore
+        (Updates.apply tree
+           ~insert:(fun ~parent ~pos node ->
+             Ruid.Ruid2.insert_node r2 ~parent ~pos node)
+           ~delete:(fun n -> Ruid.Ruid2.delete_subtree r2 n)
+           op))
+    ops;
+  Ruid.Ruid2.check_consistency r2
+
+let test_deep_insert_script () =
+  let root = Shape.chain ~depth:20 () in
+  (match Updates.deep_insert_script root ~depth_fraction:0.5 with
+  | Updates.Insert { parent_rank; pos } ->
+    Alcotest.(check int) "half depth" 10 parent_rank;
+    Alcotest.(check int) "first child" 0 pos
+  | Updates.Delete _ -> Alcotest.fail "expected insert");
+  match Updates.deep_insert_script root ~depth_fraction:0.0 with
+  | Updates.Insert { parent_rank; _ } ->
+    Alcotest.(check int) "root insert" 0 parent_rank
+  | Updates.Delete _ -> Alcotest.fail "expected insert"
+
+let test_clone_independence () =
+  let a = Shape.generate ~seed:1 ~target:40 (Shape.Uniform { fanout_lo = 1; fanout_hi = 3 }) in
+  let b = Dom.clone a in
+  Alcotest.(check int) "same size" (Dom.size a) (Dom.size b);
+  Dom.append_child b (Dom.element "extra");
+  Alcotest.(check bool) "clone is independent" true (Dom.size a <> Dom.size b);
+  Alcotest.(check bool) "fresh serials" true
+    (List.for_all2 (fun x y -> x.Dom.serial <> y.Dom.serial)
+       (Dom.preorder a)
+       (List.filteri (fun i _ -> i < Dom.size a) (Dom.preorder b)))
+
+let suite =
+  [
+    Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
+    Alcotest.test_case "rng ranges" `Quick test_rng_ranges;
+    Alcotest.test_case "zipf skew" `Quick test_rng_zipf_skew;
+    Alcotest.test_case "shape profiles" `Quick test_shape_profiles;
+    Alcotest.test_case "chain and comb" `Quick test_chain_comb;
+    Alcotest.test_case "xmark generator" `Quick test_xmark_shape;
+    Alcotest.test_case "dblp generator" `Quick test_dblp_shape;
+    Alcotest.test_case "update script replay" `Quick test_update_script_replay;
+    Alcotest.test_case "update script through ruid2" `Quick test_update_script_against_schemes;
+    Alcotest.test_case "deep insert script" `Quick test_deep_insert_script;
+    Alcotest.test_case "clone independence" `Quick test_clone_independence;
+  ]

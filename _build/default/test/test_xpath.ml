@@ -1,0 +1,309 @@
+module Dom = Rxml.Dom
+module P = Rxml.Parser
+module X = Rxpath.Xparser
+module Ast = Rxpath.Ast
+module Eval = Rxpath.Eval
+module Shape = Rworkload.Shape
+
+let doc () =
+  P.parse_string
+    {|<library>
+        <shelf id="s1">
+          <book year="2001"><title>Data on the Web</title><author>Abiteboul</author></book>
+          <book year="1999"><title>Transaction Processing</title><author>Gray</author></book>
+        </shelf>
+        <shelf id="s2">
+          <book year="2001"><title>Foundations of Databases</title><author>Abiteboul</author></book>
+          <journal><title>TODS</title></journal>
+        </shelf>
+      </library>|}
+
+let naive_engine root = Rxpath.Engine_naive.create root
+let ruid_engine root = Rxpath.Engine_ruid.create (Ruid.Ruid2.number ~max_area_size:6 root)
+
+let tags nodes = List.map Dom.tag nodes
+
+let titles eng q =
+  Eval.query eng q |> List.map Dom.text_content
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_parse_shapes () =
+  let p = X.parse "/a/b" in
+  Alcotest.(check bool) "absolute" true p.Ast.absolute;
+  Alcotest.(check int) "two steps" 2 (List.length p.Ast.steps);
+  let p = X.parse "//b" in
+  Alcotest.(check int) "// expands to two steps" 2 (List.length p.Ast.steps);
+  (match p.Ast.steps with
+  | [ s1; s2 ] ->
+    Alcotest.(check string) "descendant-or-self first" "descendant-or-self"
+      (Ast.axis_name s1.Ast.axis);
+    Alcotest.(check string) "child second" "child" (Ast.axis_name s2.Ast.axis)
+  | _ -> Alcotest.fail "expected two steps");
+  let p = X.parse "a//b" in
+  Alcotest.(check int) "inner // expands" 3 (List.length p.Ast.steps);
+  let p = X.parse "ancestor::x[2]" in
+  (match p.Ast.steps with
+  | [ s ] ->
+    Alcotest.(check string) "explicit axis" "ancestor" (Ast.axis_name s.Ast.axis);
+    Alcotest.(check int) "one predicate" 1 (List.length s.Ast.preds)
+  | _ -> Alcotest.fail "expected one step")
+
+let test_parse_to_string_round_trip () =
+  List.iter
+    (fun q ->
+      let p = X.parse q in
+      let p2 = X.parse (Ast.path_to_string p) in
+      Alcotest.(check string) q (Ast.path_to_string p) (Ast.path_to_string p2))
+    [
+      "/a/b/c";
+      "//book[@year='2001']";
+      "a/*/b";
+      "book[position()=last()]";
+      "//shelf/book[2]/title";
+      "descendant::book[count(author)>1 or @year=1999]";
+      ".//title";
+      "../book";
+      "self::node()";
+      "//book[not(@year)]";
+      "a[b and c]";
+      "text()";
+    ]
+
+let test_parse_errors () =
+  List.iter
+    (fun q ->
+      match X.parse q with
+      | exception X.Syntax_error _ -> ()
+      | _ -> Alcotest.failf "expected syntax error for %S" q)
+    [ ""; "/a["; "a]"; "a/"; "@"; "a[]"; "foo::x"; "'unclosed" ]
+
+(* ------------------------------------------------------------------ *)
+(* Semantics on the library document (both engines)                    *)
+(* ------------------------------------------------------------------ *)
+
+let engines () =
+  let d1 = doc () and d2 = doc () in
+  [ ("naive", naive_engine d1); ("ruid", ruid_engine d2) ]
+
+let both check_fn = List.iter (fun (name, eng) -> check_fn name eng) (engines ())
+
+let test_child_paths () =
+  both (fun name eng ->
+      Alcotest.(check int)
+        (name ^ ": /library/shelf") 2
+        (List.length (Eval.query eng "/library/shelf"));
+      Alcotest.(check int)
+        (name ^ ": /library/shelf/book") 3
+        (List.length (Eval.query eng "/library/shelf/book")))
+
+let test_descendant () =
+  both (fun name eng ->
+      Alcotest.(check int) (name ^ ": //book") 3
+        (List.length (Eval.query eng "//book"));
+      Alcotest.(check int) (name ^ ": //title") 4
+        (List.length (Eval.query eng "//title"));
+      Alcotest.(check (list string))
+        (name ^ ": //journal/title text")
+        [ "TODS" ]
+        (titles eng "//journal/title"))
+
+let test_attribute_predicates () =
+  both (fun name eng ->
+      Alcotest.(check int)
+        (name ^ ": year 2001") 2
+        (List.length (Eval.query eng "//book[@year='2001']"));
+      Alcotest.(check int)
+        (name ^ ": numeric compare") 1
+        (List.length (Eval.query eng "//book[@year<2000]"));
+      Alcotest.(check int)
+        (name ^ ": missing attr") 0
+        (List.length (Eval.query eng "//book[@missing]")))
+
+let test_positional () =
+  both (fun name eng ->
+      Alcotest.(check (list string))
+        (name ^ ": second book of first shelf")
+        [ "Transaction ProcessingGray" ]
+        (Eval.query eng "/library/shelf[1]/book[2]" |> List.map Dom.text_content);
+      Alcotest.(check int)
+        (name ^ ": last()") 2
+        (List.length (Eval.query eng "//shelf/book[position()=last()]")))
+
+let test_wildcard_and_grandparent () =
+  (* The paper's element1/*/element2 pattern (Section 3.5). *)
+  both (fun name eng ->
+      Alcotest.(check int)
+        (name ^ ": library/*/book via wildcard") 3
+        (List.length (Eval.query eng "/library/*/book"));
+      Alcotest.(check (list string))
+        (name ^ ": shelf/*/title")
+        [ "Data on the Web"; "Transaction Processing";
+          "Foundations of Databases"; "TODS" ]
+        (titles eng "//shelf/*/title"))
+
+let test_reverse_axes () =
+  both (fun name eng ->
+      Alcotest.(check int)
+        (name ^ ": ancestors of titles") 4
+        (List.length (Eval.query eng "//title/ancestor::shelf") + 2);
+      (* 4 titles but only 2 distinct shelves: dedup check. *)
+      Alcotest.(check int)
+        (name ^ ": distinct shelves") 2
+        (List.length (Eval.query eng "//title/ancestor::shelf"));
+      Alcotest.(check int)
+        (name ^ ": parent of authors") 3
+        (List.length (Eval.query eng "//author/..")))
+
+let test_sibling_axes () =
+  both (fun name eng ->
+      Alcotest.(check (list string))
+        (name ^ ": following siblings of first book")
+        [ "book" ]
+        (tags (Eval.query eng "/library/shelf[1]/book[1]/following-sibling::*"));
+      Alcotest.(check (list string))
+        (name ^ ": preceding sibling of journal")
+        [ "book" ]
+        (tags (Eval.query eng "//journal/preceding-sibling::*")))
+
+let test_preceding_following () =
+  both (fun name eng ->
+      (* journal follows all three books in document order *)
+      Alcotest.(check int)
+        (name ^ ": books preceding journal") 3
+        (List.length (Eval.query eng "//journal/preceding::book"));
+      Alcotest.(check int)
+        (name ^ ": titles following first shelf") 2
+        (List.length (Eval.query eng "/library/shelf[1]/following::title")))
+
+let test_boolean_predicates () =
+  both (fun name eng ->
+      Alcotest.(check int)
+        (name ^ ": and") 1
+        (List.length (Eval.query eng "//book[@year='2001' and author='Gray' or title='Data on the Web']"));
+      Alcotest.(check int)
+        (name ^ ": not()") 1
+        (List.length (Eval.query eng "//shelf[not(journal)]") );
+      Alcotest.(check int)
+        (name ^ ": count()") 2
+        (List.length (Eval.query eng "//shelf[count(book)>=1]")))
+
+let test_text_nodes () =
+  both (fun name eng ->
+      Alcotest.(check int)
+        (name ^ ": text() under titles") 4
+        (List.length (Eval.query eng "//title/text()")))
+
+let test_attribute_values () =
+  both (fun name eng ->
+      match Eval.eval eng (X.parse "//shelf/@id") with
+      | Eval.Attrs vs -> Alcotest.(check (list string)) name [ "s1"; "s2" ] vs
+      | _ -> Alcotest.fail "expected attribute values")
+
+(* ------------------------------------------------------------------ *)
+(* Engine equivalence on random documents                              *)
+(* ------------------------------------------------------------------ *)
+
+let query_pool =
+  [
+    "//a"; "//b//c"; "/*/*"; "//d/ancestor::a"; "//c/.."; "//a/following::b";
+    "//b/preceding::c"; "//a/following-sibling::*"; "//c[1]"; "//b[last()]";
+    "//a[b]"; "//*[count(*)>2]"; "descendant::d[position()=2]";
+    "//a/descendant-or-self::b"; "//b/ancestor-or-self::*"; "//a/self::a";
+  ]
+
+let serials nodes = List.map (fun n -> n.Dom.serial) nodes
+
+let prop_engines_agree =
+  Util.qtest ~count:40 "naive and ruid engines agree"
+    QCheck.(pair (int_range 5 150) (int_range 2 30))
+    (fun (n, area) ->
+      let root =
+        Shape.generate ~seed:(n * 37 + area)
+          ~tags:[| "a"; "b"; "c"; "d" |]
+          ~target:n
+          (Shape.Uniform { fanout_lo = 0; fanout_hi = 4 })
+      in
+      let ne = Rxpath.Engine_naive.create root in
+      let re = Rxpath.Engine_ruid.create (Ruid.Ruid2.number ~max_area_size:area root) in
+      List.for_all
+        (fun q -> serials (Eval.query ne q) = serials (Eval.query re q))
+        query_pool)
+
+let test_engines_agree_on_library () =
+  let d1 = doc () and d2 = doc () in
+  let ne = naive_engine d1 and re = ruid_engine d2 in
+  List.iter
+    (fun q ->
+      Alcotest.(check (list string))
+        (Printf.sprintf "tags for %s" q)
+        (tags (Eval.query ne q))
+        (tags (Eval.query re q)))
+    [
+      "//book"; "//title"; "//book/ancestor::shelf"; "//journal/preceding::book";
+      "//shelf/*"; "/library//author"; "//book[@year='2001']/title";
+      "//shelf[2]/book[1]"; "//title/following::*"; "//author/preceding-sibling::title";
+    ]
+
+let test_union () =
+  both (fun name eng ->
+      Alcotest.(check int)
+        (name ^ ": //book | //journal") 4
+        (List.length (Eval.query eng "//book | //journal"));
+      (* Union results are merged in document order without duplicates. *)
+      Alcotest.(check int)
+        (name ^ ": overlapping union dedups") 3
+        (List.length (Eval.query eng "//book | //shelf/book"));
+      let serial_list q = List.map (fun n -> n.Dom.serial) (Eval.query eng q) in
+      Alcotest.(check (list int))
+        (name ^ ": document order across branches")
+        (serial_list "//*[name()='book' or name()='journal']")
+        (serial_list "//journal | //book"))
+
+let test_string_functions () =
+  both (fun name eng ->
+      Alcotest.(check int)
+        (name ^ ": contains") 2
+        (List.length (Eval.query eng "//title[contains(., 'Data')]"));
+      Alcotest.(check int)
+        (name ^ ": starts-with") 1
+        (List.length (Eval.query eng "//author[starts-with(., 'Gr')]"));
+      Alcotest.(check int)
+        (name ^ ": string-length") 1
+        (List.length (Eval.query eng "//title[string-length(.)=4]"));
+      Alcotest.(check int)
+        (name ^ ": name()") 3
+        (List.length (Eval.query eng "//shelf/*[name()='book']")))
+
+let test_union_parse_errors () =
+  List.iter
+    (fun q ->
+      match X.parse_union q with
+      | exception X.Syntax_error _ -> ()
+      | _ -> Alcotest.failf "expected syntax error for %S" q)
+    [ "|//a"; "//a |"; "//a | | //b" ]
+
+let suite =
+  [
+    Alcotest.test_case "parse shapes" `Quick test_parse_shapes;
+    Alcotest.test_case "union expressions" `Quick test_union;
+    Alcotest.test_case "string functions" `Quick test_string_functions;
+    Alcotest.test_case "union parse errors" `Quick test_union_parse_errors;
+    Alcotest.test_case "parse/print round-trip" `Quick test_parse_to_string_round_trip;
+    Alcotest.test_case "syntax errors" `Quick test_parse_errors;
+    Alcotest.test_case "child paths" `Quick test_child_paths;
+    Alcotest.test_case "descendant paths" `Quick test_descendant;
+    Alcotest.test_case "attribute predicates" `Quick test_attribute_predicates;
+    Alcotest.test_case "positional predicates" `Quick test_positional;
+    Alcotest.test_case "wildcard grandparent pattern" `Quick test_wildcard_and_grandparent;
+    Alcotest.test_case "reverse axes" `Quick test_reverse_axes;
+    Alcotest.test_case "sibling axes" `Quick test_sibling_axes;
+    Alcotest.test_case "preceding/following" `Quick test_preceding_following;
+    Alcotest.test_case "boolean predicates" `Quick test_boolean_predicates;
+    Alcotest.test_case "text nodes" `Quick test_text_nodes;
+    Alcotest.test_case "attribute values" `Quick test_attribute_values;
+    Alcotest.test_case "engines agree on library doc" `Quick test_engines_agree_on_library;
+    prop_engines_agree;
+  ]
