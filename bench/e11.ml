@@ -1,0 +1,222 @@
+(* E11 — Array-backed document-order index: range-based axis evaluation
+   vs the seed's posting-list arithmetic, and the extent-merge join.
+
+   (a) Name tests on unbounded axes, per strategy: the seed's per-candidate
+   Rel.relationship filter over the tag posting list ("arith"), generating
+   the axis and testing the tag ("walk"), and binary-searching the
+   rank-sorted posting array against the context extent ("range"), plus
+   what the cost model picks ("auto").  (b) End-to-end queries through the
+   evaluator.  (c) Ancestor-descendant joins including the extent_merge
+   algorithm over the shared index.
+
+   Besides the tables, the harness writes BENCH_axis.json with the raw
+   per-strategy timings so later PRs can track the perf trajectory. *)
+
+module Dom = Rxml.Dom
+module R2 = Ruid.Ruid2
+module DI = Rxpath.Doc_index
+module ER = Rxpath.Engine_ruid
+module Eval = Rxpath.Eval
+module Ast = Rxpath.Ast
+module J = Rjoin.Structural_join
+module Rng = Rworkload.Rng
+
+let strategies = [ ER.Arith; ER.Walk; ER.Range; ER.Auto ]
+
+(* Evaluate a name test on one axis the way the evaluator would: the
+   engine's fast path when it offers one, otherwise axis-generate + test. *)
+let run_named eng axis tag n =
+  match eng.Eval.named_axis axis tag n with
+  | Some l -> l
+  | None -> List.filter (fun x -> Dom.tag x = tag) (eng.Eval.axis axis n)
+
+let time_batch ~reps f =
+  let _, s = Report.time (fun () -> for _ = 1 to reps do f () done) in
+  s /. float_of_int reps
+
+(* JSON rows accumulated across the sub-experiments. *)
+let json_axis : string list ref = ref []
+let json_join : string list ref = ref []
+let json_query : string list ref = ref []
+
+let axis_table () =
+  Report.subsection
+    "E11.a  descendant/following name tests: strategy wall clock (batch over contexts)";
+  List.iter
+    (fun scale ->
+      let site = Rworkload.Xmark.generate ~seed:111 ~scale in
+      let r2 = R2.number ~max_area_size:64 site in
+      let idx = DI.build r2 in
+      let total = DI.size idx in
+      Report.note "document: xmark scale %.0f (%d nodes)" scale total;
+      let engines =
+        List.map (fun s -> (s, ER.create ~strategy:s r2)) strategies
+      in
+      let rng = Rng.create 112 in
+      let contexts =
+        Array.init 64 (fun _ -> Rworkload.Shape.random_internal rng site)
+      in
+      let rows =
+        List.concat_map
+          (fun (axis, axis_name) ->
+            List.map
+              (fun tag ->
+                let card = DI.cardinality idx tag in
+                let times =
+                  List.map
+                    (fun (s, eng) ->
+                      let t =
+                        time_batch ~reps:3 (fun () ->
+                            Array.iter
+                              (fun n -> ignore (run_named eng axis tag n))
+                              contexts)
+                      in
+                      (s, t))
+                    engines
+                in
+                let ns s = List.assoc s times *. 1e9 in
+                json_axis :=
+                  Printf.sprintf
+                    {|    {"doc": "xmark-%.0f", "nodes": %d, "axis": "%s", "tag": "%s", "cardinality": %d, "contexts": %d, "arith_ns": %.0f, "walk_ns": %.0f, "range_ns": %.0f, "auto_ns": %.0f}|}
+                    scale total axis_name tag card (Array.length contexts)
+                    (ns ER.Arith) (ns ER.Walk) (ns ER.Range) (ns ER.Auto)
+                  :: !json_axis;
+                [
+                  Printf.sprintf "xmark-%.0f" scale; axis_name; tag;
+                  Report.fint card;
+                  Report.fns (ns ER.Arith); Report.fns (ns ER.Walk);
+                  Report.fns (ns ER.Range); Report.fns (ns ER.Auto);
+                ])
+              [ "text"; "item"; "name"; "increase" ])
+          [ (Ast.Descendant, "descendant"); (Ast.Following, "following") ]
+      in
+      Report.table
+        [ "doc"; "axis"; "tag"; "|postings|"; "arith (seed)"; "walk"; "range";
+          "auto" ]
+        rows)
+    [ 2.0; 8.0 ];
+  Report.note
+    "arith is the seed's posting filter (one relationship decision per posted";
+  Report.note
+    "node); range binary-searches the rank-sorted posting array against the";
+  Report.note "context extent and only touches the output."
+
+let query_table () =
+  Report.subsection "E11.b  end-to-end queries through the evaluator";
+  let site = Rworkload.Xmark.generate ~seed:113 ~scale:8.0 in
+  let r2 = R2.number ~max_area_size:64 site in
+  let engines = List.map (fun s -> (s, ER.create ~strategy:s r2)) strategies in
+  let rows =
+    List.map
+      (fun q ->
+        let counts = ref (-1) in
+        let times =
+          List.map
+            (fun (s, eng) ->
+              let r = ref [] in
+              let t = time_batch ~reps:3 (fun () -> r := Eval.query eng q) in
+              (match !counts with
+              | -1 -> counts := List.length !r
+              | c -> assert (c = List.length !r));
+              (s, t *. 1e9))
+            engines
+        in
+        let ns s = List.assoc s times in
+        json_query :=
+          Printf.sprintf
+            {|    {"query": "%s", "results": %d, "arith_ns": %.0f, "walk_ns": %.0f, "range_ns": %.0f, "auto_ns": %.0f}|}
+            (String.concat "" (String.split_on_char '"' q))
+            !counts (ns ER.Arith) (ns ER.Walk) (ns ER.Range) (ns ER.Auto)
+          :: !json_query;
+        [
+          q; Report.fint !counts;
+          Report.fns (ns ER.Arith); Report.fns (ns ER.Walk);
+          Report.fns (ns ER.Range); Report.fns (ns ER.Auto);
+        ])
+      [
+        "//item//text"; "//listitem//keyword"; "//open_auction//increase";
+        "//regions//name"; "//person//emailaddress";
+      ]
+  in
+  Report.table
+    [ "query"; "results"; "arith (seed)"; "walk"; "range"; "auto" ]
+    rows;
+  Report.note
+    "auto should track the best column: the cost model replaces the seed's";
+  Report.note "hard-coded 256-candidate threshold."
+
+let join_table () =
+  Report.subsection
+    "E11.c  ancestor-descendant joins: extent_merge over the shared index";
+  let site = Rworkload.Xmark.generate ~seed:114 ~scale:8.0 in
+  let r2 = R2.number ~max_area_size:64 site in
+  let idx = DI.build r2 in
+  let pp = Baselines.Prepost.build site in
+  let by_tag tag =
+    List.filter (fun n -> Dom.tag n = tag) (Dom.preorder site)
+  in
+  let rows =
+    List.map
+      (fun (anc_tag, desc_tag) ->
+        let anc = by_tag anc_tag and desc = by_tag desc_tag in
+        let r_probe, t_probe =
+          Report.time (fun () -> J.ancestor_probe r2 ~anc ~desc)
+        in
+        let r_stack, t_stack =
+          Report.time (fun () -> J.stack_tree pp ~anc ~desc)
+        in
+        let r_extent, t_extent =
+          Report.time (fun () ->
+              J.extent_merge ~extent:(DI.extent idx) ~anc ~desc)
+        in
+        assert (List.length r_probe = List.length r_extent);
+        assert (List.length r_stack = List.length r_extent);
+        json_join :=
+          Printf.sprintf
+            {|    {"anc": "%s", "desc": "%s", "anc_n": %d, "desc_n": %d, "pairs": %d, "probe_ns": %.0f, "stack_tree_ns": %.0f, "extent_merge_ns": %.0f}|}
+            anc_tag desc_tag (List.length anc) (List.length desc)
+            (List.length r_extent) (t_probe *. 1e9) (t_stack *. 1e9)
+            (t_extent *. 1e9)
+          :: !json_join;
+        [
+          Printf.sprintf "%s//%s" anc_tag desc_tag;
+          Report.fint (List.length anc);
+          Report.fint (List.length desc);
+          Report.fint (List.length r_extent);
+          Report.fns (t_probe *. 1e9);
+          Report.fns (t_stack *. 1e9);
+          Report.fns (t_extent *. 1e9);
+        ])
+      [
+        ("item", "text"); ("listitem", "text"); ("open_auction", "increase");
+        ("parlist", "parlist");
+      ]
+  in
+  Report.table
+    [ "join"; "|A|"; "|D|"; "pairs"; "ancestor probe"; "stack-tree";
+      "extent merge" ]
+    rows;
+  Report.note
+    "extent_merge reuses the query engine's document-order index: stack-tree";
+  Report.note "economics without building a separate prepost labeling."
+
+let write_json path =
+  let oc = open_out path in
+  let section name rows =
+    Printf.sprintf "  \"%s\": [\n%s\n  ]" name
+      (String.concat ",\n" (List.rev rows))
+  in
+  Printf.fprintf oc "{\n  \"experiment\": \"E11\",\n%s,\n%s,\n%s\n}\n"
+    (section "axis" !json_axis)
+    (section "query" !json_query)
+    (section "join" !json_join);
+  close_out oc;
+  Report.note "wrote %s" path
+
+let run () =
+  Report.section
+    "E11  Array-backed document-order index: range axes and extent joins";
+  axis_table ();
+  query_table ();
+  join_table ();
+  write_json "BENCH_axis.json"

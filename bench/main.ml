@@ -13,6 +13,7 @@ let experiments =
     ("E8", E8.run);
     ("E9", E9.run);
     ("E10", E10.run);
+    ("E11", E11.run);
   ]
 
 let () =

@@ -203,12 +203,30 @@ let query_cmd =
       & opt (enum [ ("naive", `Naive); ("ruid", `Ruid) ]) `Ruid
       & info [ "engine" ] ~docv:"ENGINE" ~doc:"$(b,naive) or $(b,ruid).")
   in
-  let run path area expr engine =
+  let strategy =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("auto", Rxpath.Engine_ruid.Auto);
+               ("range", Rxpath.Engine_ruid.Range);
+               ("arith", Rxpath.Engine_ruid.Arith);
+               ("walk", Rxpath.Engine_ruid.Walk) ])
+          Rxpath.Engine_ruid.Auto
+      & info [ "strategy" ] ~docv:"STRATEGY"
+          ~doc:
+            "Name-test strategy of the ruid engine: $(b,auto) (cost model), \
+             $(b,range) (binary search over posting arrays), $(b,arith) \
+             (per-candidate identifier arithmetic) or $(b,walk) (generate \
+             the axis, test the tag).")
+  in
+  let run path area expr engine strategy =
     let doc = Rxml.Parser.parse_file path in
     let eng =
       match engine with
       | `Naive -> Rxpath.Engine_naive.create doc
-      | `Ruid -> Rxpath.Engine_ruid.create (R2.number ~max_area_size:area doc)
+      | `Ruid ->
+        Rxpath.Engine_ruid.create ~strategy (R2.number ~max_area_size:area doc)
     in
     let results = Rxpath.Eval.query eng expr in
     Printf.printf "%d result(s)\n" (List.length results);
@@ -227,7 +245,7 @@ let query_cmd =
   in
   Cmd.v
     (Cmd.info "query" ~doc:"Evaluate an XPath expression over a document.")
-    Term.(const run $ input_arg $ area_arg $ expr $ engine)
+    Term.(const run $ input_arg $ area_arg $ expr $ engine $ strategy)
 
 (* ------------------------------------------------------------------ *)
 (* update-sim                                                          *)

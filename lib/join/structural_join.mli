@@ -15,9 +15,19 @@
     - {!stack_tree}: the classic merge with a stack over interval
       (pre/post) labels, O(|A| + |D| + output), requiring both inputs in
       document order.
+    - {!extent_merge}: the same merge driven by document-order extents
+      [(rank, rank_end)] from a shared array-backed index (e.g.
+      [Rxpath.Doc_index.extent]) instead of a separately built prepost
+      baseline.
 
-    All three return the same pair multiset; result order is normalized to
-    (descendant document order, ancestor depth). *)
+    All return the same pair multiset; result order is normalized to
+    (descendant document order, ancestor depth).
+
+    The identifier-keyed probe tables ({!ancestor_probe},
+    {!semijoin_descendants}, {!parent_child}) hash identifiers packed into
+    a single immediate int (global, local, root flag) whenever both
+    indices fit 31 bits, avoiding the structural record hash; oversized
+    identifiers fall back to record keys transparently. *)
 
 type pair = { anc : Rxml.Dom.t; desc : Rxml.Dom.t }
 
@@ -31,6 +41,16 @@ val stack_tree :
   Baselines.Prepost.t -> anc:Rxml.Dom.t list -> desc:Rxml.Dom.t list -> pair list
 (** Inputs need not be pre-sorted; they are sorted by pre rank internally
     (sorting cost is reported separately by the E9 bench). *)
+
+val extent_merge :
+  extent:(Rxml.Dom.t -> int * int) ->
+  anc:Rxml.Dom.t list ->
+  desc:Rxml.Dom.t list ->
+  pair list
+(** Stack-tree merge over [(rank, rank_end)] extents: [extent n] must give
+    the node's preorder rank and the rank of the last node of its subtree
+    (inclusive), as [Rxpath.Doc_index.extent] does.  O(|A| + |D| + output)
+    after the internal rank sorts; no prepost baseline required. *)
 
 val semijoin_descendants :
   Ruid.Ruid2.t -> anc:Rxml.Dom.t list -> desc:Rxml.Dom.t list -> Rxml.Dom.t list

@@ -1,23 +1,47 @@
 module Dom = Rxml.Dom
 
-type t = (string, Dom.t list ref) Hashtbl.t
+type t = {
+  arrays : (string, Dom.t array) Hashtbl.t;  (* tag -> doc-order elements *)
+  lists : (string, Dom.t list) Hashtbl.t;  (* memoized list views *)
+}
 
 let create r2 =
-  let index = Hashtbl.create 64 in
+  let rev = Hashtbl.create 64 in
   List.iter
     (fun n ->
       if Dom.is_element n then begin
         let tag = Dom.tag n in
-        match Hashtbl.find_opt index tag with
+        match Hashtbl.find_opt rev tag with
         | Some l -> l := n :: !l
-        | None -> Hashtbl.replace index tag (ref [ n ])
+        | None -> Hashtbl.replace rev tag (ref [ n ])
       end)
-    (List.rev (Ruid.Ruid2.all_nodes r2));
-  index
+    (Ruid.Ruid2.all_nodes r2);
+  let arrays = Hashtbl.create (Hashtbl.length rev) in
+  Hashtbl.iter
+    (fun tag l ->
+      let a = Array.of_list !l in
+      (* Accumulation reversed document order; flip in place. *)
+      let n = Array.length a in
+      for i = 0 to (n / 2) - 1 do
+        let tmp = a.(i) in
+        a.(i) <- a.(n - 1 - i);
+        a.(n - 1 - i) <- tmp
+      done;
+      Hashtbl.replace arrays tag a)
+    rev;
+  { arrays; lists = Hashtbl.create 16 }
+
+let find_array t tag =
+  match Hashtbl.find_opt t.arrays tag with Some a -> a | None -> [||]
 
 let find t tag =
-  match Hashtbl.find_opt t tag with Some l -> !l | None -> []
+  match Hashtbl.find_opt t.lists tag with
+  | Some l -> l
+  | None ->
+    let l = Array.to_list (find_array t tag) in
+    Hashtbl.replace t.lists tag l;
+    l
 
-let cardinality t tag = List.length (find t tag)
-let tags t = Hashtbl.fold (fun tag _ acc -> tag :: acc) t []
-let total t = Hashtbl.fold (fun _ l acc -> acc + List.length !l) t 0
+let cardinality t tag = Array.length (find_array t tag)
+let tags t = Hashtbl.fold (fun tag _ acc -> tag :: acc) t.arrays []
+let total t = Hashtbl.fold (fun _ a acc -> acc + Array.length a) t.arrays 0

@@ -1,14 +1,26 @@
 (** Element-name index over a numbered document: tag -> nodes in document
     order.  The paper's query-processing strategy (Section 3.5) starts from
     "the set of nodes satisfying C" — for name tests, exactly this index —
-    and decides axis membership per candidate by identifier arithmetic. *)
+    and decides axis membership per candidate by identifier arithmetic.
+
+    Postings are stored as document-order arrays, so {!cardinality} is O(1)
+    (the seed recomputed a list length per call); {!find} keeps the list
+    API for existing callers, memoizing the conversion per tag. *)
 
 type t
 
 val create : Ruid.Ruid2.t -> t
+
 val find : t -> string -> Rxml.Dom.t list
-(** Document order; empty for unknown tags. *)
+(** Document order; empty for unknown tags.  The list view is built once
+    per tag and cached. *)
+
+val find_array : t -> string -> Rxml.Dom.t array
+(** Document order, O(1) after {!create}.  The array is shared — callers
+    must not mutate it.  Empty for unknown tags. *)
 
 val cardinality : t -> string -> int
+(** O(1): cached posting length. *)
+
 val tags : t -> string list
 val total : t -> int

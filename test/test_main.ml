@@ -12,6 +12,7 @@ let () =
       ("mruid", Test_mruid.suite);
       ("schemes", Test_schemes.suite);
       ("xpath", Test_xpath.suite);
+      ("doc_index", Test_doc_index.suite);
       ("storage", Test_storage.suite);
       ("workload", Test_workload.suite);
       ("join", Test_join.suite);
