@@ -14,6 +14,7 @@ let experiments =
     ("E9", E9.run);
     ("E10", E10.run);
     ("E11", E11.run);
+    ("E12", E12.run);
   ]
 
 let () =

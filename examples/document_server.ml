@@ -58,7 +58,7 @@ let () =
         the process boundary, so external references stay valid. *)
   let xml = tmp "library.xml" and sidecar = tmp "library.ruid" in
   Ruid.Persist.save (C.ruid coll library) ~xml ~sidecar;
-  let _doc, restored = Ruid.Persist.load ~xml ~sidecar in
+  let _doc, restored = Ruid.Persist.load ~xml ~sidecar () in
   R2.check_consistency restored;
   let some_author =
     List.find (fun n -> Dom.tag n = "author") (R2.all_nodes restored)

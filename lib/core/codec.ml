@@ -18,8 +18,12 @@ let read_varint bytes ~pos =
   let len = Bytes.length bytes in
   let rec go pos shift acc =
     if pos >= len then invalid_arg "Codec.read_varint: truncated input";
+    (* max_int is 63 bits = 9 groups of 7; a continuation past shift 56
+       would feed bits OCaml's int cannot hold. *)
+    if shift > 56 then invalid_arg "Codec.read_varint: over-long varint";
     let b = Char.code (Bytes.get bytes pos) in
     let acc = acc lor ((b land 127) lsl shift) in
+    if acc < 0 then invalid_arg "Codec.read_varint: varint overflows int";
     if b < 128 then (acc, pos + 1) else go (pos + 1) (shift + 7) acc
   in
   go pos 0 0

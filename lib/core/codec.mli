@@ -13,7 +13,9 @@ val varint_size : int -> int
 
 val write_varint : Buffer.t -> int -> unit
 val read_varint : bytes -> pos:int -> int * int
-(** [(value, next position)].  @raise Invalid_argument on truncation. *)
+(** [(value, next position)].  @raise Invalid_argument on truncated input,
+    and on over-long encodings whose value would not fit a native [int]
+    (continuation past the ninth byte, or bits above bit 62). *)
 
 val encode_ruid2 : Ruid2.id -> bytes
 val decode_ruid2 : bytes -> Ruid2.id

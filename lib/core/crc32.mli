@@ -1,0 +1,14 @@
+(** CRC-32 (IEEE 802.3, the zlib polynomial) over byte ranges.
+
+    Durability needs end-to-end corruption detection: sidecar sections and
+    journal records are framed with a checksum so a torn write or a flipped
+    bit is detected at load time instead of surfacing later as a wrong
+    identifier.  Table-driven, stdlib only; values fit in 32 bits and are
+    returned as non-negative [int]s. *)
+
+val bytes : bytes -> pos:int -> len:int -> int
+(** Checksum of [len] bytes starting at [pos].
+    @raise Invalid_argument if the range is out of bounds. *)
+
+val string : string -> int
+(** Checksum of a whole string. *)

@@ -288,3 +288,5 @@ let check_invariants t =
       if not (Dom.equal n t.root) && not (Hashtbl.mem seen n.Dom.serial) then
         fail "node %d not enumerated in any area" n.Dom.serial)
     t.root
+
+let check = check_invariants

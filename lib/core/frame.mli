@@ -81,3 +81,7 @@ val check_invariants : t -> unit
 (** Validate Definitions 1-2: cut set covers the tree, areas are induced
     subtrees, adjacent areas intersect in exactly the child-area root.
     @raise Failure describing the violated invariant. *)
+
+val check : t -> unit
+(** Alias of {!check_invariants}; the name used by the recovery
+    postcondition ({!Ruid2.check} runs it as its first step). *)

@@ -1,10 +1,14 @@
 module Dom = Rxml.Dom
 
-let magic = "RUID2\x02"
+let magic_v2 = "RUID2\x02"
+let magic_v3 = "RUID2\x03"
 
-let sidecar_to_bytes t =
-  let buf = Buffer.create 4096 in
-  Buffer.add_string buf magic;
+(* ------------------------------------------------------------------ *)
+(* Shared payload encoders                                             *)
+(* ------------------------------------------------------------------ *)
+
+let header_payload t =
+  let buf = Buffer.create 8 in
   (* Whether the numbered root is the document node itself (vs its root
      element): load must restore against the same node. *)
   let is_document =
@@ -12,6 +16,10 @@ let sidecar_to_bytes t =
   in
   Codec.write_varint buf is_document;
   Codec.write_varint buf (Ruid2.kappa t);
+  buf
+
+let ktable_payload t =
+  let buf = Buffer.create 256 in
   let rows = Ktable.rows (Ruid2.ktable t) in
   Codec.write_varint buf (List.length rows);
   List.iter
@@ -20,58 +28,207 @@ let sidecar_to_bytes t =
       Codec.write_varint buf r.Ktable.root_local;
       Codec.write_varint buf r.Ktable.fanout)
     rows;
+  buf
+
+let ids_payload t =
+  let buf = Buffer.create 4096 in
   let nodes = Ruid2.all_nodes t in
   Codec.write_varint buf (List.length nodes);
   List.iter
     (fun n -> Buffer.add_bytes buf (Codec.encode_ruid2 (Ruid2.id_of_node t n)))
     nodes;
+  buf
+
+let add_u32_le buf v =
+  for i = 0 to 3 do
+    Buffer.add_char buf (Char.chr ((v lsr (8 * i)) land 0xFF))
+  done
+
+let sidecar_to_bytes t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf magic_v3;
+  List.iter
+    (fun payload ->
+      let s = Buffer.contents payload in
+      Codec.write_varint buf (String.length s);
+      Buffer.add_string buf s;
+      add_u32_le buf (Crc32.string s))
+    [ header_payload t; ktable_payload t; ids_payload t ];
   Buffer.to_bytes buf
 
-let sidecar_of_bytes root bytes =
-  let len = Bytes.length bytes in
-  if len < String.length magic || Bytes.sub_string bytes 0 (String.length magic) <> magic
-  then invalid_arg "Persist: bad magic";
-  let pos = ref (String.length magic) in
-  let next () =
-    let v, p = Codec.read_varint bytes ~pos:!pos in
-    pos := p;
+let sidecar_to_bytes_v2 t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf magic_v2;
+  List.iter
+    (fun payload -> Buffer.add_buffer buf payload)
+    [ header_payload t; ktable_payload t; ids_payload t ];
+  Buffer.to_bytes buf
+
+(* ------------------------------------------------------------------ *)
+(* Reader with section/offset context on every failure                 *)
+(* ------------------------------------------------------------------ *)
+
+type reader = { bytes : bytes; mutable pos : int; mutable section : string }
+
+let reject r msg =
+  invalid_arg
+    (Printf.sprintf "Persist: %s (%s section, byte %d)" msg r.section r.pos)
+
+let rd_varint r =
+  match Codec.read_varint r.bytes ~pos:r.pos with
+  | v, p ->
+    r.pos <- p;
     v
-  in
-  let _is_document = next () in
-  let kappa = next () in
-  let nrows = next () in
-  let rows =
-    List.init nrows (fun _ ->
-        let global = next () in
-        let root_local = next () in
-        let fanout = next () in
-        { Ktable.global; root_local; fanout })
-  in
-  let nnodes = next () in
-  let ids =
-    List.init nnodes (fun _ ->
-        let flag = next () in
-        let global = next () in
-        let local = next () in
-        { Ruid2.global; local; is_root = flag = 1 })
-  in
-  if !pos <> len then invalid_arg "Persist: trailing bytes in sidecar";
-  Ruid2.restore ~kappa ~ktable:(Ktable.make rows) ~ids root
+  | exception Invalid_argument _ -> reject r "truncated or over-long varint"
 
-let save t ~xml ~sidecar =
-  Rxml.Serializer.to_file xml (Ruid2.root t);
-  let oc = open_out_bin sidecar in
-  output_bytes oc (sidecar_to_bytes t);
-  close_out oc
+let rd_u32_le r =
+  if r.pos + 4 > Bytes.length r.bytes then reject r "truncated checksum";
+  let v = ref 0 in
+  for i = 3 downto 0 do
+    v := (!v lsl 8) lor Char.code (Bytes.get r.bytes (r.pos + i))
+  done;
+  r.pos <- r.pos + 4;
+  !v
 
-let load ~xml ~sidecar =
-  let doc = Rxml.Parser.parse_file ~keep_whitespace:true xml in
-  let ic = open_in_bin sidecar in
-  let n = in_channel_length ic in
-  let bytes = Bytes.create n in
-  really_input ic bytes 0 n;
-  close_in ic;
-  (* The root-kind flag sits right after the magic. *)
-  let flag, _ = Codec.read_varint bytes ~pos:(String.length magic) in
-  let root = if flag = 1 then doc else Dom.root_element doc in
+let version_of_bytes bytes =
+  let n = String.length magic_v2 in
+  if Bytes.length bytes < n then invalid_arg "Persist: bad magic (byte 0)"
+  else
+    match Bytes.sub_string bytes 0 n with
+    | s when s = magic_v2 -> 2
+    | s when s = magic_v3 -> 3
+    | _ -> invalid_arg "Persist: bad magic (byte 0)"
+
+(* Decode the three payloads into (reader for payload, payload start) per
+   section, verifying framing and checksums for v3. *)
+let section_readers bytes =
+  match version_of_bytes bytes with
+  | 2 ->
+    (* One unframed stream: all three sections share the reader; the
+       section label advances as parsing proceeds. *)
+    let r = { bytes; pos = String.length magic_v2; section = "header" } in
+    `Unframed r
+  | _ ->
+    let r = { bytes; pos = String.length magic_v3; section = "" } in
+    let sections =
+      List.map
+        (fun name ->
+          r.section <- name;
+          let frame_start = r.pos in
+          let len = rd_varint r in
+          let payload_start = r.pos in
+          if len < 0 || payload_start + len > Bytes.length bytes then begin
+            r.pos <- frame_start;
+            reject r "section length exceeds sidecar size"
+          end;
+          r.pos <- payload_start + len;
+          let stored = rd_u32_le r in
+          let actual = Crc32.bytes bytes ~pos:payload_start ~len in
+          if stored <> actual then begin
+            r.pos <- payload_start;
+            reject r
+              (Printf.sprintf "checksum mismatch (stored %08x, computed %08x)"
+                 stored actual)
+          end;
+          (name, payload_start, len))
+        [ "header"; "ktable"; "ids" ]
+    in
+    if r.pos <> Bytes.length bytes then begin
+      r.section <- "trailer";
+      reject r "trailing bytes after ids section"
+    end;
+    `Framed (bytes, sections)
+
+let parse_payloads ~header ~ktable ~ids bytes =
+  match section_readers bytes with
+  | `Unframed r ->
+    let h = header r in
+    r.section <- "ktable";
+    let k = ktable r in
+    r.section <- "ids";
+    let i = ids r in
+    if r.pos <> Bytes.length bytes then begin
+      r.section <- "trailer";
+      reject r "trailing bytes in sidecar"
+    end;
+    (h, k, i)
+  | `Framed (bytes, sections) ->
+    let sub name f =
+      let _, start, len =
+        List.find (fun (n, _, _) -> n = name) sections
+      in
+      let r = { bytes; pos = start; section = name } in
+      let v = f r in
+      if r.pos <> start + len then reject r "trailing bytes in section";
+      v
+    in
+    (sub "header" header, sub "ktable" ktable, sub "ids" ids)
+
+let read_header r =
+  let is_document = rd_varint r in
+  let kappa = rd_varint r in
+  (is_document, kappa)
+
+let read_ktable r =
+  let nrows = rd_varint r in
+  if nrows < 0 then reject r "negative row count";
+  List.init nrows (fun _ ->
+      let global = rd_varint r in
+      let root_local = rd_varint r in
+      let fanout = rd_varint r in
+      { Ktable.global; root_local; fanout })
+
+let read_ids r =
+  let nnodes = rd_varint r in
+  if nnodes < 0 then reject r "negative node count";
+  List.init nnodes (fun _ ->
+      let flag = rd_varint r in
+      let global = rd_varint r in
+      let local = rd_varint r in
+      { Ruid2.global; local; is_root = flag = 1 })
+
+let sidecar_of_bytes root bytes =
+  let (_is_document, kappa), rows, ids =
+    parse_payloads ~header:read_header ~ktable:read_ktable ~ids:read_ids bytes
+  in
+  let ktable =
+    try Ktable.make rows
+    with Invalid_argument msg ->
+      invalid_arg (Printf.sprintf "Persist: %s (ktable section)" msg)
+  in
+  Ruid2.restore ~kappa ~ktable ~ids root
+
+(* The root-kind flag, readable without a full parse (both versions): the
+   first varint of the header payload, which in v3 sits after the section's
+   length varint. *)
+let root_kind_of_bytes bytes =
+  let r = { bytes; pos = String.length magic_v2; section = "header" } in
+  if version_of_bytes bytes = 3 then ignore (rd_varint r);
+  rd_varint r = 1
+
+(* ------------------------------------------------------------------ *)
+(* Files                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Atomic publication: write a sibling temp file, fsync (inside
+   [vfs.store]), rename over the destination. *)
+let store_atomic vfs ~attempts path bytes =
+  let tmp = path ^ ".tmp" in
+  Vfs.with_retries ~attempts (fun () -> vfs.Vfs.store tmp bytes);
+  Vfs.with_retries ~attempts (fun () -> vfs.Vfs.rename ~src:tmp ~dst:path)
+
+let save ?(vfs = Vfs.real) ?(attempts = 5) t ~xml ~sidecar =
+  let xml_bytes = Bytes.of_string (Rxml.Serializer.to_string (Ruid2.root t)) in
+  store_atomic vfs ~attempts xml xml_bytes;
+  store_atomic vfs ~attempts sidecar (sidecar_to_bytes t)
+
+let load ?(vfs = Vfs.real) ?(attempts = 5) ~xml ~sidecar () =
+  let xml_bytes = Vfs.with_retries ~attempts (fun () -> vfs.Vfs.load xml) in
+  let doc =
+    Rxml.Parser.parse_string ~keep_whitespace:true (Bytes.to_string xml_bytes)
+  in
+  let bytes = Vfs.with_retries ~attempts (fun () -> vfs.Vfs.load sidecar) in
+  let root =
+    if root_kind_of_bytes bytes then doc else Dom.root_element doc
+  in
   (doc, sidecar_of_bytes root bytes)

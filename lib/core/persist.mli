@@ -7,21 +7,50 @@
     identifier stream in document order — and restores the exact numbering
     on load.
 
-    Sidecar format (all integers LEB128 varints):
-    {v magic "RUID2\x02" | root-kind (1 = document node) | kappa | #K rows
-       | rows (global, root_local, fanout) | #nodes | per node: root flag
-       + global + local v} *)
+    Sidecar format v3 (all integers LEB128 varints unless noted):
+    {v magic "RUID2\x03"
+       | 3 framed sections, in order header, ktable, ids:
+           varint payload-length | payload | CRC-32 of payload (4 bytes LE)
+       header  payload: root-kind (1 = document node) | kappa
+       ktable  payload: #K rows | rows (global, root_local, fanout)
+       ids     payload: #nodes  | per node: root flag + global + local v}
 
-val save : Ruid2.t -> xml:string -> sidecar:string -> unit
-(** Write the document (compact XML) and its numbering. *)
+    The per-section checksums detect any single-bit corruption and locate
+    it; {!sidecar_of_bytes} names the failing section and byte offset in
+    every rejection.  The v2 format (magic ["RUID2\x02"], same payloads
+    concatenated without framing or checksums) is still loaded.
 
-val load : xml:string -> sidecar:string -> Rxml.Dom.t * Ruid2.t
+    {!save} is atomic: both files are written to a temporary name in the
+    same directory, fsynced, then renamed over the destination, so a crash
+    mid-save leaves the previous snapshot intact. *)
+
+val save :
+  ?vfs:Vfs.t -> ?attempts:int -> Ruid2.t -> xml:string -> sidecar:string -> unit
+(** Write the document (compact XML) and its v3 numbering sidecar
+    atomically (temp file + fsync + rename, per file).  I/O goes through
+    [vfs] (default {!Vfs.real}); {!Vfs.Transient} failures are retried up
+    to [attempts] times (default 5). *)
+
+val load :
+  ?vfs:Vfs.t -> ?attempts:int -> xml:string -> sidecar:string ->
+  unit -> Rxml.Dom.t * Ruid2.t
 (** Parse, restore and verify (via {!Ruid2.restore}); returns the document
-    node and the numbering over its root element.
-    @raise Invalid_argument if the sidecar is malformed or does not match
-    the document. *)
+    node and the numbering over its root element.  Accepts v2 and v3
+    sidecars.
+    @raise Invalid_argument if the sidecar is malformed, fails a checksum,
+    or does not match the document — the message names the section and
+    byte offset of the failure. *)
 
 val sidecar_to_bytes : Ruid2.t -> bytes
+(** Serialize in the v3 format. *)
+
+val sidecar_to_bytes_v2 : Ruid2.t -> bytes
+(** Legacy v2 encoder, kept so compatibility of {!sidecar_of_bytes} with
+    pre-checksum sidecars stays testable. *)
+
 val sidecar_of_bytes : Rxml.Dom.t -> bytes -> Ruid2.t
-(** In-memory variants (the file functions are thin wrappers); the [Dom.t]
-    argument is the numbered root element. *)
+(** In-memory variant (the file functions are thin wrappers); the [Dom.t]
+    argument is the numbered root element.  Accepts v2 and v3. *)
+
+val version_of_bytes : bytes -> int
+(** 2 or 3 by magic. @raise Invalid_argument on an unknown magic. *)

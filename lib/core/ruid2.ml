@@ -487,6 +487,81 @@ let check_consistency t =
       | None, Some _ -> fail "rparent lost the parent of %s" (id_to_string i))
     nodes
 
+let enumeration_area t i = fst (pos t i)
+
+(* Deep invariant checker, used as the recovery postcondition: everything
+   check_consistency verifies, plus K-table/area agreement, fan-out
+   adequacy, local-index slot chains, and the document order of the
+   (global, local) enumeration keys. *)
+let check t =
+  let fail fmt = Format.kasprintf failwith fmt in
+  check_consistency t;
+  (* K rows <-> areas, and each row's fields against the area root. *)
+  let rows = Ktable.rows t.ktable in
+  if List.length rows <> Hashtbl.length t.root_of_global then
+    fail "K has %d rows for %d area roots" (List.length rows)
+      (Hashtbl.length t.root_of_global);
+  List.iter
+    (fun row ->
+      if row.Ktable.fanout < 1 then
+        fail "area %d has fan-out %d < 1" row.Ktable.global row.Ktable.fanout;
+      match Hashtbl.find_opt t.root_of_global row.Ktable.global with
+      | None -> fail "K row %d has no area root node" row.Ktable.global
+      | Some r ->
+        let ri = id_of_node t r in
+        if not ri.is_root then
+          fail "area root of %d carries a non-root identifier %s"
+            row.Ktable.global (id_to_string ri);
+        if ri.global <> row.Ktable.global then
+          fail "area root of %d carries global %d" row.Ktable.global ri.global;
+        let leaf_index = if row.Ktable.global = 1 then 1 else ri.local in
+        if leaf_index <> row.Ktable.root_local then
+          fail "K row %d records root_local %d but the root's leaf index is %d"
+            row.Ktable.global row.Ktable.root_local leaf_index)
+    rows;
+  (* Occupancy tables: only known areas, locals in range, and every
+     occupied slot reachable from the area root through occupied parent
+     slots (the chain rparent will walk). *)
+  Hashtbl.iter
+    (fun g inner ->
+      if not (Ktable.mem t.ktable g) then
+        fail "area %d is occupied but has no K row" g;
+      let k = Ktable.fanout t.ktable g in
+      Hashtbl.iter
+        (fun l _node ->
+          if l < 1 then fail "local index %d out of range in area %d" l g;
+          if l >= 2 then begin
+            let pslot = ((l - 2) / k) + 1 in
+            if not (Hashtbl.mem inner pslot) then
+              fail "slot %d of area %d is occupied but parent slot %d is empty"
+                l g pslot
+          end)
+        inner)
+    t.node_at;
+  (* Fan-out adequacy: no node's degree exceeds the fan-out of the area in
+     which its children are enumerated. *)
+  List.iter
+    (fun n ->
+      let g, _ = child_context t n in
+      let k = Ktable.fanout t.ktable g in
+      if Dom.degree n > k then
+        fail "node %s has %d children but area %d enumerates with fan-out %d"
+          (id_to_string (id_of_node t n))
+          (Dom.degree n) g k)
+    (all_nodes t);
+  (* Document order of the (global, local) keys: identifier comparison must
+     rank the nodes exactly as DOM preorder does. *)
+  let rec ordered = function
+    | a :: (b :: _ as rest) ->
+      let ia = id_of_node t a and ib = id_of_node t b in
+      if doc_order t ia ib >= 0 then
+        fail "identifiers %s and %s are out of document order"
+          (id_to_string ia) (id_to_string ib);
+      ordered rest
+    | _ -> ()
+  in
+  ordered (all_nodes t)
+
 let restore ~kappa ~ktable ~ids root =
   let nodes = Dom.preorder root in
   if List.length nodes <> List.length ids then

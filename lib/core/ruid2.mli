@@ -138,3 +138,21 @@ val check_consistency : t -> unit
 (** Verify the identifier maps against the DOM: every node labeled, ids
     unique, [rparent] agreeing with the DOM parent, K well-formed.
     @raise Failure on the first violation. *)
+
+val check : t -> unit
+(** Deep invariant checker — {!check_consistency} plus: the K table and the
+    area set agree row by row (root identifiers, leaf indices, fan-outs at
+    least 1), every occupied enumeration slot is reachable from its area
+    root through occupied parent slots, no node's degree exceeds the
+    fan-out of the area enumerating its children, and identifier
+    comparison ranks all nodes exactly in document order.  This is the
+    postcondition of crash recovery ({!Persist} + the storage-layer
+    journal).
+    @raise Failure on the first violation. *)
+
+val enumeration_area : t -> id -> int
+(** The global index of the area in which the identifier is {e enumerated}:
+    the identifier's own area for a non-root, the upper area for an area
+    root (the tree root is enumerated in area 1).  Structural updates
+    renumber exactly one enumeration area (Section 3.2), so this is the key
+    for deciding whether an update could have touched an identifier. *)

@@ -1,0 +1,63 @@
+exception Transient of string
+exception Crash of string
+
+type t = {
+  load : string -> bytes;
+  store : string -> bytes -> unit;
+  append : string -> bytes -> unit;
+  rename : src:string -> dst:string -> unit;
+  remove : string -> unit;
+  exists : string -> bool;
+  size : string -> int;
+  truncate : string -> int -> unit;
+}
+
+let write_all fd b =
+  let n = Bytes.length b in
+  let written = ref 0 in
+  while !written < n do
+    written := !written + Unix.write fd b !written (n - !written)
+  done
+
+let with_fd path flags f =
+  let fd = Unix.openfile path flags 0o644 in
+  Fun.protect ~finally:(fun () -> Unix.close fd) (fun () -> f fd)
+
+let real =
+  {
+    load =
+      (fun path ->
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () ->
+            let n = in_channel_length ic in
+            let b = Bytes.create n in
+            really_input ic b 0 n;
+            b));
+    store =
+      (fun path b ->
+        with_fd path Unix.[ O_WRONLY; O_CREAT; O_TRUNC ] (fun fd ->
+            write_all fd b;
+            Unix.fsync fd));
+    append =
+      (fun path b ->
+        with_fd path Unix.[ O_WRONLY; O_CREAT; O_APPEND ] (fun fd ->
+            write_all fd b;
+            Unix.fsync fd));
+    rename = (fun ~src ~dst -> Sys.rename src dst);
+    remove = (fun path -> Sys.remove path);
+    exists = (fun path -> Sys.file_exists path);
+    size = (fun path -> (Unix.stat path).Unix.st_size);
+    truncate = (fun path n -> Unix.truncate path n);
+  }
+
+let with_retries ?(attempts = 5) ?(backoff = 0.0005) f =
+  let rec go i delay =
+    try f ()
+    with Transient _ as e ->
+      if i >= attempts then raise e;
+      if delay > 0. then Unix.sleepf delay;
+      go (i + 1) (delay *. 2.)
+  in
+  go 1 backoff

@@ -1,0 +1,42 @@
+(** File-system operations behind a record, so the storage layer can run
+    against the real kernel or a deterministic fault injector.
+
+    {!Persist} and the storage-layer journal route every read, write, append
+    and rename through a [t].  Production code uses {!real}; the fault
+    injector (in [lib/storage]) wraps a [t] and perturbs the traffic — short
+    writes, flipped bits, transient errors — which is what makes crash
+    recovery testable with exact reproducibility.
+
+    Two distinguished failures cross this interface:
+    - {!Transient}: a retryable error (think [EINTR]/[EAGAIN], a busy NFS
+      server).  Callers wrap operations in {!with_retries}.
+    - {!Crash}: a simulated power loss part-way through a write.  The
+      operation must be assumed partially applied; only recovery code runs
+      afterwards. *)
+
+exception Transient of string
+(** Retryable I/O failure. *)
+
+exception Crash of string
+(** Simulated power loss: the write may have been partially applied. *)
+
+type t = {
+  load : string -> bytes;  (** whole-file read *)
+  store : string -> bytes -> unit;  (** create/truncate, write all, fsync *)
+  append : string -> bytes -> unit;  (** append at end (creating), fsync *)
+  rename : src:string -> dst:string -> unit;  (** atomic within a directory *)
+  remove : string -> unit;
+  exists : string -> bool;
+  size : string -> int;
+  truncate : string -> int -> unit;  (** cut the file to the given length *)
+}
+
+val real : t
+(** The operating system: [store]/[append]/[truncate] fsync before
+    returning, [rename] is [Sys.rename]. *)
+
+val with_retries : ?attempts:int -> ?backoff:float -> (unit -> 'a) -> 'a
+(** Run the thunk, retrying on {!Transient} up to [attempts] times (default
+    5) with exponential backoff starting at [backoff] seconds (default
+    0.0005, doubling per retry).  The last {!Transient} is re-raised when
+    the budget is exhausted; any other exception passes through at once. *)

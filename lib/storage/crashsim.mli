@@ -1,0 +1,49 @@
+(** Self-contained crash/recovery equivalence experiment.
+
+    One run builds a synthetic document, snapshots it with {!Ruid.Persist},
+    streams a random update script through a {!Wal} journal, tears the
+    journal at an arbitrary byte (the simulated power cut), recovers, and
+    checks the headline property of the PR: the recovered numbering is
+    byte-identical to an in-memory replica that applied exactly the
+    surviving prefix — and identifiers in areas no surviving operation
+    touched are byte-identical to the pre-crash snapshot, which is the
+    paper's area-confined renumbering claim carried across a crash.
+
+    Shared by the test suite, [ruidtool crash-test] and bench E12 so CI,
+    the CLI and the benchmarks all exercise the same oracle. *)
+
+exception Mismatch of string
+(** The recovered state violates the equivalence property. *)
+
+type outcome = {
+  nodes : int;  (** live nodes after recovery *)
+  ops_total : int;  (** operations journaled before the cut *)
+  ops_survived : int;  (** records in the journal's valid prefix *)
+  cut : int;  (** byte offset the journal was torn at *)
+  journal_bytes : int;  (** journal size before the tear *)
+  touched_areas : int;  (** distinct areas the surviving prefix renumbered *)
+  untouched_checked : int;
+      (** identifiers verified byte-identical to the snapshot *)
+}
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+val wal_op_of_update : Rworkload.Updates.op -> Wal.op
+(** Positional update op to journal op (inserted elements are tagged
+    [upd]). *)
+
+val run :
+  ?vfs:Ruid.Vfs.t ->
+  dir:string ->
+  seed:int ->
+  ?ops:int ->
+  ?size:int ->
+  ?area:int ->
+  ?cut:int ->
+  unit ->
+  outcome
+(** Run one experiment in [dir] (which must exist; files [snapshot.xml],
+    [snapshot.ruid] and [journal.wal] are created or overwritten).  [cut]
+    fixes the tear point; by default it is drawn deterministically from
+    [seed].
+    @raise Mismatch when recovery and replica disagree. *)

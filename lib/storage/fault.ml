@@ -1,0 +1,119 @@
+module Vfs = Ruid.Vfs
+module Rng = Rworkload.Rng
+
+type event =
+  | Short_write of { path : string; kept : int; intended : int }
+  | Bit_flip of { path : string; bit : int }
+  | Transient_error of { path : string; op : string }
+
+let pp_event ppf = function
+  | Short_write { path; kept; intended } ->
+    Format.fprintf ppf "short write %s: %d of %d bytes" path kept intended
+  | Bit_flip { path; bit } -> Format.fprintf ppf "bit flip %s: bit %d" path bit
+  | Transient_error { path; op } ->
+    Format.fprintf ppf "transient %s on %s" op path
+
+type plan = {
+  rng : Rng.t;
+  p_short_write : float;
+  p_bit_flip : float;
+  p_transient : float;
+  transient_burst : int;
+  mutable pending_transient : int;
+  mutable events : event list;
+}
+
+let plan ~seed ?(p_short_write = 0.) ?(p_bit_flip = 0.) ?(p_transient = 0.)
+    ?(transient_burst = 2) () =
+  {
+    rng = Rng.create seed;
+    p_short_write;
+    p_bit_flip;
+    p_transient;
+    transient_burst;
+    pending_transient = 0;
+    events = [];
+  }
+
+let events p = List.rev p.events
+let clear_events p = p.events <- []
+
+let record p e = p.events <- e :: p.events
+
+(* A transient burst fails [transient_burst] consecutive calls, then the
+   retry goes through — deterministic, so tests can assert both the
+   failures and the eventual success. *)
+let maybe_transient p ~path ~op =
+  if p.pending_transient > 0 then begin
+    p.pending_transient <- p.pending_transient - 1;
+    record p (Transient_error { path; op });
+    raise (Vfs.Transient (Printf.sprintf "injected transient %s on %s" op path))
+  end;
+  if p.p_transient > 0. && Rng.float p.rng < p.p_transient then begin
+    p.pending_transient <- p.transient_burst - 1;
+    record p (Transient_error { path; op });
+    raise (Vfs.Transient (Printf.sprintf "injected transient %s on %s" op path))
+  end
+
+let maybe_short_write p inner ~op ~path bytes =
+  maybe_transient p ~path ~op;
+  if p.p_short_write > 0. && Rng.float p.rng < p.p_short_write then begin
+    let intended = Bytes.length bytes in
+    let kept = if intended = 0 then 0 else Rng.int p.rng intended in
+    inner path (Bytes.sub bytes 0 kept);
+    record p (Short_write { path; kept; intended });
+    raise
+      (Vfs.Crash
+         (Printf.sprintf "injected crash after %d of %d bytes of %s to %s"
+            kept intended op path))
+  end
+  else inner path bytes
+
+let wrap p (v : Vfs.t) =
+  {
+    Vfs.load =
+      (fun path ->
+        maybe_transient p ~path ~op:"load";
+        let b = v.Vfs.load path in
+        if
+          p.p_bit_flip > 0.
+          && Bytes.length b > 0
+          && Rng.float p.rng < p.p_bit_flip
+        then begin
+          let bit = Rng.int p.rng (Bytes.length b * 8) in
+          Bytes.set b (bit / 8)
+            (Char.chr (Char.code (Bytes.get b (bit / 8)) lxor (1 lsl (bit mod 8))));
+          record p (Bit_flip { path; bit })
+        end;
+        b);
+    store = (fun path b -> maybe_short_write p v.Vfs.store ~op:"store" ~path b);
+    append =
+      (fun path b -> maybe_short_write p v.Vfs.append ~op:"append" ~path b);
+    rename =
+      (fun ~src ~dst ->
+        maybe_transient p ~path:src ~op:"rename";
+        v.Vfs.rename ~src ~dst);
+    remove =
+      (fun path ->
+        maybe_transient p ~path ~op:"remove";
+        v.Vfs.remove path);
+    exists = v.Vfs.exists;
+    size =
+      (fun path ->
+        maybe_transient p ~path ~op:"size";
+        v.Vfs.size path);
+    truncate =
+      (fun path n ->
+        maybe_transient p ~path ~op:"truncate";
+        v.Vfs.truncate path n);
+  }
+
+let torn_tail ?(vfs = Vfs.real) path ~keep = vfs.Vfs.truncate path keep
+
+let flip_bit ?(vfs = Vfs.real) path ~bit =
+  let b = vfs.Vfs.load path in
+  if bit < 0 || bit >= Bytes.length b * 8 then
+    invalid_arg "Fault.flip_bit: bit out of range";
+  Bytes.set b (bit / 8)
+    (Char.chr (Char.code (Bytes.get b (bit / 8)) lxor (1 lsl (bit mod 8))));
+  vfs.Vfs.store path b

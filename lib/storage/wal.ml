@@ -1,0 +1,325 @@
+module Dom = Rxml.Dom
+module R2 = Ruid.Ruid2
+module Codec = Ruid.Codec
+module Crc32 = Ruid.Crc32
+module Vfs = Ruid.Vfs
+
+let header = "RWAL\x01"
+
+type op =
+  | Insert of { parent_rank : int; pos : int; tag : string }
+  | Delete of { rank : int }
+
+type record = { seq : int; op : op; area : int; changed : int }
+
+let pp_op ppf = function
+  | Insert { parent_rank; pos; tag } ->
+    Format.fprintf ppf "insert(<%s> at parent@%d, pos %d)" tag parent_rank pos
+  | Delete { rank } -> Format.fprintf ppf "delete(@%d)" rank
+
+let pp_record ppf r =
+  Format.fprintf ppf "#%d %a -> area %d, %d ids rewritten" r.seq pp_op r.op
+    r.area r.changed
+
+exception Replay_error of string
+
+let replay_error fmt = Format.kasprintf (fun s -> raise (Replay_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Applying logical operations                                         *)
+(* ------------------------------------------------------------------ *)
+
+let area_enumerating t parent =
+  let r = Ruid.Frame.own_area_root (R2.frame t) parent in
+  match R2.global_of_area t r with
+  | Some g -> g
+  | None -> replay_error "area root of node %d has no global index" r.Dom.serial
+
+let apply t op =
+  let nodes = Dom.preorder (R2.root t) in
+  let total = List.length nodes in
+  let nth rank =
+    match List.nth_opt nodes rank with
+    | Some n -> n
+    | None -> replay_error "rank %d out of range (%d nodes)" rank total
+  in
+  try
+    match op with
+    | Insert { parent_rank; pos; tag } ->
+      let parent = nth parent_rank in
+      let area = area_enumerating t parent in
+      let changed = R2.insert_node t ~parent ~pos (Dom.element tag) in
+      (area, changed)
+    | Delete { rank } ->
+      if rank = 0 then replay_error "cannot delete the tree root (rank 0)";
+      let node = nth rank in
+      let parent =
+        match node.Dom.parent with
+        | Some p -> p
+        | None -> replay_error "node at rank %d is detached" rank
+      in
+      let area = area_enumerating t parent in
+      let changed = R2.delete_subtree t node in
+      (area, changed)
+  with Invalid_argument msg -> replay_error "operation rejected: %s" msg
+
+(* ------------------------------------------------------------------ *)
+(* Record framing                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let encode_payload r =
+  let buf = Buffer.create 32 in
+  Codec.write_varint buf r.seq;
+  (match r.op with
+  | Insert { parent_rank; pos; tag } ->
+    Codec.write_varint buf 0;
+    Codec.write_varint buf parent_rank;
+    Codec.write_varint buf pos;
+    Codec.write_varint buf (String.length tag);
+    Buffer.add_string buf tag
+  | Delete { rank } ->
+    Codec.write_varint buf 1;
+    Codec.write_varint buf rank);
+  Codec.write_varint buf r.area;
+  Codec.write_varint buf r.changed;
+  Buffer.contents buf
+
+let encode_frame r =
+  let payload = encode_payload r in
+  let buf = Buffer.create (String.length payload + 8) in
+  Codec.write_varint buf (String.length payload);
+  Buffer.add_string buf payload;
+  let crc = Crc32.string payload in
+  for i = 0 to 3 do
+    Buffer.add_char buf (Char.chr ((crc lsr (8 * i)) land 0xFF))
+  done;
+  Buffer.to_bytes buf
+
+let decode_payload bytes ~pos ~len =
+  let stop = pos + len in
+  let cur = ref pos in
+  let next () =
+    if !cur >= stop then failwith "truncated payload";
+    let v, p = Codec.read_varint bytes ~pos:!cur in
+    if p > stop then failwith "truncated payload";
+    cur := p;
+    v
+  in
+  let seq = next () in
+  let op =
+    match next () with
+    | 0 ->
+      let parent_rank = next () in
+      let pos = next () in
+      let tag_len = next () in
+      if tag_len < 0 || !cur + tag_len > stop then failwith "truncated tag";
+      let tag = Bytes.sub_string bytes !cur tag_len in
+      cur := !cur + tag_len;
+      Insert { parent_rank; pos; tag }
+    | 1 -> Delete { rank = next () }
+    | k -> failwith (Printf.sprintf "unknown operation tag %d" k)
+  in
+  let area = next () in
+  let changed = next () in
+  if !cur <> stop then failwith "trailing bytes in payload";
+  { seq; op; area; changed }
+
+(* ------------------------------------------------------------------ *)
+(* Scanning                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type scan = {
+  records : record list;
+  valid_bytes : int;
+  total_bytes : int;
+  damage : string option;
+}
+
+let u32_le bytes pos =
+  let v = ref 0 in
+  for i = 3 downto 0 do
+    v := (!v lsl 8) lor Char.code (Bytes.get bytes (pos + i))
+  done;
+  !v
+
+(* One frame at [pos]; [Ok (record, next)] or [Error why] (torn/corrupt). *)
+let frame_at bytes ~pos total =
+  match Codec.read_varint bytes ~pos with
+  | exception Invalid_argument _ -> Error "torn record length"
+  | len, payload_start ->
+    if payload_start + len + 4 > total then
+      Error (Printf.sprintf "torn record (%d payload bytes promised)" len)
+    else begin
+      let stored = u32_le bytes (payload_start + len) in
+      let actual = Crc32.bytes bytes ~pos:payload_start ~len in
+      if stored <> actual then
+        Error
+          (Printf.sprintf "checksum mismatch (stored %08x, computed %08x)"
+             stored actual)
+      else
+        match decode_payload bytes ~pos:payload_start ~len with
+        | r -> Ok (r, payload_start + len + 4)
+        | exception (Failure msg | Invalid_argument msg) ->
+          Error (Printf.sprintf "undecodable record: %s" msg)
+    end
+
+let scan ?(vfs = Vfs.real) ?(attempts = 5) path =
+  let bytes = Vfs.with_retries ~attempts (fun () -> vfs.Vfs.load path) in
+  let total = Bytes.length bytes in
+  let hlen = String.length header in
+  if total < hlen || Bytes.sub_string bytes 0 hlen <> header then
+    { records = []; valid_bytes = 0; total_bytes = total;
+      damage = Some "bad journal header" }
+  else begin
+    let pos = ref hlen and valid = ref hlen in
+    let records = ref [] and damage = ref None and last_seq = ref 0 in
+    while !pos < total && !damage = None do
+      match frame_at bytes ~pos:!pos total with
+      | Error why ->
+        damage :=
+          Some (Printf.sprintf "record %d at byte %d: %s"
+                  (!last_seq + 1) !pos why)
+      | Ok (r, next) ->
+        if r.seq <> !last_seq + 1 then
+          damage :=
+            Some (Printf.sprintf
+                    "record at byte %d: sequence break (%d after %d)"
+                    !pos r.seq !last_seq)
+        else begin
+          records := r :: !records;
+          last_seq := r.seq;
+          pos := next;
+          valid := next
+        end
+    done;
+    { records = List.rev !records; valid_bytes = !valid; total_bytes = total;
+      damage = !damage }
+  end
+
+let repair ?(vfs = Vfs.real) ?(attempts = 5) path =
+  let s = scan ~vfs ~attempts path in
+  if s.valid_bytes < String.length header then
+    (* Header itself was torn: restart the journal. *)
+    Vfs.with_retries ~attempts (fun () ->
+        vfs.Vfs.store path (Bytes.of_string header))
+  else if s.valid_bytes < s.total_bytes then
+    Vfs.with_retries ~attempts (fun () -> vfs.Vfs.truncate path s.valid_bytes);
+  s
+
+(* ------------------------------------------------------------------ *)
+(* Writing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type writer = {
+  path : string;
+  vfs : Vfs.t;
+  attempts : int;
+  mutable last_seq : int;
+}
+
+let create ?(vfs = Vfs.real) ?(attempts = 5) path =
+  Vfs.with_retries ~attempts (fun () ->
+      vfs.Vfs.store path (Bytes.of_string header));
+  { path; vfs; attempts; last_seq = 0 }
+
+let open_append ?(vfs = Vfs.real) ?(attempts = 5) ?(repair = false) path =
+  if not (vfs.Vfs.exists path) then create ~vfs ~attempts path
+  else begin
+    let s = scan ~vfs ~attempts path in
+    let s =
+      match s.damage with
+      | None -> s
+      | Some why ->
+        if not repair then
+          invalid_arg
+            (Printf.sprintf "Wal.open_append: damaged journal: %s" why);
+        if s.valid_bytes < String.length header then
+          Vfs.with_retries ~attempts (fun () ->
+              vfs.Vfs.store path (Bytes.of_string header))
+        else
+          Vfs.with_retries ~attempts (fun () ->
+              vfs.Vfs.truncate path s.valid_bytes);
+        { s with total_bytes = s.valid_bytes; damage = None }
+    in
+    let last_seq =
+      match List.rev s.records with r :: _ -> r.seq | [] -> 0
+    in
+    { path; vfs; attempts; last_seq }
+  end
+
+let seq w = w.last_seq
+
+let append_record w r =
+  let frame = encode_frame r in
+  Vfs.with_retries ~attempts:w.attempts (fun () ->
+      w.vfs.Vfs.append w.path frame);
+  w.last_seq <- r.seq
+
+let log_update w t op =
+  let area, changed = apply t op in
+  let r = { seq = w.last_seq + 1; op; area; changed } in
+  append_record w r;
+  r
+
+(* ------------------------------------------------------------------ *)
+(* Recovery                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type recovery = {
+  doc : Rxml.Dom.t;
+  r2 : Ruid.Ruid2.t;
+  replayed : record list;
+  journal : scan;
+}
+
+let replay_records t records =
+  List.iter
+    (fun r ->
+      let area, changed = apply t r.op in
+      if area <> r.area || changed <> r.changed then
+        replay_error
+          "record #%d journaled (area %d, %d rewritten) but replay gave \
+           (area %d, %d rewritten): journal does not match this snapshot"
+          r.seq r.area r.changed area changed)
+    records
+
+let replay ?(vfs = Vfs.real) ?(attempts = 5) ?(check = true) ~xml ~sidecar
+    ~wal () =
+  let doc, r2 = Ruid.Persist.load ~vfs ~attempts ~xml ~sidecar () in
+  let journal =
+    if vfs.Vfs.exists wal then scan ~vfs ~attempts wal
+    else
+      { records = []; valid_bytes = 0; total_bytes = 0; damage = None }
+  in
+  replay_records r2 journal.records;
+  if check then R2.check r2;
+  { doc; r2; replayed = journal.records; journal }
+
+(* ------------------------------------------------------------------ *)
+(* fsck                                                                *)
+(* ------------------------------------------------------------------ *)
+
+type status = Clean | Recoverable of string | Unrecoverable of string
+
+let pp_status ppf = function
+  | Clean -> Format.fprintf ppf "clean"
+  | Recoverable why -> Format.fprintf ppf "recoverable: %s" why
+  | Unrecoverable why -> Format.fprintf ppf "unrecoverable: %s" why
+
+let exit_code = function Clean -> 0 | Recoverable _ -> 1 | Unrecoverable _ -> 2
+
+let fsck ?(vfs = Vfs.real) ?(attempts = 5) ~xml ~sidecar ?wal () =
+  (* [replay] treats a missing journal file as an empty journal, so a bare
+     snapshot checks the same way as snapshot + journal. *)
+  let wal = Option.value wal ~default:(sidecar ^ ".wal-absent") in
+  match replay ~vfs ~attempts ~check:true ~xml ~sidecar ~wal () with
+  | exception Invalid_argument msg -> Unrecoverable msg
+  | exception Failure msg -> Unrecoverable msg
+  | exception Replay_error msg -> Unrecoverable msg
+  | exception Rxml.Parser.Parse_error e ->
+    Unrecoverable (Format.asprintf "%a" Rxml.Parser.pp_error e)
+  | exception Sys_error msg -> Unrecoverable msg
+  | { journal; _ } ->
+    (match journal.damage with
+    | None -> Clean
+    | Some why -> Recoverable why)

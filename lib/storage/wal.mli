@@ -1,0 +1,138 @@
+(** Crash-safe journaling of structural updates (redo log + recovery).
+
+    The paper's robustness claim (Section 3.2, Lemmas 1-3) is that an
+    insertion or deletion renumbers a single UID-local area.  That claim is
+    only worth having if the numbering survives a crash: this module pairs a
+    {!Ruid.Persist} snapshot with an append-only journal of the structural
+    operations applied since, so a process can die at any byte and recovery
+    reproduces the exact numbering — including the untouched areas, byte for
+    byte.
+
+    Journal format: a 5-byte header ["RWAL\x01"] followed by framed records
+    {v varint payload-length | payload | CRC-32 of payload (4 bytes LE) v}
+    Each payload carries a sequence number, the logical operation (insert of
+    a fresh leaf / cascading delete, addressed by preorder rank as in
+    [Rworkload.Updates]), and the {e renumber record} the operation
+    triggered: the global index of the one area it re-enumerated and the
+    number of pre-existing identifiers rewritten.  Recovery replays the
+    longest checksum-valid prefix, verifies each renumber record against
+    what the replay actually did, truncates a torn tail, and finishes with
+    the deep invariant checker {!Ruid.Ruid2.check}.
+
+    All I/O goes through {!Ruid.Vfs.t} (default {!Ruid.Vfs.real});
+    {!Ruid.Vfs.Transient} errors are retried with bounded backoff, which is
+    how the deterministic fault plans of {!Fault} are exercised. *)
+
+type op =
+  | Insert of { parent_rank : int; pos : int; tag : string }
+      (** insert a fresh leaf element [<tag>] as the [pos]-th child of the
+          node at preorder rank [parent_rank] *)
+  | Delete of { rank : int }  (** cascading delete, never rank 0 *)
+
+type record = {
+  seq : int;  (** 1-based, consecutive *)
+  op : op;
+  area : int;  (** global index of the area the operation re-enumerated *)
+  changed : int;  (** pre-existing identifiers rewritten by the operation *)
+}
+
+val pp_op : Format.formatter -> op -> unit
+val pp_record : Format.formatter -> record -> unit
+
+exception Replay_error of string
+(** The journal does not describe the snapshot it is replayed over: a rank
+    out of range, an operation that cannot apply, or a renumber record
+    disagreeing with what the replay did.  Unrecoverable. *)
+
+(** {1 Applying logical operations} *)
+
+val apply : Ruid.Ruid2.t -> op -> int * int
+(** Resolve the operation positionally against the numbered tree and apply
+    it; returns [(area, changed)] — the renumber record.
+    @raise Replay_error if the operation does not apply. *)
+
+(** {1 Writing} *)
+
+type writer
+
+val create :
+  ?vfs:Ruid.Vfs.t -> ?attempts:int -> string -> writer
+(** Start a fresh journal at the path (truncating any previous file). *)
+
+val open_append :
+  ?vfs:Ruid.Vfs.t -> ?attempts:int -> ?repair:bool -> string -> writer
+(** Continue an existing journal (creating it if absent), resuming the
+    sequence numbering after its last valid record.  With [repair] (default
+    [false]) a torn tail is truncated first; without it a damaged journal
+    is refused.
+    @raise Invalid_argument on a damaged journal when [repair] is false. *)
+
+val log_update : writer -> Ruid.Ruid2.t -> op -> record
+(** Apply the operation to the live numbering and append its record
+    durably (fsync before returning).  The journal is a redo log: a record
+    is present iff the operation committed. *)
+
+val append_record : writer -> record -> unit
+(** Append a pre-built record without touching any numbering (tests,
+    replication). *)
+
+val seq : writer -> int
+(** Sequence number of the last record written (0 for a fresh journal). *)
+
+(** {1 Reading and recovery} *)
+
+type scan = {
+  records : record list;  (** the longest valid prefix *)
+  valid_bytes : int;  (** file offset where that prefix ends *)
+  total_bytes : int;
+  damage : string option;
+      (** why scanning stopped before [total_bytes], if it did *)
+}
+
+val scan : ?vfs:Ruid.Vfs.t -> ?attempts:int -> string -> scan
+(** Decode the journal, stopping cleanly at the first torn or corrupt
+    record (truncated frame, checksum mismatch, undecodable payload,
+    sequence break). *)
+
+val repair : ?vfs:Ruid.Vfs.t -> ?attempts:int -> string -> scan
+(** {!scan}, then truncate the file to the valid prefix (rewriting the
+    header when the header itself was damaged).  Returns the scan that
+    describes what survived. *)
+
+type recovery = {
+  doc : Rxml.Dom.t;
+  r2 : Ruid.Ruid2.t;
+  replayed : record list;
+  journal : scan;
+}
+
+val replay :
+  ?vfs:Ruid.Vfs.t -> ?attempts:int -> ?check:bool ->
+  xml:string -> sidecar:string -> wal:string -> unit -> recovery
+(** Recovery: load the {!Ruid.Persist} snapshot, replay the journal's valid
+    prefix over it (verifying every renumber record), and run
+    {!Ruid.Ruid2.check} as postcondition (disable with [check:false]).  A
+    missing journal file recovers to the bare snapshot.  The journal file
+    is not modified; pair with {!repair} to also drop the torn tail.
+    @raise Replay_error if the journal does not match the snapshot.
+    @raise Invalid_argument if the snapshot itself is corrupt. *)
+
+(** {1 Integrity checking (fsck)} *)
+
+type status =
+  | Clean  (** snapshot and journal fully intact; exit code 0 *)
+  | Recoverable of string
+      (** torn journal tail; the valid prefix replays cleanly; exit 1 *)
+  | Unrecoverable of string
+      (** corrupt snapshot, or a journal that does not describe it; exit 2 *)
+
+val pp_status : Format.formatter -> status -> unit
+
+val fsck :
+  ?vfs:Ruid.Vfs.t -> ?attempts:int ->
+  xml:string -> sidecar:string -> ?wal:string -> unit -> status
+(** Verify the snapshot (checksums + restore + deep invariants) and, when a
+    journal is given and exists, its replay.  Read-only. *)
+
+val exit_code : status -> int
+(** 0 / 1 / 2 as above — the contract of [ruidtool fsck]. *)

@@ -12,6 +12,8 @@ type state = {
   mutable line : int;
   mutable col : int;
   keep_whitespace : bool;
+  max_depth : int;
+  mutable depth : int;
 }
 
 let fail st message =
@@ -287,23 +289,34 @@ let rec parse_content st (parent : Dom.t) =
   end
 
 and parse_element st =
+  (* Recursion is bounded so hostile input exhausts the depth budget with a
+     clean Parse_error instead of the process stack. *)
+  st.depth <- st.depth + 1;
+  if st.depth > st.max_depth then
+    fail st
+      (Printf.sprintf "element nesting deeper than %d (max_depth)" st.max_depth);
   expect st '<';
   let tag = parse_name st in
   let attrs = parse_attributes st in
   let node = Dom.element ~attrs tag in
   skip_ws st;
-  if skip_str st "/>" then node
-  else begin
-    expect st '>';
-    parse_content st node;
-    expect_str st "</";
-    let close = parse_name st in
-    if close <> tag then
-      fail st (Printf.sprintf "mismatched end tag: <%s> closed by </%s>" tag close);
-    skip_ws st;
-    expect st '>';
-    node
-  end
+  let node =
+    if skip_str st "/>" then node
+    else begin
+      expect st '>';
+      parse_content st node;
+      expect_str st "</";
+      let close = parse_name st in
+      if close <> tag then
+        fail st
+          (Printf.sprintf "mismatched end tag: <%s> closed by </%s>" tag close);
+      skip_ws st;
+      expect st '>';
+      node
+    end
+  in
+  st.depth <- st.depth - 1;
+  node
 
 let parse_prolog st doc =
   skip_ws st;
@@ -333,8 +346,10 @@ let parse_prolog st doc =
   in
   misc ()
 
-let parse_string ?(keep_whitespace = false) src =
-  let st = { src; pos = 0; line = 1; col = 1; keep_whitespace } in
+let parse_string ?(keep_whitespace = false) ?(max_depth = 10_000) src =
+  let st =
+    { src; pos = 0; line = 1; col = 1; keep_whitespace; max_depth; depth = 0 }
+  in
   let doc = Dom.document () in
   parse_prolog st doc;
   skip_ws st;
@@ -360,9 +375,9 @@ let parse_string ?(keep_whitespace = false) src =
   trailer ();
   doc
 
-let parse_file ?keep_whitespace path =
+let parse_file ?keep_whitespace ?max_depth path =
   let ic = open_in_bin path in
   let n = in_channel_length ic in
   let src = really_input_string ic n in
   close_in ic;
-  parse_string ?keep_whitespace src
+  parse_string ?keep_whitespace ?max_depth src

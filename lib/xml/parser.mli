@@ -14,11 +14,15 @@ exception Parse_error of error
 
 val pp_error : Format.formatter -> error -> unit
 
-val parse_string : ?keep_whitespace:bool -> string -> Dom.t
+val parse_string : ?keep_whitespace:bool -> ?max_depth:int -> string -> Dom.t
 (** [parse_string s] parses a complete document and returns its [Document]
     node.  Whitespace-only text between elements is dropped unless
-    [keep_whitespace] is [true] (default [false]).
+    [keep_whitespace] is [true] (default [false]).  Element nesting beyond
+    [max_depth] (default 10000) is rejected, which bounds the parser's
+    recursion: on any byte string whatsoever the parser either returns a
+    tree or raises [Parse_error] — never [Stack_overflow] or a stdlib
+    exception.
     @raise Parse_error on malformed input. *)
 
-val parse_file : ?keep_whitespace:bool -> string -> Dom.t
+val parse_file : ?keep_whitespace:bool -> ?max_depth:int -> string -> Dom.t
 (** [parse_file path] reads and parses the file at [path]. *)

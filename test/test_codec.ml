@@ -87,9 +87,63 @@ let prop_concatenated_varints =
       in
       go 0 [] = ns)
 
+(* Exact wire bytes at the varint boundaries, and the malformed encodings
+   the reader must refuse: truncation, over-long padding, 64-bit overflow. *)
+let test_varint_boundaries () =
+  let enc n =
+    let buf = Buffer.create 10 in
+    C.write_varint buf n;
+    Bytes.to_string (Buffer.to_bytes buf)
+  in
+  Alcotest.(check string) "0" "\x00" (enc 0);
+  Alcotest.(check string) "127" "\x7f" (enc 127);
+  Alcotest.(check string) "128" "\x80\x01" (enc 128);
+  Alcotest.(check int) "max_int takes 9 bytes" 9 (String.length (enc max_int));
+  (* shift = 56 on the 9th byte is the last legal continuation point *)
+  let v, pos = C.read_varint (Bytes.of_string (enc max_int)) ~pos:0 in
+  Alcotest.(check int) "max_int round trip" max_int v;
+  Alcotest.(check int) "max_int consumed fully" 9 pos;
+  Alcotest.check_raises "over-long: ten continuation bytes"
+    (Invalid_argument "Codec.read_varint: over-long varint") (fun () ->
+      ignore (C.read_varint (Bytes.of_string (String.make 10 '\x80')) ~pos:0));
+  Alcotest.check_raises "overflow: 63 significant bits"
+    (Invalid_argument "Codec.read_varint: varint overflows int") (fun () ->
+      ignore
+        (C.read_varint
+           (Bytes.of_string (String.make 8 '\xff' ^ "\x7f"))
+           ~pos:0));
+  Alcotest.check_raises "truncated mid-sequence"
+    (Invalid_argument "Codec.read_varint: truncated input") (fun () ->
+      ignore (C.read_varint (Bytes.of_string "\x80\x80") ~pos:0))
+
+(* Multi-level identifiers at their boundaries: a deep chain forces more
+   than two levels, and every id must survive the wire. *)
+let test_mruid_multilevel_boundaries () =
+  let root = Shape.chain ~depth:120 () in
+  let m = M.build ~max_area_size:4 ~top_size:4 root in
+  Alcotest.(check bool) "chain forces more than two levels" true
+    (M.levels m > 2);
+  List.iter
+    (fun n ->
+      let id = M.id_of_node m n in
+      let enc = C.encode_mruid id in
+      Alcotest.(check int) "declared size" (C.mruid_size id) (Bytes.length enc);
+      Alcotest.(check bool) "round trip" true (M.id_equal (C.decode_mruid enc) id);
+      (* Any strict prefix must be rejected, never mis-decoded. *)
+      let cut = Bytes.length enc - 1 in
+      match C.decode_mruid (Bytes.sub enc 0 cut) with
+      | id' ->
+        Alcotest.(check bool) "prefix cannot decode to the same id" false
+          (M.id_equal id' id)
+      | exception Invalid_argument _ -> ())
+    (Rxml.Dom.preorder root)
+
 let suite =
   [
     Alcotest.test_case "varint sizes" `Quick test_varint_sizes;
+    Alcotest.test_case "varint boundaries" `Quick test_varint_boundaries;
+    Alcotest.test_case "mruid multi-level boundaries" `Quick
+      test_mruid_multilevel_boundaries;
     prop_varint_round_trip;
     prop_concatenated_varints;
     Alcotest.test_case "varint round trip" `Quick test_varint_round_trip;

@@ -1,0 +1,132 @@
+(* The fault injector itself: schedules must be deterministic and each
+   fault kind must produce exactly the failure shape recovery code is
+   written against. *)
+
+module Vfs = Ruid.Vfs
+module Fault = Rstorage.Fault
+
+let tmp name = Filename.concat (Filename.get_temp_dir_name ()) name
+
+let test_determinism () =
+  let run () =
+    let p =
+      Fault.plan ~seed:7 ~p_short_write:0.4 ~p_bit_flip:0.4 ~p_transient:0.3 ()
+    in
+    let v = Fault.wrap p Vfs.real in
+    let path = tmp "fault_det.bin" in
+    for i = 1 to 40 do
+      (try v.Vfs.store path (Bytes.make (10 + i) 'x')
+       with Vfs.Crash _ | Vfs.Transient _ -> ());
+      try ignore (v.Vfs.load path) with _ -> ()
+    done;
+    Fault.events p
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "schedule produced events" true (a <> []);
+  Alcotest.(check bool) "same seed, identical schedule" true (a = b)
+
+let test_short_write () =
+  let p = Fault.plan ~seed:1 ~p_short_write:1.0 () in
+  let v = Fault.wrap p Vfs.real in
+  let path = tmp "fault_short.bin" in
+  let data = Bytes.init 64 Char.chr in
+  (match v.Vfs.store path data with
+  | () -> Alcotest.fail "expected a crash after the short write"
+  | exception Vfs.Crash _ -> ());
+  match Fault.events p with
+  | [ Fault.Short_write { kept; intended; _ } ] ->
+    Alcotest.(check int) "intended the full buffer" 64 intended;
+    Alcotest.(check bool) "kept strictly less" true (kept < intended);
+    let on_disk = Vfs.real.Vfs.load path in
+    Alcotest.(check int) "file holds exactly the kept prefix" kept
+      (Bytes.length on_disk);
+    Alcotest.(check bool) "prefix bytes intact" true
+      (Bytes.equal on_disk (Bytes.sub data 0 kept))
+  | _ -> Alcotest.fail "expected exactly one short-write event"
+
+let count_diff_bits a b =
+  let n = ref 0 in
+  Bytes.iteri
+    (fun i c ->
+      let x = Char.code c lxor Char.code (Bytes.get b i) in
+      for bit = 0 to 7 do
+        if x land (1 lsl bit) <> 0 then incr n
+      done)
+    a;
+  !n
+
+let test_bit_flip () =
+  let path = tmp "fault_flip.bin" in
+  let data = Bytes.make 32 '\x00' in
+  Vfs.real.Vfs.store path data;
+  let p = Fault.plan ~seed:2 ~p_bit_flip:1.0 () in
+  let v = Fault.wrap p Vfs.real in
+  let got = v.Vfs.load path in
+  Alcotest.(check int) "exactly one bit flipped" 1 (count_diff_bits got data);
+  (match Fault.events p with
+  | [ Fault.Bit_flip _ ] -> ()
+  | _ -> Alcotest.fail "expected exactly one bit-flip event");
+  (* The file itself was not modified — corruption is on the read path. *)
+  Alcotest.(check bool) "disk image untouched" true
+    (Bytes.equal data (Vfs.real.Vfs.load path));
+  (* Directed flip modifies the disk image at the named bit. *)
+  Fault.flip_bit path ~bit:9;
+  let b = Vfs.real.Vfs.load path in
+  Alcotest.(check int) "bit 9 is byte 1, mask 0x02" 2
+    (Char.code (Bytes.get b 1));
+  Alcotest.check_raises "out-of-range bit rejected"
+    (Invalid_argument "Fault.flip_bit: bit out of range") (fun () ->
+      Fault.flip_bit path ~bit:(32 * 8))
+
+let test_transient_bursts_survive_retries () =
+  let p = Fault.plan ~seed:3 ~p_transient:0.3 ~transient_burst:2 () in
+  let v = Fault.wrap p Vfs.real in
+  let path = tmp "fault_transient.bin" in
+  (* Every write lands once the retry budget exceeds the burst. *)
+  for i = 1 to 25 do
+    let data = Bytes.make 8 (Char.chr (Char.code 'a' + (i mod 26))) in
+    Vfs.with_retries ~attempts:6 ~backoff:1e-6 (fun () ->
+        v.Vfs.store path data);
+    Alcotest.(check bool) "write landed despite transients" true
+      (Bytes.equal data (Vfs.real.Vfs.load path))
+  done;
+  let transients =
+    List.filter
+      (function Fault.Transient_error _ -> true | _ -> false)
+      (Fault.events p)
+  in
+  Alcotest.(check bool) "schedule injected transients" true (transients <> []);
+  (* Without retries, failures arrive in bursts of at least [transient_burst]
+     consecutive calls. *)
+  Fault.clear_events p;
+  let runs = ref [] and streak = ref 0 in
+  for _ = 1 to 60 do
+    match v.Vfs.store path (Bytes.make 4 'z') with
+    | () ->
+      if !streak > 0 then runs := !streak :: !runs;
+      streak := 0
+    | exception Vfs.Transient _ -> incr streak
+  done;
+  Alcotest.(check bool) "bursts at least transient_burst long" true
+    (!runs <> [] && List.for_all (fun r -> r >= 2) !runs)
+
+let test_with_retries_gives_up () =
+  let calls = ref 0 in
+  match
+    Vfs.with_retries ~attempts:3 ~backoff:1e-6 (fun () ->
+        incr calls;
+        raise (Vfs.Transient "always"))
+  with
+  | () -> Alcotest.fail "expected the transient to escape"
+  | exception Vfs.Transient _ ->
+    Alcotest.(check int) "tried exactly [attempts] times" 3 !calls
+
+let suite =
+  [
+    Alcotest.test_case "deterministic schedules" `Quick test_determinism;
+    Alcotest.test_case "short write keeps a prefix" `Quick test_short_write;
+    Alcotest.test_case "bit flip on the read path" `Quick test_bit_flip;
+    Alcotest.test_case "transient bursts vs retries" `Quick
+      test_transient_bursts_survive_retries;
+    Alcotest.test_case "retry budget exhausts" `Quick test_with_retries_gives_up;
+  ]

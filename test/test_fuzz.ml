@@ -75,6 +75,55 @@ let test_sidecar_fuzz () =
     | exception Not_found -> Alcotest.fail "leaked Not_found"
   done
 
+(* QCheck-driven hardening: on ANY byte string the parser returns a tree or
+   raises its one documented exception — Failure / Invalid_argument /
+   Stack_overflow all fail the property (qcheck reports unexpected
+   exceptions as failures). *)
+let prop_parser_total =
+  Util.qtest ~count:500 "parser total on arbitrary byte strings"
+    QCheck.(string_gen_of_size Gen.(0 -- 300) Gen.char)
+    (fun src ->
+      match Rxml.Parser.parse_string src with
+      | _ -> true
+      | exception Rxml.Parser.Parse_error _ -> true)
+
+let prop_parser_mutations_total =
+  let base =
+    Rxml.Serializer.to_string (Rworkload.Xmark.generate ~seed:21 ~scale:0.05)
+  in
+  Util.qtest ~count:300 "parser total on mutated valid documents"
+    QCheck.(small_list (pair small_nat (map Char.chr (int_range 0 255))))
+    (fun muts ->
+      let b = Bytes.of_string base in
+      List.iter
+        (fun (pos, c) -> Bytes.set b (pos mod Bytes.length b) c)
+        muts;
+      match Rxml.Parser.parse_string (Bytes.to_string b) with
+      | _ -> true
+      | exception Rxml.Parser.Parse_error _ -> true)
+
+let test_parser_depth_bomb () =
+  (* A million-deep open-tag chain must hit the depth budget with a clean
+     Parse_error, never Stack_overflow. *)
+  let bomb = String.concat "" (List.init 200_000 (fun _ -> "<a>")) in
+  (match Rxml.Parser.parse_string bomb with
+  | _ -> Alcotest.fail "depth bomb accepted"
+  | exception Rxml.Parser.Parse_error e ->
+    Alcotest.(check bool) "names the depth limit" true
+      (String.length e.Rxml.Parser.message > 0));
+  (* And a balanced document well inside the budget still parses. *)
+  let deep n =
+    String.concat ""
+      (List.init n (fun _ -> "<a>") @ [ "x" ] @ List.init n (fun _ -> "</a>"))
+  in
+  let doc = Rxml.Parser.parse_string (deep 5_000) in
+  Alcotest.(check int) "deep but legal document parses" (5_000 + 2)
+    (Rxml.Dom.size doc);
+  (* An explicit budget is honoured. *)
+  match Rxml.Parser.parse_string ~max_depth:10 (deep 11) with
+  | _ -> Alcotest.fail "max_depth not enforced"
+  | exception Rxml.Parser.Parse_error _ -> ()
+
 let test_xpath_fuzz () =
   let rng = Rng.create 13 in
   let chars = "ab/[]@*().|'\"<>=0123 :" in
@@ -90,6 +139,9 @@ let suite =
   [
     Alcotest.test_case "parser random bytes" `Quick test_parser_fuzz;
     Alcotest.test_case "parser mutations" `Quick test_parser_mutation_fuzz;
+    prop_parser_total;
+    prop_parser_mutations_total;
+    Alcotest.test_case "parser depth bomb" `Quick test_parser_depth_bomb;
     Alcotest.test_case "sax random bytes" `Quick test_sax_fuzz;
     Alcotest.test_case "codec random bytes" `Quick test_codec_fuzz;
     Alcotest.test_case "sidecar garbage and mutations" `Quick test_sidecar_fuzz;

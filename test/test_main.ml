@@ -14,6 +14,8 @@ let () =
       ("xpath", Test_xpath.suite);
       ("doc_index", Test_doc_index.suite);
       ("storage", Test_storage.suite);
+      ("fault", Test_fault.suite);
+      ("wal", Test_wal.suite);
       ("workload", Test_workload.suite);
       ("join", Test_join.suite);
       ("reconstruct", Test_reconstruct.suite);

@@ -32,7 +32,7 @@ let test_file_round_trip () =
   let _root, r2 = build_doc 2 150 in
   let xml = tmp "ruid_test.xml" and sidecar = tmp "ruid_test.ruid" in
   P.save r2 ~xml ~sidecar;
-  let _doc, r2' = P.load ~xml ~sidecar in
+  let _doc, r2' = P.load ~xml ~sidecar () in
   R2.check_consistency r2';
   Alcotest.(check int) "same node count"
     (List.length (R2.all_nodes r2))
@@ -82,7 +82,7 @@ let test_whitespace_preserved () =
   let r2 = R2.number ~max_area_size:4 root in
   let xml = tmp "ruid_ws.xml" and sidecar = tmp "ruid_ws.ruid" in
   P.save r2 ~xml ~sidecar;
-  let _, r2' = P.load ~xml ~sidecar in
+  let _, r2' = P.load ~xml ~sidecar () in
   R2.check_consistency r2';
   Alcotest.(check int) "all nodes restored"
     (List.length (R2.all_nodes r2))
@@ -117,7 +117,7 @@ let test_document_rooted_round_trip () =
   let r2 = R2.number ~max_area_size:3 doc in
   let xml = tmp "ruid_docroot.xml" and sidecar = tmp "ruid_docroot.ruid" in
   P.save r2 ~xml ~sidecar;
-  let _doc2, r2' = P.load ~xml ~sidecar in
+  let _doc2, r2' = P.load ~xml ~sidecar () in
   R2.check_consistency r2';
   Alcotest.(check int) "all nodes restored"
     (List.length (R2.all_nodes r2))
@@ -125,9 +125,102 @@ let test_document_rooted_round_trip () =
   Sys.remove xml;
   Sys.remove sidecar
 
+(* ---- format v3: versioning, per-section checksums, atomic save ---- *)
+
+let test_version_detection () =
+  let _root, r2 = build_doc 6 80 in
+  Alcotest.(check int) "writer emits v3" 3
+    (P.version_of_bytes (P.sidecar_to_bytes r2));
+  Alcotest.(check int) "legacy writer emits v2" 2
+    (P.version_of_bytes (P.sidecar_to_bytes_v2 r2));
+  match P.version_of_bytes (Bytes.of_string "JUNKJUNK") with
+  | _ -> Alcotest.fail "expected bad magic to be rejected"
+  | exception Invalid_argument _ -> ()
+
+let test_v2_compat () =
+  let root, r2 = build_doc 7 120 in
+  let r2' = P.sidecar_of_bytes (Dom.clone root) (P.sidecar_to_bytes_v2 r2) in
+  R2.check_consistency r2';
+  let r2'' = P.sidecar_of_bytes (Dom.clone root) (P.sidecar_to_bytes r2) in
+  List.iter2
+    (fun a b ->
+      Alcotest.(check bool) "v2 and v3 restore the same numbering" true
+        (R2.id_equal (R2.id_of_node r2' a) (R2.id_of_node r2'' b)))
+    (R2.all_nodes r2') (R2.all_nodes r2'')
+
+(* Walk the v3 framing (magic, then per section: length varint | payload |
+   CRC-32) to find each payload's extent. *)
+let v3_section_spans bytes =
+  let magic_len = 5 in
+  let pos = ref magic_len in
+  List.map
+    (fun name ->
+      let len, p = Ruid.Codec.read_varint bytes ~pos:!pos in
+      let span = (name, p, len) in
+      pos := p + len + 4;
+      span)
+    [ "header"; "ktable"; "ids" ]
+
+let test_section_errors_name_the_damage () =
+  let root, r2 = build_doc 8 100 in
+  let bytes = P.sidecar_to_bytes r2 in
+  List.iter
+    (fun (name, start, len) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s section is non-empty" name)
+        true (len > 0);
+      let b = Bytes.copy bytes in
+      (* Flip one bit in the middle of the section's payload. *)
+      let target = start + (len / 2) in
+      Bytes.set b target (Char.chr (Char.code (Bytes.get b target) lxor 0x10));
+      match P.sidecar_of_bytes (Dom.clone root) b with
+      | _ -> Alcotest.fail "corruption not detected"
+      | exception Invalid_argument msg ->
+        let contains needle =
+          let nl = String.length needle and ml = String.length msg in
+          let rec go i = i + nl <= ml && (String.sub msg i nl = needle || go (i + 1)) in
+          go 0
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "error names the %s section: %s" name msg)
+          true
+          (contains (name ^ " section"));
+        Alcotest.(check bool) "error carries a byte offset" true
+          (contains "byte");
+        Alcotest.(check bool) "error names the checksum" true
+          (contains "checksum mismatch"))
+    (v3_section_spans bytes)
+
+let test_atomic_save () =
+  let root, r2 = build_doc 9 90 in
+  let xml = tmp "ruid_atomic.xml" and sidecar = tmp "ruid_atomic.ruid" in
+  P.save r2 ~xml ~sidecar;
+  let before = List.length (R2.all_nodes r2) in
+  (* Mutate the numbering, then crash every subsequent write mid-file. *)
+  ignore
+    (R2.insert_node r2 ~parent:root ~pos:0 (Dom.element "casualty"));
+  let p = Rstorage.Fault.plan ~seed:10 ~p_short_write:1.0 () in
+  (match P.save ~vfs:(Rstorage.Fault.wrap p Ruid.Vfs.real) r2 ~xml ~sidecar with
+  | () -> Alcotest.fail "expected the injected crash"
+  | exception Ruid.Vfs.Crash _ -> ());
+  (* The published files are untouched: the torn write only ever hit the
+     temporary file, so the old snapshot still loads cleanly. *)
+  let _doc, r2' = P.load ~xml ~sidecar () in
+  R2.check_consistency r2';
+  Alcotest.(check int) "pre-crash snapshot intact" before
+    (List.length (R2.all_nodes r2'));
+  Sys.remove xml;
+  Sys.remove sidecar
+
 let suite =
   [
     Alcotest.test_case "bytes round trip" `Quick test_bytes_round_trip;
+    Alcotest.test_case "version detection" `Quick test_version_detection;
+    Alcotest.test_case "v2 sidecars still load" `Quick test_v2_compat;
+    Alcotest.test_case "per-section corruption reporting" `Quick
+      test_section_errors_name_the_damage;
+    Alcotest.test_case "atomic save survives torn writes" `Quick
+      test_atomic_save;
     Alcotest.test_case "document-rooted round trip" `Quick test_document_rooted_round_trip;
     prop_round_trip_random;
     Alcotest.test_case "file round trip" `Quick test_file_round_trip;

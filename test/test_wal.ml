@@ -1,0 +1,235 @@
+(* Crash-safe journaling: the WAL's framing, torn-tail handling, fault
+   tolerance, and the headline property — recovery after a crash at an
+   arbitrary byte reproduces the numbering exactly, with untouched areas
+   byte-identical to the snapshot. *)
+
+module Dom = Rxml.Dom
+module R2 = Ruid.Ruid2
+module Vfs = Ruid.Vfs
+module P = Ruid.Persist
+module Wal = Rstorage.Wal
+module Fault = Rstorage.Fault
+module Crashsim = Rstorage.Crashsim
+module Shape = Rworkload.Shape
+module Updates = Rworkload.Updates
+
+let dir =
+  let d =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ruid-test-wal-%d" (Unix.getpid ()))
+  in
+  if not (Sys.file_exists d) then Unix.mkdir d 0o755;
+  d
+
+let path name = Filename.concat dir name
+
+(* A numbered snapshot on disk plus its live in-memory instance. *)
+let snapshot ?(seed = 11) ?(n = 150) ?(area = 8) stem =
+  let root =
+    Shape.generate ~seed ~target:n
+      (Shape.Uniform { fanout_lo = 1; fanout_hi = 4 })
+  in
+  let r2 = R2.number ~max_area_size:area root in
+  let xml = path (stem ^ ".xml")
+  and sidecar = path (stem ^ ".ruid")
+  and wal = path (stem ^ ".wal") in
+  P.save r2 ~xml ~sidecar;
+  if Sys.file_exists wal then Sys.remove wal;
+  (root, r2, xml, sidecar, wal)
+
+let script root ~seed ~ops =
+  List.map Crashsim.wal_op_of_update (Updates.script ~seed ~ops root)
+
+let test_log_and_scan () =
+  let root, live, _xml, _sidecar, wal = snapshot "scan" in
+  let w = Wal.create wal in
+  let records =
+    List.map (fun op -> Wal.log_update w live op) (script root ~seed:1 ~ops:10)
+  in
+  Alcotest.(check int) "writer seq" 10 (Wal.seq w);
+  let s = Wal.scan wal in
+  Alcotest.(check int) "all records scanned" 10 (List.length s.Wal.records);
+  Alcotest.(check bool) "no damage" true (s.Wal.damage = None);
+  Alcotest.(check int) "whole file valid" s.Wal.total_bytes s.Wal.valid_bytes;
+  List.iteri
+    (fun i r ->
+      let logged = List.nth records i in
+      Alcotest.(check int) "seq consecutive" (i + 1) r.Wal.seq;
+      Alcotest.(check bool) "round-trips intact" true (r = logged))
+    s.Wal.records;
+  (* Reopen and continue the numbering. *)
+  let w2 = Wal.open_append wal in
+  Alcotest.(check int) "reopen resumes seq" 10 (Wal.seq w2);
+  ignore (Wal.log_update w2 live (Wal.Insert { parent_rank = 0; pos = 0; tag = "more" }));
+  Alcotest.(check int) "appended" 11 (List.length (Wal.scan wal).Wal.records)
+
+(* The headline property, across seeds and cut points: Crashsim raises
+   Mismatch when recovery and the in-memory replica disagree. *)
+let test_crash_recovery_equivalence () =
+  for seed = 1 to 6 do
+    let o = Crashsim.run ~dir ~seed ~ops:40 ~size:150 ~area:8 () in
+    Alcotest.(check bool) "survived prefix bounded by script"
+      true
+      (o.Crashsim.ops_survived <= o.Crashsim.ops_total)
+  done;
+  (* Degenerate cuts: everything lost, nothing lost. *)
+  let all_lost = Crashsim.run ~dir ~seed:7 ~ops:20 ~cut:0 () in
+  Alcotest.(check int) "cut at 0 recovers the bare snapshot" 0
+    all_lost.Crashsim.ops_survived;
+  let none_lost = Crashsim.run ~dir ~seed:8 ~ops:20 ~cut:max_int () in
+  Alcotest.(check int) "cut past the end loses nothing" 20
+    none_lost.Crashsim.ops_survived
+
+let test_torn_tail () =
+  let root, live, xml, sidecar, wal = snapshot "torn" in
+  let w = Wal.create wal in
+  List.iter
+    (fun op -> ignore (Wal.log_update w live op))
+    (script root ~seed:2 ~ops:5);
+  let full = Wal.scan wal in
+  Fault.torn_tail wal ~keep:(full.Wal.total_bytes - 2);
+  let s = Wal.scan wal in
+  Alcotest.(check int) "one record torn off" 4 (List.length s.Wal.records);
+  Alcotest.(check bool) "tear reported" true (s.Wal.damage <> None);
+  (* Replay still recovers the valid prefix. *)
+  let r = Wal.replay ~xml ~sidecar ~wal () in
+  Alcotest.(check int) "replayed the prefix" 4 (List.length r.Wal.replayed);
+  (* fsck: recoverable, exit 1. *)
+  let st = Wal.fsck ~xml ~sidecar ~wal () in
+  Alcotest.(check int) "recoverable -> exit 1" 1 (Wal.exit_code st);
+  (* open_append refuses the damaged journal unless asked to repair. *)
+  (match Wal.open_append wal with
+  | _ -> Alcotest.fail "open_append must refuse a torn journal"
+  | exception Invalid_argument _ -> ());
+  let w2 = Wal.open_append ~repair:true wal in
+  Alcotest.(check int) "repair resumes after the valid prefix" 4 (Wal.seq w2);
+  let s2 = Wal.scan wal in
+  Alcotest.(check bool) "tail gone" true (s2.Wal.damage = None);
+  Alcotest.(check int) "truncated to the prefix" s.Wal.valid_bytes
+    s2.Wal.total_bytes;
+  Alcotest.(check int) "fsck clean after repair" 0
+    (Wal.exit_code (Wal.fsck ~xml ~sidecar ~wal ()))
+
+let test_corrupt_record () =
+  let root, live, xml, sidecar, wal = snapshot "flip" in
+  let w = Wal.create wal in
+  List.iter
+    (fun op -> ignore (Wal.log_update w live op))
+    (script root ~seed:3 ~ops:6);
+  (* Flip one bit in the middle of the record region: the scan must stop at
+     the corrupt record, keeping the prefix. *)
+  let total = (Wal.scan wal).Wal.total_bytes in
+  Fault.flip_bit wal ~bit:(((5 + total) / 2) * 8 + 3);
+  let s = Wal.scan wal in
+  Alcotest.(check bool) "corruption detected" true (s.Wal.damage <> None);
+  Alcotest.(check bool) "prefix survives" true (List.length s.Wal.records < 6);
+  Alcotest.(check int) "fsck: corrupt journal is recoverable" 1
+    (Wal.exit_code (Wal.fsck ~xml ~sidecar ~wal ()))
+
+let test_corrupt_snapshot () =
+  let _root, _live, xml, sidecar, wal = snapshot "snapbad" in
+  ignore (Wal.create wal);
+  (* Any bit of the sidecar: fsck must call the state unrecoverable. *)
+  Fault.flip_bit sidecar ~bit:(8 * 40);
+  let st = Wal.fsck ~xml ~sidecar ~wal () in
+  Alcotest.(check int) "corrupt sidecar -> exit 2" 2 (Wal.exit_code st);
+  (match Wal.replay ~xml ~sidecar ~wal () with
+  | _ -> Alcotest.fail "replay over a corrupt snapshot must fail"
+  | exception Invalid_argument _ -> ())
+
+let test_journal_mismatch () =
+  let _root, _live, xml, sidecar, wal = snapshot "mismatch" in
+  (* A syntactically valid journal whose operations do not describe this
+     snapshot: rank far out of range. *)
+  let w = Wal.create wal in
+  Wal.append_record w
+    { Wal.seq = 1; op = Wal.Delete { rank = 99_999 }; area = 0; changed = 0 };
+  (match Wal.replay ~xml ~sidecar ~wal () with
+  | _ -> Alcotest.fail "expected Replay_error"
+  | exception Wal.Replay_error _ -> ());
+  Alcotest.(check int) "mismatched journal -> exit 2" 2
+    (Wal.exit_code (Wal.fsck ~xml ~sidecar ~wal ()));
+  (* A journaled renumber record that disagrees with what replay does is
+     equally unrecoverable. *)
+  let root2, live2, xml2, sidecar2, wal2 = snapshot "mismatch2" in
+  let w2 = Wal.create wal2 in
+  let op = List.hd (script root2 ~seed:4 ~ops:1) in
+  let r = Wal.log_update w2 live2 op in
+  Sys.remove wal2;
+  let w3 = Wal.create wal2 in
+  Wal.append_record w3 { r with Wal.changed = r.Wal.changed + 1 };
+  match Wal.replay ~xml:xml2 ~sidecar:sidecar2 ~wal:wal2 () with
+  | _ -> Alcotest.fail "expected Replay_error on renumber-record mismatch"
+  | exception Wal.Replay_error _ -> ()
+
+let test_missing_journal () =
+  let _root, live, xml, sidecar, _wal = snapshot "nolog" in
+  let r = Wal.replay ~xml ~sidecar ~wal:(path "does-not-exist.wal") () in
+  Alcotest.(check int) "bare snapshot, nothing replayed" 0
+    (List.length r.Wal.replayed);
+  Alcotest.(check int) "same numbering"
+    (List.length (R2.all_nodes live))
+    (List.length (R2.all_nodes r.Wal.r2));
+  Alcotest.(check int) "fsck without a journal" 0
+    (Wal.exit_code (Wal.fsck ~xml ~sidecar ()))
+
+let test_crash_during_append () =
+  let root, live, xml, sidecar, wal = snapshot "midappend" in
+  let w = Wal.create wal in
+  let ops = script root ~seed:5 ~ops:4 in
+  List.iteri
+    (fun i op -> if i < 3 then ignore (Wal.log_update w live op))
+    ops;
+  (* The fourth append dies mid-write. *)
+  let p = Fault.plan ~seed:6 ~p_short_write:1.0 () in
+  let wf = Wal.open_append ~vfs:(Fault.wrap p Vfs.real) wal in
+  (match Wal.log_update wf live (List.nth ops 3) with
+  | _ -> Alcotest.fail "expected the injected crash"
+  | exception Vfs.Crash _ -> ());
+  (* Recovery: the three committed operations survive; the torn fourth is
+     dropped (or never reached the file at all). *)
+  let r = Wal.replay ~xml ~sidecar ~wal () in
+  Alcotest.(check int) "committed prefix recovered" 3
+    (List.length r.Wal.replayed);
+  let code = Wal.exit_code (Wal.fsck ~xml ~sidecar ~wal ()) in
+  Alcotest.(check bool) "clean or recoverable, never unrecoverable" true
+    (code = 0 || code = 1)
+
+let test_transient_faults_absorbed () =
+  (* The whole pipeline — save, journaling, recovery — under a transient
+     fault plan whose bursts stay below the retry budget. *)
+  let root =
+    Shape.generate ~seed:31 ~target:120
+      (Shape.Uniform { fanout_lo = 1; fanout_hi = 4 })
+  in
+  let r2 = R2.number ~max_area_size:8 root in
+  let xml = path "transient.xml"
+  and sidecar = path "transient.ruid"
+  and wal = path "transient.wal" in
+  let plan = Fault.plan ~seed:32 ~p_transient:0.25 ~transient_burst:2 () in
+  let vfs = Fault.wrap plan Vfs.real in
+  P.save ~vfs ~attempts:5 r2 ~xml ~sidecar;
+  let w = Wal.create ~vfs ~attempts:5 wal in
+  List.iter
+    (fun op -> ignore (Wal.log_update w r2 op))
+    (script root ~seed:33 ~ops:15);
+  let r = Wal.replay ~vfs ~attempts:5 ~xml ~sidecar ~wal () in
+  Alcotest.(check int) "all operations survived the weather" 15
+    (List.length r.Wal.replayed);
+  Alcotest.(check bool) "transients actually fired" true
+    (Fault.events plan <> [])
+
+let suite =
+  [
+    Alcotest.test_case "log, scan, reopen" `Quick test_log_and_scan;
+    Alcotest.test_case "crash-recovery equivalence (headline)" `Quick
+      test_crash_recovery_equivalence;
+    Alcotest.test_case "torn tail" `Quick test_torn_tail;
+    Alcotest.test_case "corrupt record" `Quick test_corrupt_record;
+    Alcotest.test_case "corrupt snapshot" `Quick test_corrupt_snapshot;
+    Alcotest.test_case "journal/snapshot mismatch" `Quick test_journal_mismatch;
+    Alcotest.test_case "missing journal" `Quick test_missing_journal;
+    Alcotest.test_case "crash during append" `Quick test_crash_during_append;
+    Alcotest.test_case "transient faults absorbed" `Quick
+      test_transient_faults_absorbed;
+  ]
