@@ -41,7 +41,7 @@ let run () =
             ignore (Ns.is_ancestor_arithmetic store ~anc:a ~desc:b);
             ignore (Ns.ancestor_ids_arithmetic store a))
           pairs;
-        let arith_reads = (Ns.stats store).Io.page_reads in
+        let arith_reads = Io.page_reads (Ns.stats store) in
         (* pointer chase *)
         Ns.reset_stats store;
         Ns.clear_cache store;
@@ -54,8 +54,8 @@ let run () =
         [
           Report.fint cache_pages;
           Report.fint arith_reads;
-          Report.fint chase.Io.page_reads;
-          Report.fint chase.Io.hits;
+          Report.fint (Io.page_reads chase);
+          Report.fint (Io.hits chase);
         ])
       [ 4; 32; 256 ]
   in
@@ -83,7 +83,7 @@ let run () =
   let st = Ns.stats store in
   Report.table
     [ "subtrees"; "records fetched"; "page reads"; "pool hits" ]
-    [ [ "50"; Report.fint fetched; Report.fint st.Io.page_reads; Report.fint st.Io.hits ] ];
+    [ [ "50"; Report.fint fetched; Report.fint (Io.page_reads st); Report.fint (Io.hits st) ] ];
   Report.note
     "Identifiers of the wanted records are computed before touching storage, so";
   Report.note

@@ -15,6 +15,7 @@ let experiments =
     ("E10", E10.run);
     ("E11", E11.run);
     ("E12", E12.run);
+    ("E13", E13.run);
   ]
 
 let () =

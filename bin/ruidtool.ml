@@ -555,6 +555,217 @@ let crash_test_cmd =
     Term.(const run $ seed_arg $ area_arg $ ops $ size $ runs $ dir)
 
 (* ------------------------------------------------------------------ *)
+(* serve / client                                                      *)
+(* ------------------------------------------------------------------ *)
+
+module Service = Rserver.Service
+
+let socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix domain socket path.")
+
+let serve_cmd =
+  let files =
+    Arg.(
+      value & pos_all file []
+      & info [] ~docv:"FILE"
+          ~doc:
+            "XML documents to host (served under their base name).  With no \
+             files, one synthetic document per $(b,--gen-kind) is generated.")
+  in
+  let data_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "data-dir" ] ~docv:"DIR"
+          ~doc:
+            "Directory for persisted snapshots and WALs (default: a fresh \
+             directory under TMPDIR).")
+  in
+  let workers =
+    Arg.(
+      value & opt int 4
+      & info [ "workers" ] ~docv:"N" ~doc:"Worker pool size (>= 1).")
+  in
+  let max_queue =
+    Arg.(
+      value & opt int 64
+      & info [ "max-queue" ] ~docv:"N"
+          ~doc:
+            "Admission queue bound (>= 1); requests beyond it are rejected \
+             with BUSY instead of queuing without limit.")
+  in
+  let deadline_ms =
+    Arg.(
+      value & opt int 0
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Per-request deadline: work still queued after MS milliseconds \
+             is answered BUSY rather than late.  0 disables.")
+  in
+  let max_depth =
+    Arg.(
+      value & opt int 10000
+      & info [ "max-depth" ] ~docv:"N"
+          ~doc:
+            "Maximal XML element nesting accepted when parsing hosted \
+             documents (>= 1); deeper input is rejected at startup.")
+  in
+  let max_area =
+    Arg.(
+      value & opt int 64
+      & info [ "max-area-size" ] ~docv:"N"
+          ~doc:"Maximal nodes enumerated per UID-local area (>= 2).")
+  in
+  let gen_kind =
+    Arg.(
+      value
+      & opt (enum [ ("xmark", `Xmark); ("dblp", `Dblp) ]) `Xmark
+      & info [ "gen-kind" ] ~docv:"KIND"
+          ~doc:
+            "Synthetic document family when no FILEs are given: $(b,xmark) \
+             or $(b,dblp).")
+  in
+  let gen_size =
+    Arg.(
+      value & opt int 2000
+      & info [ "gen-size" ] ~docv:"N"
+          ~doc:"Approximate node count of a generated document.")
+  in
+  let fail msg =
+    prerr_endline ("ruidtool serve: " ^ msg);
+    exit 2
+  in
+  let run files data_dir workers max_queue deadline_ms max_depth max_area
+      gen_kind gen_size seed socket =
+    if max_depth < 1 then fail "--max-depth must be >= 1";
+    if gen_size < 1 then fail "--gen-size must be >= 1";
+    let data_dir =
+      match data_dir with
+      | Some d -> d
+      | None ->
+        let d =
+          Filename.concat
+            (Filename.get_temp_dir_name ())
+            (Printf.sprintf "ruid-serve-%d" (Unix.getpid ()))
+        in
+        Printf.printf "data-dir %s\n%!" d;
+        d
+    in
+    let cfg =
+      {
+        Service.socket_path = socket;
+        data_dir;
+        workers;
+        max_queue;
+        deadline_ms;
+        max_area_size = max_area;
+      }
+    in
+    (match Service.validate_config cfg with
+    | Ok () -> ()
+    | Error msg -> fail msg);
+    let docs =
+      match files with
+      | [] ->
+        let name, root =
+          match gen_kind with
+          | `Xmark ->
+            ( "xmark",
+              Rworkload.Xmark.generate ~seed
+                ~scale:(float_of_int gen_size /. 2000.) )
+          | `Dblp ->
+            ( "dblp",
+              Rworkload.Dblp.generate ~seed
+                ~publications:(max 1 (gen_size / 12)) )
+        in
+        Printf.printf "generated %s (%d nodes)\n%!" name (Dom.size root);
+        [ (name, root) ]
+      | files ->
+        List.map
+          (fun path ->
+            let name = Filename.remove_extension (Filename.basename path) in
+            match Rxml.Parser.parse_file ~max_depth path with
+            | doc -> (name, doc)
+            | exception Rxml.Parser.Parse_error e ->
+              fail
+                (Format.asprintf "%s does not parse: %a" path
+                   Rxml.Parser.pp_error e))
+          files
+    in
+    let t =
+      try Service.start cfg docs
+      with Invalid_argument msg -> fail msg
+    in
+    List.iter
+      (fun (name, root) ->
+        Printf.printf "hosting %-12s %6d nodes\n%!" name (Dom.size root))
+      docs;
+    Printf.printf
+      "listening on %s (workers %d, queue %d, deadline %s)\n%!"
+      socket workers max_queue
+      (if deadline_ms = 0 then "none" else string_of_int deadline_ms ^ "ms");
+    let stop_and_exit _ = Service.stop t; exit 0 in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle stop_and_exit);
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle stop_and_exit);
+    Service.wait t;
+    print_endline "server stopped."
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Host documents behind the concurrent query/update service: \
+          snapshot-isolated reads, WAL-serialized writes, bounded admission \
+          queue.  Stop with SIGINT or the SHUTDOWN protocol verb.")
+    Term.(
+      const run $ files $ data_dir $ workers $ max_queue $ deadline_ms
+      $ max_depth $ max_area $ gen_kind $ gen_size $ seed_arg $ socket_arg)
+
+let client_cmd =
+  let words =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"WORD"
+          ~doc:
+            "Request words, e.g. $(b,QUERY //item) or $(b,UPDATE lib INSERT \
+             0 0 note).  With no words, requests are read line by line from \
+             stdin (a scriptable session).")
+  in
+  let run socket words =
+    let print_reply resp =
+      print_endline (Rserver.Protocol.response_to_string resp);
+      match resp with
+      | Rserver.Protocol.Ok_ _ -> ()
+      | Rserver.Protocol.Busy _ -> exit 3
+      | Rserver.Protocol.Err _ -> exit 1
+    in
+    match words with
+    | [] ->
+      Rserver.Client.with_connection socket @@ fun c ->
+      let rec loop failed =
+        match input_line stdin with
+        | exception End_of_file -> if failed then exit 1
+        | "" -> loop failed
+        | line ->
+          let resp = Rserver.Client.request_raw c line in
+          print_endline (Rserver.Protocol.response_to_string resp);
+          loop (failed || match resp with Rserver.Protocol.Err _ -> true | _ -> false)
+      in
+      loop false
+    | words ->
+      Rserver.Client.with_connection socket @@ fun c ->
+      print_reply (Rserver.Client.request_raw c (String.concat " " words))
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Send requests to a running server.  Exit status: 0 on OK, 1 on \
+          ERR, 3 on BUSY.")
+    Term.(const run $ socket_arg $ words)
+
+(* ------------------------------------------------------------------ *)
 (* guide                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -579,4 +790,4 @@ let () =
           [ generate_cmd; stats_cmd; number_cmd; parent_cmd; query_cmd;
             update_sim_cmd; reconstruct_cmd; plan_cmd; save_cmd; load_cmd;
             wal_record_cmd; wal_replay_cmd; fsck_cmd; crash_test_cmd;
-            guide_cmd ]))
+            guide_cmd; serve_cmd; client_cmd ]))

@@ -10,9 +10,14 @@ module Dom = Rxml.Dom
 module R2 = Ruid.Ruid2
 module C = Rxpath.Collection
 
-let tmp name = Filename.concat (Filename.get_temp_dir_name ()) name
+let tmp name =
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "doc-server-%d-%s" (Unix.getpid ()) name)
 
-let () =
+let remove_if_exists path = if Sys.file_exists path then Sys.remove path
+
+let main () =
   (* 1. Register heterogeneous sources. *)
   let coll = C.create ~max_area_size:32 () in
   let _auctions =
@@ -57,17 +62,27 @@ let () =
   (* 5. Persist the library numbering and restore it: identifiers survive
         the process boundary, so external references stay valid. *)
   let xml = tmp "library.xml" and sidecar = tmp "library.ruid" in
-  Ruid.Persist.save (C.ruid coll library) ~xml ~sidecar;
-  let _doc, restored = Ruid.Persist.load ~xml ~sidecar () in
-  R2.check_consistency restored;
-  let some_author =
-    List.find (fun n -> Dom.tag n = "author") (R2.all_nodes restored)
-  in
-  Printf.printf
-    "\npersisted and restored the library: %d identifiers verified;\n"
-    (List.length (R2.all_nodes restored));
-  Printf.printf "e.g. an <author> still resolves to %s\n"
-    (R2.id_to_string (R2.id_of_node restored some_author));
-  Sys.remove xml;
-  Sys.remove sidecar;
+  Fun.protect
+    ~finally:(fun () ->
+      remove_if_exists xml;
+      remove_if_exists sidecar)
+    (fun () ->
+      Ruid.Persist.save (C.ruid coll library) ~xml ~sidecar;
+      let _doc, restored = Ruid.Persist.load ~xml ~sidecar () in
+      R2.check_consistency restored;
+      let some_author =
+        List.find (fun n -> Dom.tag n = "author") (R2.all_nodes restored)
+      in
+      Printf.printf
+        "\npersisted and restored the library: %d identifiers verified;\n"
+        (List.length (R2.all_nodes restored));
+      Printf.printf "e.g. an <author> still resolves to %s\n"
+        (R2.id_to_string (R2.id_of_node restored some_author)));
   print_endline "done."
+
+let () =
+  match main () with
+  | () -> ()
+  | exception e ->
+    Printf.eprintf "document_server example failed: %s\n" (Printexc.to_string e);
+    exit 1

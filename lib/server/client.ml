@@ -1,0 +1,41 @@
+type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+
+let request_raw t line =
+  Protocol.write_frame t.oc line;
+  match Protocol.read_frame t.ic with
+  | Some payload -> Protocol.parse_response payload
+  | None -> raise End_of_file
+
+let request t req = request_raw t (Protocol.request_to_string req)
+
+let close t =
+  (try flush t.oc with Sys_error _ -> ());
+  try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let with_connection path f =
+  let t = connect path in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> f t)
+
+let kv body key =
+  let tokens =
+    String.split_on_char '\n' body
+    |> List.concat_map (String.split_on_char ' ')
+  in
+  let prefix = key ^ "=" in
+  let plen = String.length prefix in
+  List.find_map
+    (fun tok ->
+      if String.length tok > plen && String.sub tok 0 plen = prefix then
+        Some (String.sub tok plen (String.length tok - plen))
+      else None)
+    tokens
+
+let kv_int body key = Option.bind (kv body key) int_of_string_opt

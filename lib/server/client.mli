@@ -1,0 +1,29 @@
+(** Blocking client for the document service: one connection, one request
+    in flight (the service replies in order, so that is the protocol's
+    natural discipline).  Used by [ruidtool client], the loopback tests
+    and the E13 bench driver. *)
+
+type t
+
+val connect : string -> t
+(** Connect to the service's Unix socket.
+    @raise Unix.Unix_error when nothing listens there. *)
+
+val request : t -> Protocol.request -> Protocol.response
+val request_raw : t -> string -> Protocol.response
+(** Send one already-rendered request line.
+    @raise Protocol.Protocol_error on a framing violation;
+    @raise End_of_file if the server hung up before replying. *)
+
+val close : t -> unit
+
+val with_connection : string -> (t -> 'a) -> 'a
+(** Connect, run, close (also on exceptions). *)
+
+(** {1 Reply token helpers} *)
+
+val kv : string -> string -> string option
+(** [kv body key] finds the first [key=value] token in a reply body
+    (tokens split on blanks and newlines). *)
+
+val kv_int : string -> string -> int option

@@ -1,0 +1,152 @@
+(* Buckets: bucket i counts latencies in [2^i, 2^(i+1)) ns.  62 buckets
+   cover every representable duration. *)
+let buckets = 62
+
+type counters = { mutable ok : int; mutable err : int; mutable busy : int }
+
+type t = {
+  mu : Mutex.t;
+  total : counters;
+  verbs : (string, counters) Hashtbl.t;
+  hist : int array;
+  mutable max_ns : float;
+  mutable queue_probe : (unit -> int) option;
+  mutable snapshot_probe : (unit -> int * float) option;
+}
+
+let create () =
+  {
+    mu = Mutex.create ();
+    total = { ok = 0; err = 0; busy = 0 };
+    verbs = Hashtbl.create 16;
+    hist = Array.make buckets 0;
+    max_ns = 0.;
+    queue_probe = None;
+    snapshot_probe = None;
+  }
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let bucket_of ns =
+  if ns < 1. then 0
+  else min (buckets - 1) (int_of_float (Float.log2 ns))
+
+let bump c = function
+  | `Ok -> c.ok <- c.ok + 1
+  | `Err -> c.err <- c.err + 1
+  | `Busy -> c.busy <- c.busy + 1
+
+let record t ~verb ~outcome ~latency_ns =
+  locked t (fun () ->
+      bump t.total outcome;
+      let c =
+        match Hashtbl.find_opt t.verbs verb with
+        | Some c -> c
+        | None ->
+          let c = { ok = 0; err = 0; busy = 0 } in
+          Hashtbl.replace t.verbs verb c;
+          c
+      in
+      bump c outcome;
+      t.hist.(bucket_of latency_ns) <- t.hist.(bucket_of latency_ns) + 1;
+      if latency_ns > t.max_ns then t.max_ns <- latency_ns)
+
+let set_queue_probe t f = locked t (fun () -> t.queue_probe <- Some f)
+let set_snapshot_probe t f = locked t (fun () -> t.snapshot_probe <- Some f)
+
+type summary = {
+  requests : int;
+  ok : int;
+  err : int;
+  busy : int;
+  p50_ns : float;
+  p95_ns : float;
+  p99_ns : float;
+  max_ns : float;
+}
+
+(* Upper bound of the bucket in which the q-quantile request falls. *)
+let percentile_locked t q =
+  let n = Array.fold_left ( + ) 0 t.hist in
+  if n = 0 then 0.
+  else begin
+    let want = max 1 (int_of_float (ceil (q *. float_of_int n))) in
+    let seen = ref 0 and result = ref 0. in
+    (try
+       for i = 0 to buckets - 1 do
+         seen := !seen + t.hist.(i);
+         if !seen >= want then begin
+           result := 2. ** float_of_int (i + 1);
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    min !result (Float.max t.max_ns 1.)
+  end
+
+let percentile t q = locked t (fun () -> percentile_locked t q)
+
+let summary t =
+  locked t (fun () ->
+      {
+        requests = t.total.ok + t.total.err + t.total.busy;
+        ok = t.total.ok;
+        err = t.total.err;
+        busy = t.total.busy;
+        p50_ns = percentile_locked t 0.50;
+        p95_ns = percentile_locked t 0.95;
+        p99_ns = percentile_locked t 0.99;
+        max_ns = t.max_ns;
+      })
+
+let by_verb t =
+  locked t (fun () ->
+      Hashtbl.fold
+        (fun v (c : counters) acc -> (v, c.ok, c.err, c.busy) :: acc)
+        t.verbs []
+      |> List.sort compare)
+
+let render t =
+  let s = summary t in
+  let verbs = by_verb t in
+  let queue_depth =
+    match locked t (fun () -> t.queue_probe) with
+    | Some f -> f ()
+    | None -> 0
+  in
+  let snap_version, snap_age_ms =
+    match locked t (fun () -> t.snapshot_probe) with
+    | Some f ->
+      let v, published = f () in
+      (v, (Unix.gettimeofday () -. published) *. 1e3)
+    | None -> (0, 0.)
+  in
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    (Printf.sprintf "requests=%d ok=%d err=%d busy=%d\n" s.requests s.ok s.err
+       s.busy);
+  Buffer.add_string b
+    (Printf.sprintf "latency_p50_ns=%.0f latency_p95_ns=%.0f latency_p99_ns=%.0f latency_max_ns=%.0f\n"
+       s.p50_ns s.p95_ns s.p99_ns s.max_ns);
+  Buffer.add_string b
+    (Printf.sprintf "queue_depth=%d snapshot_version=%d snapshot_age_ms=%.1f\n"
+       queue_depth snap_version snap_age_ms);
+  List.iter
+    (fun (v, ok, err, busy) ->
+      Buffer.add_string b
+        (Printf.sprintf "verb=%s ok=%d err=%d busy=%d\n" v ok err busy))
+    verbs;
+  (* drop the trailing newline: the frame is self-delimiting *)
+  let out = Buffer.contents b in
+  String.sub out 0 (String.length out - 1)
+
+let reset t =
+  locked t (fun () ->
+      t.total.ok <- 0;
+      t.total.err <- 0;
+      t.total.busy <- 0;
+      Hashtbl.reset t.verbs;
+      Array.fill t.hist 0 buckets 0;
+      t.max_ns <- 0.)

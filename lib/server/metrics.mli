@@ -1,0 +1,54 @@
+(** Per-request metrics registry of the document service.
+
+    One mutex-protected instance is shared by every session and worker
+    thread: request/outcome counters per protocol verb, a log-scale
+    latency histogram (power-of-two nanosecond buckets, so percentile
+    estimates cost O(buckets) and recording is O(1)), and gauges probed at
+    dump time (queue depth, snapshot version and age).  The [STATS]
+    protocol verb renders {!render}. *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> verb:string -> outcome:[ `Ok | `Err | `Busy ] ->
+  latency_ns:float -> unit
+(** Account one finished request.  Latency is measured by the session from
+    frame-decoded to reply-written; BUSY rejections are counted with their
+    (tiny) latency too, so overload shows up in the rate, not the tail. *)
+
+val set_queue_probe : t -> (unit -> int) -> unit
+(** Gauge: current depth of the admission queue. *)
+
+val set_snapshot_probe : t -> (unit -> int * float) -> unit
+(** Gauge: (version, published-at unix time) of the live snapshot. *)
+
+(** {1 Reading} *)
+
+type summary = {
+  requests : int;
+  ok : int;
+  err : int;
+  busy : int;
+  p50_ns : float;
+  p95_ns : float;
+  p99_ns : float;
+  max_ns : float;
+}
+
+val summary : t -> summary
+(** Percentiles are upper bucket bounds of the histogram: exact to within
+    a factor of 2, which is what a log-scale histogram buys. *)
+
+val percentile : t -> float -> float
+(** [percentile t 0.95]: latency bound in ns below which that fraction of
+    requests completed; 0 when nothing was recorded. *)
+
+val by_verb : t -> (string * int * int * int) list
+(** Per verb: (verb, ok, err, busy), verbs sorted. *)
+
+val render : t -> string
+(** Multi-line [k=v] dump: totals, per-verb counters, latency percentiles,
+    queue depth, snapshot version/age.  The [STATS] reply body. *)
+
+val reset : t -> unit

@@ -1,0 +1,151 @@
+module Wal = Rstorage.Wal
+
+type request =
+  | Ping
+  | Docs
+  | Query of string
+  | Count of string
+  | Update of { doc : string; op : Wal.op }
+  | Check of string
+  | Stats
+  | Sleep of int
+  | Shutdown
+
+let verb = function
+  | Ping -> "PING"
+  | Docs -> "DOCS"
+  | Query _ -> "QUERY"
+  | Count _ -> "COUNT"
+  | Update _ -> "UPDATE"
+  | Check _ -> "CHECK"
+  | Stats -> "STATS"
+  | Sleep _ -> "SLEEP"
+  | Shutdown -> "SHUTDOWN"
+
+(* Document names and tags travel as single protocol words; reject the
+   separators that would make the grammar ambiguous. *)
+let valid_word s =
+  s <> ""
+  && String.for_all (fun c -> c > ' ' && c <> '\x7f') s
+
+let split_first s =
+  match String.index_opt s ' ' with
+  | None -> (s, "")
+  | Some i ->
+    (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+
+let int_word name s k =
+  match int_of_string_opt s with
+  | Some n -> k n
+  | None -> Error (Printf.sprintf "%s: expected an integer, got %S" name s)
+
+let parse_request line =
+  let head, rest = split_first line in
+  match (String.uppercase_ascii head, rest) with
+  | "PING", "" -> Ok Ping
+  | "DOCS", "" -> Ok Docs
+  | "STATS", "" -> Ok Stats
+  | "SHUTDOWN", "" -> Ok Shutdown
+  | "QUERY", "" -> Error "QUERY: missing XPath expression"
+  | "QUERY", q -> Ok (Query q)
+  | "COUNT", "" -> Error "COUNT: missing XPath expression"
+  | "COUNT", q -> Ok (Count q)
+  | "CHECK", d ->
+    if valid_word d then Ok (Check d) else Error "CHECK: expected a document name"
+  | "SLEEP", ms ->
+    int_word "SLEEP" ms (fun n ->
+        if n < 0 then Error "SLEEP: negative duration" else Ok (Sleep n))
+  | "UPDATE", rest -> begin
+    match String.split_on_char ' ' rest with
+    | [ doc; kind; a; b; tag ] when String.uppercase_ascii kind = "INSERT" ->
+      if not (valid_word doc) then Error "UPDATE: bad document name"
+      else if not (valid_word tag) then Error "UPDATE INSERT: bad tag"
+      else
+        int_word "UPDATE INSERT parent_rank" a (fun parent_rank ->
+            int_word "UPDATE INSERT pos" b (fun pos ->
+                if parent_rank < 0 || pos < 0 then
+                  Error "UPDATE INSERT: negative rank or position"
+                else Ok (Update { doc; op = Wal.Insert { parent_rank; pos; tag } })))
+    | [ doc; kind; a ] when String.uppercase_ascii kind = "DELETE" ->
+      if not (valid_word doc) then Error "UPDATE: bad document name"
+      else
+        int_word "UPDATE DELETE rank" a (fun rank ->
+            if rank <= 0 then
+              Error "UPDATE DELETE: rank must be positive (rank 0 is the root)"
+            else Ok (Update { doc; op = Wal.Delete { rank } }))
+    | _ ->
+      Error
+        "UPDATE: expected '<doc> INSERT <parent_rank> <pos> <tag>' or \
+         '<doc> DELETE <rank>'"
+  end
+  | "", _ -> Error "empty request"
+  | v, _ -> Error (Printf.sprintf "unknown verb %S" v)
+
+let request_to_string = function
+  | Ping -> "PING"
+  | Docs -> "DOCS"
+  | Query q -> "QUERY " ^ q
+  | Count q -> "COUNT " ^ q
+  | Update { doc; op = Wal.Insert { parent_rank; pos; tag } } ->
+    Printf.sprintf "UPDATE %s INSERT %d %d %s" doc parent_rank pos tag
+  | Update { doc; op = Wal.Delete { rank } } ->
+    Printf.sprintf "UPDATE %s DELETE %d" doc rank
+  | Check d -> "CHECK " ^ d
+  | Stats -> "STATS"
+  | Sleep ms -> Printf.sprintf "SLEEP %d" ms
+  | Shutdown -> "SHUTDOWN"
+
+type response = Ok_ of string | Err of string | Busy of string
+
+let parse_response payload =
+  let head, rest = split_first payload in
+  match head with
+  | "OK" -> Ok_ rest
+  | "BUSY" -> Busy rest
+  | "ERR" -> Err rest
+  | _ -> Err ("malformed response: " ^ payload)
+
+let response_to_string = function
+  | Ok_ "" -> "OK"
+  | Ok_ body -> "OK " ^ body
+  | Err msg -> "ERR " ^ msg
+  | Busy "" -> "BUSY"
+  | Busy why -> "BUSY " ^ why
+
+(* ------------------------------------------------------------------ *)
+(* Framing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+exception Protocol_error of string
+
+let max_frame = 1 lsl 20
+
+let write_frame oc payload =
+  let n = String.length payload in
+  if n > max_frame then
+    raise (Protocol_error (Printf.sprintf "frame of %d bytes exceeds cap" n));
+  output_string oc (string_of_int n);
+  output_char oc '\n';
+  output_string oc payload;
+  flush oc
+
+let read_frame ic =
+  match input_line ic with
+  | exception End_of_file -> None
+  | line ->
+    let line =
+      (* tolerate CRLF from hand-driven clients *)
+      if line <> "" && line.[String.length line - 1] = '\r' then
+        String.sub line 0 (String.length line - 1)
+      else line
+    in
+    (match int_of_string_opt line with
+    | None ->
+      raise (Protocol_error (Printf.sprintf "bad frame length line %S" line))
+    | Some n when n < 0 || n > max_frame ->
+      raise (Protocol_error (Printf.sprintf "frame length %d out of bounds" n))
+    | Some n ->
+      let buf = Bytes.create n in
+      (try really_input ic buf 0 n
+       with End_of_file -> raise (Protocol_error "EOF inside a frame"));
+      Some (Bytes.to_string buf))

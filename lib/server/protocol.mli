@@ -1,0 +1,69 @@
+(** Wire protocol of the document service.
+
+    Framing is a length-prefixed line protocol, identical in both
+    directions: an ASCII decimal byte count, one ['\n'], then exactly that
+    many payload bytes.  The length line keeps the stream self-delimiting
+    (payloads may themselves contain newlines — [STATS] replies do), and a
+    hard cap on the advertised length bounds what a malicious or confused
+    peer can make the server allocate.
+
+    Request payloads are single lines:
+    {v PING
+       DOCS
+       QUERY <xpath>
+       COUNT <xpath>
+       UPDATE <doc> INSERT <parent_rank> <pos> <tag>
+       UPDATE <doc> DELETE <rank>
+       CHECK <doc>
+       STATS
+       SLEEP <ms>
+       SHUTDOWN v}
+
+    Response payloads start with one status word:
+    [OK <body>] | [ERR <message>] | [BUSY <reason>].  Replies to queries
+    and updates carry [k=v] tokens (including [v=<snapshot version>], the
+    handle that makes snapshot isolation observable to clients). *)
+
+type request =
+  | Ping
+  | Docs
+  | Query of string  (** XPath over every document of the snapshot *)
+  | Count of string  (** like [Query] but returns per-document counts only *)
+  | Update of { doc : string; op : Rstorage.Wal.op }
+  | Check of string  (** deep-verify one snapshot document (torn-read canary) *)
+  | Stats
+  | Sleep of int  (** hold a worker for N ms — admission-control testing *)
+  | Shutdown
+
+val verb : request -> string
+(** Protocol verb of the request, for metrics ("QUERY", "UPDATE", ...). *)
+
+val parse_request : string -> (request, string) result
+val request_to_string : request -> string
+(** [parse_request (request_to_string r) = Ok r] for every request. *)
+
+type response =
+  | Ok_ of string
+  | Err of string
+  | Busy of string  (** queue full or deadline exceeded; body is the reason *)
+
+val parse_response : string -> response
+(** Unknown status words decode as [Err]. *)
+
+val response_to_string : response -> string
+
+(** {1 Framing} *)
+
+exception Protocol_error of string
+
+val max_frame : int
+(** Upper bound on an accepted payload length (1 MiB). *)
+
+val write_frame : out_channel -> string -> unit
+(** Length prefix + payload, then flush.
+    @raise Protocol_error if the payload exceeds {!max_frame}. *)
+
+val read_frame : in_channel -> string option
+(** [None] on a clean EOF at a frame boundary.
+    @raise Protocol_error on a malformed length line, an over-long
+    advertised length, or EOF inside a frame. *)

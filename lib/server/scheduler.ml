@@ -1,0 +1,73 @@
+type t = {
+  mu : Mutex.t;
+  nonempty : Condition.t;
+  jobs : (unit -> unit) Queue.t;
+  max_queue : int;
+  mutable pool : Thread.t array;
+  mutable stopping : bool;
+  mutable joined : bool;
+}
+
+let worker t =
+  let rec loop () =
+    Mutex.lock t.mu;
+    while Queue.is_empty t.jobs && not t.stopping do
+      Condition.wait t.nonempty t.mu
+    done;
+    if Queue.is_empty t.jobs then (* stopping and drained: exit *)
+      Mutex.unlock t.mu
+    else begin
+      let job = Queue.pop t.jobs in
+      Mutex.unlock t.mu;
+      (try job () with _ -> ());
+      loop ()
+    end
+  in
+  loop ()
+
+let create ~workers ~max_queue =
+  if workers < 1 then invalid_arg "Scheduler.create: workers < 1";
+  if max_queue < 1 then invalid_arg "Scheduler.create: max_queue < 1";
+  let t =
+    {
+      mu = Mutex.create ();
+      nonempty = Condition.create ();
+      jobs = Queue.create ();
+      max_queue;
+      pool = [||];
+      stopping = false;
+      joined = false;
+    }
+  in
+  t.pool <- Array.init workers (fun _ -> Thread.create worker t);
+  t
+
+let submit t job =
+  Mutex.lock t.mu;
+  let admitted =
+    if t.stopping || Queue.length t.jobs >= t.max_queue then false
+    else begin
+      Queue.push job t.jobs;
+      Condition.signal t.nonempty;
+      true
+    end
+  in
+  Mutex.unlock t.mu;
+  admitted
+
+let queue_depth t =
+  Mutex.lock t.mu;
+  let n = Queue.length t.jobs in
+  Mutex.unlock t.mu;
+  n
+
+let workers t = Array.length t.pool
+
+let shutdown t =
+  Mutex.lock t.mu;
+  t.stopping <- true;
+  Condition.broadcast t.nonempty;
+  let must_join = not t.joined in
+  t.joined <- true;
+  Mutex.unlock t.mu;
+  if must_join then Array.iter Thread.join t.pool

@@ -1,0 +1,30 @@
+(** Admission-controlled worker pool: a bounded FIFO of jobs drained by a
+    fixed set of threads.
+
+    The bound is the service's overload valve: {!submit} never blocks and
+    never queues beyond [max_queue] — callers get an immediate [false] and
+    reply [BUSY], so latency stays bounded instead of collapsing under a
+    growing queue (the classic accept-everything failure mode).
+
+    Jobs are thunks; the scheduler knows nothing about the protocol.
+    Deadlines are the caller's business (the service checks them when a
+    job reaches a worker). *)
+
+type t
+
+val create : workers:int -> max_queue:int -> t
+(** @raise Invalid_argument if [workers < 1] or [max_queue < 1]. *)
+
+val submit : t -> (unit -> unit) -> bool
+(** Enqueue a job, or return [false] without side effects when the queue
+    is at capacity or the pool is shutting down.  A job must not raise:
+    exceptions escaping a job kill nothing but are swallowed (workers keep
+    running) and the job's requester would wait forever — the service
+    wraps every job in its own handler. *)
+
+val queue_depth : t -> int
+val workers : t -> int
+
+val shutdown : t -> unit
+(** Stop admitting, let the workers drain every job already admitted, then
+    join them.  Idempotent; safe to call from any thread except a worker. *)

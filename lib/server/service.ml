@@ -1,0 +1,444 @@
+module Dom = Rxml.Dom
+module R2 = Ruid.Ruid2
+module Wal = Rstorage.Wal
+
+type config = {
+  socket_path : string;
+  data_dir : string;
+  workers : int;
+  max_queue : int;
+  deadline_ms : int;
+  max_area_size : int;
+}
+
+let default_config ~socket_path ~data_dir () =
+  { socket_path; data_dir; workers = 4; max_queue = 64; deadline_ms = 0;
+    max_area_size = 64 }
+
+(* sockaddr_un paths are limited to ~104 bytes portably. *)
+let max_socket_path = 100
+
+let validate_config c =
+  if c.workers < 1 then Error "workers must be >= 1"
+  else if c.max_queue < 1 then Error "max-queue must be >= 1"
+  else if c.deadline_ms < 0 then Error "deadline-ms must be >= 0"
+  else if c.max_area_size < 2 then Error "max-area-size must be >= 2"
+  else if c.socket_path = "" then Error "socket path must not be empty"
+  else if String.length c.socket_path > max_socket_path then
+    Error
+      (Printf.sprintf "socket path longer than %d bytes (sockaddr_un limit)"
+         max_socket_path)
+  else Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* One-shot synchronization cell: session threads park on it while a    *)
+(* worker computes their reply.                                         *)
+(* ------------------------------------------------------------------ *)
+
+module Ivar = struct
+  type 'a t = { m : Mutex.t; c : Condition.t; mutable v : 'a option }
+
+  let create () = { m = Mutex.create (); c = Condition.create (); v = None }
+
+  let fill t x =
+    Mutex.lock t.m;
+    t.v <- Some x;
+    Condition.signal t.c;
+    Mutex.unlock t.m
+
+  let read t =
+    Mutex.lock t.m;
+    while t.v = None do
+      Condition.wait t.c t.m
+    done;
+    let x = Option.get t.v in
+    Mutex.unlock t.m;
+    x
+end
+
+(* ------------------------------------------------------------------ *)
+(* Server state                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type master = {
+  name : string;
+  r2 : R2.t;  (** the writer's private mutable state; never read by readers *)
+  wal : Wal.writer;
+  xml_path : string;
+  sidecar_path : string;
+  wal_path : string;
+}
+
+type t = {
+  cfg : config;
+  coll : Rxpath.Collection.t;
+  masters : master array;
+  current : Snapshot.t Atomic.t;
+  write_mu : Mutex.t;
+  sched : Scheduler.t;
+  metrics : Metrics.t;
+  listen_fd : Unix.file_descr;
+  mutable accept_thread : Thread.t option;
+  sessions : (int, Unix.file_descr * Thread.t) Hashtbl.t;
+  sessions_mu : Mutex.t;
+  mutable next_session : int;
+  state_mu : Mutex.t;
+  state_cond : Condition.t;
+  mutable state : [ `Running | `Stopping | `Stopped ];
+}
+
+let metrics t = t.metrics
+let snapshot t = Atomic.get t.current
+let config t = t.cfg
+let collection t = t.coll
+
+let doc_files t name =
+  Array.fold_left
+    (fun acc m ->
+      if m.name = name then Some (m.xml_path, m.sidecar_path, m.wal_path)
+      else acc)
+    None t.masters
+
+(* ------------------------------------------------------------------ *)
+(* Request execution (runs on worker threads)                          *)
+(* ------------------------------------------------------------------ *)
+
+let pp_id_compact id =
+  Printf.sprintf "(%d,%d,%b)" id.R2.global id.R2.local id.R2.is_root
+
+let run_count t src =
+  let s = Atomic.get t.current in
+  let per_doc = Snapshot.count s src in
+  let total = List.fold_left (fun acc (_, n) -> acc + n) 0 per_doc in
+  Protocol.Ok_
+    (Printf.sprintf "v=%d total=%d %s" s.Snapshot.version total
+       (String.concat " "
+          (List.map (fun (name, n) -> Printf.sprintf "%s=%d" name n) per_doc)))
+
+let run_query t src =
+  let s = Atomic.get t.current in
+  let per_doc = Snapshot.query s src in
+  let total = List.fold_left (fun acc (_, ns) -> acc + List.length ns) 0 per_doc in
+  let cap = 32 in
+  let ids =
+    List.concat_map
+      (fun (name, nodes) ->
+        let d = Option.get (Snapshot.find s name) |> snd in
+        List.map
+          (fun n -> name ^ ":" ^ pp_id_compact (R2.id_of_node d.Snapshot.r2 n))
+          nodes)
+      per_doc
+  in
+  let shown = List.filteri (fun i _ -> i < cap) ids in
+  Protocol.Ok_
+    (Printf.sprintf "v=%d total=%d %s%s" s.Snapshot.version total
+       (String.concat " "
+          (List.map
+             (fun (name, ns) -> Printf.sprintf "%s=%d" name (List.length ns))
+             per_doc))
+       (if shown = [] then ""
+        else " ids " ^ String.concat " " shown
+             ^ if total > cap then " ..." else ""))
+
+let run_update t doc op =
+  Mutex.lock t.write_mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.write_mu) @@ fun () ->
+  let idx =
+    let r = ref (-1) in
+    Array.iteri (fun i m -> if m.name = doc then r := i) t.masters;
+    !r
+  in
+  if idx < 0 then Protocol.Err (Printf.sprintf "unknown document %S" doc)
+  else begin
+    let m = t.masters.(idx) in
+    match Wal.log_update m.wal m.r2 op with
+    | record ->
+      (* Durable in the WAL; now publish.  Only this thread swaps the
+         snapshot, so read-modify-write under write_mu is safe. *)
+      let prev = Atomic.get t.current in
+      let next =
+        Snapshot.replace_doc prev ~version:(prev.Snapshot.version + 1)
+          ~doc_index:idx m.r2
+      in
+      Atomic.set t.current next;
+      Protocol.Ok_
+        (Printf.sprintf "v=%d seq=%d area=%d changed=%d"
+           next.Snapshot.version record.Wal.seq record.Wal.area
+           record.Wal.changed)
+    | exception Wal.Replay_error msg -> Protocol.Err ("update rejected: " ^ msg)
+  end
+
+let run_check t doc =
+  let s = Atomic.get t.current in
+  match Snapshot.check s doc with
+  | () -> Protocol.Ok_ (Printf.sprintf "v=%d consistent" s.Snapshot.version)
+  | exception Not_found -> Protocol.Err (Printf.sprintf "unknown document %S" doc)
+  | exception Failure msg -> Protocol.Err ("inconsistent snapshot: " ^ msg)
+
+let run_request t (req : Protocol.request) =
+  match req with
+  | Protocol.Count src -> run_count t src
+  | Protocol.Query src -> run_query t src
+  | Protocol.Update { doc; op } -> run_update t doc op
+  | Protocol.Check doc -> run_check t doc
+  | Protocol.Sleep ms ->
+    Thread.delay (float_of_int ms /. 1000.);
+    Protocol.Ok_ (Printf.sprintf "slept=%d" ms)
+  | Protocol.Ping | Protocol.Docs | Protocol.Stats | Protocol.Shutdown ->
+    (* handled inline by the session *)
+    Protocol.Err "internal: control verb reached the worker pool"
+
+let guarded_run t req =
+  try run_request t req
+  with
+  | Failure msg -> Protocol.Err msg
+  | e -> Protocol.Err ("internal error: " ^ Printexc.to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* Sessions                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let stop t =
+  let proceed =
+    Mutex.lock t.state_mu;
+    let p = t.state = `Running in
+    if p then t.state <- `Stopping;
+    Mutex.unlock t.state_mu;
+    p
+  in
+  if not proceed then (
+    (* someone else is stopping (or stopped): wait for them *)
+    Mutex.lock t.state_mu;
+    while t.state <> `Stopped do
+      Condition.wait t.state_cond t.state_mu
+    done;
+    Mutex.unlock t.state_mu)
+  else begin
+    (* 1. no new connections.  A thread parked in accept() on an AF_UNIX
+       socket is not reliably woken by shutdown()/close(), so wake it the
+       portable way: hand it one last dummy connection.  The accept loop
+       rechecks the state and exits. *)
+    (try Unix.shutdown t.listen_fd Unix.SHUTDOWN_RECEIVE
+     with Unix.Unix_error _ -> ());
+    (try
+       let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+       (try Unix.connect fd (Unix.ADDR_UNIX t.cfg.socket_path)
+        with Unix.Unix_error _ -> ());
+       Unix.close fd
+     with Unix.Unix_error _ -> ());
+    (match t.accept_thread with Some th -> Thread.join th | None -> ());
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    (* 2. no new requests: sessions see EOF after their in-flight reply *)
+    Mutex.lock t.sessions_mu;
+    let sess = Hashtbl.fold (fun _ v acc -> v :: acc) t.sessions [] in
+    Mutex.unlock t.sessions_mu;
+    List.iter
+      (fun (fd, _) ->
+        try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE
+        with Unix.Unix_error _ -> ())
+      sess;
+    List.iter (fun (_, th) -> Thread.join th) sess;
+    (* 3. drain the admitted queue, park the workers *)
+    Scheduler.shutdown t.sched;
+    (* 4. the WAL needs no flush — every record was fsynced at commit;
+       with the write lock free and workers gone, the files are final *)
+    (try Sys.remove t.cfg.socket_path with Sys_error _ -> ());
+    Mutex.lock t.state_mu;
+    t.state <- `Stopped;
+    Condition.broadcast t.state_cond;
+    Mutex.unlock t.state_mu
+  end
+
+let wait t =
+  Mutex.lock t.state_mu;
+  while t.state <> `Stopped do
+    Condition.wait t.state_cond t.state_mu
+  done;
+  Mutex.unlock t.state_mu
+
+let request_stop_async t =
+  (* SHUTDOWN arrives on a session thread; stop joins session threads, so
+     it must run elsewhere. *)
+  ignore (Thread.create (fun () -> try stop t with _ -> ()) ())
+
+let handle_frame t oc payload =
+  let t0 = Unix.gettimeofday () in
+  let reply verb response =
+    Protocol.write_frame oc (Protocol.response_to_string response);
+    let outcome =
+      match response with
+      | Protocol.Ok_ _ -> `Ok
+      | Protocol.Err _ -> `Err
+      | Protocol.Busy _ -> `Busy
+    in
+    Metrics.record t.metrics ~verb ~outcome
+      ~latency_ns:((Unix.gettimeofday () -. t0) *. 1e9)
+  in
+  match Protocol.parse_request payload with
+  | Error msg -> reply "INVALID" (Protocol.Err msg)
+  | Ok req -> (
+    let verb = Protocol.verb req in
+    match req with
+    (* Control verbs bypass the admission queue: they must stay
+       observable exactly when the queue is saturated. *)
+    | Protocol.Ping -> reply verb (Protocol.Ok_ "pong")
+    | Protocol.Stats -> reply verb (Protocol.Ok_ (Metrics.render t.metrics))
+    | Protocol.Docs ->
+      let s = Atomic.get t.current in
+      reply verb
+        (Protocol.Ok_
+           (Printf.sprintf "v=%d docs=%d %s" s.Snapshot.version
+              (List.length (Snapshot.doc_names s))
+              (String.concat " " (Snapshot.doc_names s))))
+    | Protocol.Shutdown ->
+      reply verb (Protocol.Ok_ "stopping");
+      request_stop_async t
+    | Protocol.Query _ | Protocol.Count _ | Protocol.Update _
+    | Protocol.Check _ | Protocol.Sleep _ ->
+      let deadline =
+        if t.cfg.deadline_ms = 0 then infinity
+        else t0 +. (float_of_int t.cfg.deadline_ms /. 1000.)
+      in
+      let iv = Ivar.create () in
+      let job () =
+        let response =
+          if Unix.gettimeofday () > deadline then
+            Protocol.Busy "deadline exceeded in queue"
+          else guarded_run t req
+        in
+        Ivar.fill iv response
+      in
+      if Scheduler.submit t.sched job then reply verb (Ivar.read iv)
+      else reply verb (Protocol.Busy "queue full"))
+
+let session_loop t fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let rec loop () =
+    match Protocol.read_frame ic with
+    | None -> ()
+    | Some payload ->
+      handle_frame t oc payload;
+      loop ()
+  in
+  (try loop () with
+  | Protocol.Protocol_error _ | End_of_file | Sys_error _ -> ()
+  | Unix.Unix_error _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let accept_loop t =
+  let stopping () =
+    Mutex.lock t.state_mu;
+    let s = t.state <> `Running in
+    Mutex.unlock t.state_mu;
+    s
+  in
+  let rec loop () =
+    match Unix.accept t.listen_fd with
+    | fd, _ when stopping () ->
+      (* the wake-up connection made by stop, or a late client *)
+      (try Unix.close fd with Unix.Unix_error _ -> ())
+    | fd, _ ->
+      let id =
+        Mutex.lock t.sessions_mu;
+        let id = t.next_session in
+        t.next_session <- id + 1;
+        Mutex.unlock t.sessions_mu;
+        id
+      in
+      let th =
+        Thread.create
+          (fun () ->
+            session_loop t fd;
+            Mutex.lock t.sessions_mu;
+            Hashtbl.remove t.sessions id;
+            Mutex.unlock t.sessions_mu)
+          ()
+      in
+      Mutex.lock t.sessions_mu;
+      (* A finished session may already have run its removal, leaving a
+         stale entry here; stop tolerates that (shutdown on a closed fd
+         and join on a dead thread are both harmless). *)
+      Hashtbl.replace t.sessions id (fd, th);
+      Mutex.unlock t.sessions_mu;
+      loop ()
+    | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Startup                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let ensure_dir d =
+  if not (Sys.file_exists d) then Unix.mkdir d 0o755
+  else if not (Sys.is_directory d) then
+    invalid_arg (Printf.sprintf "Service.start: %s is not a directory" d)
+
+let start cfg docs =
+  (match validate_config cfg with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Service.start: " ^ msg));
+  if docs = [] then invalid_arg "Service.start: no documents to host";
+  ensure_dir cfg.data_dir;
+  let coll = Rxpath.Collection.create ~max_area_size:cfg.max_area_size () in
+  let masters =
+    Array.of_list
+      (List.map
+         (fun (name, root) ->
+           if not (String.for_all (fun c -> c > ' ' && c <> '/') name)
+              || name = "" || name.[0] = '.' then
+             invalid_arg
+               (Printf.sprintf "Service.start: bad document name %S" name);
+           let doc_id = Rxpath.Collection.add coll ~name root in
+           let r2 = Rxpath.Collection.ruid coll doc_id in
+           let base = Filename.concat cfg.data_dir name in
+           let xml_path = base ^ ".xml" in
+           let sidecar_path = base ^ ".ruid" in
+           let wal_path = base ^ ".wal" in
+           Ruid.Persist.save r2 ~xml:xml_path ~sidecar:sidecar_path;
+           let wal = Wal.create wal_path in
+           { name; r2; wal; xml_path; sidecar_path; wal_path })
+         docs)
+  in
+  let snapshot0 =
+    Snapshot.capture ~version:1
+      (Array.to_list (Array.map (fun m -> (m.name, m.r2)) masters))
+  in
+  let sched = Scheduler.create ~workers:cfg.workers ~max_queue:cfg.max_queue in
+  let metrics = Metrics.create () in
+  (* the socket *)
+  if Sys.file_exists cfg.socket_path then Sys.remove cfg.socket_path;
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try
+     Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket_path);
+     Unix.listen listen_fd 64
+   with e ->
+     (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+     raise e);
+  let t =
+    {
+      cfg;
+      coll;
+      masters;
+      current = Atomic.make snapshot0;
+      write_mu = Mutex.create ();
+      sched;
+      metrics;
+      listen_fd;
+      accept_thread = None;
+      sessions = Hashtbl.create 16;
+      sessions_mu = Mutex.create ();
+      next_session = 0;
+      state_mu = Mutex.create ();
+      state_cond = Condition.create ();
+      state = `Running;
+    }
+  in
+  Metrics.set_queue_probe metrics (fun () -> Scheduler.queue_depth t.sched);
+  Metrics.set_snapshot_probe metrics (fun () ->
+      let s = Atomic.get t.current in
+      (s.Snapshot.version, s.Snapshot.published_at));
+  t.accept_thread <- Some (Thread.create accept_loop t);
+  t

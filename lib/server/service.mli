@@ -1,0 +1,73 @@
+(** The concurrent document service.
+
+    One long-running process composes the repo's three pillars: numbering
+    (a hosted {!Rxpath.Collection}), durability (every structural update
+    committed through {!Rstorage.Wal} before it is visible), and query
+    evaluation (the numbering-driven engine) — behind a Unix-socket
+    protocol ({!Protocol}) served by a worker pool ({!Scheduler}).
+
+    Concurrency contract:
+    - {e Reads are snapshot-isolated and never block.}  Workers grab the
+      current {!Snapshot} with one atomic load; an update publishes a new
+      snapshot with one atomic store.  A reader therefore sees either the
+      numbering before an update or after it — never a half-renumbered
+      area.
+    - {e Writes are serialized.}  A single mutex orders updates; each one
+      is applied to the master numbering and fsynced into the document's
+      WAL before the snapshot swap, so the on-disk journal is always a
+      redo log of everything any client was ever told ([OK seq=...]).
+    - {e Overload is explicit.}  The admission queue is bounded; beyond it
+      clients get [BUSY] immediately, and a per-request deadline turns
+      stale queued work into [BUSY] instead of late replies.
+
+    Graceful shutdown stops the accept loop, unblocks every session,
+    drains admitted work, and leaves [<doc>.xml] + [<doc>.ruid] + [<doc>.wal]
+    in the data directory such that {!Rstorage.Wal.fsck} rates them
+    recoverable (0 or 1) — the crash story and the shutdown story are the
+    same story. *)
+
+type config = {
+  socket_path : string;  (** Unix domain socket (paths are length-limited) *)
+  data_dir : string;  (** snapshots + WALs live here; created if absent *)
+  workers : int;  (** worker pool size *)
+  max_queue : int;  (** admission queue bound; beyond it: [BUSY] *)
+  deadline_ms : int;  (** per-request deadline; 0 disables *)
+  max_area_size : int;  (** numbering parameter for hosted documents *)
+}
+
+val default_config : socket_path:string -> data_dir:string -> unit -> config
+(** workers 4, max_queue 64, deadline_ms 0, max_area_size 64. *)
+
+val validate_config : config -> (unit, string) result
+(** Bounds checking for the CLI flags: workers/max_queue >= 1,
+    deadline_ms >= 0, max_area_size >= 2, socket path non-empty and short
+    enough for [sockaddr_un]. *)
+
+type t
+
+val start : config -> (string * Rxml.Dom.t) list -> t
+(** Number and host the named documents, persist their snapshots and open
+    their WALs under [data_dir], publish snapshot version 1, and begin
+    accepting connections.
+    @raise Invalid_argument on an invalid config, no documents, or a
+    duplicate document name. *)
+
+val stop : t -> unit
+(** Graceful shutdown as described above.  Idempotent; callable from any
+    thread.  Returns once everything is joined and the socket file is
+    removed. *)
+
+val wait : t -> unit
+(** Block until {!stop} (from any thread, or a [SHUTDOWN] request)
+    completes. *)
+
+val metrics : t -> Metrics.t
+val snapshot : t -> Snapshot.t
+val config : t -> config
+
+val collection : t -> Rxpath.Collection.t
+(** The hosted collection (the master registry; the write path's state). *)
+
+val doc_files : t -> string -> (string * string * string) option
+(** [(xml, sidecar, wal)] paths of a hosted document — what to [fsck]
+    after shutdown. *)

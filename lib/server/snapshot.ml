@@ -1,0 +1,65 @@
+module Dom = Rxml.Dom
+module R2 = Ruid.Ruid2
+
+type doc = {
+  name : string;
+  root : Dom.t;
+  r2 : R2.t;
+  engine : Rxpath.Eval.engine;
+}
+
+type t = { version : int; published_at : float; docs : doc array }
+
+(* An isolated copy of a master document: clone the DOM, then re-impose the
+   exact identifiers through the persistence sidecar (Ruid2 state references
+   its own tree's nodes, so sharing the numbering would share the tree). *)
+let capture_doc name (master : R2.t) =
+  let bytes = Ruid.Persist.sidecar_to_bytes master in
+  let root = Dom.clone (R2.root master) in
+  let r2 = Ruid.Persist.sidecar_of_bytes root bytes in
+  { name; root; r2; engine = Rxpath.Engine_ruid.create r2 }
+
+let capture ~version masters =
+  {
+    version;
+    published_at = Unix.gettimeofday ();
+    docs =
+      Array.of_list (List.map (fun (name, r2) -> capture_doc name r2) masters);
+  }
+
+let replace_doc t ~version ~doc_index master =
+  let docs = Array.copy t.docs in
+  docs.(doc_index) <- capture_doc docs.(doc_index).name master;
+  { version; published_at = Unix.gettimeofday (); docs }
+
+let find t name =
+  let rec go i =
+    if i >= Array.length t.docs then None
+    else if t.docs.(i).name = name then Some (i, t.docs.(i))
+    else go (i + 1)
+  in
+  go 0
+
+let doc_names t = Array.to_list (Array.map (fun d -> d.name) t.docs)
+
+let parse src =
+  try Rxpath.Xparser.parse_union src
+  with e -> failwith (Printf.sprintf "bad XPath %S: %s" src (Printexc.to_string e))
+
+let count t src =
+  let u = parse src in
+  Array.to_list
+    (Array.map
+       (fun d -> (d.name, List.length (Rxpath.Eval.select_union d.engine u)))
+       t.docs)
+
+let query t src =
+  let u = parse src in
+  Array.to_list t.docs
+  |> List.map (fun d -> (d.name, Rxpath.Eval.select_union d.engine u))
+  |> List.filter (fun (_, nodes) -> nodes <> [])
+
+let check t name =
+  match find t name with
+  | None -> raise Not_found
+  | Some (_, d) -> R2.check d.r2

@@ -1,0 +1,50 @@
+(** Immutable read views of the hosted collection.
+
+    The service's reads never lock: each published snapshot is a
+    self-contained copy of every document — its own DOM clone, its own
+    restored numbering (bit-identical identifiers, via the {!Ruid.Persist}
+    sidecar round-trip, so the paper's update locality is preserved rather
+    than renumbered away), and a prebuilt {!Rxpath.Engine_ruid} over it.
+    Publication is a single [Atomic.set]; readers holding the previous
+    snapshot keep a consistent world until they drop it.
+
+    An update clones only the document it touched ({!replace_doc});
+    untouched documents are shared structurally between consecutive
+    snapshots, so publish cost is O(affected document), not O(collection). *)
+
+type doc = private {
+  name : string;
+  root : Rxml.Dom.t;  (** this snapshot's private clone *)
+  r2 : Ruid.Ruid2.t;  (** numbering restored over the clone *)
+  engine : Rxpath.Eval.engine;
+}
+
+type t = private {
+  version : int;  (** monotonically increasing, +1 per published update *)
+  published_at : float;  (** unix time of publication *)
+  docs : doc array;
+}
+
+val capture : version:int -> (string * Ruid.Ruid2.t) list -> t
+(** Clone + restore every master document.  Used once at startup. *)
+
+val replace_doc : t -> version:int -> doc_index:int -> Ruid.Ruid2.t -> t
+(** Copy-on-write publication: new snapshot sharing every document except
+    [doc_index], which is re-captured from the (just-updated) master. *)
+
+val find : t -> string -> (int * doc) option
+val doc_names : t -> string list
+
+val count : t -> string -> (string * int) list
+(** Per-document hit counts of an XPath expression; every document listed
+    (zero counts included — the torn-read tests need the stable shape).
+    @raise Failure on an unparsable expression. *)
+
+val query : t -> string -> (string * Rxml.Dom.t list) list
+(** Matching nodes per document, documents with no match omitted. *)
+
+val check : t -> string -> unit
+(** Deep-verify the named document's numbering ({!Ruid.Ruid2.check}): the
+    torn-read canary — it fails loudly on any half-published state.
+    @raise Failure if the snapshot is inconsistent.
+    @raise Not_found for an unknown document name. *)

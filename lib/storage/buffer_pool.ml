@@ -1,4 +1,6 @@
-(* Doubly-linked LRU list with a hashtable from page id to list cell. *)
+(* Doubly-linked LRU list with a hashtable from page id to list cell.
+   A single mutex serializes structural mutation so worker-pool threads can
+   share one pool; counter updates go through the atomic Io_stats. *)
 
 type cell = {
   page : int;
@@ -9,6 +11,7 @@ type cell = {
 type t = {
   capacity : int;
   stats : Io_stats.t;
+  mu : Mutex.t;
   table : (int, cell) Hashtbl.t;
   mutable head : cell option;  (* most recently used *)
   mutable tail : cell option;  (* least recently used *)
@@ -17,8 +20,13 @@ type t = {
 
 let create ~capacity ~stats =
   if capacity < 1 then invalid_arg "Buffer_pool.create: capacity < 1";
-  { capacity; stats; table = Hashtbl.create (capacity * 2);
+  { capacity; stats; mu = Mutex.create ();
+    table = Hashtbl.create (capacity * 2);
     head = None; tail = None; size = 0 }
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
 
 let unlink t cell =
   (match cell.prev with
@@ -45,28 +53,31 @@ let evict_lru t =
     t.size <- t.size - 1
 
 let touch t page =
-  match Hashtbl.find_opt t.table page with
-  | Some cell ->
-    t.stats.Io_stats.hits <- t.stats.Io_stats.hits + 1;
-    unlink t cell;
-    push_front t cell
-  | None ->
-    t.stats.Io_stats.page_reads <- t.stats.Io_stats.page_reads + 1;
-    if t.size >= t.capacity then evict_lru t;
-    let cell = { page; prev = None; next = None } in
-    Hashtbl.replace t.table page cell;
-    push_front t cell;
-    t.size <- t.size + 1
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table page with
+      | Some cell ->
+        Io_stats.record_hit t.stats;
+        unlink t cell;
+        push_front t cell
+      | None ->
+        Io_stats.record_read t.stats;
+        if t.size >= t.capacity then evict_lru t;
+        let cell = { page; prev = None; next = None } in
+        Hashtbl.replace t.table page cell;
+        push_front t cell;
+        t.size <- t.size + 1)
 
 let touch_write t page =
   touch t page;
-  t.stats.Io_stats.page_writes <- t.stats.Io_stats.page_writes + 1
+  Io_stats.record_write t.stats
 
-let resident t page = Hashtbl.mem t.table page
+let resident t page = locked t (fun () -> Hashtbl.mem t.table page)
 let capacity t = t.capacity
+let stats t = t.stats
 
 let clear t =
-  Hashtbl.reset t.table;
-  t.head <- None;
-  t.tail <- None;
-  t.size <- 0
+  locked t (fun () ->
+      Hashtbl.reset t.table;
+      t.head <- None;
+      t.tail <- None;
+      t.size <- 0)

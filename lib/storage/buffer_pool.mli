@@ -2,7 +2,11 @@
 
     Models the memory/disk boundary: touching a resident page is a hit,
     touching an evicted or cold page is a simulated disk read.  The RDBMS
-    the paper ran against has exactly this behaviour underneath. *)
+    the paper ran against has exactly this behaviour underneath.
+
+    All operations are thread-safe: the LRU structure is mutex-protected
+    and the counters live in an atomic {!Io_stats}, so the document
+    service's worker pool can account against a shared pool. *)
 
 type t
 
@@ -18,4 +22,8 @@ val touch_write : t -> int -> unit
 
 val resident : t -> int -> bool
 val capacity : t -> int
+
+val stats : t -> Io_stats.t
+(** The counter instance the pool accounts against. *)
+
 val clear : t -> unit

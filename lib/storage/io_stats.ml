@@ -1,21 +1,48 @@
 type t = {
-  mutable page_reads : int;
-  mutable page_writes : int;
-  mutable hits : int;
+  page_reads : int Atomic.t;
+  page_writes : int Atomic.t;
+  hits : int Atomic.t;
 }
 
-let create () = { page_reads = 0; page_writes = 0; hits = 0 }
+type snapshot = { page_reads : int; page_writes : int; hits : int }
 
-let reset t =
-  t.page_reads <- 0;
-  t.page_writes <- 0;
-  t.hits <- 0
+let create () : t =
+  { page_reads = Atomic.make 0; page_writes = Atomic.make 0; hits = Atomic.make 0 }
 
-let add into from =
-  into.page_reads <- into.page_reads + from.page_reads;
-  into.page_writes <- into.page_writes + from.page_writes;
-  into.hits <- into.hits + from.hits
+let record_read (t : t) = Atomic.incr t.page_reads
+let record_write (t : t) = Atomic.incr t.page_writes
+let record_hit (t : t) = Atomic.incr t.hits
 
-let pp ppf t =
-  Format.fprintf ppf "reads=%d writes=%d hits=%d" t.page_reads t.page_writes
-    t.hits
+let page_reads (t : t) = Atomic.get t.page_reads
+let page_writes (t : t) = Atomic.get t.page_writes
+let hits (t : t) = Atomic.get t.hits
+
+let snapshot (t : t) : snapshot =
+  {
+    page_reads = Atomic.get t.page_reads;
+    page_writes = Atomic.get t.page_writes;
+    hits = Atomic.get t.hits;
+  }
+
+let diff ~after ~before : snapshot =
+  {
+    page_reads = after.page_reads - before.page_reads;
+    page_writes = after.page_writes - before.page_writes;
+    hits = after.hits - before.hits;
+  }
+
+let reset (t : t) =
+  Atomic.set t.page_reads 0;
+  Atomic.set t.page_writes 0;
+  Atomic.set t.hits 0
+
+let add (into : t) (from : t) =
+  ignore (Atomic.fetch_and_add into.page_reads (Atomic.get from.page_reads));
+  ignore (Atomic.fetch_and_add into.page_writes (Atomic.get from.page_writes));
+  ignore (Atomic.fetch_and_add into.hits (Atomic.get from.hits))
+
+let pp_snapshot ppf (s : snapshot) =
+  Format.fprintf ppf "reads=%d writes=%d hits=%d" s.page_reads s.page_writes
+    s.hits
+
+let pp ppf t = pp_snapshot ppf (snapshot t)

@@ -2,15 +2,41 @@
 
     The paper's performance claims (Lemma 1, Section 3.3) are about which
     operations require {e no} I/O once kappa and K are memory-resident;
-    these counters are the measurement instrument. *)
+    these counters are the measurement instrument.
 
-type t = {
-  mutable page_reads : int;  (** buffer-pool misses: simulated disk reads *)
-  mutable page_writes : int;
-  mutable hits : int;  (** buffer-pool hits: served from memory *)
+    Counters are lock-free atomics, so several worker threads (the document
+    service's pool) can account against one shared instance; {!snapshot}
+    gives a consistent-enough point-in-time copy for per-request
+    accounting, and {!reset} rearms all counters. *)
+
+type t
+
+type snapshot = {
+  page_reads : int;  (** buffer-pool misses: simulated disk reads *)
+  page_writes : int;
+  hits : int;  (** buffer-pool hits: served from memory *)
 }
 
 val create : unit -> t
+
+val record_read : t -> unit
+val record_write : t -> unit
+val record_hit : t -> unit
+
+val page_reads : t -> int
+val page_writes : t -> int
+val hits : t -> int
+
+val snapshot : t -> snapshot
+(** Point-in-time copy.  Each counter is read atomically; the three reads
+    are not a single transaction, which is harmless for accounting. *)
+
+val diff : after:snapshot -> before:snapshot -> snapshot
+(** Per-request accounting: counter deltas between two snapshots. *)
+
 val reset : t -> unit
 val add : t -> t -> unit
+(** [add into from] accumulates [from]'s current counters into [into]. *)
+
 val pp : Format.formatter -> t -> unit
+val pp_snapshot : Format.formatter -> snapshot -> unit

@@ -30,4 +30,5 @@ let () =
       ("fuzz", Test_fuzz.suite);
       ("conformance", Test_conformance.suite);
       ("auto", Test_auto.suite);
+      ("server", Test_server.suite);
     ]

@@ -1,0 +1,519 @@
+(* Concurrent document service: protocol round-trips, snapshot isolation
+   under a live writer, admission control (BUSY, deadlines), graceful
+   shutdown vs fsck, and thread safety of the storage counters. *)
+
+module Dom = Rxml.Dom
+module R2 = Ruid.Ruid2
+module P = Rserver.Protocol
+module C = Rserver.Client
+module Service = Rserver.Service
+module Wal = Rstorage.Wal
+
+let unique =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Printf.sprintf "%d-%d" (Unix.getpid ()) !n
+
+let temp_dir () =
+  let d =
+    Filename.concat (Filename.get_temp_dir_name ())
+      ("ruid-srv-" ^ unique ())
+  in
+  Unix.mkdir d 0o755;
+  d
+
+let sock_path () = Filename.concat "/tmp" ("ruid-" ^ unique () ^ ".sock")
+
+let doc_of_string s = Dom.root_element (Rxml.Parser.parse_string s)
+
+let with_server ?(workers = 2) ?(max_queue = 8) ?(deadline_ms = 0)
+    ?(max_area_size = 8) docs f =
+  let cfg =
+    {
+      Service.socket_path = sock_path ();
+      data_dir = temp_dir ();
+      workers;
+      max_queue;
+      deadline_ms;
+      max_area_size;
+    }
+  in
+  let t = Service.start cfg docs in
+  Fun.protect ~finally:(fun () -> Service.stop t) (fun () -> f cfg t)
+
+let ok_body = function
+  | P.Ok_ body -> body
+  | P.Err m -> Alcotest.failf "unexpected ERR %s" m
+  | P.Busy m -> Alcotest.failf "unexpected BUSY %s" m
+
+let get_kv body key =
+  match C.kv_int body key with
+  | Some v -> v
+  | None -> Alcotest.failf "reply %S lacks %s=" body key
+
+(* ------------------------------------------------------------------ *)
+(* Protocol                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_request_roundtrip () =
+  List.iter
+    (fun r ->
+      match P.parse_request (P.request_to_string r) with
+      | Ok r' ->
+        Alcotest.(check string)
+          "round-trips" (P.request_to_string r) (P.request_to_string r')
+      | Error e -> Alcotest.failf "no parse: %s" e)
+    [
+      P.Ping; P.Docs; P.Stats; P.Shutdown; P.Query "//a/b[1]";
+      P.Count "//item//text"; P.Check "lib"; P.Sleep 25;
+      P.Update { doc = "lib"; op = Wal.Insert { parent_rank = 3; pos = 0; tag = "x" } };
+      P.Update { doc = "lib"; op = Wal.Delete { rank = 7 } };
+    ]
+
+let test_request_rejects () =
+  List.iter
+    (fun line ->
+      match P.parse_request line with
+      | Ok _ -> Alcotest.failf "parsed %S" line
+      | Error _ -> ())
+    [
+      ""; "FROB"; "QUERY"; "COUNT"; "SLEEP x"; "SLEEP -1";
+      "UPDATE lib INSERT 1 2"; "UPDATE lib DELETE 0";
+      "UPDATE lib DELETE nope"; "UPDATE l i b INSERT 1 2 t";
+      "CHECK two words";
+    ]
+
+let test_frame_io () =
+  let r, w = Unix.pipe () in
+  let ic = Unix.in_channel_of_descr r and oc = Unix.out_channel_of_descr w in
+  let payloads = [ "PING"; "OK line one\nline two\nline three"; "" ] in
+  List.iter (P.write_frame oc) payloads;
+  close_out oc;
+  List.iter
+    (fun expected ->
+      match P.read_frame ic with
+      | Some got -> Alcotest.(check string) "frame" expected got
+      | None -> Alcotest.fail "premature EOF")
+    payloads;
+  Alcotest.(check bool) "clean EOF" true (P.read_frame ic = None);
+  close_in ic
+
+let test_response_roundtrip () =
+  List.iter
+    (fun resp ->
+      Alcotest.(check string)
+        "response round-trips"
+        (P.response_to_string resp)
+        (P.response_to_string (P.parse_response (P.response_to_string resp))))
+    [ P.Ok_ ""; P.Ok_ "v=1 total=2"; P.Err "boom"; P.Busy "queue full" ]
+
+(* ------------------------------------------------------------------ *)
+(* Basic sessions                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let library = "<lib><book><title/><author/></book><book><title/></book></lib>"
+
+let test_basic_session () =
+  with_server [ ("lib", doc_of_string library) ] @@ fun cfg _t ->
+  C.with_connection cfg.Service.socket_path @@ fun c ->
+  (match C.request c P.Ping with
+  | P.Ok_ "pong" -> ()
+  | r -> Alcotest.failf "ping: %s" (P.response_to_string r));
+  let docs = ok_body (C.request c P.Docs) in
+  Alcotest.(check int) "one document" 1 (get_kv docs "docs");
+  let body = ok_body (C.request c (P.Count "//title")) in
+  Alcotest.(check int) "two titles" 2 (get_kv body "total");
+  Alcotest.(check int) "count in lib" 2 (get_kv body "lib");
+  let q = ok_body (C.request c (P.Query "//author")) in
+  Alcotest.(check int) "one author" 1 (get_kv q "total");
+  Alcotest.(check bool) "identifiers listed" true
+    (String.length q > 0
+    && String.length (String.concat "" (String.split_on_char ':' q)) < String.length q + 20
+    && String.index_opt q ':' <> None);
+  let chk = ok_body (C.request c (P.Check "lib")) in
+  Alcotest.(check int) "checked against v1" 1 (get_kv chk "v");
+  (match C.request c (P.Check "nope") with
+  | P.Err _ -> ()
+  | r -> Alcotest.failf "check nope: %s" (P.response_to_string r));
+  let stats = ok_body (C.request c P.Stats) in
+  Alcotest.(check bool) "stats has totals" true (C.kv_int stats "requests" <> None);
+  Alcotest.(check int) "snapshot v1" 1 (get_kv stats "snapshot_version")
+
+let test_update_and_query () =
+  with_server [ ("lib", doc_of_string library) ] @@ fun cfg _t ->
+  C.with_connection cfg.Service.socket_path @@ fun c ->
+  let body =
+    ok_body
+      (C.request c
+         (P.Update
+            { doc = "lib";
+              op = Wal.Insert { parent_rank = 0; pos = 0; tag = "title" } }))
+  in
+  Alcotest.(check int) "version bumped" 2 (get_kv body "v");
+  Alcotest.(check int) "first journal record" 1 (get_kv body "seq");
+  let count = ok_body (C.request c (P.Count "//title")) in
+  Alcotest.(check int) "new title visible" 3 (get_kv count "total");
+  Alcotest.(check int) "read from v2" 2 (get_kv count "v");
+  (* delete it again: the new node is the first child of the root, rank 1 *)
+  let body =
+    ok_body
+      (C.request c (P.Update { doc = "lib"; op = Wal.Delete { rank = 1 } }))
+  in
+  Alcotest.(check int) "version 3" 3 (get_kv body "v");
+  let count = ok_body (C.request c (P.Count "//title")) in
+  Alcotest.(check int) "back to two" 2 (get_kv count "total");
+  (match
+     C.request c
+       (P.Update
+          { doc = "lib"; op = Wal.Insert { parent_rank = 999; pos = 0; tag = "x" } })
+   with
+  | P.Err _ -> ()
+  | r -> Alcotest.failf "bad rank: %s" (P.response_to_string r));
+  (match
+     C.request c
+       (P.Update { doc = "nope"; op = Wal.Delete { rank = 1 } })
+   with
+  | P.Err _ -> ()
+  | r -> Alcotest.failf "bad doc: %s" (P.response_to_string r))
+
+let test_invalid_requests_over_wire () =
+  with_server [ ("lib", doc_of_string library) ] @@ fun cfg _t ->
+  C.with_connection cfg.Service.socket_path @@ fun c ->
+  (match C.request_raw c "NO SUCH VERB" with
+  | P.Err _ -> ()
+  | r -> Alcotest.failf "gibberish: %s" (P.response_to_string r));
+  (match C.request c (P.Query "///[[[") with
+  | P.Err _ -> ()
+  | r -> Alcotest.failf "bad xpath: %s" (P.response_to_string r));
+  (* the session survives both *)
+  match C.request c P.Ping with
+  | P.Ok_ "pong" -> ()
+  | r -> Alcotest.failf "ping after errors: %s" (P.response_to_string r)
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot isolation                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* The server starts with zero <m> elements at version 1 and every update
+   inserts exactly one, so every consistent snapshot satisfies
+   count(//m) = version - 1.  A torn read (a query observing a
+   half-renumbered area) breaks either this equation or CHECK. *)
+let test_snapshot_isolation () =
+  with_server ~workers:4 ~max_queue:64 [ ("lib", doc_of_string library) ]
+  @@ fun cfg _t ->
+  let updates = 25 and readers = 4 and reads = 60 in
+  let violations = ref [] and vmu = Mutex.create () in
+  let record_violation msg =
+    Mutex.lock vmu;
+    violations := msg :: !violations;
+    Mutex.unlock vmu
+  in
+  let writer =
+    Thread.create
+      (fun () ->
+        C.with_connection cfg.Service.socket_path @@ fun c ->
+        for i = 1 to updates do
+          match
+            C.request c
+              (P.Update
+                 { doc = "lib";
+                   op = Wal.Insert { parent_rank = 0; pos = 0; tag = "m" } })
+          with
+          | P.Ok_ body ->
+            if get_kv body "v" <> i + 1 then
+              record_violation
+                (Printf.sprintf "update %d published version %d" i
+                   (get_kv body "v"))
+          | r ->
+            record_violation
+              (Printf.sprintf "update %d failed: %s" i (P.response_to_string r))
+        done)
+      ()
+  in
+  let reader _i =
+    Thread.create
+      (fun () ->
+        C.with_connection cfg.Service.socket_path @@ fun c ->
+        for _ = 1 to reads do
+          (match C.request c (P.Count "//m") with
+          | P.Ok_ body ->
+            let v = get_kv body "v" and n = get_kv body "total" in
+            if n <> v - 1 then
+              record_violation
+                (Printf.sprintf "torn read: version %d shows %d <m>" v n)
+          | P.Busy _ -> ()
+          | P.Err m -> record_violation ("reader error: " ^ m));
+          match C.request c (P.Check "lib") with
+          | P.Ok_ _ | P.Busy _ -> ()
+          | P.Err m -> record_violation ("inconsistent snapshot: " ^ m)
+        done)
+      ()
+  in
+  let readers = List.init readers reader in
+  Thread.join writer;
+  List.iter Thread.join readers;
+  (match !violations with
+  | [] -> ()
+  | v :: _ -> Alcotest.failf "%d violation(s), e.g. %s" (List.length !violations) v);
+  (* final state: all updates landed *)
+  C.with_connection cfg.Service.socket_path @@ fun c ->
+  let body = ok_body (C.request c (P.Count "//m")) in
+  Alcotest.(check int) "all updates visible" updates (get_kv body "total");
+  Alcotest.(check int) "final version" (updates + 1) (get_kv body "v")
+
+(* ------------------------------------------------------------------ *)
+(* Admission control                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_busy_when_queue_full () =
+  with_server ~workers:1 ~max_queue:1 [ ("lib", doc_of_string library) ]
+  @@ fun cfg _t ->
+  (* Occupy the single worker, then the single queue slot; the next
+     data-path request must be rejected immediately. *)
+  let hold ms = Thread.create (fun () ->
+      C.with_connection cfg.Service.socket_path @@ fun c ->
+      ignore (C.request c (P.Sleep ms)))
+      ()
+  in
+  let t1 = hold 500 in
+  Thread.delay 0.15;
+  let t2 = hold 500 in
+  Thread.delay 0.15;
+  C.with_connection cfg.Service.socket_path @@ fun c ->
+  (match C.request c (P.Count "//title") with
+  | P.Busy _ -> ()
+  | r -> Alcotest.failf "expected BUSY, got %s" (P.response_to_string r));
+  (* control verbs stay responsive under overload *)
+  (match C.request c P.Ping with
+  | P.Ok_ "pong" -> ()
+  | r -> Alcotest.failf "ping under load: %s" (P.response_to_string r));
+  let stats = ok_body (C.request c P.Stats) in
+  Alcotest.(check bool) "busy counted" true (get_kv stats "busy" >= 1);
+  Thread.join t1;
+  Thread.join t2
+
+let test_deadline_expires_in_queue () =
+  with_server ~workers:1 ~max_queue:8 ~deadline_ms:80
+    [ ("lib", doc_of_string library) ]
+  @@ fun cfg _t ->
+  let t1 =
+    Thread.create
+      (fun () ->
+        C.with_connection cfg.Service.socket_path @@ fun c ->
+        ignore (C.request c (P.Sleep 400)))
+      ()
+  in
+  Thread.delay 0.1;
+  C.with_connection cfg.Service.socket_path @@ fun c ->
+  (* queued behind a 400ms job with an 80ms deadline: BUSY, not late *)
+  (match C.request c (P.Count "//title") with
+  | P.Busy why ->
+    Alcotest.(check bool) "deadline reason" true
+      (String.length why >= 8 && String.sub why 0 8 = "deadline")
+  | r -> Alcotest.failf "expected deadline BUSY, got %s" (P.response_to_string r));
+  Thread.join t1
+
+(* ------------------------------------------------------------------ *)
+(* Shutdown and durability                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_shutdown_leaves_recoverable_wal () =
+  let cfg_ref = ref None in
+  let files = ref None in
+  (with_server [ ("lib", doc_of_string library) ] @@ fun cfg t ->
+   cfg_ref := Some cfg;
+   files := Service.doc_files t "lib";
+   C.with_connection cfg.Service.socket_path @@ fun c ->
+   for i = 1 to 6 do
+     ignore
+       (ok_body
+          (C.request c
+             (P.Update
+                { doc = "lib";
+                  op = Wal.Insert { parent_rank = 0; pos = 0; tag = "m" } })));
+     ignore i
+   done);
+  (* server fully stopped here *)
+  let xml, sidecar, wal = Option.get !files in
+  let status = Wal.fsck ~xml ~sidecar ~wal () in
+  Alcotest.(check bool)
+    (Format.asprintf "fsck rates 0 or 1 (%a)" Wal.pp_status status)
+    true
+    (Wal.exit_code status <= 1);
+  (* and recovery reproduces what clients were told *)
+  let recovery = Wal.replay ~xml ~sidecar ~wal () in
+  Alcotest.(check int) "all six updates journaled" 6
+    (List.length recovery.Wal.replayed);
+  let ms =
+    List.filter (fun n -> Dom.tag n = "m") (R2.all_nodes recovery.Wal.r2)
+  in
+  Alcotest.(check int) "recovered the six <m>" 6 (List.length ms)
+
+let test_shutdown_verb () =
+  let cfg =
+    {
+      Service.socket_path = sock_path ();
+      data_dir = temp_dir ();
+      workers = 2;
+      max_queue = 8;
+      deadline_ms = 0;
+      max_area_size = 8;
+    }
+  in
+  let t = Service.start cfg [ ("lib", doc_of_string library) ] in
+  (C.with_connection cfg.Service.socket_path @@ fun c ->
+   match C.request c P.Shutdown with
+   | P.Ok_ _ -> ()
+   | r -> Alcotest.failf "shutdown: %s" (P.response_to_string r));
+  Service.wait t;
+  Alcotest.(check bool) "socket removed" false
+    (Sys.file_exists cfg.Service.socket_path);
+  (* idempotent *)
+  Service.stop t
+
+let test_config_validation () =
+  let base =
+    Service.default_config ~socket_path:(sock_path ()) ~data_dir:(temp_dir ()) ()
+  in
+  let bad cfg = match Service.validate_config cfg with
+    | Error _ -> ()
+    | Ok () -> Alcotest.fail "config accepted"
+  in
+  bad { base with Service.workers = 0 };
+  bad { base with Service.max_queue = 0 };
+  bad { base with Service.deadline_ms = -1 };
+  bad { base with Service.max_area_size = 1 };
+  bad { base with Service.socket_path = "" };
+  bad { base with Service.socket_path = String.make 200 'x' };
+  (match Service.validate_config base with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "default config rejected: %s" e);
+  (* bad document names are rejected at start *)
+  Alcotest.check_raises "dotfile name"
+    (Invalid_argument "Service.start: bad document name \"../evil\"")
+    (fun () ->
+      ignore (Service.start base [ ("../evil", doc_of_string library) ]))
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler and thread-safe counters                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_scheduler_bounds () =
+  let sched = Rserver.Scheduler.create ~workers:1 ~max_queue:2 in
+  let release = Mutex.create () and released = Condition.create () in
+  let go = ref false in
+  let blocker () =
+    Mutex.lock release;
+    while not !go do
+      Condition.wait released release
+    done;
+    Mutex.unlock release
+  in
+  Alcotest.(check bool) "worker job admitted" true
+    (Rserver.Scheduler.submit sched blocker);
+  Thread.delay 0.05;
+  (* worker busy *)
+  Alcotest.(check bool) "slot 1" true (Rserver.Scheduler.submit sched blocker);
+  Alcotest.(check bool) "slot 2" true (Rserver.Scheduler.submit sched blocker);
+  Alcotest.(check bool) "queue full" false
+    (Rserver.Scheduler.submit sched (fun () -> ()));
+  Alcotest.(check int) "depth" 2 (Rserver.Scheduler.queue_depth sched);
+  Mutex.lock release;
+  go := true;
+  Condition.broadcast released;
+  Mutex.unlock release;
+  Rserver.Scheduler.shutdown sched;
+  Alcotest.(check int) "drained" 0 (Rserver.Scheduler.queue_depth sched);
+  Alcotest.(check bool) "rejected after shutdown" false
+    (Rserver.Scheduler.submit sched (fun () -> ()))
+
+let test_io_stats_concurrent () =
+  let stats = Rstorage.Io_stats.create () in
+  let per_thread = 5000 in
+  let threads =
+    List.init 8 (fun _ ->
+        Thread.create
+          (fun () ->
+            for _ = 1 to per_thread do
+              Rstorage.Io_stats.record_read stats;
+              Rstorage.Io_stats.record_hit stats;
+              Rstorage.Io_stats.record_write stats
+            done)
+          ())
+  in
+  List.iter Thread.join threads;
+  let s = Rstorage.Io_stats.snapshot stats in
+  Alcotest.(check int) "reads" (8 * per_thread) s.Rstorage.Io_stats.page_reads;
+  Alcotest.(check int) "writes" (8 * per_thread) s.Rstorage.Io_stats.page_writes;
+  Alcotest.(check int) "hits" (8 * per_thread) s.Rstorage.Io_stats.hits;
+  let before = Rstorage.Io_stats.snapshot stats in
+  Rstorage.Io_stats.record_read stats;
+  let d =
+    Rstorage.Io_stats.diff ~after:(Rstorage.Io_stats.snapshot stats) ~before
+  in
+  Alcotest.(check int) "diff isolates the delta" 1 d.Rstorage.Io_stats.page_reads;
+  Rstorage.Io_stats.reset stats;
+  Alcotest.(check int) "reset" 0 (Rstorage.Io_stats.page_reads stats)
+
+let test_buffer_pool_concurrent () =
+  let stats = Rstorage.Io_stats.create () in
+  let pool = Rstorage.Buffer_pool.create ~capacity:16 ~stats in
+  let per_thread = 2000 in
+  let threads =
+    List.init 6 (fun i ->
+        Thread.create
+          (fun () ->
+            for k = 1 to per_thread do
+              Rstorage.Buffer_pool.touch pool ((i * 7 + k) mod 64)
+            done)
+          ())
+  in
+  List.iter Thread.join threads;
+  let s = Rstorage.Io_stats.snapshot stats in
+  Alcotest.(check int) "every touch is a hit or a read" (6 * per_thread)
+    Rstorage.Io_stats.(s.page_reads + s.hits)
+
+let test_metrics_registry () =
+  let m = Rserver.Metrics.create () in
+  for i = 1 to 100 do
+    Rserver.Metrics.record m ~verb:"QUERY" ~outcome:`Ok
+      ~latency_ns:(float_of_int (i * 1000))
+  done;
+  Rserver.Metrics.record m ~verb:"COUNT" ~outcome:`Busy ~latency_ns:50.;
+  Rserver.Metrics.record m ~verb:"COUNT" ~outcome:`Err ~latency_ns:70.;
+  let s = Rserver.Metrics.summary m in
+  Alcotest.(check int) "requests" 102 s.Rserver.Metrics.requests;
+  Alcotest.(check int) "busy" 1 s.Rserver.Metrics.busy;
+  Alcotest.(check bool) "p50 <= p95 <= p99" true
+    (s.Rserver.Metrics.p50_ns <= s.Rserver.Metrics.p95_ns
+    && s.Rserver.Metrics.p95_ns <= s.Rserver.Metrics.p99_ns);
+  Alcotest.(check bool) "p99 within max" true
+    (s.Rserver.Metrics.p99_ns <= s.Rserver.Metrics.max_ns);
+  Alcotest.(check bool) "p50 log-accurate" true
+    (s.Rserver.Metrics.p50_ns >= 25_000. && s.Rserver.Metrics.p50_ns <= 131_072.);
+  let verbs = Rserver.Metrics.by_verb m in
+  Alcotest.(check int) "two verbs" 2 (List.length verbs);
+  Rserver.Metrics.reset m;
+  Alcotest.(check int) "reset" 0 (Rserver.Metrics.summary m).Rserver.Metrics.requests
+
+let suite =
+  [
+    Alcotest.test_case "protocol: request round-trip" `Quick test_request_roundtrip;
+    Alcotest.test_case "protocol: rejects" `Quick test_request_rejects;
+    Alcotest.test_case "protocol: framing" `Quick test_frame_io;
+    Alcotest.test_case "protocol: response round-trip" `Quick test_response_roundtrip;
+    Alcotest.test_case "session: basics" `Quick test_basic_session;
+    Alcotest.test_case "session: update + query" `Quick test_update_and_query;
+    Alcotest.test_case "session: survives bad input" `Quick test_invalid_requests_over_wire;
+    Alcotest.test_case "snapshot isolation under writer" `Quick test_snapshot_isolation;
+    Alcotest.test_case "BUSY when queue full" `Quick test_busy_when_queue_full;
+    Alcotest.test_case "deadline expires in queue" `Quick test_deadline_expires_in_queue;
+    Alcotest.test_case "shutdown leaves recoverable WAL" `Quick test_shutdown_leaves_recoverable_wal;
+    Alcotest.test_case "SHUTDOWN verb" `Quick test_shutdown_verb;
+    Alcotest.test_case "config validation" `Quick test_config_validation;
+    Alcotest.test_case "scheduler bounds + drain" `Quick test_scheduler_bounds;
+    Alcotest.test_case "io_stats: concurrent counters" `Quick test_io_stats_concurrent;
+    Alcotest.test_case "buffer pool: concurrent touches" `Quick test_buffer_pool_concurrent;
+    Alcotest.test_case "metrics registry" `Quick test_metrics_registry;
+  ]

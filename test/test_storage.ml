@@ -134,22 +134,22 @@ let test_pool_lru () =
   let pool = Bp.create ~capacity:2 ~stats in
   Bp.touch pool 1;
   Bp.touch pool 2;
-  Alcotest.(check int) "two cold reads" 2 stats.Io.page_reads;
+  Alcotest.(check int) "two cold reads" 2 (Io.page_reads stats);
   Bp.touch pool 1;
-  Alcotest.(check int) "hit" 1 stats.Io.hits;
+  Alcotest.(check int) "hit" 1 (Io.hits stats);
   Bp.touch pool 3;
   (* page 2 is now the LRU victim *)
   Alcotest.(check bool) "2 evicted" false (Bp.resident pool 2);
   Alcotest.(check bool) "1 kept" true (Bp.resident pool 1);
   Bp.touch pool 2;
-  Alcotest.(check int) "re-read after eviction" 4 stats.Io.page_reads
+  Alcotest.(check int) "re-read after eviction" 4 (Io.page_reads stats)
 
 let test_pool_writes () =
   let stats = Io.create () in
   let pool = Bp.create ~capacity:4 ~stats in
   Bp.touch_write pool 9;
-  Alcotest.(check int) "write counted" 1 stats.Io.page_writes;
-  Alcotest.(check int) "read counted too" 1 stats.Io.page_reads
+  Alcotest.(check int) "write counted" 1 (Io.page_writes stats);
+  Alcotest.(check int) "read counted too" 1 (Io.page_reads stats)
 
 (* ------------------------------------------------------------------ *)
 (* Node store                                                          *)
@@ -171,7 +171,7 @@ let test_store_fetch () =
       | Some r -> Alcotest.(check string) "tag matches" (Dom.tag n) r.Ns.tag
       | None -> Alcotest.fail "record missing")
     (Dom.preorder root);
-  Alcotest.(check bool) "reads happened" true ((Ns.stats store).Io.page_reads > 0)
+  Alcotest.(check bool) "reads happened" true (Io.page_reads (Ns.stats store) > 0)
 
 let test_store_parent_pointers () =
   let root, r2, store = store_of_tree 150 9 in
@@ -209,7 +209,7 @@ let test_arithmetic_needs_no_io () =
               ~anc:(R2.id_of_node r2 a) ~desc:(R2.id_of_node r2 b));
     ignore (Ns.ancestor_ids_arithmetic store (R2.id_of_node r2 a))
   done;
-  Alcotest.(check int) "zero page reads" 0 (Ns.stats store).Io.page_reads;
+  Alcotest.(check int) "zero page reads" 0 (Io.page_reads (Ns.stats store));
   (* The pointer chase, by contrast, reads pages. *)
   let deep =
     List.fold_left
@@ -218,7 +218,7 @@ let test_arithmetic_needs_no_io () =
   in
   ignore (Ns.ancestor_ids_pointer_chase store (R2.id_of_node r2 deep));
   Alcotest.(check bool) "pointer chase reads" true
-    ((Ns.stats store).Io.page_reads > 0)
+    (Io.page_reads (Ns.stats store) > 0)
 
 let test_ancestor_check_strategies_agree () =
   let root, r2, store = store_of_tree 250 17 in
