@@ -43,6 +43,8 @@ let run_level ~doc_name ~root ~clients ~per_client ~workers ~max_queue =
       max_queue;
       deadline_ms = 0;
       max_area_size = 64;
+      domains = 0;
+      cache_mb = 0;
     }
   in
   let srv = Service.start cfg [ (doc_name, Rxml.Dom.clone root) ] in

@@ -16,6 +16,7 @@ let experiments =
     ("E11", E11.run);
     ("E12", E12.run);
     ("E13", E13.run);
+    ("E14", E14.run);
   ]
 
 let () =

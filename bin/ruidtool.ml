@@ -591,11 +591,30 @@ let serve_cmd =
   in
   let max_queue =
     Arg.(
-      value & opt int 64
+      value & opt int 0
       & info [ "max-queue" ] ~docv:"N"
           ~doc:
             "Admission queue bound (>= 1); requests beyond it are rejected \
-             with BUSY instead of queuing without limit.")
+             with BUSY instead of queuing without limit.  0 (the default) \
+             sizes the bound to 4 x the worker/domain pool.")
+  in
+  let domains =
+    Arg.(
+      value & opt int 0
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Run QUERY/COUNT/CHECK on N parallel OCaml domains (multicore \
+             read path) instead of the systhread worker pool.  0 (the \
+             default) keeps reads on the systhread pool.")
+  in
+  let cache_mb =
+    Arg.(
+      value & opt int 0
+      & info [ "cache-mb" ] ~docv:"MB"
+          ~doc:
+            "Cache read results in a snapshot-versioned LRU of about MB \
+             mebibytes.  Entries are keyed by snapshot version, so cached \
+             answers are never stale.  0 (the default) disables caching.")
   in
   let deadline_ms =
     Arg.(
@@ -638,8 +657,8 @@ let serve_cmd =
     prerr_endline ("ruidtool serve: " ^ msg);
     exit 2
   in
-  let run files data_dir workers max_queue deadline_ms max_depth max_area
-      gen_kind gen_size seed socket =
+  let run files data_dir workers max_queue domains cache_mb deadline_ms
+      max_depth max_area gen_kind gen_size seed socket =
     if max_depth < 1 then fail "--max-depth must be >= 1";
     if gen_size < 1 then fail "--gen-size must be >= 1";
     let data_dir =
@@ -662,6 +681,8 @@ let serve_cmd =
         max_queue;
         deadline_ms;
         max_area_size = max_area;
+        domains;
+        cache_mb;
       }
     in
     (match Service.validate_config cfg with
@@ -704,8 +725,12 @@ let serve_cmd =
         Printf.printf "hosting %-12s %6d nodes\n%!" name (Dom.size root))
       docs;
     Printf.printf
-      "listening on %s (workers %d, queue %d, deadline %s)\n%!"
-      socket workers max_queue
+      "listening on %s (workers %d, read domains %s, queue %d, cache %s, \
+       deadline %s)\n%!"
+      socket workers
+      (if domains = 0 then "off" else string_of_int domains)
+      (Service.resolved_max_queue cfg)
+      (if cache_mb = 0 then "off" else string_of_int cache_mb ^ "MB")
       (if deadline_ms = 0 then "none" else string_of_int deadline_ms ^ "ms");
     let stop_and_exit _ = Service.stop t; exit 0 in
     Sys.set_signal Sys.sigint (Sys.Signal_handle stop_and_exit);
@@ -720,8 +745,9 @@ let serve_cmd =
           snapshot-isolated reads, WAL-serialized writes, bounded admission \
           queue.  Stop with SIGINT or the SHUTDOWN protocol verb.")
     Term.(
-      const run $ files $ data_dir $ workers $ max_queue $ deadline_ms
-      $ max_depth $ max_area $ gen_kind $ gen_size $ seed_arg $ socket_arg)
+      const run $ files $ data_dir $ workers $ max_queue $ domains $ cache_mb
+      $ deadline_ms $ max_depth $ max_area $ gen_kind $ gen_size $ seed_arg
+      $ socket_arg)
 
 let client_cmd =
   let words =

@@ -6,12 +6,18 @@ type t = {
   jobs : job Queue.t;
   max_queue : int;
   on_exn : (label:string -> exn -> unit) option;
-  mutable pool : Thread.t array;
+  busy_ns : int Atomic.t array;  (* per-domain cumulative busy time *)
+  mutable pool : unit Domain.t array;
   mutable stopping : bool;
   mutable joined : bool;
 }
 
-let worker t =
+(* Each worker is a full OCaml 5 domain, so jobs run in parallel on
+   separate cores (systhreads all share one domain; these do not).  The
+   queue is the same mutex+condition discipline as {!Scheduler} — Mutex
+   and Condition synchronize across domains just as across threads. *)
+let worker slot t =
+  let busy = t.busy_ns.(slot) in
   let rec loop () =
     Mutex.lock t.mu;
     while Queue.is_empty t.jobs && not t.stopping do
@@ -22,21 +28,23 @@ let worker t =
     else begin
       let job = Queue.pop t.jobs in
       Mutex.unlock t.mu;
-      (* A raising job must not kill the worker, but it must not vanish
-         either: report it so the service can count and log it. *)
+      let t0 = Unix.gettimeofday () in
       (try job.run ()
        with e -> (
          match t.on_exn with
          | Some f -> ( try f ~label:job.label e with _ -> ())
          | None -> ()));
+      let dt_ns = int_of_float ((Unix.gettimeofday () -. t0) *. 1e9) in
+      (* this slot's only writer is this domain; readers just sample *)
+      Atomic.set busy (Atomic.get busy + dt_ns);
       loop ()
     end
   in
   loop ()
 
-let create ?on_exn ~workers ~max_queue () =
-  if workers < 1 then invalid_arg "Scheduler.create: workers < 1";
-  if max_queue < 1 then invalid_arg "Scheduler.create: max_queue < 1";
+let create ?on_exn ~domains ~max_queue () =
+  if domains < 1 then invalid_arg "Executor.create: domains < 1";
+  if max_queue < 1 then invalid_arg "Executor.create: max_queue < 1";
   let t =
     {
       mu = Mutex.create ();
@@ -44,12 +52,13 @@ let create ?on_exn ~workers ~max_queue () =
       jobs = Queue.create ();
       max_queue;
       on_exn;
+      busy_ns = Array.init domains (fun _ -> Atomic.make 0);
       pool = [||];
       stopping = false;
       joined = false;
     }
   in
-  t.pool <- Array.init workers (fun _ -> Thread.create worker t);
+  t.pool <- Array.init domains (fun slot -> Domain.spawn (fun () -> worker slot t));
   t
 
 let submit ?(label = "?") t run =
@@ -71,7 +80,10 @@ let queue_depth t =
   Mutex.unlock t.mu;
   n
 
-let workers t = Array.length t.pool
+let domains t = Array.length t.pool
+
+let busy_seconds t =
+  Array.map (fun a -> float_of_int (Atomic.get a) /. 1e9) t.busy_ns
 
 let shutdown t =
   Mutex.lock t.mu;
@@ -80,4 +92,4 @@ let shutdown t =
   let must_join = not t.joined in
   t.joined <- true;
   Mutex.unlock t.mu;
-  if must_join then Array.iter Thread.join t.pool
+  if must_join then Array.iter Domain.join t.pool

@@ -1,0 +1,40 @@
+(** Parallel read executor: a fixed pool of OCaml 5 domains draining a
+    bounded job queue.
+
+    The paper's reads (ruid parent derivation, axis checks, query
+    evaluation over the numbered areas) are pure CPU over immutable
+    snapshot state — no disk, no shared mutable writes — so they are
+    embarrassingly parallel.  Systhreads cannot exploit that: all of them
+    share one domain and serialize on its runtime lock.  This pool runs
+    each job on a real {!Domain.t}, so QUERY/COUNT/CHECK scale with cores
+    while UPDATE stays serialized on the main domain's write path.
+
+    Same admission discipline as {!Scheduler}: {!submit} never blocks and
+    returns [false] beyond [max_queue].  Jobs must only touch state that
+    is safe to read from another domain — in the service, the published
+    {!Snapshot.t} (immutable after capture), the mutex-protected metrics
+    registry, and the sharded {!Query_cache}. *)
+
+type t
+
+val create :
+  ?on_exn:(label:string -> exn -> unit) -> domains:int -> max_queue:int ->
+  unit -> t
+(** Spawn [domains] worker domains.  [on_exn] is called (on the worker
+    domain) with every exception escaping a job; its own exceptions are
+    discarded.
+    @raise Invalid_argument if [domains < 1] or [max_queue < 1]. *)
+
+val submit : ?label:string -> t -> (unit -> unit) -> bool
+(** Enqueue a job or return [false] when full or stopping; never blocks. *)
+
+val queue_depth : t -> int
+val domains : t -> int
+
+val busy_seconds : t -> float array
+(** Cumulative seconds each domain spent running jobs — the per-domain
+    busy-time gauge behind [STATS]. *)
+
+val shutdown : t -> unit
+(** Stop admitting, drain admitted jobs, join the domains.  Idempotent;
+    safe from any thread except an executor domain. *)

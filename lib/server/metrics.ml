@@ -4,14 +4,26 @@ let buckets = 62
 
 type counters = { mutable ok : int; mutable err : int; mutable busy : int }
 
+type cache_stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;
+  bytes : int;
+}
+
 type t = {
   mu : Mutex.t;
   total : counters;
   verbs : (string, counters) Hashtbl.t;
   hist : int array;
   mutable max_ns : float;
+  mutable dropped : int;
+  dropped_logged : (string, unit) Hashtbl.t;  (* verbs already logged once *)
   mutable queue_probe : (unit -> int) option;
   mutable snapshot_probe : (unit -> int * float) option;
+  mutable cache_probe : (unit -> cache_stats) option;
+  mutable domain_probe : (unit -> float array) option;
 }
 
 let create () =
@@ -21,8 +33,12 @@ let create () =
     verbs = Hashtbl.create 16;
     hist = Array.make buckets 0;
     max_ns = 0.;
+    dropped = 0;
+    dropped_logged = Hashtbl.create 4;
     queue_probe = None;
     snapshot_probe = None;
+    cache_probe = None;
+    domain_probe = None;
   }
 
 let locked t f =
@@ -53,8 +69,28 @@ let record t ~verb ~outcome ~latency_ns =
       t.hist.(bucket_of latency_ns) <- t.hist.(bucket_of latency_ns) + 1;
       if latency_ns > t.max_ns then t.max_ns <- latency_ns)
 
+let record_dropped t ~verb exn =
+  let log_it =
+    locked t (fun () ->
+        t.dropped <- t.dropped + 1;
+        if Hashtbl.mem t.dropped_logged verb then false
+        else begin
+          Hashtbl.replace t.dropped_logged verb ();
+          true
+        end)
+  in
+  (* First occurrence per verb goes to stderr; the rest only count.  The
+     log write happens outside the lock. *)
+  if log_it then
+    Printf.eprintf "[service] dropped exception in %s job: %s\n%!" verb
+      (Printexc.to_string exn)
+
+let dropped t = locked t (fun () -> t.dropped)
+
 let set_queue_probe t f = locked t (fun () -> t.queue_probe <- Some f)
 let set_snapshot_probe t f = locked t (fun () -> t.snapshot_probe <- Some f)
+let set_cache_probe t f = locked t (fun () -> t.cache_probe <- Some f)
+let set_domain_probe t f = locked t (fun () -> t.domain_probe <- Some f)
 
 type summary = {
   requests : int;
@@ -123,16 +159,43 @@ let render t =
       (v, (Unix.gettimeofday () -. published) *. 1e3)
     | None -> (0, 0.)
   in
+  let cache = match locked t (fun () -> t.cache_probe) with
+    | Some f -> Some (f ())
+    | None -> None
+  in
+  let domains = match locked t (fun () -> t.domain_probe) with
+    | Some f -> Some (f ())
+    | None -> None
+  in
+  let dropped = locked t (fun () -> t.dropped) in
   let b = Buffer.create 512 in
   Buffer.add_string b
-    (Printf.sprintf "requests=%d ok=%d err=%d busy=%d\n" s.requests s.ok s.err
-       s.busy);
+    (Printf.sprintf "requests=%d ok=%d err=%d busy=%d dropped_exceptions=%d\n"
+       s.requests s.ok s.err s.busy dropped);
   Buffer.add_string b
     (Printf.sprintf "latency_p50_ns=%.0f latency_p95_ns=%.0f latency_p99_ns=%.0f latency_max_ns=%.0f\n"
        s.p50_ns s.p95_ns s.p99_ns s.max_ns);
   Buffer.add_string b
     (Printf.sprintf "queue_depth=%d snapshot_version=%d snapshot_age_ms=%.1f\n"
        queue_depth snap_version snap_age_ms);
+  (match cache with
+  | None -> ()
+  | Some c ->
+    let lookups = c.hits + c.misses in
+    Buffer.add_string b
+      (Printf.sprintf
+         "cache_hits=%d cache_misses=%d cache_hit_rate=%.4f cache_evictions=%d cache_entries=%d cache_bytes=%d\n"
+         c.hits c.misses
+         (if lookups = 0 then 0. else float_of_int c.hits /. float_of_int lookups)
+         c.evictions c.entries c.bytes));
+  (match domains with
+  | None -> ()
+  | Some busy ->
+    Buffer.add_string b
+      (Printf.sprintf "domains=%d domain_busy_ms=%s\n" (Array.length busy)
+         (String.concat ","
+            (Array.to_list
+               (Array.map (fun s -> Printf.sprintf "%.1f" (s *. 1e3)) busy)))));
   List.iter
     (fun (v, ok, err, busy) ->
       Buffer.add_string b
@@ -149,4 +212,6 @@ let reset t =
       t.total.busy <- 0;
       Hashtbl.reset t.verbs;
       Array.fill t.hist 0 buckets 0;
-      t.max_ns <- 0.)
+      t.max_ns <- 0.;
+      t.dropped <- 0;
+      Hashtbl.reset t.dropped_logged)

@@ -17,11 +17,36 @@ val record : t -> verb:string -> outcome:[ `Ok | `Err | `Busy ] ->
     frame-decoded to reply-written; BUSY rejections are counted with their
     (tiny) latency too, so overload shows up in the rate, not the tail. *)
 
+val record_dropped : t -> verb:string -> exn -> unit
+(** Account one exception that escaped a pool job (scheduler or executor).
+    Every occurrence is counted; the first occurrence per verb is also
+    logged to stderr — jobs must not raise, so a nonzero counter is a bug
+    signal, never silently eaten. *)
+
+val dropped : t -> int
+(** Total exceptions recorded by {!record_dropped} since the last reset. *)
+
 val set_queue_probe : t -> (unit -> int) -> unit
 (** Gauge: current depth of the admission queue. *)
 
 val set_snapshot_probe : t -> (unit -> int * float) -> unit
 (** Gauge: (version, published-at unix time) of the live snapshot. *)
+
+type cache_stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;
+  bytes : int;
+}
+
+val set_cache_probe : t -> (unit -> cache_stats) -> unit
+(** Gauge: result-cache counters; rendered as [cache_*] keys (hit rate
+    included) when set. *)
+
+val set_domain_probe : t -> (unit -> float array) -> unit
+(** Gauge: per-domain busy time in seconds accumulated by the read
+    executor; rendered as [domains=N domain_busy_ms=a,b,...] when set. *)
 
 (** {1 Reading} *)
 

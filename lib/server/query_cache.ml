@@ -1,0 +1,180 @@
+(* Sharded LRU of per-document query answers, keyed by
+   (document name, snapshot version, normalized query text).
+
+   The snapshot version inside the key is the whole invalidation story:
+   a published update bumps the version, so every key a reader builds
+   afterwards misses and recomputes against the new snapshot, while the
+   orphaned old-version entries age out of the LRU tail.  Nothing is ever
+   updated in place, so a hit can never be stale — it answers exactly the
+   version it names. *)
+
+type entry = {
+  key : string;
+  value : string;
+  size : int;  (* approximate bytes: key + value + bookkeeping *)
+  mutable prev : entry option;  (* toward the MRU end *)
+  mutable next : entry option;  (* toward the LRU end *)
+}
+
+type shard = {
+  mu : Mutex.t;
+  tbl : (string, entry) Hashtbl.t;
+  mutable mru : entry option;
+  mutable lru : entry option;
+  mutable bytes : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+type t = {
+  shards : shard array;
+  max_entries_per_shard : int;
+  max_bytes_per_shard : int;
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;
+  bytes : int;
+}
+
+let overhead = 64  (* per-entry bookkeeping estimate, in bytes *)
+
+let create ?(shards = 8) ~max_entries ~max_bytes () =
+  if shards < 1 then invalid_arg "Query_cache.create: shards < 1";
+  if max_entries < 1 then invalid_arg "Query_cache.create: max_entries < 1";
+  if max_bytes < 1 then invalid_arg "Query_cache.create: max_bytes < 1";
+  {
+    shards =
+      Array.init shards (fun _ ->
+          {
+            mu = Mutex.create ();
+            tbl = Hashtbl.create 64;
+            mru = None;
+            lru = None;
+            bytes = 0;
+            hits = 0;
+            misses = 0;
+            evictions = 0;
+          });
+    max_entries_per_shard = max 1 ((max_entries + shards - 1) / shards);
+    max_bytes_per_shard = max 1 ((max_bytes + shards - 1) / shards);
+  }
+
+(* Collapse whitespace runs and trim, so `//a[ b ]` and ` //a[b] ` share an
+   entry.  Whitespace inside the expression is never significant to the
+   XPath grammar we parse (string literals aside, which we conservatively
+   leave to differ only by their spacing). *)
+let normalize q =
+  let b = Buffer.create (String.length q) in
+  let pending_space = ref false in
+  String.iter
+    (fun c ->
+      if c = ' ' || c = '\t' || c = '\n' || c = '\r' then
+        (if Buffer.length b > 0 then pending_space := true)
+      else begin
+        if !pending_space then Buffer.add_char b ' ';
+        pending_space := false;
+        Buffer.add_char b c
+      end)
+    q;
+  Buffer.contents b
+
+let build_key ~doc ~version ~query =
+  Printf.sprintf "%s\x00%d\x00%s" doc version query
+
+let shard_of t key = t.shards.(Hashtbl.hash key mod Array.length t.shards)
+
+(* DLL maintenance; callers hold the shard mutex. *)
+
+let unlink s e =
+  (match e.prev with Some p -> p.next <- e.next | None -> s.mru <- e.next);
+  (match e.next with Some n -> n.prev <- e.prev | None -> s.lru <- e.prev);
+  e.prev <- None;
+  e.next <- None
+
+let push_front s e =
+  e.prev <- None;
+  e.next <- s.mru;
+  (match s.mru with Some m -> m.prev <- Some e | None -> s.lru <- Some e);
+  s.mru <- Some e
+
+let drop s e =
+  unlink s e;
+  Hashtbl.remove s.tbl e.key;
+  s.bytes <- s.bytes - e.size
+
+let locked s f =
+  Mutex.lock s.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock s.mu) f
+
+let find t ~doc ~version ~query =
+  let key = build_key ~doc ~version ~query in
+  let s = shard_of t key in
+  locked s (fun () ->
+      match Hashtbl.find_opt s.tbl key with
+      | Some e ->
+        s.hits <- s.hits + 1;
+        if s.mru != Some e then begin
+          unlink s e;
+          push_front s e
+        end;
+        Some e.value
+      | None ->
+        s.misses <- s.misses + 1;
+        None)
+
+let add t ~doc ~version ~query value =
+  let key = build_key ~doc ~version ~query in
+  let s = shard_of t key in
+  let e =
+    { key; value; size = String.length key + String.length value + overhead;
+      prev = None; next = None }
+  in
+  (* An entry too large for a whole shard would evict everything and still
+     not fit; refuse it instead. *)
+  if e.size <= t.max_bytes_per_shard then
+    locked s (fun () ->
+        (match Hashtbl.find_opt s.tbl key with
+        | Some old -> drop s old  (* same key, same version: same value; keep the fresh one *)
+        | None -> ());
+        Hashtbl.replace s.tbl key e;
+        push_front s e;
+        s.bytes <- s.bytes + e.size;
+        while
+          Hashtbl.length s.tbl > t.max_entries_per_shard
+          || s.bytes > t.max_bytes_per_shard
+        do
+          match s.lru with
+          | Some victim ->
+            drop s victim;
+            s.evictions <- s.evictions + 1
+          | None -> assert false (* nonempty: bounds exceeded *)
+        done)
+
+let stats t =
+  Array.fold_left
+    (fun acc s ->
+      locked s (fun () ->
+          {
+            hits = acc.hits + s.hits;
+            misses = acc.misses + s.misses;
+            evictions = acc.evictions + s.evictions;
+            entries = acc.entries + Hashtbl.length s.tbl;
+            bytes = acc.bytes + s.bytes;
+          }))
+    { hits = 0; misses = 0; evictions = 0; entries = 0; bytes = 0 }
+    t.shards
+
+let clear t =
+  Array.iter
+    (fun s ->
+      locked s (fun () ->
+          Hashtbl.reset s.tbl;
+          s.mru <- None;
+          s.lru <- None;
+          s.bytes <- 0))
+    t.shards

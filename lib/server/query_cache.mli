@@ -1,0 +1,45 @@
+(** Snapshot-versioned query result cache: a sharded LRU keyed by
+    (document name, snapshot version, normalized query string).
+
+    Because the version is part of the key, invalidation is free by
+    construction: publishing a new snapshot changes the version every
+    subsequent reader embeds in its lookups, so stale entries are simply
+    never asked for again — they decay out of the LRU tail.  There is no
+    invalidation protocol to get wrong, and a hit is always the answer
+    computed against exactly the snapshot version it names.
+
+    Sharding bounds contention: each shard has its own mutex, hash-keyed,
+    so concurrent reader domains rarely collide.  Capacity is capped both
+    by entry count and by approximate bytes (key + value + bookkeeping);
+    either bound evicts from the least-recently-used end. *)
+
+type t
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;
+  bytes : int;
+}
+
+val create : ?shards:int -> max_entries:int -> max_bytes:int -> unit -> t
+(** [shards] defaults to 8.  [max_entries]/[max_bytes] are whole-cache
+    caps, split evenly across shards (rounded up).
+    @raise Invalid_argument if any parameter is < 1. *)
+
+val normalize : string -> string
+(** Canonical spelling used in keys: surrounding whitespace trimmed,
+    internal whitespace runs collapsed to one space. *)
+
+val find : t -> doc:string -> version:int -> query:string -> string option
+(** Cached value for this exact (doc, version, query), touching it most
+    recently used.  [query] must already be {!normalize}d. *)
+
+val add : t -> doc:string -> version:int -> query:string -> string -> unit
+(** Insert (or refresh) an entry, then evict LRU entries while either cap
+    is exceeded.  A value too large to ever fit a shard is dropped. *)
+
+val stats : t -> stats
+val clear : t -> unit
+(** Empty every shard (counters are kept). *)

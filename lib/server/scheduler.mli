@@ -12,15 +12,23 @@
 
 type t
 
-val create : workers:int -> max_queue:int -> t
-(** @raise Invalid_argument if [workers < 1] or [max_queue < 1]. *)
+val create :
+  ?on_exn:(label:string -> exn -> unit) -> workers:int -> max_queue:int ->
+  unit -> t
+(** [on_exn] receives every exception escaping a job, with the label the
+    job was submitted under — the service wires it to the metrics
+    dropped-exception counter.  Exceptions raised by [on_exn] itself are
+    discarded (the worker must survive).  Without it, escaping exceptions
+    are swallowed.
+    @raise Invalid_argument if [workers < 1] or [max_queue < 1]. *)
 
-val submit : t -> (unit -> unit) -> bool
+val submit : ?label:string -> t -> (unit -> unit) -> bool
 (** Enqueue a job, or return [false] without side effects when the queue
-    is at capacity or the pool is shutting down.  A job must not raise:
-    exceptions escaping a job kill nothing but are swallowed (workers keep
-    running) and the job's requester would wait forever — the service
-    wraps every job in its own handler. *)
+    is at capacity or the pool is shutting down.  A job should not raise:
+    an escaping exception kills nothing (the worker survives and the
+    occurrence is reported through [on_exn]) but the job's requester would
+    wait forever — the service wraps every job in its own handler.
+    [label] names the job in exception reports (the protocol verb). *)
 
 val queue_depth : t -> int
 val workers : t -> int

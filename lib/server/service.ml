@@ -9,20 +9,32 @@ type config = {
   max_queue : int;
   deadline_ms : int;
   max_area_size : int;
+  domains : int;
+  cache_mb : int;
 }
 
 let default_config ~socket_path ~data_dir () =
-  { socket_path; data_dir; workers = 4; max_queue = 64; deadline_ms = 0;
-    max_area_size = 64 }
+  { socket_path; data_dir; workers = 4; max_queue = 0; deadline_ms = 0;
+    max_area_size = 64; domains = 0; cache_mb = 0 }
+
+(* E13 showed the old fixed default rejecting 67% of a 90/10 mix at only
+   8 clients: a queue bound that ignores the pool size punishes exactly
+   the configurations that could absorb the burst.  The default bound now
+   scales with the pool: 4 jobs of headroom per worker. *)
+let resolved_max_queue c =
+  if c.max_queue > 0 then c.max_queue else 4 * max c.workers (max 1 c.domains)
 
 (* sockaddr_un paths are limited to ~104 bytes portably. *)
 let max_socket_path = 100
 
 let validate_config c =
   if c.workers < 1 then Error "workers must be >= 1"
-  else if c.max_queue < 1 then Error "max-queue must be >= 1"
+  else if c.max_queue < 0 then
+    Error "max-queue must be >= 1 (or 0 for the default of 4 x workers)"
   else if c.deadline_ms < 0 then Error "deadline-ms must be >= 0"
   else if c.max_area_size < 2 then Error "max-area-size must be >= 2"
+  else if c.domains < 0 then Error "domains must be >= 0 (0 disables)"
+  else if c.cache_mb < 0 then Error "cache-mb must be >= 0 (0 disables)"
   else if c.socket_path = "" then Error "socket path must not be empty"
   else if String.length c.socket_path > max_socket_path then
     Error
@@ -76,6 +88,8 @@ type t = {
   current : Snapshot.t Atomic.t;
   write_mu : Mutex.t;
   sched : Scheduler.t;
+  exec : Executor.t option;  (** parallel read pool; [None] = systhreads *)
+  cache : Query_cache.t option;
   metrics : Metrics.t;
   listen_fd : Unix.file_descr;
   mutable accept_thread : Thread.t option;
@@ -91,6 +105,7 @@ let metrics t = t.metrics
 let snapshot t = Atomic.get t.current
 let config t = t.cfg
 let collection t = t.coll
+let cache_stats t = Option.map Query_cache.stats t.cache
 
 let doc_files t name =
   Array.fold_left
@@ -106,9 +121,41 @@ let doc_files t name =
 let pp_id_compact id =
   Printf.sprintf "(%d,%d,%b)" id.R2.global id.R2.local id.R2.is_root
 
+(* At most this many matching identifiers are listed in a QUERY reply
+   (and therefore cached per document — enough to rebuild any reply). *)
+let id_cap = 32
+
+(* Per-document answer via the result cache.  The snapshot version is part
+   of the cache key, so an entry can only ever answer the exact snapshot it
+   was computed against; [kind] separates the COUNT and QUERY namespaces.
+   Computed values are small strings (a count, or a count plus at most
+   [id_cap] identifiers), so caching cost is bounded per entry. *)
+let with_cache t s (d : Snapshot.doc) ~kind ~normq compute =
+  match t.cache with
+  | None -> compute ()
+  | Some cache ->
+    let query = kind ^ normq in
+    let doc = d.Snapshot.name and version = s.Snapshot.version in
+    (match Query_cache.find cache ~doc ~version ~query with
+    | Some v -> v
+    | None ->
+      let v = compute () in
+      Query_cache.add cache ~doc ~version ~query v;
+      v)
+
 let run_count t src =
   let s = Atomic.get t.current in
-  let per_doc = Snapshot.count s src in
+  let normq = Query_cache.normalize src in
+  let parsed = lazy (Snapshot.parse src) in
+  let per_doc =
+    Array.to_list s.Snapshot.docs
+    |> List.map (fun d ->
+           let v =
+             with_cache t s d ~kind:"C\x00" ~normq (fun () ->
+                 string_of_int (Snapshot.count_doc d (Lazy.force parsed)))
+           in
+           (d.Snapshot.name, int_of_string v))
+  in
   let total = List.fold_left (fun acc (_, n) -> acc + n) 0 per_doc in
   Protocol.Ok_
     (Printf.sprintf "v=%d total=%d %s" s.Snapshot.version total
@@ -117,28 +164,44 @@ let run_count t src =
 
 let run_query t src =
   let s = Atomic.get t.current in
-  let per_doc = Snapshot.query s src in
-  let total = List.fold_left (fun acc (_, ns) -> acc + List.length ns) 0 per_doc in
-  let cap = 32 in
+  let normq = Query_cache.normalize src in
+  let parsed = lazy (Snapshot.parse src) in
+  (* Cached value: the count followed by the first [id_cap] identifiers,
+     space-separated (identifiers contain no spaces). *)
+  let per_doc =
+    Array.to_list s.Snapshot.docs
+    |> List.map (fun d ->
+           let v =
+             with_cache t s d ~kind:"Q\x00" ~normq (fun () ->
+                 let nodes = Snapshot.query_doc d (Lazy.force parsed) in
+                 let ids =
+                   List.filteri (fun i _ -> i < id_cap) nodes
+                   |> List.map (fun n ->
+                          pp_id_compact (R2.id_of_node d.Snapshot.r2 n))
+                 in
+                 String.concat " " (string_of_int (List.length nodes) :: ids))
+           in
+           match String.split_on_char ' ' v with
+           | n :: ids -> (d.Snapshot.name, int_of_string n, ids)
+           | [] -> assert false)
+    |> List.filter (fun (_, n, _) -> n > 0)
+  in
+  let total = List.fold_left (fun acc (_, n, _) -> acc + n) 0 per_doc in
   let ids =
     List.concat_map
-      (fun (name, nodes) ->
-        let d = Option.get (Snapshot.find s name) |> snd in
-        List.map
-          (fun n -> name ^ ":" ^ pp_id_compact (R2.id_of_node d.Snapshot.r2 n))
-          nodes)
+      (fun (name, _, ids) -> List.map (fun i -> name ^ ":" ^ i) ids)
       per_doc
   in
-  let shown = List.filteri (fun i _ -> i < cap) ids in
+  let shown = List.filteri (fun i _ -> i < id_cap) ids in
   Protocol.Ok_
     (Printf.sprintf "v=%d total=%d %s%s" s.Snapshot.version total
        (String.concat " "
           (List.map
-             (fun (name, ns) -> Printf.sprintf "%s=%d" name (List.length ns))
+             (fun (name, n, _) -> Printf.sprintf "%s=%d" name n)
              per_doc))
        (if shown = [] then ""
         else " ids " ^ String.concat " " shown
-             ^ if total > cap then " ..." else ""))
+             ^ if total > id_cap then " ..." else ""))
 
 let run_update t doc op =
   Mutex.lock t.write_mu;
@@ -238,8 +301,9 @@ let stop t =
         with Unix.Unix_error _ -> ())
       sess;
     List.iter (fun (_, th) -> Thread.join th) sess;
-    (* 3. drain the admitted queue, park the workers *)
+    (* 3. drain the admitted queues, park the workers and the domains *)
     Scheduler.shutdown t.sched;
+    (match t.exec with Some ex -> Executor.shutdown ex | None -> ());
     (* 4. the WAL needs no flush — every record was fsynced at commit;
        with the write lock free and workers gone, the files are final *)
     (try Sys.remove t.cfg.socket_path with Sys_error _ -> ());
@@ -308,7 +372,17 @@ let handle_frame t oc payload =
         in
         Ivar.fill iv response
       in
-      if Scheduler.submit t.sched job then reply verb (Ivar.read iv)
+      (* Reads go to the parallel executor when one is configured: they
+         only touch domain-safe state (the immutable snapshot, the sharded
+         cache).  UPDATE (and the testing verb SLEEP) stays on the
+         systhread pool of the main domain — the WAL + write-mutex path. *)
+      let admitted =
+        match (t.exec, req) with
+        | Some ex, (Protocol.Query _ | Protocol.Count _ | Protocol.Check _) ->
+          Executor.submit ~label:verb ex job
+        | _ -> Scheduler.submit ~label:verb t.sched job
+      in
+      if admitted then reply verb (Ivar.read iv)
       else reply verb (Protocol.Busy "queue full"))
 
 let session_loop t fd =
@@ -406,8 +480,24 @@ let start cfg docs =
     Snapshot.capture ~version:1
       (Array.to_list (Array.map (fun m -> (m.name, m.r2)) masters))
   in
-  let sched = Scheduler.create ~workers:cfg.workers ~max_queue:cfg.max_queue in
   let metrics = Metrics.create () in
+  let on_exn ~label e = Metrics.record_dropped metrics ~verb:label e in
+  let max_queue = resolved_max_queue cfg in
+  let sched = Scheduler.create ~on_exn ~workers:cfg.workers ~max_queue () in
+  let exec =
+    if cfg.domains = 0 then None
+    else Some (Executor.create ~on_exn ~domains:cfg.domains ~max_queue ())
+  in
+  let cache =
+    if cfg.cache_mb = 0 then None
+    else
+      (* ~1 KiB budgeted per entry: answers are counts plus at most
+         [id_cap] identifiers, so the byte cap binds first only for
+         unusually long query strings. *)
+      Some
+        (Query_cache.create ~max_entries:(cfg.cache_mb * 1024)
+           ~max_bytes:(cfg.cache_mb * 1024 * 1024) ())
+  in
   (* the socket *)
   if Sys.file_exists cfg.socket_path then Sys.remove cfg.socket_path;
   let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
@@ -425,6 +515,8 @@ let start cfg docs =
       current = Atomic.make snapshot0;
       write_mu = Mutex.create ();
       sched;
+      exec;
+      cache;
       metrics;
       listen_fd;
       accept_thread = None;
@@ -436,9 +528,26 @@ let start cfg docs =
       state = `Running;
     }
   in
-  Metrics.set_queue_probe metrics (fun () -> Scheduler.queue_depth t.sched);
+  Metrics.set_queue_probe metrics (fun () ->
+      Scheduler.queue_depth t.sched
+      + match t.exec with Some ex -> Executor.queue_depth ex | None -> 0);
   Metrics.set_snapshot_probe metrics (fun () ->
       let s = Atomic.get t.current in
       (s.Snapshot.version, s.Snapshot.published_at));
+  (match t.cache with
+  | Some c ->
+    Metrics.set_cache_probe metrics (fun () ->
+        let s = Query_cache.stats c in
+        {
+          Metrics.hits = s.Query_cache.hits;
+          misses = s.Query_cache.misses;
+          evictions = s.Query_cache.evictions;
+          entries = s.Query_cache.entries;
+          bytes = s.Query_cache.bytes;
+        })
+  | None -> ());
+  (match t.exec with
+  | Some ex -> Metrics.set_domain_probe metrics (fun () -> Executor.busy_seconds ex)
+  | None -> ());
   t.accept_thread <- Some (Thread.create accept_loop t);
   t

@@ -12,6 +12,13 @@
       snapshot with one atomic store.  A reader therefore sees either the
       numbering before an update or after it — never a half-renumbered
       area.
+    - {e Reads scale with cores when asked to.}  With [domains > 0],
+      QUERY/COUNT/CHECK run on a fixed pool of OCaml 5 domains
+      ({!Executor}) instead of systhreads, evaluating in true parallel
+      against the immutable snapshot; with [cache_mb > 0] their answers
+      are memoized in a snapshot-versioned sharded LRU ({!Query_cache})
+      whose keys embed the snapshot version — a cached answer can never
+      be stale, and publication needs no invalidation protocol.
     - {e Writes are serialized.}  A single mutex orders updates; each one
       is applied to the master numbering and fsynced into the document's
       WAL before the snapshot swap, so the on-disk journal is always a
@@ -29,19 +36,30 @@
 type config = {
   socket_path : string;  (** Unix domain socket (paths are length-limited) *)
   data_dir : string;  (** snapshots + WALs live here; created if absent *)
-  workers : int;  (** worker pool size *)
-  max_queue : int;  (** admission queue bound; beyond it: [BUSY] *)
+  workers : int;  (** systhread worker pool size (writes; reads when
+                      [domains = 0]) *)
+  max_queue : int;  (** admission queue bound per pool; beyond it: [BUSY].
+                        0 = default: 4 × the pool's worker count *)
   deadline_ms : int;  (** per-request deadline; 0 disables *)
   max_area_size : int;  (** numbering parameter for hosted documents *)
+  domains : int;  (** read-executor domain count; 0 = reads share the
+                      systhread pool (single-domain behavior) *)
+  cache_mb : int;  (** result-cache budget in MiB; 0 disables caching *)
 }
 
 val default_config : socket_path:string -> data_dir:string -> unit -> config
-(** workers 4, max_queue 64, deadline_ms 0, max_area_size 64. *)
+(** workers 4, max_queue 0 (= 4 × workers), deadline_ms 0,
+    max_area_size 64, domains 0, cache_mb 0. *)
+
+val resolved_max_queue : config -> int
+(** The effective per-pool admission bound: [max_queue] when positive,
+    else 4 × the larger pool ([workers] vs [domains]). *)
 
 val validate_config : config -> (unit, string) result
-(** Bounds checking for the CLI flags: workers/max_queue >= 1,
-    deadline_ms >= 0, max_area_size >= 2, socket path non-empty and short
-    enough for [sockaddr_un]. *)
+(** Bounds checking for the CLI flags: workers >= 1, max_queue >= 0
+    (0 = auto), deadline_ms >= 0, max_area_size >= 2, domains >= 0,
+    cache_mb >= 0, socket path non-empty and short enough for
+    [sockaddr_un]. *)
 
 type t
 
@@ -64,6 +82,9 @@ val wait : t -> unit
 val metrics : t -> Metrics.t
 val snapshot : t -> Snapshot.t
 val config : t -> config
+
+val cache_stats : t -> Query_cache.stats option
+(** Result-cache counters, when a cache is configured. *)
 
 val collection : t -> Rxpath.Collection.t
 (** The hosted collection (the master registry; the write path's state). *)

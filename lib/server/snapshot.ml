@@ -46,17 +46,17 @@ let parse src =
   try Rxpath.Xparser.parse_union src
   with e -> failwith (Printf.sprintf "bad XPath %S: %s" src (Printexc.to_string e))
 
+let query_doc d u = Rxpath.Eval.select_union d.engine u
+let count_doc d u = List.length (query_doc d u)
+
 let count t src =
   let u = parse src in
-  Array.to_list
-    (Array.map
-       (fun d -> (d.name, List.length (Rxpath.Eval.select_union d.engine u)))
-       t.docs)
+  Array.to_list (Array.map (fun d -> (d.name, count_doc d u)) t.docs)
 
 let query t src =
   let u = parse src in
   Array.to_list t.docs
-  |> List.map (fun d -> (d.name, Rxpath.Eval.select_union d.engine u))
+  |> List.map (fun d -> (d.name, query_doc d u))
   |> List.filter (fun (_, nodes) -> nodes <> [])
 
 let check t name =

@@ -10,7 +10,14 @@
 
     An update clones only the document it touched ({!replace_doc});
     untouched documents are shared structurally between consecutive
-    snapshots, so publish cost is O(affected document), not O(collection). *)
+    snapshots, so publish cost is O(affected document), not O(collection).
+
+    A captured snapshot is immutable and safe to read from any number of
+    threads {e and domains} concurrently: every constituent structure
+    (DOM clone, numbering tables, document-order index, tag postings,
+    per-tag lists) is completed inside {!capture}/{!replace_doc} before
+    publication, and evaluation never writes — the invariant the parallel
+    read executor relies on. *)
 
 type doc = private {
   name : string;
@@ -34,6 +41,17 @@ val replace_doc : t -> version:int -> doc_index:int -> Ruid.Ruid2.t -> t
 
 val find : t -> string -> (int * doc) option
 val doc_names : t -> string list
+
+val parse : string -> Rxpath.Ast.union_path
+(** Parse an XPath union expression the way {!count}/{!query} do.
+    @raise Failure on an unparsable expression. *)
+
+val query_doc : doc -> Rxpath.Ast.union_path -> Rxml.Dom.t list
+(** Matching nodes of one document, document order.  Parsing and
+    evaluation split so the service can evaluate per document (the result
+    cache keys per document) while parsing at most once per request. *)
+
+val count_doc : doc -> Rxpath.Ast.union_path -> int
 
 val count : t -> string -> (string * int) list
 (** Per-document hit counts of an XPath expression; every document listed

@@ -40,16 +40,17 @@ let create ?(strategy = Auto) r2 =
   let idx = Doc_index.build r2 in
   let total = Doc_index.size idx in
   let id n = R2.id_of_node r2 n in
-  (* Posting lists for the arithmetic strategy, memoized per tag so forced
-     Arith runs do not pay an array-to-list conversion per step. *)
+  (* Posting lists for the arithmetic strategy, one per tag so forced Arith
+     runs do not pay an array-to-list conversion per step.  Built eagerly:
+     after [create] the engine closure captures only immutable state, so
+     one engine may serve concurrent reader domains without locking. *)
   let post_lists = Hashtbl.create 16 in
+  List.iter
+    (fun tag ->
+      Hashtbl.replace post_lists tag (Array.to_list (Doc_index.postings idx tag)))
+    (Doc_index.tags idx);
   let by_tag tag =
-    match Hashtbl.find_opt post_lists tag with
-    | Some l -> l
-    | None ->
-      let l = Array.to_list (Doc_index.postings idx tag) in
-      Hashtbl.replace post_lists tag l;
-      l
+    match Hashtbl.find_opt post_lists tag with Some l -> l | None -> []
   in
   let compare_order a b = Doc_index.compare_order idx a b in
   let axis (a : Ast.axis) n =

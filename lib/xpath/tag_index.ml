@@ -2,7 +2,7 @@ module Dom = Rxml.Dom
 
 type t = {
   arrays : (string, Dom.t array) Hashtbl.t;  (* tag -> doc-order elements *)
-  lists : (string, Dom.t list) Hashtbl.t;  (* memoized list views *)
+  lists : (string, Dom.t list) Hashtbl.t;  (* list views, built eagerly *)
 }
 
 let create r2 =
@@ -29,18 +29,18 @@ let create r2 =
       done;
       Hashtbl.replace arrays tag a)
     rev;
-  { arrays; lists = Hashtbl.create 16 }
+  (* Both views are completed here: after [create] the index is never
+     mutated, so concurrent readers (worker domains all querying the same
+     snapshot) need no synchronization. *)
+  let lists = Hashtbl.create (Hashtbl.length arrays) in
+  Hashtbl.iter (fun tag a -> Hashtbl.replace lists tag (Array.to_list a)) arrays;
+  { arrays; lists }
 
 let find_array t tag =
   match Hashtbl.find_opt t.arrays tag with Some a -> a | None -> [||]
 
 let find t tag =
-  match Hashtbl.find_opt t.lists tag with
-  | Some l -> l
-  | None ->
-    let l = Array.to_list (find_array t tag) in
-    Hashtbl.replace t.lists tag l;
-    l
+  match Hashtbl.find_opt t.lists tag with Some l -> l | None -> []
 
 let cardinality t tag = Array.length (find_array t tag)
 let tags t = Hashtbl.fold (fun tag _ acc -> tag :: acc) t.arrays []

@@ -5,15 +5,19 @@
 
     Postings are stored as document-order arrays, so {!cardinality} is O(1)
     (the seed recomputed a list length per call); {!find} keeps the list
-    API for existing callers, memoizing the conversion per tag. *)
+    API for existing callers.
+
+    The index is immutable after {!create} — every view (arrays and list
+    conversions) is built eagerly, so one index may be shared by any number
+    of concurrently reading threads or domains without locking. *)
 
 type t
 
 val create : Ruid.Ruid2.t -> t
 
 val find : t -> string -> Rxml.Dom.t list
-(** Document order; empty for unknown tags.  The list view is built once
-    per tag and cached. *)
+(** Document order; empty for unknown tags.  The list view is prebuilt at
+    {!create}; lookup never mutates the index. *)
 
 val find_array : t -> string -> Rxml.Dom.t array
 (** Document order, O(1) after {!create}.  The array is shared — callers

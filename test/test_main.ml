@@ -31,4 +31,5 @@ let () =
       ("conformance", Test_conformance.suite);
       ("auto", Test_auto.suite);
       ("server", Test_server.suite);
+      ("parallel", Test_parallel.suite);
     ]

@@ -28,7 +28,7 @@ let sock_path () = Filename.concat "/tmp" ("ruid-" ^ unique () ^ ".sock")
 let doc_of_string s = Dom.root_element (Rxml.Parser.parse_string s)
 
 let with_server ?(workers = 2) ?(max_queue = 8) ?(deadline_ms = 0)
-    ?(max_area_size = 8) docs f =
+    ?(max_area_size = 8) ?(domains = 0) ?(cache_mb = 0) docs f =
   let cfg =
     {
       Service.socket_path = sock_path ();
@@ -37,6 +37,8 @@ let with_server ?(workers = 2) ?(max_queue = 8) ?(deadline_ms = 0)
       max_queue;
       deadline_ms;
       max_area_size;
+      domains;
+      cache_mb;
     }
   in
   let t = Service.start cfg docs in
@@ -359,6 +361,8 @@ let test_shutdown_verb () =
       max_queue = 8;
       deadline_ms = 0;
       max_area_size = 8;
+      domains = 0;
+      cache_mb = 0;
     }
   in
   let t = Service.start cfg [ ("lib", doc_of_string library) ] in
@@ -381,9 +385,17 @@ let test_config_validation () =
     | Ok () -> Alcotest.fail "config accepted"
   in
   bad { base with Service.workers = 0 };
-  bad { base with Service.max_queue = 0 };
+  bad { base with Service.max_queue = -1 };
   bad { base with Service.deadline_ms = -1 };
   bad { base with Service.max_area_size = 1 };
+  bad { base with Service.domains = -1 };
+  bad { base with Service.cache_mb = -1 };
+  (* max_queue = 0 means "4 x the larger pool" *)
+  Alcotest.(check int) "auto queue bound" 16
+    (Service.resolved_max_queue { base with Service.max_queue = 0; workers = 4 });
+  Alcotest.(check int) "auto bound follows domains" 32
+    (Service.resolved_max_queue
+       { base with Service.max_queue = 0; workers = 4; domains = 8 });
   bad { base with Service.socket_path = "" };
   bad { base with Service.socket_path = String.make 200 'x' };
   (match Service.validate_config base with
@@ -400,7 +412,7 @@ let test_config_validation () =
 (* ------------------------------------------------------------------ *)
 
 let test_scheduler_bounds () =
-  let sched = Rserver.Scheduler.create ~workers:1 ~max_queue:2 in
+  let sched = Rserver.Scheduler.create ~workers:1 ~max_queue:2 () in
   let release = Mutex.create () and released = Condition.create () in
   let go = ref false in
   let blocker () =
