@@ -45,6 +45,9 @@ let run_level ~doc_name ~root ~clients ~per_client ~workers ~max_queue =
       max_area_size = 64;
       domains = 0;
       cache_mb = 0;
+      commit_interval_us = 0;
+      commit_max_batch = 64;
+      wal_segment_bytes = 0;
     }
   in
   let srv = Service.start cfg [ (doc_name, Rxml.Dom.clone root) ] in

@@ -88,6 +88,9 @@ let run_level ~doc_name ~root ~mode ~cache_mb ~mix_name ~update_every ~clients
       max_area_size = 64;
       domains;
       cache_mb;
+      commit_interval_us = 0;
+      commit_max_batch = 64;
+      wal_segment_bytes = 0;
     }
   in
   let srv = Service.start cfg [ (doc_name, Rxml.Dom.clone root) ] in

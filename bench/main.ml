@@ -17,6 +17,7 @@ let experiments =
     ("E12", E12.run);
     ("E13", E13.run);
     ("E14", E14.run);
+    ("E15", E15.run);
   ]
 
 let () =

@@ -457,9 +457,14 @@ let wal_replay_cmd =
       (fun r -> Format.printf "  %a@." Wal.pp_record r)
       recovery.Wal.replayed;
     let j = recovery.Wal.journal in
-    Printf.printf "replayed %d record(s), %d of %d journal bytes valid\n"
+    (match j.Wal.checkpoint with
+    | Some c -> Format.printf "replay started from %a@." Wal.pp_checkpoint c
+    | None -> ());
+    Printf.printf
+      "replayed %d record(s) (%d batch frame(s)), %d of %d journal bytes \
+       valid\n"
       (List.length recovery.Wal.replayed)
-      j.Wal.valid_bytes j.Wal.total_bytes;
+      j.Wal.batches j.Wal.valid_bytes j.Wal.total_bytes;
     (match j.Wal.damage with
     | None -> print_endline "journal intact; deep invariants hold"
     | Some why ->
@@ -510,6 +515,25 @@ let crash_test_cmd =
       & info [ "runs" ] ~docv:"N"
           ~doc:"Consecutive seeds to test, starting at $(b,--seed).")
   in
+  let batch =
+    Arg.(
+      value & opt int 1
+      & info [ "batch" ] ~docv:"N"
+          ~doc:
+            "Group N records per commit frame (group commit); a tear can \
+             then drop a whole batch atomically.  Default 1 (unbatched).")
+  in
+  let checkpoint =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "checkpoint" ] ~docv:"N"
+          ~doc:
+            "Rotate the journal to a checkpoint segment after N \
+             operations; recovery then replays from the checkpoint, and \
+             the simulated tear never reaches below the rotated segment \
+             (rotation publishes with fsync + rename).")
+  in
   let dir =
     Arg.(
       value
@@ -517,7 +541,7 @@ let crash_test_cmd =
       & info [ "dir" ] ~docv:"DIR"
           ~doc:"Working directory (default: a fresh directory under TMPDIR).")
   in
-  let run seed area ops size runs dir =
+  let run seed area ops size runs batch checkpoint dir =
     let dir =
       match dir with
       | Some d ->
@@ -534,7 +558,10 @@ let crash_test_cmd =
     in
     let failures = ref 0 in
     for s = seed to seed + runs - 1 do
-      match Rstorage.Crashsim.run ~dir ~seed:s ~ops ~size ~area () with
+      match
+        Rstorage.Crashsim.run ~dir ~seed:s ~ops ~size ~area ~batch
+          ?checkpoint_after:checkpoint ()
+      with
       | o -> Format.printf "seed %d: ok — %a@." s Rstorage.Crashsim.pp_outcome o
       | exception Rstorage.Crashsim.Mismatch why ->
         incr failures;
@@ -552,7 +579,9 @@ let crash_test_cmd =
           byte, recover, and verify the recovered numbering byte-for-byte \
           against an in-memory replica (untouched areas must be identical \
           to the snapshot).")
-    Term.(const run $ seed_arg $ area_arg $ ops $ size $ runs $ dir)
+    Term.(
+      const run $ seed_arg $ area_arg $ ops $ size $ runs $ batch $ checkpoint
+      $ dir)
 
 (* ------------------------------------------------------------------ *)
 (* serve / client                                                      *)
@@ -596,7 +625,8 @@ let serve_cmd =
           ~doc:
             "Admission queue bound (>= 1); requests beyond it are rejected \
              with BUSY instead of queuing without limit.  0 (the default) \
-             sizes the bound to 4 x the worker/domain pool.")
+             auto-sizes the bound to 4 x max($(b,--workers), \
+             $(b,--domains)) — four jobs of headroom per pool slot.")
   in
   let domains =
     Arg.(
@@ -623,6 +653,35 @@ let serve_cmd =
           ~doc:
             "Per-request deadline: work still queued after MS milliseconds \
              is answered BUSY rather than late.  0 disables.")
+  in
+  let commit_interval_us =
+    Arg.(
+      value & opt int 0
+      & info [ "commit-interval-us" ] ~docv:"US"
+          ~doc:
+            "Extra microseconds (>= 0) a commit leader waits for more \
+             UPDATEs before flushing a non-full batch.  0 (the default) \
+             batches only what arrives naturally during the in-flight \
+             fsync, so a lone writer never waits.")
+  in
+  let commit_batch =
+    Arg.(
+      value & opt int 64
+      & info [ "commit-batch" ] ~docv:"N"
+          ~doc:
+            "Most UPDATE records coalesced into one WAL batch frame and \
+             one snapshot publication (>= 1).  1 gives every record its \
+             own fsync (unbatched).")
+  in
+  let wal_segment_bytes =
+    Arg.(
+      value & opt int 0
+      & info [ "wal-segment-bytes" ] ~docv:"BYTES"
+          ~doc:
+            "Rotate a document's WAL once its segment reaches BYTES: cut \
+             a checkpoint of the durable state and restart the journal \
+             from it, bounding replay cost.  0 (the default) disables \
+             rotation.")
   in
   let max_depth =
     Arg.(
@@ -658,7 +717,8 @@ let serve_cmd =
     exit 2
   in
   let run files data_dir workers max_queue domains cache_mb deadline_ms
-      max_depth max_area gen_kind gen_size seed socket =
+      commit_interval_us commit_max_batch wal_segment_bytes max_depth
+      max_area gen_kind gen_size seed socket =
     if max_depth < 1 then fail "--max-depth must be >= 1";
     if gen_size < 1 then fail "--gen-size must be >= 1";
     let data_dir =
@@ -683,6 +743,9 @@ let serve_cmd =
         max_area_size = max_area;
         domains;
         cache_mb;
+        commit_interval_us;
+        commit_max_batch;
+        wal_segment_bytes;
       }
     in
     (match Service.validate_config cfg with
@@ -746,8 +809,8 @@ let serve_cmd =
           queue.  Stop with SIGINT or the SHUTDOWN protocol verb.")
     Term.(
       const run $ files $ data_dir $ workers $ max_queue $ domains $ cache_mb
-      $ deadline_ms $ max_depth $ max_area $ gen_kind $ gen_size $ seed_arg
-      $ socket_arg)
+      $ deadline_ms $ commit_interval_us $ commit_batch $ wal_segment_bytes
+      $ max_depth $ max_area $ gen_kind $ gen_size $ seed_arg $ socket_arg)
 
 let client_cmd =
   let words =

@@ -230,6 +230,17 @@ let uncut t n =
   if Dom.equal n t.root then invalid_arg "Frame.uncut: tree root";
   Hashtbl.remove t.cut n.Dom.serial
 
+(* Transport the cut set onto a structurally identical tree: [node] maps an
+   old serial to the corresponding node of the new tree.  O(areas), no
+   ancestry validation — the caller guarantees the trees are isomorphic
+   (this is the cheap path behind Ruid2.clone; of_cut_set re-validates). *)
+let remap t ~root ~node =
+  let cut = Hashtbl.create (max 16 (Hashtbl.length t.cut * 2)) in
+  Hashtbl.iter
+    (fun serial () -> Hashtbl.replace cut (node serial).Dom.serial ())
+    t.cut;
+  { root; cut }
+
 let bits v =
   let rec go acc v = if v = 0 then acc else go (acc + 1) (v lsr 1) in
   go 0 v

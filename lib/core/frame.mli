@@ -77,6 +77,12 @@ val uncut : t -> Rxml.Dom.t -> unit
 (** Remove a node from the cut set (used when a whole area is deleted).
     @raise Invalid_argument on the tree root. *)
 
+val remap : t -> root:Rxml.Dom.t -> node:(int -> Rxml.Dom.t) -> t
+(** Transport the frame onto a structurally identical tree rooted at
+    [root]; [node] maps each old node serial to its counterpart.  O(areas)
+    and unvalidated — the caller guarantees isomorphism ({!Ruid2.clone}
+    uses a lockstep traversal, which guarantees it by construction). *)
+
 val check_invariants : t -> unit
 (** Validate Definitions 1-2: cut set covers the tree, areas are induced
     subtrees, adjacent areas intersect in exactly the child-area root.

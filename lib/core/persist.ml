@@ -232,3 +232,17 @@ let load ?(vfs = Vfs.real) ?(attempts = 5) ~xml ~sidecar () =
     if root_kind_of_bytes bytes then doc else Dom.root_element doc
   in
   (doc, sidecar_of_bytes root bytes)
+
+let xml_to_bytes t =
+  Bytes.of_string (Rxml.Serializer.to_string (Ruid2.root t))
+
+(* The [load] path without the file system: reconstruct a document and its
+   numbering from in-memory snapshot bytes.  Used by WAL checkpoint
+   recovery, which verifies the bytes' checksums against the checkpoint
+   record before trusting them. *)
+let of_bytes ~xml ~sidecar =
+  let doc =
+    Rxml.Parser.parse_string ~keep_whitespace:true (Bytes.to_string xml)
+  in
+  let root = if root_kind_of_bytes sidecar then doc else Dom.root_element doc in
+  (doc, sidecar_of_bytes root sidecar)

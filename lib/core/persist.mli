@@ -54,3 +54,19 @@ val sidecar_of_bytes : Rxml.Dom.t -> bytes -> Ruid2.t
 
 val version_of_bytes : bytes -> int
 (** 2 or 3 by magic. @raise Invalid_argument on an unknown magic. *)
+
+val xml_to_bytes : Ruid2.t -> bytes
+(** The XML text {!save} would write for this numbering (the serialized
+    numbered root). *)
+
+val of_bytes : xml:bytes -> sidecar:bytes -> Rxml.Dom.t * Ruid2.t
+(** The {!load} path without the file system: parse the XML bytes and
+    restore the numbering from the sidecar bytes.  WAL checkpoint recovery
+    uses this after verifying both byte strings against the checksums in
+    the checkpoint record.
+    @raise Invalid_argument as {!load}. *)
+
+val store_atomic : Vfs.t -> attempts:int -> string -> bytes -> unit
+(** Atomic single-file publication: write [path ^ ".tmp"], fsync, rename
+    over [path].  Exposed for the WAL's checkpoint files, which need the
+    same crash discipline as {!save}. *)

@@ -562,6 +562,59 @@ let check t =
   in
   ordered (all_nodes t)
 
+(* Independent structural copy: clone the DOM, then transport every table
+   onto the clone through the old-serial -> new-node map built by walking
+   both trees in lockstep (Dom.clone preserves child order, so the
+   traversals are isomorphic by construction).  The K table is a persistent
+   value and is shared; everything mutable is private to the copy.  This is
+   O(nodes) of pointer work — no serialization, no re-enumeration, no
+   consistency sweep — which is what makes per-batch snapshot publication
+   cheap (the server's incremental publish path). *)
+let clone t =
+  let root' = Dom.clone t.root in
+  let map = Hashtbl.create (max 16 (Hashtbl.length t.id_of * 2)) in
+  let rec walk a b =
+    Hashtbl.replace map a.Dom.serial b;
+    List.iter2 walk a.Dom.children b.Dom.children
+  in
+  walk t.root root';
+  let node serial = Hashtbl.find map serial in
+  let id_of = Hashtbl.create (max 16 (Hashtbl.length t.id_of * 2)) in
+  Hashtbl.iter
+    (fun serial i -> Hashtbl.replace id_of (node serial).Dom.serial i)
+    t.id_of;
+  let node_at = Hashtbl.create (max 16 (Hashtbl.length t.node_at * 2)) in
+  Hashtbl.iter
+    (fun g inner ->
+      let inner' = Hashtbl.create (max 8 (Hashtbl.length inner * 2)) in
+      Hashtbl.iter
+        (fun l n -> Hashtbl.replace inner' l (node n.Dom.serial))
+        inner;
+      Hashtbl.replace node_at g inner')
+    t.node_at;
+  let global_of_root =
+    Hashtbl.create (max 16 (Hashtbl.length t.global_of_root * 2))
+  in
+  Hashtbl.iter
+    (fun serial g -> Hashtbl.replace global_of_root (node serial).Dom.serial g)
+    t.global_of_root;
+  let root_of_global =
+    Hashtbl.create (max 16 (Hashtbl.length t.root_of_global * 2))
+  in
+  Hashtbl.iter
+    (fun g n -> Hashtbl.replace root_of_global g (node n.Dom.serial))
+    t.root_of_global;
+  {
+    kappa = t.kappa;
+    ktable = t.ktable;
+    frame = Frame.remap t.frame ~root:root' ~node;
+    id_of;
+    node_at;
+    global_of_root;
+    root_of_global;
+    root = root';
+  }
+
 let restore ~kappa ~ktable ~ids root =
   let nodes = Dom.preorder root in
   if List.length nodes <> List.length ids then

@@ -45,6 +45,14 @@ val restore :
     @raise Invalid_argument if the identifier list does not match the tree
     or is internally inconsistent (checked via {!check_consistency}). *)
 
+val clone : t -> t
+(** Independent deep copy: a fresh DOM clone with every identifier, area
+    table and frame transported onto it (the persistent K table is
+    shared).  Identifiers are bit-identical to the source; mutating either
+    copy never affects the other.  O(nodes) of pointer work with no
+    serialization round-trip or consistency sweep — the fast path behind
+    incremental snapshot publication in the server. *)
+
 (** {1 Global parameters (what must sit in main memory)} *)
 
 val kappa : t -> int

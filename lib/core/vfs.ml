@@ -5,6 +5,8 @@ type t = {
   load : string -> bytes;
   store : string -> bytes -> unit;
   append : string -> bytes -> unit;
+  append_nosync : string -> bytes -> unit;
+  sync : string -> unit;
   rename : src:string -> dst:string -> unit;
   remove : string -> unit;
   exists : string -> bool;
@@ -45,6 +47,12 @@ let real =
         with_fd path Unix.[ O_WRONLY; O_CREAT; O_APPEND ] (fun fd ->
             write_all fd b;
             Unix.fsync fd));
+    append_nosync =
+      (fun path b ->
+        with_fd path Unix.[ O_WRONLY; O_CREAT; O_APPEND ] (fun fd ->
+            write_all fd b));
+    sync =
+      (fun path -> with_fd path Unix.[ O_WRONLY ] (fun fd -> Unix.fsync fd));
     rename = (fun ~src ~dst -> Sys.rename src dst);
     remove = (fun path -> Sys.remove path);
     exists = (fun path -> Sys.file_exists path);

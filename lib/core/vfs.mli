@@ -24,6 +24,10 @@ type t = {
   load : string -> bytes;  (** whole-file read *)
   store : string -> bytes -> unit;  (** create/truncate, write all, fsync *)
   append : string -> bytes -> unit;  (** append at end (creating), fsync *)
+  append_nosync : string -> bytes -> unit;
+      (** append without forcing durability; pair with {!field-sync}.  The
+          write may sit in the page cache — a crash can lose or tear it. *)
+  sync : string -> unit;  (** force previously appended bytes to disk *)
   rename : src:string -> dst:string -> unit;  (** atomic within a directory *)
   remove : string -> unit;
   exists : string -> bool;

@@ -12,6 +12,17 @@ type cache_stats = {
   bytes : int;
 }
 
+type write_stats = {
+  batches : int;
+  records : int;
+  max_batch : int;
+  flush_ns : float;
+  publish_incremental : int;
+  publish_full : int;
+  areas_rebuilt : int;
+  rotations : int;
+}
+
 type t = {
   mu : Mutex.t;
   total : counters;
@@ -24,6 +35,7 @@ type t = {
   mutable snapshot_probe : (unit -> int * float) option;
   mutable cache_probe : (unit -> cache_stats) option;
   mutable domain_probe : (unit -> float array) option;
+  mutable write_probe : (unit -> write_stats) option;
 }
 
 let create () =
@@ -39,6 +51,7 @@ let create () =
     snapshot_probe = None;
     cache_probe = None;
     domain_probe = None;
+    write_probe = None;
   }
 
 let locked t f =
@@ -91,6 +104,7 @@ let set_queue_probe t f = locked t (fun () -> t.queue_probe <- Some f)
 let set_snapshot_probe t f = locked t (fun () -> t.snapshot_probe <- Some f)
 let set_cache_probe t f = locked t (fun () -> t.cache_probe <- Some f)
 let set_domain_probe t f = locked t (fun () -> t.domain_probe <- Some f)
+let set_write_probe t f = locked t (fun () -> t.write_probe <- Some f)
 
 type summary = {
   requests : int;
@@ -167,6 +181,10 @@ let render t =
     | Some f -> Some (f ())
     | None -> None
   in
+  let write = match locked t (fun () -> t.write_probe) with
+    | Some f -> Some (f ())
+    | None -> None
+  in
   let dropped = locked t (fun () -> t.dropped) in
   let b = Buffer.create 512 in
   Buffer.add_string b
@@ -196,6 +214,20 @@ let render t =
          (String.concat ","
             (Array.to_list
                (Array.map (fun s -> Printf.sprintf "%.1f" (s *. 1e3)) busy)))));
+  (match write with
+  | None -> ()
+  | Some w ->
+    Buffer.add_string b
+      (Printf.sprintf
+         "wal_batches=%d wal_records=%d wal_max_batch=%d wal_mean_batch=%.2f wal_flush_ms=%.1f wal_rotations=%d\n"
+         w.batches w.records w.max_batch
+         (if w.batches = 0 then 0.
+          else float_of_int w.records /. float_of_int w.batches)
+         (w.flush_ns /. 1e6) w.rotations);
+    Buffer.add_string b
+      (Printf.sprintf
+         "publish_incremental=%d publish_full=%d areas_rebuilt=%d\n"
+         w.publish_incremental w.publish_full w.areas_rebuilt));
   List.iter
     (fun (v, ok, err, busy) ->
       Buffer.add_string b

@@ -48,6 +48,21 @@ val set_domain_probe : t -> (unit -> float array) -> unit
 (** Gauge: per-domain busy time in seconds accumulated by the read
     executor; rendered as [domains=N domain_busy_ms=a,b,...] when set. *)
 
+type write_stats = {
+  batches : int;  (** commit batches fsynced (group commits) *)
+  records : int;  (** update records across those batches *)
+  max_batch : int;  (** largest single batch *)
+  flush_ns : float;  (** total time in append+fsync, nanoseconds *)
+  publish_incremental : int;  (** snapshots derived by clone + replay *)
+  publish_full : int;  (** snapshots re-captured via the sidecar *)
+  areas_rebuilt : int;  (** area renumberings across incremental publishes *)
+  rotations : int;  (** WAL segment rotations (checkpoints cut) *)
+}
+
+val set_write_probe : t -> (unit -> write_stats) -> unit
+(** Gauge: group-commit pipeline counters; rendered as [wal_*] (with a
+    derived mean batch size) and [publish_*] keys when set. *)
+
 (** {1 Reading} *)
 
 type summary = {

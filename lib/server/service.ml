@@ -11,11 +11,15 @@ type config = {
   max_area_size : int;
   domains : int;
   cache_mb : int;
+  commit_interval_us : int;
+  commit_max_batch : int;
+  wal_segment_bytes : int;
 }
 
 let default_config ~socket_path ~data_dir () =
   { socket_path; data_dir; workers = 4; max_queue = 0; deadline_ms = 0;
-    max_area_size = 64; domains = 0; cache_mb = 0 }
+    max_area_size = 64; domains = 0; cache_mb = 0;
+    commit_interval_us = 0; commit_max_batch = 64; wal_segment_bytes = 0 }
 
 (* E13 showed the old fixed default rejecting 67% of a 90/10 mix at only
    8 clients: a queue bound that ignores the pool size punishes exactly
@@ -35,6 +39,10 @@ let validate_config c =
   else if c.max_area_size < 2 then Error "max-area-size must be >= 2"
   else if c.domains < 0 then Error "domains must be >= 0 (0 disables)"
   else if c.cache_mb < 0 then Error "cache-mb must be >= 0 (0 disables)"
+  else if c.commit_interval_us < 0 then Error "commit-interval-us must be >= 0"
+  else if c.commit_max_batch < 1 then Error "commit-batch must be >= 1"
+  else if c.wal_segment_bytes < 0 then
+    Error "wal-segment-bytes must be >= 0 (0 disables rotation)"
   else if c.socket_path = "" then Error "socket path must not be empty"
   else if String.length c.socket_path > max_socket_path then
     Error
@@ -76,9 +84,31 @@ type master = {
   name : string;
   r2 : R2.t;  (** the writer's private mutable state; never read by readers *)
   wal : Wal.writer;
+  mutable applied_seq : int;
+      (** sequence number of the last operation applied to [r2]; runs ahead
+          of [Wal.seq wal] while records sit in the commit queue *)
   xml_path : string;
   sidecar_path : string;
   wal_path : string;
+}
+
+(* One applied-but-not-yet-durable update, parked in the commit queue. *)
+type pending = {
+  doc_index : int;
+  record : Wal.record;
+  version : int;  (** the snapshot version this update introduces *)
+  iv : Protocol.response Ivar.t;
+}
+
+type write_counters = {
+  mutable w_batches : int;
+  mutable w_records : int;
+  mutable w_max_batch : int;
+  mutable w_flush_ns : float;
+  mutable w_pub_inc : int;
+  mutable w_pub_full : int;
+  mutable w_areas : int;
+  mutable w_rotations : int;
 }
 
 type t = {
@@ -87,6 +117,11 @@ type t = {
   masters : master array;
   current : Snapshot.t Atomic.t;
   write_mu : Mutex.t;
+  group_mu : Mutex.t;  (** guards the commit queue, leader flag, counters *)
+  group_queue : pending Queue.t;
+  mutable group_committing : bool;  (** a leader is flushing; join the queue *)
+  mutable last_version : int;  (** version of the last applied update *)
+  writes : write_counters;
   sched : Scheduler.t;
   exec : Executor.t option;  (** parallel read pool; [None] = systhreads *)
   cache : Query_cache.t option;
@@ -203,9 +238,203 @@ let run_query t src =
         else " ids " ^ String.concat " " shown
              ^ if total > id_cap then " ..." else ""))
 
+(* --- Group commit -------------------------------------------------
+
+   An UPDATE splits into two phases.  Under [write_mu] the operation is
+   applied to the master numbering, given a sequence number and a snapshot
+   version, and parked in the commit queue — microseconds of work.  The
+   durable part (one WAL append + fsync, one snapshot publication) is done
+   by a {e leader}: the first thread to find no commit in flight.  Every
+   record that arrives while the leader's fsync is in the kernel coalesces
+   into the next batch frame, so N concurrent writers share one fsync
+   instead of paying N — the group commit.  A lone writer is always its own
+   leader and commits immediately: its latency is one append + fsync +
+   publish, exactly the unbatched path.  Followers park on their response
+   ivar; the leader fills it after the batch's fsync and publication, so an
+   UPDATE is never acknowledged before it is durable {e and} visible. *)
+
+(* Drain up to [commit_max_batch] queued updates (leader only). *)
+let take_batch t =
+  Mutex.lock t.group_mu;
+  let rec go acc n =
+    if n = 0 || Queue.is_empty t.group_queue then List.rev acc
+    else go (Queue.pop t.group_queue :: acc) (n - 1)
+  in
+  let batch = go [] t.cfg.commit_max_batch in
+  Mutex.unlock t.group_mu;
+  batch
+
+(* Rotate the WAL of every document whose segment outgrew the threshold,
+   checkpointing from the just-published snapshot copy: that copy is the
+   exact durable state (base + every fsynced record), already isolated from
+   the master, so serializing it races with nothing. *)
+let maybe_rotate t snap groups =
+  if t.cfg.wal_segment_bytes > 0 then
+    List.iter
+      (fun (idx, _) ->
+        let m = t.masters.(idx) in
+        if Wal.should_rotate m.wal ~threshold:t.cfg.wal_segment_bytes then
+          match Snapshot.find snap m.name with
+          | None -> ()
+          | Some (_, d) ->
+            let r2 = d.Snapshot.r2 in
+            ignore
+              (Wal.rotate m.wal
+                 ~xml:(Ruid.Persist.xml_to_bytes r2)
+                 ~sidecar:(Ruid.Persist.sidecar_to_bytes r2));
+            Mutex.lock t.group_mu;
+            t.writes.w_rotations <- t.writes.w_rotations + 1;
+            Mutex.unlock t.group_mu)
+      groups
+
+let commit_batch t batch =
+  (* Per-document record groups, queue order preserved (per-document
+     subsequences of a FIFO queue keep their sequence numbers consecutive,
+     which is what [Wal.append_batch] checks). *)
+  let by_doc = Hashtbl.create 4 and order = ref [] in
+  List.iter
+    (fun p ->
+      match Hashtbl.find_opt by_doc p.doc_index with
+      | Some l -> l := p :: !l
+      | None ->
+        Hashtbl.replace by_doc p.doc_index (ref [ p ]);
+        order := p.doc_index :: !order)
+    batch;
+  (* [order] holds first-touch indexes newest first; rev_map restores
+     first-touch order. *)
+  let groups =
+    List.rev_map (fun idx -> (idx, List.rev !(Hashtbl.find by_doc idx))) !order
+  in
+  (* 1. Durability: one batch frame + one fsync per touched document. *)
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun (idx, ps) ->
+      Wal.append_batch t.masters.(idx).wal (List.map (fun p -> p.record) ps))
+    groups;
+  let flush_ns = (Unix.gettimeofday () -. t0) *. 1e9 in
+  (* 2. Publication, once for the whole batch.  The snapshot can already be
+     ahead of some records here (a previous full-fallback publication
+     captured the master mid-queue), so only operations introducing a newer
+     version are replayed — never apply an op to a snapshot twice. *)
+  let prev = Atomic.get t.current in
+  let last_version =
+    List.fold_left (fun acc p -> max acc p.version) 0 batch
+  in
+  let updates =
+    List.filter_map
+      (fun (idx, ps) ->
+        match
+          List.filter (fun p -> p.version > prev.Snapshot.version) ps
+        with
+        | [] -> None
+        | fresh ->
+          Some (idx, List.map (fun p -> p.record.Wal.op) fresh))
+      groups
+  in
+  let published =
+    if updates = [] then prev
+    else
+      match Snapshot.advance prev ~version:last_version updates with
+      | next, areas ->
+        Atomic.set t.current next;
+        Mutex.lock t.group_mu;
+        t.writes.w_pub_inc <- t.writes.w_pub_inc + 1;
+        t.writes.w_areas <- t.writes.w_areas + areas;
+        Mutex.unlock t.group_mu;
+        next
+      | exception _ ->
+        (* Full fallback: re-capture the touched documents from their
+           masters through the sidecar round-trip.  Under [write_mu] the
+           masters cannot advance, but they may already be ahead of this
+           batch (later arrivals applied during our fsync), so the capture
+           is published at the masters' own version; those queued records
+           are fsynced by this same leader before their acks. *)
+        Mutex.lock t.write_mu;
+        Fun.protect ~finally:(fun () -> Mutex.unlock t.write_mu)
+        @@ fun () ->
+        let version = t.last_version in
+        let next =
+          List.fold_left
+            (fun s (idx, _) ->
+              Snapshot.replace_doc s ~version ~doc_index:idx
+                t.masters.(idx).r2)
+            prev groups
+        in
+        Atomic.set t.current next;
+        Mutex.lock t.group_mu;
+        t.writes.w_pub_full <- t.writes.w_pub_full + 1;
+        Mutex.unlock t.group_mu;
+        next
+  in
+  (* 3. Acknowledge: durable and visible. *)
+  let n = List.length batch in
+  Mutex.lock t.group_mu;
+  t.writes.w_batches <- t.writes.w_batches + 1;
+  t.writes.w_records <- t.writes.w_records + n;
+  if n > t.writes.w_max_batch then t.writes.w_max_batch <- n;
+  t.writes.w_flush_ns <- t.writes.w_flush_ns +. flush_ns;
+  Mutex.unlock t.group_mu;
+  List.iter
+    (fun p ->
+      Ivar.fill p.iv
+        (Protocol.Ok_
+           (Printf.sprintf "v=%d seq=%d area=%d changed=%d batch=%d"
+              p.version p.record.Wal.seq p.record.Wal.area
+              p.record.Wal.changed n)))
+    batch;
+  (* 4. Segment rotation, only when the published snapshot is exactly the
+     durable prefix (its version matches the batch tail) — a snapshot that
+     ran ahead via the fallback would checkpoint unfsynced operations. *)
+  if published.Snapshot.version = last_version then
+    maybe_rotate t published groups
+
+let rec leader_loop t =
+  (* Optional pacing: with a configured interval, wait for stragglers
+     unless the queue already fills a batch.  The default interval of 0
+     relies on natural batching — whatever arrives during the in-flight
+     fsync forms the next batch — and costs a lone writer nothing. *)
+  if t.cfg.commit_interval_us > 0 then begin
+    Mutex.lock t.group_mu;
+    let n = Queue.length t.group_queue in
+    Mutex.unlock t.group_mu;
+    if n < t.cfg.commit_max_batch then
+      Thread.delay (float_of_int t.cfg.commit_interval_us *. 1e-6)
+  end;
+  let batch = take_batch t in
+  (try commit_batch t batch
+   with e ->
+     (* Never strand a follower: a failed commit (I/O error mid-batch)
+        reports to every parked session rather than hanging them.  The
+        records' durability is unknown; the error says so. *)
+     let msg =
+       Printf.sprintf "commit failed (durability unknown): %s"
+         (Printexc.to_string e)
+     in
+     List.iter (fun p -> Ivar.fill p.iv (Protocol.Err msg)) batch);
+  (* Retire only on an empty queue: arrivals since the drain saw the
+     committing flag up and parked without electing a leader. *)
+  let continue =
+    Mutex.lock t.group_mu;
+    let more = not (Queue.is_empty t.group_queue) in
+    if not more then t.group_committing <- false;
+    Mutex.unlock t.group_mu;
+    more
+  in
+  if continue then leader_loop t
+
+let commit_pump t =
+  let lead =
+    Mutex.lock t.group_mu;
+    let lead =
+      (not t.group_committing) && not (Queue.is_empty t.group_queue)
+    in
+    if lead then t.group_committing <- true;
+    Mutex.unlock t.group_mu;
+    lead
+  in
+  if lead then leader_loop t
+
 let run_update t doc op =
-  Mutex.lock t.write_mu;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.write_mu) @@ fun () ->
   let idx =
     let r = ref (-1) in
     Array.iteri (fun i m -> if m.name = doc then r := i) t.masters;
@@ -213,22 +442,38 @@ let run_update t doc op =
   in
   if idx < 0 then Protocol.Err (Printf.sprintf "unknown document %S" doc)
   else begin
-    let m = t.masters.(idx) in
-    match Wal.log_update m.wal m.r2 op with
-    | record ->
-      (* Durable in the WAL; now publish.  Only this thread swaps the
-         snapshot, so read-modify-write under write_mu is safe. *)
-      let prev = Atomic.get t.current in
-      let next =
-        Snapshot.replace_doc prev ~version:(prev.Snapshot.version + 1)
-          ~doc_index:idx m.r2
-      in
-      Atomic.set t.current next;
-      Protocol.Ok_
-        (Printf.sprintf "v=%d seq=%d area=%d changed=%d"
-           next.Snapshot.version record.Wal.seq record.Wal.area
-           record.Wal.changed)
-    | exception Wal.Replay_error msg -> Protocol.Err ("update rejected: " ^ msg)
+    (* Phase 1: apply + enqueue, under the write lock only. *)
+    Mutex.lock t.write_mu;
+    let queued =
+      match
+        let m = t.masters.(idx) in
+        let area, changed = Wal.apply m.r2 op in
+        m.applied_seq <- m.applied_seq + 1;
+        t.last_version <- t.last_version + 1;
+        let p =
+          {
+            doc_index = idx;
+            record = { Wal.seq = m.applied_seq; op; area; changed };
+            version = t.last_version;
+            iv = Ivar.create ();
+          }
+        in
+        Mutex.lock t.group_mu;
+        Queue.add p t.group_queue;
+        Mutex.unlock t.group_mu;
+        p
+      with
+      | p -> Ok p
+      | exception Wal.Replay_error msg -> Error msg
+    in
+    Mutex.unlock t.write_mu;
+    (* Phase 2: commit — as the leader, or by parking on the ivar while the
+       current leader folds this record into its next batch. *)
+    match queued with
+    | Error msg -> Protocol.Err ("update rejected: " ^ msg)
+    | Ok p ->
+      commit_pump t;
+      Ivar.read p.iv
   end
 
 let run_check t doc =
@@ -304,8 +549,10 @@ let stop t =
     (* 3. drain the admitted queues, park the workers and the domains *)
     Scheduler.shutdown t.sched;
     (match t.exec with Some ex -> Executor.shutdown ex | None -> ());
-    (* 4. the WAL needs no flush — every record was fsynced at commit;
-       with the write lock free and workers gone, the files are final *)
+    (* 4. the WAL needs no flush — every batch was fsynced at commit, and
+       the commit queue is provably empty: each queued record's session
+       was joined above, which required its ack, which a leader only
+       issues after the batch's fsync.  The files are final. *)
     (try Sys.remove t.cfg.socket_path with Sys_error _ -> ());
     Mutex.lock t.state_mu;
     t.state <- `Stopped;
@@ -473,7 +720,8 @@ let start cfg docs =
            let wal_path = base ^ ".wal" in
            Ruid.Persist.save r2 ~xml:xml_path ~sidecar:sidecar_path;
            let wal = Wal.create wal_path in
-           { name; r2; wal; xml_path; sidecar_path; wal_path })
+           { name; r2; wal; applied_seq = 0; xml_path; sidecar_path;
+             wal_path })
          docs)
   in
   let snapshot0 =
@@ -514,6 +762,13 @@ let start cfg docs =
       masters;
       current = Atomic.make snapshot0;
       write_mu = Mutex.create ();
+      group_mu = Mutex.create ();
+      group_queue = Queue.create ();
+      group_committing = false;
+      last_version = snapshot0.Snapshot.version;
+      writes =
+        { w_batches = 0; w_records = 0; w_max_batch = 0; w_flush_ns = 0.;
+          w_pub_inc = 0; w_pub_full = 0; w_areas = 0; w_rotations = 0 };
       sched;
       exec;
       cache;
@@ -549,5 +804,22 @@ let start cfg docs =
   (match t.exec with
   | Some ex -> Metrics.set_domain_probe metrics (fun () -> Executor.busy_seconds ex)
   | None -> ());
+  Metrics.set_write_probe metrics (fun () ->
+      Mutex.lock t.group_mu;
+      let w = t.writes in
+      let s =
+        {
+          Metrics.batches = w.w_batches;
+          records = w.w_records;
+          max_batch = w.w_max_batch;
+          flush_ns = w.w_flush_ns;
+          publish_incremental = w.w_pub_inc;
+          publish_full = w.w_pub_full;
+          areas_rebuilt = w.w_areas;
+          rotations = w.w_rotations;
+        }
+      in
+      Mutex.unlock t.group_mu;
+      s);
   t.accept_thread <- Some (Thread.create accept_loop t);
   t

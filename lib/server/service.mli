@@ -19,10 +19,21 @@
       are memoized in a snapshot-versioned sharded LRU ({!Query_cache})
       whose keys embed the snapshot version — a cached answer can never
       be stale, and publication needs no invalidation protocol.
-    - {e Writes are serialized.}  A single mutex orders updates; each one
-      is applied to the master numbering and fsynced into the document's
-      WAL before the snapshot swap, so the on-disk journal is always a
-      redo log of everything any client was ever told ([OK seq=...]).
+    - {e Writes are serialized, committed in groups.}  A single mutex
+      orders updates: each is applied to the master numbering, sequenced,
+      and parked in a commit queue.  A leader thread drains the queue and
+      fsyncs up to [commit_max_batch] records as {e one} WAL batch frame,
+      then publishes {e one} snapshot for the whole batch — derived
+      incrementally from the previous snapshot (clone + replay of just the
+      touched areas) rather than a full serialize/reparse.  Records that
+      arrive during an in-flight fsync coalesce into the next batch, so
+      concurrent writers share fsyncs (group commit) while a lone writer
+      commits immediately with unbatched latency.  An UPDATE is
+      acknowledged only after its batch's fsync and publication, so the
+      on-disk journal is always a redo log of everything any client was
+      ever told ([OK seq=...]).  With [wal_segment_bytes > 0] a document's
+      journal is rotated once it outgrows the threshold: a checkpoint of
+      the durable state is cut and replay restarts from it.
     - {e Overload is explicit.}  The admission queue is bounded; beyond it
       clients get [BUSY] immediately, and a per-request deadline turns
       stale queued work into [BUSY] instead of late replies.
@@ -45,11 +56,23 @@ type config = {
   domains : int;  (** read-executor domain count; 0 = reads share the
                       systhread pool (single-domain behavior) *)
   cache_mb : int;  (** result-cache budget in MiB; 0 disables caching *)
+  commit_interval_us : int;
+      (** extra microseconds a commit leader waits for stragglers before
+          flushing a non-full batch; 0 (the default) = natural batching
+          only — arrivals during the in-flight fsync form the next batch,
+          and a lone writer never waits *)
+  commit_max_batch : int;
+      (** most records coalesced into one WAL batch frame / one snapshot
+          publication; 1 = unbatched (every record its own fsync) *)
+  wal_segment_bytes : int;
+      (** rotate a document's WAL segment once it reaches this size,
+          cutting a checkpoint; 0 disables rotation *)
 }
 
 val default_config : socket_path:string -> data_dir:string -> unit -> config
 (** workers 4, max_queue 0 (= 4 × workers), deadline_ms 0,
-    max_area_size 64, domains 0, cache_mb 0. *)
+    max_area_size 64, domains 0, cache_mb 0, commit_interval_us 0,
+    commit_max_batch 64, wal_segment_bytes 0. *)
 
 val resolved_max_queue : config -> int
 (** The effective per-pool admission bound: [max_queue] when positive,
@@ -58,7 +81,8 @@ val resolved_max_queue : config -> int
 val validate_config : config -> (unit, string) result
 (** Bounds checking for the CLI flags: workers >= 1, max_queue >= 0
     (0 = auto), deadline_ms >= 0, max_area_size >= 2, domains >= 0,
-    cache_mb >= 0, socket path non-empty and short enough for
+    cache_mb >= 0, commit_interval_us >= 0, commit_max_batch >= 1,
+    wal_segment_bytes >= 0, socket path non-empty and short enough for
     [sockaddr_un]. *)
 
 type t

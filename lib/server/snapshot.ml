@@ -32,6 +32,37 @@ let replace_doc t ~version ~doc_index master =
   docs.(doc_index) <- capture_doc docs.(doc_index).name master;
   { version; published_at = Unix.gettimeofday (); docs }
 
+(* Incremental capture: instead of a sidecar serialize + reparse of the
+   master, clone the PREVIOUS snapshot's copy (pointer work, no encoding)
+   and replay the batch's logical operations on the clone.  [Wal.apply] is
+   deterministic, so the clone converges to identifiers bit-identical to
+   the master that already applied the same ops — the equivalence the
+   server property test pins across random update sequences.  Returns the
+   new doc plus how many area-renumberings the replay performed (the
+   [areas_rebuilt] metric: everything else was shared, not rebuilt). *)
+let advance_doc prev ops =
+  let r2 = R2.clone prev.r2 in
+  let areas = Hashtbl.create 8 in
+  List.iter
+    (fun op ->
+      let area, _changed = Rstorage.Wal.apply r2 op in
+      Hashtbl.replace areas area ())
+    ops;
+  ( { name = prev.name; root = R2.root r2; r2;
+      engine = Rxpath.Engine_ruid.create r2 },
+    Hashtbl.length areas )
+
+let advance t ~version updates =
+  let docs = Array.copy t.docs in
+  let rebuilt = ref 0 in
+  List.iter
+    (fun (doc_index, ops) ->
+      let doc, areas = advance_doc docs.(doc_index) ops in
+      docs.(doc_index) <- doc;
+      rebuilt := !rebuilt + areas)
+    updates;
+  ({ version; published_at = Unix.gettimeofday (); docs }, !rebuilt)
+
 let find t name =
   let rec go i =
     if i >= Array.length t.docs then None

@@ -39,6 +39,18 @@ val replace_doc : t -> version:int -> doc_index:int -> Ruid.Ruid2.t -> t
 (** Copy-on-write publication: new snapshot sharing every document except
     [doc_index], which is re-captured from the (just-updated) master. *)
 
+val advance : t -> version:int -> (int * Rstorage.Wal.op list) list -> t * int
+(** Incremental publication: for each [(doc_index, ops)], derive the new
+    copy from {e this} snapshot's copy — {!Ruid.Ruid2.clone} plus a replay
+    of the batch's operations — instead of the sidecar serialize + reparse
+    of {!replace_doc}.  [Rstorage.Wal.apply] is deterministic, so the
+    result is bit-identical to re-capturing the master that applied the
+    same operations, at the cost of the touched areas only.  Untouched
+    documents are shared as in {!replace_doc}.  Returns the snapshot and
+    the total number of area renumberings performed (the rebuilt surface).
+    @raise Rstorage.Wal.Replay_error if an operation does not apply —
+    callers fall back to {!replace_doc}. *)
+
 val find : t -> string -> (int * doc) option
 val doc_names : t -> string list
 

@@ -15,14 +15,17 @@ type outcome = {
   journal_bytes : int;
   touched_areas : int;
   untouched_checked : int;
+  batches : int;
+  checkpoint_ops : int;
 }
 
 let pp_outcome ppf o =
   Format.fprintf ppf
-    "%d nodes; %d/%d ops survived a cut at byte %d of %d; %d area(s) \
-     touched, %d untouched identifier(s) verified byte-identical"
-    o.nodes o.ops_survived o.ops_total o.cut o.journal_bytes o.touched_areas
-    o.untouched_checked
+    "%d nodes; %d/%d ops survived a cut at byte %d of %d (%d via \
+     checkpoint, %d batch frame(s)); %d area(s) touched, %d untouched \
+     identifier(s) verified byte-identical"
+    o.nodes o.ops_survived o.ops_total o.cut o.journal_bytes o.checkpoint_ops
+    o.batches o.touched_areas o.untouched_checked
 
 let wal_op_of_update = function
   | Updates.Insert { parent_rank; pos } ->
@@ -37,7 +40,8 @@ let encoded_ids r2 =
     (R2.all_nodes r2)
 
 let run ?(vfs = Ruid.Vfs.real) ~dir ~seed ?(ops = 64) ?(size = 200)
-    ?(area = 8) ?cut () =
+    ?(area = 8) ?cut ?(batch = 1) ?checkpoint_after () =
+  if batch < 1 then invalid_arg "Crashsim.run: batch must be >= 1";
   let xml = Filename.concat dir "snapshot.xml"
   and sidecar = Filename.concat dir "snapshot.ruid"
   and wal = Filename.concat dir "journal.wal" in
@@ -48,22 +52,61 @@ let run ?(vfs = Ruid.Vfs.real) ~dir ~seed ?(ops = 64) ?(size = 200)
   let script =
     List.map wal_op_of_update (Updates.script ~seed:(seed + 1) ~ops base)
   in
-  (* Live instance: snapshot, then run the whole script through the log. *)
+  (* Live instance: snapshot, then run the whole script through the log,
+     [batch] records per commit frame, optionally rotating to a checkpoint
+     segment after [checkpoint_after] operations. *)
   let live = R2.number ~max_area_size:area base in
   Ruid.Persist.save ~vfs live ~xml ~sidecar;
   let w = Wal.create ~vfs wal in
-  List.iter (fun op -> ignore (Wal.log_update w live op)) script;
+  let groups =
+    let rec go acc cur k = function
+      | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+      | op :: rest ->
+        if k = batch then go (List.rev cur :: acc) [ op ] 1 rest
+        else go acc (op :: cur) (k + 1) rest
+    in
+    go [] [] 0 script
+  in
+  let appended = ref 0 and checkpoint_ops = ref 0 and cut_floor = ref 0 in
+  List.iter
+    (fun group ->
+      let base_seq = Wal.seq w in
+      let records =
+        List.mapi
+          (fun i op ->
+            let area, changed = Wal.apply live op in
+            { Wal.seq = base_seq + 1 + i; op; area; changed })
+          group
+      in
+      Wal.append_batch w records;
+      appended := !appended + List.length records;
+      match checkpoint_after with
+      | Some n when !checkpoint_ops = 0 && !appended >= n ->
+        (* The rotation protocol fsyncs the new segment before renaming it
+           into place, so the simulated tear never reaches below the
+           post-rotation journal size. *)
+        checkpoint_ops := !appended;
+        ignore
+          (Wal.rotate w
+             ~xml:(Ruid.Persist.xml_to_bytes live)
+             ~sidecar:(Ruid.Persist.sidecar_to_bytes live));
+        cut_floor := vfs.Ruid.Vfs.size wal
+      | _ -> ())
+    groups;
   (* The crash: the journal survives only up to [cut] bytes. *)
   let journal_bytes = vfs.Ruid.Vfs.size wal in
   let cut =
     match cut with
-    | Some c -> max 0 (min c journal_bytes)
-    | None -> Rng.int_in (Rng.create ((seed * 2654435761) lor 1)) 0 journal_bytes
+    | Some c -> max !cut_floor (min c journal_bytes)
+    | None ->
+      Rng.int_in
+        (Rng.create ((seed * 2654435761) lor 1))
+        !cut_floor journal_bytes
   in
   Fault.torn_tail ~vfs wal ~keep:cut;
   (* Recovery under test. *)
   let recovery = Wal.replay ~vfs ~xml ~sidecar ~wal () in
-  let survived = List.length recovery.Wal.replayed in
+  let survived = !checkpoint_ops + List.length recovery.Wal.replayed in
   (* Authoritative replica: reload the snapshot and re-apply the surviving
      prefix entirely in memory, remembering every pre-crash identifier and
      which areas the prefix re-enumerated. *)
@@ -111,4 +154,6 @@ let run ?(vfs = Ruid.Vfs.real) ~dir ~seed ?(ops = 64) ?(size = 200)
     journal_bytes;
     touched_areas = Hashtbl.length touched;
     untouched_checked = !untouched_checked;
+    batches = recovery.Wal.journal.Wal.batches;
+    checkpoint_ops = !checkpoint_ops;
   }

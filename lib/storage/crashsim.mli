@@ -18,12 +18,18 @@ exception Mismatch of string
 type outcome = {
   nodes : int;  (** live nodes after recovery *)
   ops_total : int;  (** operations journaled before the cut *)
-  ops_survived : int;  (** records in the journal's valid prefix *)
+  ops_survived : int;
+      (** operations recovery reproduced: those folded into a checkpoint
+          plus the records in the active segment's valid prefix *)
   cut : int;  (** byte offset the journal was torn at *)
   journal_bytes : int;  (** journal size before the tear *)
   touched_areas : int;  (** distinct areas the surviving prefix renumbered *)
   untouched_checked : int;
       (** identifiers verified byte-identical to the snapshot *)
+  batches : int;  (** surviving frames that coalesced 2 or more records *)
+  checkpoint_ops : int;
+      (** operations already folded into the checkpoint (0 when the run
+          did not rotate) *)
 }
 
 val pp_outcome : Format.formatter -> outcome -> unit
@@ -40,10 +46,16 @@ val run :
   ?size:int ->
   ?area:int ->
   ?cut:int ->
+  ?batch:int ->
+  ?checkpoint_after:int ->
   unit ->
   outcome
 (** Run one experiment in [dir] (which must exist; files [snapshot.xml],
     [snapshot.ruid] and [journal.wal] are created or overwritten).  [cut]
     fixes the tear point; by default it is drawn deterministically from
-    [seed].
+    [seed].  [batch] (default 1) groups that many records per commit frame
+    ({!Wal.append_batch}), so a tear can drop a whole group at once.
+    [checkpoint_after] rotates the journal ({!Wal.rotate}) once, after that
+    many operations; the tear point then never falls below the fresh
+    segment's size, because rotation publishes it with fsync + rename.
     @raise Mismatch when recovery and replica disagree. *)

@@ -89,6 +89,13 @@ let wrap p (v : Vfs.t) =
     store = (fun path b -> maybe_short_write p v.Vfs.store ~op:"store" ~path b);
     append =
       (fun path b -> maybe_short_write p v.Vfs.append ~op:"append" ~path b);
+    append_nosync =
+      (fun path b ->
+        maybe_short_write p v.Vfs.append_nosync ~op:"append_nosync" ~path b);
+    sync =
+      (fun path ->
+        maybe_transient p ~path ~op:"sync";
+        v.Vfs.sync path);
     rename =
       (fun ~src ~dst ->
         maybe_transient p ~path:src ~op:"rename";

@@ -4,13 +4,25 @@ module Codec = Ruid.Codec
 module Crc32 = Ruid.Crc32
 module Vfs = Ruid.Vfs
 
-let header = "RWAL\x01"
+(* Two headers distinguish a base segment from one that starts at a
+   checkpoint: if the first frame of an "RWAC" segment does not decode to a
+   checkpoint record, recovery must refuse rather than silently fall back
+   to the (stale) base snapshot. *)
+let header = "RWAL\x02"
+let header_ckpt = "RWAC\x02"
 
 type op =
   | Insert of { parent_rank : int; pos : int; tag : string }
   | Delete of { rank : int }
 
 type record = { seq : int; op : op; area : int; changed : int }
+
+type checkpoint = {
+  gen : int;
+  base_seq : int;
+  xml_crc : int;
+  sidecar_crc : int;
+}
 
 let pp_op ppf = function
   | Insert { parent_rank; pos; tag } ->
@@ -20,6 +32,9 @@ let pp_op ppf = function
 let pp_record ppf r =
   Format.fprintf ppf "#%d %a -> area %d, %d ids rewritten" r.seq pp_op r.op
     r.area r.changed
+
+let pp_checkpoint ppf c =
+  Format.fprintf ppf "checkpoint gen %d after record #%d" c.gen c.base_seq
 
 exception Replay_error of string
 
@@ -67,8 +82,15 @@ let apply t op =
 (* Record framing                                                      *)
 (* ------------------------------------------------------------------ *)
 
-let encode_payload r =
-  let buf = Buffer.create 32 in
+(* Every frame is [varint payload-length | payload | CRC-32 LE], and every
+   payload starts with a kind tag: 0 = one record, 1 = a commit batch of
+   consecutive records (one checksum covers the whole batch, so a torn
+   batch drops atomically), 2 = a checkpoint. *)
+let kind_record = 0
+let kind_batch = 1
+let kind_checkpoint = 2
+
+let encode_record_body buf r =
   Codec.write_varint buf r.seq;
   (match r.op with
   | Insert { parent_rank; pos; tag } ->
@@ -81,11 +103,9 @@ let encode_payload r =
     Codec.write_varint buf 1;
     Codec.write_varint buf rank);
   Codec.write_varint buf r.area;
-  Codec.write_varint buf r.changed;
-  Buffer.contents buf
+  Codec.write_varint buf r.changed
 
-let encode_frame r =
-  let payload = encode_payload r in
+let frame_of_payload payload =
   let buf = Buffer.create (String.length payload + 8) in
   Codec.write_varint buf (String.length payload);
   Buffer.add_string buf payload;
@@ -94,6 +114,30 @@ let encode_frame r =
     Buffer.add_char buf (Char.chr ((crc lsr (8 * i)) land 0xFF))
   done;
   Buffer.to_bytes buf
+
+let encode_record_frame r =
+  let buf = Buffer.create 32 in
+  Codec.write_varint buf kind_record;
+  encode_record_body buf r;
+  frame_of_payload (Buffer.contents buf)
+
+let encode_batch_frame records =
+  let buf = Buffer.create 128 in
+  Codec.write_varint buf kind_batch;
+  Codec.write_varint buf (List.length records);
+  List.iter (encode_record_body buf) records;
+  frame_of_payload (Buffer.contents buf)
+
+let encode_checkpoint_frame c =
+  let buf = Buffer.create 32 in
+  Codec.write_varint buf kind_checkpoint;
+  Codec.write_varint buf c.gen;
+  Codec.write_varint buf c.base_seq;
+  Codec.write_varint buf c.xml_crc;
+  Codec.write_varint buf c.sidecar_crc;
+  frame_of_payload (Buffer.contents buf)
+
+type entry = Records of record list | Ckpt of checkpoint
 
 let decode_payload bytes ~pos ~len =
   let stop = pos + len in
@@ -105,24 +149,42 @@ let decode_payload bytes ~pos ~len =
     cur := p;
     v
   in
-  let seq = next () in
-  let op =
-    match next () with
-    | 0 ->
-      let parent_rank = next () in
-      let pos = next () in
-      let tag_len = next () in
-      if tag_len < 0 || !cur + tag_len > stop then failwith "truncated tag";
-      let tag = Bytes.sub_string bytes !cur tag_len in
-      cur := !cur + tag_len;
-      Insert { parent_rank; pos; tag }
-    | 1 -> Delete { rank = next () }
-    | k -> failwith (Printf.sprintf "unknown operation tag %d" k)
+  let record () =
+    let seq = next () in
+    let op =
+      match next () with
+      | 0 ->
+        let parent_rank = next () in
+        let pos = next () in
+        let tag_len = next () in
+        if tag_len < 0 || !cur + tag_len > stop then failwith "truncated tag";
+        let tag = Bytes.sub_string bytes !cur tag_len in
+        cur := !cur + tag_len;
+        Insert { parent_rank; pos; tag }
+      | 1 -> Delete { rank = next () }
+      | k -> failwith (Printf.sprintf "unknown operation tag %d" k)
+    in
+    let area = next () in
+    let changed = next () in
+    { seq; op; area; changed }
   in
-  let area = next () in
-  let changed = next () in
+  let entry =
+    match next () with
+    | 0 -> Records [ record () ]
+    | 1 ->
+      let count = next () in
+      if count < 1 then failwith "empty batch";
+      Records (List.init count (fun _ -> record ()))
+    | 2 ->
+      let gen = next () in
+      let base_seq = next () in
+      let xml_crc = next () in
+      let sidecar_crc = next () in
+      Ckpt { gen; base_seq; xml_crc; sidecar_crc }
+    | k -> failwith (Printf.sprintf "unknown frame kind %d" k)
+  in
   if !cur <> stop then failwith "trailing bytes in payload";
-  { seq; op; area; changed }
+  entry
 
 (* ------------------------------------------------------------------ *)
 (* Scanning                                                            *)
@@ -130,6 +192,9 @@ let decode_payload bytes ~pos ~len =
 
 type scan = {
   records : record list;
+  checkpoint : checkpoint option;
+  ckpt_expected : bool;
+  batches : int;
   valid_bytes : int;
   total_bytes : int;
   damage : string option;
@@ -142,7 +207,7 @@ let u32_le bytes pos =
   done;
   !v
 
-(* One frame at [pos]; [Ok (record, next)] or [Error why] (torn/corrupt). *)
+(* One frame at [pos]; [Ok (entry, next)] or [Error why] (torn/corrupt). *)
 let frame_at bytes ~pos total =
   match Codec.read_varint bytes ~pos with
   | exception Invalid_argument _ -> Error "torn record length"
@@ -158,7 +223,7 @@ let frame_at bytes ~pos total =
              stored actual)
       else
         match decode_payload bytes ~pos:payload_start ~len with
-        | r -> Ok (r, payload_start + len + 4)
+        | e -> Ok (e, payload_start + len + 4)
         | exception (Failure msg | Invalid_argument msg) ->
           Error (Printf.sprintf "undecodable record: %s" msg)
     end
@@ -167,44 +232,88 @@ let scan ?(vfs = Vfs.real) ?(attempts = 5) path =
   let bytes = Vfs.with_retries ~attempts (fun () -> vfs.Vfs.load path) in
   let total = Bytes.length bytes in
   let hlen = String.length header in
-  if total < hlen || Bytes.sub_string bytes 0 hlen <> header then
-    { records = []; valid_bytes = 0; total_bytes = total;
+  let head = if total < hlen then "" else Bytes.sub_string bytes 0 hlen in
+  if head <> header && head <> header_ckpt then
+    { records = []; checkpoint = None; ckpt_expected = false; batches = 0;
+      valid_bytes = 0; total_bytes = total;
       damage = Some "bad journal header" }
   else begin
+    let ckpt_expected = head = header_ckpt in
     let pos = ref hlen and valid = ref hlen in
     let records = ref [] and damage = ref None and last_seq = ref 0 in
+    let ckpt = ref None and batches = ref 0 and first = ref true in
     while !pos < total && !damage = None do
-      match frame_at bytes ~pos:!pos total with
+      (match frame_at bytes ~pos:!pos total with
       | Error why ->
         damage :=
           Some (Printf.sprintf "record %d at byte %d: %s"
                   (!last_seq + 1) !pos why)
-      | Ok (r, next) ->
-        if r.seq <> !last_seq + 1 then
-          damage :=
-            Some (Printf.sprintf
-                    "record at byte %d: sequence break (%d after %d)"
-                    !pos r.seq !last_seq)
-        else begin
-          records := r :: !records;
-          last_seq := r.seq;
-          pos := next;
-          valid := next
-        end
+      | Ok (entry, next) -> (
+        match entry with
+        | Ckpt c ->
+          if not (!first && ckpt_expected) then
+            damage :=
+              Some (Printf.sprintf
+                      "unexpected checkpoint record at byte %d" !pos)
+          else begin
+            ckpt := Some c;
+            last_seq := c.base_seq;
+            pos := next;
+            valid := next
+          end
+        | Records rs ->
+          if ckpt_expected && !first then
+            damage :=
+              Some "journal declares a checkpoint but starts with a record"
+          else begin
+            let break = ref None in
+            List.iter
+              (fun r ->
+                if !break = None then
+                  if r.seq <> !last_seq + 1 then
+                    break :=
+                      Some (Printf.sprintf
+                              "record at byte %d: sequence break (%d after %d)"
+                              !pos r.seq !last_seq)
+                  else begin
+                    records := r :: !records;
+                    last_seq := r.seq
+                  end)
+              rs;
+            match !break with
+            | Some why -> damage := Some why
+            | None ->
+              if List.length rs > 1 then incr batches;
+              pos := next;
+              valid := next
+          end));
+      first := false
     done;
-    { records = List.rev !records; valid_bytes = !valid; total_bytes = total;
+    { records = List.rev !records; checkpoint = !ckpt; ckpt_expected;
+      batches = !batches; valid_bytes = !valid; total_bytes = total;
       damage = !damage }
   end
 
 let repair ?(vfs = Vfs.real) ?(attempts = 5) path =
   let s = scan ~vfs ~attempts path in
-  if s.valid_bytes < String.length header then
+  if s.ckpt_expected && s.checkpoint = None then
+    (* The checkpoint record itself did not survive: truncating would
+       silently discard everything up to the checkpoint's base sequence.
+       Leave the file alone; replay/fsck report it unrecoverable.  (The
+       rotation protocol fsyncs the new segment before renaming it into
+       place, so this state indicates external corruption, not a crash.) *)
+    s
+  else if s.valid_bytes < String.length header then
     (* Header itself was torn: restart the journal. *)
-    Vfs.with_retries ~attempts (fun () ->
-        vfs.Vfs.store path (Bytes.of_string header))
-  else if s.valid_bytes < s.total_bytes then
-    Vfs.with_retries ~attempts (fun () -> vfs.Vfs.truncate path s.valid_bytes);
-  s
+    (Vfs.with_retries ~attempts (fun () ->
+         vfs.Vfs.store path (Bytes.of_string header));
+     s)
+  else begin
+    if s.valid_bytes < s.total_bytes then
+      Vfs.with_retries ~attempts (fun () ->
+          vfs.Vfs.truncate path s.valid_bytes);
+    s
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Writing                                                             *)
@@ -215,17 +324,22 @@ type writer = {
   vfs : Vfs.t;
   attempts : int;
   mutable last_seq : int;
+  mutable gen : int;  (* checkpoint generation of the active segment *)
 }
 
 let create ?(vfs = Vfs.real) ?(attempts = 5) path =
   Vfs.with_retries ~attempts (fun () ->
       vfs.Vfs.store path (Bytes.of_string header));
-  { path; vfs; attempts; last_seq = 0 }
+  { path; vfs; attempts; last_seq = 0; gen = 0 }
 
 let open_append ?(vfs = Vfs.real) ?(attempts = 5) ?(repair = false) path =
   if not (vfs.Vfs.exists path) then create ~vfs ~attempts path
   else begin
     let s = scan ~vfs ~attempts path in
+    if s.ckpt_expected && s.checkpoint = None then
+      invalid_arg
+        "Wal.open_append: journal declares a checkpoint that did not \
+         survive";
     let s =
       match s.damage with
       | None -> s
@@ -242,24 +356,109 @@ let open_append ?(vfs = Vfs.real) ?(attempts = 5) ?(repair = false) path =
         { s with total_bytes = s.valid_bytes; damage = None }
     in
     let last_seq =
-      match List.rev s.records with r :: _ -> r.seq | [] -> 0
+      match List.rev s.records with
+      | r :: _ -> r.seq
+      | [] -> ( match s.checkpoint with Some c -> c.base_seq | None -> 0)
     in
-    { path; vfs; attempts; last_seq }
+    let gen = match s.checkpoint with Some c -> c.gen | None -> 0 in
+    { path; vfs; attempts; last_seq; gen }
   end
 
 let seq w = w.last_seq
+let generation w = w.gen
 
 let append_record w r =
-  let frame = encode_frame r in
+  let frame = encode_record_frame r in
   Vfs.with_retries ~attempts:w.attempts (fun () ->
       w.vfs.Vfs.append w.path frame);
   w.last_seq <- r.seq
 
-let log_update w t op =
+let append_batch w records =
+  (match records with
+  | [] -> invalid_arg "Wal.append_batch: empty batch"
+  | _ -> ());
+  List.iteri
+    (fun i r ->
+      if r.seq <> w.last_seq + 1 + i then
+        invalid_arg
+          (Printf.sprintf
+             "Wal.append_batch: non-consecutive sequence %d (expected %d)"
+             r.seq (w.last_seq + 1 + i)))
+    records;
+  let frame =
+    match records with
+    | [ r ] -> encode_record_frame r
+    | rs -> encode_batch_frame rs
+  in
+  Vfs.with_retries ~attempts:w.attempts (fun () ->
+      w.vfs.Vfs.append w.path frame);
+  w.last_seq <- (List.nth records (List.length records - 1)).seq
+
+let log_update ?(sync = true) w t op =
   let area, changed = apply t op in
   let r = { seq = w.last_seq + 1; op; area; changed } in
-  append_record w r;
+  let frame = encode_record_frame r in
+  Vfs.with_retries ~attempts:w.attempts (fun () ->
+      if sync then w.vfs.Vfs.append w.path frame
+      else w.vfs.Vfs.append_nosync w.path frame);
+  w.last_seq <- r.seq;
   r
+
+let flush w =
+  Vfs.with_retries ~attempts:w.attempts (fun () -> w.vfs.Vfs.sync w.path)
+
+(* ------------------------------------------------------------------ *)
+(* Segment rotation + checkpointing                                    *)
+(* ------------------------------------------------------------------ *)
+
+let checkpoint_files path gen =
+  (Printf.sprintf "%s.ckpt%d.xml" path gen,
+   Printf.sprintf "%s.ckpt%d.ruid" path gen)
+
+let segment_archive path gen = Printf.sprintf "%s.seg%d" path gen
+
+let should_rotate w ~threshold =
+  threshold > 0
+  && (try w.vfs.Vfs.size w.path >= threshold with _ -> false)
+
+(* Crash-safe rotation order: (1) checkpoint files for the new generation
+   land atomically at paths the active segment does not reference; (2) the
+   retiring segment is archived by copy (the active path stays untouched);
+   (3) the new segment — header + checkpoint record — is published with one
+   atomic rename, the commit point.  A crash before (3) leaves the old
+   segment fully in force; after (3) the new one.  Only then are the
+   previous generation's checkpoint files (now unreferenced) removed. *)
+let rotate w ~xml ~sidecar =
+  let gen = w.gen + 1 in
+  let xml_p, side_p = checkpoint_files w.path gen in
+  Ruid.Persist.store_atomic w.vfs ~attempts:w.attempts xml_p xml;
+  Ruid.Persist.store_atomic w.vfs ~attempts:w.attempts side_p sidecar;
+  let old_bytes =
+    Vfs.with_retries ~attempts:w.attempts (fun () -> w.vfs.Vfs.load w.path)
+  in
+  Vfs.with_retries ~attempts:w.attempts (fun () ->
+      w.vfs.Vfs.store (segment_archive w.path gen) old_bytes);
+  let c =
+    {
+      gen;
+      base_seq = w.last_seq;
+      xml_crc = Crc32.bytes xml ~pos:0 ~len:(Bytes.length xml);
+      sidecar_crc = Crc32.bytes sidecar ~pos:0 ~len:(Bytes.length sidecar);
+    }
+  in
+  let seg = Buffer.create 64 in
+  Buffer.add_string seg header_ckpt;
+  Buffer.add_bytes seg (encode_checkpoint_frame c);
+  Ruid.Persist.store_atomic w.vfs ~attempts:w.attempts w.path
+    (Buffer.to_bytes seg);
+  if w.gen > 0 then begin
+    let ox, os = checkpoint_files w.path w.gen in
+    List.iter
+      (fun p -> try w.vfs.Vfs.remove p with _ -> ())
+      [ ox; os ]
+  end;
+  w.gen <- gen;
+  gen
 
 (* ------------------------------------------------------------------ *)
 (* Recovery                                                            *)
@@ -285,11 +484,34 @@ let replay_records t records =
 
 let replay ?(vfs = Vfs.real) ?(attempts = 5) ?(check = true) ~xml ~sidecar
     ~wal () =
-  let doc, r2 = Ruid.Persist.load ~vfs ~attempts ~xml ~sidecar () in
   let journal =
     if vfs.Vfs.exists wal then scan ~vfs ~attempts wal
     else
-      { records = []; valid_bytes = 0; total_bytes = 0; damage = None }
+      { records = []; checkpoint = None; ckpt_expected = false; batches = 0;
+        valid_bytes = 0; total_bytes = 0; damage = None }
+  in
+  let doc, r2 =
+    match journal.checkpoint with
+    | Some c ->
+      (* Replay starts from the checkpointed snapshot, not the base one:
+         recovery cost is bounded by the active segment.  The checkpoint
+         record vouches for the exact bytes it was cut against. *)
+      let xml_p, side_p = checkpoint_files wal c.gen in
+      let xb = Vfs.with_retries ~attempts (fun () -> vfs.Vfs.load xml_p) in
+      let sb = Vfs.with_retries ~attempts (fun () -> vfs.Vfs.load side_p) in
+      if Crc32.bytes xb ~pos:0 ~len:(Bytes.length xb) <> c.xml_crc then
+        replay_error "checkpoint %d: xml bytes fail the checkpoint checksum"
+          c.gen;
+      if Crc32.bytes sb ~pos:0 ~len:(Bytes.length sb) <> c.sidecar_crc then
+        replay_error
+          "checkpoint %d: sidecar bytes fail the checkpoint checksum" c.gen;
+      Ruid.Persist.of_bytes ~xml:xb ~sidecar:sb
+    | None ->
+      if journal.ckpt_expected then
+        replay_error
+          "journal declares a checkpoint that did not survive: refusing to \
+           recover from the base snapshot";
+      Ruid.Persist.load ~vfs ~attempts ~xml ~sidecar ()
   in
   replay_records r2 journal.records;
   if check then R2.check r2;

@@ -8,16 +8,31 @@
     reproduces the exact numbering — including the untouched areas, byte for
     byte.
 
-    Journal format: a 5-byte header ["RWAL\x01"] followed by framed records
+    Journal format v2: a 5-byte header — ["RWAL\x02"] for a base segment,
+    ["RWAC\x02"] for a rotated segment whose {e first} frame must be a
+    checkpoint — followed by framed entries
     {v varint payload-length | payload | CRC-32 of payload (4 bytes LE) v}
-    Each payload carries a sequence number, the logical operation (insert of
-    a fresh leaf / cascading delete, addressed by preorder rank as in
-    [Rworkload.Updates]), and the {e renumber record} the operation
-    triggered: the global index of the one area it re-enumerated and the
-    number of pre-existing identifiers rewritten.  Recovery replays the
-    longest checksum-valid prefix, verifies each renumber record against
-    what the replay actually did, truncates a torn tail, and finishes with
-    the deep invariant checker {!Ruid.Ruid2.check}.
+    Every payload begins with a kind tag:
+    - [0] one record: sequence number, the logical operation (insert of a
+      fresh leaf / cascading delete, addressed by preorder rank as in
+      [Rworkload.Updates]), and the {e renumber record} it triggered — the
+      global index of the one area re-enumerated and how many pre-existing
+      identifiers were rewritten;
+    - [1] a commit batch: a count followed by that many record bodies with
+      consecutive sequence numbers.  One checksum covers the whole batch,
+      so a torn batch drops {e atomically} — recovery never surfaces a
+      prefix of a group commit;
+    - [2] a checkpoint: generation number, the sequence number it was cut
+      after, and CRC-32s of the checkpointed XML and sidecar bytes.
+
+    Recovery replays the longest checksum-valid prefix over the snapshot
+    the segment names (the base {!Ruid.Persist} snapshot, or the
+    checkpoint files for a rotated segment), verifies each renumber record
+    against what the replay actually did, truncates a torn tail, and
+    finishes with the deep invariant checker {!Ruid.Ruid2.check}.  A
+    ["RWAC"] segment whose checkpoint frame did not survive is
+    {e unrecoverable} — falling back to the base snapshot would silently
+    lose every record up to the checkpoint.
 
     All I/O goes through {!Ruid.Vfs.t} (default {!Ruid.Vfs.real});
     {!Ruid.Vfs.Transient} errors are retried with bounded backoff, which is
@@ -36,13 +51,22 @@ type record = {
   changed : int;  (** pre-existing identifiers rewritten by the operation *)
 }
 
+type checkpoint = {
+  gen : int;  (** checkpoint generation, 1-based *)
+  base_seq : int;  (** last sequence number folded into the checkpoint *)
+  xml_crc : int;  (** CRC-32 of the checkpointed XML bytes *)
+  sidecar_crc : int;  (** CRC-32 of the checkpointed sidecar bytes *)
+}
+
 val pp_op : Format.formatter -> op -> unit
 val pp_record : Format.formatter -> record -> unit
+val pp_checkpoint : Format.formatter -> checkpoint -> unit
 
 exception Replay_error of string
 (** The journal does not describe the snapshot it is replayed over: a rank
-    out of range, an operation that cannot apply, or a renumber record
-    disagreeing with what the replay did.  Unrecoverable. *)
+    out of range, an operation that cannot apply, a renumber record
+    disagreeing with what the replay did, or checkpoint bytes failing the
+    checksums the checkpoint record vouches for.  Unrecoverable. *)
 
 (** {1 Applying logical operations} *)
 
@@ -62,28 +86,74 @@ val create :
 val open_append :
   ?vfs:Ruid.Vfs.t -> ?attempts:int -> ?repair:bool -> string -> writer
 (** Continue an existing journal (creating it if absent), resuming the
-    sequence numbering after its last valid record.  With [repair] (default
+    sequence numbering after its last valid record (or the checkpoint's
+    [base_seq] for a freshly rotated segment).  With [repair] (default
     [false]) a torn tail is truncated first; without it a damaged journal
     is refused.
-    @raise Invalid_argument on a damaged journal when [repair] is false. *)
+    @raise Invalid_argument on a damaged journal when [repair] is false,
+    or on a checkpoint segment whose checkpoint frame did not survive
+    (repair cannot help there). *)
 
-val log_update : writer -> Ruid.Ruid2.t -> op -> record
-(** Apply the operation to the live numbering and append its record
-    durably (fsync before returning).  The journal is a redo log: a record
-    is present iff the operation committed. *)
+val log_update : ?sync:bool -> writer -> Ruid.Ruid2.t -> op -> record
+(** Apply the operation to the live numbering and append its record.  With
+    [sync] (the default) the append is fsynced before returning — the
+    journal is a redo log: a record is present iff the operation committed.
+    [~sync:false] leaves the frame in the page cache for a later {!flush}
+    (or a batch-closing synced append); a crash in between can lose or tear
+    it, which recovery handles as a torn tail. *)
+
+val flush : writer -> unit
+(** fsync the journal file: make every {!log_update} [~sync:false] record
+    written so far durable. *)
 
 val append_record : writer -> record -> unit
 (** Append a pre-built record without touching any numbering (tests,
     replication). *)
 
+val append_batch : writer -> record list -> unit
+(** Append a commit batch as one frame with one fsync.  Sequence numbers
+    must be consecutive starting at [seq w + 1].  A single-record batch is
+    written as an ordinary record frame (a batch frame would claim a
+    coalescing that never happened).
+    @raise Invalid_argument on an empty or non-consecutive batch. *)
+
 val seq : writer -> int
 (** Sequence number of the last record written (0 for a fresh journal). *)
+
+(** {1 Segment rotation} *)
+
+val generation : writer -> int
+(** Checkpoint generation of the active segment (0 until first rotation). *)
+
+val should_rotate : writer -> threshold:int -> bool
+(** Whether the active segment has reached [threshold] bytes.  A
+    [threshold] of 0 disables rotation. *)
+
+val rotate : writer -> xml:bytes -> sidecar:bytes -> int
+(** Cut a checkpoint and start a fresh segment; returns the new generation.
+    [xml]/[sidecar] must serialize the exact state after the last appended
+    record ({!seq}).  Ordering is crash-safe: the generation's checkpoint
+    files are published atomically first, the retiring segment is archived
+    by copy (to [path ^ ".seg<gen>"]), and only then is the new segment —
+    header plus checkpoint frame — renamed over the journal path, which is
+    the commit point.  A crash anywhere before that rename leaves the old
+    segment fully in force.  The previous generation's checkpoint files are
+    removed last, best-effort. *)
+
+val checkpoint_files : string -> int -> string * string
+(** [(xml, sidecar)] checkpoint paths for a journal path and generation:
+    [path ^ ".ckpt<gen>.xml"] and [path ^ ".ckpt<gen>.ruid"]. *)
 
 (** {1 Reading and recovery} *)
 
 type scan = {
   records : record list;  (** the longest valid prefix *)
-  valid_bytes : int;  (** file offset where that prefix ends *)
+  checkpoint : checkpoint option;
+      (** the checkpoint frame of a rotated segment, if it survived *)
+  ckpt_expected : bool;
+      (** the header declares a checkpoint-leading segment *)
+  batches : int;  (** frames that coalesced 2 or more records *)
+  valid_bytes : int;  (** file offset where the valid prefix ends *)
   total_bytes : int;
   damage : string option;
       (** why scanning stopped before [total_bytes], if it did *)
@@ -91,13 +161,16 @@ type scan = {
 
 val scan : ?vfs:Ruid.Vfs.t -> ?attempts:int -> string -> scan
 (** Decode the journal, stopping cleanly at the first torn or corrupt
-    record (truncated frame, checksum mismatch, undecodable payload,
-    sequence break). *)
+    entry (truncated frame, checksum mismatch, undecodable payload,
+    sequence break, or a checkpoint frame anywhere but first in a
+    checkpoint segment). *)
 
 val repair : ?vfs:Ruid.Vfs.t -> ?attempts:int -> string -> scan
 (** {!scan}, then truncate the file to the valid prefix (rewriting the
     header when the header itself was damaged).  Returns the scan that
-    describes what survived. *)
+    describes what survived.  A checkpoint segment whose checkpoint frame
+    is gone is left untouched: truncating it would discard everything up
+    to the checkpoint's base sequence. *)
 
 type recovery = {
   doc : Rxml.Dom.t;
@@ -109,12 +182,17 @@ type recovery = {
 val replay :
   ?vfs:Ruid.Vfs.t -> ?attempts:int -> ?check:bool ->
   xml:string -> sidecar:string -> wal:string -> unit -> recovery
-(** Recovery: load the {!Ruid.Persist} snapshot, replay the journal's valid
-    prefix over it (verifying every renumber record), and run
-    {!Ruid.Ruid2.check} as postcondition (disable with [check:false]).  A
-    missing journal file recovers to the bare snapshot.  The journal file
-    is not modified; pair with {!repair} to also drop the torn tail.
-    @raise Replay_error if the journal does not match the snapshot.
+(** Recovery: load the snapshot the journal names — the checkpoint files
+    (verified against the checkpoint record's checksums) when the segment
+    carries a checkpoint, the base {!Ruid.Persist} snapshot otherwise —
+    replay the journal's valid prefix over it (verifying every renumber
+    record), and run {!Ruid.Ruid2.check} as postcondition (disable with
+    [check:false]).  A missing journal file recovers to the bare snapshot.
+    The journal file is not modified; pair with {!repair} to also drop the
+    torn tail.
+    @raise Replay_error if the journal does not match the snapshot, the
+    checkpoint bytes fail their checksums, or a declared checkpoint did
+    not survive.
     @raise Invalid_argument if the snapshot itself is corrupt. *)
 
 (** {1 Integrity checking (fsck)} *)

@@ -37,6 +37,9 @@ let with_server ?(workers = 2) ?(max_queue = 0) ?(domains = 0) ?(cache_mb = 0)
       max_area_size = 16;
       domains;
       cache_mb;
+      commit_interval_us = 0;
+      commit_max_batch = 64;
+      wal_segment_bytes = 0;
     }
   in
   let t = Service.start cfg docs in

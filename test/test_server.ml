@@ -28,7 +28,9 @@ let sock_path () = Filename.concat "/tmp" ("ruid-" ^ unique () ^ ".sock")
 let doc_of_string s = Dom.root_element (Rxml.Parser.parse_string s)
 
 let with_server ?(workers = 2) ?(max_queue = 8) ?(deadline_ms = 0)
-    ?(max_area_size = 8) ?(domains = 0) ?(cache_mb = 0) docs f =
+    ?(max_area_size = 8) ?(domains = 0) ?(cache_mb = 0)
+    ?(commit_interval_us = 0) ?(commit_max_batch = 64)
+    ?(wal_segment_bytes = 0) docs f =
   let cfg =
     {
       Service.socket_path = sock_path ();
@@ -39,6 +41,9 @@ let with_server ?(workers = 2) ?(max_queue = 8) ?(deadline_ms = 0)
       max_area_size;
       domains;
       cache_mb;
+      commit_interval_us;
+      commit_max_batch;
+      wal_segment_bytes;
     }
   in
   let t = Service.start cfg docs in
@@ -352,6 +357,142 @@ let test_shutdown_leaves_recoverable_wal () =
   in
   Alcotest.(check int) "recovered the six <m>" 6 (List.length ms)
 
+(* ------------------------------------------------------------------ *)
+(* Group commit and incremental publication                            *)
+(* ------------------------------------------------------------------ *)
+
+module Snapshot = Rserver.Snapshot
+
+let encoded_ids r2 =
+  List.map
+    (fun n -> Bytes.to_string (Ruid.Codec.encode_ruid2 (R2.id_of_node r2 n)))
+    (R2.all_nodes r2)
+
+(* Incremental publication (Snapshot.advance) must yield identifiers
+   bit-identical to both the master that applied the same operations and
+   a full sidecar round-trip (replace_doc) — across random documents,
+   random scripts, and random batch partitions.  max_area_size 4 forces
+   area overflows so the clone-and-replay path exercises splits, not just
+   in-place renumbering. *)
+let test_incremental_publication_equivalence () =
+  for seed = 1 to 100 do
+    let root =
+      Rworkload.Shape.generate ~seed ~target:60
+        (Rworkload.Shape.Uniform { fanout_lo = 1; fanout_hi = 3 })
+    in
+    let master = R2.number ~max_area_size:4 root in
+    let ops =
+      Rworkload.Updates.script ~seed:(seed + 1000) ~ops:12 (R2.root master)
+      |> List.map Rstorage.Crashsim.wal_op_of_update
+    in
+    let rng = Rworkload.Rng.create ((seed * 7) + 3) in
+    let rec partition = function
+      | [] -> []
+      | ops ->
+        let n = min (List.length ops) (1 + Rworkload.Rng.int rng 5) in
+        let batch = List.filteri (fun i _ -> i < n) ops in
+        let rest = List.filteri (fun i _ -> i >= n) ops in
+        batch :: partition rest
+    in
+    let snap = ref (Snapshot.capture ~version:1 [ ("d", master) ]) in
+    let version = ref 1 in
+    List.iter
+      (fun batch ->
+        List.iter (fun op -> ignore (Wal.apply master op)) batch;
+        incr version;
+        let next, rebuilt =
+          Snapshot.advance !snap ~version:!version [ (0, batch) ]
+        in
+        if rebuilt < 1 then
+          Alcotest.failf "seed %d: batch rebuilt no areas" seed;
+        snap := next)
+      (partition ops);
+    let _, doc = Option.get (Snapshot.find !snap "d") in
+    let inc = doc.Snapshot.r2 in
+    R2.check inc;
+    if encoded_ids inc <> encoded_ids master then
+      Alcotest.failf "seed %d: incremental snapshot diverged from master" seed;
+    let full =
+      Snapshot.replace_doc !snap ~version:(!version + 1) ~doc_index:0 master
+    in
+    let _, fdoc = Option.get (Snapshot.find full "d") in
+    if encoded_ids fdoc.Snapshot.r2 <> encoded_ids inc then
+      Alcotest.failf "seed %d: incremental differs from full round-trip" seed
+  done
+
+let test_group_commit_service () =
+  with_server ~workers:4 ~max_queue:64 [ ("lib", doc_of_string library) ]
+  @@ fun cfg _t ->
+  let mu = Mutex.create () in
+  let seen = ref [] in
+  let per_thread = 10 in
+  let body () =
+    C.with_connection cfg.Service.socket_path @@ fun c ->
+    for _ = 1 to per_thread do
+      let body =
+        ok_body
+          (C.request c
+             (P.Update
+                { doc = "lib";
+                  op = Wal.Insert { parent_rank = 0; pos = 0; tag = "m" } }))
+      in
+      let v = get_kv body "v" in
+      (* every ack names the commit batch that made it durable *)
+      if get_kv body "batch" < 1 then
+        Alcotest.failf "ack %S lacks a positive batch=" body;
+      Mutex.lock mu;
+      seen := v :: !seen;
+      Mutex.unlock mu
+    done
+  in
+  let threads = Array.init 4 (fun _ -> Thread.create body ()) in
+  Array.iter Thread.join threads;
+  (* group commit must not lose, duplicate, or reorder version
+     assignment: 40 updates over version-1 seed = exactly 2..41 *)
+  Alcotest.(check (list int))
+    "distinct consecutive versions"
+    (List.init 40 (fun i -> i + 2))
+    (List.sort compare !seen);
+  C.with_connection cfg.Service.socket_path @@ fun c ->
+  let count = ok_body (C.request c (P.Count "//m")) in
+  Alcotest.(check int) "all forty inserts visible" 40 (get_kv count "total");
+  let stats = ok_body (C.request c P.Stats) in
+  Alcotest.(check int) "all records journaled" 40 (get_kv stats "wal_records");
+  Alcotest.(check bool) "batches counted" true (get_kv stats "wal_batches" >= 1);
+  Alcotest.(check bool) "publications counted" true
+    (get_kv stats "publish_incremental" + get_kv stats "publish_full" >= 1)
+
+let test_segment_rotation_service () =
+  let files = ref None in
+  (with_server ~wal_segment_bytes:256 [ ("lib", doc_of_string library) ]
+   @@ fun cfg t ->
+   files := Service.doc_files t "lib";
+   C.with_connection cfg.Service.socket_path @@ fun c ->
+   for _ = 1 to 30 do
+     ignore
+       (ok_body
+          (C.request c
+             (P.Update
+                { doc = "lib";
+                  op = Wal.Insert { parent_rank = 0; pos = 0; tag = "m" } })))
+   done;
+   let stats = ok_body (C.request c P.Stats) in
+   Alcotest.(check bool) "rotated at least once" true
+     (get_kv stats "wal_rotations" >= 1));
+  (* server fully stopped: the checkpointed journal chain must recover
+     everything clients were told, same as the unrotated case *)
+  let xml, sidecar, wal = Option.get !files in
+  let status = Wal.fsck ~xml ~sidecar ~wal () in
+  Alcotest.(check bool)
+    (Format.asprintf "fsck passes after rotation (%a)" Wal.pp_status status)
+    true
+    (Wal.exit_code status <= 1);
+  let recovery = Wal.replay ~xml ~sidecar ~wal () in
+  let ms =
+    List.filter (fun n -> Dom.tag n = "m") (R2.all_nodes recovery.Wal.r2)
+  in
+  Alcotest.(check int) "recovered all thirty <m>" 30 (List.length ms)
+
 let test_shutdown_verb () =
   let cfg =
     {
@@ -363,6 +504,9 @@ let test_shutdown_verb () =
       max_area_size = 8;
       domains = 0;
       cache_mb = 0;
+      commit_interval_us = 0;
+      commit_max_batch = 64;
+      wal_segment_bytes = 0;
     }
   in
   let t = Service.start cfg [ ("lib", doc_of_string library) ] in
@@ -522,6 +666,9 @@ let suite =
     Alcotest.test_case "BUSY when queue full" `Quick test_busy_when_queue_full;
     Alcotest.test_case "deadline expires in queue" `Quick test_deadline_expires_in_queue;
     Alcotest.test_case "shutdown leaves recoverable WAL" `Quick test_shutdown_leaves_recoverable_wal;
+    Alcotest.test_case "incremental publication = full round-trip (100 seeds)" `Quick test_incremental_publication_equivalence;
+    Alcotest.test_case "group commit: 4 writers, atomic batched acks" `Quick test_group_commit_service;
+    Alcotest.test_case "segment rotation under live service" `Quick test_segment_rotation_service;
     Alcotest.test_case "SHUTDOWN verb" `Quick test_shutdown_verb;
     Alcotest.test_case "config validation" `Quick test_config_validation;
     Alcotest.test_case "scheduler bounds + drain" `Quick test_scheduler_bounds;

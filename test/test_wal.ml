@@ -195,6 +195,236 @@ let test_crash_during_append () =
   Alcotest.(check bool) "clean or recoverable, never unrecoverable" true
     (code = 0 || code = 1)
 
+(* ------------------------------------------------------------------ *)
+(* Group commit: batch frames                                          *)
+(* ------------------------------------------------------------------ *)
+
+let encoded_ids r2 =
+  List.map
+    (fun n -> Bytes.to_string (Ruid.Codec.encode_ruid2 (R2.id_of_node r2 n)))
+    (R2.all_nodes r2)
+
+(* Apply ops to [live] and build the consecutive records a commit leader
+   would hand to append_batch. *)
+let build_batch w live ops =
+  let base = Wal.seq w in
+  List.mapi
+    (fun i op ->
+      let area, changed = Wal.apply live op in
+      { Wal.seq = base + 1 + i; op; area; changed })
+    ops
+
+let test_batch_append_scan () =
+  let root, live, xml, sidecar, wal = snapshot "batch" in
+  let w = Wal.create wal in
+  let ops = script root ~seed:21 ~ops:9 in
+  let single = List.filteri (fun i _ -> i < 3) ops
+  and grouped = List.filteri (fun i _ -> i >= 3) ops in
+  List.iter (fun op -> ignore (Wal.log_update w live op)) single;
+  Wal.append_batch w (build_batch w live grouped);
+  Alcotest.(check int) "seq advanced through the batch" 9 (Wal.seq w);
+  let s = Wal.scan wal in
+  Alcotest.(check int) "all records scanned" 9 (List.length s.Wal.records);
+  Alcotest.(check int) "one batch frame" 1 s.Wal.batches;
+  Alcotest.(check bool) "no damage" true (s.Wal.damage = None);
+  let r = Wal.replay ~xml ~sidecar ~wal () in
+  Alcotest.(check int) "replay crosses the batch frame" 9
+    (List.length r.Wal.replayed);
+  (* A reopened writer resumes after the batch; a singleton batch encodes
+     as a plain record frame, so the batch count stays honest. *)
+  let w2 = Wal.open_append wal in
+  Alcotest.(check int) "reopen resumes" 9 (Wal.seq w2);
+  Wal.append_batch w2
+    (build_batch w2 live [ Wal.Insert { parent_rank = 0; pos = 0; tag = "x" } ]);
+  Alcotest.(check int) "singleton batch is not a batch frame" 1
+    (Wal.scan wal).Wal.batches;
+  (* Refused batches: empty, and sequence gaps. *)
+  (match Wal.append_batch w2 [] with
+  | () -> Alcotest.fail "empty batch must be refused"
+  | exception Invalid_argument _ -> ());
+  match
+    Wal.append_batch w2
+      [ { Wal.seq = Wal.seq w2 + 5; op = Wal.Delete { rank = 1 };
+          area = 0; changed = 0 } ]
+  with
+  | () -> Alcotest.fail "non-consecutive batch must be refused"
+  | exception Invalid_argument _ -> ()
+
+let test_torn_batch_drops_atomically () =
+  let root, live, xml, sidecar, wal = snapshot "tornbatch" in
+  let w = Wal.create wal in
+  let ops = script root ~seed:22 ~ops:8 in
+  let single = List.filteri (fun i _ -> i < 4) ops
+  and grouped = List.filteri (fun i _ -> i >= 4) ops in
+  List.iter (fun op -> ignore (Wal.log_update w live op)) single;
+  let before = (Wal.scan wal).Wal.total_bytes in
+  Wal.append_batch w (build_batch w live grouped);
+  let after = (Wal.scan wal).Wal.total_bytes in
+  (* One checksum covers the whole batch: a tear one byte short of the end
+     must drop all four records, never a prefix of the group commit. *)
+  Fault.torn_tail wal ~keep:(after - 1);
+  let s = Wal.scan wal in
+  Alcotest.(check int) "whole batch dropped" 4 (List.length s.Wal.records);
+  Alcotest.(check int) "valid prefix ends before the batch frame" before
+    s.Wal.valid_bytes;
+  Alcotest.(check bool) "tear reported" true (s.Wal.damage <> None);
+  let r = Wal.replay ~xml ~sidecar ~wal () in
+  Alcotest.(check int) "recovery at the pre-batch state" 4
+    (List.length r.Wal.replayed);
+  ignore (Wal.repair wal);
+  Alcotest.(check int) "clean after repair" 0
+    (Wal.exit_code (Wal.fsck ~xml ~sidecar ~wal ()))
+
+let test_nosync_append_and_flush () =
+  let root, live, xml, sidecar, wal = snapshot "nosync" in
+  let w = Wal.create wal in
+  List.iteri
+    (fun i op -> ignore (Wal.log_update ~sync:(i mod 2 = 0) w live op))
+    (script root ~seed:23 ~ops:6);
+  Wal.flush w;
+  let r = Wal.replay ~xml ~sidecar ~wal () in
+  Alcotest.(check int) "all six present after flush" 6
+    (List.length r.Wal.replayed);
+  (* A record appended without sync can be lost wholesale before the
+     flush: simulate the page-cache loss with a tear at the old end —
+     recovery sees the shorter, still-consistent prefix. *)
+  let before = (Wal.scan wal).Wal.total_bytes in
+  let w2 = Wal.open_append wal in
+  ignore
+    (Wal.log_update ~sync:false w2 live
+       (Wal.Insert { parent_rank = 0; pos = 0; tag = "lost" }));
+  Fault.torn_tail wal ~keep:before;
+  let r2 = Wal.replay ~xml ~sidecar ~wal () in
+  Alcotest.(check int) "unsynced record lost cleanly" 6
+    (List.length r2.Wal.replayed)
+
+let test_group_commit_crash_equivalence () =
+  (* The batched oracle: with every frame a full batch of 8, any tear
+     snaps the surviving prefix to a batch boundary. *)
+  for seed = 40 to 49 do
+    let o = Crashsim.run ~dir ~seed ~ops:48 ~size:150 ~area:8 ~batch:8 () in
+    Alcotest.(check bool) "survived prefix bounded" true
+      (o.Crashsim.ops_survived <= o.Crashsim.ops_total);
+    Alcotest.(check int) "survival is batch-atomic" 0
+      (o.Crashsim.ops_survived mod 8)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Segment rotation + checkpointing                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_checkpoint_rotation () =
+  let root, live, xml, sidecar, wal = snapshot "ckpt" in
+  let w = Wal.create wal in
+  let ops = script root ~seed:24 ~ops:12 in
+  let first = List.filteri (fun i _ -> i < 7) ops
+  and rest = List.filteri (fun i _ -> i >= 7) ops in
+  List.iter (fun op -> ignore (Wal.log_update w live op)) first;
+  Alcotest.(check bool) "below threshold" false
+    (Wal.should_rotate w ~threshold:1_000_000);
+  Alcotest.(check bool) "threshold 0 disables" false
+    (Wal.should_rotate w ~threshold:0);
+  Alcotest.(check bool) "above threshold" true (Wal.should_rotate w ~threshold:1);
+  let gen =
+    Wal.rotate w ~xml:(P.xml_to_bytes live) ~sidecar:(P.sidecar_to_bytes live)
+  in
+  Alcotest.(check int) "first generation" 1 gen;
+  Alcotest.(check int) "writer tracks it" 1 (Wal.generation w);
+  Alcotest.(check int) "sequence survives rotation" 7 (Wal.seq w);
+  let cx, cs = Wal.checkpoint_files wal 1 in
+  Alcotest.(check bool) "checkpoint files published" true
+    (Sys.file_exists cx && Sys.file_exists cs);
+  Alcotest.(check bool) "retired segment archived" true
+    (Sys.file_exists (wal ^ ".seg1"));
+  List.iter (fun op -> ignore (Wal.log_update w live op)) rest;
+  let s = Wal.scan wal in
+  Alcotest.(check bool) "checkpoint frame survives" true
+    (s.Wal.ckpt_expected && s.Wal.checkpoint <> None);
+  Alcotest.(check int) "segment holds only the tail" 5
+    (List.length s.Wal.records);
+  (* Recovery starts from the checkpoint and must equal a full in-memory
+     replay of the entire script over the base snapshot — byte for byte. *)
+  let r = Wal.replay ~xml ~sidecar ~wal () in
+  Alcotest.(check int) "replayed the tail only" 5 (List.length r.Wal.replayed);
+  let _doc, replica = P.load ~xml ~sidecar () in
+  List.iter (fun op -> ignore (Wal.apply replica op)) ops;
+  Alcotest.(check bool) "checkpoint recovery byte-identical to full replay"
+    true
+    (encoded_ids r.Wal.r2 = encoded_ids replica);
+  Alcotest.(check int) "fsck clean" 0
+    (Wal.exit_code (Wal.fsck ~xml ~sidecar ~wal ()));
+  (* Reopen resumes sequence and generation; a second rotation retires the
+     first generation's checkpoint files. *)
+  let w2 = Wal.open_append wal in
+  Alcotest.(check int) "resume seq" 12 (Wal.seq w2);
+  Alcotest.(check int) "resume generation" 1 (Wal.generation w2);
+  ignore
+    (Wal.rotate w2 ~xml:(P.xml_to_bytes live)
+       ~sidecar:(P.sidecar_to_bytes live));
+  Alcotest.(check bool) "previous generation's files retired" false
+    (Sys.file_exists cx || Sys.file_exists cs);
+  Alcotest.(check int) "still clean" 0
+    (Wal.exit_code (Wal.fsck ~xml ~sidecar ~wal ()))
+
+let test_checkpoint_damage () =
+  let root, live, xml, sidecar, wal = snapshot "ckptbad" in
+  let w = Wal.create wal in
+  List.iter
+    (fun op -> ignore (Wal.log_update w live op))
+    (script root ~seed:25 ~ops:6);
+  ignore
+    (Wal.rotate w ~xml:(P.xml_to_bytes live)
+       ~sidecar:(P.sidecar_to_bytes live));
+  let seg_bytes = (Wal.scan wal).Wal.total_bytes in
+  (* Checkpoint bytes failing the checkpoint record's checksum are
+     unrecoverable — the record vouches for exact bytes. *)
+  let _cx, cs = Wal.checkpoint_files wal 1 in
+  Fault.flip_bit cs ~bit:(8 * 10);
+  Alcotest.(check int) "corrupt checkpoint sidecar -> exit 2" 2
+    (Wal.exit_code (Wal.fsck ~xml ~sidecar ~wal ()));
+  Fault.flip_bit cs ~bit:(8 * 10);
+  Alcotest.(check int) "bit flipped back -> clean" 0
+    (Wal.exit_code (Wal.fsck ~xml ~sidecar ~wal ()));
+  (* A checkpoint segment whose checkpoint frame did not survive must
+     refuse recovery: falling back to the base snapshot would silently
+     lose the checkpointed operations. *)
+  Fault.torn_tail wal ~keep:(seg_bytes - 1);
+  let s = Wal.scan wal in
+  Alcotest.(check bool) "declared but missing" true
+    (s.Wal.ckpt_expected && s.Wal.checkpoint = None);
+  (match Wal.replay ~xml ~sidecar ~wal () with
+  | _ -> Alcotest.fail "replay must refuse the silent fallback"
+  | exception Wal.Replay_error _ -> ());
+  Alcotest.(check int) "unrecoverable" 2
+    (Wal.exit_code (Wal.fsck ~xml ~sidecar ~wal ()));
+  (match Wal.open_append wal with
+  | _ -> Alcotest.fail "open_append must refuse"
+  | exception Invalid_argument _ -> ());
+  (match Wal.open_append ~repair:true wal with
+  | _ -> Alcotest.fail "repair cannot help either"
+  | exception Invalid_argument _ -> ());
+  let before = (Wal.scan wal).Wal.total_bytes in
+  ignore (Wal.repair wal);
+  Alcotest.(check int) "repair leaves the segment untouched" before
+    (Wal.scan wal).Wal.total_bytes
+
+let test_checkpoint_crash_equivalence () =
+  (* The oracle through a rotation, on 10 seeds: recovery = checkpointed
+     prefix + replayed tail, always equivalent to the in-memory replica,
+     and the tear never reaches below the rotated segment. *)
+  for seed = 60 to 69 do
+    let o =
+      Crashsim.run ~dir ~seed ~ops:40 ~size:150 ~area:8 ~batch:4
+        ~checkpoint_after:20 ()
+    in
+    Alcotest.(check int) "checkpoint folded exactly 20 ops" 20
+      o.Crashsim.checkpoint_ops;
+    Alcotest.(check bool) "never below the checkpointed prefix" true
+      (o.Crashsim.ops_survived >= 20);
+    Alcotest.(check bool) "bounded by the script" true
+      (o.Crashsim.ops_survived <= o.Crashsim.ops_total)
+  done
+
 let test_transient_faults_absorbed () =
   (* The whole pipeline — save, journaling, recovery — under a transient
      fault plan whose bursts stay below the retry budget. *)
@@ -230,6 +460,19 @@ let suite =
     Alcotest.test_case "journal/snapshot mismatch" `Quick test_journal_mismatch;
     Alcotest.test_case "missing journal" `Quick test_missing_journal;
     Alcotest.test_case "crash during append" `Quick test_crash_during_append;
+    Alcotest.test_case "batch frames: append + scan" `Quick
+      test_batch_append_scan;
+    Alcotest.test_case "torn batch drops atomically" `Quick
+      test_torn_batch_drops_atomically;
+    Alcotest.test_case "nosync append + flush" `Quick
+      test_nosync_append_and_flush;
+    Alcotest.test_case "group-commit crash equivalence" `Quick
+      test_group_commit_crash_equivalence;
+    Alcotest.test_case "checkpoint rotation" `Quick test_checkpoint_rotation;
+    Alcotest.test_case "checkpoint damage refused" `Quick
+      test_checkpoint_damage;
+    Alcotest.test_case "checkpoint crash equivalence (10 seeds)" `Quick
+      test_checkpoint_crash_equivalence;
     Alcotest.test_case "transient faults absorbed" `Quick
       test_transient_faults_absorbed;
   ]
