@@ -87,6 +87,16 @@ type master = {
   mutable applied_seq : int;
       (** sequence number of the last operation applied to [r2]; runs ahead
           of [Wal.seq wal] while records sit in the commit queue *)
+  mutable applied_version : int;
+      (** snapshot version of the last operation applied to [r2]; guarded
+          by [write_mu] like [applied_seq] *)
+  mutable durable_version : int;
+      (** version of the last operation fsynced to [wal]; written and read
+          only by the commit leader *)
+  mutable wedged : string option;
+      (** set (under [write_mu]) when a failed commit left this document's
+          journal or published snapshot out of step with its master; all
+          further updates are refused until a restart replays the journal *)
   xml_path : string;
   sidecar_path : string;
   wal_path : string;
@@ -265,9 +275,14 @@ let take_batch t =
   batch
 
 (* Rotate the WAL of every document whose segment outgrew the threshold,
-   checkpointing from the just-published snapshot copy: that copy is the
-   exact durable state (base + every fsynced record), already isolated from
-   the master, so serializing it races with nothing. *)
+   checkpointing from the just-published snapshot copy — but only when that
+   copy is exactly the document's durable prefix: its cursor equals the
+   version of the last fsynced record.  A copy that ran ahead through the
+   full fallback (queued-but-unfsynced operations captured from the master)
+   would checkpoint operations no journal holds yet; such a document just
+   skips rotation this round and retries on a later batch.  The snapshot
+   copy is already isolated from the master, so serializing it races with
+   nothing. *)
 let maybe_rotate t snap groups =
   if t.cfg.wal_segment_bytes > 0 then
     List.iter
@@ -276,6 +291,8 @@ let maybe_rotate t snap groups =
         if Wal.should_rotate m.wal ~threshold:t.cfg.wal_segment_bytes then
           match Snapshot.find snap m.name with
           | None -> ()
+          | Some (_, d) when d.Snapshot.doc_version <> m.durable_version ->
+            ()
           | Some (_, d) ->
             let r2 = d.Snapshot.r2 in
             ignore
@@ -287,7 +304,31 @@ let maybe_rotate t snap groups =
             Mutex.unlock t.group_mu)
       groups
 
+let quarantine_reply why =
+  Protocol.Err
+    (Printf.sprintf
+       "update dropped: document quarantined after a failed commit (%s); \
+        restart the server to recover from the journal" why)
+
 let commit_batch t batch =
+  (* A document wedged by an earlier failed commit has a master running
+     ahead of its journal: appending for it can only fail again (sequence
+     break) and would drag this batch's healthy documents down with it.
+     Reject its records up front.  [wedged] is written only by the leader
+     (and leadership hand-off goes through [group_mu]), so this read needs
+     no lock. *)
+  let batch, quarantined =
+    List.partition (fun p -> t.masters.(p.doc_index).wedged = None) batch
+  in
+  List.iter
+    (fun p ->
+      let why =
+        Option.value ~default:"unknown" t.masters.(p.doc_index).wedged
+      in
+      Ivar.fill p.iv (quarantine_reply why))
+    quarantined;
+  if batch = [] then ()
+  else begin
   (* Per-document record groups, queue order preserved (per-document
      subsequences of a FIFO queue keep their sequence numbers consecutive,
      which is what [Wal.append_batch] checks). *)
@@ -309,13 +350,18 @@ let commit_batch t batch =
   let t0 = Unix.gettimeofday () in
   List.iter
     (fun (idx, ps) ->
-      Wal.append_batch t.masters.(idx).wal (List.map (fun p -> p.record) ps))
+      let m = t.masters.(idx) in
+      Wal.append_batch m.wal (List.map (fun p -> p.record) ps);
+      m.durable_version <-
+        List.fold_left (fun acc p -> max acc p.version) m.durable_version ps)
     groups;
   let flush_ns = (Unix.gettimeofday () -. t0) *. 1e9 in
-  (* 2. Publication, once for the whole batch.  The snapshot can already be
-     ahead of some records here (a previous full-fallback publication
-     captured the master mid-queue), so only operations introducing a newer
-     version are replayed — never apply an op to a snapshot twice. *)
+  (* 2. Publication, once for the whole batch.  A document's snapshot copy
+     can already be ahead of some records here (a previous full-fallback
+     publication captured its master mid-queue), so each pending is
+     filtered against its own document's cursor — never the global stamp,
+     which a fallback capture of a {e different} document may have pushed
+     past this record's version — and never applied to a snapshot twice. *)
   let prev = Atomic.get t.current in
   let last_version =
     List.fold_left (fun acc p -> max acc p.version) 0 batch
@@ -323,18 +369,23 @@ let commit_batch t batch =
   let updates =
     List.filter_map
       (fun (idx, ps) ->
-        match
-          List.filter (fun p -> p.version > prev.Snapshot.version) ps
-        with
+        let cursor = prev.Snapshot.docs.(idx).Snapshot.doc_version in
+        match List.filter (fun p -> p.version > cursor) ps with
         | [] -> None
         | fresh ->
-          Some (idx, List.map (fun p -> p.record.Wal.op) fresh))
+          let doc_version =
+            List.fold_left (fun acc p -> max acc p.version) cursor fresh
+          in
+          Some (idx, List.map (fun p -> p.record.Wal.op) fresh, doc_version))
       groups
   in
   let published =
     if updates = [] then prev
-    else
-      match Snapshot.advance prev ~version:last_version updates with
+    else begin
+      (* The global stamp must move strictly (cache keys embed it) and
+         cover every folded operation. *)
+      let version = max last_version (prev.Snapshot.version + 1) in
+      match Snapshot.advance prev ~version updates with
       | next, areas ->
         Atomic.set t.current next;
         Mutex.lock t.group_mu;
@@ -346,18 +397,29 @@ let commit_batch t batch =
         (* Full fallback: re-capture the touched documents from their
            masters through the sidecar round-trip.  Under [write_mu] the
            masters cannot advance, but they may already be ahead of this
-           batch (later arrivals applied during our fsync), so the capture
-           is published at the masters' own version; those queued records
-           are fsynced by this same leader before their acks. *)
+           batch (later arrivals applied during our fsync), so each capture
+           carries its own master's applied version as its cursor — those
+           queued records are fsynced by this same leader before their
+           acks, and the per-document filter above keeps them from ever
+           being replayed twice.  The global stamp is the max of the
+           captured cursors, never the global update counter: a version
+           assigned to some other document's queued update must stay
+           strictly above this snapshot's stamp-covered range. *)
         Mutex.lock t.write_mu;
         Fun.protect ~finally:(fun () -> Mutex.unlock t.write_mu)
         @@ fun () ->
-        let version = t.last_version in
+        let version =
+          List.fold_left
+            (fun acc (idx, _) -> max acc t.masters.(idx).applied_version)
+            (prev.Snapshot.version + 1)
+            groups
+        in
         let next =
           List.fold_left
             (fun s (idx, _) ->
-              Snapshot.replace_doc s ~version ~doc_index:idx
-                t.masters.(idx).r2)
+              let m = t.masters.(idx) in
+              Snapshot.replace_doc s ~version
+                ~doc_version:m.applied_version ~doc_index:idx m.r2)
             prev groups
         in
         Atomic.set t.current next;
@@ -365,6 +427,7 @@ let commit_batch t batch =
         t.writes.w_pub_full <- t.writes.w_pub_full + 1;
         Mutex.unlock t.group_mu;
         next
+    end
   in
   (* 3. Acknowledge: durable and visible. *)
   let n = List.length batch in
@@ -382,11 +445,10 @@ let commit_batch t batch =
               p.version p.record.Wal.seq p.record.Wal.area
               p.record.Wal.changed n)))
     batch;
-  (* 4. Segment rotation, only when the published snapshot is exactly the
-     durable prefix (its version matches the batch tail) — a snapshot that
-     ran ahead via the fallback would checkpoint unfsynced operations. *)
-  if published.Snapshot.version = last_version then
-    maybe_rotate t published groups
+  (* 4. Segment rotation; [maybe_rotate] skips any document whose published
+     copy is not exactly its durable prefix. *)
+  maybe_rotate t published groups
+  end
 
 let rec leader_loop t =
   (* Optional pacing: with a configured interval, wait for stragglers
@@ -405,11 +467,34 @@ let rec leader_loop t =
    with e ->
      (* Never strand a follower: a failed commit (I/O error mid-batch)
         reports to every parked session rather than hanging them.  The
-        records' durability is unknown; the error says so. *)
+        records' durability is unknown; the error says so.  And never let
+        a half-committed document keep taking writes: a master whose
+        applied state ran ahead of its journal would reject every later
+        append with a sequence break (write-wedged until restart), and one
+        that ran ahead of the published snapshot would have later
+        incremental publications replay onto a base that silently misses
+        these records.  Such documents are quarantined — updates refused
+        explicitly — until a restart re-derives state from the journal.  A
+        document whose journal and snapshot both caught up before the
+        failure (e.g. the exception came from a segment rotation after the
+        acks) stays live. *)
      let msg =
        Printf.sprintf "commit failed (durability unknown): %s"
          (Printexc.to_string e)
      in
+     Mutex.lock t.write_mu;
+     let snap = Atomic.get t.current in
+     List.iter
+       (fun p ->
+         let m = t.masters.(p.doc_index) in
+         let consistent =
+           m.applied_seq = Wal.seq m.wal
+           && snap.Snapshot.docs.(p.doc_index).Snapshot.doc_version
+              >= m.applied_version
+         in
+         if (not consistent) && m.wedged = None then m.wedged <- Some msg)
+       batch;
+     Mutex.unlock t.write_mu;
      List.iter (fun p -> Ivar.fill p.iv (Protocol.Err msg)) batch);
   (* Retire only on an empty queue: arrivals since the drain saw the
      committing flag up and parked without electing a leader. *)
@@ -445,26 +530,34 @@ let run_update t doc op =
     (* Phase 1: apply + enqueue, under the write lock only. *)
     Mutex.lock t.write_mu;
     let queued =
-      match
-        let m = t.masters.(idx) in
-        let area, changed = Wal.apply m.r2 op in
-        m.applied_seq <- m.applied_seq + 1;
-        t.last_version <- t.last_version + 1;
-        let p =
-          {
-            doc_index = idx;
-            record = { Wal.seq = m.applied_seq; op; area; changed };
-            version = t.last_version;
-            iv = Ivar.create ();
-          }
-        in
-        Mutex.lock t.group_mu;
-        Queue.add p t.group_queue;
-        Mutex.unlock t.group_mu;
-        p
-      with
-      | p -> Ok p
-      | exception Wal.Replay_error msg -> Error msg
+      let m = t.masters.(idx) in
+      match m.wedged with
+      | Some why ->
+        Error
+          (Printf.sprintf
+             "document %S is quarantined after a failed commit (%s); \
+              restart the server to recover from the journal" doc why)
+      | None -> (
+        match
+          let area, changed = Wal.apply m.r2 op in
+          m.applied_seq <- m.applied_seq + 1;
+          t.last_version <- t.last_version + 1;
+          m.applied_version <- t.last_version;
+          let p =
+            {
+              doc_index = idx;
+              record = { Wal.seq = m.applied_seq; op; area; changed };
+              version = t.last_version;
+              iv = Ivar.create ();
+            }
+          in
+          Mutex.lock t.group_mu;
+          Queue.add p t.group_queue;
+          Mutex.unlock t.group_mu;
+          p
+        with
+        | p -> Ok p
+        | exception Wal.Replay_error msg -> Error msg)
     in
     Mutex.unlock t.write_mu;
     (* Phase 2: commit — as the leader, or by parking on the ivar while the
@@ -720,7 +813,10 @@ let start cfg docs =
            let wal_path = base ^ ".wal" in
            Ruid.Persist.save r2 ~xml:xml_path ~sidecar:sidecar_path;
            let wal = Wal.create wal_path in
-           { name; r2; wal; applied_seq = 0; xml_path; sidecar_path;
+           (* version 1 is the startup snapshot's stamp; every cursor
+              starts there, matching [Snapshot.capture ~version:1] below *)
+           { name; r2; wal; applied_seq = 0; applied_version = 1;
+             durable_version = 1; wedged = None; xml_path; sidecar_path;
              wal_path })
          docs)
   in

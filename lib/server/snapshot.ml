@@ -6,6 +6,7 @@ type doc = {
   root : Dom.t;
   r2 : R2.t;
   engine : Rxpath.Eval.engine;
+  doc_version : int;
 }
 
 type t = { version : int; published_at : float; docs : doc array }
@@ -13,23 +14,26 @@ type t = { version : int; published_at : float; docs : doc array }
 (* An isolated copy of a master document: clone the DOM, then re-impose the
    exact identifiers through the persistence sidecar (Ruid2 state references
    its own tree's nodes, so sharing the numbering would share the tree). *)
-let capture_doc name (master : R2.t) =
+let capture_doc ~doc_version name (master : R2.t) =
   let bytes = Ruid.Persist.sidecar_to_bytes master in
   let root = Dom.clone (R2.root master) in
   let r2 = Ruid.Persist.sidecar_of_bytes root bytes in
-  { name; root; r2; engine = Rxpath.Engine_ruid.create r2 }
+  { name; root; r2; engine = Rxpath.Engine_ruid.create r2; doc_version }
 
 let capture ~version masters =
   {
     version;
     published_at = Unix.gettimeofday ();
     docs =
-      Array.of_list (List.map (fun (name, r2) -> capture_doc name r2) masters);
+      Array.of_list
+        (List.map
+           (fun (name, r2) -> capture_doc ~doc_version:version name r2)
+           masters);
   }
 
-let replace_doc t ~version ~doc_index master =
+let replace_doc t ~version ~doc_version ~doc_index master =
   let docs = Array.copy t.docs in
-  docs.(doc_index) <- capture_doc docs.(doc_index).name master;
+  docs.(doc_index) <- capture_doc ~doc_version docs.(doc_index).name master;
   { version; published_at = Unix.gettimeofday (); docs }
 
 (* Incremental capture: instead of a sidecar serialize + reparse of the
@@ -40,7 +44,7 @@ let replace_doc t ~version ~doc_index master =
    server property test pins across random update sequences.  Returns the
    new doc plus how many area-renumberings the replay performed (the
    [areas_rebuilt] metric: everything else was shared, not rebuilt). *)
-let advance_doc prev ops =
+let advance_doc prev ~doc_version ops =
   let r2 = R2.clone prev.r2 in
   let areas = Hashtbl.create 8 in
   List.iter
@@ -49,15 +53,15 @@ let advance_doc prev ops =
       Hashtbl.replace areas area ())
     ops;
   ( { name = prev.name; root = R2.root r2; r2;
-      engine = Rxpath.Engine_ruid.create r2 },
+      engine = Rxpath.Engine_ruid.create r2; doc_version },
     Hashtbl.length areas )
 
 let advance t ~version updates =
   let docs = Array.copy t.docs in
   let rebuilt = ref 0 in
   List.iter
-    (fun (doc_index, ops) ->
-      let doc, areas = advance_doc docs.(doc_index) ops in
+    (fun (doc_index, ops, doc_version) ->
+      let doc, areas = advance_doc docs.(doc_index) ~doc_version ops in
       docs.(doc_index) <- doc;
       rebuilt := !rebuilt + areas)
     updates;

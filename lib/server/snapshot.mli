@@ -24,30 +24,47 @@ type doc = private {
   root : Rxml.Dom.t;  (** this snapshot's private clone *)
   r2 : Ruid.Ruid2.t;  (** numbering restored over the clone *)
   engine : Rxpath.Eval.engine;
+  doc_version : int;
+      (** version of the last update folded into {e this} copy — the
+          per-document publication cursor.  The write path filters each
+          pending update against its own document's cursor, never the
+          global [version] stamp: a full-fallback capture of one document
+          can run ahead of the global counter without ever causing another
+          document's queued update to be skipped. *)
 }
 
 type t = private {
-  version : int;  (** monotonically increasing, +1 per published update *)
+  version : int;
+      (** strictly increasing publication stamp, at least the version of
+          every update folded into any document (result-cache keys embed
+          it, so no two distinct snapshots may share a stamp) *)
   published_at : float;  (** unix time of publication *)
   docs : doc array;
 }
 
 val capture : version:int -> (string * Ruid.Ruid2.t) list -> t
-(** Clone + restore every master document.  Used once at startup. *)
+(** Clone + restore every master document, every cursor at [version].
+    Used once at startup. *)
 
-val replace_doc : t -> version:int -> doc_index:int -> Ruid.Ruid2.t -> t
+val replace_doc :
+  t -> version:int -> doc_version:int -> doc_index:int -> Ruid.Ruid2.t -> t
 (** Copy-on-write publication: new snapshot sharing every document except
-    [doc_index], which is re-captured from the (just-updated) master. *)
+    [doc_index], which is re-captured from the (just-updated) master with
+    its cursor at [doc_version] — the version of the last operation the
+    master has applied, which may trail the global [version] stamp. *)
 
-val advance : t -> version:int -> (int * Rstorage.Wal.op list) list -> t * int
-(** Incremental publication: for each [(doc_index, ops)], derive the new
-    copy from {e this} snapshot's copy — {!Ruid.Ruid2.clone} plus a replay
-    of the batch's operations — instead of the sidecar serialize + reparse
-    of {!replace_doc}.  [Rstorage.Wal.apply] is deterministic, so the
-    result is bit-identical to re-capturing the master that applied the
-    same operations, at the cost of the touched areas only.  Untouched
-    documents are shared as in {!replace_doc}.  Returns the snapshot and
-    the total number of area renumberings performed (the rebuilt surface).
+val advance :
+  t -> version:int -> (int * Rstorage.Wal.op list * int) list -> t * int
+(** Incremental publication: for each [(doc_index, ops, doc_version)],
+    derive the new copy from {e this} snapshot's copy — {!Ruid.Ruid2.clone}
+    plus a replay of the batch's operations — instead of the sidecar
+    serialize + reparse of {!replace_doc}, leaving the document's cursor at
+    [doc_version].  [Rstorage.Wal.apply] is deterministic, so the result is
+    bit-identical to re-capturing the master that applied the same
+    operations, at the cost of the touched areas only.  Untouched documents
+    (cursors included) are shared as in {!replace_doc}.  Returns the
+    snapshot and the total number of area renumberings performed (the
+    rebuilt surface).
     @raise Rstorage.Wal.Replay_error if an operation does not apply —
     callers fall back to {!replace_doc}. *)
 

@@ -7,7 +7,11 @@ module Vfs = Ruid.Vfs
 (* Two headers distinguish a base segment from one that starts at a
    checkpoint: if the first frame of an "RWAC" segment does not decode to a
    checkpoint record, recovery must refuse rather than silently fall back
-   to the (stale) base snapshot. *)
+   to the (stale) base snapshot.  The fifth byte is the format version: a
+   well-formed journal of another version is recognized and refused as
+   such — never mistaken for a torn header and "repaired" into an empty
+   file. *)
+let format_version = 2
 let header = "RWAL\x02"
 let header_ckpt = "RWAC\x02"
 
@@ -197,6 +201,7 @@ type scan = {
   batches : int;
   valid_bytes : int;
   total_bytes : int;
+  version : int;
   damage : string option;
 }
 
@@ -234,9 +239,26 @@ let scan ?(vfs = Vfs.real) ?(attempts = 5) path =
   let hlen = String.length header in
   let head = if total < hlen then "" else Bytes.sub_string bytes 0 hlen in
   if head <> header && head <> header_ckpt then
-    { records = []; checkpoint = None; ckpt_expected = false; batches = 0;
-      valid_bytes = 0; total_bytes = total;
-      damage = Some "bad journal header" }
+    if
+      total >= hlen
+      && (String.sub head 0 4 = "RWAL" || String.sub head 0 4 = "RWAC")
+    then
+      (* A well-formed journal of another format version: diagnose it by
+         name.  [repair]/[open_append] must never truncate or restart it —
+         to this build it looks like damage, but to the matching build it
+         is a perfectly good journal. *)
+      let v = Char.code head.[4] in
+      { records = []; checkpoint = None; ckpt_expected = false; batches = 0;
+        valid_bytes = 0; total_bytes = total; version = v;
+        damage =
+          Some
+            (Printf.sprintf
+               "unsupported journal version %d (this build reads version \
+                %d)" v format_version) }
+    else
+      { records = []; checkpoint = None; ckpt_expected = false; batches = 0;
+        valid_bytes = 0; total_bytes = total; version = 0;
+        damage = Some "bad journal header" }
   else begin
     let ckpt_expected = head = header_ckpt in
     let pos = ref hlen and valid = ref hlen in
@@ -291,12 +313,18 @@ let scan ?(vfs = Vfs.real) ?(attempts = 5) path =
     done;
     { records = List.rev !records; checkpoint = !ckpt; ckpt_expected;
       batches = !batches; valid_bytes = !valid; total_bytes = total;
-      damage = !damage }
+      version = format_version; damage = !damage }
   end
 
 let repair ?(vfs = Vfs.real) ?(attempts = 5) path =
   let s = scan ~vfs ~attempts path in
-  if s.ckpt_expected && s.checkpoint = None then
+  if s.version <> 0 && s.version <> format_version then
+    (* A well-formed journal of another format version.  The only "repair"
+       this build could perform is destroying every record it cannot read;
+       leave the file byte-for-byte alone and let the caller see the
+       unsupported-version damage. *)
+    s
+  else if s.ckpt_expected && s.checkpoint = None then
     (* The checkpoint record itself did not survive: truncating would
        silently discard everything up to the checkpoint's base sequence.
        Leave the file alone; replay/fsck report it unrecoverable.  (The
@@ -336,6 +364,12 @@ let open_append ?(vfs = Vfs.real) ?(attempts = 5) ?(repair = false) path =
   if not (vfs.Vfs.exists path) then create ~vfs ~attempts path
   else begin
     let s = scan ~vfs ~attempts path in
+    if s.version <> 0 && s.version <> format_version then
+      invalid_arg
+        (Printf.sprintf
+           "Wal.open_append: unsupported journal version %d (this build \
+            writes version %d); refusing to append or repair" s.version
+           format_version);
     if s.ckpt_expected && s.checkpoint = None then
       invalid_arg
         "Wal.open_append: journal declares a checkpoint that did not \
@@ -426,8 +460,12 @@ let should_rotate w ~threshold =
    retiring segment is archived by copy (the active path stays untouched);
    (3) the new segment — header + checkpoint record — is published with one
    atomic rename, the commit point.  A crash before (3) leaves the old
-   segment fully in force; after (3) the new one.  Only then are the
-   previous generation's checkpoint files (now unreferenced) removed. *)
+   segment fully in force; after (3) the new one.  Every generation's
+   checkpoint pair is retained alongside its archived segment: the archive
+   [<wal>.seg<g>] is a copy of the generation-(g-1) segment, whose header
+   still binds replay to the generation-(g-1) checkpoint files, so removing
+   retired checkpoints would leave every archive unreplayable the moment it
+   was created. *)
 let rotate w ~xml ~sidecar =
   let gen = w.gen + 1 in
   let xml_p, side_p = checkpoint_files w.path gen in
@@ -451,12 +489,6 @@ let rotate w ~xml ~sidecar =
   Buffer.add_bytes seg (encode_checkpoint_frame c);
   Ruid.Persist.store_atomic w.vfs ~attempts:w.attempts w.path
     (Buffer.to_bytes seg);
-  if w.gen > 0 then begin
-    let ox, os = checkpoint_files w.path w.gen in
-    List.iter
-      (fun p -> try w.vfs.Vfs.remove p with _ -> ())
-      [ ox; os ]
-  end;
   w.gen <- gen;
   gen
 
@@ -488,8 +520,15 @@ let replay ?(vfs = Vfs.real) ?(attempts = 5) ?(check = true) ~xml ~sidecar
     if vfs.Vfs.exists wal then scan ~vfs ~attempts wal
     else
       { records = []; checkpoint = None; ckpt_expected = false; batches = 0;
-        valid_bytes = 0; total_bytes = 0; damage = None }
+        valid_bytes = 0; total_bytes = 0; version = format_version;
+        damage = None }
   in
+  if journal.version <> 0 && journal.version <> format_version then
+    (* Recovering "around" an unreadable older journal would silently drop
+       every record it holds; refuse instead. *)
+    replay_error
+      "unsupported journal version %d (this build replays version %d)"
+      journal.version format_version;
   let doc, r2 =
     match journal.checkpoint with
     | Some c ->

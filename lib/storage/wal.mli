@@ -10,7 +10,12 @@
 
     Journal format v2: a 5-byte header — ["RWAL\x02"] for a base segment,
     ["RWAC\x02"] for a rotated segment whose {e first} frame must be a
-    checkpoint — followed by framed entries
+    checkpoint.  The fifth header byte is the format version: a journal
+    carrying an ["RWAL"]/["RWAC"] magic with any other version byte (e.g. a
+    v1 journal from an older build) is reported as {e unsupported} — never
+    treated as a torn header — and {!repair}/{!open_append} refuse to touch
+    it, so an older journal is diagnosed, not silently emptied.  The header
+    is followed by framed entries
     {v varint payload-length | payload | CRC-32 of payload (4 bytes LE) v}
     Every payload begins with a kind tag:
     - [0] one record: sequence number, the logical operation (insert of a
@@ -91,8 +96,9 @@ val open_append :
     [false]) a torn tail is truncated first; without it a damaged journal
     is refused.
     @raise Invalid_argument on a damaged journal when [repair] is false,
-    or on a checkpoint segment whose checkpoint frame did not survive
-    (repair cannot help there). *)
+    on a checkpoint segment whose checkpoint frame did not survive, or on
+    a journal of an unsupported format version (repair cannot help with
+    either). *)
 
 val log_update : ?sync:bool -> writer -> Ruid.Ruid2.t -> op -> record
 (** Apply the operation to the live numbering and append its record.  With
@@ -137,8 +143,10 @@ val rotate : writer -> xml:bytes -> sidecar:bytes -> int
     by copy (to [path ^ ".seg<gen>"]), and only then is the new segment —
     header plus checkpoint frame — renamed over the journal path, which is
     the commit point.  A crash anywhere before that rename leaves the old
-    segment fully in force.  The previous generation's checkpoint files are
-    removed last, best-effort. *)
+    segment fully in force.  Every generation's checkpoint pair is retained
+    alongside its archived segment (the archive's header references the
+    {e previous} generation's pair), so each archive remains independently
+    replayable. *)
 
 val checkpoint_files : string -> int -> string * string
 (** [(xml, sidecar)] checkpoint paths for a journal path and generation:
@@ -155,6 +163,10 @@ type scan = {
   batches : int;  (** frames that coalesced 2 or more records *)
   valid_bytes : int;  (** file offset where the valid prefix ends *)
   total_bytes : int;
+  version : int;
+      (** journal format version found: 2 for this build's format, the
+          header's version byte for a recognized-but-unsupported version
+          (e.g. 1), 0 when there is no ["RWAL"]/["RWAC"] magic at all *)
   damage : string option;
       (** why scanning stopped before [total_bytes], if it did *)
 }
@@ -168,9 +180,11 @@ val scan : ?vfs:Ruid.Vfs.t -> ?attempts:int -> string -> scan
 val repair : ?vfs:Ruid.Vfs.t -> ?attempts:int -> string -> scan
 (** {!scan}, then truncate the file to the valid prefix (rewriting the
     header when the header itself was damaged).  Returns the scan that
-    describes what survived.  A checkpoint segment whose checkpoint frame
-    is gone is left untouched: truncating it would discard everything up
-    to the checkpoint's base sequence. *)
+    describes what survived.  Two states are left byte-for-byte untouched:
+    a checkpoint segment whose checkpoint frame is gone (truncating it
+    would discard everything up to the checkpoint's base sequence), and a
+    journal of an unsupported format version (well-formed for its own
+    build; "repairing" it could only destroy it). *)
 
 type recovery = {
   doc : Rxml.Dom.t;
@@ -191,8 +205,10 @@ val replay :
     The journal file is not modified; pair with {!repair} to also drop the
     torn tail.
     @raise Replay_error if the journal does not match the snapshot, the
-    checkpoint bytes fail their checksums, or a declared checkpoint did
-    not survive.
+    checkpoint bytes fail their checksums, a declared checkpoint did not
+    survive, or the journal is of an unsupported format version (its
+    records cannot be read, so recovering {e around} them would silently
+    drop them).
     @raise Invalid_argument if the snapshot itself is corrupt. *)
 
 (** {1 Integrity checking (fsck)} *)

@@ -401,7 +401,7 @@ let test_incremental_publication_equivalence () =
         List.iter (fun op -> ignore (Wal.apply master op)) batch;
         incr version;
         let next, rebuilt =
-          Snapshot.advance !snap ~version:!version [ (0, batch) ]
+          Snapshot.advance !snap ~version:!version [ (0, batch, !version) ]
         in
         if rebuilt < 1 then
           Alcotest.failf "seed %d: batch rebuilt no areas" seed;
@@ -413,12 +413,53 @@ let test_incremental_publication_equivalence () =
     if encoded_ids inc <> encoded_ids master then
       Alcotest.failf "seed %d: incremental snapshot diverged from master" seed;
     let full =
-      Snapshot.replace_doc !snap ~version:(!version + 1) ~doc_index:0 master
+      Snapshot.replace_doc !snap ~version:(!version + 1)
+        ~doc_version:(!version + 1) ~doc_index:0 master
     in
     let _, fdoc = Option.get (Snapshot.find full "d") in
     if encoded_ids fdoc.Snapshot.r2 <> encoded_ids inc then
       Alcotest.failf "seed %d: incremental differs from full round-trip" seed
   done
+
+(* The failure mode behind per-document cursors: a full-fallback
+   publication of document A captures its master mid-queue and stamps the
+   snapshot ahead of the global counter, while document B still has a
+   queued update carrying a smaller version.  Filtered against the global
+   stamp, B's update would be dropped forever (acked durable+visible, never
+   published); filtered against B's own cursor it lands.  This pins the
+   cursor plumbing: cursors are per document, shared documents keep theirs,
+   and folding is independent of the global stamp. *)
+let test_per_document_version_cursor () =
+  let make seed =
+    R2.number ~max_area_size:8
+      (Rworkload.Shape.generate ~seed ~target:30
+         (Rworkload.Shape.Uniform { fanout_lo = 1; fanout_hi = 3 }))
+  in
+  let a = make 7 and b = make 8 in
+  let snap = Snapshot.capture ~version:1 [ ("a", a); ("b", b) ] in
+  Alcotest.(check (list int))
+    "cursors start at the capture version" [ 1; 1 ]
+    (Array.to_list
+       (Array.map (fun d -> d.Snapshot.doc_version) snap.Snapshot.docs));
+  (* document A leaps ahead, as a full-fallback capture would *)
+  ignore (Wal.apply a (Wal.Insert { parent_rank = 0; pos = 0; tag = "x" }));
+  let snap =
+    Snapshot.replace_doc snap ~version:10 ~doc_version:10 ~doc_index:0 a
+  in
+  Alcotest.(check int) "untouched document keeps its own cursor" 1
+    snap.Snapshot.docs.(1).Snapshot.doc_version;
+  (* document B folds an update whose version (6) trails the global stamp
+     (10): against B's own cursor it is fresh (6 > 1) and must land *)
+  let op = Wal.Insert { parent_rank = 0; pos = 0; tag = "y" } in
+  ignore (Wal.apply b op);
+  let snap, _ = Snapshot.advance snap ~version:11 [ (1, [ op ], 6) ] in
+  Alcotest.(check int) "B's cursor advances to its own version" 6
+    snap.Snapshot.docs.(1).Snapshot.doc_version;
+  Alcotest.(check int) "A's cursor is untouched" 10
+    snap.Snapshot.docs.(0).Snapshot.doc_version;
+  let _, db = Option.get (Snapshot.find snap "b") in
+  if encoded_ids db.Snapshot.r2 <> encoded_ids b then
+    Alcotest.fail "B's trailing-version update was not folded"
 
 let test_group_commit_service () =
   with_server ~workers:4 ~max_queue:64 [ ("lib", doc_of_string library) ]
@@ -667,6 +708,7 @@ let suite =
     Alcotest.test_case "deadline expires in queue" `Quick test_deadline_expires_in_queue;
     Alcotest.test_case "shutdown leaves recoverable WAL" `Quick test_shutdown_leaves_recoverable_wal;
     Alcotest.test_case "incremental publication = full round-trip (100 seeds)" `Quick test_incremental_publication_equivalence;
+    Alcotest.test_case "per-document publication cursors" `Quick test_per_document_version_cursor;
     Alcotest.test_case "group commit: 4 writers, atomic batched acks" `Quick test_group_commit_service;
     Alcotest.test_case "segment rotation under live service" `Quick test_segment_rotation_service;
     Alcotest.test_case "SHUTDOWN verb" `Quick test_shutdown_verb;

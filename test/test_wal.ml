@@ -353,17 +353,78 @@ let test_checkpoint_rotation () =
     (encoded_ids r.Wal.r2 = encoded_ids replica);
   Alcotest.(check int) "fsck clean" 0
     (Wal.exit_code (Wal.fsck ~xml ~sidecar ~wal ()));
-  (* Reopen resumes sequence and generation; a second rotation retires the
-     first generation's checkpoint files. *)
+  (* Reopen resumes sequence and generation; a second rotation retains the
+     first generation's checkpoint pair — the just-cut archive (<wal>.seg2,
+     a copy of the generation-1 segment) still binds replay to it, so
+     retiring the pair would make the archive unreplayable at birth. *)
   let w2 = Wal.open_append wal in
   Alcotest.(check int) "resume seq" 12 (Wal.seq w2);
   Alcotest.(check int) "resume generation" 1 (Wal.generation w2);
   ignore
     (Wal.rotate w2 ~xml:(P.xml_to_bytes live)
        ~sidecar:(P.sidecar_to_bytes live));
-  Alcotest.(check bool) "previous generation's files retired" false
-    (Sys.file_exists cx || Sys.file_exists cs);
+  Alcotest.(check bool) "previous generation's checkpoints retained" true
+    (Sys.file_exists cx && Sys.file_exists cs);
   Alcotest.(check int) "still clean" 0
+    (Wal.exit_code (Wal.fsck ~xml ~sidecar ~wal ()));
+  (* The archived generation-1 segment must recover on its own: copied to a
+     scratch journal path together with the checkpoint pair its header
+     references, it replays records 8..12 over checkpoint 1. *)
+  let copy src dst =
+    let ic = open_in_bin src in
+    let n = in_channel_length ic in
+    let b = really_input_string ic n in
+    close_in ic;
+    let oc = open_out_bin dst in
+    output_string oc b;
+    close_out oc
+  in
+  let scratch = path "ckpt-archive.wal" in
+  copy (wal ^ ".seg2") scratch;
+  let sx, ss = Wal.checkpoint_files scratch 1 in
+  copy cx sx;
+  copy cs ss;
+  let ra = Wal.replay ~xml ~sidecar ~wal:scratch () in
+  Alcotest.(check int) "archive replays its tail over its checkpoint" 5
+    (List.length ra.Wal.replayed);
+  Alcotest.(check bool) "archive replay byte-identical to the live state"
+    true
+    (encoded_ids ra.Wal.r2 = encoded_ids live)
+
+let test_unsupported_version () =
+  (* A v1 journal (older build) is a well-formed file this build cannot
+     read: it must be diagnosed by name and left byte-for-byte untouched —
+     never mistaken for a torn header and "repaired" into an empty v2
+     journal, and never silently recovered around (which would drop every
+     v1 record). *)
+  let _root, _live, xml, sidecar, _ = snapshot "v1" in
+  let wal = path "v1.wal" in
+  let body = "RWAL\x01pretend-v1-records" in
+  let oc = open_out_bin wal in
+  output_string oc body;
+  close_out oc;
+  let s = Wal.scan wal in
+  Alcotest.(check int) "version recognized" 1 s.Wal.version;
+  Alcotest.(check bool) "flagged as unsupported, not a bad header" true
+    (match s.Wal.damage with
+    | Some why ->
+      String.length why >= 11 && String.sub why 0 11 = "unsupported"
+    | None -> false);
+  ignore (Wal.repair wal);
+  let ic = open_in_bin wal in
+  let after = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Alcotest.(check string) "repair leaves the file untouched" body after;
+  (match Wal.open_append wal with
+  | _ -> Alcotest.fail "open_append must refuse a v1 journal"
+  | exception Invalid_argument _ -> ());
+  (match Wal.open_append ~repair:true wal with
+  | _ -> Alcotest.fail "repair cannot adopt a v1 journal either"
+  | exception Invalid_argument _ -> ());
+  (match Wal.replay ~xml ~sidecar ~wal () with
+  | _ -> Alcotest.fail "replay must not recover around v1 records"
+  | exception Wal.Replay_error _ -> ());
+  Alcotest.(check int) "fsck: unrecoverable by this build" 2
     (Wal.exit_code (Wal.fsck ~xml ~sidecar ~wal ()))
 
 let test_checkpoint_damage () =
@@ -469,6 +530,8 @@ let suite =
     Alcotest.test_case "group-commit crash equivalence" `Quick
       test_group_commit_crash_equivalence;
     Alcotest.test_case "checkpoint rotation" `Quick test_checkpoint_rotation;
+    Alcotest.test_case "unsupported journal version refused" `Quick
+      test_unsupported_version;
     Alcotest.test_case "checkpoint damage refused" `Quick
       test_checkpoint_damage;
     Alcotest.test_case "checkpoint crash equivalence (10 seeds)" `Quick
