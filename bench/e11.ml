@@ -206,7 +206,8 @@ let write_json path =
     Printf.sprintf "  \"%s\": [\n%s\n  ]" name
       (String.concat ",\n" (List.rev rows))
   in
-  Printf.fprintf oc "{\n  \"experiment\": \"E11\",\n%s,\n%s,\n%s\n}\n"
+  Printf.fprintf oc "{\n  \"experiment\": \"E11\",\n%s,\n%s,\n%s,\n%s\n}\n"
+    (Report.meta_json ())
     (section "axis" !json_axis)
     (section "query" !json_query)
     (section "join" !json_join);

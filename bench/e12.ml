@@ -200,7 +200,8 @@ let write_json path =
     Printf.sprintf "  \"%s\": [\n%s\n  ]" name
       (String.concat ",\n" (List.rev rows))
   in
-  Printf.fprintf oc "{\n  \"experiment\": \"E12\",\n%s,\n%s,\n%s\n}\n"
+  Printf.fprintf oc "{\n  \"experiment\": \"E12\",\n%s,\n%s,\n%s,\n%s\n}\n"
+    (Report.meta_json ())
     (section "recovery" !json_recovery)
     (section "append" !json_append)
     (section "sidecar" !json_sidecar);

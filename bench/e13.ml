@@ -48,6 +48,8 @@ let run_level ~doc_name ~root ~clients ~per_client ~workers ~max_queue =
       commit_interval_us = 0;
       commit_max_batch = 64;
       wal_segment_bytes = 0;
+      planner = true;
+      plan_cache = 256;
     }
   in
   let srv = Service.start cfg [ (doc_name, Rxml.Dom.clone root) ] in
@@ -118,7 +120,8 @@ let write_json path =
   let oc = open_out path in
   Printf.fprintf oc
     "{\n  \"experiment\": \"E13\",\n  \"mix\": \"90%% COUNT / 10%% UPDATE\",\n\
-    \  \"levels\": [\n%s\n  ]\n}\n"
+    %s,\n  \"levels\": [\n%s\n  ]\n}\n"
+    (Report.meta_json ())
     (String.concat ",\n" (List.rev !json_rows));
   close_out oc;
   Report.note "wrote %s" path

@@ -91,6 +91,8 @@ let run_level ~doc_name ~root ~mode ~cache_mb ~mix_name ~update_every ~clients
       commit_interval_us = 0;
       commit_max_batch = 64;
       wal_segment_bytes = 0;
+      planner = true;
+      plan_cache = 256;
     }
   in
   let srv = Service.start cfg [ (doc_name, Rxml.Dom.clone root) ] in
@@ -203,8 +205,9 @@ let write_json path =
   in
   let oc = open_out path in
   Printf.fprintf oc
-    "{\n  \"experiment\": \"E14\",\n  \"mixes\": [\"90/10\", \"99/1\"],\n%s\n\
+    "{\n  \"experiment\": \"E14\",\n  \"mixes\": [\"90/10\", \"99/1\"],\n%s,\n%s\n\
     \  \"levels\": [\n%s\n  ]\n}\n"
+    (Report.meta_json ())
     headline
     (String.concat ",\n" (List.rev !json_rows));
   close_out oc;

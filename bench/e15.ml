@@ -73,6 +73,8 @@ let run_level ~doc_name ~root ~batching ~mix_name ~period ~updates_per_period
       commit_interval_us = 0;
       commit_max_batch = (if batching then 64 else 1);
       wal_segment_bytes = 0;
+      planner = true;
+      plan_cache = 256;
     }
   in
   let srv = Service.start cfg [ (doc_name, Rxml.Dom.clone root) ] in
@@ -183,8 +185,9 @@ let write_json path =
   in
   let oc = open_out path in
   Printf.fprintf oc
-    "{\n  \"experiment\": \"E15\",\n  \"mixes\": [\"10/90\", \"50/50\"],\n%s\n\
+    "{\n  \"experiment\": \"E15\",\n  \"mixes\": [\"10/90\", \"50/50\"],\n%s,\n%s\n\
     \  \"levels\": [\n%s\n  ]\n}\n"
+    (Report.meta_json ())
     headline
     (String.concat ",\n" (List.rev !json_rows));
   close_out oc;

@@ -18,6 +18,7 @@ let experiments =
     ("E13", E13.run);
     ("E14", E14.run);
     ("E15", E15.run);
+    ("E16", E16.run);
   ]
 
 let () =

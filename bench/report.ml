@@ -42,6 +42,26 @@ let fns ns =
 
 let fbool b = if b then "yes" else "no"
 
+(* Provenance stamped into every BENCH_*.json: bench numbers without the
+   machine, toolchain and revision that produced them are not comparable
+   run-to-run.  Rendered as one JSON member (no trailing comma). *)
+let meta_json () =
+  let git_rev =
+    try
+      let ic =
+        Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null"
+      in
+      let line = try String.trim (input_line ic) with End_of_file -> "" in
+      match Unix.close_process_in ic with
+      | Unix.WEXITED 0 when line <> "" -> line
+      | _ -> "unknown"
+    with _ -> "unknown"
+  in
+  Printf.sprintf
+    {|  "meta": {"cores": %d, "ocaml": %S, "git_rev": %S, "timestamp": %.0f}|}
+    (Domain.recommended_domain_count ())
+    Sys.ocaml_version git_rev (Unix.gettimeofday ())
+
 (* Wall-clock timing for macro operations (result, seconds). *)
 let time f =
   let t0 = Unix.gettimeofday () in

@@ -248,6 +248,36 @@ let query_cmd =
     Term.(const run $ input_arg $ area_arg $ expr $ engine $ strategy)
 
 (* ------------------------------------------------------------------ *)
+(* explain                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let explain_cmd =
+  let expr =
+    Arg.(
+      required & pos 1 (some string) None
+      & info [] ~docv:"XPATH" ~doc:"XPath location path (unions allowed).")
+  in
+  let run path area expr =
+    let doc = Rxml.Parser.parse_file path in
+    let planner = Rxpath.Planner.create (R2.number ~max_area_size:area doc) in
+    match Rxpath.Planner.explain planner expr with
+    | text -> print_string text
+    | exception Rxpath.Xparser.Syntax_error msg ->
+      prerr_endline ("ruidtool explain: bad XPath: " ^ msg);
+      exit 2
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Show the query plan the cost-based planner picks for an XPath \
+          expression — chosen strategy (chain structural join, twig \
+          semijoin, DataGuide prune, or engine fallback), plan vs. engine \
+          cost estimates, and a per-operator table of estimated vs. actual \
+          cardinalities with timings (the query is executed once, \
+          uncached, to measure them).")
+    Term.(const run $ input_arg $ area_arg $ expr)
+
+(* ------------------------------------------------------------------ *)
 (* update-sim                                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -683,6 +713,26 @@ let serve_cmd =
              from it, bounding replay cost.  0 (the default) disables \
              rotation.")
   in
+  let planner =
+    Arg.(
+      value
+      & opt (enum [ ("on", true); ("off", false) ]) true
+      & info [ "planner" ] ~docv:"on|off"
+          ~doc:
+            "Route QUERY/COUNT through the cost-based query planner and \
+             serve the EXPLAIN verb ($(b,on), the default).  $(b,off) \
+             evaluates every query on the engine directly — identical \
+             answers, no plan cache, EXPLAIN returns an error.")
+  in
+  let plan_cache =
+    Arg.(
+      value & opt int 256
+      & info [ "plan-cache" ] ~docv:"N"
+          ~doc:
+            "Compiled-plan cache capacity in plans (>= 0), shared by the \
+             whole collection and keyed by DataGuide fingerprint + \
+             canonical query text.  0 disables plan caching.")
+  in
   let max_depth =
     Arg.(
       value & opt int 10000
@@ -717,8 +767,8 @@ let serve_cmd =
     exit 2
   in
   let run files data_dir workers max_queue domains cache_mb deadline_ms
-      commit_interval_us commit_max_batch wal_segment_bytes max_depth
-      max_area gen_kind gen_size seed socket =
+      commit_interval_us commit_max_batch wal_segment_bytes planner
+      plan_cache max_depth max_area gen_kind gen_size seed socket =
     if max_depth < 1 then fail "--max-depth must be >= 1";
     if gen_size < 1 then fail "--gen-size must be >= 1";
     let data_dir =
@@ -746,6 +796,8 @@ let serve_cmd =
         commit_interval_us;
         commit_max_batch;
         wal_segment_bytes;
+        planner;
+        plan_cache;
       }
     in
     (match Service.validate_config cfg with
@@ -789,12 +841,14 @@ let serve_cmd =
       docs;
     Printf.printf
       "listening on %s (workers %d, read domains %s, queue %d, cache %s, \
-       deadline %s)\n%!"
+       deadline %s, planner %s)\n%!"
       socket workers
       (if domains = 0 then "off" else string_of_int domains)
       (Service.resolved_max_queue cfg)
       (if cache_mb = 0 then "off" else string_of_int cache_mb ^ "MB")
-      (if deadline_ms = 0 then "none" else string_of_int deadline_ms ^ "ms");
+      (if deadline_ms = 0 then "none" else string_of_int deadline_ms ^ "ms")
+      (if planner then Printf.sprintf "on (plan cache %d)" plan_cache
+       else "off");
     let stop_and_exit _ = Service.stop t; exit 0 in
     Sys.set_signal Sys.sigint (Sys.Signal_handle stop_and_exit);
     Sys.set_signal Sys.sigterm (Sys.Signal_handle stop_and_exit);
@@ -810,7 +864,8 @@ let serve_cmd =
     Term.(
       const run $ files $ data_dir $ workers $ max_queue $ domains $ cache_mb
       $ deadline_ms $ commit_interval_us $ commit_batch $ wal_segment_bytes
-      $ max_depth $ max_area $ gen_kind $ gen_size $ seed_arg $ socket_arg)
+      $ planner $ plan_cache $ max_depth $ max_area $ gen_kind $ gen_size
+      $ seed_arg $ socket_arg)
 
 let client_cmd =
   let words =
@@ -877,6 +932,7 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "ruidtool" ~doc)
           [ generate_cmd; stats_cmd; number_cmd; parent_cmd; query_cmd;
-            update_sim_cmd; reconstruct_cmd; plan_cmd; save_cmd; load_cmd;
+            explain_cmd; update_sim_cmd; reconstruct_cmd; plan_cmd;
+            save_cmd; load_cmd;
             wal_record_cmd; wal_replay_cmd; fsck_cmd; crash_test_cmd;
             guide_cmd; serve_cmd; client_cmd ]))

@@ -12,6 +12,17 @@ type cache_stats = {
   bytes : int;
 }
 
+type planner_stats = {
+  chain : int;
+  twig : int;
+  engine : int;
+  pruned : int;
+  plan_hits : int;
+  plan_misses : int;
+  plan_evictions : int;
+  plan_entries : int;
+}
+
 type write_stats = {
   batches : int;
   records : int;
@@ -36,6 +47,7 @@ type t = {
   mutable cache_probe : (unit -> cache_stats) option;
   mutable domain_probe : (unit -> float array) option;
   mutable write_probe : (unit -> write_stats) option;
+  mutable planner_probe : (unit -> planner_stats) option;
 }
 
 let create () =
@@ -52,6 +64,7 @@ let create () =
     cache_probe = None;
     domain_probe = None;
     write_probe = None;
+    planner_probe = None;
   }
 
 let locked t f =
@@ -105,6 +118,7 @@ let set_snapshot_probe t f = locked t (fun () -> t.snapshot_probe <- Some f)
 let set_cache_probe t f = locked t (fun () -> t.cache_probe <- Some f)
 let set_domain_probe t f = locked t (fun () -> t.domain_probe <- Some f)
 let set_write_probe t f = locked t (fun () -> t.write_probe <- Some f)
+let set_planner_probe t f = locked t (fun () -> t.planner_probe <- Some f)
 
 type summary = {
   requests : int;
@@ -185,6 +199,10 @@ let render t =
     | Some f -> Some (f ())
     | None -> None
   in
+  let planner = match locked t (fun () -> t.planner_probe) with
+    | Some f -> Some (f ())
+    | None -> None
+  in
   let dropped = locked t (fun () -> t.dropped) in
   let b = Buffer.create 512 in
   Buffer.add_string b
@@ -228,6 +246,19 @@ let render t =
       (Printf.sprintf
          "publish_incremental=%d publish_full=%d areas_rebuilt=%d\n"
          w.publish_incremental w.publish_full w.areas_rebuilt));
+  (match planner with
+  | None -> ()
+  | Some p ->
+    let lookups = p.plan_hits + p.plan_misses in
+    Buffer.add_string b
+      (Printf.sprintf
+         "planner_chain=%d planner_twig=%d planner_engine=%d planner_pruned=%d \
+plan_cache_hits=%d plan_cache_misses=%d plan_cache_hit_rate=%.4f \
+plan_cache_evictions=%d plan_cache_entries=%d\n"
+         p.chain p.twig p.engine p.pruned p.plan_hits p.plan_misses
+         (if lookups = 0 then 0.
+          else float_of_int p.plan_hits /. float_of_int lookups)
+         p.plan_evictions p.plan_entries));
   List.iter
     (fun (v, ok, err, busy) ->
       Buffer.add_string b

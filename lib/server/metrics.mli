@@ -63,6 +63,21 @@ val set_write_probe : t -> (unit -> write_stats) -> unit
 (** Gauge: group-commit pipeline counters; rendered as [wal_*] (with a
     derived mean batch size) and [publish_*] keys when set. *)
 
+type planner_stats = {
+  chain : int;  (** queries executed as chain structural-join pipelines *)
+  twig : int;  (** queries executed by the twig semijoin *)
+  engine : int;  (** queries that fell back to the full evaluator *)
+  pruned : int;  (** queries refuted by the DataGuide (answered empty) *)
+  plan_hits : int;
+  plan_misses : int;
+  plan_evictions : int;
+  plan_entries : int;
+}
+
+val set_planner_probe : t -> (unit -> planner_stats) -> unit
+(** Gauge: query-planner strategy and plan-cache counters; rendered as
+    [planner_*] and [plan_cache_*] keys (hit rate included) when set. *)
+
 (** {1 Reading} *)
 
 type summary = {

@@ -5,6 +5,7 @@ type request =
   | Docs
   | Query of string
   | Count of string
+  | Explain of string
   | Update of { doc : string; op : Wal.op }
   | Check of string
   | Stats
@@ -16,6 +17,7 @@ let verb = function
   | Docs -> "DOCS"
   | Query _ -> "QUERY"
   | Count _ -> "COUNT"
+  | Explain _ -> "EXPLAIN"
   | Update _ -> "UPDATE"
   | Check _ -> "CHECK"
   | Stats -> "STATS"
@@ -50,6 +52,8 @@ let parse_request line =
   | "QUERY", q -> Ok (Query q)
   | "COUNT", "" -> Error "COUNT: missing XPath expression"
   | "COUNT", q -> Ok (Count q)
+  | "EXPLAIN", "" -> Error "EXPLAIN: missing XPath expression"
+  | "EXPLAIN", q -> Ok (Explain q)
   | "CHECK", d ->
     if valid_word d then Ok (Check d) else Error "CHECK: expected a document name"
   | "SLEEP", ms ->
@@ -86,6 +90,7 @@ let request_to_string = function
   | Docs -> "DOCS"
   | Query q -> "QUERY " ^ q
   | Count q -> "COUNT " ^ q
+  | Explain q -> "EXPLAIN " ^ q
   | Update { doc; op = Wal.Insert { parent_rank; pos; tag } } ->
     Printf.sprintf "UPDATE %s INSERT %d %d %s" doc parent_rank pos tag
   | Update { doc; op = Wal.Delete { rank } } ->

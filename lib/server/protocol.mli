@@ -12,6 +12,7 @@
        DOCS
        QUERY <xpath>
        COUNT <xpath>
+       EXPLAIN <xpath>
        UPDATE <doc> INSERT <parent_rank> <pos> <tag>
        UPDATE <doc> DELETE <rank>
        CHECK <doc>
@@ -29,6 +30,9 @@ type request =
   | Docs
   | Query of string  (** XPath over every document of the snapshot *)
   | Count of string  (** like [Query] but returns per-document counts only *)
+  | Explain of string
+      (** render the query plan per document (strategy, est vs. actual
+          per-operator cardinalities, timings); executes uncached *)
   | Update of { doc : string; op : Rstorage.Wal.op }
   | Check of string  (** deep-verify one snapshot document (torn-read canary) *)
   | Stats

@@ -64,24 +64,13 @@ let create ?(shards = 8) ~max_entries ~max_bytes () =
     max_bytes_per_shard = max 1 ((max_bytes + shards - 1) / shards);
   }
 
-(* Collapse whitespace runs and trim, so `//a[ b ]` and ` //a[b] ` share an
-   entry.  Whitespace inside the expression is never significant to the
-   XPath grammar we parse (string literals aside, which we conservatively
-   leave to differ only by their spacing). *)
-let normalize q =
-  let b = Buffer.create (String.length q) in
-  let pending_space = ref false in
-  String.iter
-    (fun c ->
-      if c = ' ' || c = '\t' || c = '\n' || c = '\r' then
-        (if Buffer.length b > 0 then pending_space := true)
-      else begin
-        if !pending_space then Buffer.add_char b ' ';
-        pending_space := false;
-        Buffer.add_char b c
-      end)
-    q;
-  Buffer.contents b
+(* Canonical query text via the parser round-trip (Rxpath.Xparser), so
+   `//a[ b ]`, `//a[b]` and the fully spelled
+   `/descendant-or-self::node()/child::a[child::b]` all share one entry.
+   Unparsable input degrades to whitespace-run collapse inside the parser's
+   fallback.  The plan cache keys on the same normal form, so a query-cache
+   key and a plan-cache key for one query always agree. *)
+let normalize = Rxpath.Xparser.normalize
 
 let build_key ~doc ~version ~query =
   Printf.sprintf "%s\x00%d\x00%s" doc version query

@@ -29,8 +29,10 @@ val create : ?shards:int -> max_entries:int -> max_bytes:int -> unit -> t
     @raise Invalid_argument if any parameter is < 1. *)
 
 val normalize : string -> string
-(** Canonical spelling used in keys: surrounding whitespace trimmed,
-    internal whitespace runs collapsed to one space. *)
+(** Canonical spelling used in keys — {!Rxpath.Xparser.normalize}: parse,
+    expand every abbreviation to [axis::test], render fully parenthesized;
+    unparsable input falls back to whitespace-run collapse + trim.  The
+    planner's plan cache keys on the same normal form. *)
 
 val find : t -> doc:string -> version:int -> query:string -> string option
 (** Cached value for this exact (doc, version, query), touching it most

@@ -14,12 +14,15 @@ type config = {
   commit_interval_us : int;
   commit_max_batch : int;
   wal_segment_bytes : int;
+  planner : bool;
+  plan_cache : int;
 }
 
 let default_config ~socket_path ~data_dir () =
   { socket_path; data_dir; workers = 4; max_queue = 0; deadline_ms = 0;
     max_area_size = 64; domains = 0; cache_mb = 0;
-    commit_interval_us = 0; commit_max_batch = 64; wal_segment_bytes = 0 }
+    commit_interval_us = 0; commit_max_batch = 64; wal_segment_bytes = 0;
+    planner = true; plan_cache = 256 }
 
 (* E13 showed the old fixed default rejecting 67% of a 90/10 mix at only
    8 clients: a queue bound that ignores the pool size punishes exactly
@@ -43,6 +46,8 @@ let validate_config c =
   else if c.commit_max_batch < 1 then Error "commit-batch must be >= 1"
   else if c.wal_segment_bytes < 0 then
     Error "wal-segment-bytes must be >= 0 (0 disables rotation)"
+  else if c.plan_cache < 0 then
+    Error "plan-cache must be >= 0 (0 disables plan caching)"
   else if c.socket_path = "" then Error "socket path must not be empty"
   else if String.length c.socket_path > max_socket_path then
     Error
@@ -247,6 +252,27 @@ let run_query t src =
        (if shown = [] then ""
         else " ids " ^ String.concat " " shown
              ^ if total > id_cap then " ..." else ""))
+
+(* EXPLAIN renders the plan per document.  Always uncached and never in
+   the result cache: the point is measured actual cardinalities and
+   timings for THIS execution. *)
+let run_explain t src =
+  let s = Atomic.get t.current in
+  match Snapshot.parse src with
+  | exception Failure msg -> Protocol.Err msg
+  | _ ->
+    let parts =
+      Array.to_list s.Snapshot.docs
+      |> List.map (fun d ->
+             match Snapshot.explain_doc d src with
+             | Ok text -> Printf.sprintf "doc %s\n%s" d.Snapshot.name text
+             | Error why ->
+               Printf.sprintf "doc %s\nexplain unavailable: %s"
+                 d.Snapshot.name why)
+    in
+    Protocol.Ok_
+      (Printf.sprintf "v=%d\n%s" s.Snapshot.version
+         (String.concat "\n" parts))
 
 (* --- Group commit -------------------------------------------------
 
@@ -580,6 +606,7 @@ let run_request t (req : Protocol.request) =
   match req with
   | Protocol.Count src -> run_count t src
   | Protocol.Query src -> run_query t src
+  | Protocol.Explain src -> run_explain t src
   | Protocol.Update { doc; op } -> run_update t doc op
   | Protocol.Check doc -> run_check t doc
   | Protocol.Sleep ms ->
@@ -697,8 +724,8 @@ let handle_frame t oc payload =
     | Protocol.Shutdown ->
       reply verb (Protocol.Ok_ "stopping");
       request_stop_async t
-    | Protocol.Query _ | Protocol.Count _ | Protocol.Update _
-    | Protocol.Check _ | Protocol.Sleep _ ->
+    | Protocol.Query _ | Protocol.Count _ | Protocol.Explain _
+    | Protocol.Update _ | Protocol.Check _ | Protocol.Sleep _ ->
       let deadline =
         if t.cfg.deadline_ms = 0 then infinity
         else t0 +. (float_of_int t.cfg.deadline_ms /. 1000.)
@@ -718,7 +745,9 @@ let handle_frame t oc payload =
          systhread pool of the main domain — the WAL + write-mutex path. *)
       let admitted =
         match (t.exec, req) with
-        | Some ex, (Protocol.Query _ | Protocol.Count _ | Protocol.Check _) ->
+        | Some ex,
+          ( Protocol.Query _ | Protocol.Count _ | Protocol.Explain _
+          | Protocol.Check _ ) ->
           Executor.submit ~label:verb ex job
         | _ -> Scheduler.submit ~label:verb t.sched job
       in
@@ -820,8 +849,13 @@ let start cfg docs =
              wal_path })
          docs)
   in
+  let planner_shared =
+    if cfg.planner then
+      Some (Rxpath.Planner.make_shared ~plan_cache:cfg.plan_cache ())
+    else None
+  in
   let snapshot0 =
-    Snapshot.capture ~version:1
+    Snapshot.capture ?planner:planner_shared ~version:1
       (Array.to_list (Array.map (fun m -> (m.name, m.r2)) masters))
   in
   let metrics = Metrics.create () in
@@ -900,6 +934,28 @@ let start cfg docs =
   (match t.exec with
   | Some ex -> Metrics.set_domain_probe metrics (fun () -> Executor.busy_seconds ex)
   | None -> ());
+  (match planner_shared with
+  | None -> ()
+  | Some sh ->
+    Metrics.set_planner_probe metrics (fun () ->
+        let s = Rxpath.Planner.shared_stats sh in
+        let hits, misses, evictions, entries =
+          match s.Rxpath.Planner.cache_stats with
+          | None -> (0, 0, 0, 0)
+          | Some c ->
+            Rxpath.Plan_cache.
+              (c.hits, c.misses, c.evictions, c.entries)
+        in
+        {
+          Metrics.chain = s.Rxpath.Planner.chain;
+          twig = s.Rxpath.Planner.twig;
+          engine = s.Rxpath.Planner.engine;
+          pruned = s.Rxpath.Planner.pruned;
+          plan_hits = hits;
+          plan_misses = misses;
+          plan_evictions = evictions;
+          plan_entries = entries;
+        }));
   Metrics.set_write_probe metrics (fun () ->
       Mutex.lock t.group_mu;
       let w = t.writes in

@@ -67,12 +67,21 @@ type config = {
   wal_segment_bytes : int;
       (** rotate a document's WAL segment once it reaches this size,
           cutting a checkpoint; 0 disables rotation *)
+  planner : bool;
+      (** route QUERY/COUNT through the cost-based query planner
+          ({!Rxpath.Planner}) and serve EXPLAIN; off = every query runs on
+          the evaluator directly (identical answers, no plan cache) *)
+  plan_cache : int;
+      (** compiled-plan cache capacity in plans (shared by the whole
+          collection, keyed by DataGuide fingerprint + canonical query
+          text); 0 disables plan caching *)
 }
 
 val default_config : socket_path:string -> data_dir:string -> unit -> config
 (** workers 4, max_queue 0 (= 4 × workers), deadline_ms 0,
     max_area_size 64, domains 0, cache_mb 0, commit_interval_us 0,
-    commit_max_batch 64, wal_segment_bytes 0. *)
+    commit_max_batch 64, wal_segment_bytes 0, planner true,
+    plan_cache 256. *)
 
 val resolved_max_queue : config -> int
 (** The effective per-pool admission bound: [max_queue] when positive,
@@ -82,7 +91,8 @@ val validate_config : config -> (unit, string) result
 (** Bounds checking for the CLI flags: workers >= 1, max_queue >= 0
     (0 = auto), deadline_ms >= 0, max_area_size >= 2, domains >= 0,
     cache_mb >= 0, commit_interval_us >= 0, commit_max_batch >= 1,
-    wal_segment_bytes >= 0, socket path non-empty and short enough for
+    wal_segment_bytes >= 0, plan_cache >= 0,
+    socket path non-empty and short enough for
     [sockaddr_un]. *)
 
 type t

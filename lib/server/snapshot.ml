@@ -1,11 +1,13 @@
 module Dom = Rxml.Dom
 module R2 = Ruid.Ruid2
+module Planner = Rxpath.Planner
 
 type doc = {
   name : string;
   root : Dom.t;
   r2 : R2.t;
   engine : Rxpath.Eval.engine;
+  planner : Planner.t option;
   doc_version : int;
 }
 
@@ -13,47 +15,104 @@ type t = { version : int; published_at : float; docs : doc array }
 
 (* An isolated copy of a master document: clone the DOM, then re-impose the
    exact identifiers through the persistence sidecar (Ruid2 state references
-   its own tree's nodes, so sharing the numbering would share the tree). *)
-let capture_doc ~doc_version name (master : R2.t) =
+   its own tree's nodes, so sharing the numbering would share the tree).
+   With [?planner] shared state, the copy also gets a query planner whose
+   engine doubles as the doc's evaluator (one Doc_index serves both). *)
+let capture_doc ?planner ~doc_version name (master : R2.t) =
   let bytes = Ruid.Persist.sidecar_to_bytes master in
   let root = Dom.clone (R2.root master) in
   let r2 = Ruid.Persist.sidecar_of_bytes root bytes in
-  { name; root; r2; engine = Rxpath.Engine_ruid.create r2; doc_version }
+  match planner with
+  | None ->
+    { name; root; r2; engine = Rxpath.Engine_ruid.create r2; planner = None;
+      doc_version }
+  | Some shared ->
+    let p = Planner.create ~shared r2 in
+    { name; root; r2; engine = Planner.engine p; planner = Some p;
+      doc_version }
 
-let capture ~version masters =
+let capture ?planner ~version masters =
   {
     version;
     published_at = Unix.gettimeofday ();
     docs =
       Array.of_list
         (List.map
-           (fun (name, r2) -> capture_doc ~doc_version:version name r2)
+           (fun (name, r2) -> capture_doc ?planner ~doc_version:version name r2)
            masters);
   }
 
 let replace_doc t ~version ~doc_version ~doc_index master =
   let docs = Array.copy t.docs in
-  docs.(doc_index) <- capture_doc ~doc_version docs.(doc_index).name master;
+  let prev = docs.(doc_index) in
+  let planner = Option.map Planner.shared_of prev.planner in
+  docs.(doc_index) <- capture_doc ?planner ~doc_version prev.name master;
   { version; published_at = Unix.gettimeofday (); docs }
+
+(* Root label path of an element (root label first, elements only — the
+   document node contributes nothing). *)
+let label_path n =
+  List.rev_map Dom.tag
+    (List.filter Dom.is_element (n :: Dom.ancestors n))
+
+(* The guide delta of one logical operation, computed against the tree the
+   operation is ABOUT to apply to (ranks are pre-apply preorder ranks). *)
+let delta_of_op root op =
+  match op with
+  | Rstorage.Wal.Insert { parent_rank; tag; _ } -> (
+    match List.nth_opt (Dom.preorder root) parent_rank with
+    | None -> None  (* replay will fail; let Wal.apply report it *)
+    | Some parent ->
+      let base = if Dom.is_element parent then label_path parent else [] in
+      Some [ Planner.Add (base @ [ tag ]) ])
+  | Rstorage.Wal.Delete { rank } -> (
+    match List.nth_opt (Dom.preorder root) rank with
+    | None -> None
+    | Some n ->
+      Some (List.map (fun e -> Planner.Remove (label_path e)) (Dom.elements n)))
 
 (* Incremental capture: instead of a sidecar serialize + reparse of the
    master, clone the PREVIOUS snapshot's copy (pointer work, no encoding)
    and replay the batch's logical operations on the clone.  [Wal.apply] is
    deterministic, so the clone converges to identifiers bit-identical to
    the master that already applied the same ops — the equivalence the
-   server property test pins across random update sequences.  Returns the
-   new doc plus how many area-renumberings the replay performed (the
-   [areas_rebuilt] metric: everything else was shared, not rebuilt). *)
+   server property test pins across random update sequences.  The planner
+   advances incrementally too: each op's DataGuide delta is computed
+   against the pre-apply tree (ranks are pre-apply), then folded into a
+   clone of the previous guide — O(changed paths), no guide rebuild.
+   Returns the new doc plus how many area-renumberings the replay performed
+   (the [areas_rebuilt] metric: everything else was shared, not rebuilt). *)
 let advance_doc prev ~doc_version ops =
   let r2 = R2.clone prev.r2 in
   let areas = Hashtbl.create 8 in
+  let deltas = ref (Some []) in
+  let track = prev.planner <> None in
   List.iter
     (fun op ->
+      if track then
+        (match (!deltas, delta_of_op (R2.root r2) op) with
+        | Some acc, Some ds -> deltas := Some (acc @ ds)
+        | _, None -> deltas := None  (* unresolvable rank: give up tracking *)
+        | None, _ -> ());
       let area, _changed = Rstorage.Wal.apply r2 op in
       Hashtbl.replace areas area ())
     ops;
-  ( { name = prev.name; root = R2.root r2; r2;
-      engine = Rxpath.Engine_ruid.create r2; doc_version },
+  let planner =
+    Option.map
+      (fun p ->
+        Planner.advance p r2
+          ~deltas:
+            (match !deltas with
+            | Some ds -> ds
+            | None -> [ Planner.Remove [] ]  (* inconsistent: force rebuild *)))
+      prev.planner
+  in
+  let engine =
+    match planner with
+    | Some p -> Planner.engine p
+    | None -> Rxpath.Engine_ruid.create r2
+  in
+  ( { name = prev.name; root = R2.root r2; r2; engine; planner; doc_version },
     Hashtbl.length areas )
 
 let advance t ~version updates =
@@ -81,8 +140,17 @@ let parse src =
   try Rxpath.Xparser.parse_union src
   with e -> failwith (Printf.sprintf "bad XPath %S: %s" src (Printexc.to_string e))
 
-let query_doc d u = Rxpath.Eval.select_union d.engine u
+let query_doc d u =
+  match d.planner with
+  | Some p -> Planner.select_union p u
+  | None -> Rxpath.Eval.select_union d.engine u
+
 let count_doc d u = List.length (query_doc d u)
+
+let explain_doc d src =
+  match d.planner with
+  | Some p -> Ok (Planner.explain p src)
+  | None -> Error "planner disabled"
 
 let count t src =
   let u = parse src in

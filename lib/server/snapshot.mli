@@ -24,6 +24,11 @@ type doc = private {
   root : Rxml.Dom.t;  (** this snapshot's private clone *)
   r2 : Ruid.Ruid2.t;  (** numbering restored over the clone *)
   engine : Rxpath.Eval.engine;
+  planner : Rxpath.Planner.t option;
+      (** cost-based query planner over this copy, present when the service
+          runs with planning enabled.  Its fallback engine {e is} [engine]
+          (they share one document-order index); its DataGuide advances
+          incrementally across {!advance} publications. *)
   doc_version : int;
       (** version of the last update folded into {e this} copy — the
           per-document publication cursor.  The write path filters each
@@ -42,9 +47,13 @@ type t = private {
   docs : doc array;
 }
 
-val capture : version:int -> (string * Ruid.Ruid2.t) list -> t
+val capture :
+  ?planner:Rxpath.Planner.shared -> version:int ->
+  (string * Ruid.Ruid2.t) list -> t
 (** Clone + restore every master document, every cursor at [version].
-    Used once at startup. *)
+    Used once at startup.  With [?planner], every document gets a query
+    planner built over the shared plan cache and strategy counters (one
+    [shared] serves the whole collection across all publications). *)
 
 val replace_doc :
   t -> version:int -> doc_version:int -> doc_index:int -> Ruid.Ruid2.t -> t
@@ -62,7 +71,10 @@ val advance :
     [doc_version].  [Rstorage.Wal.apply] is deterministic, so the result is
     bit-identical to re-capturing the master that applied the same
     operations, at the cost of the touched areas only.  Untouched documents
-    (cursors included) are shared as in {!replace_doc}.  Returns the
+    (cursors included) are shared as in {!replace_doc}.  Planner documents
+    advance their DataGuide incrementally: each operation's label-path
+    delta is computed against the pre-apply tree and folded into a clone
+    of the previous guide (readers of the previous snapshot keep theirs).  Returns the
     snapshot and the total number of area renumberings performed (the
     rebuilt surface).
     @raise Rstorage.Wal.Replay_error if an operation does not apply —
@@ -78,9 +90,17 @@ val parse : string -> Rxpath.Ast.union_path
 val query_doc : doc -> Rxpath.Ast.union_path -> Rxml.Dom.t list
 (** Matching nodes of one document, document order.  Parsing and
     evaluation split so the service can evaluate per document (the result
-    cache keys per document) while parsing at most once per request. *)
+    cache keys per document) while parsing at most once per request.
+    Routes through the planner when the document carries one (identical
+    node sets either way — property-tested); the engine otherwise. *)
 
 val count_doc : doc -> Rxpath.Ast.union_path -> int
+
+val explain_doc : doc -> string -> (string, string) result
+(** Rendered query plan with per-operator estimated vs. actual
+    cardinalities and timings ({!Rxpath.Planner.explain}); [Error] when the
+    document has no planner (service running with planning off).
+    Executes the query (uncached) to measure actuals. *)
 
 val count : t -> string -> (string * int) list
 (** Per-document hit counts of an XPath expression; every document listed

@@ -2,69 +2,73 @@ module Dom = Rxml.Dom
 
 type node = {
   label : string;
+  mutable count : int;  (* document nodes whose label path ends here *)
   mutable targets : Dom.t list;  (* reverse document order while building *)
   children : (string, node) Hashtbl.t;
   mutable child_order : string list;  (* first-occurrence order, reversed *)
 }
 
-type t = { root : node; doc_nodes : int }
+type t = {
+  (* A virtual root above the top-level element labels: a document may hold
+     several top-level elements (rank-0 inserts), and the virtual root gives
+     each its own guide child instead of conflating them. *)
+  root : node;
+  mutable doc_nodes : int;
+  mutable fp : int option;  (* cached structure fingerprint *)
+}
+
+type cursor = node
 
 let make_node label =
-  { label; targets = []; children = Hashtbl.create 4; child_order = [] }
+  { label; count = 0; targets = []; children = Hashtbl.create 4;
+    child_order = [] }
+
+let child_of guide label =
+  match Hashtbl.find_opt guide.children label with
+  | Some g -> g
+  | None ->
+    let g = make_node label in
+    Hashtbl.replace guide.children label g;
+    guide.child_order <- label :: guide.child_order;
+    g
 
 let build doc_root =
-  let root = make_node (Dom.tag doc_root) in
-  let count = ref 0 in
+  let t = { root = make_node ""; doc_nodes = 0; fp = None } in
   let rec go guide n =
-    incr count;
+    t.doc_nodes <- t.doc_nodes + 1;
+    guide.count <- guide.count + 1;
     guide.targets <- n :: guide.targets;
     List.iter
       (fun c ->
-        if Dom.is_element c then begin
-          let label = Dom.tag c in
-          let child =
-            match Hashtbl.find_opt guide.children label with
-            | Some g -> g
-            | None ->
-              let g = make_node label in
-              Hashtbl.replace guide.children label g;
-              guide.child_order <- label :: guide.child_order;
-              g
-          in
-          go child c
-        end)
+        if Dom.is_element c then go (child_of guide (Dom.tag c)) c)
       n.Dom.children
   in
-  if Dom.is_element doc_root then go root doc_root
+  if Dom.is_element doc_root then go (child_of t.root (Dom.tag doc_root)) doc_root
   else
-    (* A document node: summarize its root element. *)
     List.iter
-      (fun c -> if Dom.is_element c then go root c)
+      (fun c -> if Dom.is_element c then go (child_of t.root (Dom.tag c)) c)
       doc_root.Dom.children;
-  { root; doc_nodes = !count }
+  t
 
 let document_nodes t = t.doc_nodes
 
 let rec count_guide n =
   Hashtbl.fold (fun _ c acc -> acc + count_guide c) n.children 1
 
-let guide_nodes t = count_guide t.root
+let guide_nodes t = count_guide t.root - 1  (* the virtual root is not a path *)
 
 let find t path =
   match path with
   | [] -> None
-  | first :: rest ->
-    if first <> t.root.label then None
-    else begin
-      let rec go guide = function
-        | [] -> Some guide
-        | l :: rest -> (
-          match Hashtbl.find_opt guide.children l with
-          | Some c -> go c rest
-          | None -> None)
-      in
-      go t.root rest
-    end
+  | _ ->
+    let rec go guide = function
+      | [] -> Some guide
+      | l :: rest -> (
+        match Hashtbl.find_opt guide.children l with
+        | Some c -> go c rest
+        | None -> None)
+    in
+    go t.root path
 
 let targets t path =
   match find t path with
@@ -72,6 +76,8 @@ let targets t path =
   | None -> []
 
 let mem t path = find t path <> None
+
+let count t path = match find t path with Some g -> g.count | None -> 0
 
 let child_labels t path =
   match find t path with
@@ -87,18 +93,114 @@ let paths t =
       (fun l -> go (n.label :: prefix) (Hashtbl.find n.children l))
       (List.rev n.child_order)
   in
-  go [] t.root;
+  List.iter
+    (fun l -> go [] (Hashtbl.find t.root.children l))
+    (List.rev t.root.child_order);
   List.rev !acc
 
 let answer_child_path t path = Some (targets t path)
 
+(* ------------------------------------------------------------------ *)
+(* Planner support: cursors, cloning, fingerprint, incremental edits   *)
+(* ------------------------------------------------------------------ *)
+
+let cursor t = t.root
+let cursor_label c = c.label
+let cursor_count c = c.count
+
+let cursor_children c =
+  List.rev_map (fun l -> Hashtbl.find c.children l) c.child_order
+
+let clone t =
+  let rec cp n =
+    let children = Hashtbl.create (max 4 (Hashtbl.length n.children)) in
+    Hashtbl.iter (fun l c -> Hashtbl.replace children l (cp c)) n.children;
+    { label = n.label; count = n.count; targets = n.targets; children;
+      child_order = n.child_order }
+  in
+  { root = cp t.root; doc_nodes = t.doc_nodes; fp = t.fp }
+
+(* Structure-only hash: label-path set, independent of counts and of the
+   order nodes were discovered (children folded in sorted label order), so
+   an incrementally maintained guide and a fresh build of the same
+   structure always agree. *)
+let rec fp_node n =
+  let labels =
+    List.sort compare
+      (Hashtbl.fold (fun l _ acc -> l :: acc) n.children [])
+  in
+  List.fold_left
+    (fun acc l ->
+      let h = fp_node (Hashtbl.find n.children l) in
+      (acc * 1000003) lxor Hashtbl.hash (l, h))
+    17 labels
+
+let fingerprint t =
+  match t.fp with
+  | Some h -> h
+  | None ->
+    let h = fp_node t.root land max_int in
+    t.fp <- Some h;
+    h
+
+let add_path t path =
+  if path = [] then invalid_arg "Dataguide.add_path: empty path";
+  let rec go guide = function
+    | [] ->
+      guide.count <- guide.count + 1;
+      t.doc_nodes <- t.doc_nodes + 1
+    | l :: rest ->
+      let child =
+        match Hashtbl.find_opt guide.children l with
+        | Some c -> c
+        | None ->
+          t.fp <- None;  (* new label path: structure changed *)
+          child_of guide l
+      in
+      go child rest
+  in
+  go t.root path
+
+let remove_path t path =
+  match find t path with
+  | Some g when g.count > 0 ->
+    g.count <- g.count - 1;
+    t.doc_nodes <- t.doc_nodes - 1;
+    true
+  | _ -> false
+
+let prune t =
+  let pruned = ref false in
+  (* A guide node is dead when no document node ends there and every child
+     is dead; dead subtrees are unlinked (the virtual root always stays). *)
+  let rec go n =
+    let dead = ref [] in
+    List.iter
+      (fun l ->
+        match Hashtbl.find_opt n.children l with
+        | Some c -> if go c then dead := l :: !dead
+        | None -> ())
+      n.child_order;
+    if !dead <> [] then begin
+      pruned := true;
+      List.iter (Hashtbl.remove n.children) !dead;
+      n.child_order <-
+        List.filter (Hashtbl.mem n.children) n.child_order
+    end;
+    n.count = 0 && Hashtbl.length n.children = 0
+  in
+  ignore (go t.root);
+  if !pruned then t.fp <- None
+
 let pp ppf t =
   let rec go indent n =
-    Format.fprintf ppf "%s%s (%d)@," indent n.label (List.length n.targets);
+    Format.fprintf ppf "%s%s (%d)@," indent n.label n.count;
     List.iter
       (fun l -> go (indent ^ "  ") (Hashtbl.find n.children l))
       (List.rev n.child_order)
   in
   Format.fprintf ppf "@[<v>";
-  go "" t.root;
+  List.iter
+    (fun l -> go "" (Hashtbl.find t.root.children l))
+    (List.rev t.root.child_order);
   Format.fprintf ppf "@]"

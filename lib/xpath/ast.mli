@@ -33,6 +33,9 @@ type node_test =
 
 type cmp = Eq | Neq | Lt | Le | Gt | Ge
 
+val cmp_name : cmp -> string
+val test_name : node_test -> string
+
 type expr =
   | Or of expr * expr
   | And of expr * expr

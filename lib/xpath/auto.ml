@@ -1,42 +1,22 @@
-module Dom = Rxml.Dom
-
-type strategy = Plan | Twig_join | Engine
+type strategy = Plan | Twig_join | Engine | Pruned
 
 let pp_strategy ppf = function
   | Plan -> Format.pp_print_string ppf "join-plan"
   | Twig_join -> Format.pp_print_string ppf "twig-semijoin"
   | Engine -> Format.pp_print_string ppf "ruid-engine"
+  | Pruned -> Format.pp_print_string ppf "guide-pruned"
 
-type t = {
-  r2 : Ruid.Ruid2.t;
-  index : Tag_index.t;
-  engine : Eval.engine;
-}
+type t = Planner.t
 
-let create r2 =
-  { r2; index = Tag_index.create r2; engine = Engine_ruid.create r2 }
+let create r2 = Planner.create r2
+let of_planner p = p
+let planner p = p
 
-let classify src =
-  match Xparser.parse_union src with
-  | [ single ] -> (
-    match Pathplan.compile single with
-    | Some plan -> `Plan plan
-    | None -> (
-      match Twig.of_xpath single with
-      | Some twig -> `Twig twig
-      | None -> `Union [ single ]))
-  | union -> `Union union
+let choose t src =
+  match Planner.kind (Planner.plan t src) with
+  | `Chain -> Plan
+  | `Twig -> Twig_join
+  | `Engine -> Engine
+  | `Pruned -> Pruned
 
-let choose (_ : t) src =
-  match classify src with
-  | `Plan _ -> Plan
-  | `Twig _ -> Twig_join
-  | `Union _ -> Engine
-
-let query t ?context src =
-  match classify src with
-  | `Plan plan ->
-    (* Plans keep the final posting order, which is document order. *)
-    Pathplan.run t.r2 t.index ?context plan
-  | `Twig twig -> Twig.run t.r2 t.index ?context twig
-  | `Union union -> Eval.select_union t.engine ?context union
+let query t ?context src = Planner.query t ?context src

@@ -1,30 +1,40 @@
 (** Automatic strategy selection for XPath queries over a numbered document.
 
-    One entry point that picks the cheapest applicable machinery, most
-    specific first:
+    Since the cost-based planner landed this is a thin veneer over
+    {!Planner}: [choose] reports which machinery the planner's plan
+    enumeration settled on, [query] plans and executes.  Kept as the
+    stable two-call API the tests and benches drive; new code should use
+    {!Planner} directly (plan caching, EXPLAIN, shared state across
+    snapshots).
 
-    + {!Pathplan} — child/descendant name-test chains run as semijoin
-      pipelines over the tag index;
-    + {!Twig} — the same with structural predicates;
-    + {!Engine_ruid} — everything else (all axes, positional and value
-      predicates, unions), by identifier arithmetic.
+    All strategies produce evaluator-identical node sets (property-tested
+    over generated documents and queries), so the choice is purely a
+    matter of cost. *)
 
-    All three produce evaluator-identical node sets (property-tested), so
-    the choice is purely a matter of cost. *)
-
-type strategy = Plan | Twig_join | Engine
+type strategy =
+  | Plan  (** chain of structural joins over tag postings *)
+  | Twig_join  (** two-pass semijoin for branching patterns *)
+  | Engine  (** full evaluator by identifier arithmetic *)
+  | Pruned  (** DataGuide refutes the query; answered empty in O(guide) *)
 
 val pp_strategy : Format.formatter -> strategy -> unit
 
 type t
 
 val create : Ruid.Ruid2.t -> t
-(** Builds the tag index and the ruid engine once. *)
+(** Builds the document-order index, tag index, engine and DataGuide once
+    (fresh planner state; see {!Planner.create}). *)
+
+val of_planner : Planner.t -> t
+(** Wrap an existing planner (shares its caches and counters). *)
+
+val planner : t -> Planner.t
+(** The planner underneath (same state; inverse of {!of_planner}). *)
 
 val choose : t -> string -> strategy
 (** Which machinery {!query} will use for this source text.
     @raise Xparser.Syntax_error on malformed input. *)
 
 val query : t -> ?context:Rxml.Dom.t -> string -> Rxml.Dom.t list
-(** Evaluate with the selected strategy.  Union expressions always use the
-    engine. *)
+(** Evaluate with the selected strategy.
+    @raise Xparser.Syntax_error on malformed input. *)

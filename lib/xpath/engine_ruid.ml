@@ -35,9 +35,9 @@ let choose ~card ~scope ~total =
     else Walk
   end
 
-let create ?(strategy = Auto) r2 =
+let create ?(strategy = Auto) ?index r2 =
   let root = R2.root r2 in
-  let idx = Doc_index.build r2 in
+  let idx = match index with Some i -> i | None -> Doc_index.build r2 in
   let total = Doc_index.size idx in
   let id n = R2.id_of_node r2 n in
   (* Posting lists for the arithmetic strategy, one per tag so forced Arith

@@ -1,0 +1,61 @@
+type key = int * string
+
+type 'a t = {
+  mu : Mutex.t;
+  tbl : (key, 'a) Hashtbl.t;
+  order : key Queue.t;  (* insertion order; keys are unique in the table *)
+  capacity : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+type stats = { hits : int; misses : int; evictions : int; entries : int }
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Plan_cache.create: capacity < 1";
+  {
+    mu = Mutex.create ();
+    tbl = Hashtbl.create (min capacity 64);
+    order = Queue.create ();
+    capacity;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let find t ~fingerprint key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl (fingerprint, key) with
+      | Some v ->
+        t.hits <- t.hits + 1;
+        Some v
+      | None ->
+        t.misses <- t.misses + 1;
+        None)
+
+let add t ~fingerprint key v =
+  let k = (fingerprint, key) in
+  locked t (fun () ->
+      if not (Hashtbl.mem t.tbl k) then begin
+        Hashtbl.replace t.tbl k v;
+        Queue.push k t.order;
+        while Hashtbl.length t.tbl > t.capacity do
+          let victim = Queue.pop t.order in
+          Hashtbl.remove t.tbl victim;
+          t.evictions <- t.evictions + 1
+        done
+      end)
+
+let stats t =
+  locked t (fun () ->
+      {
+        hits = t.hits;
+        misses = t.misses;
+        evictions = t.evictions;
+        entries = Hashtbl.length t.tbl;
+      })

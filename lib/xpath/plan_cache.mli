@@ -1,0 +1,28 @@
+(** Compiled-plan cache, keyed by (structure fingerprint, canonical query
+    text).
+
+    Plans depend only on the query and on the document's {e structure}
+    (label paths, cardinalities enter the cost but not the validity), so
+    the key pairs the dataguide {!Rsummary.Dataguide.fingerprint} with the
+    canonically normalized query — {e not} the snapshot version: a stream
+    of value updates or count-preserving edits keeps every cached plan
+    live, and a structural change rolls the fingerprint, orphaning stale
+    entries without explicit invalidation (FIFO eviction reclaims them).
+
+    Thread-safe (one mutex); shared across documents, snapshots and reader
+    domains. *)
+
+type 'a t
+
+type stats = { hits : int; misses : int; evictions : int; entries : int }
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument when [capacity < 1]. *)
+
+val find : 'a t -> fingerprint:int -> string -> 'a option
+val add : 'a t -> fingerprint:int -> string -> 'a -> unit
+(** First writer wins; re-adding an existing key is a no-op (concurrent
+    planners may race to compile the same query — both produce equivalent
+    plans). *)
+
+val stats : 'a t -> stats

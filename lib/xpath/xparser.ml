@@ -343,3 +343,102 @@ let parse_union src =
     | _ -> fail "trailing tokens after location path"
   in
   go []
+
+(* ------------------------------------------------------------------ *)
+(* Canonical form                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* A fully parenthesized, fully explicit rendering, one string per AST.
+   [Ast.pp_expr] is not usable as a cache key: it prints no parentheses,
+   so [And (Or (a, b), c)] renders as ["a or b and c"], which re-parses as
+   [Or (a, And (b, c))] — two inequivalent queries would share a key.  The
+   canonical printer parenthesizes every binary node, expands every
+   abbreviation to [axis::test], and is verified below by a re-parse
+   round-trip before anything trusts it. *)
+
+exception Unprintable
+
+let canon_union (u : Ast.union_path) =
+  let b = Buffer.create 64 in
+  let ps = Buffer.add_string b in
+  let rec expr = function
+    | Ast.Or (x, y) -> binary "or" x y
+    | Ast.And (x, y) -> binary "and" x y
+    | Ast.Cmp (op, x, y) -> binary (Ast.cmp_name op) x y
+    | Ast.Num f ->
+      if Float.is_integer f && Float.abs f < 1e15 && f >= 0. then
+        ps (string_of_int (int_of_float f))
+      else ps (Printf.sprintf "%.12g" f)
+      (* anything the lexer cannot re-read fails round-trip verification *)
+    | Ast.Str s ->
+      if not (String.contains s '"') then (ps "\""; ps s; ps "\"")
+      else if not (String.contains s '\'') then (ps "'"; ps s; ps "'")
+      else raise Unprintable
+    | Ast.Position -> ps "position()"
+    | Ast.Last -> ps "last()"
+    | Ast.Count p -> ps "count("; path p; ps ")"
+    | Ast.Not e -> ps "not("; expr e; ps ")"
+    | Ast.Contains (x, y) -> call2 "contains" x y
+    | Ast.Starts_with (x, y) -> call2 "starts-with" x y
+    | Ast.String_length e -> ps "string-length("; expr e; ps ")"
+    | Ast.Name_fun -> ps "name()"
+    | Ast.Path p -> path p
+  and binary op x y =
+    ps "("; expr x; ps " "; ps op; ps " "; expr y; ps ")"
+  and call2 name x y = ps name; ps "("; expr x; ps ", "; expr y; ps ")"
+  and step (s : Ast.step) =
+    ps (Ast.axis_name s.axis);
+    ps "::";
+    ps (Ast.test_name s.test);
+    List.iter (fun p -> ps "["; expr p; ps "]") s.preds
+  and path (p : Ast.path) =
+    match (p.absolute, p.steps) with
+    | true, [] -> ps "/"
+    | false, [] -> raise Unprintable
+    | abs, s0 :: rest ->
+      if abs then ps "/";
+      step s0;
+      List.iter (fun s -> ps "/"; step s) rest
+  in
+  (match u with
+  | [] -> raise Unprintable
+  | p0 :: rest ->
+    path p0;
+    List.iter (fun p -> ps " | "; path p) rest);
+  Buffer.contents b
+
+let canonical_opt u =
+  match canon_union u with
+  | exception Unprintable -> None
+  | c -> (
+    (* Trust the rendering only if it round-trips: parse it back and check
+       the re-render is byte-identical. *)
+    match parse_union c with
+    | exception Syntax_error _ -> None
+    | u2 -> (
+      match canon_union u2 with
+      | exception Unprintable -> None
+      | c2 -> if String.equal c c2 then Some c else None))
+
+(* Whitespace-run collapse + trim — the pre-canonical normal form, kept as
+   the fallback for inputs the canonical printer cannot round-trip. *)
+let ws_collapse q =
+  let b = Buffer.create (String.length q) in
+  let pending_space = ref false in
+  String.iter
+    (fun c ->
+      if c = ' ' || c = '\t' || c = '\n' || c = '\r' then
+        (if Buffer.length b > 0 then pending_space := true)
+      else begin
+        if !pending_space then Buffer.add_char b ' ';
+        pending_space := false;
+        Buffer.add_char b c
+      end)
+    q;
+  Buffer.contents b
+
+let normalize src =
+  match parse_union src with
+  | exception Syntax_error _ -> ws_collapse src
+  | u -> (
+    match canonical_opt u with Some c -> c | None -> ws_collapse src)

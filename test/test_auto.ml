@@ -25,6 +25,9 @@ let test_strategy_selection () =
       ("//item[2]", Auto.Engine);
       ("//name | //payment", Auto.Engine);
       ("//listitem/ancestor::item", Auto.Engine);
+      (* structurally impossible label paths: refuted by the DataGuide *)
+      ("//warehouse/item", Auto.Pruned);
+      ("//person/bidder/name", Auto.Pruned);
     ]
 
 let test_results_match_naive () =
@@ -44,6 +47,56 @@ let test_results_match_naive () =
       "//annotation/preceding::bidder";
     ]
 
+(* Property: for seeded random twig-fragment queries — including ones the
+   DataGuide prunes to empty — the planner answers exactly what the RUID
+   engine answers.  Tags mix real XMark labels with ones the generator
+   never emits, so refutations are exercised alongside every join kind. *)
+let gen_query st =
+  let tags =
+    [|
+      "site"; "regions"; "item"; "name"; "description"; "payment";
+      "quantity"; "people"; "person"; "profile"; "interest"; "creditcard";
+      "open_auction"; "bidder"; "increase"; "current"; "closed_auction";
+      "annotation"; "price"; "category"; "listitem"; "parlist"; "text";
+      "warehouse"; "zzz";
+    |]
+  in
+  let tag () = tags.(Random.State.int st (Array.length tags)) in
+  let edge () = if Random.State.bool st then "/" else "//" in
+  let b = Buffer.create 32 in
+  let steps = 1 + Random.State.int st 3 in
+  for _ = 1 to steps do
+    Buffer.add_string b (edge ());
+    Buffer.add_string b (tag ());
+    if Random.State.int st 4 = 0 then
+      Buffer.add_string b
+        (match Random.State.int st 3 with
+        | 0 -> Printf.sprintf "[%s]" (tag ())
+        | 1 -> Printf.sprintf "[%s/%s]" (tag ()) (tag ())
+        | _ -> Printf.sprintf "[%s//%s]" (tag ()) (tag ()))
+  done;
+  Buffer.contents b
+
+let test_property_matches_ruid () =
+  let auto, _ = setup () in
+  let planner = Auto.planner auto in
+  let engine = Rxpath.Planner.engine planner in
+  let seen = Hashtbl.create 8 in
+  for seed = 1 to 50 do
+    let st = Random.State.make [| seed |] in
+    let q = gen_query st in
+    Hashtbl.replace seen (Auto.choose auto q) ();
+    check_node_list
+      (Printf.sprintf "seed %d: %s" seed q)
+      (Rxpath.Eval.query engine q) (Auto.query auto q)
+  done;
+  Alcotest.(check bool)
+    "pruned-to-empty queries were generated" true
+    (Hashtbl.mem seen Auto.Pruned);
+  Alcotest.(check bool)
+    "plannable queries were generated" true
+    (Hashtbl.mem seen Auto.Plan)
+
 let test_context_respected () =
   let auto, naive = setup () in
   let regions = List.hd (Rxpath.Eval.query naive "/site/regions") in
@@ -55,5 +108,7 @@ let suite =
   [
     Alcotest.test_case "strategy selection" `Quick test_strategy_selection;
     Alcotest.test_case "results match the naive engine" `Quick test_results_match_naive;
+    Alcotest.test_case "50-seed property: planner = ruid engine" `Quick
+      test_property_matches_ruid;
     Alcotest.test_case "context respected" `Quick test_context_respected;
   ]

@@ -40,6 +40,8 @@ let with_server ?(workers = 2) ?(max_queue = 0) ?(domains = 0) ?(cache_mb = 0)
       commit_interval_us = 0;
       commit_max_batch = 64;
       wal_segment_bytes = 0;
+      planner = true;
+      plan_cache = 256;
     }
   in
   let t = Service.start cfg docs in
@@ -62,12 +64,27 @@ let library = "<lib><book><title/><author/></book><book><title/></book></lib>"
 (* Query cache                                                         *)
 (* ------------------------------------------------------------------ *)
 
+(* normalize now canonicalizes through the parser: abbreviations expand to
+   explicit axes, so every spelling of one query shares a cache entry. *)
 let test_cache_normalize () =
-  Alcotest.(check string) "trims" "//a" (Cache.normalize "  //a  ");
-  Alcotest.(check string) "collapses runs" "//a[ b = 'c' ]/d"
+  Alcotest.(check string) "trims + expands"
+    "/descendant-or-self::node()/child::a"
+    (Cache.normalize "  //a  ");
+  Alcotest.(check string) "whitespace variants agree"
+    (Cache.normalize "//a[b='c']/d")
     (Cache.normalize "//a[\t b  =\n'c' ]/d");
-  Alcotest.(check string) "idempotent" "//a/b"
-    (Cache.normalize (Cache.normalize "//a/b"))
+  Alcotest.(check string) "abbreviated = explicit"
+    (Cache.normalize "/descendant-or-self::node()/child::a[child::b]")
+    (Cache.normalize "//a[b]");
+  Alcotest.(check string) "idempotent"
+    (Cache.normalize "//a/b")
+    (Cache.normalize (Cache.normalize "//a/b"));
+  (* unparsable input degrades to whitespace collapse, still idempotent *)
+  Alcotest.(check string) "fallback collapses" "not ( an xpath"
+    (Cache.normalize "  not (  an\txpath ");
+  Alcotest.(check string) "agrees with planner normal form"
+    (Rxpath.Xparser.normalize "//a[b]/c")
+    (Cache.normalize "//a[b]/c")
 
 let test_cache_basics () =
   let c = Cache.create ~shards:2 ~max_entries:100 ~max_bytes:100_000 () in

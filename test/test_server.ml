@@ -30,7 +30,7 @@ let doc_of_string s = Dom.root_element (Rxml.Parser.parse_string s)
 let with_server ?(workers = 2) ?(max_queue = 8) ?(deadline_ms = 0)
     ?(max_area_size = 8) ?(domains = 0) ?(cache_mb = 0)
     ?(commit_interval_us = 0) ?(commit_max_batch = 64)
-    ?(wal_segment_bytes = 0) docs f =
+    ?(wal_segment_bytes = 0) ?(planner = true) ?(plan_cache = 256) docs f =
   let cfg =
     {
       Service.socket_path = sock_path ();
@@ -44,6 +44,8 @@ let with_server ?(workers = 2) ?(max_queue = 8) ?(deadline_ms = 0)
       commit_interval_us;
       commit_max_batch;
       wal_segment_bytes;
+      planner;
+      plan_cache;
     }
   in
   let t = Service.start cfg docs in
@@ -73,7 +75,8 @@ let test_request_roundtrip () =
       | Error e -> Alcotest.failf "no parse: %s" e)
     [
       P.Ping; P.Docs; P.Stats; P.Shutdown; P.Query "//a/b[1]";
-      P.Count "//item//text"; P.Check "lib"; P.Sleep 25;
+      P.Count "//item//text"; P.Explain "//book[author]/title";
+      P.Check "lib"; P.Sleep 25;
       P.Update { doc = "lib"; op = Wal.Insert { parent_rank = 3; pos = 0; tag = "x" } };
       P.Update { doc = "lib"; op = Wal.Delete { rank = 7 } };
     ]
@@ -183,6 +186,64 @@ let test_update_and_query () =
    with
   | P.Err _ -> ()
   | r -> Alcotest.failf "bad doc: %s" (P.response_to_string r))
+
+(* ------------------------------------------------------------------ *)
+(* Planner integration                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let test_explain_verb () =
+  with_server [ ("lib", doc_of_string library) ] @@ fun cfg _t ->
+  C.with_connection cfg.Service.socket_path @@ fun c ->
+  let body = ok_body (C.request c (P.Explain "//book[author]/title")) in
+  Alcotest.(check bool) "carries the version" true (contains body "v=1");
+  Alcotest.(check bool) "names the doc" true (contains body "doc lib");
+  Alcotest.(check bool) "states a strategy" true (contains body "strategy:");
+  Alcotest.(check bool) "has the operator table" true (contains body "operator");
+  Alcotest.(check bool) "reports the result" true (contains body "result:");
+  (match C.request c (P.Explain "///[[[") with
+  | P.Err _ -> ()
+  | r -> Alcotest.failf "bad xpath: %s" (P.response_to_string r));
+  (* EXPLAIN answers, with a reason, when the planner is disabled *)
+  with_server ~planner:false [ ("lib", doc_of_string library) ]
+  @@ fun cfg2 _t2 ->
+  C.with_connection cfg2.Service.socket_path @@ fun c2 ->
+  let body = ok_body (C.request c2 (P.Explain "//book/title")) in
+  Alcotest.(check bool) "says why" true (contains body "explain unavailable")
+
+(* Acceptance: QUERY and COUNT replies are byte-identical with the planner
+   on and off, across strategies (chain, twig, pruned, fallback) and
+   across an update. *)
+let test_planner_replies_byte_identical () =
+  let probes =
+    [
+      P.Query "//book/title"; P.Count "//book/title";
+      P.Query "//book[author]/title"; P.Count "//book[author]/title";
+      P.Query "//title/ancestor::book"; P.Count "//shelf/book";
+      P.Query "//author | //title"; P.Count "//book[2]";
+    ]
+  in
+  let run ~planner =
+    with_server ~planner [ ("lib", doc_of_string library) ] @@ fun cfg _t ->
+    C.with_connection cfg.Service.socket_path @@ fun c ->
+    let before = List.map (fun r -> P.response_to_string (C.request c r)) probes in
+    ignore
+      (ok_body
+         (C.request c
+            (P.Update
+               { doc = "lib";
+                 op = Wal.Insert { parent_rank = 0; pos = 0; tag = "title" } })));
+    let after = List.map (fun r -> P.response_to_string (C.request c r)) probes in
+    before @ after
+  in
+  List.iteri
+    (fun i (on, off) ->
+      Alcotest.(check string) (Printf.sprintf "probe %d" i) off on)
+    (List.combine (run ~planner:true) (run ~planner:false))
 
 let test_invalid_requests_over_wire () =
   with_server [ ("lib", doc_of_string library) ] @@ fun cfg _t ->
@@ -548,6 +609,8 @@ let test_shutdown_verb () =
       commit_interval_us = 0;
       commit_max_batch = 64;
       wal_segment_bytes = 0;
+      planner = true;
+      plan_cache = 256;
     }
   in
   let t = Service.start cfg [ ("lib", doc_of_string library) ] in
@@ -703,6 +766,9 @@ let suite =
     Alcotest.test_case "session: basics" `Quick test_basic_session;
     Alcotest.test_case "session: update + query" `Quick test_update_and_query;
     Alcotest.test_case "session: survives bad input" `Quick test_invalid_requests_over_wire;
+    Alcotest.test_case "EXPLAIN verb" `Quick test_explain_verb;
+    Alcotest.test_case "planner on/off: byte-identical replies" `Quick
+      test_planner_replies_byte_identical;
     Alcotest.test_case "snapshot isolation under writer" `Quick test_snapshot_isolation;
     Alcotest.test_case "BUSY when queue full" `Quick test_busy_when_queue_full;
     Alcotest.test_case "deadline expires in queue" `Quick test_deadline_expires_in_queue;
