@@ -50,6 +50,7 @@ let run_level ~doc_name ~root ~clients ~per_client ~workers ~max_queue =
       wal_segment_bytes = 0;
       planner = true;
       plan_cache = 256;
+      epoch = 1;
     }
   in
   let srv = Service.start cfg [ (doc_name, Rxml.Dom.clone root) ] in

@@ -93,6 +93,7 @@ let run_level ~doc_name ~root ~mode ~cache_mb ~mix_name ~update_every ~clients
       wal_segment_bytes = 0;
       planner = true;
       plan_cache = 256;
+      epoch = 1;
     }
   in
   let srv = Service.start cfg [ (doc_name, Rxml.Dom.clone root) ] in

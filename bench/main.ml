@@ -19,6 +19,7 @@ let experiments =
     ("E14", E14.run);
     ("E15", E15.run);
     ("E16", E16.run);
+    ("E17", E17.run);
   ]
 
 let () =

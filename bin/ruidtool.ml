@@ -733,6 +733,17 @@ let serve_cmd =
              whole collection and keyed by DataGuide fingerprint + \
              canonical query text.  0 disables plan caching.")
   in
+  let epoch =
+    Arg.(
+      value & opt int 1
+      & info [ "epoch" ] ~docv:"N"
+          ~doc:
+            "Fencing epoch this primary serves under (>= 1).  Persisted to \
+             DIR/EPOCH and stamped on every replication reply; replicas \
+             refuse bytes from any epoch lower than the highest they have \
+             seen, so a deposed primary restarted with its old epoch is \
+             fenced out rather than merged.")
+  in
   let max_depth =
     Arg.(
       value & opt int 10000
@@ -768,7 +779,7 @@ let serve_cmd =
   in
   let run files data_dir workers max_queue domains cache_mb deadline_ms
       commit_interval_us commit_max_batch wal_segment_bytes planner
-      plan_cache max_depth max_area gen_kind gen_size seed socket =
+      plan_cache epoch max_depth max_area gen_kind gen_size seed socket =
     if max_depth < 1 then fail "--max-depth must be >= 1";
     if gen_size < 1 then fail "--gen-size must be >= 1";
     let data_dir =
@@ -798,6 +809,7 @@ let serve_cmd =
         wal_segment_bytes;
         planner;
         plan_cache;
+        epoch;
       }
     in
     (match Service.validate_config cfg with
@@ -864,8 +876,141 @@ let serve_cmd =
     Term.(
       const run $ files $ data_dir $ workers $ max_queue $ domains $ cache_mb
       $ deadline_ms $ commit_interval_us $ commit_batch $ wal_segment_bytes
-      $ planner $ plan_cache $ max_depth $ max_area $ gen_kind $ gen_size
-      $ seed_arg $ socket_arg)
+      $ planner $ plan_cache $ epoch $ max_depth $ max_area $ gen_kind
+      $ gen_size $ seed_arg $ socket_arg)
+
+let replica_cmd =
+  let primary =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "primary" ] ~docv:"PATH"
+          ~doc:
+            "Unix socket of the upstream node to follow — a primary, or \
+             another replica (replicas serve the replication verbs too, so \
+             followers chain).")
+  in
+  let data_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "data-dir" ] ~docv:"DIR"
+          ~doc:
+            "Directory for the local mirror (default: a fresh directory \
+             under TMPDIR).  Restarting over an existing mirror resumes \
+             the stream from the durable byte offset instead of \
+             re-bootstrapping.")
+  in
+  let workers =
+    Arg.(
+      value & opt int 2
+      & info [ "workers" ] ~docv:"N" ~doc:"Read worker pool size (>= 1).")
+  in
+  let max_queue =
+    Arg.(
+      value & opt int 0
+      & info [ "max-queue" ] ~docv:"N"
+          ~doc:
+            "Admission queue bound (>= 1); requests beyond it are rejected \
+             with BUSY.  0 (the default) auto-sizes to 4 x $(b,--workers).")
+  in
+  let poll_ms =
+    Arg.(
+      value & opt int 500
+      & info [ "poll-ms" ] ~docv:"MS"
+          ~doc:
+            "Long-poll timeout of each REPL WAIT round against the \
+             upstream (>= 1).  Smaller values tighten replication lag at \
+             the cost of more round trips when idle.")
+  in
+  let planner =
+    Arg.(
+      value
+      & opt (enum [ ("on", true); ("off", false) ]) true
+      & info [ "planner" ] ~docv:"on|off"
+          ~doc:
+            "Route QUERY/COUNT through the cost-based query planner and \
+             serve the EXPLAIN verb ($(b,on), the default).")
+  in
+  let plan_cache =
+    Arg.(
+      value & opt int 256
+      & info [ "plan-cache" ] ~docv:"N"
+          ~doc:"Compiled-plan cache capacity in plans (>= 0).")
+  in
+  let fail msg =
+    prerr_endline ("ruidtool replica: " ^ msg);
+    exit 2
+  in
+  let run socket primary data_dir workers max_queue poll_ms planner
+      plan_cache =
+    let data_dir =
+      match data_dir with
+      | Some d -> d
+      | None ->
+        let d =
+          Filename.concat
+            (Filename.get_temp_dir_name ())
+            (Printf.sprintf "ruid-replica-%d" (Unix.getpid ()))
+        in
+        Printf.printf "data-dir %s\n%!" d;
+        d
+    in
+    let cfg =
+      {
+        Rserver.Replica.socket_path = socket;
+        data_dir;
+        primary;
+        workers;
+        max_queue;
+        poll_ms;
+        planner;
+        plan_cache;
+      }
+    in
+    (match Rserver.Replica.validate_config cfg with
+    | Ok () -> ()
+    | Error msg -> fail msg);
+    let t =
+      try Rserver.Replica.start cfg with
+      | Rserver.Replica.Fenced { seen; got } ->
+        prerr_endline
+          (Printf.sprintf
+             "ruidtool replica: upstream %s is fenced out: it serves epoch \
+              %d but this data directory has followed epoch %d — following \
+              it would merge a deposed primary's writes"
+             primary got seen);
+        exit 4
+      | Invalid_argument msg | Failure msg -> fail msg
+      | Unix.Unix_error (e, fn, arg) ->
+        fail
+          (Printf.sprintf "cannot reach upstream %s: %s (%s %s)" primary
+             (Unix.error_message e) fn arg)
+    in
+    let s = Rserver.Replica.snapshot t in
+    Printf.printf
+      "following %s at epoch %d, serving on %s (v=%d, workers %d, queue \
+       %d)\n%!"
+      primary
+      (Rserver.Replica.epoch t)
+      socket s.Rserver.Snapshot.version workers
+      (Rserver.Replica.resolved_max_queue cfg);
+    let stop_and_exit _ = Rserver.Replica.stop t; exit 0 in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle stop_and_exit);
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle stop_and_exit);
+    Rserver.Replica.wait t;
+    print_endline "replica stopped."
+  in
+  Cmd.v
+    (Cmd.info "replica"
+       ~doc:
+         "Follow a running server as a read replica: mirror its WAL stream \
+          byte for byte, serve snapshot-isolated (possibly stale) reads, \
+          and accept PROMOTE to fail over.  Exit status 4 means the \
+          upstream is behind this mirror's fencing epoch.")
+    Term.(
+      const run $ socket_arg $ primary $ data_dir $ workers $ max_queue
+      $ poll_ms $ planner $ plan_cache)
 
 let client_cmd =
   let words =
@@ -877,7 +1022,23 @@ let client_cmd =
              0 0 note).  With no words, requests are read line by line from \
              stdin (a scriptable session).")
   in
-  let run socket words =
+  let retries =
+    Arg.(
+      value & opt int 0
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Retry a one-shot request up to N times on a BUSY reply or a \
+             transient connect failure, with exponential backoff and \
+             jitter.  0 (the default) keeps the client strictly one-shot.")
+  in
+  let retry_budget_ms =
+    Arg.(
+      value
+      & opt int Rserver.Client.default_retry_budget_ms
+      & info [ "retry-budget-ms" ] ~docv:"MS"
+          ~doc:"Total backoff sleeping allowed across all retries.")
+  in
+  let run socket retries budget_ms words =
     let print_reply resp =
       print_endline (Rserver.Protocol.response_to_string resp);
       match resp with
@@ -899,15 +1060,20 @@ let client_cmd =
       in
       loop false
     | words ->
-      Rserver.Client.with_connection socket @@ fun c ->
-      print_reply (Rserver.Client.request_raw c (String.concat " " words))
+      let c =
+        Rserver.Client.connect_retry ~retries ~budget_ms:budget_ms socket
+      in
+      Fun.protect ~finally:(fun () -> Rserver.Client.close c) @@ fun () ->
+      print_reply
+        (Rserver.Client.request_raw_retry ~retries ~budget_ms:budget_ms c
+           (String.concat " " words))
   in
   Cmd.v
     (Cmd.info "client"
        ~doc:
          "Send requests to a running server.  Exit status: 0 on OK, 1 on \
           ERR, 3 on BUSY.")
-    Term.(const run $ socket_arg $ words)
+    Term.(const run $ socket_arg $ retries $ retry_budget_ms $ words)
 
 (* ------------------------------------------------------------------ *)
 (* guide                                                               *)
@@ -935,4 +1101,4 @@ let () =
             explain_cmd; update_sim_cmd; reconstruct_cmd; plan_cmd;
             save_cmd; load_cmd;
             wal_record_cmd; wal_replay_cmd; fsck_cmd; crash_test_cmd;
-            guide_cmd; serve_cmd; client_cmd ]))
+            guide_cmd; serve_cmd; replica_cmd; client_cmd ]))

@@ -24,6 +24,69 @@ let with_connection path f =
   let t = connect path in
   Fun.protect ~finally:(fun () -> close t) (fun () -> f t)
 
+(* --- Bounded retry with exponential backoff and jitter -------------
+
+   Two transient conditions are worth retrying: BUSY replies (the
+   admission queue was momentarily full) and connect failures against a
+   socket that is about to exist (server still booting, or failing over).
+   Everything else — ERR, protocol violations, a peer that hangs up —
+   stays fatal: retrying can't fix it.  Retries are opt-in; the defaults
+   keep every existing caller one-shot. *)
+
+let default_retry_budget_ms = 2_000
+
+(* Jitter source; self-seeded once.  Retry timing is the one place where
+   determinism is a bug: synchronized clients retrying in lockstep re-create
+   the very burst that made the server BUSY. *)
+let retry_rng = lazy (Random.State.make_self_init ())
+
+(* Delay before retry [attempt] (0-based): exponential from 10 ms, capped
+   at 500 ms, scaled by a uniform factor in [0.5, 1.0], and never more
+   than the remaining budget. *)
+let backoff_ms ~attempt ~budget_left =
+  let base = min 500 (10 * (1 lsl min attempt 6)) in
+  let jittered =
+    ((base + 1) / 2) + Random.State.int (Lazy.force retry_rng) ((base / 2) + 1)
+  in
+  max 0 (min jittered budget_left)
+
+let transient_connect_error = function
+  | Unix.Unix_error
+      ( ( Unix.ECONNREFUSED | Unix.ENOENT | Unix.ECONNRESET | Unix.EAGAIN
+        | Unix.EINTR ),
+        _, _ ) ->
+    true
+  | _ -> false
+
+let connect_retry ?(retries = 0) ?(budget_ms = default_retry_budget_ms) path =
+  let rec go attempt budget_left =
+    match connect path with
+    | t -> t
+    | exception e
+      when attempt < retries && budget_left > 0 && transient_connect_error e ->
+      let ms = backoff_ms ~attempt ~budget_left in
+      Thread.delay (float_of_int ms /. 1000.);
+      go (attempt + 1) (budget_left - ms)
+  in
+  go 0 budget_ms
+
+let request_raw_retry ?(retries = 0) ?(budget_ms = default_retry_budget_ms) t
+    line =
+  let rec go attempt budget_left =
+    match request_raw t line with
+    | Protocol.Busy _ as r
+      when attempt >= retries || budget_left <= 0 -> r
+    | Protocol.Busy _ ->
+      let ms = backoff_ms ~attempt ~budget_left in
+      Thread.delay (float_of_int ms /. 1000.);
+      go (attempt + 1) (budget_left - ms)
+    | r -> r
+  in
+  go 0 budget_ms
+
+let request_retry ?retries ?budget_ms t req =
+  request_raw_retry ?retries ?budget_ms t (Protocol.request_to_string req)
+
 let kv body key =
   let tokens =
     String.split_on_char '\n' body

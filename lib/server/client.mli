@@ -20,6 +20,34 @@ val close : t -> unit
 val with_connection : string -> (t -> 'a) -> 'a
 (** Connect, run, close (also on exceptions). *)
 
+(** {1 Bounded retry}
+
+    Opt-in retries for the two transient conditions: BUSY replies and
+    connect failures against a socket that is about to exist (server
+    booting, failover in progress).  Backoff is exponential from 10 ms,
+    capped at 500 ms per sleep, with uniform jitter in [0.5, 1.0] of the
+    nominal delay — synchronized retries would re-create the burst that
+    made the server BUSY.  Total sleeping never exceeds [budget_ms].
+    The defaults ([retries = 0]) keep every call one-shot. *)
+
+val default_retry_budget_ms : int
+(** 2000. *)
+
+val connect_retry : ?retries:int -> ?budget_ms:int -> string -> t
+(** {!connect}, retrying transient failures (ECONNREFUSED, ENOENT,
+    ECONNRESET, EAGAIN, EINTR) up to [retries] times within [budget_ms]
+    of cumulative backoff.
+    @raise Unix.Unix_error when the attempts are exhausted. *)
+
+val request_retry :
+  ?retries:int -> ?budget_ms:int -> t -> Protocol.request -> Protocol.response
+(** {!request}, re-sending after a BUSY reply up to [retries] times within
+    [budget_ms].  Non-BUSY responses return immediately. *)
+
+val request_raw_retry :
+  ?retries:int -> ?budget_ms:int -> t -> string -> Protocol.response
+(** {!request_raw} with the same BUSY retry policy. *)
+
 (** {1 Reply token helpers} *)
 
 val kv : string -> string -> string option

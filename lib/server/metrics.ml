@@ -34,6 +34,18 @@ type write_stats = {
   rotations : int;
 }
 
+type repl_stats = {
+  role : string;  (* "primary" | "replica" | "promoted" *)
+  epoch : int;
+  served_requests : int;
+  served_bytes : int;
+  lag_versions : int;
+  lag_bytes : int;
+  last_applied_seq : int;
+  reconnects : int;
+  refused_epoch : int;
+}
+
 type t = {
   mu : Mutex.t;
   total : counters;
@@ -41,6 +53,7 @@ type t = {
   hist : int array;
   mutable max_ns : float;
   mutable dropped : int;
+  mutable session_errors : int;
   dropped_logged : (string, unit) Hashtbl.t;  (* verbs already logged once *)
   mutable queue_probe : (unit -> int) option;
   mutable snapshot_probe : (unit -> int * float) option;
@@ -48,6 +61,7 @@ type t = {
   mutable domain_probe : (unit -> float array) option;
   mutable write_probe : (unit -> write_stats) option;
   mutable planner_probe : (unit -> planner_stats) option;
+  mutable repl_probe : (unit -> repl_stats) option;
 }
 
 let create () =
@@ -58,6 +72,7 @@ let create () =
     hist = Array.make buckets 0;
     max_ns = 0.;
     dropped = 0;
+    session_errors = 0;
     dropped_logged = Hashtbl.create 4;
     queue_probe = None;
     snapshot_probe = None;
@@ -65,6 +80,7 @@ let create () =
     domain_probe = None;
     write_probe = None;
     planner_probe = None;
+    repl_probe = None;
   }
 
 let locked t f =
@@ -113,12 +129,20 @@ let record_dropped t ~verb exn =
 
 let dropped t = locked t (fun () -> t.dropped)
 
+(* A peer that vanished mid-session (EPIPE on the reply, a torn frame).
+   The session closes; the process must not notice beyond this counter. *)
+let record_session_error t =
+  locked t (fun () -> t.session_errors <- t.session_errors + 1)
+
+let session_errors t = locked t (fun () -> t.session_errors)
+
 let set_queue_probe t f = locked t (fun () -> t.queue_probe <- Some f)
 let set_snapshot_probe t f = locked t (fun () -> t.snapshot_probe <- Some f)
 let set_cache_probe t f = locked t (fun () -> t.cache_probe <- Some f)
 let set_domain_probe t f = locked t (fun () -> t.domain_probe <- Some f)
 let set_write_probe t f = locked t (fun () -> t.write_probe <- Some f)
 let set_planner_probe t f = locked t (fun () -> t.planner_probe <- Some f)
+let set_repl_probe t f = locked t (fun () -> t.repl_probe <- Some f)
 
 type summary = {
   requests : int;
@@ -203,11 +227,19 @@ let render t =
     | Some f -> Some (f ())
     | None -> None
   in
-  let dropped = locked t (fun () -> t.dropped) in
+  let repl = match locked t (fun () -> t.repl_probe) with
+    | Some f -> Some (f ())
+    | None -> None
+  in
+  let dropped, session_errs =
+    locked t (fun () -> (t.dropped, t.session_errors))
+  in
   let b = Buffer.create 512 in
   Buffer.add_string b
-    (Printf.sprintf "requests=%d ok=%d err=%d busy=%d dropped_exceptions=%d\n"
-       s.requests s.ok s.err s.busy dropped);
+    (Printf.sprintf
+       "requests=%d ok=%d err=%d busy=%d dropped_exceptions=%d \
+        session_errors=%d\n"
+       s.requests s.ok s.err s.busy dropped session_errs);
   Buffer.add_string b
     (Printf.sprintf "latency_p50_ns=%.0f latency_p95_ns=%.0f latency_p99_ns=%.0f latency_max_ns=%.0f\n"
        s.p50_ns s.p95_ns s.p99_ns s.max_ns);
@@ -259,6 +291,21 @@ plan_cache_evictions=%d plan_cache_entries=%d\n"
          (if lookups = 0 then 0.
           else float_of_int p.plan_hits /. float_of_int lookups)
          p.plan_evictions p.plan_entries));
+  (match repl with
+  | None -> ()
+  | Some r ->
+    Buffer.add_string b
+      (Printf.sprintf
+         "repl_role=%s repl_epoch=%d repl_served_requests=%d \
+          repl_served_bytes=%d\n"
+         r.role r.epoch r.served_requests r.served_bytes);
+    if r.role <> "primary" then
+      Buffer.add_string b
+        (Printf.sprintf
+           "repl_lag_versions=%d repl_lag_bytes=%d repl_last_seq=%d \
+            repl_reconnects=%d repl_refused_epoch=%d\n"
+           r.lag_versions r.lag_bytes r.last_applied_seq r.reconnects
+           r.refused_epoch));
   List.iter
     (fun (v, ok, err, busy) ->
       Buffer.add_string b
@@ -277,4 +324,5 @@ let reset t =
       Array.fill t.hist 0 buckets 0;
       t.max_ns <- 0.;
       t.dropped <- 0;
+      t.session_errors <- 0;
       Hashtbl.reset t.dropped_logged)

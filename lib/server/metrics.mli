@@ -26,6 +26,14 @@ val record_dropped : t -> verb:string -> exn -> unit
 val dropped : t -> int
 (** Total exceptions recorded by {!record_dropped} since the last reset. *)
 
+val record_session_error : t -> unit
+(** Account one session that ended exceptionally — a peer that dropped
+    mid-frame or vanished before reading its reply (EPIPE on the write).
+    Such a session closes alone; the counter is how the event stays
+    observable ([session_errors=] in STATS). *)
+
+val session_errors : t -> int
+
 val set_queue_probe : t -> (unit -> int) -> unit
 (** Gauge: current depth of the admission queue. *)
 
@@ -77,6 +85,22 @@ type planner_stats = {
 val set_planner_probe : t -> (unit -> planner_stats) -> unit
 (** Gauge: query-planner strategy and plan-cache counters; rendered as
     [planner_*] and [plan_cache_*] keys (hit rate included) when set. *)
+
+type repl_stats = {
+  role : string;  (** ["primary"], ["replica"], or ["promoted"] *)
+  epoch : int;  (** fencing generation this node serves under *)
+  served_requests : int;  (** REPL-* requests answered (either side) *)
+  served_bytes : int;  (** journal bytes shipped to followers *)
+  lag_versions : int;  (** follower: primary version − local version *)
+  lag_bytes : int;  (** follower: journal bytes fetched but not yet known *)
+  last_applied_seq : int;  (** follower: Σ applied sequence over docs *)
+  reconnects : int;  (** follower: times the pull connection was rebuilt *)
+  refused_epoch : int;  (** follower: frames refused from a stale epoch *)
+}
+
+val set_repl_probe : t -> (unit -> repl_stats) -> unit
+(** Gauge: replication counters; rendered as [repl_*] keys when set (the
+    follower-side keys only for non-primary roles). *)
 
 (** {1 Reading} *)
 

@@ -1,5 +1,13 @@
 module Wal = Rstorage.Wal
 
+type repl_file =
+  | Base_xml
+  | Base_sidecar
+  | Ckpt_xml of int
+  | Ckpt_sidecar of int
+  | Segment of int
+  | Active_wal
+
 type request =
   | Ping
   | Docs
@@ -11,6 +19,10 @@ type request =
   | Stats
   | Sleep of int
   | Shutdown
+  | Repl_state
+  | Repl_file of { doc : string; file : repl_file; offset : int; limit : int }
+  | Repl_wait of { doc : string; gen : int; offset : int; timeout_ms : int }
+  | Promote
 
 let verb = function
   | Ping -> "PING"
@@ -23,6 +35,10 @@ let verb = function
   | Stats -> "STATS"
   | Sleep _ -> "SLEEP"
   | Shutdown -> "SHUTDOWN"
+  | Repl_state -> "REPL-STATE"
+  | Repl_file _ -> "REPL-FILE"
+  | Repl_wait _ -> "REPL-WAIT"
+  | Promote -> "PROMOTE"
 
 (* Document names and tags travel as single protocol words; reject the
    separators that would make the grammar ambiguous. *)
@@ -41,6 +57,65 @@ let int_word name s k =
   | Some n -> k n
   | None -> Error (Printf.sprintf "%s: expected an integer, got %S" name s)
 
+(* [<kind>] or [<kind>:<gen>] — the file a REPL FILE addresses. *)
+let repl_file_to_string = function
+  | Base_xml -> "xml"
+  | Base_sidecar -> "ruid"
+  | Ckpt_xml g -> Printf.sprintf "ckptxml:%d" g
+  | Ckpt_sidecar g -> Printf.sprintf "ckptruid:%d" g
+  | Segment g -> Printf.sprintf "seg:%d" g
+  | Active_wal -> "wal"
+
+let parse_repl_file word =
+  let with_gen kind k =
+    int_word ("REPL FILE " ^ kind) (String.sub word (String.length kind + 1)
+      (String.length word - String.length kind - 1))
+      (fun g -> if g < 1 then Error "REPL FILE: generation must be >= 1" else Ok (k g))
+  in
+  match String.lowercase_ascii word with
+  | "xml" -> Ok Base_xml
+  | "ruid" -> Ok Base_sidecar
+  | "wal" -> Ok Active_wal
+  | w when String.length w > 8 && String.sub w 0 8 = "ckptxml:" ->
+    with_gen "ckptxml" (fun g -> Ckpt_xml g)
+  | w when String.length w > 9 && String.sub w 0 9 = "ckptruid:" ->
+    with_gen "ckptruid" (fun g -> Ckpt_sidecar g)
+  | w when String.length w > 4 && String.sub w 0 4 = "seg:" ->
+    with_gen "seg" (fun g -> Segment g)
+  | _ -> Error (Printf.sprintf "REPL FILE: unknown file kind %S" word)
+
+let parse_repl rest =
+  let head, rest = split_first rest in
+  match (String.uppercase_ascii head, rest) with
+  | "STATE", "" -> Ok Repl_state
+  | "FILE", rest -> begin
+    match String.split_on_char ' ' rest with
+    | [ doc; kind; offset; limit ] ->
+      if not (valid_word doc) then Error "REPL FILE: bad document name"
+      else
+        Result.bind (parse_repl_file kind) (fun file ->
+            int_word "REPL FILE offset" offset (fun offset ->
+                int_word "REPL FILE limit" limit (fun limit ->
+                    if offset < 0 || limit < 0 then
+                      Error "REPL FILE: negative offset or limit"
+                    else Ok (Repl_file { doc; file; offset; limit }))))
+    | _ -> Error "REPL FILE: expected '<doc> <kind> <offset> <limit>'"
+  end
+  | "WAIT", rest -> begin
+    match String.split_on_char ' ' rest with
+    | [ doc; gen; offset; timeout_ms ] ->
+      if not (valid_word doc) then Error "REPL WAIT: bad document name"
+      else
+        int_word "REPL WAIT gen" gen (fun gen ->
+            int_word "REPL WAIT offset" offset (fun offset ->
+                int_word "REPL WAIT timeout" timeout_ms (fun timeout_ms ->
+                    if gen < 0 || offset < 0 || timeout_ms < 0 then
+                      Error "REPL WAIT: negative argument"
+                    else Ok (Repl_wait { doc; gen; offset; timeout_ms }))))
+    | _ -> Error "REPL WAIT: expected '<doc> <gen> <offset> <timeout_ms>'"
+  end
+  | v, _ -> Error (Printf.sprintf "REPL: unknown subcommand %S" v)
+
 let parse_request line =
   let head, rest = split_first line in
   match (String.uppercase_ascii head, rest) with
@@ -48,6 +123,9 @@ let parse_request line =
   | "DOCS", "" -> Ok Docs
   | "STATS", "" -> Ok Stats
   | "SHUTDOWN", "" -> Ok Shutdown
+  | "PROMOTE", "" -> Ok Promote
+  | "REPL", "" -> Error "REPL: missing subcommand (STATE, FILE, WAIT)"
+  | "REPL", rest -> parse_repl rest
   | "QUERY", "" -> Error "QUERY: missing XPath expression"
   | "QUERY", q -> Ok (Query q)
   | "COUNT", "" -> Error "COUNT: missing XPath expression"
@@ -99,6 +177,13 @@ let request_to_string = function
   | Stats -> "STATS"
   | Sleep ms -> Printf.sprintf "SLEEP %d" ms
   | Shutdown -> "SHUTDOWN"
+  | Repl_state -> "REPL STATE"
+  | Repl_file { doc; file; offset; limit } ->
+    Printf.sprintf "REPL FILE %s %s %d %d" doc (repl_file_to_string file)
+      offset limit
+  | Repl_wait { doc; gen; offset; timeout_ms } ->
+    Printf.sprintf "REPL WAIT %s %d %d %d" doc gen offset timeout_ms
+  | Promote -> "PROMOTE"
 
 type response = Ok_ of string | Err of string | Busy of string
 

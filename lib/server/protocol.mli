@@ -18,12 +18,30 @@
        CHECK <doc>
        STATS
        SLEEP <ms>
-       SHUTDOWN v}
+       SHUTDOWN
+       REPL STATE
+       REPL FILE <doc> <kind>[:<gen>] <offset> <limit>
+       REPL WAIT <doc> <gen> <offset> <timeout_ms>
+       PROMOTE v}
 
     Response payloads start with one status word:
     [OK <body>] | [ERR <message>] | [BUSY <reason>].  Replies to queries
     and updates carry [k=v] tokens (including [v=<snapshot version>], the
-    handle that makes snapshot isolation observable to clients). *)
+    handle that makes snapshot isolation observable to clients).
+
+    The [REPL *] verbs are the replication side-channel ({!Replication}):
+    followers pull journal bytes and checkpoint files over the same framed
+    socket.  [REPL FILE]/[REPL WAIT] reply bodies are {e binary}: a
+    [k=v] header line, one ['\n'], then raw file bytes — the frame length
+    keeps them self-delimiting. *)
+
+type repl_file =
+  | Base_xml  (** the base snapshot's XML ([<doc>.xml]) *)
+  | Base_sidecar  (** the base numbering sidecar ([<doc>.ruid]) *)
+  | Ckpt_xml of int  (** a generation's checkpoint XML *)
+  | Ckpt_sidecar of int  (** a generation's checkpoint sidecar *)
+  | Segment of int  (** an archived journal segment ([<doc>.wal.seg<g>]) *)
+  | Active_wal  (** the live journal segment *)
 
 type request =
   | Ping
@@ -38,7 +56,21 @@ type request =
   | Stats
   | Sleep of int  (** hold a worker for N ms — admission-control testing *)
   | Shutdown
+  | Repl_state
+      (** who am I talking to: fencing epoch, snapshot version, and each
+          document's (generation, durable sequence, journal size) *)
+  | Repl_file of { doc : string; file : repl_file; offset : int; limit : int }
+      (** up to [limit] bytes of the addressed file from [offset] *)
+  | Repl_wait of { doc : string; gen : int; offset : int; timeout_ms : int }
+      (** long-poll: block until the document's active journal (at
+          generation [gen]) grows past [offset], the generation changes
+          (rotation — the reply says so and the follower switches to the
+          archived segment), or the timeout elapses (an empty chunk) *)
+  | Promote
+      (** replica only: stop following, bump the fencing epoch, accept
+          writes.  A primary answers ERR. *)
 
+val repl_file_to_string : repl_file -> string
 val verb : request -> string
 (** Protocol verb of the request, for metrics ("QUERY", "UPDATE", ...). *)
 

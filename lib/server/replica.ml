@@ -1,0 +1,1042 @@
+module R2 = Ruid.Ruid2
+module Wal = Rstorage.Wal
+module Fault = Rstorage.Fault
+
+exception Fenced of { seen : int; got : int }
+
+type config = {
+  socket_path : string;
+  data_dir : string;
+  primary : string;
+  workers : int;
+  max_queue : int;
+  poll_ms : int;
+  planner : bool;
+  plan_cache : int;
+}
+
+let default_config ~socket_path ~data_dir ~primary () =
+  { socket_path; data_dir; primary; workers = 2; max_queue = 0; poll_ms = 500;
+    planner = true; plan_cache = 256 }
+
+let resolved_max_queue c = if c.max_queue > 0 then c.max_queue else 4 * c.workers
+
+let validate_config c =
+  if c.workers < 1 then Error "workers must be >= 1"
+  else if c.max_queue < 0 then Error "max-queue must be >= 0 (0 = 4 x workers)"
+  else if c.poll_ms < 1 then Error "poll-ms must be >= 1"
+  else if c.plan_cache < 0 then Error "plan-cache must be >= 0"
+  else if c.socket_path = "" then Error "socket path must not be empty"
+  else if c.primary = "" then Error "primary socket path must not be empty"
+  else Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* State                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* One mirrored document.  The invariant everything rests on: the local
+   journal file holds {e only} checksum-verified complete frames (plus the
+   segment header), every one of which has been folded into [r2] and
+   fsynced — so the data directory is at all times indistinguishable from
+   a primary's, [ruidtool fsck] passes, and a restart recovers through the
+   ordinary {!Wal.replay} path. *)
+type doc = {
+  name : string;
+  xml_path : string;
+  sidecar_path : string;
+  wal_path : string;
+  mutable r2 : R2.t;  (** local master numbering, fed by the stream *)
+  mutable applied_seq : int;  (** last record folded into [r2] *)
+  mutable gen : int;  (** generation of the local active segment *)
+  mutable local_size : int;  (** bytes of the local journal (all validated) *)
+  mutable tail : string;  (** fetched bytes not yet forming complete frames *)
+  mutable writer : Wal.writer option;  (** [Some] once promoted *)
+}
+
+type t = {
+  cfg : config;
+  chaos : Fault.plan option;
+  docs : doc array;
+  current : Snapshot.t Atomic.t;
+  write_mu : Mutex.t;
+      (** serializes stream application while following, and the write
+          path once promoted *)
+  epoch : int Atomic.t;  (** highest fencing epoch ever seen (persisted) *)
+  mutable role : [ `Following | `Promoted ];
+  reconnects : int Atomic.t;
+  refused_epoch : int Atomic.t;
+  repl_requests : int Atomic.t;
+  repl_bytes : int Atomic.t;
+  lag_versions : int Atomic.t;
+  lag_bytes : int Atomic.t;
+  sched : Scheduler.t;
+  metrics : Metrics.t;
+  listen_fd : Unix.file_descr;
+  mutable accept_thread : Thread.t option;
+  mutable pull_thread : Thread.t option;
+  sessions : (int, Unix.file_descr * Thread.t) Hashtbl.t;
+  sessions_mu : Mutex.t;
+  mutable next_session : int;
+  state_mu : Mutex.t;
+  state_cond : Condition.t;
+  mutable state : [ `Running | `Stopping | `Stopped ];
+  mutable pull_stop : bool;  (** guarded by [state_mu]; set by promotion *)
+}
+
+let metrics t = t.metrics
+let snapshot t = Atomic.get t.current
+let config t = t.cfg
+let epoch t = Atomic.get t.epoch
+let role t = t.role
+
+let doc_files t name =
+  Array.fold_left
+    (fun acc d ->
+      if d.name = name then Some (d.xml_path, d.sidecar_path, d.wal_path)
+      else acc)
+    None t.docs
+
+let find_doc t name =
+  let r = ref None in
+  Array.iteri (fun i d -> if d.name = name then r := Some (i, d)) t.docs;
+  !r
+
+(* The version contract with the primary: the global stamp starts at 1
+   (the startup snapshot) and each update advances it by exactly 1, so a
+   caught-up follower computes the same [v=] the primary serves — replies
+   are byte-identical when the two are quiesced at the same point. *)
+let local_version t =
+  1 + Array.fold_left (fun acc d -> acc + d.applied_seq) 0 t.docs
+
+let running t =
+  Mutex.lock t.state_mu;
+  let r = t.state = `Running in
+  Mutex.unlock t.state_mu;
+  r
+
+let pull_stopped t =
+  Mutex.lock t.state_mu;
+  let s = t.pull_stop || t.state <> `Running in
+  Mutex.unlock t.state_mu;
+  s
+
+(* ------------------------------------------------------------------ *)
+(* Epoch fencing                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Every reply from upstream carries its serving epoch.  Higher: a
+   legitimate promotion happened somewhere — raise (and persist) the
+   fence.  Lower: a deposed primary is still talking — refuse the bytes,
+   count the refusal, and drop the connection.  The fence only ever
+   rises. *)
+let check_epoch t got =
+  let rec go () =
+    let seen = Atomic.get t.epoch in
+    if got < seen then begin
+      Atomic.incr t.refused_epoch;
+      raise (Fenced { seen; got })
+    end
+    else if got > seen then
+      if Atomic.compare_and_set t.epoch seen got then
+        Replication.store_epoch t.cfg.data_dir got
+      else go ()
+  in
+  go ()
+
+(* ------------------------------------------------------------------ *)
+(* Fetching from upstream                                              *)
+(* ------------------------------------------------------------------ *)
+
+exception Stream_torn  (** injected by the chaos plan: connection died *)
+
+let repl_failure what = function
+  | Protocol.Ok_ body -> (
+    match Replication.decode_chunk body with
+    | Ok c -> c
+    | Error why -> failwith (Printf.sprintf "%s: bad reply: %s" what why))
+  | Protocol.Err m -> failwith (Printf.sprintf "%s: upstream ERR %s" what m)
+  | Protocol.Busy m -> failwith (Printf.sprintf "%s: upstream BUSY %s" what m)
+
+let fetch_chunk t conn ~doc ~file ~offset =
+  let req =
+    Protocol.Repl_file { doc; file; offset; limit = Replication.max_chunk }
+  in
+  let c =
+    repl_failure (Protocol.request_to_string req) (Client.request conn req)
+  in
+  check_epoch t c.Replication.epoch;
+  c
+
+(* The file's bytes as of the first reply's [size] — later growth (an
+   active segment under append) is left to the WAIT loop. *)
+let fetch_file t conn ~doc ~file =
+  let buf = Buffer.create 8192 in
+  let rec go offset total =
+    if offset >= total then Buffer.contents buf
+    else begin
+      let c = fetch_chunk t conn ~doc ~file ~offset in
+      if String.length c.Replication.data = 0 then Buffer.contents buf
+      else begin
+        Buffer.add_string buf c.Replication.data;
+        go (offset + String.length c.Replication.data) total
+      end
+    end
+  in
+  let c0 = fetch_chunk t conn ~doc ~file ~offset:0 in
+  Buffer.add_string buf c0.Replication.data;
+  go (String.length c0.Replication.data) c0.Replication.size
+
+let store_atomic path s =
+  Ruid.Persist.store_atomic Ruid.Vfs.real ~attempts:5 path
+    (Bytes.of_string s)
+
+let get_state t conn =
+  match Client.request conn Protocol.Repl_state with
+  | Protocol.Ok_ body -> (
+    match Replication.decode_state body with
+    | Ok st ->
+      check_epoch t st.Replication.s_epoch;
+      st
+    | Error why -> failwith ("REPL STATE: bad reply: " ^ why))
+  | Protocol.Err m -> failwith ("REPL STATE: upstream ERR " ^ m)
+  | Protocol.Busy m -> failwith ("REPL STATE: upstream BUSY " ^ m)
+
+(* ------------------------------------------------------------------ *)
+(* Applying the stream                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let append_local d data =
+  let fd =
+    Unix.openfile d.wal_path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ]
+      0o644
+  in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  let b = Bytes.of_string data in
+  let n = Unix.write fd b 0 (Bytes.length b) in
+  if n <> Bytes.length b then failwith "short write to local journal";
+  Unix.fsync fd
+
+(* Fold decoded frames into the numbering, verifying what the primary's
+   renumber records promised — sequence continuity, and that the local
+   replay touched the same area and rewrote the same identifier count.
+   Any disagreement means divergence and is fatal to the stream (the
+   puller resyncs). *)
+let apply_entries d entries =
+  let ops = ref [] in
+  List.iter
+    (function
+      | Wal.Ckpt c ->
+        if c.Wal.base_seq <> d.applied_seq then
+          failwith
+            (Printf.sprintf
+               "checkpoint frame of gen %d cut after seq %d, but %d applied \
+                locally" c.Wal.gen c.Wal.base_seq d.applied_seq)
+      | Wal.Records rl ->
+        List.iter
+          (fun r ->
+            if r.Wal.seq <> d.applied_seq + 1 then
+              failwith
+                (Printf.sprintf "sequence break in stream: got %d after %d"
+                   r.Wal.seq d.applied_seq);
+            let area, changed = Wal.apply d.r2 r.Wal.op in
+            if area <> r.Wal.area || changed <> r.Wal.changed then
+              failwith
+                (Printf.sprintf
+                   "divergence at seq %d: local replay renumbered area %d \
+                    (%d ids), primary recorded area %d (%d ids)" r.Wal.seq
+                   area changed r.Wal.area r.Wal.changed);
+            d.applied_seq <- d.applied_seq + 1;
+            ops := r.Wal.op :: !ops)
+          rl)
+    entries;
+  List.rev !ops
+
+(* Publish one snapshot covering [ops] on document [idx] — the same
+   incremental {!Snapshot.advance} path the primary's group commit uses,
+   with the sidecar re-capture as fallback, so the published numbering is
+   bit-identical to the primary's at the same sequence point. *)
+let publish t idx d ops =
+  if ops <> [] then begin
+    let version = local_version t in
+    let prev = Atomic.get t.current in
+    let next =
+      match Snapshot.advance prev ~version [ (idx, ops, version) ] with
+      | next, _areas -> next
+      | exception _ ->
+        Snapshot.replace_doc prev ~version ~doc_version:version
+          ~doc_index:idx d.r2
+    in
+    Atomic.set t.current next
+  end
+
+let segment_header_ok s =
+  String.length s >= Wal.header_length
+  && (let magic = String.sub s 0 4 in
+      magic = "RWAL" || magic = "RWAC")
+  && s.[4] = '\x02'
+
+(* Drain the complete-frame prefix of [d.tail]: append it to the local
+   journal (fsynced), fold it into the numbering, publish.  A trailing
+   torn frame just stays in [tail] until its continuation bytes arrive —
+   torn-stream resumption in one place. *)
+let drain t idx d =
+  let pos = if d.local_size = 0 then Wal.header_length else 0 in
+  if d.local_size = 0 && String.length d.tail >= Wal.header_length
+     && not (segment_header_ok d.tail)
+  then failwith "stream does not begin with a v2 journal header";
+  if String.length d.tail > pos then begin
+    let entries, consumed, corrupt =
+      Wal.decode_stream (Bytes.of_string d.tail) ~pos
+    in
+    (match corrupt with
+    | Some why -> failwith ("corrupt frame in stream: " ^ why)
+    | None -> ());
+    if consumed > 0 && (entries <> [] || d.local_size = 0) then begin
+      append_local d (String.sub d.tail 0 consumed);
+      d.tail <-
+        String.sub d.tail consumed (String.length d.tail - consumed);
+      d.local_size <- d.local_size + consumed;
+      let ops = apply_entries d entries in
+      publish t idx d ops
+    end
+  end
+
+(* Chaos hook for the fault-injection tests: a plan may truncate a chunk
+   at a random byte — the prefix is kept (exactly what a torn TCP stream
+   delivers) and the connection is declared dead. *)
+let chaos_data t d data =
+  match t.chaos with
+  | None -> data
+  | Some plan -> (
+    match Fault.torn_stream plan data with
+    | None -> data
+    | Some kept ->
+      d.tail <- d.tail ^ kept;
+      raise Stream_torn)
+
+(* ------------------------------------------------------------------ *)
+(* Rotation catch-up                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let copy_file src dst =
+  let ic = open_in_bin src in
+  let n = in_channel_length ic in
+  let b = really_input_string ic n in
+  close_in ic;
+  store_atomic dst b
+
+(* The primary rotated past us.  Each retired generation is fully
+   recoverable from immutable files: [seg<g+1>] is a byte-for-byte copy of
+   the generation-g segment, and the generation's checkpoint pair is
+   retained forever.  Walk forward one generation at a time, keeping the
+   local directory a faithful mirror at every step. *)
+let catch_up t conn d ~target_gen =
+  while d.gen < target_gen && not (pull_stopped t) do
+    let next = d.gen + 1 in
+    (* 1. Finish the retiring segment from its archive copy.  Our local
+       bytes are a validated prefix of it; the rest is complete frames. *)
+    let archive =
+      fetch_file t conn ~doc:d.name ~file:(Protocol.Segment next)
+    in
+    if String.length archive < d.local_size then
+      failwith
+        (Printf.sprintf "archive seg%d shorter than the mirrored prefix"
+           next);
+    d.tail <- "";
+    d.tail <-
+      String.sub archive d.local_size (String.length archive - d.local_size);
+    drain t (fst (Option.get (find_doc t d.name))) d;
+    if d.tail <> "" then failwith "archived segment ends in a torn frame";
+    (* 2. Mirror the archive itself (our active file is now identical). *)
+    copy_file d.wal_path (Wal.segment_archive d.wal_path next);
+    (* 3. The generation's checkpoint pair. *)
+    let ckpt_xml, ckpt_side = Wal.checkpoint_files d.wal_path next in
+    store_atomic ckpt_xml
+      (fetch_file t conn ~doc:d.name ~file:(Protocol.Ckpt_xml next));
+    store_atomic ckpt_side
+      (fetch_file t conn ~doc:d.name ~file:(Protocol.Ckpt_sidecar next));
+    (* 4. Install the new active segment: its current complete-frame
+       prefix, published over the journal path by rename so there is no
+       instant where the directory holds a torn or empty journal. *)
+    let source =
+      if next < target_gen then Protocol.Segment (next + 1)
+      else Protocol.Active_wal
+    in
+    let bytes = fetch_file t conn ~doc:d.name ~file:source in
+    if not (segment_header_ok bytes) then
+      failwith (Printf.sprintf "segment of gen %d has no v2 header" next);
+    let entries, consumed, corrupt =
+      Wal.decode_stream (Bytes.of_string bytes) ~pos:Wal.header_length
+    in
+    (match corrupt with
+    | Some why ->
+      failwith (Printf.sprintf "segment of gen %d corrupt: %s" next why)
+    | None -> ());
+    store_atomic d.wal_path (String.sub bytes 0 consumed);
+    d.gen <- next;
+    d.local_size <- consumed;
+    d.tail <- "";
+    let idx = fst (Option.get (find_doc t d.name)) in
+    let ops = apply_entries d entries in
+    publish t idx d ops
+  done
+
+(* ------------------------------------------------------------------ *)
+(* The pull loop                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let pull_round t conn =
+  let st = get_state t conn in
+  (* lag gauges: versions behind the primary's published stamp, bytes of
+     journal not yet mirrored *)
+  Atomic.set t.lag_versions
+    (max 0 (st.Replication.s_version - local_version t));
+  let lag_bytes =
+    List.fold_left
+      (fun acc (u : Replication.doc_state) ->
+        match find_doc t u.name with
+        | Some (_, d) when u.gen = d.gen ->
+          acc + max 0 (u.size - d.local_size - String.length d.tail)
+        | _ -> acc + u.size)
+      0 st.Replication.s_docs
+  in
+  Atomic.set t.lag_bytes lag_bytes;
+  Array.iteri
+    (fun idx d ->
+      if not (pull_stopped t) then begin
+        (match
+           List.find_opt
+             (fun (u : Replication.doc_state) -> u.name = d.name)
+             st.Replication.s_docs
+         with
+        | Some u when u.gen > d.gen ->
+          Mutex.lock t.write_mu;
+          Fun.protect ~finally:(fun () -> Mutex.unlock t.write_mu)
+          @@ fun () -> catch_up t conn d ~target_gen:u.gen
+        | _ -> ());
+        (* live tail: long-poll for growth of the active segment *)
+        let offset = d.local_size + String.length d.tail in
+        let req =
+          Protocol.Repl_wait
+            { doc = d.name; gen = d.gen; offset; timeout_ms = t.cfg.poll_ms }
+        in
+        let c = repl_failure "REPL WAIT" (Client.request conn req) in
+        check_epoch t c.Replication.epoch;
+        if c.Replication.gen = d.gen && String.length c.Replication.data > 0
+        then begin
+          Mutex.lock t.write_mu;
+          Fun.protect ~finally:(fun () -> Mutex.unlock t.write_mu)
+          @@ fun () ->
+          let data = chaos_data t d c.Replication.data in
+          d.tail <- d.tail ^ data;
+          drain t idx d
+        end
+        (* a different gen: the next round's STATE sees it and catches up *)
+      end)
+    t.docs
+
+(* Bounded exponential backoff between reconnect attempts: 50 ms doubling
+   to a 2 s cap, sliced so promotion/stop never waits long. *)
+let backoff_delay t attempt =
+  let ms = min 2_000 (50 * (1 lsl min attempt 5)) in
+  let slices = max 1 (ms / 50) in
+  let rec go k =
+    if k > 0 && not (pull_stopped t) then begin
+      Thread.delay 0.05;
+      go (k - 1)
+    end
+  in
+  go slices
+
+let puller t =
+  let attempt = ref 0 in
+  while not (pull_stopped t) do
+    (match
+       Client.with_connection t.cfg.primary @@ fun conn ->
+       while not (pull_stopped t) do
+         pull_round t conn;
+         attempt := 0
+       done
+     with
+    | () -> ()
+    | exception _ when pull_stopped t -> ()
+    | exception _ ->
+      (* torn stream, upstream restart, fencing, divergence: drop the
+         connection, back off, reconnect, resume from the durable local
+         offset (plus any buffered tail) — the stream is idempotent by
+         byte position. *)
+      Atomic.incr t.reconnects;
+      backoff_delay t !attempt;
+      incr attempt);
+    ()
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Bootstrap                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let ensure_dir dir =
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
+  else if not (Sys.is_directory dir) then
+    invalid_arg (Printf.sprintf "Replica.start: %s is not a directory" dir)
+
+(* Build one document's mirror: resume from intact local files when they
+   exist (a restart), otherwise fetch the base pair, the live segment's
+   checkpoint pair, and the segment's current complete-frame prefix.
+   Either way the document finishes in the invariant state: local files a
+   primary-shaped, fsck-clean mirror; [r2]/[applied_seq] the replay of
+   exactly those bytes. *)
+let bootstrap_doc t conn name =
+  let base = Filename.concat t.cfg.data_dir name in
+  let xml_path = base ^ ".xml" in
+  let sidecar_path = base ^ ".ruid" in
+  let wal_path = base ^ ".wal" in
+  if not (Sys.file_exists xml_path && Sys.file_exists sidecar_path) then begin
+    (* fresh mirror: base pair first *)
+    store_atomic xml_path
+      (fetch_file t conn ~doc:name ~file:Protocol.Base_xml);
+    store_atomic sidecar_path
+      (fetch_file t conn ~doc:name ~file:Protocol.Base_sidecar);
+    (* the live segment's current bytes; keep the complete-frame prefix *)
+    let bytes = fetch_file t conn ~doc:name ~file:Protocol.Active_wal in
+    if not (segment_header_ok bytes) then
+      failwith
+        (Printf.sprintf "document %s: upstream journal has no v2 header"
+           name);
+    let _, consumed, corrupt =
+      Wal.decode_stream (Bytes.of_string bytes) ~pos:Wal.header_length
+    in
+    (match corrupt with
+    | Some why ->
+      failwith (Printf.sprintf "document %s: upstream journal: %s" name why)
+    | None -> ());
+    let prefix = String.sub bytes 0 consumed in
+    (* a checkpoint-headed segment replays from its checkpoint pair *)
+    let local_scan_gen =
+      if String.length prefix >= 4 && String.sub prefix 0 4 = "RWAC" then begin
+        let entries, _, _ =
+          Wal.decode_stream (Bytes.of_string prefix) ~pos:Wal.header_length
+        in
+        match entries with
+        | Wal.Ckpt c :: _ -> c.Wal.gen
+        | _ ->
+          failwith
+            (Printf.sprintf
+               "document %s: checkpoint segment without a surviving \
+                checkpoint frame" name)
+      end
+      else 0
+    in
+    if local_scan_gen > 0 then begin
+      let ckpt_xml, ckpt_side = Wal.checkpoint_files wal_path local_scan_gen in
+      store_atomic ckpt_xml
+        (fetch_file t conn ~doc:name ~file:(Protocol.Ckpt_xml local_scan_gen));
+      store_atomic ckpt_side
+        (fetch_file t conn ~doc:name
+           ~file:(Protocol.Ckpt_sidecar local_scan_gen))
+    end;
+    store_atomic wal_path prefix
+  end
+  else
+    (* restart: a kill between our append and fsync can leave a torn
+       tail; drop it, then replay resumes from the durable prefix *)
+    ignore (Wal.repair wal_path);
+  let recovery =
+    Wal.replay ~xml:xml_path ~sidecar:sidecar_path ~wal:wal_path ()
+  in
+  let journal = recovery.Wal.journal in
+  let applied_seq =
+    match List.rev recovery.Wal.replayed with
+    | r :: _ -> r.Wal.seq
+    | [] -> (
+      match journal.Wal.checkpoint with
+      | Some c -> c.Wal.base_seq
+      | None -> 0)
+  in
+  let gen =
+    match journal.Wal.checkpoint with Some c -> c.Wal.gen | None -> 0
+  in
+  {
+    name;
+    xml_path;
+    sidecar_path;
+    wal_path;
+    r2 = recovery.Wal.r2;
+    applied_seq;
+    gen;
+    local_size = journal.Wal.valid_bytes;
+    tail = "";
+    writer = None;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Serving                                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Ivar = struct
+  type 'a t = { m : Mutex.t; c : Condition.t; mutable v : 'a option }
+
+  let create () = { m = Mutex.create (); c = Condition.create (); v = None }
+
+  let fill t x =
+    Mutex.lock t.m;
+    t.v <- Some x;
+    Condition.signal t.c;
+    Mutex.unlock t.m
+
+  let read t =
+    Mutex.lock t.m;
+    while t.v = None do
+      Condition.wait t.c t.m
+    done;
+    let x = Option.get t.v in
+    Mutex.unlock t.m;
+    x
+end
+
+let repl_reply t chunk =
+  Atomic.incr t.repl_requests;
+  ignore
+    (Atomic.fetch_and_add t.repl_bytes
+       (String.length chunk.Replication.data));
+  Protocol.Ok_ (Replication.encode_chunk chunk)
+
+(* The replica serves the same [REPL *] verbs from its mirrored files, so
+   replicas chain: a second follower can pull from the first, and after a
+   promotion the chain keeps following the new primary seamlessly — the
+   promoted journal continues at the same byte offsets. *)
+let run_repl_state t =
+  Atomic.incr t.repl_requests;
+  let s_docs =
+    Array.to_list t.docs
+    |> List.map (fun d ->
+           { Replication.name = d.name; gen = d.gen; seq = d.applied_seq;
+             size = d.local_size })
+  in
+  Protocol.Ok_
+    (Replication.encode_state
+       { Replication.s_epoch = Atomic.get t.epoch;
+         s_version = local_version t; s_docs })
+
+let run_repl_file t doc file offset limit =
+  match find_doc t doc with
+  | None -> Protocol.Err (Printf.sprintf "unknown document %S" doc)
+  | Some (_, d) ->
+    let path =
+      Replication.resolve_path ~xml:d.xml_path ~sidecar:d.sidecar_path
+        ~wal:d.wal_path file
+    in
+    let limit =
+      (* never serve past the validated prefix of the active journal *)
+      match file with
+      | Protocol.Active_wal -> min limit (max 0 (d.local_size - offset))
+      | _ -> limit
+    in
+    let data, size = Replication.read_chunk path ~offset ~limit in
+    let size =
+      match file with Protocol.Active_wal -> d.local_size | _ -> size
+    in
+    repl_reply t
+      { Replication.epoch = Atomic.get t.epoch; gen = d.gen; size; data }
+
+let run_repl_wait t doc want_gen offset timeout_ms =
+  match find_doc t doc with
+  | None -> Protocol.Err (Printf.sprintf "unknown document %S" doc)
+  | Some (_, d) ->
+    let deadline =
+      Unix.gettimeofday ()
+      +. (float_of_int (min timeout_ms Replication.max_wait_ms) /. 1000.)
+    in
+    let rec loop () =
+      if d.gen <> want_gen then
+        repl_reply t
+          { Replication.epoch = Atomic.get t.epoch; gen = d.gen;
+            size = d.local_size; data = "" }
+      else if d.local_size > offset then begin
+        let data, _ =
+          Replication.read_chunk d.wal_path ~offset
+            ~limit:(min Replication.max_chunk (d.local_size - offset))
+        in
+        repl_reply t
+          { Replication.epoch = Atomic.get t.epoch; gen = d.gen;
+            size = d.local_size; data }
+      end
+      else if (not (running t)) || Unix.gettimeofday () > deadline then
+        repl_reply t
+          { Replication.epoch = Atomic.get t.epoch; gen = d.gen;
+            size = d.local_size; data = "" }
+      else begin
+        Thread.delay 0.005;
+        loop ()
+      end
+    in
+    loop ()
+
+(* --- Promotion -----------------------------------------------------
+
+   Stop following, bump the fence, accept writes.  Ordering matters: the
+   puller is joined {e before} the epoch rises, so no frame from the old
+   primary can interleave with locally accepted writes; the epoch is
+   persisted before the first write is accepted, so a crash right after
+   promotion still restarts above the old primary's fence. *)
+
+let promote t =
+  Mutex.lock t.write_mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.write_mu)
+  @@ fun () ->
+  match t.role with
+  | `Promoted ->
+    Protocol.Ok_
+      (Printf.sprintf "epoch=%d role=promoted already=1" (Atomic.get t.epoch))
+  | `Following ->
+    Mutex.lock t.state_mu;
+    t.pull_stop <- true;
+    Mutex.unlock t.state_mu;
+    (* the puller may hold write_mu transitively? no: it takes write_mu
+       only inside pull_round, and we hold it — but the puller blocks on
+       it at most one drain long, then observes pull_stop. *)
+    Mutex.unlock t.write_mu;
+    (match t.pull_thread with Some th -> Thread.join th | None -> ());
+    Mutex.lock t.write_mu;
+    let e = Atomic.get t.epoch + 1 in
+    Atomic.set t.epoch e;
+    Replication.store_epoch t.cfg.data_dir e;
+    Array.iter
+      (fun d ->
+        (* buffered torn bytes die with the old primary *)
+        d.tail <- "";
+        d.writer <- Some (Wal.open_append d.wal_path))
+      t.docs;
+    t.pull_thread <- None;
+    t.role <- `Promoted;
+    Protocol.Ok_ (Printf.sprintf "epoch=%d role=promoted v=%d" e
+                    (local_version t))
+
+let run_update t doc op =
+  Mutex.lock t.write_mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.write_mu)
+  @@ fun () ->
+  match t.role with
+  | `Following ->
+    Protocol.Err
+      "read-only replica: writes go to the primary (PROMOTE to fail over)"
+  | `Promoted -> (
+    match find_doc t doc with
+    | None -> Protocol.Err (Printf.sprintf "unknown document %S" doc)
+    | Some (idx, d) -> (
+      let w = Option.get d.writer in
+      match Wal.apply d.r2 op with
+      | exception Wal.Replay_error msg ->
+        Protocol.Err ("update rejected: " ^ msg)
+      | area, changed ->
+        d.applied_seq <- d.applied_seq + 1;
+        let record = { Wal.seq = d.applied_seq; op; area; changed } in
+        Wal.append_record w record;
+        d.local_size <- Replication.file_size d.wal_path;
+        let version = local_version t in
+        let prev = Atomic.get t.current in
+        let next =
+          match Snapshot.advance prev ~version [ (idx, [ op ], version) ]
+          with
+          | next, _ -> next
+          | exception _ ->
+            Snapshot.replace_doc prev ~version ~doc_version:version
+              ~doc_index:idx d.r2
+        in
+        Atomic.set t.current next;
+        Protocol.Ok_
+          (Printf.sprintf "v=%d seq=%d area=%d changed=%d batch=1" version
+             record.Wal.seq area changed)))
+
+(* identical read semantics — and reply bytes — to the primary, over the
+   local snapshot (no result cache on replicas: staleness is governed by
+   the snapshot alone) *)
+let run_read t (req : Protocol.request) =
+  Service.eval_read (Atomic.get t.current) req
+
+let stop t =
+  let proceed =
+    Mutex.lock t.state_mu;
+    let p = t.state = `Running in
+    if p then begin
+      t.state <- `Stopping;
+      t.pull_stop <- true
+    end;
+    Mutex.unlock t.state_mu;
+    p
+  in
+  if not proceed then begin
+    Mutex.lock t.state_mu;
+    while t.state <> `Stopped do
+      Condition.wait t.state_cond t.state_mu
+    done;
+    Mutex.unlock t.state_mu
+  end
+  else begin
+    (match t.pull_thread with Some th -> Thread.join th | None -> ());
+    t.pull_thread <- None;
+    (try Unix.shutdown t.listen_fd Unix.SHUTDOWN_RECEIVE
+     with Unix.Unix_error _ -> ());
+    (try
+       let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+       (try Unix.connect fd (Unix.ADDR_UNIX t.cfg.socket_path)
+        with Unix.Unix_error _ -> ());
+       Unix.close fd
+     with Unix.Unix_error _ -> ());
+    (match t.accept_thread with Some th -> Thread.join th | None -> ());
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    Mutex.lock t.sessions_mu;
+    let sess = Hashtbl.fold (fun _ v acc -> v :: acc) t.sessions [] in
+    Mutex.unlock t.sessions_mu;
+    List.iter
+      (fun (fd, _) ->
+        try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE
+        with Unix.Unix_error _ -> ())
+      sess;
+    List.iter (fun (_, th) -> Thread.join th) sess;
+    Scheduler.shutdown t.sched;
+    (try Sys.remove t.cfg.socket_path with Sys_error _ -> ());
+    Mutex.lock t.state_mu;
+    t.state <- `Stopped;
+    Condition.broadcast t.state_cond;
+    Mutex.unlock t.state_mu
+  end
+
+let wait t =
+  Mutex.lock t.state_mu;
+  while t.state <> `Stopped do
+    Condition.wait t.state_cond t.state_mu
+  done;
+  Mutex.unlock t.state_mu
+
+let request_stop_async t =
+  ignore (Thread.create (fun () -> try stop t with _ -> ()) ())
+
+let handle_frame t oc payload =
+  let t0 = Unix.gettimeofday () in
+  let reply verb response =
+    Protocol.write_frame oc (Protocol.response_to_string response);
+    let outcome =
+      match response with
+      | Protocol.Ok_ _ -> `Ok
+      | Protocol.Err _ -> `Err
+      | Protocol.Busy _ -> `Busy
+    in
+    Metrics.record t.metrics ~verb ~outcome
+      ~latency_ns:((Unix.gettimeofday () -. t0) *. 1e9)
+  in
+  match Protocol.parse_request payload with
+  | Error msg -> reply "INVALID" (Protocol.Err msg)
+  | Ok req -> (
+    let verb = Protocol.verb req in
+    match req with
+    | Protocol.Ping -> reply verb (Protocol.Ok_ "pong")
+    | Protocol.Stats -> reply verb (Protocol.Ok_ (Metrics.render t.metrics))
+    | Protocol.Docs ->
+      let s = Atomic.get t.current in
+      reply verb
+        (Protocol.Ok_
+           (Printf.sprintf "v=%d docs=%d %s" s.Snapshot.version
+              (List.length (Snapshot.doc_names s))
+              (String.concat " " (Snapshot.doc_names s))))
+    | Protocol.Shutdown ->
+      reply verb (Protocol.Ok_ "stopping");
+      request_stop_async t
+    | Protocol.Repl_state -> reply verb (run_repl_state t)
+    | Protocol.Repl_file { doc; file; offset; limit } ->
+      reply verb (run_repl_file t doc file offset limit)
+    | Protocol.Repl_wait { doc; gen; offset; timeout_ms } ->
+      reply verb (run_repl_wait t doc gen offset timeout_ms)
+    | Protocol.Promote -> reply verb (promote t)
+    | Protocol.Update { doc; op } -> reply verb (run_update t doc op)
+    | Protocol.Sleep ms ->
+      Thread.delay (float_of_int ms /. 1000.);
+      reply verb (Protocol.Ok_ (Printf.sprintf "slept=%d" ms))
+    | Protocol.Query _ | Protocol.Count _ | Protocol.Explain _
+    | Protocol.Check _ ->
+      let iv = Ivar.create () in
+      let job () =
+        let response =
+          try run_read t req with
+          | Failure msg -> Protocol.Err msg
+          | e -> Protocol.Err ("internal error: " ^ Printexc.to_string e)
+        in
+        Ivar.fill iv response
+      in
+      if Scheduler.submit ~label:verb t.sched job then
+        reply verb (Ivar.read iv)
+      else reply verb (Protocol.Busy "queue full"))
+
+let session_loop t fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let rec loop () =
+    match Protocol.read_frame ic with
+    | None -> ()
+    | Some payload ->
+      handle_frame t oc payload;
+      loop ()
+  in
+  (try loop () with
+  | Protocol.Protocol_error _ | End_of_file | Sys_error _ ->
+    Metrics.record_session_error t.metrics
+  | Unix.Unix_error _ -> Metrics.record_session_error t.metrics);
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let accept_loop t =
+  let stopping () = not (running t) in
+  let rec loop () =
+    match Unix.accept t.listen_fd with
+    | fd, _ when stopping () -> (
+      try Unix.close fd with Unix.Unix_error _ -> ())
+    | fd, _ ->
+      let id =
+        Mutex.lock t.sessions_mu;
+        let id = t.next_session in
+        t.next_session <- id + 1;
+        Mutex.unlock t.sessions_mu;
+        id
+      in
+      let th =
+        Thread.create
+          (fun () ->
+            session_loop t fd;
+            Mutex.lock t.sessions_mu;
+            Hashtbl.remove t.sessions id;
+            Mutex.unlock t.sessions_mu)
+          ()
+      in
+      Mutex.lock t.sessions_mu;
+      Hashtbl.replace t.sessions id (fd, th);
+      Mutex.unlock t.sessions_mu;
+      loop ()
+    | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Startup                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let start ?chaos cfg =
+  (match validate_config cfg with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Replica.start: " ^ msg));
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  ensure_dir cfg.data_dir;
+  (* Bootstrap over one dedicated connection.  A [Fenced] raised here is
+     fatal by design: the configured upstream is provably behind the fence
+     this data directory has already seen, and following it would merge a
+     deposed primary's writes. *)
+  let docs, upstream_epoch =
+    Client.with_connection cfg.primary @@ fun conn ->
+    (* seed the fence from disk before the first reply can be checked *)
+    let persisted = Replication.load_epoch cfg.data_dir in
+    let t0_epoch = Atomic.make persisted in
+    let check got =
+      let seen = Atomic.get t0_epoch in
+      if got < seen then raise (Fenced { seen; got })
+      else if got > seen then Atomic.set t0_epoch got
+    in
+    let st =
+      match Client.request conn Protocol.Repl_state with
+      | Protocol.Ok_ body -> (
+        match Replication.decode_state body with
+        | Ok st ->
+          check st.Replication.s_epoch;
+          st
+        | Error why -> failwith ("REPL STATE: bad reply: " ^ why))
+      | Protocol.Err m -> failwith ("REPL STATE: upstream ERR " ^ m)
+      | Protocol.Busy m -> failwith ("REPL STATE: upstream BUSY " ^ m)
+    in
+    if st.Replication.s_docs = [] then
+      failwith "upstream hosts no documents";
+    (st, Atomic.get t0_epoch)
+  in
+  let planner_shared =
+    if cfg.planner then
+      Some (Rxpath.Planner.make_shared ~plan_cache:cfg.plan_cache ())
+    else None
+  in
+  let metrics = Metrics.create () in
+  let on_exn ~label e = Metrics.record_dropped metrics ~verb:label e in
+  let sched =
+    Scheduler.create ~on_exn ~workers:cfg.workers
+      ~max_queue:(resolved_max_queue cfg) ()
+  in
+  if Sys.file_exists cfg.socket_path then Sys.remove cfg.socket_path;
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try
+     Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket_path);
+     Unix.listen listen_fd 64
+   with e ->
+     (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+     raise e);
+  let t =
+    {
+      cfg;
+      chaos;
+      docs = [||];
+      current = Atomic.make (Snapshot.capture ~version:1 []);
+      write_mu = Mutex.create ();
+      epoch = Atomic.make (max 1 upstream_epoch);
+      role = `Following;
+      reconnects = Atomic.make 0;
+      refused_epoch = Atomic.make 0;
+      repl_requests = Atomic.make 0;
+      repl_bytes = Atomic.make 0;
+      lag_versions = Atomic.make 0;
+      lag_bytes = Atomic.make 0;
+      sched;
+      metrics;
+      listen_fd;
+      accept_thread = None;
+      pull_thread = None;
+      sessions = Hashtbl.create 16;
+      sessions_mu = Mutex.create ();
+      next_session = 0;
+      state_mu = Mutex.create ();
+      state_cond = Condition.create ();
+      state = `Running;
+      pull_stop = false;
+    }
+  in
+  Replication.store_epoch cfg.data_dir (Atomic.get t.epoch);
+  (* mirror + replay each hosted document, then publish the first local
+     snapshot at the version the contract dictates *)
+  let docs =
+    Client.with_connection cfg.primary @@ fun conn ->
+    Array.of_list
+      (List.map
+         (fun (u : Replication.doc_state) -> bootstrap_doc t conn u.name)
+         docs.Replication.s_docs)
+  in
+  let t = { t with docs } in
+  Atomic.set t.current
+    (Snapshot.capture ?planner:planner_shared ~version:(local_version t)
+       (Array.to_list (Array.map (fun d -> (d.name, d.r2)) t.docs)));
+  Metrics.set_queue_probe metrics (fun () -> Scheduler.queue_depth t.sched);
+  Metrics.set_snapshot_probe metrics (fun () ->
+      let s = Atomic.get t.current in
+      (s.Snapshot.version, s.Snapshot.published_at));
+  Metrics.set_repl_probe metrics (fun () ->
+      {
+        Metrics.role =
+          (match t.role with `Following -> "replica" | `Promoted -> "promoted");
+        epoch = Atomic.get t.epoch;
+        served_requests = Atomic.get t.repl_requests;
+        served_bytes = Atomic.get t.repl_bytes;
+        lag_versions = Atomic.get t.lag_versions;
+        lag_bytes = Atomic.get t.lag_bytes;
+        last_applied_seq =
+          Array.fold_left (fun acc d -> acc + d.applied_seq) 0 t.docs;
+        reconnects = Atomic.get t.reconnects;
+        refused_epoch = Atomic.get t.refused_epoch;
+      });
+  t.pull_thread <- Some (Thread.create puller t);
+  t.accept_thread <- Some (Thread.create accept_loop t);
+  t

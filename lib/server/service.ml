@@ -16,13 +16,14 @@ type config = {
   wal_segment_bytes : int;
   planner : bool;
   plan_cache : int;
+  epoch : int;
 }
 
 let default_config ~socket_path ~data_dir () =
   { socket_path; data_dir; workers = 4; max_queue = 0; deadline_ms = 0;
     max_area_size = 64; domains = 0; cache_mb = 0;
     commit_interval_us = 0; commit_max_batch = 64; wal_segment_bytes = 0;
-    planner = true; plan_cache = 256 }
+    planner = true; plan_cache = 256; epoch = 1 }
 
 (* E13 showed the old fixed default rejecting 67% of a 90/10 mix at only
    8 clients: a queue bound that ignores the pool size punishes exactly
@@ -48,6 +49,8 @@ let validate_config c =
     Error "wal-segment-bytes must be >= 0 (0 disables rotation)"
   else if c.plan_cache < 0 then
     Error "plan-cache must be >= 0 (0 disables plan caching)"
+  else if c.epoch < 1 then
+    Error "epoch must be >= 1 (the fencing generation this primary serves)"
   else if c.socket_path = "" then Error "socket path must not be empty"
   else if String.length c.socket_path > max_socket_path then
     Error
@@ -137,6 +140,8 @@ type t = {
   mutable group_committing : bool;  (** a leader is flushing; join the queue *)
   mutable last_version : int;  (** version of the last applied update *)
   writes : write_counters;
+  repl_requests : int Atomic.t;  (** REPL-* requests served *)
+  repl_bytes : int Atomic.t;  (** journal/snapshot bytes shipped *)
   sched : Scheduler.t;
   exec : Executor.t option;  (** parallel read pool; [None] = systhreads *)
   cache : Query_cache.t option;
@@ -180,8 +185,8 @@ let id_cap = 32
    was computed against; [kind] separates the COUNT and QUERY namespaces.
    Computed values are small strings (a count, or a count plus at most
    [id_cap] identifiers), so caching cost is bounded per entry. *)
-let with_cache t s (d : Snapshot.doc) ~kind ~normq compute =
-  match t.cache with
+let with_cache cache s (d : Snapshot.doc) ~kind ~normq compute =
+  match cache with
   | None -> compute ()
   | Some cache ->
     let query = kind ^ normq in
@@ -193,15 +198,14 @@ let with_cache t s (d : Snapshot.doc) ~kind ~normq compute =
       Query_cache.add cache ~doc ~version ~query v;
       v)
 
-let run_count t src =
-  let s = Atomic.get t.current in
+let eval_count ?cache s src =
   let normq = Query_cache.normalize src in
   let parsed = lazy (Snapshot.parse src) in
   let per_doc =
     Array.to_list s.Snapshot.docs
     |> List.map (fun d ->
            let v =
-             with_cache t s d ~kind:"C\x00" ~normq (fun () ->
+             with_cache cache s d ~kind:"C\x00" ~normq (fun () ->
                  string_of_int (Snapshot.count_doc d (Lazy.force parsed)))
            in
            (d.Snapshot.name, int_of_string v))
@@ -212,8 +216,7 @@ let run_count t src =
        (String.concat " "
           (List.map (fun (name, n) -> Printf.sprintf "%s=%d" name n) per_doc)))
 
-let run_query t src =
-  let s = Atomic.get t.current in
+let eval_query ?cache s src =
   let normq = Query_cache.normalize src in
   let parsed = lazy (Snapshot.parse src) in
   (* Cached value: the count followed by the first [id_cap] identifiers,
@@ -222,7 +225,7 @@ let run_query t src =
     Array.to_list s.Snapshot.docs
     |> List.map (fun d ->
            let v =
-             with_cache t s d ~kind:"Q\x00" ~normq (fun () ->
+             with_cache cache s d ~kind:"Q\x00" ~normq (fun () ->
                  let nodes = Snapshot.query_doc d (Lazy.force parsed) in
                  let ids =
                    List.filteri (fun i _ -> i < id_cap) nodes
@@ -256,8 +259,7 @@ let run_query t src =
 (* EXPLAIN renders the plan per document.  Always uncached and never in
    the result cache: the point is measured actual cardinalities and
    timings for THIS execution. *)
-let run_explain t src =
-  let s = Atomic.get t.current in
+let eval_explain s src =
   match Snapshot.parse src with
   | exception Failure msg -> Protocol.Err msg
   | _ ->
@@ -595,24 +597,36 @@ let run_update t doc op =
       Ivar.read p.iv
   end
 
-let run_check t doc =
-  let s = Atomic.get t.current in
+let eval_check s doc =
   match Snapshot.check s doc with
   | () -> Protocol.Ok_ (Printf.sprintf "v=%d consistent" s.Snapshot.version)
   | exception Not_found -> Protocol.Err (Printf.sprintf "unknown document %S" doc)
   | exception Failure msg -> Protocol.Err ("inconsistent snapshot: " ^ msg)
 
+(* The four read verbs over an explicit snapshot: the replica serves them
+   through this same code, so a caught-up follower's replies are
+   byte-identical to the primary's at the same version. *)
+let eval_read ?cache s (req : Protocol.request) =
+  match req with
+  | Protocol.Count src -> eval_count ?cache s src
+  | Protocol.Query src -> eval_query ?cache s src
+  | Protocol.Explain src -> eval_explain s src
+  | Protocol.Check doc -> eval_check s doc
+  | _ -> Protocol.Err "internal: non-read verb reached the read path"
+
 let run_request t (req : Protocol.request) =
   match req with
-  | Protocol.Count src -> run_count t src
-  | Protocol.Query src -> run_query t src
-  | Protocol.Explain src -> run_explain t src
+  | Protocol.Count src -> eval_count ?cache:t.cache (Atomic.get t.current) src
+  | Protocol.Query src -> eval_query ?cache:t.cache (Atomic.get t.current) src
+  | Protocol.Explain src -> eval_explain (Atomic.get t.current) src
   | Protocol.Update { doc; op } -> run_update t doc op
-  | Protocol.Check doc -> run_check t doc
+  | Protocol.Check doc -> eval_check (Atomic.get t.current) doc
   | Protocol.Sleep ms ->
     Thread.delay (float_of_int ms /. 1000.);
     Protocol.Ok_ (Printf.sprintf "slept=%d" ms)
-  | Protocol.Ping | Protocol.Docs | Protocol.Stats | Protocol.Shutdown ->
+  | Protocol.Ping | Protocol.Docs | Protocol.Stats | Protocol.Shutdown
+  | Protocol.Repl_state | Protocol.Repl_file _ | Protocol.Repl_wait _
+  | Protocol.Promote ->
     (* handled inline by the session *)
     Protocol.Err "internal: control verb reached the worker pool"
 
@@ -692,6 +706,110 @@ let request_stop_async t =
      it must run elsewhere. *)
   ignore (Thread.create (fun () -> try stop t with _ -> ()) ())
 
+(* --- Replication endpoint ------------------------------------------
+
+   Followers pull: the primary serves nothing but its own on-disk
+   artifacts (base pair, checkpoint pairs, archived segments, the live
+   journal) plus a long-poll on journal growth.  All REPL verbs run inline
+   on the session thread — a replication connection is dedicated, so
+   blocking it in REPL WAIT costs no worker, and the verbs stay observable
+   when the admission queue is saturated. *)
+
+let find_master t doc =
+  let r = ref None in
+  Array.iter (fun m -> if m.name = doc then r := Some m) t.masters;
+  !r
+
+let repl_reply t chunk =
+  Atomic.incr t.repl_requests;
+  ignore
+    (Atomic.fetch_and_add t.repl_bytes
+       (String.length chunk.Replication.data));
+  Protocol.Ok_ (Replication.encode_chunk chunk)
+
+let run_repl_state t =
+  Atomic.incr t.repl_requests;
+  let s = Atomic.get t.current in
+  let s_docs =
+    Array.to_list t.masters
+    |> List.map (fun m ->
+           {
+             Replication.name = m.name;
+             gen = Wal.generation m.wal;
+             seq = Wal.seq m.wal;
+             size = Replication.file_size m.wal_path;
+           })
+  in
+  Protocol.Ok_
+    (Replication.encode_state
+       { Replication.s_epoch = t.cfg.epoch;
+         s_version = s.Snapshot.version; s_docs })
+
+(* Rotation swaps the active journal by rename while we read it; re-check
+   the generation around the read and retry on a swap, so a chunk is
+   always bytes of the generation the reply names. *)
+let read_stable_chunk m path ~offset ~limit =
+  let rec go tries =
+    let g0 = Wal.generation m.wal in
+    let data, size = Replication.read_chunk path ~offset ~limit in
+    let g1 = Wal.generation m.wal in
+    if g0 = g1 || tries = 0 then (data, size, g1) else go (tries - 1)
+  in
+  go 3
+
+let run_repl_file t doc file offset limit =
+  match find_master t doc with
+  | None -> Protocol.Err (Printf.sprintf "unknown document %S" doc)
+  | Some m ->
+    let path =
+      Replication.resolve_path ~xml:m.xml_path ~sidecar:m.sidecar_path
+        ~wal:m.wal_path file
+    in
+    let data, size, gen = read_stable_chunk m path ~offset ~limit in
+    repl_reply t { Replication.epoch = t.cfg.epoch; gen; size; data }
+
+let run_repl_wait t doc want_gen offset timeout_ms =
+  match find_master t doc with
+  | None -> Protocol.Err (Printf.sprintf "unknown document %S" doc)
+  | Some m ->
+    let deadline =
+      Unix.gettimeofday ()
+      +. (float_of_int (min timeout_ms Replication.max_wait_ms) /. 1000.)
+    in
+    let stopping () =
+      Mutex.lock t.state_mu;
+      let s = t.state <> `Running in
+      Mutex.unlock t.state_mu;
+      s
+    in
+    let rec loop () =
+      let gen = Wal.generation m.wal in
+      if gen <> want_gen then
+        (* rotated past the follower's generation: an empty chunk naming
+           the live generation sends it to the archived segment *)
+        repl_reply t
+          { Replication.epoch = t.cfg.epoch; gen;
+            size = Replication.file_size m.wal_path; data = "" }
+      else begin
+        let size = Replication.file_size m.wal_path in
+        if size > offset then begin
+          let data, size, gen =
+            read_stable_chunk m m.wal_path ~offset
+              ~limit:Replication.max_chunk
+          in
+          repl_reply t { Replication.epoch = t.cfg.epoch; gen; size; data }
+        end
+        else if stopping () || Unix.gettimeofday () > deadline then
+          repl_reply t
+            { Replication.epoch = t.cfg.epoch; gen; size; data = "" }
+        else begin
+          Thread.delay 0.005;
+          loop ()
+        end
+      end
+    in
+    loop ()
+
 let handle_frame t oc payload =
   let t0 = Unix.gettimeofday () in
   let reply verb response =
@@ -724,6 +842,20 @@ let handle_frame t oc payload =
     | Protocol.Shutdown ->
       reply verb (Protocol.Ok_ "stopping");
       request_stop_async t
+    (* The replication verbs are control verbs too: a follower's pull must
+       keep draining even when the admission queue is saturated, and a
+       REPL WAIT long-poll may hold its (dedicated) session thread without
+       costing a worker. *)
+    | Protocol.Repl_state -> reply verb (run_repl_state t)
+    | Protocol.Repl_file { doc; file; offset; limit } ->
+      reply verb (run_repl_file t doc file offset limit)
+    | Protocol.Repl_wait { doc; gen; offset; timeout_ms } ->
+      reply verb (run_repl_wait t doc gen offset timeout_ms)
+    | Protocol.Promote ->
+      reply verb
+        (Protocol.Err
+           "PROMOTE: this node is a primary, not a replica (already \
+            accepting writes)")
     | Protocol.Query _ | Protocol.Count _ | Protocol.Explain _
     | Protocol.Update _ | Protocol.Check _ | Protocol.Sleep _ ->
       let deadline =
@@ -764,9 +896,13 @@ let session_loop t fd =
       handle_frame t oc payload;
       loop ()
   in
+  (* A peer that drops mid-frame or vanishes before reading its reply
+     (EPIPE on the write — surfaced as Sys_error/Unix_error with SIGPIPE
+     ignored) ends this session alone, counted, never the process. *)
   (try loop () with
-  | Protocol.Protocol_error _ | End_of_file | Sys_error _ -> ()
-  | Unix.Unix_error _ -> ());
+  | Protocol.Protocol_error _ | End_of_file | Sys_error _ ->
+    Metrics.record_session_error t.metrics
+  | Unix.Unix_error _ -> Metrics.record_session_error t.metrics);
   try Unix.close fd with Unix.Unix_error _ -> ()
 
 let accept_loop t =
@@ -824,7 +960,15 @@ let start cfg docs =
   | Ok () -> ()
   | Error msg -> invalid_arg ("Service.start: " ^ msg));
   if docs = [] then invalid_arg "Service.start: no documents to host";
+  (* A peer closing its socket before reading a reply must surface as
+     EPIPE on the write — caught per-session — not as a process-killing
+     SIGPIPE.  (No-op on platforms without the signal.) *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
   ensure_dir cfg.data_dir;
+  (* Persist the fencing epoch before serving: a follower's refusal rule
+     depends on every node knowing which generation it speaks for. *)
+  Replication.store_epoch cfg.data_dir cfg.epoch;
   let coll = Rxpath.Collection.create ~max_area_size:cfg.max_area_size () in
   let masters =
     Array.of_list
@@ -899,6 +1043,8 @@ let start cfg docs =
       writes =
         { w_batches = 0; w_records = 0; w_max_batch = 0; w_flush_ns = 0.;
           w_pub_inc = 0; w_pub_full = 0; w_areas = 0; w_rotations = 0 };
+      repl_requests = Atomic.make 0;
+      repl_bytes = Atomic.make 0;
       sched;
       exec;
       cache;
@@ -973,5 +1119,17 @@ let start cfg docs =
       in
       Mutex.unlock t.group_mu;
       s);
+  Metrics.set_repl_probe metrics (fun () ->
+      {
+        Metrics.role = "primary";
+        epoch = cfg.epoch;
+        served_requests = Atomic.get t.repl_requests;
+        served_bytes = Atomic.get t.repl_bytes;
+        lag_versions = 0;
+        lag_bytes = 0;
+        last_applied_seq = -1;
+        reconnects = 0;
+        refused_epoch = 0;
+      });
   t.accept_thread <- Some (Thread.create accept_loop t);
   t

@@ -75,13 +75,17 @@ type config = {
       (** compiled-plan cache capacity in plans (shared by the whole
           collection, keyed by DataGuide fingerprint + canonical query
           text); 0 disables plan caching *)
+  epoch : int;
+      (** fencing generation this primary serves under ({!Replication}):
+          persisted to [<data_dir>/EPOCH] at startup and stamped on every
+          [REPL *] reply, so followers can refuse a deposed primary *)
 }
 
 val default_config : socket_path:string -> data_dir:string -> unit -> config
 (** workers 4, max_queue 0 (= 4 × workers), deadline_ms 0,
     max_area_size 64, domains 0, cache_mb 0, commit_interval_us 0,
     commit_max_batch 64, wal_segment_bytes 0, planner true,
-    plan_cache 256. *)
+    plan_cache 256, epoch 1. *)
 
 val resolved_max_queue : config -> int
 (** The effective per-pool admission bound: [max_queue] when positive,
@@ -91,7 +95,7 @@ val validate_config : config -> (unit, string) result
 (** Bounds checking for the CLI flags: workers >= 1, max_queue >= 0
     (0 = auto), deadline_ms >= 0, max_area_size >= 2, domains >= 0,
     cache_mb >= 0, commit_interval_us >= 0, commit_max_batch >= 1,
-    wal_segment_bytes >= 0, plan_cache >= 0,
+    wal_segment_bytes >= 0, plan_cache >= 0, epoch >= 1,
     socket path non-empty and short enough for
     [sockaddr_un]. *)
 
@@ -126,3 +130,12 @@ val collection : t -> Rxpath.Collection.t
 val doc_files : t -> string -> (string * string * string) option
 (** [(xml, sidecar, wal)] paths of a hosted document — what to [fsck]
     after shutdown. *)
+
+val eval_read :
+  ?cache:Query_cache.t -> Snapshot.t -> Protocol.request -> Protocol.response
+(** Evaluate one of the four read verbs ([QUERY], [COUNT], [EXPLAIN],
+    [CHECK]) over an explicit snapshot.  This is the service's own read
+    path with the snapshot made a parameter: {!Replica} serves reads
+    through it, so a caught-up follower's replies are byte-identical to
+    the primary's at the same version.  Any other request is answered
+    with an internal [ERR]. *)

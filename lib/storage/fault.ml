@@ -115,6 +115,20 @@ let wrap p (v : Vfs.t) =
         v.Vfs.truncate path n);
   }
 
+(* The replication-stream face of a short-write plan: with probability
+   [p_short_write] the connection "dies" after delivering a random prefix
+   of the chunk — the same seeded decision a torn write would make, so a
+   follower's resume logic is exercised at arbitrary byte offsets,
+   including mid-frame. *)
+let torn_stream p data =
+  let n = String.length data in
+  if n > 0 && p.p_short_write > 0. && Rng.float p.rng < p.p_short_write then begin
+    let kept = Rng.int p.rng n in
+    record p (Short_write { path = "<repl-stream>"; kept; intended = n });
+    Some (String.sub data 0 kept)
+  end
+  else None
+
 let torn_tail ?(vfs = Vfs.real) path ~keep = vfs.Vfs.truncate path keep
 
 let flip_bit ?(vfs = Vfs.real) path ~bit =

@@ -41,6 +41,13 @@ val wrap : plan -> Ruid.Vfs.t -> Ruid.Vfs.t
     prefix and raise {!Ruid.Vfs.Crash}; [load] may flip one random bit of
     the returned bytes; any operation may open a transient burst. *)
 
+val torn_stream : plan -> string -> string option
+(** Replication-stream face of the short-write machinery: with the plan's
+    [p_short_write] probability, decide the connection died after a random
+    prefix of [data] — [Some prefix] (possibly empty) means the follower
+    received only that much and must reconnect/resume; [None] means the
+    chunk arrived whole.  Counted as a {!Short_write} event. *)
+
 val events : plan -> event list
 (** Everything injected so far, oldest first. *)
 

@@ -233,6 +233,51 @@ let frame_at bytes ~pos total =
           Error (Printf.sprintf "undecodable record: %s" msg)
     end
 
+let header_length = String.length header
+
+(* Longest varint a frame length can need: 9 continuation groups. *)
+let max_varint_bytes = 10
+
+let decode_stream bytes ~pos =
+  let total = Bytes.length bytes in
+  let entries = ref [] and cur = ref pos and corrupt = ref None in
+  (try
+     while !cur < total && !corrupt = None do
+       match Codec.read_varint bytes ~pos:!cur with
+       | exception Invalid_argument _ ->
+         (* A varint cut off by the end of the buffer is an incomplete
+            tail (more bytes may complete it); anywhere else it is
+            corruption. *)
+         if total - !cur < max_varint_bytes then raise Exit
+         else begin
+           corrupt := Some (Printf.sprintf "bad frame length at byte %d" !cur);
+           raise Exit
+         end
+       | len, payload_start ->
+         if payload_start + len + 4 > total then raise Exit (* incomplete *)
+         else begin
+           let stored = u32_le bytes (payload_start + len) in
+           let actual = Crc32.bytes bytes ~pos:payload_start ~len in
+           if stored <> actual then
+             corrupt :=
+               Some
+                 (Printf.sprintf
+                    "checksum mismatch at byte %d (stored %08x, computed \
+                     %08x)" !cur stored actual)
+           else
+             match decode_payload bytes ~pos:payload_start ~len with
+             | e ->
+               entries := e :: !entries;
+               cur := payload_start + len + 4
+             | exception (Failure msg | Invalid_argument msg) ->
+               corrupt :=
+                 Some
+                   (Printf.sprintf "undecodable frame at byte %d: %s" !cur msg)
+         end
+     done
+   with Exit -> ());
+  (List.rev !entries, !cur, !corrupt)
+
 let scan ?(vfs = Vfs.real) ?(attempts = 5) path =
   let bytes = Vfs.with_retries ~attempts (fun () -> vfs.Vfs.load path) in
   let total = Bytes.length bytes in

@@ -152,6 +152,12 @@ val checkpoint_files : string -> int -> string * string
 (** [(xml, sidecar)] checkpoint paths for a journal path and generation:
     [path ^ ".ckpt<gen>.xml"] and [path ^ ".ckpt<gen>.ruid"]. *)
 
+val segment_archive : string -> int -> string
+(** Archive path of the segment retired when generation [gen] was cut:
+    [path ^ ".seg<gen>"], a byte-for-byte copy of the generation-[gen-1]
+    segment.  Replication catch-up reads these when a follower is behind
+    the live generation. *)
+
 (** {1 Reading and recovery} *)
 
 type scan = {
@@ -176,6 +182,26 @@ val scan : ?vfs:Ruid.Vfs.t -> ?attempts:int -> string -> scan
     entry (truncated frame, checksum mismatch, undecodable payload,
     sequence break, or a checkpoint frame anywhere but first in a
     checkpoint segment). *)
+
+(** {1 Incremental stream decoding (replication)} *)
+
+type entry = Records of record list | Ckpt of checkpoint
+(** One decoded journal frame: a record or batch frame (a batch surfaces
+    as the list it coalesced), or a rotated segment's checkpoint frame. *)
+
+val header_length : int
+(** Bytes of the segment header ([RWAL\x02]/[RWAC\x02]) preceding the
+    first frame. *)
+
+val decode_stream : bytes -> pos:int -> entry list * int * string option
+(** Decode consecutive complete frames from a raw buffer of journal bytes
+    (no header) starting at [pos] — the incremental consumer for a shipped
+    WAL stream.  Returns [(entries, consumed, corrupt)]: every
+    checksum-valid complete frame in order, the offset just past the last
+    one, and [Some why] when a {e complete but invalid} frame (checksum
+    mismatch, undecodable payload) stopped decoding — a trailing torn
+    frame is not corruption, merely bytes still in flight, and simply
+    stops the decode at [consumed]. *)
 
 val repair : ?vfs:Ruid.Vfs.t -> ?attempts:int -> string -> scan
 (** {!scan}, then truncate the file to the valid prefix (rewriting the

@@ -32,4 +32,5 @@ let () =
       ("auto", Test_auto.suite);
       ("server", Test_server.suite);
       ("parallel", Test_parallel.suite);
+      ("replication", Test_replication.suite);
     ]

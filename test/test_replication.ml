@@ -1,0 +1,410 @@
+(* WAL-shipping replication: bootstrap and live-stream convergence
+   (byte-identical replies), torn-stream resumption under an injected
+   fault plan, restart resume, rotation catch-up from archived segments,
+   fenced failover with a promoted replica serving writes to the rest of
+   the chain, and fsck-cleanliness of every data directory throughout. *)
+
+module Dom = Rxml.Dom
+module P = Rserver.Protocol
+module C = Rserver.Client
+module Service = Rserver.Service
+module Replica = Rserver.Replica
+module Wal = Rstorage.Wal
+module Fault = Rstorage.Fault
+
+let unique =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Printf.sprintf "%d-%d" (Unix.getpid ()) !n
+
+let temp_dir () =
+  let d =
+    Filename.concat (Filename.get_temp_dir_name ()) ("ruid-repl-" ^ unique ())
+  in
+  Unix.mkdir d 0o755;
+  d
+
+let sock_path () = Filename.concat "/tmp" ("ruid-r" ^ unique () ^ ".sock")
+
+let doc_of_string s = Dom.root_element (Rxml.Parser.parse_string s)
+
+let lib_doc () =
+  doc_of_string
+    "<lib><book><title>a</title><author>x</author></book><book><title>b</title></book><journal><title>c</title></journal></lib>"
+
+let ok_body = function
+  | P.Ok_ body -> body
+  | P.Err m -> Alcotest.failf "unexpected ERR %s" m
+  | P.Busy m -> Alcotest.failf "unexpected BUSY %s" m
+
+let with_primary ?(wal_segment_bytes = 0) ?(epoch = 1) docs f =
+  let cfg =
+    {
+      Service.socket_path = sock_path ();
+      data_dir = temp_dir ();
+      workers = 2;
+      max_queue = 32;
+      deadline_ms = 0;
+      max_area_size = 8;
+      domains = 0;
+      cache_mb = 0;
+      commit_interval_us = 0;
+      commit_max_batch = 64;
+      wal_segment_bytes;
+      planner = true;
+      plan_cache = 64;
+      epoch;
+    }
+  in
+  let t = Service.start cfg docs in
+  Fun.protect ~finally:(fun () -> Service.stop t) (fun () -> f cfg t)
+
+let replica_config ?(poll_ms = 25) ~primary () =
+  {
+    Replica.socket_path = sock_path ();
+    data_dir = temp_dir ();
+    primary;
+    workers = 2;
+    max_queue = 32;
+    poll_ms;
+    planner = true;
+    plan_cache = 64;
+  }
+
+let with_replica ?chaos cfg f =
+  let t = Replica.start ?chaos cfg in
+  Fun.protect ~finally:(fun () -> Replica.stop t) (fun () -> f t)
+
+let wait_until ?(timeout_s = 20.) ?(what = "condition") pred =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec go () =
+    if pred () then ()
+    else if Unix.gettimeofday () > deadline then
+      Alcotest.failf "timed out waiting for %s" what
+    else begin
+      Thread.delay 0.02;
+      go ()
+    end
+  in
+  go ()
+
+let wait_version r v =
+  wait_until ~what:(Printf.sprintf "replica to reach v=%d" v) (fun () ->
+      (Replica.snapshot r).Rserver.Snapshot.version >= v)
+
+(* The read probes whose replies must be byte-identical between a
+   caught-up replica and its upstream.  EXPLAIN is excluded on purpose:
+   its output includes measured per-execution timings. *)
+let probes =
+  [
+    P.Query "//book"; P.Query "//title"; P.Query "//book/title";
+    P.Query "//inserted"; P.Count "//book"; P.Count "//title";
+    P.Count "//inserted"; P.Check "lib";
+  ]
+
+let replies sock =
+  C.with_connection sock @@ fun c ->
+  List.map (fun r -> P.response_to_string (C.request c r)) probes
+
+let check_identical ~ctx a_sock b_sock =
+  List.iter2
+    (fun a b -> Alcotest.(check string) (ctx ^ ": reply identical") a b)
+    (replies a_sock) (replies b_sock)
+
+(* A seeded write mix against the primary: mostly inserts under low ranks
+   (always valid), a few deletes of random ranks (rejected ones simply
+   never reach the journal).  Returns the primary's published version. *)
+let write_mix ~seed ~ops sock =
+  let rng = Random.State.make [| seed |] in
+  C.with_connection sock @@ fun c ->
+  for i = 1 to ops do
+    let op =
+      if Random.State.int rng 5 = 0 then
+        Wal.Delete { rank = 2 + Random.State.int rng 40 }
+      else
+        Wal.Insert
+          {
+            parent_rank = Random.State.int rng 3;
+            pos = Random.State.int rng 2;
+            tag = Printf.sprintf "inserted%d" i;
+          }
+    in
+    ignore (C.request c (P.Update { doc = "lib"; op }))
+  done;
+  match C.request c P.Docs with
+  | P.Ok_ body -> (
+    match C.kv_int body "v" with
+    | Some v -> v
+    | None -> Alcotest.fail "DOCS reply lacks v=")
+  | r -> Alcotest.failf "DOCS: %s" (P.response_to_string r)
+
+let assert_fsck_clean ~ctx dir =
+  let xml = Filename.concat dir "lib.xml" in
+  let sidecar = Filename.concat dir "lib.ruid" in
+  let wal = Filename.concat dir "lib.wal" in
+  match Wal.fsck ~xml ~sidecar ~wal () with
+  | Wal.Clean -> ()
+  | st ->
+    Alcotest.failf "%s: fsck of %s not clean: %a" ctx dir Wal.pp_status st
+
+let stats_kv sock key =
+  C.with_connection sock @@ fun c ->
+  match C.kv_int (ok_body (C.request c P.Stats)) key with
+  | Some v -> v
+  | None -> Alcotest.failf "STATS lacks %s=" key
+
+(* ------------------------------------------------------------------ *)
+(* Bootstrap + live stream                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_bootstrap_and_live () =
+  with_primary [ ("lib", lib_doc ()) ] @@ fun pcfg _service ->
+  let v1 = write_mix ~seed:11 ~ops:6 pcfg.Service.socket_path in
+  let rcfg = replica_config ~primary:pcfg.Service.socket_path () in
+  with_replica rcfg @@ fun r ->
+  (* bootstrap alone must already reach the primary's version *)
+  wait_version r v1;
+  check_identical ~ctx:"after bootstrap" pcfg.Service.socket_path
+    rcfg.Replica.socket_path;
+  (* live writes stream over WAIT; replica converges without reconnect *)
+  let v2 = write_mix ~seed:12 ~ops:8 pcfg.Service.socket_path in
+  wait_version r v2;
+  check_identical ~ctx:"after live writes" pcfg.Service.socket_path
+    rcfg.Replica.socket_path;
+  Alcotest.(check int)
+    "no reconnects on a healthy stream" 0
+    (stats_kv rcfg.Replica.socket_path "repl_reconnects");
+  Alcotest.(check int)
+    "caught up: zero version lag" 0
+    (stats_kv rcfg.Replica.socket_path "repl_lag_versions");
+  Alcotest.(check int)
+    "last applied sequence gauge" (v2 - 1)
+    (stats_kv rcfg.Replica.socket_path "repl_last_seq");
+  (* writes are refused while following *)
+  (C.with_connection rcfg.Replica.socket_path @@ fun c ->
+   match
+     C.request c
+       (P.Update
+          { doc = "lib";
+            op = Wal.Insert { parent_rank = 0; pos = 0; tag = "nope" } })
+   with
+   | P.Err m ->
+     Alcotest.(check bool) "read-only error names the contract" true
+       (String.length m > 0)
+   | r -> Alcotest.failf "replica accepted a write: %s" (P.response_to_string r));
+  assert_fsck_clean ~ctx:"replica mirror" rcfg.Replica.data_dir
+
+(* ------------------------------------------------------------------ *)
+(* Torn-stream property: resume + converge over 10 seeds               *)
+(* ------------------------------------------------------------------ *)
+
+let test_torn_stream_seeds () =
+  let tears = ref 0 in
+  for seed = 1 to 10 do
+    with_primary [ ("lib", lib_doc ()) ] @@ fun pcfg _service ->
+    ignore (write_mix ~seed:(100 + seed) ~ops:4 pcfg.Service.socket_path);
+    let chaos = Fault.plan ~seed ~p_short_write:0.4 () in
+    let rcfg =
+      replica_config ~poll_ms:20 ~primary:pcfg.Service.socket_path ()
+    in
+    with_replica ~chaos rcfg @@ fun r ->
+    let v = write_mix ~seed ~ops:12 pcfg.Service.socket_path in
+    wait_version r v;
+    check_identical
+      ~ctx:(Printf.sprintf "seed %d" seed)
+      pcfg.Service.socket_path rcfg.Replica.socket_path;
+    assert_fsck_clean
+      ~ctx:(Printf.sprintf "seed %d" seed)
+      rcfg.Replica.data_dir;
+    tears :=
+      !tears
+      + List.length
+          (List.filter
+             (function Fault.Short_write _ -> true | _ -> false)
+             (Fault.events chaos))
+  done;
+  (* the plan must actually have torn the stream somewhere across the ten
+     runs, or the property tested nothing *)
+  Alcotest.(check bool)
+    (Printf.sprintf "fault plan injected tears (saw %d)" !tears)
+    true (!tears > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Restart: resume from the durable byte offset                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_restart_resume () =
+  with_primary [ ("lib", lib_doc ()) ] @@ fun pcfg _service ->
+  let v1 = write_mix ~seed:21 ~ops:5 pcfg.Service.socket_path in
+  let rcfg = replica_config ~primary:pcfg.Service.socket_path () in
+  (with_replica rcfg @@ fun r -> wait_version r v1);
+  (* replica is down; the primary moves on *)
+  let v2 = write_mix ~seed:22 ~ops:7 pcfg.Service.socket_path in
+  (* same data dir: bootstrap resumes from local files instead of
+     re-mirroring, then catches up over the wire *)
+  with_replica rcfg @@ fun r ->
+  wait_version r v2;
+  check_identical ~ctx:"after restart" pcfg.Service.socket_path
+    rcfg.Replica.socket_path;
+  assert_fsck_clean ~ctx:"restarted mirror" rcfg.Replica.data_dir
+
+(* ------------------------------------------------------------------ *)
+(* Rotation: catch up through archived segments                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_rotation_catch_up () =
+  (* a tiny segment threshold forces several rotations *)
+  with_primary ~wal_segment_bytes:256 [ ("lib", lib_doc ()) ]
+  @@ fun pcfg _service ->
+  let v1 = write_mix ~seed:31 ~ops:40 pcfg.Service.socket_path in
+  let gen_now () =
+    (* read the generation off the data dir: the highest ckpt pair *)
+    let rec probe g =
+      let x, _ =
+        Wal.checkpoint_files (Filename.concat pcfg.Service.data_dir "lib.wal")
+          (g + 1)
+      in
+      if Sys.file_exists x then probe (g + 1) else g
+    in
+    probe 0
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "primary rotated (gen %d)" (gen_now ()))
+    true
+    (gen_now () > 0);
+  (* bootstrap against an already-rotated primary *)
+  let rcfg = replica_config ~primary:pcfg.Service.socket_path () in
+  with_replica rcfg @@ fun r ->
+  wait_version r v1;
+  check_identical ~ctx:"bootstrap past rotations" pcfg.Service.socket_path
+    rcfg.Replica.socket_path;
+  (* now rotate several more times underneath a live follower *)
+  let v2 = write_mix ~seed:32 ~ops:40 pcfg.Service.socket_path in
+  wait_version r v2;
+  check_identical ~ctx:"rotation under a live follower"
+    pcfg.Service.socket_path rcfg.Replica.socket_path;
+  assert_fsck_clean ~ctx:"rotated mirror" rcfg.Replica.data_dir
+
+(* ------------------------------------------------------------------ *)
+(* Fenced failover: 10-seed split-brain suite                          *)
+(* ------------------------------------------------------------------ *)
+
+(* One full failover story per seed: a chain primary <- f1 <- f2, a write
+   mix, a hard primary stop, promotion of f1, more writes, and then the
+   surviving pair must answer every probe byte-identically, every data
+   directory must fsck clean, and bytes from behind the fence must be
+   provably refused. *)
+let failover_story seed =
+  let pdir = temp_dir () in
+  let pcfg =
+    {
+      Service.socket_path = sock_path ();
+      data_dir = pdir;
+      workers = 2;
+      max_queue = 32;
+      deadline_ms = 0;
+      max_area_size = 8;
+      domains = 0;
+      cache_mb = 0;
+      commit_interval_us = 0;
+      commit_max_batch = 64;
+      wal_segment_bytes = (if seed mod 2 = 0 then 400 else 0);
+      planner = true;
+      plan_cache = 64;
+      epoch = 1;
+    }
+  in
+  let service = Service.start pcfg [ ("lib", lib_doc ()) ] in
+  let stopped = ref false in
+  Fun.protect
+    ~finally:(fun () -> if not !stopped then Service.stop service)
+  @@ fun () ->
+  let f1cfg = replica_config ~poll_ms:20 ~primary:pcfg.Service.socket_path () in
+  with_replica f1cfg @@ fun f1 ->
+  let f2cfg =
+    replica_config ~poll_ms:20 ~primary:f1cfg.Replica.socket_path ()
+  in
+  with_replica f2cfg @@ fun f2 ->
+  let v1 = write_mix ~seed ~ops:10 pcfg.Service.socket_path in
+  wait_version f1 v1;
+  wait_version f2 v1;
+  (* hard-stop the primary (writes are quiesced: the mix returned) *)
+  Service.stop service;
+  stopped := true;
+  (* promote the first follower; idempotent on a second call *)
+  let promote_body =
+    C.with_connection f1cfg.Replica.socket_path @@ fun c ->
+    let b = ok_body (C.request c P.Promote) in
+    let b2 = ok_body (C.request c P.Promote) in
+    Alcotest.(check (option int))
+      "second PROMOTE is idempotent" (C.kv_int b "epoch")
+      (C.kv_int b2 "epoch");
+    b
+  in
+  Alcotest.(check (option int)) "promotion bumped the epoch" (Some 2)
+    (C.kv_int promote_body "epoch");
+  Alcotest.(check bool) "role flipped" true (Replica.role f1 = `Promoted);
+  (* the new primary accepts writes; f2 keeps following through it *)
+  let v2 = write_mix ~seed:(seed * 7) ~ops:8 f1cfg.Replica.socket_path in
+  Alcotest.(check bool)
+    (Printf.sprintf "failover writes advanced the version (%d > %d)" v2 v1)
+    true (v2 > v1);
+  wait_version f2 v2;
+  check_identical
+    ~ctx:(Printf.sprintf "seed %d survivors" seed)
+    f1cfg.Replica.socket_path f2cfg.Replica.socket_path;
+  Alcotest.(check int)
+    "follower adopted the bumped epoch" 2
+    (stats_kv f2cfg.Replica.socket_path "repl_epoch");
+  (* every data directory — including the dead primary's — fscks clean *)
+  assert_fsck_clean ~ctx:(Printf.sprintf "seed %d primary" seed) pdir;
+  assert_fsck_clean
+    ~ctx:(Printf.sprintf "seed %d f1" seed)
+    f1cfg.Replica.data_dir;
+  assert_fsck_clean
+    ~ctx:(Printf.sprintf "seed %d f2" seed)
+    f2cfg.Replica.data_dir;
+  (* fencing proof: a data directory that has followed epoch 2 refuses a
+     node still serving epoch 1 — the deposed primary's bytes can never
+     merge.  (A fresh service plays the deposed primary.) *)
+  let deposed_dir = temp_dir () in
+  let deposed =
+    Service.start
+      { pcfg with Service.socket_path = sock_path (); data_dir = deposed_dir }
+      [ ("lib", lib_doc ()) ]
+  in
+  Fun.protect ~finally:(fun () -> Service.stop deposed) @@ fun () ->
+  let fenced_cfg =
+    {
+      (replica_config ~primary:(Service.config deposed).Service.socket_path ())
+      with
+      Replica.data_dir = f2cfg.Replica.data_dir;
+    }
+  in
+  match Replica.start fenced_cfg with
+  | t ->
+    Replica.stop t;
+    Alcotest.failf "seed %d: epoch-1 primary was not fenced out" seed
+  | exception Replica.Fenced { seen; got } ->
+    Alcotest.(check int) "fence height" 2 seen;
+    Alcotest.(check int) "deposed epoch" 1 got
+
+let test_failover_seeds () =
+  for seed = 1 to 10 do
+    failover_story seed
+  done
+
+let suite =
+  [
+    Alcotest.test_case "bootstrap + live stream byte-identical" `Quick
+      test_bootstrap_and_live;
+    Alcotest.test_case "torn stream resumes and converges (10 seeds)" `Slow
+      test_torn_stream_seeds;
+    Alcotest.test_case "restart resumes from durable offset" `Quick
+      test_restart_resume;
+    Alcotest.test_case "rotation catch-up from archives" `Slow
+      test_rotation_catch_up;
+    Alcotest.test_case "fenced failover split-brain (10 seeds)" `Slow
+      test_failover_seeds;
+  ]

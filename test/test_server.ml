@@ -30,7 +30,8 @@ let doc_of_string s = Dom.root_element (Rxml.Parser.parse_string s)
 let with_server ?(workers = 2) ?(max_queue = 8) ?(deadline_ms = 0)
     ?(max_area_size = 8) ?(domains = 0) ?(cache_mb = 0)
     ?(commit_interval_us = 0) ?(commit_max_batch = 64)
-    ?(wal_segment_bytes = 0) ?(planner = true) ?(plan_cache = 256) docs f =
+    ?(wal_segment_bytes = 0) ?(planner = true) ?(plan_cache = 256)
+    ?(epoch = 1) docs f =
   let cfg =
     {
       Service.socket_path = sock_path ();
@@ -46,6 +47,7 @@ let with_server ?(workers = 2) ?(max_queue = 8) ?(deadline_ms = 0)
       wal_segment_bytes;
       planner;
       plan_cache;
+      epoch;
     }
   in
   let t = Service.start cfg docs in
@@ -611,6 +613,7 @@ let test_shutdown_verb () =
       wal_segment_bytes = 0;
       planner = true;
       plan_cache = 256;
+      epoch = 1;
     }
   in
   let t = Service.start cfg [ ("lib", doc_of_string library) ] in
@@ -638,6 +641,7 @@ let test_config_validation () =
   bad { base with Service.max_area_size = 1 };
   bad { base with Service.domains = -1 };
   bad { base with Service.cache_mb = -1 };
+  bad { base with Service.epoch = 0 };
   (* max_queue = 0 means "4 x the larger pool" *)
   Alcotest.(check int) "auto queue bound" 16
     (Service.resolved_max_queue { base with Service.max_queue = 0; workers = 4 });
@@ -734,6 +738,40 @@ let test_buffer_pool_concurrent () =
   Alcotest.(check int) "every touch is a hit or a read" (6 * per_thread)
     Rstorage.Io_stats.(s.page_reads + s.hits)
 
+(* A peer that hangs up mid-reply must cost exactly one session (and one
+   error counter tick), never the process: the server writes the reply
+   into a closed socket, takes EPIPE/ECONNRESET, and moves on. *)
+let test_peer_drop_mid_reply () =
+  let doc = doc_of_string "<lib><a/><b/></lib>" in
+  with_server [ ("lib", doc) ] @@ fun cfg _t ->
+  let session_errors () =
+    C.with_connection cfg.Service.socket_path @@ fun c ->
+    get_kv (ok_body (C.request c P.Stats)) "session_errors"
+  in
+  let before = session_errors () in
+  (* park a request on a worker, then vanish before the reply lands *)
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX cfg.Service.socket_path);
+  let oc = Unix.out_channel_of_descr fd in
+  P.write_frame oc (P.request_to_string (P.Sleep 60));
+  Unix.close fd;
+  (* the reply write happens ~60ms from now; poll for the counter *)
+  let deadline = Unix.gettimeofday () +. 5. in
+  let rec wait () =
+    if session_errors () > before then ()
+    else if Unix.gettimeofday () > deadline then
+      Alcotest.fail "peer drop was never counted as a session error"
+    else begin
+      Thread.delay 0.02;
+      wait ()
+    end
+  in
+  wait ();
+  (* and the server is entirely unharmed *)
+  C.with_connection cfg.Service.socket_path @@ fun c ->
+  Alcotest.(check string) "server still serves" "pong"
+    (ok_body (C.request c P.Ping))
+
 let test_metrics_registry () =
   let m = Rserver.Metrics.create () in
   for i = 1 to 100 do
@@ -782,5 +820,7 @@ let suite =
     Alcotest.test_case "scheduler bounds + drain" `Quick test_scheduler_bounds;
     Alcotest.test_case "io_stats: concurrent counters" `Quick test_io_stats_concurrent;
     Alcotest.test_case "buffer pool: concurrent touches" `Quick test_buffer_pool_concurrent;
+    Alcotest.test_case "peer drop mid-reply: one session error, server lives"
+      `Quick test_peer_drop_mid_reply;
     Alcotest.test_case "metrics registry" `Quick test_metrics_registry;
   ]
