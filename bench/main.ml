@@ -20,6 +20,7 @@ let experiments =
     ("E15", E15.run);
     ("E16", E16.run);
     ("E17", E17.run);
+    ("E18", E18.run);
   ]
 
 let () =

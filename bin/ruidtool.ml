@@ -761,11 +761,14 @@ let serve_cmd =
   let gen_kind =
     Arg.(
       value
-      & opt (enum [ ("xmark", `Xmark); ("dblp", `Dblp) ]) `Xmark
+      & opt (enum [ ("xmark", `Xmark); ("dblp", `Dblp); ("none", `None_) ])
+          `Xmark
       & info [ "gen-kind" ] ~docv:"KIND"
           ~doc:
-            "Synthetic document family when no FILEs are given: $(b,xmark) \
-             or $(b,dblp).")
+            "Synthetic document family when no FILEs are given: $(b,xmark), \
+             $(b,dblp), or $(b,none) to boot an empty shard that is \
+             populated at runtime (ADDDOC via $(b,ruidtool ingest), ADOPT \
+             via the router's REBALANCE).")
   in
   let gen_size =
     Arg.(
@@ -817,6 +820,7 @@ let serve_cmd =
     | Error msg -> fail msg);
     let docs =
       match files with
+      | [] when gen_kind = `None_ -> []
       | [] ->
         let name, root =
           match gen_kind with
@@ -828,6 +832,7 @@ let serve_cmd =
             ( "dblp",
               Rworkload.Dblp.generate ~seed
                 ~publications:(max 1 (gen_size / 12)) )
+          | `None_ -> assert false
         in
         Printf.printf "generated %s (%d nodes)\n%!" name (Dom.size root);
         [ (name, root) ]
@@ -1039,26 +1044,36 @@ let client_cmd =
           ~doc:"Total backoff sleeping allowed across all retries.")
   in
   let run socket retries budget_ms words =
+    (* A router's scatter reply can be OK yet degraded — some shard was
+       down and its contribution is missing, flagged by a partial= token.
+       Scripts must be able to tell: distinct exit status. *)
+    let is_partial body = Rserver.Client.kv body "partial" <> None in
     let print_reply resp =
       print_endline (Rserver.Protocol.response_to_string resp);
       match resp with
-      | Rserver.Protocol.Ok_ _ -> ()
+      | Rserver.Protocol.Ok_ body -> if is_partial body then exit 5
       | Rserver.Protocol.Busy _ -> exit 3
       | Rserver.Protocol.Err _ -> exit 1
     in
     match words with
     | [] ->
       Rserver.Client.with_connection socket @@ fun c ->
-      let rec loop failed =
+      let rec loop failed partial =
         match input_line stdin with
-        | exception End_of_file -> if failed then exit 1
-        | "" -> loop failed
+        | exception End_of_file ->
+          if failed then exit 1 else if partial then exit 5
+        | "" -> loop failed partial
         | line ->
           let resp = Rserver.Client.request_raw c line in
           print_endline (Rserver.Protocol.response_to_string resp);
-          loop (failed || match resp with Rserver.Protocol.Err _ -> true | _ -> false)
+          loop
+            (failed || match resp with Rserver.Protocol.Err _ -> true | _ -> false)
+            (partial
+            || match resp with
+               | Rserver.Protocol.Ok_ body -> is_partial body
+               | _ -> false)
       in
-      loop false
+      loop false false
     | words ->
       let c =
         Rserver.Client.connect_retry ~retries ~budget_ms:budget_ms socket
@@ -1072,8 +1087,241 @@ let client_cmd =
     (Cmd.info "client"
        ~doc:
          "Send requests to a running server.  Exit status: 0 on OK, 1 on \
-          ERR, 3 on BUSY.")
+          ERR, 3 on BUSY, 5 on an OK reply flagged $(b,partial=) (a \
+          degraded router scatter: some shard did not contribute).")
     Term.(const run $ socket_arg $ retries $ retry_budget_ms $ words)
+
+(* ------------------------------------------------------------------ *)
+(* router / ingest                                                     *)
+(* ------------------------------------------------------------------ *)
+
+module Router = Rserver.Router
+module Shard_map = Rserver.Shard_map
+
+let shard_sockets_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "shard" ] ~docv:"PATH"
+        ~doc:
+          "Unix socket of one shard service; repeat in shard order.  The \
+           order is the placement contract — every router and ingest run \
+           over the same collection must list the shards identically.")
+
+let router_cmd =
+  let fanout =
+    Arg.(
+      value & opt int 0
+      & info [ "fanout" ] ~docv:"N"
+        ~doc:
+          "Concurrent shard calls per scatter-gather query (>= 0).  0 \
+           (the default) fans out to every shard at once.")
+  in
+  let shard_deadline_ms =
+    Arg.(
+      value & opt int 2000
+      & info [ "shard-deadline-ms" ] ~docv:"MS"
+        ~doc:
+          "Per-shard call deadline.  A shard that misses it is marked \
+           down and its answer excluded (the scatter reply is flagged \
+           $(b,partial=)); the connection is rebuilt with backoff on the \
+           next request.  0 waits forever.")
+  in
+  let connect_retries =
+    Arg.(
+      value & opt int 3
+      & info [ "connect-retries" ] ~docv:"N"
+        ~doc:"Reconnect attempts (with backoff) to a shard thought alive.")
+  in
+  let fail msg =
+    prerr_endline ("ruidtool router: " ^ msg);
+    exit 2
+  in
+  let run socket shards fanout shard_deadline_ms connect_retries =
+    let cfg =
+      {
+        Router.socket_path = socket;
+        shard_sockets = Array.of_list shards;
+        fanout;
+        shard_deadline_ms;
+        connect_retries;
+      }
+    in
+    (match Router.validate_config cfg with
+    | Ok () -> ()
+    | Error msg -> fail msg);
+    let t = try Router.start cfg with Invalid_argument msg -> fail msg in
+    Printf.printf
+      "routing %d shard(s) on %s (fanout %s, shard deadline %s)\n%!"
+      (List.length shards) socket
+      (if fanout = 0 then "all" else string_of_int fanout)
+      (if shard_deadline_ms = 0 then "none"
+       else string_of_int shard_deadline_ms ^ "ms");
+    List.iteri (fun i s -> Printf.printf "  shard %d: %s\n%!" i s) shards;
+    let stop_and_exit _ = Router.stop t; exit 0 in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle stop_and_exit);
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle stop_and_exit);
+    Router.wait t;
+    print_endline "router stopped."
+  in
+  Cmd.v
+    (Cmd.info "router"
+       ~doc:
+         "Front a set of shard services with one socket: single-document \
+          verbs forward to the owning shard, collection-wide queries \
+          scatter-gather with bounded fan-out and per-shard deadlines, \
+          REBALANCE moves a document between shards online.  A dead shard \
+          degrades its answers to $(b,partial=) instead of failing them.")
+    Term.(
+      const run $ socket_arg $ shard_sockets_arg $ fanout $ shard_deadline_ms
+      $ connect_retries)
+
+let ingest_cmd =
+  let dir =
+    Arg.(
+      required & pos 0 (some dir) None
+      & info [] ~docv:"DIR"
+          ~doc:"Directory of $(b,*.xml) files; each is hosted under its \
+                base name.")
+  in
+  let router =
+    Arg.(
+      value & opt (some string) None
+      & info [ "router" ] ~docv:"PATH"
+          ~doc:
+            "Ship every document through the router at PATH instead of \
+             directly to the shards.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 4
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:"Concurrent connections in $(b,--router) mode (>= 1).")
+  in
+  let fail msg =
+    prerr_endline ("ruidtool ingest: " ^ msg);
+    exit 2
+  in
+  let run dir shards router jobs =
+    if jobs < 1 then fail "--jobs must be >= 1";
+    let files =
+      Sys.readdir dir |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".xml")
+      |> List.sort String.compare
+    in
+    if files = [] then fail (Printf.sprintf "no *.xml files under %s" dir);
+    (* Work buckets: in direct mode each shard gets exactly the files the
+       placement hash assigns it (the same FNV the router computes, so a
+       later query routes straight to the copy); in router mode files are
+       dealt round-robin over the connections and the router places them. *)
+    let buckets, connect =
+      match (shards, router) with
+      | [], Some r ->
+        let buckets = Array.make jobs [] in
+        List.iteri
+          (fun i f -> buckets.(i mod jobs) <- f :: buckets.(i mod jobs))
+          files;
+        (buckets, fun _ -> r)
+      | (_ :: _ as shards), None ->
+        let sockets = Array.of_list shards in
+        let n = Array.length sockets in
+        let buckets = Array.make n [] in
+        List.iter
+          (fun f ->
+            let name = Filename.remove_extension f in
+            let s = Shard_map.hash ~shards:n name in
+            buckets.(s) <- f :: buckets.(s))
+          files;
+        (buckets, fun i -> sockets.(i))
+      | [], None -> fail "one of --shard ... or --router is required"
+      | _ :: _, Some _ -> fail "--shard and --router are mutually exclusive"
+    in
+    let mu = Mutex.create () in
+    let docs = ref 0 and bytes = ref 0 and nodes = ref 0 in
+    let failures = ref [] in
+    let record f err =
+      Mutex.lock mu;
+      (match err with
+      | None -> ()
+      | Some msg -> failures := (f, msg) :: !failures);
+      Mutex.unlock mu
+    in
+    let read_file path =
+      let ic = open_in_bin path in
+      Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+      really_input_string ic (in_channel_length ic)
+    in
+    let t0 = Unix.gettimeofday () in
+    let worker i =
+      match buckets.(i) with
+      | [] -> ()
+      | bucket ->
+        let c = Rserver.Client.connect_retry ~retries:3 (connect i) in
+        Fun.protect ~finally:(fun () -> Rserver.Client.close c) @@ fun () ->
+        List.iter
+          (fun f ->
+            let name = Filename.remove_extension f in
+            (* One document in memory per worker, never the corpus: the
+               file's bytes stream through a SAX well-formedness pass
+               (no DOM on this side — the shard builds its own) and out
+               as a single ADDDOC frame. *)
+            let xml = read_file (Filename.concat dir f) in
+            if String.length xml + String.length name + 8
+               > Rserver.Protocol.max_frame
+            then record f (Some "document exceeds the protocol frame cap")
+            else
+              match Rxml.Sax.iter xml ~f:(fun _ -> ()) with
+              | exception Rxml.Parser.Parse_error e ->
+                record f
+                  (Some (Format.asprintf "%a" Rxml.Parser.pp_error e))
+              | () -> (
+                match
+                  Rserver.Client.request_retry ~retries:3 c
+                    (Rserver.Protocol.Add_doc { doc = name; xml })
+                with
+                | Rserver.Protocol.Ok_ body ->
+                  Mutex.lock mu;
+                  incr docs;
+                  bytes := !bytes + String.length xml;
+                  (match Rserver.Client.kv_int body "nodes" with
+                  | Some n -> nodes := !nodes + n
+                  | None -> ());
+                  Mutex.unlock mu
+                | Rserver.Protocol.Err msg -> record f (Some msg)
+                | Rserver.Protocol.Busy why ->
+                  record f (Some ("busy: " ^ why))))
+          (List.rev bucket)
+    in
+    let threads =
+      Array.to_list (Array.mapi (fun i _ -> Thread.create worker i) buckets)
+    in
+    List.iter Thread.join threads;
+    let dt = Unix.gettimeofday () -. t0 in
+    Printf.printf
+      "ingested %d/%d document(s), %d nodes, %.1f MB in %.2fs — %.0f \
+       docs/s, %.1f MB/s\n"
+      !docs (List.length files) !nodes
+      (float_of_int !bytes /. 1048576.)
+      dt
+      (float_of_int !docs /. dt)
+      (float_of_int !bytes /. 1048576. /. dt);
+    match !failures with
+    | [] -> ()
+    | fs ->
+      List.iter
+        (fun (f, msg) -> Printf.eprintf "  %s: %s\n" f msg)
+        (List.rev fs);
+      Printf.eprintf "%d document(s) failed\n" (List.length fs);
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "ingest"
+       ~doc:
+         "Bulk-load a directory of XML files into a sharded collection: \
+          each document is SAX-checked, placed by the shared FNV hash (or \
+          by the router with $(b,--router)) and shipped as one ADDDOC \
+          frame.  Memory use is bounded by the largest single document, \
+          not the corpus.")
+    Term.(const run $ dir $ shard_sockets_arg $ router $ jobs)
 
 (* ------------------------------------------------------------------ *)
 (* guide                                                               *)
@@ -1101,4 +1349,5 @@ let () =
             explain_cmd; update_sim_cmd; reconstruct_cmd; plan_cmd;
             save_cmd; load_cmd;
             wal_record_cmd; wal_replay_cmd; fsck_cmd; crash_test_cmd;
-            guide_cmd; serve_cmd; replica_cmd; client_cmd ]))
+            guide_cmd; serve_cmd; replica_cmd; client_cmd; router_cmd;
+            ingest_cmd ]))

@@ -16,6 +16,29 @@ let request_raw t line =
 
 let request t req = request_raw t (Protocol.request_to_string req)
 
+exception Timeout
+
+(* Deadline-capped request: park on readability of the socket rather than
+   in a blocking read.  On expiry the connection is poisoned (the reply
+   may still arrive and would desynchronize the stream), so the caller
+   must close it — the router does, and reconnects with backoff. *)
+let request_timeout t ~timeout_ms req =
+  Protocol.write_frame t.oc (Protocol.request_to_string req);
+  (if timeout_ms > 0 then
+     let rec wait deadline =
+       let left = deadline -. Unix.gettimeofday () in
+       if left <= 0. then raise Timeout
+       else
+         match Unix.select [ t.fd ] [] [] left with
+         | [], _, _ -> raise Timeout
+         | _ -> ()
+         | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait deadline
+     in
+     wait (Unix.gettimeofday () +. (float_of_int timeout_ms /. 1000.)));
+  match Protocol.read_frame t.ic with
+  | Some payload -> Protocol.parse_response payload
+  | None -> raise End_of_file
+
 let close t =
   (try flush t.oc with Sys_error _ -> ());
   try Unix.close t.fd with Unix.Unix_error _ -> ()

@@ -15,6 +15,15 @@ val request_raw : t -> string -> Protocol.response
     @raise Protocol.Protocol_error on a framing violation;
     @raise End_of_file if the server hung up before replying. *)
 
+exception Timeout
+
+val request_timeout : t -> timeout_ms:int -> Protocol.request -> Protocol.response
+(** {!request} with a deadline on the {e reply arriving}: parks on socket
+    readability for at most [timeout_ms] (0 = wait forever).
+    @raise Timeout on expiry — the connection is then poisoned (a late
+    reply would desynchronize the request/reply stream) and must be
+    closed.  The router's per-shard deadline. *)
+
 val close : t -> unit
 
 val with_connection : string -> (t -> 'a) -> 'a

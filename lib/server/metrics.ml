@@ -46,6 +46,17 @@ type repl_stats = {
   refused_epoch : int;
 }
 
+type router_stats = {
+  shard_up : bool array;
+  shard_docs : int array;
+  inflight : int;
+  scatters : int;
+  partials : int;
+  fanout_hist : int array;
+  rebalances : int;
+  rebalance_pause_ms : float;
+}
+
 type t = {
   mu : Mutex.t;
   total : counters;
@@ -62,6 +73,7 @@ type t = {
   mutable write_probe : (unit -> write_stats) option;
   mutable planner_probe : (unit -> planner_stats) option;
   mutable repl_probe : (unit -> repl_stats) option;
+  mutable router_probe : (unit -> router_stats) option;
 }
 
 let create () =
@@ -81,6 +93,7 @@ let create () =
     write_probe = None;
     planner_probe = None;
     repl_probe = None;
+    router_probe = None;
   }
 
 let locked t f =
@@ -143,6 +156,7 @@ let set_domain_probe t f = locked t (fun () -> t.domain_probe <- Some f)
 let set_write_probe t f = locked t (fun () -> t.write_probe <- Some f)
 let set_planner_probe t f = locked t (fun () -> t.planner_probe <- Some f)
 let set_repl_probe t f = locked t (fun () -> t.repl_probe <- Some f)
+let set_router_probe t f = locked t (fun () -> t.router_probe <- Some f)
 
 type summary = {
   requests : int;
@@ -231,6 +245,10 @@ let render t =
     | Some f -> Some (f ())
     | None -> None
   in
+  let router = match locked t (fun () -> t.router_probe) with
+    | Some f -> Some (f ())
+    | None -> None
+  in
   let dropped, session_errs =
     locked t (fun () -> (t.dropped, t.session_errors))
   in
@@ -306,6 +324,24 @@ plan_cache_evictions=%d plan_cache_entries=%d\n"
             repl_reconnects=%d repl_refused_epoch=%d\n"
            r.lag_versions r.lag_bytes r.last_applied_seq r.reconnects
            r.refused_epoch));
+  (match router with
+  | None -> ()
+  | Some r ->
+    let csv f a = String.concat "," (Array.to_list (Array.map f a)) in
+    Buffer.add_string b
+      (Printf.sprintf
+         "router_shards=%d router_up=%s router_docs=%s router_inflight=%d\n"
+         (Array.length r.shard_up)
+         (csv (fun u -> if u then "1" else "0") r.shard_up)
+         (csv string_of_int r.shard_docs)
+         r.inflight);
+    Buffer.add_string b
+      (Printf.sprintf
+         "router_scatters=%d router_partials=%d router_fanout_hist=%s \
+router_rebalances=%d router_rebalance_pause_ms=%.1f\n"
+         r.scatters r.partials
+         (csv string_of_int r.fanout_hist)
+         r.rebalances r.rebalance_pause_ms));
   List.iter
     (fun (v, ok, err, busy) ->
       Buffer.add_string b

@@ -102,6 +102,23 @@ val set_repl_probe : t -> (unit -> repl_stats) -> unit
 (** Gauge: replication counters; rendered as [repl_*] keys when set (the
     follower-side keys only for non-primary roles). *)
 
+type router_stats = {
+  shard_up : bool array;  (** per-shard liveness, shard order *)
+  shard_docs : int array;  (** catalogued documents per shard *)
+  inflight : int;  (** scatter sub-requests currently in flight *)
+  scatters : int;  (** scatter-gather queries served *)
+  partials : int;  (** of which answered degraded (>= 1 shard missing) *)
+  fanout_hist : int array;
+      (** histogram of live fan-out per scatter: slot k counts scatters
+          that reached exactly k shards *)
+  rebalances : int;  (** completed document moves *)
+  rebalance_pause_ms : float;  (** total measured write-pause time *)
+}
+
+val set_router_probe : t -> (unit -> router_stats) -> unit
+(** Gauge: collection-router counters; rendered as [router_*] keys when
+    set. *)
+
 (** {1 Reading} *)
 
 type summary = {

@@ -23,6 +23,13 @@ type request =
   | Repl_file of { doc : string; file : repl_file; offset : int; limit : int }
   | Repl_wait of { doc : string; gen : int; offset : int; timeout_ms : int }
   | Promote
+  | Query_doc of { doc : string; xpath : string }
+  | Count_doc of { doc : string; xpath : string }
+  | Add_doc of { doc : string; xml : string }
+  | Adopt of { doc : string; file : repl_file; last : bool; bytes : string }
+  | Adopt_abort of string
+  | Drop_doc of string
+  | Rebalance of { doc : string; target : int }
 
 let verb = function
   | Ping -> "PING"
@@ -39,6 +46,13 @@ let verb = function
   | Repl_file _ -> "REPL-FILE"
   | Repl_wait _ -> "REPL-WAIT"
   | Promote -> "PROMOTE"
+  | Query_doc _ -> "QUERYD"
+  | Count_doc _ -> "COUNTD"
+  | Add_doc _ -> "ADDDOC"
+  | Adopt _ -> "ADOPT"
+  | Adopt_abort _ -> "ADOPTABORT"
+  | Drop_doc _ -> "DROPDOC"
+  | Rebalance _ -> "REBALANCE"
 
 (* Document names and tags travel as single protocol words; reject the
    separators that would make the grammar ambiguous. *)
@@ -116,9 +130,61 @@ let parse_repl rest =
   end
   | v, _ -> Error (Printf.sprintf "REPL: unknown subcommand %S" v)
 
+(* ADDDOC and ADOPT carry a binary body after the header line; every
+   other request is a single line (a stray newline simply stays inside
+   the last argument, as it always has). *)
+let split_body s =
+  match String.index_opt s '\n' with
+  | None -> (s, "")
+  | Some i -> (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+
 let parse_request line =
   let head, rest = split_first line in
   match (String.uppercase_ascii head, rest) with
+  | "ADDDOC", rest ->
+    let header, xml = split_body rest in
+    if not (valid_word header) then Error "ADDDOC: bad document name"
+    else if xml = "" then Error "ADDDOC: missing XML body"
+    else Ok (Add_doc { doc = header; xml })
+  | "ADOPT", rest -> begin
+    let header, bytes = split_body rest in
+    match String.split_on_char ' ' header with
+    | [ doc; kind; last ] ->
+      if not (valid_word doc) then Error "ADOPT: bad document name"
+      else
+        Result.bind (parse_repl_file kind) (fun file ->
+            match last with
+            | "0" -> Ok (Adopt { doc; file; last = false; bytes })
+            | "1" -> Ok (Adopt { doc; file; last = true; bytes })
+            | _ -> Error "ADOPT: last flag must be 0 or 1")
+    | _ -> Error "ADOPT: expected '<doc> <kind> <0|1>\\n<bytes>'"
+  end
+  | "ADOPTABORT", d ->
+    if valid_word d then Ok (Adopt_abort d)
+    else Error "ADOPTABORT: expected a document name"
+  | "DROPDOC", d ->
+    if valid_word d then Ok (Drop_doc d)
+    else Error "DROPDOC: expected a document name"
+  | "QUERYD", rest ->
+    let doc, xpath = split_first rest in
+    if not (valid_word doc) then Error "QUERYD: bad document name"
+    else if xpath = "" then Error "QUERYD: missing XPath expression"
+    else Ok (Query_doc { doc; xpath })
+  | "COUNTD", rest ->
+    let doc, xpath = split_first rest in
+    if not (valid_word doc) then Error "COUNTD: bad document name"
+    else if xpath = "" then Error "COUNTD: missing XPath expression"
+    else Ok (Count_doc { doc; xpath })
+  | "REBALANCE", rest -> begin
+    match String.split_on_char ' ' rest with
+    | [ doc; target ] ->
+      if not (valid_word doc) then Error "REBALANCE: bad document name"
+      else
+        int_word "REBALANCE target" target (fun target ->
+            if target < 0 then Error "REBALANCE: negative target shard"
+            else Ok (Rebalance { doc; target }))
+    | _ -> Error "REBALANCE: expected '<doc> <target-shard>'"
+  end
   | "PING", "" -> Ok Ping
   | "DOCS", "" -> Ok Docs
   | "STATS", "" -> Ok Stats
@@ -184,6 +250,16 @@ let request_to_string = function
   | Repl_wait { doc; gen; offset; timeout_ms } ->
     Printf.sprintf "REPL WAIT %s %d %d %d" doc gen offset timeout_ms
   | Promote -> "PROMOTE"
+  | Query_doc { doc; xpath } -> Printf.sprintf "QUERYD %s %s" doc xpath
+  | Count_doc { doc; xpath } -> Printf.sprintf "COUNTD %s %s" doc xpath
+  | Add_doc { doc; xml } -> Printf.sprintf "ADDDOC %s\n%s" doc xml
+  | Adopt { doc; file; last; bytes } ->
+    Printf.sprintf "ADOPT %s %s %d\n%s" doc (repl_file_to_string file)
+      (if last then 1 else 0)
+      bytes
+  | Adopt_abort d -> "ADOPTABORT " ^ d
+  | Drop_doc d -> "DROPDOC " ^ d
+  | Rebalance { doc; target } -> Printf.sprintf "REBALANCE %s %d" doc target
 
 type response = Ok_ of string | Err of string | Busy of string
 

@@ -22,7 +22,18 @@
        REPL STATE
        REPL FILE <doc> <kind>[:<gen>] <offset> <limit>
        REPL WAIT <doc> <gen> <offset> <timeout_ms>
-       PROMOTE v}
+       PROMOTE
+       QUERYD <doc> <xpath>
+       COUNTD <doc> <xpath>
+       ADOPTABORT <doc>
+       DROPDOC <doc>
+       REBALANCE <doc> <target-shard> v}
+
+    plus two verbs that carry a {e binary body} after the header line
+    (the frame length keeps them self-delimiting, like [REPL FILE]
+    replies):
+    {v ADDDOC <doc>\n<xml bytes>
+       ADOPT <doc> <kind>[:<gen>] <0|1>\n<file bytes> v}
 
     Response payloads start with one status word:
     [OK <body>] | [ERR <message>] | [BUSY <reason>].  Replies to queries
@@ -69,8 +80,38 @@ type request =
   | Promote
       (** replica only: stop following, bump the fencing epoch, accept
           writes.  A primary answers ERR. *)
+  | Query_doc of { doc : string; xpath : string }
+      (** [Query] confined to one named document — the router's
+          single-document fast path (no scatter) *)
+  | Count_doc of { doc : string; xpath : string }  (** per-doc [Count] *)
+  | Add_doc of { doc : string; xml : string }
+      (** parse, number, persist and host a new document at runtime —
+          the streaming-ingest entry point.  Replies
+          [OK doc=<name> nodes=<n> v=<version>]. *)
+  | Adopt of { doc : string; file : repl_file; last : bool; bytes : string }
+      (** rebalance target side: append [bytes] to the staged copy of
+          the addressed artifact; [last = true] commits the whole staged
+          set — files move into the data dir, the journal is replayed,
+          and the document goes live.  Chunked so a document larger than
+          {!max_frame} still moves. *)
+  | Adopt_abort of string
+      (** discard every staged (uncommitted) artifact of the named
+          document.  The router sends it before a transfer (clearing
+          leftovers of a crashed predecessor) and after an aborted one;
+          a no-op when nothing is staged. *)
+  | Drop_doc of string
+      (** retire a hosted document: close its journal, delete its
+          artifacts, drop it from DOCS/QUERY/COUNT.  The rebalance
+          source side, issued only after the target committed. *)
+  | Rebalance of { doc : string; target : int }
+      (** router-only orchestration verb (shards answer ERR): move one
+          document to shard [target] and flip the shard map. *)
 
 val repl_file_to_string : repl_file -> string
+
+val parse_repl_file : string -> (repl_file, string) result
+(** Inverse of {!repl_file_to_string} (case-insensitive). *)
+
 val verb : request -> string
 (** Protocol verb of the request, for metrics ("QUERY", "UPDATE", ...). *)
 

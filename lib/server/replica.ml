@@ -854,8 +854,19 @@ let handle_frame t oc payload =
     | Protocol.Sleep ms ->
       Thread.delay (float_of_int ms /. 1000.);
       reply verb (Protocol.Ok_ (Printf.sprintf "slept=%d" ms))
+    | Protocol.Add_doc _ | Protocol.Adopt _ | Protocol.Adopt_abort _
+    | Protocol.Drop_doc _ ->
+      (* collection membership is the primary's to change; it replicates
+         through the journal/file shipping like any other write *)
+      reply verb
+        (Protocol.Err
+           (Printf.sprintf "%s: this node is a read-only replica" verb))
+    | Protocol.Rebalance _ ->
+      reply verb
+        (Protocol.Err
+           "REBALANCE: this node is a replica; connect to the router")
     | Protocol.Query _ | Protocol.Count _ | Protocol.Explain _
-    | Protocol.Check _ ->
+    | Protocol.Check _ | Protocol.Query_doc _ | Protocol.Count_doc _ ->
       let iv = Ivar.create () in
       let job () =
         let response =

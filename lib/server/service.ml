@@ -90,6 +90,10 @@ end
 
 type master = {
   name : string;
+  mutable retired : bool;
+      (** set (under [write_mu], commit queue quiesced) by DROPDOC: the
+          slot stays — the commit queue addresses masters by index — but
+          the document refuses updates and stops being served *)
   r2 : R2.t;  (** the writer's private mutable state; never read by readers *)
   wal : Wal.writer;
   mutable applied_seq : int;
@@ -132,7 +136,14 @@ type write_counters = {
 type t = {
   cfg : config;
   coll : Rxpath.Collection.t;
-  masters : master array;
+  mutable masters : master array;
+      (** grows (never shrinks, never reorders) under [write_mu] with the
+          commit queue quiesced; the array itself is replaced wholesale on
+          growth, so a reader holding the old array keeps valid indices *)
+  catalog : (string, int) Hashtbl.t;  (** name -> masters index *)
+  catalog_mu : Mutex.t;
+  adopt_mu : Mutex.t;  (** serializes ADOPT staging appends + commits *)
+  planner_shared : Rxpath.Planner.shared option;
   current : Snapshot.t Atomic.t;
   write_mu : Mutex.t;
   group_mu : Mutex.t;  (** guards the commit queue, leader flag, counters *)
@@ -162,12 +173,20 @@ let config t = t.cfg
 let collection t = t.coll
 let cache_stats t = Option.map Query_cache.stats t.cache
 
+let find_master_idx t doc =
+  Mutex.lock t.catalog_mu;
+  let idx = Hashtbl.find_opt t.catalog doc in
+  Mutex.unlock t.catalog_mu;
+  match idx with
+  | Some i when not t.masters.(i).retired -> Some i
+  | _ -> None
+
+let find_master t doc =
+  Option.map (fun i -> t.masters.(i)) (find_master_idx t doc)
+
 let doc_files t name =
-  Array.fold_left
-    (fun acc m ->
-      if m.name = name then Some (m.xml_path, m.sidecar_path, m.wal_path)
-      else acc)
-    None t.masters
+  Option.map (fun m -> (m.xml_path, m.sidecar_path, m.wal_path))
+    (find_master t name)
 
 (* ------------------------------------------------------------------ *)
 (* Request execution (runs on worker threads)                          *)
@@ -198,47 +217,53 @@ let with_cache cache s (d : Snapshot.doc) ~kind ~normq compute =
       Query_cache.add cache ~doc ~version ~query v;
       v)
 
+(* At most this many per-document [name=count] tokens are listed in a
+   COUNT/QUERY reply body (the totals always cover every document): a
+   shard hosting a 100k-document corpus must not blow the 1 MiB frame cap
+   on every collection-wide answer.  Small collections — everything the
+   pre-collection tests exercise — are listed in full, unchanged. *)
+let doc_cap = 64
+
+let capped_tokens render per_doc =
+  let listed = List.filteri (fun i _ -> i < doc_cap) per_doc in
+  String.concat " " (List.map render listed)
+  ^ if List.length per_doc > doc_cap then " ..." else ""
+
+let count_one cache s d ~normq parsed =
+  let v =
+    with_cache cache s d ~kind:"C\x00" ~normq (fun () ->
+        string_of_int (Snapshot.count_doc d (Lazy.force parsed)))
+  in
+  (d.Snapshot.name, int_of_string v)
+
 let eval_count ?cache s src =
   let normq = Query_cache.normalize src in
   let parsed = lazy (Snapshot.parse src) in
   let per_doc =
-    Array.to_list s.Snapshot.docs
-    |> List.map (fun d ->
-           let v =
-             with_cache cache s d ~kind:"C\x00" ~normq (fun () ->
-                 string_of_int (Snapshot.count_doc d (Lazy.force parsed)))
-           in
-           (d.Snapshot.name, int_of_string v))
+    List.map (fun d -> count_one cache s d ~normq parsed) (Snapshot.live_docs s)
   in
   let total = List.fold_left (fun acc (_, n) -> acc + n) 0 per_doc in
   Protocol.Ok_
     (Printf.sprintf "v=%d total=%d %s" s.Snapshot.version total
-       (String.concat " "
-          (List.map (fun (name, n) -> Printf.sprintf "%s=%d" name n) per_doc)))
+       (capped_tokens (fun (name, n) -> Printf.sprintf "%s=%d" name n) per_doc))
 
-let eval_query ?cache s src =
-  let normq = Query_cache.normalize src in
-  let parsed = lazy (Snapshot.parse src) in
-  (* Cached value: the count followed by the first [id_cap] identifiers,
-     space-separated (identifiers contain no spaces). *)
-  let per_doc =
-    Array.to_list s.Snapshot.docs
-    |> List.map (fun d ->
-           let v =
-             with_cache cache s d ~kind:"Q\x00" ~normq (fun () ->
-                 let nodes = Snapshot.query_doc d (Lazy.force parsed) in
-                 let ids =
-                   List.filteri (fun i _ -> i < id_cap) nodes
-                   |> List.map (fun n ->
-                          pp_id_compact (R2.id_of_node d.Snapshot.r2 n))
-                 in
-                 String.concat " " (string_of_int (List.length nodes) :: ids))
-           in
-           match String.split_on_char ' ' v with
-           | n :: ids -> (d.Snapshot.name, int_of_string n, ids)
-           | [] -> assert false)
-    |> List.filter (fun (_, n, _) -> n > 0)
+(* Cached value: the count followed by the first [id_cap] identifiers,
+   space-separated (identifiers contain no spaces). *)
+let query_one cache s d ~normq parsed =
+  let v =
+    with_cache cache s d ~kind:"Q\x00" ~normq (fun () ->
+        let nodes = Snapshot.query_doc d (Lazy.force parsed) in
+        let ids =
+          List.filteri (fun i _ -> i < id_cap) nodes
+          |> List.map (fun n -> pp_id_compact (R2.id_of_node d.Snapshot.r2 n))
+        in
+        String.concat " " (string_of_int (List.length nodes) :: ids))
   in
+  match String.split_on_char ' ' v with
+  | n :: ids -> (d.Snapshot.name, int_of_string n, ids)
+  | [] -> assert false
+
+let query_reply version per_doc =
   let total = List.fold_left (fun acc (_, n, _) -> acc + n) 0 per_doc in
   let ids =
     List.concat_map
@@ -247,14 +272,43 @@ let eval_query ?cache s src =
   in
   let shown = List.filteri (fun i _ -> i < id_cap) ids in
   Protocol.Ok_
-    (Printf.sprintf "v=%d total=%d %s%s" s.Snapshot.version total
-       (String.concat " "
-          (List.map
-             (fun (name, n, _) -> Printf.sprintf "%s=%d" name n)
-             per_doc))
+    (Printf.sprintf "v=%d total=%d %s%s" version total
+       (capped_tokens (fun (name, n, _) -> Printf.sprintf "%s=%d" name n)
+          per_doc)
        (if shown = [] then ""
         else " ids " ^ String.concat " " shown
              ^ if total > id_cap then " ..." else ""))
+
+let eval_query ?cache s src =
+  let normq = Query_cache.normalize src in
+  let parsed = lazy (Snapshot.parse src) in
+  let per_doc =
+    List.map (fun d -> query_one cache s d ~normq parsed) (Snapshot.live_docs s)
+    |> List.filter (fun (_, n, _) -> n > 0)
+  in
+  query_reply s.Snapshot.version per_doc
+
+(* The per-document read verbs (QUERYD/COUNTD): the router's no-scatter
+   fast path.  Same per-document cache entries as the collection-wide
+   verbs — a COUNTD warms the COUNT of the same snapshot and vice versa. *)
+let eval_count_doc ?cache s doc src =
+  match Snapshot.find s doc with
+  | None -> Protocol.Err (Printf.sprintf "unknown document %S" doc)
+  | Some (_, d) ->
+    let normq = Query_cache.normalize src in
+    let parsed = lazy (Snapshot.parse src) in
+    let name, n = count_one cache s d ~normq parsed in
+    Protocol.Ok_
+      (Printf.sprintf "v=%d total=%d %s=%d" s.Snapshot.version n name n)
+
+let eval_query_doc ?cache s doc src =
+  match Snapshot.find s doc with
+  | None -> Protocol.Err (Printf.sprintf "unknown document %S" doc)
+  | Some (_, d) ->
+    let normq = Query_cache.normalize src in
+    let parsed = lazy (Snapshot.parse src) in
+    let (_, n, _) as one = query_one cache s d ~normq parsed in
+    query_reply s.Snapshot.version (if n > 0 then [ one ] else [])
 
 (* EXPLAIN renders the plan per document.  Always uncached and never in
    the result cache: the point is measured actual cardinalities and
@@ -264,7 +318,7 @@ let eval_explain s src =
   | exception Failure msg -> Protocol.Err msg
   | _ ->
     let parts =
-      Array.to_list s.Snapshot.docs
+      Snapshot.live_docs s
       |> List.map (fun d ->
              match Snapshot.explain_doc d src with
              | Ok text -> Printf.sprintf "doc %s\n%s" d.Snapshot.name text
@@ -548,13 +602,9 @@ let commit_pump t =
   if lead then leader_loop t
 
 let run_update t doc op =
-  let idx =
-    let r = ref (-1) in
-    Array.iteri (fun i m -> if m.name = doc then r := i) t.masters;
-    !r
-  in
-  if idx < 0 then Protocol.Err (Printf.sprintf "unknown document %S" doc)
-  else begin
+  match find_master_idx t doc with
+  | None -> Protocol.Err (Printf.sprintf "unknown document %S" doc)
+  | Some idx -> begin
     (* Phase 1: apply + enqueue, under the write lock only. *)
     Mutex.lock t.write_mu;
     let queued =
@@ -612,6 +662,8 @@ let eval_read ?cache s (req : Protocol.request) =
   | Protocol.Query src -> eval_query ?cache s src
   | Protocol.Explain src -> eval_explain s src
   | Protocol.Check doc -> eval_check s doc
+  | Protocol.Count_doc { doc; xpath } -> eval_count_doc ?cache s doc xpath
+  | Protocol.Query_doc { doc; xpath } -> eval_query_doc ?cache s doc xpath
   | _ -> Protocol.Err "internal: non-read verb reached the read path"
 
 let run_request t (req : Protocol.request) =
@@ -621,12 +673,17 @@ let run_request t (req : Protocol.request) =
   | Protocol.Explain src -> eval_explain (Atomic.get t.current) src
   | Protocol.Update { doc; op } -> run_update t doc op
   | Protocol.Check doc -> eval_check (Atomic.get t.current) doc
+  | Protocol.Count_doc { doc; xpath } ->
+    eval_count_doc ?cache:t.cache (Atomic.get t.current) doc xpath
+  | Protocol.Query_doc { doc; xpath } ->
+    eval_query_doc ?cache:t.cache (Atomic.get t.current) doc xpath
   | Protocol.Sleep ms ->
     Thread.delay (float_of_int ms /. 1000.);
     Protocol.Ok_ (Printf.sprintf "slept=%d" ms)
   | Protocol.Ping | Protocol.Docs | Protocol.Stats | Protocol.Shutdown
   | Protocol.Repl_state | Protocol.Repl_file _ | Protocol.Repl_wait _
-  | Protocol.Promote ->
+  | Protocol.Promote | Protocol.Add_doc _ | Protocol.Adopt _
+  | Protocol.Adopt_abort _ | Protocol.Drop_doc _ | Protocol.Rebalance _ ->
     (* handled inline by the session *)
     Protocol.Err "internal: control verb reached the worker pool"
 
@@ -714,11 +771,6 @@ let request_stop_async t =
    on the session thread — a replication connection is dedicated, so
    blocking it in REPL WAIT costs no worker, and the verbs stay observable
    when the admission queue is saturated. *)
-
-let find_master t doc =
-  let r = ref None in
-  Array.iter (fun m -> if m.name = doc then r := Some m) t.masters;
-  !r
 
 let repl_reply t chunk =
   Atomic.incr t.repl_requests;
@@ -810,6 +862,255 @@ let run_repl_wait t doc want_gen offset timeout_ms =
     in
     loop ()
 
+(* --- Collection membership (ADDDOC / ADOPT / DROPDOC) --------------
+
+   Documents arrive and leave at runtime: streamed ingest adds fresh
+   documents, rebalance adopts a document shipped from another shard and
+   drops the source copy.  All three mutate [masters] and publish a
+   snapshot outside the commit leader, so they run with the write lock
+   held AND the commit queue quiesced: no enqueued update can be awaiting
+   publication while we swap the membership under the leader's feet.  The
+   quiesce loop releases the write lock while a leader is draining —
+   the full-fallback publication path takes the write lock, so holding it
+   while waiting would deadlock. *)
+
+let with_quiesced t f =
+  let rec go () =
+    Mutex.lock t.write_mu;
+    Mutex.lock t.group_mu;
+    let busy = t.group_committing || not (Queue.is_empty t.group_queue) in
+    Mutex.unlock t.group_mu;
+    if busy then begin
+      Mutex.unlock t.write_mu;
+      Thread.delay 0.001;
+      go ()
+    end
+    else Fun.protect ~finally:(fun () -> Mutex.unlock t.write_mu) f
+  in
+  go ()
+
+let valid_doc_name name =
+  name <> "" && name.[0] <> '.'
+  && String.for_all (fun c -> c > ' ' && c <> '/') name
+
+let master_paths t name =
+  let base = Filename.concat t.cfg.data_dir name in
+  (base ^ ".xml", base ^ ".ruid", base ^ ".wal")
+
+(* Register a master + publish the document.  Caller holds the quiesced
+   write lock.  A name mapping to a retired slot is revived in place —
+   the commit queue is empty, so no pending record can reference the old
+   master being replaced. *)
+let install_master t ~name ~r2 ~wal ~applied_seq =
+  let xml_path, sidecar_path, wal_path = master_paths t name in
+  t.last_version <- t.last_version + 1;
+  let version = t.last_version in
+  let m =
+    { name; retired = false; r2; wal; applied_seq; applied_version = version;
+      durable_version = version; wedged = None; xml_path; sidecar_path;
+      wal_path }
+  in
+  let next, idx =
+    Snapshot.add_doc (Atomic.get t.current) ?planner:t.planner_shared ~version
+      ~name r2
+  in
+  if idx = Array.length t.masters then
+    t.masters <- Array.append t.masters [| m |]
+  else begin
+    (* revival of a retired slot: replace the array so a concurrent reader
+       of the old array never observes a half-written record *)
+    let grown = Array.copy t.masters in
+    grown.(idx) <- m;
+    t.masters <- grown
+  end;
+  Mutex.lock t.catalog_mu;
+  Hashtbl.replace t.catalog name idx;
+  Mutex.unlock t.catalog_mu;
+  Atomic.set t.current next;
+  version
+
+let run_add_doc t name xml =
+  if not (valid_doc_name name) then
+    Protocol.Err (Printf.sprintf "ADDDOC: bad document name %S" name)
+  else
+    match Rxml.Sax.build_dom xml with
+    | exception e ->
+      Protocol.Err
+        (Printf.sprintf "ADDDOC: unparsable XML for %S: %s" name
+           (Printexc.to_string e))
+    | root ->
+      with_quiesced t @@ fun () ->
+      if find_master_idx t name <> None then
+        Protocol.Err (Printf.sprintf "ADDDOC: duplicate document %S" name)
+      else begin
+        let r2 =
+          R2.number ~max_area_size:t.cfg.max_area_size root
+        in
+        let xml_path, sidecar_path, wal_path = master_paths t name in
+        Ruid.Persist.save r2 ~xml:xml_path ~sidecar:sidecar_path;
+        let wal = Wal.create wal_path in
+        let version = install_master t ~name ~r2 ~wal ~applied_seq:0 in
+        (try ignore (Rxpath.Collection.add_numbered t.coll ~name r2)
+         with Invalid_argument _ -> () (* revived name: already registered *));
+        Protocol.Ok_
+          (Printf.sprintf "doc=%s nodes=%d v=%d" name
+             (List.length (R2.all_nodes r2)) version)
+      end
+
+(* ADOPT staging: chunks accumulate in dot-prefixed files (invisible to
+   document-name rules) until the committing chunk arrives; then the
+   staged artifacts are renamed into place, the journal is replayed over
+   them exactly as a restart would, and the document goes live.  Every
+   failure before the final rename sequence leaves the data dir without
+   the document, staging removed — the source still owns it. *)
+
+let adopt_stage_path t doc file =
+  let kind =
+    String.map (fun c -> if c = ':' then '@' else c)
+      (Protocol.repl_file_to_string file)
+  in
+  Filename.concat t.cfg.data_dir
+    (Printf.sprintf ".adopt.%s.%s" doc kind)
+
+let adopt_target_path t doc file =
+  let xml, sidecar, wal = master_paths t doc in
+  Replication.resolve_path ~xml ~sidecar ~wal file
+
+let adopt_cleanup t doc =
+  let prefix = ".adopt." ^ doc ^ "." in
+  Array.iter
+    (fun f ->
+      if String.length f > String.length prefix
+         && String.sub f 0 (String.length prefix) = prefix then
+        try Sys.remove (Filename.concat t.cfg.data_dir f)
+        with Sys_error _ -> ())
+    (try Sys.readdir t.cfg.data_dir with Sys_error _ -> [||])
+
+let adopt_staged_files t doc =
+  let prefix = ".adopt." ^ doc ^ "." in
+  Array.to_list (try Sys.readdir t.cfg.data_dir with Sys_error _ -> [||])
+  |> List.filter_map (fun f ->
+         if String.length f > String.length prefix
+            && String.sub f 0 (String.length prefix) = prefix then
+           let kind =
+             String.map
+               (fun c -> if c = '@' then ':' else c)
+               (String.sub f (String.length prefix)
+                  (String.length f - String.length prefix))
+           in
+           match Protocol.parse_repl_file kind with
+           | Ok file -> Some (Filename.concat t.cfg.data_dir f, file)
+           | Error _ -> None
+         else None)
+
+let append_to_file path bytes =
+  let oc =
+    open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path
+  in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) @@ fun () ->
+  output_string oc bytes
+
+let commit_adopt t doc =
+  let staged = adopt_staged_files t doc in
+  let has f = List.exists (fun (_, file) -> file = f) staged in
+  if not (has Protocol.Base_xml && has Protocol.Base_sidecar) then begin
+    adopt_cleanup t doc;
+    Protocol.Err "ADOPT: staged set is missing the base xml/ruid pair"
+  end
+  else
+    with_quiesced t @@ fun () ->
+    if find_master_idx t doc <> None then begin
+      adopt_cleanup t doc;
+      Protocol.Err (Printf.sprintf "ADOPT: duplicate document %S" doc)
+    end
+    else begin
+      List.iter
+        (fun (path, file) -> Sys.rename path (adopt_target_path t doc file))
+        staged;
+      let xml_path, sidecar_path, wal_path = master_paths t doc in
+      match
+        Wal.replay ~xml:xml_path ~sidecar:sidecar_path ~wal:wal_path ()
+      with
+      | exception e ->
+        (* the artifacts are exactly what the source shipped; leave them
+           for diagnosis but do not host the document *)
+        List.iter
+          (fun (_, file) ->
+            try Sys.remove (adopt_target_path t doc file) with Sys_error _ -> ())
+          staged;
+        Protocol.Err
+          (Printf.sprintf "ADOPT: staged artifacts do not replay: %s"
+             (Printexc.to_string e))
+      | recovery ->
+        let wal = Wal.open_append wal_path in
+        let version =
+          install_master t ~name:doc ~r2:recovery.Wal.r2 ~wal
+            ~applied_seq:(Wal.seq wal)
+        in
+        (try
+           ignore
+             (Rxpath.Collection.add_numbered t.coll ~name:doc recovery.Wal.r2)
+         with Invalid_argument _ -> ());
+        Protocol.Ok_
+          (Printf.sprintf "doc=%s seq=%d gen=%d v=%d" doc (Wal.seq wal)
+             (Wal.generation wal) version)
+    end
+
+let run_adopt t doc file last bytes =
+  if not (valid_doc_name doc) then
+    Protocol.Err (Printf.sprintf "ADOPT: bad document name %S" doc)
+  else begin
+    Mutex.lock t.adopt_mu;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.adopt_mu) @@ fun () ->
+    match append_to_file (adopt_stage_path t doc file) bytes with
+    | exception Sys_error msg ->
+      adopt_cleanup t doc;
+      Protocol.Err ("ADOPT: staging failed: " ^ msg)
+    | () ->
+      if not last then
+        Protocol.Ok_ (Printf.sprintf "doc=%s staged=%d" doc (String.length bytes))
+      else commit_adopt t doc
+  end
+
+let run_adopt_abort t doc =
+  if not (valid_doc_name doc) then
+    Protocol.Err (Printf.sprintf "ADOPTABORT: bad document name %S" doc)
+  else begin
+    Mutex.lock t.adopt_mu;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.adopt_mu) @@ fun () ->
+    adopt_cleanup t doc;
+    Protocol.Ok_ (Printf.sprintf "doc=%s aborted" doc)
+  end
+
+let run_drop_doc t doc =
+  with_quiesced t @@ fun () ->
+  match find_master_idx t doc with
+  | None -> Protocol.Err (Printf.sprintf "unknown document %S" doc)
+  | Some idx ->
+    let m = t.masters.(idx) in
+    m.retired <- true;
+    t.last_version <- t.last_version + 1;
+    let next =
+      Snapshot.retire_doc (Atomic.get t.current) ~version:t.last_version
+        ~doc_index:idx
+    in
+    Atomic.set t.current next;
+    (* Delete the artifacts: the document moved; a crash-restart of this
+       shard must not resurrect a stale copy.  Checkpoints and archives
+       share the wal path prefix. *)
+    let prefix = Filename.basename m.wal_path in
+    Array.iter
+      (fun f ->
+        if String.length f >= String.length prefix
+           && String.sub f 0 (String.length prefix) = prefix then
+          try Sys.remove (Filename.concat t.cfg.data_dir f)
+          with Sys_error _ -> ())
+      (try Sys.readdir t.cfg.data_dir with Sys_error _ -> [||]);
+    List.iter
+      (fun p -> try Sys.remove p with Sys_error _ -> ())
+      [ m.xml_path; m.sidecar_path ];
+    Protocol.Ok_ (Printf.sprintf "doc=%s dropped v=%d" doc t.last_version)
+
 let handle_frame t oc payload =
   let t0 = Unix.gettimeofday () in
   let reply verb response =
@@ -856,8 +1157,22 @@ let handle_frame t oc payload =
         (Protocol.Err
            "PROMOTE: this node is a primary, not a replica (already \
             accepting writes)")
+    (* Collection membership runs inline too: ingest and rebalance use
+       dedicated connections (blocking one costs no worker), and the verbs
+       must stay available while the admission queue is saturated — a
+       rebalance is often the cure for the saturation. *)
+    | Protocol.Add_doc { doc; xml } -> reply verb (run_add_doc t doc xml)
+    | Protocol.Adopt { doc; file; last; bytes } ->
+      reply verb (run_adopt t doc file last bytes)
+    | Protocol.Adopt_abort doc -> reply verb (run_adopt_abort t doc)
+    | Protocol.Drop_doc doc -> reply verb (run_drop_doc t doc)
+    | Protocol.Rebalance _ ->
+      reply verb
+        (Protocol.Err
+           "REBALANCE: this node is a shard; connect to the router")
     | Protocol.Query _ | Protocol.Count _ | Protocol.Explain _
-    | Protocol.Update _ | Protocol.Check _ | Protocol.Sleep _ ->
+    | Protocol.Update _ | Protocol.Check _ | Protocol.Sleep _
+    | Protocol.Query_doc _ | Protocol.Count_doc _ ->
       let deadline =
         if t.cfg.deadline_ms = 0 then infinity
         else t0 +. (float_of_int t.cfg.deadline_ms /. 1000.)
@@ -879,7 +1194,7 @@ let handle_frame t oc payload =
         match (t.exec, req) with
         | Some ex,
           ( Protocol.Query _ | Protocol.Count _ | Protocol.Explain _
-          | Protocol.Check _ ) ->
+          | Protocol.Check _ | Protocol.Query_doc _ | Protocol.Count_doc _ ) ->
           Executor.submit ~label:verb ex job
         | _ -> Scheduler.submit ~label:verb t.sched job
       in
@@ -959,7 +1274,8 @@ let start cfg docs =
   (match validate_config cfg with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Service.start: " ^ msg));
-  if docs = [] then invalid_arg "Service.start: no documents to host";
+  (* An empty collection is a valid start: a shard in the collection
+     tier boots bare and is filled by ADDDOC / ADOPT at runtime. *)
   (* A peer closing its socket before reading a reply must surface as
      EPIPE on the write — caught per-session — not as a process-killing
      SIGPIPE.  (No-op on platforms without the signal.) *)
@@ -988,11 +1304,13 @@ let start cfg docs =
            let wal = Wal.create wal_path in
            (* version 1 is the startup snapshot's stamp; every cursor
               starts there, matching [Snapshot.capture ~version:1] below *)
-           { name; r2; wal; applied_seq = 0; applied_version = 1;
-             durable_version = 1; wedged = None; xml_path; sidecar_path;
-             wal_path })
+           { name; retired = false; r2; wal; applied_seq = 0;
+             applied_version = 1; durable_version = 1; wedged = None;
+             xml_path; sidecar_path; wal_path })
          docs)
   in
+  let catalog = Hashtbl.create (2 * Array.length masters) in
+  Array.iteri (fun i m -> Hashtbl.replace catalog m.name i) masters;
   let planner_shared =
     if cfg.planner then
       Some (Rxpath.Planner.make_shared ~plan_cache:cfg.plan_cache ())
@@ -1034,6 +1352,10 @@ let start cfg docs =
       cfg;
       coll;
       masters;
+      catalog;
+      catalog_mu = Mutex.create ();
+      adopt_mu = Mutex.create ();
+      planner_shared;
       current = Atomic.make snapshot0;
       write_mu = Mutex.create ();
       group_mu = Mutex.create ();

@@ -104,9 +104,10 @@ type t
 val start : config -> (string * Rxml.Dom.t) list -> t
 (** Number and host the named documents, persist their snapshots and open
     their WALs under [data_dir], publish snapshot version 1, and begin
-    accepting connections.
-    @raise Invalid_argument on an invalid config, no documents, or a
-    duplicate document name. *)
+    accepting connections.  An empty document list is valid — a shard in
+    the collection tier boots bare and is populated by [ADDDOC]/[ADOPT].
+    @raise Invalid_argument on an invalid config or a duplicate document
+    name. *)
 
 val stop : t -> unit
 (** Graceful shutdown as described above.  Idempotent; callable from any

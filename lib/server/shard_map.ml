@@ -1,0 +1,65 @@
+type t = {
+  shards : int;
+  overrides : (string, int) Hashtbl.t;
+  mu : Mutex.t;
+}
+
+let create ~shards =
+  if shards < 1 then invalid_arg "Shard_map.create: shards must be >= 1";
+  { shards; overrides = Hashtbl.create 64; mu = Mutex.create () }
+
+let shards t = t.shards
+
+(* FNV-1a folded to OCaml's 63-bit native int (the 64-bit offset basis
+   with its top bit cleared; multiplication wraps mod 2^63 instead of
+   2^64).  Hashtbl.hash would work within one binary, but the placement
+   must be a documented cross-process contract: the ingest tool computes
+   it client-side to ship directly to the owning shard, so the function
+   is pinned here and nowhere else. *)
+let hash ~shards name =
+  let h = ref 0x4bf29ce484222325 in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * 0x100000001b3)
+    name;
+  (!h land max_int) mod shards
+
+let check_shard t s =
+  if s < 0 || s >= t.shards then
+    invalid_arg (Printf.sprintf "Shard_map: shard %d out of range" s)
+
+let place t name =
+  Mutex.lock t.mu;
+  let s = Hashtbl.find_opt t.overrides name in
+  Mutex.unlock t.mu;
+  match s with Some s -> s | None -> hash ~shards:t.shards name
+
+let assign t name s =
+  check_shard t s;
+  Mutex.lock t.mu;
+  if s = hash ~shards:t.shards name then Hashtbl.remove t.overrides name
+  else Hashtbl.replace t.overrides name s;
+  Mutex.unlock t.mu
+
+let forget t name =
+  Mutex.lock t.mu;
+  Hashtbl.remove t.overrides name;
+  Mutex.unlock t.mu
+
+let move = assign
+
+let overrides t =
+  Mutex.lock t.mu;
+  let n = Hashtbl.length t.overrides in
+  Mutex.unlock t.mu;
+  n
+
+let doc_counts t ~known =
+  let counts = Array.make t.shards 0 in
+  List.iter
+    (fun name ->
+      let s = place t name in
+      counts.(s) <- counts.(s) + 1)
+    known;
+  counts

@@ -1,0 +1,50 @@
+(** Document placement for the sharded collection tier.
+
+    The paper's area-confined-update property (Section 3.2) makes
+    documents fully independent under updates, so placement is free to be
+    anything stable; the map combines a deterministic default — a hash of
+    the document name modulo the shard count, so an ingest client and the
+    router agree on placement without talking — with an explicit override
+    table for documents that were discovered elsewhere or moved by a
+    rebalance.  The override table is the router's document catalog: the
+    same Hashtbl-index idiom that {!Rxpath.Collection} uses for its name
+    lookup, here mapping name -> shard.
+
+    All operations are safe to call from concurrent sessions. *)
+
+type t
+
+val create : shards:int -> t
+(** @raise Invalid_argument when [shards < 1]. *)
+
+val shards : t -> int
+
+val hash : shards:int -> string -> int
+(** The stable default placement: FNV-1a (folded to the native 63-bit
+    int) over the name, modulo [shards].  Deterministic across processes
+    and runs — ingest relies on computing the same shard the router will
+    route to. *)
+
+val place : t -> string -> int
+(** Where the document lives: its override if one was recorded, the hash
+    default otherwise. *)
+
+val assign : t -> string -> int -> unit
+(** Record an explicit placement (catalog discovery, ingest through the
+    router).  Assigning the hash default is a no-op (keeps the table
+    small).
+    @raise Invalid_argument on a shard out of range. *)
+
+val forget : t -> string -> unit
+(** Drop the override (the document was dropped). *)
+
+val move : t -> string -> int -> unit
+(** Atomically flip the document's placement — the rebalance commit
+    point.  Readers see either the old or the new shard, never neither.
+    @raise Invalid_argument on a shard out of range. *)
+
+val overrides : t -> int
+(** Number of explicit placements recorded. *)
+
+val doc_counts : t -> known:string list -> int array
+(** Per-shard placement of the given names (catalog gauge). *)

@@ -1,6 +1,7 @@
 module Dom = Rxml.Dom
 module R2 = Ruid.Ruid2
 module Planner = Rxpath.Planner
+module SMap = Map.Make (String)
 
 type doc = {
   name : string;
@@ -9,9 +10,15 @@ type doc = {
   engine : Rxpath.Eval.engine;
   planner : Planner.t option;
   doc_version : int;
+  live : bool;
 }
 
-type t = { version : int; published_at : float; docs : doc array }
+type t = {
+  version : int;
+  published_at : float;
+  docs : doc array;
+  index : int SMap.t;
+}
 
 (* An isolated copy of a master document: clone the DOM, then re-impose the
    exact identifiers through the persistence sidecar (Ruid2 state references
@@ -25,29 +32,67 @@ let capture_doc ?planner ~doc_version name (master : R2.t) =
   match planner with
   | None ->
     { name; root; r2; engine = Rxpath.Engine_ruid.create r2; planner = None;
-      doc_version }
+      doc_version; live = true }
   | Some shared ->
     let p = Planner.create ~shared r2 in
     { name; root; r2; engine = Planner.engine p; planner = Some p;
-      doc_version }
+      doc_version; live = true }
+
+let index_of_docs docs =
+  let m = ref SMap.empty in
+  Array.iteri (fun i d -> m := SMap.add d.name i !m) docs;
+  !m
 
 let capture ?planner ~version masters =
-  {
-    version;
-    published_at = Unix.gettimeofday ();
-    docs =
-      Array.of_list
-        (List.map
-           (fun (name, r2) -> capture_doc ?planner ~doc_version:version name r2)
-           masters);
-  }
+  let docs =
+    Array.of_list
+      (List.map
+         (fun (name, r2) -> capture_doc ?planner ~doc_version:version name r2)
+         masters)
+  in
+  { version; published_at = Unix.gettimeofday (); docs;
+    index = index_of_docs docs }
 
 let replace_doc t ~version ~doc_version ~doc_index master =
   let docs = Array.copy t.docs in
   let prev = docs.(doc_index) in
   let planner = Option.map Planner.shared_of prev.planner in
   docs.(doc_index) <- capture_doc ?planner ~doc_version prev.name master;
-  { version; published_at = Unix.gettimeofday (); docs }
+  { version; published_at = Unix.gettimeofday (); docs; index = t.index }
+
+(* Runtime document arrival (ADDDOC / a committed ADOPT).  The name map is
+   persistent and shared structurally across snapshots, so registering the
+   nth document costs O(log n) map work plus the O(n) pointer copy of the
+   docs array — cataloguing a large corpus stays far from quadratic
+   encode/decode work.  Re-adding a name that maps to a retired slot
+   revives that slot (the rebalance A->B->A round trip); indices of other
+   documents never move, which the commit queue's [doc_index] references
+   rely on. *)
+let add_doc t ?planner ~version ~name master =
+  match SMap.find_opt name t.index with
+  | Some i when t.docs.(i).live ->
+    invalid_arg ("Snapshot.add_doc: duplicate document " ^ name)
+  | Some i ->
+    let docs = Array.copy t.docs in
+    docs.(i) <- capture_doc ?planner ~doc_version:version name master;
+    ({ version; published_at = Unix.gettimeofday (); docs; index = t.index }, i)
+  | None ->
+    let i = Array.length t.docs in
+    let d = capture_doc ?planner ~doc_version:version name master in
+    let docs = Array.append t.docs [| d |] in
+    ( { version; published_at = Unix.gettimeofday (); docs;
+        index = SMap.add name i t.index },
+      i )
+
+(* Retire in place: the slot (and every other document's index) survives so
+   in-flight readers and the write path's index-addressed bookkeeping stay
+   valid; the document merely stops being listed, queried or checked.  The
+   slot's memory is retained until a revival — the cost of never shifting
+   an index. *)
+let retire_doc t ~version ~doc_index =
+  let docs = Array.copy t.docs in
+  docs.(doc_index) <- { (docs.(doc_index)) with live = false };
+  { version; published_at = Unix.gettimeofday (); docs; index = t.index }
 
 (* Root label path of an element (root label first, elements only — the
    document node contributes nothing). *)
@@ -112,7 +157,8 @@ let advance_doc prev ~doc_version ops =
     | Some p -> Planner.engine p
     | None -> Rxpath.Engine_ruid.create r2
   in
-  ( { name = prev.name; root = R2.root r2; r2; engine; planner; doc_version },
+  ( { name = prev.name; root = R2.root r2; r2; engine; planner; doc_version;
+      live = prev.live },
     Hashtbl.length areas )
 
 let advance t ~version updates =
@@ -124,17 +170,16 @@ let advance t ~version updates =
       docs.(doc_index) <- doc;
       rebuilt := !rebuilt + areas)
     updates;
-  ({ version; published_at = Unix.gettimeofday (); docs }, !rebuilt)
+  ( { version; published_at = Unix.gettimeofday (); docs; index = t.index },
+    !rebuilt )
 
 let find t name =
-  let rec go i =
-    if i >= Array.length t.docs then None
-    else if t.docs.(i).name = name then Some (i, t.docs.(i))
-    else go (i + 1)
-  in
-  go 0
+  match SMap.find_opt name t.index with
+  | Some i when t.docs.(i).live -> Some (i, t.docs.(i))
+  | _ -> None
 
-let doc_names t = Array.to_list (Array.map (fun d -> d.name) t.docs)
+let live_docs t = Array.to_list t.docs |> List.filter (fun d -> d.live)
+let doc_names t = List.map (fun d -> d.name) (live_docs t)
 
 let parse src =
   try Rxpath.Xparser.parse_union src
@@ -154,11 +199,11 @@ let explain_doc d src =
 
 let count t src =
   let u = parse src in
-  Array.to_list (Array.map (fun d -> (d.name, count_doc d u)) t.docs)
+  List.map (fun d -> (d.name, count_doc d u)) (live_docs t)
 
 let query t src =
   let u = parse src in
-  Array.to_list t.docs
+  live_docs t
   |> List.map (fun d -> (d.name, query_doc d u))
   |> List.filter (fun (_, nodes) -> nodes <> [])
 

@@ -36,6 +36,10 @@ type doc = private {
           global [version] stamp: a full-fallback capture of one document
           can run ahead of the global counter without ever causing another
           document's queued update to be skipped. *)
+  live : bool;
+      (** [false] once the document was retired ({!retire_doc}): the slot
+          survives — indices never shift — but the document stops being
+          listed, queried or checked *)
 }
 
 type t = private {
@@ -45,6 +49,9 @@ type t = private {
           it, so no two distinct snapshots may share a stamp) *)
   published_at : float;  (** unix time of publication *)
   docs : doc array;
+  index : int Map.Make(String).t;
+      (** name -> slot, shared structurally across publications; retains
+          retired names (they address the revivable slot) *)
 }
 
 val capture :
@@ -80,8 +87,29 @@ val advance :
     @raise Rstorage.Wal.Replay_error if an operation does not apply —
     callers fall back to {!replace_doc}. *)
 
+val add_doc :
+  t -> ?planner:Rxpath.Planner.shared -> version:int -> name:string ->
+  Ruid.Ruid2.t -> t * int
+(** Publish a snapshot hosting one more document, captured from [master]
+    with its cursor at [version]; returns the new snapshot and the slot
+    the document landed in.  A name mapping to a {e retired} slot revives
+    that slot in place (the rebalance round trip); every other document's
+    index is unchanged.
+    @raise Invalid_argument when the name is already live. *)
+
+val retire_doc : t -> version:int -> doc_index:int -> t
+(** Publish a snapshot with slot [doc_index] marked dead.  The slot's
+    memory is retained until a revival — the price of never shifting an
+    index out from under the commit queue. *)
+
 val find : t -> string -> (int * doc) option
+(** Live documents only; a retired name answers [None]. *)
+
 val doc_names : t -> string list
+(** Live documents only. *)
+
+val live_docs : t -> doc list
+(** The live documents, slot order (= document registration order). *)
 
 val parse : string -> Rxpath.Ast.union_path
 (** Parse an XPath union expression the way {!count}/{!query} do.

@@ -18,7 +18,14 @@ type t
 val create : ?max_area_size:int -> unit -> t
 
 val add : t -> name:string -> Rxml.Dom.t -> doc_id
-(** Number and register a document.
+(** Number and register a document.  Registration is O(1) amortized (the
+    backing store doubles) and the name lookup behind the duplicate check
+    is a hash probe, so cataloguing a 100k-document corpus stays linear.
+    @raise Invalid_argument on a duplicate name. *)
+
+val add_numbered : t -> name:string -> Ruid.Ruid2.t -> doc_id
+(** Register an already-numbered document (streaming ingest paths number
+    as they parse and must not re-number).
     @raise Invalid_argument on a duplicate name. *)
 
 val doc_count : t -> int

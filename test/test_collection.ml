@@ -63,6 +63,49 @@ let test_memory_accounting () =
   Alcotest.(check bool) "aux memory is the K tables" true
     (C.aux_memory_words c > 0)
 
+(* The Hashtbl name index and the doubling backing store: registration
+   stays correct well past the initial capacity, [names] preserves
+   insertion order, and every name remains findable (a linear-scan
+   registry would still pass this, but the indexed one must too). *)
+let test_amortized_growth () =
+  let c = C.create ~max_area_size:8 () in
+  let n = 100 in
+  let ids =
+    List.init n (fun i ->
+        let name = Printf.sprintf "doc%03d" i in
+        C.add c ~name
+          (Shape.generate ~seed:i ~tags:[| "x"; "y" |] ~target:10
+             (Shape.Uniform { fanout_lo = 1; fanout_hi = 2 })))
+  in
+  Alcotest.(check int) "all registered" n (C.doc_count c);
+  Alcotest.(check (list string)) "insertion order preserved"
+    (List.init n (Printf.sprintf "doc%03d"))
+    (C.names c);
+  List.iteri
+    (fun i id ->
+      let name = Printf.sprintf "doc%03d" i in
+      (match C.find c name with
+      | Some found when found = id -> ()
+      | Some _ -> Alcotest.failf "%s resolved to the wrong document" name
+      | None -> Alcotest.failf "%s not found after growth" name);
+      Alcotest.(check string) "name_of inverts find" name (C.name_of c id))
+    ids;
+  Alcotest.(check bool) "misses still miss" true (C.find c "doc999" = None)
+
+let test_add_numbered () =
+  let c = C.create ~max_area_size:8 () in
+  let root =
+    Rxml.Dom.root_element (Rxml.Parser.parse_string "<a><b/><c/></a>")
+  in
+  let r2 = Ruid.Ruid2.number ~max_area_size:8 root in
+  let id = C.add_numbered c ~name:"pre" r2 in
+  (* registered without re-numbering: the very same numbering comes back *)
+  Alcotest.(check bool) "numbering preserved" true (C.ruid c id == r2);
+  Alcotest.(check bool) "findable" true (C.find c "pre" = Some id);
+  Alcotest.check_raises "duplicate name rejected"
+    (Invalid_argument "Collection.add: duplicate name pre") (fun () ->
+      ignore (C.add_numbered c ~name:"pre" r2))
+
 let suite =
   [
     Alcotest.test_case "registry" `Quick test_registry;
@@ -70,4 +113,7 @@ let suite =
     Alcotest.test_case "cross-document relationship" `Quick test_cross_doc_relationship;
     Alcotest.test_case "query across documents" `Quick test_query_all;
     Alcotest.test_case "memory accounting" `Quick test_memory_accounting;
+    Alcotest.test_case "amortized growth and name index" `Quick
+      test_amortized_growth;
+    Alcotest.test_case "add_numbered" `Quick test_add_numbered;
   ]

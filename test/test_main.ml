@@ -33,4 +33,5 @@ let () =
       ("server", Test_server.suite);
       ("parallel", Test_parallel.suite);
       ("replication", Test_replication.suite);
+      ("router", Test_router.suite);
     ]

@@ -78,6 +78,39 @@ let test_descendant_query_prunes () =
       (List.length opened < all)
   end
 
+(* Property check against the numbering-driven engine: over a population
+   of random document shapes, the table-selection answer (frame
+   arithmetic deciding which [tag.global] tables to open) must equal the
+   engine's [descendant::tag] answer from the same context.  The two
+   paths share nothing but the numbering, so agreement pins both. *)
+let test_descendant_query_vs_engine () =
+  let tags = [| "a"; "b"; "c"; "d" |] in
+  for seed = 1 to 30 do
+    let shape =
+      if seed mod 3 = 0 then Shape.Deep { fanout = 2; bias = 0.7 }
+      else if seed mod 3 = 1 then Shape.Uniform { fanout_lo = 0; fanout_hi = 4 }
+      else Shape.Uniform { fanout_lo = 1; fanout_hi = 8 }
+    in
+    let target = 100 + (seed * 17 mod 400) in
+    let root = Shape.generate ~seed ~tags ~target shape in
+    let area = 4 + (seed mod 13) in
+    let r2 = R2.number ~max_area_size:area root in
+    let p = P.create r2 in
+    let eng = Rxpath.Engine_ruid.create r2 in
+    let rng = Rng.create (seed * 31) in
+    for _ = 1 to 5 do
+      let ctx = Shape.random_internal rng root in
+      let tag = tags.(Rng.int rng (Array.length tags)) in
+      let _opened, hits =
+        P.descendant_query p ~context:(R2.id_of_node r2 ctx) ~tag
+      in
+      let expected = Rxpath.Eval.query eng ~context:ctx ("descendant::" ^ tag) in
+      check_node_list
+        (Printf.sprintf "seed %d area %d descendant::%s" seed area tag)
+        expected hits
+    done
+  done
+
 let suite =
   [
     Alcotest.test_case "table naming" `Quick test_naming;
@@ -85,4 +118,6 @@ let suite =
     Alcotest.test_case "tables partition elements" `Quick test_select_by_area;
     Alcotest.test_case "descendant query correct" `Quick test_descendant_query_correct;
     Alcotest.test_case "descendant query prunes tables" `Quick test_descendant_query_prunes;
+    Alcotest.test_case "descendant query vs ruid engine" `Quick
+      test_descendant_query_vs_engine;
   ]

@@ -1,0 +1,525 @@
+(* Sharded collection tier: merge-kernel byte equivalence, scatter-gather
+   against live shards (router reply == pure merge of the per-shard
+   replies), single-document forwarding with probe-on-miss, degraded
+   service with a shard down, online rebalance, and runtime collection
+   membership (ADDDOC / DROPDOC / ADOPT abort). *)
+
+module Dom = Rxml.Dom
+module P = Rserver.Protocol
+module C = Rserver.Client
+module Service = Rserver.Service
+module Router = Rserver.Router
+module Shard_map = Rserver.Shard_map
+module Wal = Rstorage.Wal
+
+let unique =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Printf.sprintf "%d-r%d" (Unix.getpid ()) !n
+
+let temp_dir () =
+  let d =
+    Filename.concat (Filename.get_temp_dir_name ()) ("ruid-rt-" ^ unique ())
+  in
+  Unix.mkdir d 0o755;
+  d
+
+let sock_path () = Filename.concat "/tmp" ("ruid-" ^ unique () ^ ".sock")
+
+let doc_of_string s = Dom.root_element (Rxml.Parser.parse_string s)
+
+let shard_cfg () =
+  {
+    Service.socket_path = sock_path ();
+    data_dir = temp_dir ();
+    workers = 2;
+    max_queue = 16;
+    deadline_ms = 0;
+    max_area_size = 8;
+    domains = 0;
+    cache_mb = 0;
+    commit_interval_us = 0;
+    commit_max_batch = 64;
+    wal_segment_bytes = 0;
+    planner = true;
+    plan_cache = 64;
+    epoch = 1;
+  }
+
+(* Three shards, one router.  [docs.(i)] is hosted by shard [i] from
+   boot; the router's startup DOCS sweep catalogues every placement, so
+   hash-disagreeing names still route. *)
+let with_tier ?(docs = [| []; []; [] |]) f =
+  let cfgs = Array.map (fun _ -> shard_cfg ()) docs in
+  let shards = Array.map2 (fun cfg d -> Service.start cfg d) cfgs docs in
+  let rcfg =
+    Router.default_config ~socket_path:(sock_path ())
+      ~shard_sockets:(Array.map (fun c -> c.Service.socket_path) cfgs)
+      ()
+  in
+  let rcfg = { rcfg with Router.shard_deadline_ms = 5_000 } in
+  let router = Router.start rcfg in
+  let stopped = Array.map (fun _ -> ref false) shards in
+  let stop_shard i =
+    if not !(stopped.(i)) then begin
+      stopped.(i) := true;
+      Service.stop shards.(i)
+    end
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Router.stop router;
+      Array.iteri (fun i _ -> stop_shard i) shards)
+    (fun () -> f ~cfgs ~rcfg ~stop_shard)
+
+let ok_body = function
+  | P.Ok_ body -> body
+  | P.Err m -> Alcotest.failf "unexpected ERR %s" m
+  | P.Busy m -> Alcotest.failf "unexpected BUSY %s" m
+
+let err_body = function
+  | P.Err m -> m
+  | r -> Alcotest.failf "expected ERR, got %s" (P.response_to_string r)
+
+let ask sock req = C.with_connection sock (fun c -> C.request c req)
+
+let get_kv body key =
+  match C.kv_int body key with
+  | Some v -> v
+  | None -> Alcotest.failf "reply %S lacks %s=" body key
+
+let is_partial body = C.kv body "partial" <> None
+
+(* The shard documents: distinct tags per shard so per-shard totals are
+   recognizable in merged replies. *)
+let shard_docs () =
+  [|
+    [ ("alpha", doc_of_string "<a><x/><x/><y/></a>") ];
+    [ ("beta", doc_of_string "<a><x/><y/><y/><y/></a>");
+      ("gamma", doc_of_string "<a><z/></a>") ];
+    [ ("delta", doc_of_string "<a><x/><z/><z/></a>") ];
+  |]
+
+(* ------------------------------------------------------------------ *)
+(* Pure merge kernels                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_merge_count () =
+  Alcotest.(check string)
+    "sums and concatenates in shard order" "v=7 total=5 a=2 b=3"
+    (Router.merge_count ~shards:2
+       ~replies:[ (0, "v=3 total=2 a=2"); (1, "v=4 total=3 b=3") ]
+       ~missing:[]);
+  Alcotest.(check string)
+    "missing shard flags partial" "v=3 total=2 a=2 partial=2/3"
+    (Router.merge_count ~shards:3 ~replies:[ (0, "v=3 total=2 a=2") ]
+       ~missing:[ 1; 2 ]);
+  Alcotest.(check string)
+    "shard-side elision survives" "v=5 total=9 a=4 b=5 ..."
+    (Router.merge_count ~shards:2
+       ~replies:[ (0, "v=2 total=4 a=4 ..."); (1, "v=3 total=5 b=5") ]
+       ~missing:[])
+
+let test_merge_query () =
+  Alcotest.(check string)
+    "ids concatenate in shard order"
+    "v=5 total=3 a=1 b=2 ids a:(1,1,false) b:(2,1,false) b:(2,2,false)"
+    (Router.merge_query ~shards:2
+       ~replies:
+         [ (0, "v=2 total=1 a=1 ids a:(1,1,false)");
+           (1, "v=3 total=2 b=2 ids b:(2,1,false) b:(2,2,false)") ]
+       ~missing:[]);
+  (* a merged total beyond the id cap marks the listing elided, exactly
+     as a single shard would *)
+  let many =
+    String.concat " " (List.init 30 (fun i -> Printf.sprintf "a:(1,%d,false)" i))
+  in
+  let merged =
+    Router.merge_query ~shards:2
+      ~replies:
+        [ (0, Printf.sprintf "v=1 total=30 a=30 ids %s" many);
+          (1, "v=1 total=30 b=30 ids " ^ many) ]
+      ~missing:[]
+  in
+  Alcotest.(check int) "total summed" 60 (get_kv merged "total");
+  Alcotest.(check bool) "id listing elided" true
+    (String.length merged >= 3
+    && String.sub merged (String.length merged - 3) 3 = "...");
+  (* exactly id_cap identifiers listed *)
+  let ids_part =
+    String.split_on_char ' ' merged
+    |> List.filter (fun t -> String.contains t ':')
+  in
+  Alcotest.(check int) "capped at 32 ids" 32 (List.length ids_part)
+
+let test_merge_explain () =
+  Alcotest.(check string)
+    "sections in shard order, missing marked"
+    "v=5 partial=1/3\nshard 0\nplan A\nshard 1 unavailable\nshard 2\nplan C"
+    (Router.merge_explain ~shards:3
+       ~replies:[ (0, "v=2\nplan A"); (2, "v=3\nplan C") ]
+       ~missing:[ 1 ])
+
+let test_merge_docs () =
+  Alcotest.(check string)
+    "per-shard counts, never names" "v=6 docs=5 shard0=2 shard1=3"
+    (Router.merge_docs ~shards:2
+       ~replies:
+         [ (0, "v=2 docs=2 alpha beta"); (1, "v=4 docs=3 gamma delta eps") ]
+       ~missing:[])
+
+(* ------------------------------------------------------------------ *)
+(* Scatter-gather over live shards                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* The router's collection-wide answer must be byte-identical to the
+   pure merge of the shards' own answers — the merge kernels are the
+   specification, the scatter is just transport. *)
+let test_scatter_equivalence () =
+  with_tier ~docs:(shard_docs ()) @@ fun ~cfgs ~rcfg ~stop_shard:_ ->
+  let shard_reply req =
+    Array.to_list cfgs
+    |> List.mapi (fun i cfg ->
+           (i, ok_body (ask cfg.Service.socket_path req)))
+  in
+  List.iter
+    (fun (req, merge, label) ->
+      let expect =
+        merge ~shards:3 ~replies:(shard_reply req) ~missing:[]
+      in
+      let got = ok_body (ask rcfg.Router.socket_path req) in
+      Alcotest.(check string) label expect got)
+    [
+      (P.Count "//x", Router.merge_count, "COUNT merges");
+      (P.Count "//nothing", Router.merge_count, "empty COUNT merges");
+      (P.Query "//y", Router.merge_query, "QUERY merges");
+      (P.Query "//z", Router.merge_query, "QUERY merges (other shards)");
+      (P.Docs, Router.merge_docs, "DOCS merges");
+    ];
+  (* EXPLAIN executes uncached and reports measured timings, so byte
+     equality against a second execution cannot hold; check the merged
+     shape instead: summed version line and one section per shard. *)
+  let body = ok_body (ask rcfg.Router.socket_path (P.Explain "//x")) in
+  let direct = shard_reply (P.Explain "//x") in
+  let v_sum =
+    List.fold_left (fun acc (_, b) -> acc + get_kv b "v") 0 direct
+  in
+  Alcotest.(check int) "EXPLAIN v is the version sum" v_sum (get_kv body "v");
+  List.iter
+    (fun i ->
+      let heading = Printf.sprintf "shard %d\n" i in
+      let found =
+        let hl = String.length heading and bl = String.length body in
+        let rec at j = j + hl <= bl && (String.sub body j hl = heading || at (j + 1)) in
+        at 0
+      in
+      Alcotest.(check bool) (Printf.sprintf "shard %d section" i) true found)
+    [ 0; 1; 2 ];
+  (* the total count across the tier is the sum of the shards *)
+  let count = ok_body (ask rcfg.Router.socket_path (P.Count "//*")) in
+  let per_shard =
+    List.fold_left
+      (fun acc (_, b) -> acc + get_kv b "total")
+      0
+      (shard_reply (P.Count "//*"))
+  in
+  Alcotest.(check int) "scatter count == sum of shard counts" per_shard
+    (get_kv count "total")
+
+let test_scatter_with_writer () =
+  with_tier ~docs:(shard_docs ()) @@ fun ~cfgs:_ ~rcfg ~stop_shard:_ ->
+  let stop = Atomic.make false in
+  let writer =
+    Thread.create
+      (fun () ->
+        C.with_connection rcfg.Router.socket_path @@ fun c ->
+        while not (Atomic.get stop) do
+          ignore
+            (C.request c
+               (P.Update
+                  { doc = "beta";
+                    op = Wal.Insert { parent_rank = 0; pos = 0; tag = "y" } }))
+        done)
+      ()
+  in
+  C.with_connection rcfg.Router.socket_path (fun c ->
+      let last_v = ref 0 in
+      for _ = 1 to 40 do
+        let body = ok_body (C.request c (P.Count "//y")) in
+        let v = get_kv body "v" in
+        let total = get_kv body "total" in
+        let listed =
+          String.split_on_char ' ' body
+          |> List.filter_map (fun tok ->
+                 match String.index_opt tok '=' with
+                 | Some i
+                   when String.sub tok 0 i <> "v"
+                        && String.sub tok 0 i <> "total"
+                        && String.sub tok 0 i <> "partial" ->
+                   int_of_string_opt
+                     (String.sub tok (i + 1) (String.length tok - i - 1))
+                 | _ -> None)
+          |> List.fold_left ( + ) 0
+        in
+        Alcotest.(check bool) "no partial under a live writer" false
+          (is_partial body);
+        Alcotest.(check int) "total is the sum of the per-doc tokens" total
+          listed;
+        Alcotest.(check bool) "merged version never regresses" true
+          (v >= !last_v);
+        last_v := v
+      done);
+  Atomic.set stop true;
+  Thread.join writer
+
+let test_shard_down_degrades () =
+  with_tier ~docs:(shard_docs ()) @@ fun ~cfgs ~rcfg ~stop_shard ->
+  (* take shard 1 (beta, gamma) down; scatters must flag partial and
+     still carry the live shards' answers *)
+  stop_shard 1;
+  let body = ok_body (ask rcfg.Router.socket_path (P.Count "//*")) in
+  Alcotest.(check bool) "partial flagged" true (is_partial body);
+  Alcotest.(check bool) "partial=1/3" true (C.kv body "partial" = Some "1/3");
+  let alpha = ok_body (ask cfgs.(0).Service.socket_path (P.Count "//*")) in
+  let delta = ok_body (ask cfgs.(2).Service.socket_path (P.Count "//*")) in
+  Alcotest.(check int) "live shards fully represented"
+    (get_kv alpha "total" + get_kv delta "total")
+    (get_kv body "total");
+  (* single-document verbs: live shard unaffected, dead shard's answer
+     is an error, never a hang *)
+  let ok = ok_body (ask rcfg.Router.socket_path
+                      (P.Count_doc { doc = "alpha"; xpath = "//x" })) in
+  Alcotest.(check int) "live doc serves" 2 (get_kv ok "total");
+  (match
+     ask rcfg.Router.socket_path (P.Count_doc { doc = "beta"; xpath = "//x" })
+   with
+  | P.Err _ -> ()
+  | r -> Alcotest.failf "dead shard's doc: %s" (P.response_to_string r));
+  (match
+     ask rcfg.Router.socket_path
+       (P.Update
+          { doc = "beta";
+            op = Wal.Insert { parent_rank = 0; pos = 0; tag = "y" } })
+   with
+  | P.Err _ -> ()
+  | r -> Alcotest.failf "update to dead shard: %s" (P.response_to_string r));
+  (* EXPLAIN marks the hole by name *)
+  let ex = ok_body (ask rcfg.Router.socket_path (P.Explain "//x")) in
+  let has_unavailable =
+    let needle = "shard 1 unavailable" in
+    let nl = String.length needle and bl = String.length ex in
+    let rec at i = i + nl <= bl && (String.sub ex i nl = needle || at (i + 1)) in
+    at 0
+  in
+  Alcotest.(check bool) "explain marks the dead shard" true has_unavailable
+
+(* ------------------------------------------------------------------ *)
+(* Forwarding, membership, rebalance                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_forward_and_probe () =
+  with_tier ~docs:(shard_docs ()) @@ fun ~cfgs ~rcfg ~stop_shard:_ ->
+  (* forwarded reads are byte-identical to asking the shard directly *)
+  List.iter
+    (fun (doc, shard) ->
+      let req = P.Query_doc { doc; xpath = "//*" } in
+      Alcotest.(check string)
+        (doc ^ " forwards")
+        (ok_body (ask cfgs.(shard).Service.socket_path req))
+        (ok_body (ask rcfg.Router.socket_path req)))
+    [ ("alpha", 0); ("beta", 1); ("gamma", 1); ("delta", 2) ];
+  (* probe-on-miss: plant a document directly on a non-hash shard behind
+     the router's back; the first routed request finds and catalogues it *)
+  let planted = "planted" in
+  let away = (Shard_map.hash ~shards:3 planted + 1) mod 3 in
+  ignore
+    (ok_body
+       (ask cfgs.(away).Service.socket_path
+          (P.Add_doc { doc = planted; xml = "<p><q/></p>" })));
+  let body =
+    ok_body
+      (ask rcfg.Router.socket_path
+         (P.Count_doc { doc = planted; xpath = "//q" }))
+  in
+  Alcotest.(check int) "probe found the planted doc" 1 (get_kv body "total");
+  (* unknown documents still fail after probing everywhere *)
+  (match
+     ask rcfg.Router.socket_path (P.Count_doc { doc = "ghost"; xpath = "//q" })
+   with
+  | P.Err _ -> ()
+  | r -> Alcotest.failf "ghost doc: %s" (P.response_to_string r))
+
+let test_membership_via_router () =
+  with_tier @@ fun ~cfgs ~rcfg ~stop_shard:_ ->
+  (* the tier boots empty; ADDDOC through the router lands each document
+     on its hash shard *)
+  let names = List.init 12 (fun i -> Printf.sprintf "m%d" i) in
+  List.iter
+    (fun name ->
+      let body =
+        ok_body
+          (ask rcfg.Router.socket_path
+             (P.Add_doc { doc = name; xml = "<m><n/><n/></m>" }))
+      in
+      (* 3 elements + the numbering's virtual root *)
+      Alcotest.(check int) "nodes counted" 4 (get_kv body "nodes"))
+    names;
+  let docs = ok_body (ask rcfg.Router.socket_path P.Docs) in
+  Alcotest.(check int) "all documents hosted" 12 (get_kv docs "docs");
+  (* every document sits on its hash shard — the ingest contract *)
+  List.iter
+    (fun name ->
+      let s = Shard_map.hash ~shards:3 name in
+      let direct =
+        ask cfgs.(s).Service.socket_path
+          (P.Count_doc { doc = name; xpath = "//n" })
+      in
+      Alcotest.(check int) (name ^ " on its hash shard") 2
+        (get_kv (ok_body direct) "total"))
+    names;
+  (* duplicates are rejected by the owning shard *)
+  (match
+     ask rcfg.Router.socket_path (P.Add_doc { doc = "m3"; xml = "<m/>" })
+   with
+  | P.Err _ -> ()
+  | r -> Alcotest.failf "duplicate: %s" (P.response_to_string r));
+  (* DROPDOC retires the document everywhere *)
+  ignore (ok_body (ask rcfg.Router.socket_path (P.Drop_doc "m3")));
+  let docs = ok_body (ask rcfg.Router.socket_path P.Docs) in
+  Alcotest.(check int) "one fewer document" 11 (get_kv docs "docs");
+  (* and the name can be reused (retired slots revive) *)
+  ignore
+    (ok_body
+       (ask rcfg.Router.socket_path
+          (P.Add_doc { doc = "m3"; xml = "<m><n/></m>" })));
+  let body =
+    ok_body
+      (ask rcfg.Router.socket_path (P.Count_doc { doc = "m3"; xpath = "//n" }))
+  in
+  Alcotest.(check int) "revived with fresh content" 1 (get_kv body "total")
+
+let strip_version body =
+  String.split_on_char ' ' body
+  |> List.filter (fun tok ->
+         not (String.length tok > 2 && String.sub tok 0 2 = "v="))
+  |> String.concat " "
+
+let test_rebalance () =
+  with_tier ~docs:(shard_docs ()) @@ fun ~cfgs ~rcfg ~stop_shard:_ ->
+  C.with_connection rcfg.Router.socket_path @@ fun c ->
+  (* write a little history first so the journal ships too *)
+  for _ = 1 to 5 do
+    ignore
+      (ok_body
+         (C.request c
+            (P.Update
+               { doc = "beta";
+                 op = Wal.Insert { parent_rank = 0; pos = 0; tag = "y" } })))
+  done;
+  let before =
+    strip_version
+      (ok_body (C.request c (P.Query_doc { doc = "beta"; xpath = "//y" })))
+  in
+  let body = ok_body (C.request c (P.Rebalance { doc = "beta"; target = 0 })) in
+  Alcotest.(check bool) "reports the move" true
+    (C.kv body "from" = Some "1" && C.kv body "to" = Some "0");
+  Alcotest.(check bool) "reports a measured pause" true
+    (C.kv body "pause_ms" <> None);
+  (* identical answers after the move, modulo the snapshot version *)
+  let after =
+    strip_version
+      (ok_body (C.request c (P.Query_doc { doc = "beta"; xpath = "//y" })))
+  in
+  Alcotest.(check string) "query results identical after the move" before
+    after;
+  (* the source shard no longer owns it; the target answers directly *)
+  (match
+     ask cfgs.(1).Service.socket_path
+       (P.Count_doc { doc = "beta"; xpath = "//y" })
+   with
+  | P.Err _ -> ()
+  | r -> Alcotest.failf "source still owns beta: %s" (P.response_to_string r));
+  Alcotest.(check string) "target serves it byte-identically"
+    after
+    (strip_version
+       (ok_body
+          (ask cfgs.(0).Service.socket_path
+             (P.Query_doc { doc = "beta"; xpath = "//y" }))));
+  (* the moved artifacts pass fsck on the target's disk *)
+  let base = Filename.concat cfgs.(0).Service.data_dir "beta" in
+  let status =
+    Wal.fsck ~xml:(base ^ ".xml") ~sidecar:(base ^ ".ruid")
+      ~wal:(base ^ ".wal") ()
+  in
+  Alcotest.(check bool) "fsck rates the target recoverable" true
+    (Wal.exit_code status <= 1);
+  (* updates keep flowing to the new home through the router *)
+  ignore
+    (ok_body
+       (C.request c
+          (P.Update
+             { doc = "beta";
+               op = Wal.Insert { parent_rank = 0; pos = 0; tag = "y" } })));
+  (* moving to the current owner is a no-op, not an error *)
+  let again = ok_body (C.request c (P.Rebalance { doc = "beta"; target = 0 })) in
+  Alcotest.(check bool) "idempotent" true (C.kv again "pause_ms" <> None);
+  (* a shard refuses the orchestration verb *)
+  let msg = err_body (ask cfgs.(2).Service.socket_path
+                        (P.Rebalance { doc = "x"; target = 0 })) in
+  Alcotest.(check bool) "shard points at the router" true
+    (String.length msg > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Shard map                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_shard_map () =
+  let m = Shard_map.create ~shards:3 in
+  Alcotest.(check int) "shards" 3 (Shard_map.shards m);
+  (* the hash is a pure function of the name *)
+  List.iter
+    (fun name ->
+      Alcotest.(check int) "stable"
+        (Shard_map.hash ~shards:3 name)
+        (Shard_map.place m name))
+    [ "a"; "doc42"; "x/y"; "longer-name.xml" ];
+  (* overrides beat the hash; assigning the hash default is dropped *)
+  let name = "doc42" in
+  let home = Shard_map.hash ~shards:3 name in
+  let away = (home + 1) mod 3 in
+  Shard_map.assign m name away;
+  Alcotest.(check int) "override wins" away (Shard_map.place m name);
+  Alcotest.(check int) "one override" 1 (Shard_map.overrides m);
+  Shard_map.move m name home;
+  Alcotest.(check int) "moving home drops the override" 0
+    (Shard_map.overrides m);
+  Alcotest.(check int) "back home" home (Shard_map.place m name);
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Shard_map: shard 9 out of range") (fun () ->
+      Shard_map.assign m name 9);
+  (* doc_counts partitions exactly *)
+  let names = List.init 50 (fun i -> Printf.sprintf "n%d" i) in
+  let counts = Shard_map.doc_counts m ~known:names in
+  Alcotest.(check int) "counts partition the names" 50
+    (Array.fold_left ( + ) 0 counts)
+
+let suite =
+  [
+    Alcotest.test_case "merge count" `Quick test_merge_count;
+    Alcotest.test_case "merge query" `Quick test_merge_query;
+    Alcotest.test_case "merge explain" `Quick test_merge_explain;
+    Alcotest.test_case "merge docs" `Quick test_merge_docs;
+    Alcotest.test_case "shard map" `Quick test_shard_map;
+    Alcotest.test_case "scatter == merged shard replies" `Quick
+      test_scatter_equivalence;
+    Alcotest.test_case "scatter under a live writer" `Quick
+      test_scatter_with_writer;
+    Alcotest.test_case "shard down degrades to partial" `Quick
+      test_shard_down_degrades;
+    Alcotest.test_case "forwarding and probe-on-miss" `Quick
+      test_forward_and_probe;
+    Alcotest.test_case "membership through the router" `Quick
+      test_membership_via_router;
+    Alcotest.test_case "online rebalance" `Quick test_rebalance;
+  ]

@@ -81,6 +81,16 @@ let test_request_roundtrip () =
       P.Check "lib"; P.Sleep 25;
       P.Update { doc = "lib"; op = Wal.Insert { parent_rank = 3; pos = 0; tag = "x" } };
       P.Update { doc = "lib"; op = Wal.Delete { rank = 7 } };
+      (* collection-tier verbs *)
+      P.Query_doc { doc = "lib"; xpath = "//book[author]/title" };
+      P.Count_doc { doc = "lib"; xpath = "//item//text" };
+      P.Add_doc { doc = "fresh"; xml = "<a><b/>\n<c/></a>" };
+      P.Adopt { doc = "lib"; file = P.Base_xml; last = false; bytes = "<a/>\n" };
+      P.Adopt { doc = "lib"; file = P.Ckpt_sidecar 3; last = false; bytes = "" };
+      P.Adopt { doc = "lib"; file = P.Active_wal; last = true; bytes = "" };
+      P.Adopt_abort "lib";
+      P.Drop_doc "lib";
+      P.Rebalance { doc = "lib"; target = 2 };
     ]
 
 let test_request_rejects () =
@@ -94,6 +104,13 @@ let test_request_rejects () =
       "UPDATE lib INSERT 1 2"; "UPDATE lib DELETE 0";
       "UPDATE lib DELETE nope"; "UPDATE l i b INSERT 1 2 t";
       "CHECK two words";
+      (* collection-tier rejects *)
+      "QUERYD lib"; "COUNTD"; "COUNTD lib";
+      "ADDDOC"; "ADDDOC lib"; "ADDDOC two words\n<a/>";
+      "ADOPT lib base-xml 2\nx"; "ADOPT lib nosuchfile 0\nx"; "ADOPT lib";
+      "ADOPTABORT"; "ADOPTABORT two words";
+      "DROPDOC"; "DROPDOC two words";
+      "REBALANCE lib"; "REBALANCE lib -1"; "REBALANCE lib x";
     ]
 
 let test_frame_io () =
