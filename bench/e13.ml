@@ -47,6 +47,7 @@ let run_level ~doc_name ~root ~clients ~per_client ~workers ~max_queue =
       cache_mb = 0;
       commit_interval_us = 0;
       commit_max_batch = 64;
+      commit_groups = 1;
       wal_segment_bytes = 0;
       planner = true;
       plan_cache = 256;

@@ -90,6 +90,7 @@ let run_level ~doc_name ~root ~mode ~cache_mb ~mix_name ~update_every ~clients
       cache_mb;
       commit_interval_us = 0;
       commit_max_batch = 64;
+      commit_groups = 0 (* default: one pipeline per read domain *);
       wal_segment_bytes = 0;
       planner = true;
       plan_cache = 256;
@@ -156,8 +157,10 @@ let run_level ~doc_name ~root ~mode ~cache_mb ~mix_name ~update_every ~clients
   let read_rps = float_of_int (Atomic.get read_ok) /. elapsed in
   json_rows :=
     Printf.sprintf
-      {|    {"mode": "%s", "domains": %d, "cache_mb": %d, "mix": "%s", "clients": %d, "requests": %d, "ok": %d, "err": %d, "busy": %d, "busy_rate": %.4f, "elapsed_s": %.4f, "throughput_rps": %.1f, "read_rps": %.1f, "cache_hit_rate": %.4f, "p50_us": %.1f, "p95_us": %.1f, "p99_us": %.1f}|}
-      mode_name domains cache_mb mix_name clients total (Atomic.get ok)
+      {|    {"mode": "%s", "domains": %d, "workers": %d, "commit_groups": %d, "cache_mb": %d, "mix": "%s", "clients": %d, "requests": %d, "ok": %d, "err": %d, "busy": %d, "busy_rate": %.4f, "elapsed_s": %.4f, "throughput_rps": %.1f, "read_rps": %.1f, "cache_hit_rate": %.4f, "p50_us": %.1f, "p95_us": %.1f, "p99_us": %.1f}|}
+      mode_name domains workers
+      (Service.resolved_commit_groups cfg)
+      cache_mb mix_name clients total (Atomic.get ok)
       (Atomic.get err) (Atomic.get busy) busy_rate elapsed throughput read_rps
       hit_rate (p50 *. 1e6) (p95 *. 1e6) (p99 *. 1e6)
     :: !json_rows;
@@ -208,7 +211,9 @@ let write_json path =
   Printf.fprintf oc
     "{\n  \"experiment\": \"E14\",\n  \"mixes\": [\"90/10\", \"99/1\"],\n%s,\n%s\n\
     \  \"levels\": [\n%s\n  ]\n}\n"
-    (Report.meta_json ())
+    (* workers/domains/commit_groups vary per level and are embedded in
+       every row; the meta knob records the fixed per-client load *)
+    (Report.meta_json ~knobs:[ ("per_client", 60) ] ())
     headline
     (String.concat ",\n" (List.rev !json_rows));
   close_out oc;

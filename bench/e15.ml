@@ -72,6 +72,7 @@ let run_level ~doc_name ~root ~batching ~mix_name ~period ~updates_per_period
       cache_mb = 0;
       commit_interval_us = 0;
       commit_max_batch = (if batching then 64 else 1);
+      commit_groups = 1 (* one pipeline: this sweep isolates batching *);
       wal_segment_bytes = 0;
       planner = true;
       plan_cache = 256;
@@ -188,7 +189,10 @@ let write_json path =
   Printf.fprintf oc
     "{\n  \"experiment\": \"E15\",\n  \"mixes\": [\"10/90\", \"50/50\"],\n%s,\n%s\n\
     \  \"levels\": [\n%s\n  ]\n}\n"
-    (Report.meta_json ())
+    (Report.meta_json
+       ~knobs:
+         [ ("per_client", 100); ("domains", 0); ("commit_groups", 1) ]
+       ())
     headline
     (String.concat ",\n" (List.rev !json_rows));
   close_out oc;

@@ -49,6 +49,7 @@ let service_config tag =
     cache_mb = 0;
     commit_interval_us = 0;
     commit_max_batch = 64;
+    commit_groups = 1;
     wal_segment_bytes = 0;
     planner = true;
     plan_cache = 256;

@@ -61,6 +61,7 @@ let shard_config tag =
     cache_mb = 0;
     commit_interval_us = 0;
     commit_max_batch = 64;
+    commit_groups = 1;
     wal_segment_bytes = 0;
     planner = true;
     plan_cache = 64;

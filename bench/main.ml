@@ -21,6 +21,7 @@ let experiments =
     ("E16", E16.run);
     ("E17", E17.run);
     ("E18", E18.run);
+    ("E19", E19.run);
   ]
 
 let () =

@@ -44,8 +44,11 @@ let fbool b = if b then "yes" else "no"
 
 (* Provenance stamped into every BENCH_*.json: bench numbers without the
    machine, toolchain and revision that produced them are not comparable
-   run-to-run.  Rendered as one JSON member (no trailing comma). *)
-let meta_json () =
+   run-to-run — and concurrency numbers without the worker/domain/
+   commit-group knobs the run actually used are not interpretable across
+   boxes, so experiments pass those through [knobs].  Rendered as one JSON
+   member (no trailing comma). *)
+let meta_json ?(knobs = []) () =
   let git_rev =
     try
       let ic =
@@ -57,10 +60,15 @@ let meta_json () =
       | _ -> "unknown"
     with _ -> "unknown"
   in
+  let knob_members =
+    String.concat ""
+      (List.map (fun (k, v) -> Printf.sprintf ", %S: %d" k v) knobs)
+  in
   Printf.sprintf
-    {|  "meta": {"cores": %d, "ocaml": %S, "git_rev": %S, "timestamp": %.0f}|}
+    {|  "meta": {"cores": %d, "ocaml": %S, "git_rev": %S, "timestamp": %.0f%s}|}
     (Domain.recommended_domain_count ())
     Sys.ocaml_version git_rev (Unix.gettimeofday ())
+    knob_members
 
 (* Wall-clock timing for macro operations (result, seconds). *)
 let time f =

@@ -564,6 +564,25 @@ let crash_test_cmd =
              the simulated tear never reaches below the rotated segment \
              (rotation publishes with fsync + rename).")
   in
+  let docs =
+    Arg.(
+      value & opt int 1
+      & info [ "docs" ] ~docv:"N"
+          ~doc:
+            "Simulate N documents (>= 2) with interleaved journals and tear \
+             exactly one: recovery must confine the damage to that document \
+             while every other one replays every operation byte-identical \
+             and fscks clean.  Default 1 (single-document experiment).")
+  in
+  let groups =
+    Arg.(
+      value & opt int 2
+      & info [ "groups" ] ~docv:"N"
+          ~doc:
+            "Commit-group labels for the multi-document experiment (the \
+             server's FNV-1a placement hash mod N); reported per run.  Only \
+             meaningful with $(b,--docs) > 1.")
+  in
   let dir =
     Arg.(
       value
@@ -571,7 +590,7 @@ let crash_test_cmd =
       & info [ "dir" ] ~docv:"DIR"
           ~doc:"Working directory (default: a fresh directory under TMPDIR).")
   in
-  let run seed area ops size runs batch checkpoint dir =
+  let run seed area ops size runs batch checkpoint docs groups dir =
     let dir =
       match dir with
       | Some d ->
@@ -588,14 +607,28 @@ let crash_test_cmd =
     in
     let failures = ref 0 in
     for s = seed to seed + runs - 1 do
-      match
-        Rstorage.Crashsim.run ~dir ~seed:s ~ops ~size ~area ~batch
-          ?checkpoint_after:checkpoint ()
-      with
-      | o -> Format.printf "seed %d: ok — %a@." s Rstorage.Crashsim.pp_outcome o
-      | exception Rstorage.Crashsim.Mismatch why ->
-        incr failures;
-        Printf.eprintf "seed %d: FAILED — %s\n%!" s why
+      if docs > 1 then begin
+        match
+          Rstorage.Crashsim.run_group ~dir ~seed:s ~docs ~groups ~ops ~size
+            ~area ()
+        with
+        | o ->
+          Format.printf "seed %d: ok — %a@." s
+            Rstorage.Crashsim.pp_group_outcome o
+        | exception Rstorage.Crashsim.Mismatch why ->
+          incr failures;
+          Printf.eprintf "seed %d: FAILED — %s\n%!" s why
+      end
+      else
+        match
+          Rstorage.Crashsim.run ~dir ~seed:s ~ops ~size ~area ~batch
+            ?checkpoint_after:checkpoint ()
+        with
+        | o ->
+          Format.printf "seed %d: ok — %a@." s Rstorage.Crashsim.pp_outcome o
+        | exception Rstorage.Crashsim.Mismatch why ->
+          incr failures;
+          Printf.eprintf "seed %d: FAILED — %s\n%!" s why
     done;
     if !failures > 0 then begin
       Printf.eprintf "%d of %d run(s) failed\n" !failures runs;
@@ -611,7 +644,7 @@ let crash_test_cmd =
           to the snapshot).")
     Term.(
       const run $ seed_arg $ area_arg $ ops $ size $ runs $ batch $ checkpoint
-      $ dir)
+      $ docs $ groups $ dir)
 
 (* ------------------------------------------------------------------ *)
 (* serve / client                                                      *)
@@ -703,6 +736,17 @@ let serve_cmd =
              one snapshot publication (>= 1).  1 gives every record its \
              own fsync (unbatched).")
   in
+  let commit_groups =
+    Arg.(
+      value & opt int 0
+      & info [ "commit-groups" ] ~docv:"N"
+          ~doc:
+            "Independent commit pipelines (>= 1).  Documents hash to a \
+             pipeline by name; each pipeline has its own write mutex, \
+             commit queue, WAL family and fsync cadence, so unrelated \
+             documents commit concurrently.  0 (the default) provisions \
+             one pipeline per read domain (minimum 1).")
+  in
   let wal_segment_bytes =
     Arg.(
       value & opt int 0
@@ -781,8 +825,9 @@ let serve_cmd =
     exit 2
   in
   let run files data_dir workers max_queue domains cache_mb deadline_ms
-      commit_interval_us commit_max_batch wal_segment_bytes planner
-      plan_cache epoch max_depth max_area gen_kind gen_size seed socket =
+      commit_interval_us commit_max_batch commit_groups wal_segment_bytes
+      planner plan_cache epoch max_depth max_area gen_kind gen_size seed
+      socket =
     if max_depth < 1 then fail "--max-depth must be >= 1";
     if gen_size < 1 then fail "--gen-size must be >= 1";
     let data_dir =
@@ -809,6 +854,7 @@ let serve_cmd =
         cache_mb;
         commit_interval_us;
         commit_max_batch;
+        commit_groups;
         wal_segment_bytes;
         planner;
         plan_cache;
@@ -857,10 +903,11 @@ let serve_cmd =
         Printf.printf "hosting %-12s %6d nodes\n%!" name (Dom.size root))
       docs;
     Printf.printf
-      "listening on %s (workers %d, read domains %s, queue %d, cache %s, \
-       deadline %s, planner %s)\n%!"
+      "listening on %s (workers %d, read domains %s, commit groups %d, \
+       queue %d, cache %s, deadline %s, planner %s)\n%!"
       socket workers
       (if domains = 0 then "off" else string_of_int domains)
+      (Service.resolved_commit_groups cfg)
       (Service.resolved_max_queue cfg)
       (if cache_mb = 0 then "off" else string_of_int cache_mb ^ "MB")
       (if deadline_ms = 0 then "none" else string_of_int deadline_ms ^ "ms")
@@ -880,9 +927,9 @@ let serve_cmd =
           queue.  Stop with SIGINT or the SHUTDOWN protocol verb.")
     Term.(
       const run $ files $ data_dir $ workers $ max_queue $ domains $ cache_mb
-      $ deadline_ms $ commit_interval_us $ commit_batch $ wal_segment_bytes
-      $ planner $ plan_cache $ epoch $ max_depth $ max_area $ gen_kind
-      $ gen_size $ seed_arg $ socket_arg)
+      $ deadline_ms $ commit_interval_us $ commit_batch $ commit_groups
+      $ wal_segment_bytes $ planner $ plan_cache $ epoch $ max_depth
+      $ max_area $ gen_kind $ gen_size $ seed_arg $ socket_arg)
 
 let replica_cmd =
   let primary =

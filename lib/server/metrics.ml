@@ -34,6 +34,15 @@ type write_stats = {
   rotations : int;
 }
 
+type pipeline_group_stats = {
+  gq_depth : int;
+  g_batches : int;
+  g_records : int;
+  g_handoffs : int;
+  g_lock_wait : int array;
+  g_fsync_wait : int array;
+}
+
 type repl_stats = {
   role : string;  (* "primary" | "replica" | "promoted" *)
   epoch : int;
@@ -71,6 +80,7 @@ type t = {
   mutable cache_probe : (unit -> cache_stats) option;
   mutable domain_probe : (unit -> float array) option;
   mutable write_probe : (unit -> write_stats) option;
+  mutable pipeline_probe : (unit -> pipeline_group_stats array) option;
   mutable planner_probe : (unit -> planner_stats) option;
   mutable repl_probe : (unit -> repl_stats) option;
   mutable router_probe : (unit -> router_stats) option;
@@ -91,6 +101,7 @@ let create () =
     cache_probe = None;
     domain_probe = None;
     write_probe = None;
+    pipeline_probe = None;
     planner_probe = None;
     repl_probe = None;
     router_probe = None;
@@ -103,6 +114,41 @@ let locked t f =
 let bucket_of ns =
   if ns < 1. then 0
   else min (buckets - 1) (int_of_float (Float.log2 ns))
+
+(* The histogram shape is shared with the per-pipeline wait histograms the
+   service maintains outside this registry (recording there must not take
+   the registry mutex on every update). *)
+let hist_buckets = buckets
+let hist_bucket = bucket_of
+
+(* Upper bound of the bucket holding the q-quantile sample; 0 when the
+   histogram is empty. *)
+let hist_percentile h q =
+  let n = Array.fold_left ( + ) 0 h in
+  if n = 0 then 0.
+  else begin
+    let want = max 1 (int_of_float (ceil (q *. float_of_int n))) in
+    let seen = ref 0 and result = ref 0. in
+    (try
+       for i = 0 to Array.length h - 1 do
+         seen := !seen + h.(i);
+         if !seen >= want then begin
+           result := 2. ** float_of_int (i + 1);
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !result
+  end
+
+(* "bucket:count" pairs for the occupied buckets only — 62 mostly-empty
+   slots per group would drown the STATS dump. *)
+let sparse_hist h =
+  let parts = ref [] in
+  Array.iteri
+    (fun i c -> if c > 0 then parts := Printf.sprintf "%d:%d" i c :: !parts)
+    h;
+  if !parts = [] then "-" else String.concat "," (List.rev !parts)
 
 let bump c = function
   | `Ok -> c.ok <- c.ok + 1
@@ -154,6 +200,7 @@ let set_snapshot_probe t f = locked t (fun () -> t.snapshot_probe <- Some f)
 let set_cache_probe t f = locked t (fun () -> t.cache_probe <- Some f)
 let set_domain_probe t f = locked t (fun () -> t.domain_probe <- Some f)
 let set_write_probe t f = locked t (fun () -> t.write_probe <- Some f)
+let set_pipeline_probe t f = locked t (fun () -> t.pipeline_probe <- Some f)
 let set_planner_probe t f = locked t (fun () -> t.planner_probe <- Some f)
 let set_repl_probe t f = locked t (fun () -> t.repl_probe <- Some f)
 let set_router_probe t f = locked t (fun () -> t.router_probe <- Some f)
@@ -237,6 +284,10 @@ let render t =
     | Some f -> Some (f ())
     | None -> None
   in
+  let pipeline = match locked t (fun () -> t.pipeline_probe) with
+    | Some f -> Some (f ())
+    | None -> None
+  in
   let planner = match locked t (fun () -> t.planner_probe) with
     | Some f -> Some (f ())
     | None -> None
@@ -296,6 +347,30 @@ let render t =
       (Printf.sprintf
          "publish_incremental=%d publish_full=%d areas_rebuilt=%d\n"
          w.publish_incremental w.publish_full w.areas_rebuilt));
+  (match pipeline with
+  | None -> ()
+  | Some groups ->
+    let handoffs =
+      Array.fold_left (fun acc g -> acc + g.g_handoffs) 0 groups
+    in
+    Buffer.add_string b
+      (Printf.sprintf "commit_groups=%d leader_handoffs=%d\n"
+         (Array.length groups) handoffs);
+    Array.iteri
+      (fun i g ->
+        Buffer.add_string b
+          (Printf.sprintf
+             "group=%d queue_depth=%d batches=%d records=%d handoffs=%d \
+lock_wait_p50_ns=%.0f lock_wait_p99_ns=%.0f fsync_wait_p50_ns=%.0f \
+fsync_wait_p99_ns=%.0f lock_wait_hist=%s fsync_wait_hist=%s\n"
+             i g.gq_depth g.g_batches g.g_records g.g_handoffs
+             (hist_percentile g.g_lock_wait 0.50)
+             (hist_percentile g.g_lock_wait 0.99)
+             (hist_percentile g.g_fsync_wait 0.50)
+             (hist_percentile g.g_fsync_wait 0.99)
+             (sparse_hist g.g_lock_wait)
+             (sparse_hist g.g_fsync_wait)))
+      groups);
   (match planner with
   | None -> ()
   | Some p ->

@@ -68,8 +68,44 @@ type write_stats = {
 }
 
 val set_write_probe : t -> (unit -> write_stats) -> unit
-(** Gauge: group-commit pipeline counters; rendered as [wal_*] (with a
-    derived mean batch size) and [publish_*] keys when set. *)
+(** Gauge: group-commit pipeline counters, aggregated across every commit
+    group; rendered as [wal_*] (with a derived mean batch size) and
+    [publish_*] keys when set. *)
+
+type pipeline_group_stats = {
+  gq_depth : int;  (** records parked in this group's commit queue now *)
+  g_batches : int;  (** batches this group's leader fsynced *)
+  g_records : int;  (** records across those batches *)
+  g_handoffs : int;  (** idle→draining transitions of the group's leader *)
+  g_lock_wait : int array;
+      (** log2-ns histogram ({!hist_buckets} wide) of time writers spent
+          waiting for this group's write mutex *)
+  g_fsync_wait : int array;
+      (** log2-ns histogram of per-document batch append+fsync time *)
+}
+
+val set_pipeline_probe : t -> (unit -> pipeline_group_stats array) -> unit
+(** Gauge: per-commit-group contention counters, one slot per group;
+    rendered as a [commit_groups=N leader_handoffs=T] summary line plus one
+    [group=k ...] line per group (queue depth, batch/record counters,
+    lock-wait and fsync-wait p50/p99 and sparse histograms) when set. *)
+
+(** {1 Histogram helpers}
+
+    The same power-of-two-nanosecond bucketing the request-latency
+    histogram uses, exposed so subsystems can maintain their own wait
+    histograms without taking the registry mutex per sample. *)
+
+val hist_buckets : int
+(** Width every histogram array must have (62). *)
+
+val hist_bucket : float -> int
+(** [hist_bucket ns]: index of the bucket covering a duration in
+    nanoseconds — bucket i counts samples in [2^i, 2^(i+1)). *)
+
+val hist_percentile : int array -> float -> float
+(** [hist_percentile h q]: upper bound (ns) of the bucket holding the
+    q-quantile sample; 0 for an empty histogram. *)
 
 type planner_stats = {
   chain : int;  (** queries executed as chain structural-join pipelines *)

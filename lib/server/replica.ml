@@ -374,6 +374,23 @@ let catch_up t conn d ~target_gen =
     | Some why ->
       failwith (Printf.sprintf "segment of gen %d corrupt: %s" next why)
     | None -> ());
+    (* The segment names its own generation (the checkpoint frame every
+       rotated segment opens with).  The active segment can legitimately
+       be NEWER than [next] when the primary rotated again after the
+       STATE poll that set [target_gen] — commit pipelines rotate from
+       their own domains, so back-to-back rotations are routine.  Fail
+       BEFORE touching any local state: the reconnect path re-reads
+       STATE and walks the now-archived generation instead.  Installing
+       the bytes as generation [next] would poison the mirror — the
+       next drain would see a checkpoint cutting past the locally
+       applied sequence and every later resume would misalign. *)
+    (match entries with
+    | Wal.Ckpt c :: _ when c.Wal.gen <> next ->
+      failwith
+        (Printf.sprintf
+           "fetched segment is gen %d, expected %d: primary rotated again"
+           c.Wal.gen next)
+    | _ -> ());
     store_atomic d.wal_path (String.sub bytes 0 consumed);
     d.gen <- next;
     d.local_size <- consumed;

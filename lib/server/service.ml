@@ -13,6 +13,7 @@ type config = {
   cache_mb : int;
   commit_interval_us : int;
   commit_max_batch : int;
+  commit_groups : int;
   wal_segment_bytes : int;
   planner : bool;
   plan_cache : int;
@@ -22,8 +23,8 @@ type config = {
 let default_config ~socket_path ~data_dir () =
   { socket_path; data_dir; workers = 4; max_queue = 0; deadline_ms = 0;
     max_area_size = 64; domains = 0; cache_mb = 0;
-    commit_interval_us = 0; commit_max_batch = 64; wal_segment_bytes = 0;
-    planner = true; plan_cache = 256; epoch = 1 }
+    commit_interval_us = 0; commit_max_batch = 64; commit_groups = 0;
+    wal_segment_bytes = 0; planner = true; plan_cache = 256; epoch = 1 }
 
 (* E13 showed the old fixed default rejecting 67% of a 90/10 mix at only
    8 clients: a queue bound that ignores the pool size punishes exactly
@@ -31,6 +32,13 @@ let default_config ~socket_path ~data_dir () =
    scales with the pool: 4 jobs of headroom per worker. *)
 let resolved_max_queue c =
   if c.max_queue > 0 then c.max_queue else 4 * max c.workers (max 1 c.domains)
+
+(* Default the commit-pipeline count to the read-executor domain count: a
+   box granted N domains for reads deserves N write pipelines too, and a
+   single-domain configuration keeps the single-pipeline (= old global
+   mutex) behavior. *)
+let resolved_commit_groups c =
+  if c.commit_groups > 0 then c.commit_groups else max 1 c.domains
 
 (* sockaddr_un paths are limited to ~104 bytes portably. *)
 let max_socket_path = 100
@@ -45,6 +53,8 @@ let validate_config c =
   else if c.cache_mb < 0 then Error "cache-mb must be >= 0 (0 disables)"
   else if c.commit_interval_us < 0 then Error "commit-interval-us must be >= 0"
   else if c.commit_max_batch < 1 then Error "commit-batch must be >= 1"
+  else if c.commit_groups < 0 then
+    Error "commit-groups must be >= 0 (0 = one per read domain, min 1)"
   else if c.wal_segment_bytes < 0 then
     Error "wal-segment-bytes must be >= 0 (0 disables rotation)"
   else if c.plan_cache < 0 then
@@ -90,10 +100,14 @@ end
 
 type master = {
   name : string;
+  group : int;
+      (** commit group this document hashes to ({!Shard_map.hash} of the
+          name); fixed for the document's whole life — the name determines
+          it, and slot revival keeps the name *)
   mutable retired : bool;
-      (** set (under [write_mu], commit queue quiesced) by DROPDOC: the
-          slot stays — the commit queue addresses masters by index — but
-          the document refuses updates and stops being served *)
+      (** set (under the group's write mutex, all commit queues quiesced)
+          by DROPDOC: the slot stays — the commit queues address masters by
+          index — but the document refuses updates and stops being served *)
   r2 : R2.t;  (** the writer's private mutable state; never read by readers *)
   wal : Wal.writer;
   mutable applied_seq : int;
@@ -101,17 +115,27 @@ type master = {
           of [Wal.seq wal] while records sit in the commit queue *)
   mutable applied_version : int;
       (** snapshot version of the last operation applied to [r2]; guarded
-          by [write_mu] like [applied_seq] *)
+          by the group's write mutex like [applied_seq] *)
   mutable durable_version : int;
       (** version of the last operation fsynced to [wal]; written and read
-          only by the commit leader *)
+          only by the group's commit leader *)
   mutable wedged : string option;
-      (** set (under [write_mu]) when a failed commit left this document's
-          journal or published snapshot out of step with its master; all
-          further updates are refused until a restart replays the journal *)
+      (** set (under the group's write mutex) when a failed commit left
+          this document's journal or published snapshot out of step with
+          its master; all further updates are refused until a restart
+          replays the journal *)
   xml_path : string;
   sidecar_path : string;
   wal_path : string;
+  rotate_mu : Mutex.t;
+      (** makes ([Wal.generation], active-segment bytes) reads atomic
+          against {!Wal.rotate}: rotation swaps the file and bumps the
+          writer's generation as two steps, and it runs on the group's
+          pipeline {e domain} — a replication session reading the pair
+          unsynchronized could serve new-generation bytes labeled with
+          the old generation, which a follower would splice into the
+          wrong mirror.  Held only across rotation itself and across
+          each replication chunk read, never across a wait. *)
 }
 
 (* One applied-but-not-yet-durable update, parked in the commit queue. *)
@@ -133,24 +157,49 @@ type write_counters = {
   mutable w_rotations : int;
 }
 
+(* One independent commit pipeline.  Documents hash to a group by name;
+   the group exclusively owns its documents' masters and journal families,
+   so groups apply, fsync and publish with no ordering between them —
+   only the snapshot-pointer CAS is shared. *)
+type group = {
+  g_id : int;
+  g_write_mu : Mutex.t;
+      (** orders phase 1 (apply + sequence + enqueue) for this group's
+          documents; also taken by the full-fallback publication and by
+          quarantine, which read masters a writer may be mutating *)
+  g_mu : Mutex.t;  (** guards queue, leader flag, counters, histograms *)
+  g_cond : Condition.t;  (** signals the pipeline domain on arrival/stop *)
+  g_queue : pending Queue.t;
+  mutable g_committing : bool;
+      (** the pipeline is draining; arrivals coalesce into its next batch *)
+  mutable g_stop : bool;
+  g_writes : write_counters;
+  mutable g_handoffs : int;  (** idle→draining transitions of the leader *)
+  g_lock_wait : int array;  (** log2-ns histogram of [g_write_mu] waits *)
+  g_fsync_wait : int array;
+      (** log2-ns histogram of per-document batch append+fsync times *)
+}
+
 type t = {
   cfg : config;
   coll : Rxpath.Collection.t;
   mutable masters : master array;
-      (** grows (never shrinks, never reorders) under [write_mu] with the
-          commit queue quiesced; the array itself is replaced wholesale on
-          growth, so a reader holding the old array keeps valid indices *)
+      (** grows (never shrinks, never reorders) with every group's write
+          mutex held and every commit queue quiesced; the array itself is
+          replaced wholesale on growth, so a reader holding the old array
+          keeps valid indices *)
   catalog : (string, int) Hashtbl.t;  (** name -> masters index *)
   catalog_mu : Mutex.t;
   adopt_mu : Mutex.t;  (** serializes ADOPT staging appends + commits *)
   planner_shared : Rxpath.Planner.shared option;
   current : Snapshot.t Atomic.t;
-  write_mu : Mutex.t;
-  group_mu : Mutex.t;  (** guards the commit queue, leader flag, counters *)
-  group_queue : pending Queue.t;
-  mutable group_committing : bool;  (** a leader is flushing; join the queue *)
-  mutable last_version : int;  (** version of the last applied update *)
-  writes : write_counters;
+  groups : group array;  (** the commit pipelines; length >= 1, fixed *)
+  mutable pipelines : unit Domain.t array;
+      (** one dedicated domain per group, spawned at start, joined at stop;
+          written once after construction *)
+  last_version : int Atomic.t;
+      (** version of the last applied update — the global stamp source,
+          shared by every group (fetch-and-add) *)
   repl_requests : int Atomic.t;  (** REPL-* requests served *)
   repl_bytes : int Atomic.t;  (** journal/snapshot bytes shipped *)
   sched : Scheduler.t;
@@ -330,30 +379,47 @@ let eval_explain s src =
       (Printf.sprintf "v=%d\n%s" s.Snapshot.version
          (String.concat "\n" parts))
 
-(* --- Group commit -------------------------------------------------
+(* --- Commit pipelines ---------------------------------------------
 
-   An UPDATE splits into two phases.  Under [write_mu] the operation is
-   applied to the master numbering, given a sequence number and a snapshot
-   version, and parked in the commit queue — microseconds of work.  The
-   durable part (one WAL append + fsync, one snapshot publication) is done
-   by a {e leader}: the first thread to find no commit in flight.  Every
-   record that arrives while the leader's fsync is in the kernel coalesces
-   into the next batch frame, so N concurrent writers share one fsync
-   instead of paying N — the group commit.  A lone writer is always its own
-   leader and commits immediately: its latency is one append + fsync +
-   publish, exactly the unbatched path.  Followers park on their response
-   ivar; the leader fills it after the batch's fsync and publication, so an
-   UPDATE is never acknowledged before it is durable {e and} visible. *)
+   An UPDATE splits into two phases.  Under its document's {e group} write
+   mutex the operation is applied to the master numbering, given a
+   sequence number and a snapshot version, and parked in the group's
+   commit queue — microseconds of work.  The durable part (one WAL append
+   + fsync per touched document, one snapshot publication per batch) is
+   done by the group's {e pipeline}: a dedicated domain that drains the
+   queue whenever it is nonempty.  Every record that arrives while the
+   pipeline's fsync is in the kernel coalesces into its next batch frame,
+   so N concurrent writers of one group share one fsync instead of paying
+   N — the group commit.  A lone writer's record is picked up immediately:
+   its latency is one wake-up + append + fsync + publish, the unbatched
+   path.  Writers park on their response ivar; the pipeline fills it after
+   the batch's fsync and publication, so an UPDATE is never acknowledged
+   before it is durable {e and} visible.
 
-(* Drain up to [commit_max_batch] queued updates (leader only). *)
-let take_batch t =
-  Mutex.lock t.group_mu;
+   Documents hash to groups by name ({!Shard_map.hash}, the same stable
+   placement hash the collection router uses), so a group owns a fixed,
+   disjoint set of masters and their per-document journal families.
+   Everything per-document — ordering, quarantine, WAL batch atomicity,
+   segment rotation — therefore needs no cross-group coordination at all.
+   The only shared write state is the snapshot pointer: concurrent
+   publications race on [Atomic.compare_and_set] and retry against the
+   freshly-read current (their document sets are disjoint, so the folds
+   commute), and the global version stamp, pre-assigned per update by a
+   fetch-and-add counter. *)
+
+let record_wait hist ns =
+  let b = Metrics.hist_bucket ns in
+  hist.(b) <- hist.(b) + 1
+
+(* Drain up to [commit_max_batch] queued updates (pipeline only). *)
+let take_batch t (g : group) =
+  Mutex.lock g.g_mu;
   let rec go acc n =
-    if n = 0 || Queue.is_empty t.group_queue then List.rev acc
-    else go (Queue.pop t.group_queue :: acc) (n - 1)
+    if n = 0 || Queue.is_empty g.g_queue then List.rev acc
+    else go (Queue.pop g.g_queue :: acc) (n - 1)
   in
   let batch = go [] t.cfg.commit_max_batch in
-  Mutex.unlock t.group_mu;
+  Mutex.unlock g.g_mu;
   batch
 
 (* Rotate the WAL of every document whose segment outgrew the threshold,
@@ -365,7 +431,7 @@ let take_batch t =
    skips rotation this round and retries on a later batch.  The snapshot
    copy is already isolated from the master, so serializing it races with
    nothing. *)
-let maybe_rotate t snap groups =
+let maybe_rotate t (g : group) snap by_doc =
   if t.cfg.wal_segment_bytes > 0 then
     List.iter
       (fun (idx, _) ->
@@ -377,14 +443,20 @@ let maybe_rotate t snap groups =
             ()
           | Some (_, d) ->
             let r2 = d.Snapshot.r2 in
+            (* Under [rotate_mu]: rotation swaps the segment file and
+               bumps the writer's generation as two steps, and we are on
+               the pipeline domain — a replication session must never
+               read the pair in between. *)
+            Mutex.lock m.rotate_mu;
             ignore
               (Wal.rotate m.wal
                  ~xml:(Ruid.Persist.xml_to_bytes r2)
                  ~sidecar:(Ruid.Persist.sidecar_to_bytes r2));
-            Mutex.lock t.group_mu;
-            t.writes.w_rotations <- t.writes.w_rotations + 1;
-            Mutex.unlock t.group_mu)
-      groups
+            Mutex.unlock m.rotate_mu;
+            Mutex.lock g.g_mu;
+            g.g_writes.w_rotations <- g.g_writes.w_rotations + 1;
+            Mutex.unlock g.g_mu)
+      by_doc
 
 let quarantine_reply why =
   Protocol.Err
@@ -392,13 +464,12 @@ let quarantine_reply why =
        "update dropped: document quarantined after a failed commit (%s); \
         restart the server to recover from the journal" why)
 
-let commit_batch t batch =
+let commit_batch t (g : group) batch =
   (* A document wedged by an earlier failed commit has a master running
      ahead of its journal: appending for it can only fail again (sequence
      break) and would drag this batch's healthy documents down with it.
-     Reject its records up front.  [wedged] is written only by the leader
-     (and leadership hand-off goes through [group_mu]), so this read needs
-     no lock. *)
+     Reject its records up front.  [wedged] on this group's documents is
+     written only by this group's pipeline, so this read needs no lock. *)
   let batch, quarantined =
     List.partition (fun p -> t.masters.(p.doc_index).wedged = None) batch
   in
@@ -414,41 +485,54 @@ let commit_batch t batch =
   (* Per-document record groups, queue order preserved (per-document
      subsequences of a FIFO queue keep their sequence numbers consecutive,
      which is what [Wal.append_batch] checks). *)
-  let by_doc = Hashtbl.create 4 and order = ref [] in
+  let grouped = Hashtbl.create 4 and order = ref [] in
   List.iter
     (fun p ->
-      match Hashtbl.find_opt by_doc p.doc_index with
+      match Hashtbl.find_opt grouped p.doc_index with
       | Some l -> l := p :: !l
       | None ->
-        Hashtbl.replace by_doc p.doc_index (ref [ p ]);
+        Hashtbl.replace grouped p.doc_index (ref [ p ]);
         order := p.doc_index :: !order)
     batch;
   (* [order] holds first-touch indexes newest first; rev_map restores
      first-touch order. *)
-  let groups =
-    List.rev_map (fun idx -> (idx, List.rev !(Hashtbl.find by_doc idx))) !order
+  let by_doc =
+    List.rev_map (fun idx -> (idx, List.rev !(Hashtbl.find grouped idx)))
+      !order
   in
-  (* 1. Durability: one batch frame + one fsync per touched document. *)
+  (* 1. Durability: one batch frame + one fsync per touched document.
+     Groups fsync their disjoint journals concurrently — this is the wait
+     the whole refactor parallelizes, so it is also the one we histogram. *)
   let t0 = Unix.gettimeofday () in
   List.iter
     (fun (idx, ps) ->
       let m = t.masters.(idx) in
+      let d0 = Unix.gettimeofday () in
       Wal.append_batch m.wal (List.map (fun p -> p.record) ps);
+      let dns = (Unix.gettimeofday () -. d0) *. 1e9 in
+      Mutex.lock g.g_mu;
+      record_wait g.g_fsync_wait dns;
+      Mutex.unlock g.g_mu;
       m.durable_version <-
         List.fold_left (fun acc p -> max acc p.version) m.durable_version ps)
-    groups;
+    by_doc;
   let flush_ns = (Unix.gettimeofday () -. t0) *. 1e9 in
   (* 2. Publication, once for the whole batch.  A document's snapshot copy
      can already be ahead of some records here (a previous full-fallback
      publication captured its master mid-queue), so each pending is
      filtered against its own document's cursor — never the global stamp,
-     which a fallback capture of a {e different} document may have pushed
-     past this record's version — and never applied to a snapshot twice. *)
-  let prev = Atomic.get t.current in
+     which a publication of {e different} documents may have pushed past
+     this record's version — and never applied to a snapshot twice.
+
+     Other groups publish concurrently: the successor is derived from the
+     freshly-read current and installed by compare-and-set, retried from
+     the new current on a lost race.  The document sets are disjoint, so
+     the re-derivation folds exactly the same per-document copies; only
+     the stamp is recomputed ({!Snapshot.next_stamp}). *)
   let last_version =
     List.fold_left (fun acc p -> max acc p.version) 0 batch
   in
-  let updates =
+  let fresh_updates prev =
     List.filter_map
       (fun (idx, ps) ->
         let cursor = prev.Snapshot.docs.(idx).Snapshot.doc_version in
@@ -459,66 +543,76 @@ let commit_batch t batch =
             List.fold_left (fun acc p -> max acc p.version) cursor fresh
           in
           Some (idx, List.map (fun p -> p.record.Wal.op) fresh, doc_version))
-      groups
+      by_doc
   in
-  let published =
-    if updates = [] then prev
-    else begin
-      (* The global stamp must move strictly (cache keys embed it) and
-         cover every folded operation. *)
-      let version = max last_version (prev.Snapshot.version + 1) in
+  (* Full fallback: re-capture the touched documents from their masters
+     through the sidecar round-trip.  Under this group's write mutex the
+     masters cannot advance, but they may already be ahead of this batch
+     (later arrivals applied during our fsync), so each capture carries
+     its own master's applied version as its cursor — those queued records
+     are fsynced by this same pipeline before their acks, and the
+     per-document filter above keeps them from ever being replayed twice.
+     The stamp floor is the max of the captured cursors, never the global
+     update counter: a version assigned to some other document's queued
+     update must stay strictly above this snapshot's stamp-covered
+     range. *)
+  let publish_full () =
+    Mutex.lock g.g_write_mu;
+    Fun.protect ~finally:(fun () -> Mutex.unlock g.g_write_mu)
+    @@ fun () ->
+    let floor =
+      List.fold_left
+        (fun acc (idx, _) -> max acc t.masters.(idx).applied_version)
+        0 by_doc
+    in
+    let rec install () =
+      let prev = Atomic.get t.current in
+      let version = Snapshot.next_stamp prev ~floor in
+      let next =
+        List.fold_left
+          (fun s (idx, _) ->
+            let m = t.masters.(idx) in
+            Snapshot.replace_doc s ~version
+              ~doc_version:m.applied_version ~doc_index:idx m.r2)
+          prev by_doc
+      in
+      if Atomic.compare_and_set t.current prev next then begin
+        Mutex.lock g.g_mu;
+        g.g_writes.w_pub_full <- g.g_writes.w_pub_full + 1;
+        Mutex.unlock g.g_mu;
+        next
+      end
+      else install ()
+    in
+    install ()
+  in
+  let rec publish () =
+    let prev = Atomic.get t.current in
+    match fresh_updates prev with
+    | [] -> prev
+    | updates -> (
+      let version = Snapshot.next_stamp prev ~floor:last_version in
       match Snapshot.advance prev ~version updates with
       | next, areas ->
-        Atomic.set t.current next;
-        Mutex.lock t.group_mu;
-        t.writes.w_pub_inc <- t.writes.w_pub_inc + 1;
-        t.writes.w_areas <- t.writes.w_areas + areas;
-        Mutex.unlock t.group_mu;
-        next
-      | exception _ ->
-        (* Full fallback: re-capture the touched documents from their
-           masters through the sidecar round-trip.  Under [write_mu] the
-           masters cannot advance, but they may already be ahead of this
-           batch (later arrivals applied during our fsync), so each capture
-           carries its own master's applied version as its cursor — those
-           queued records are fsynced by this same leader before their
-           acks, and the per-document filter above keeps them from ever
-           being replayed twice.  The global stamp is the max of the
-           captured cursors, never the global update counter: a version
-           assigned to some other document's queued update must stay
-           strictly above this snapshot's stamp-covered range. *)
-        Mutex.lock t.write_mu;
-        Fun.protect ~finally:(fun () -> Mutex.unlock t.write_mu)
-        @@ fun () ->
-        let version =
-          List.fold_left
-            (fun acc (idx, _) -> max acc t.masters.(idx).applied_version)
-            (prev.Snapshot.version + 1)
-            groups
-        in
-        let next =
-          List.fold_left
-            (fun s (idx, _) ->
-              let m = t.masters.(idx) in
-              Snapshot.replace_doc s ~version
-                ~doc_version:m.applied_version ~doc_index:idx m.r2)
-            prev groups
-        in
-        Atomic.set t.current next;
-        Mutex.lock t.group_mu;
-        t.writes.w_pub_full <- t.writes.w_pub_full + 1;
-        Mutex.unlock t.group_mu;
-        next
-    end
+        if Atomic.compare_and_set t.current prev next then begin
+          Mutex.lock g.g_mu;
+          g.g_writes.w_pub_inc <- g.g_writes.w_pub_inc + 1;
+          g.g_writes.w_areas <- g.g_writes.w_areas + areas;
+          Mutex.unlock g.g_mu;
+          next
+        end
+        else publish ()
+      | exception _ -> publish_full ())
   in
+  let published = publish () in
   (* 3. Acknowledge: durable and visible. *)
   let n = List.length batch in
-  Mutex.lock t.group_mu;
-  t.writes.w_batches <- t.writes.w_batches + 1;
-  t.writes.w_records <- t.writes.w_records + n;
-  if n > t.writes.w_max_batch then t.writes.w_max_batch <- n;
-  t.writes.w_flush_ns <- t.writes.w_flush_ns +. flush_ns;
-  Mutex.unlock t.group_mu;
+  Mutex.lock g.g_mu;
+  g.g_writes.w_batches <- g.g_writes.w_batches + 1;
+  g.g_writes.w_records <- g.g_writes.w_records + n;
+  if n > g.g_writes.w_max_batch then g.g_writes.w_max_batch <- n;
+  g.g_writes.w_flush_ns <- g.g_writes.w_flush_ns +. flush_ns;
+  Mutex.unlock g.g_mu;
   List.iter
     (fun p ->
       Ivar.fill p.iv
@@ -529,84 +623,103 @@ let commit_batch t batch =
     batch;
   (* 4. Segment rotation; [maybe_rotate] skips any document whose published
      copy is not exactly its durable prefix. *)
-  maybe_rotate t published groups
+  maybe_rotate t g published by_doc
   end
 
-let rec leader_loop t =
-  (* Optional pacing: with a configured interval, wait for stragglers
-     unless the queue already fills a batch.  The default interval of 0
-     relies on natural batching — whatever arrives during the in-flight
-     fsync forms the next batch — and costs a lone writer nothing. *)
-  if t.cfg.commit_interval_us > 0 then begin
-    Mutex.lock t.group_mu;
-    let n = Queue.length t.group_queue in
-    Mutex.unlock t.group_mu;
-    if n < t.cfg.commit_max_batch then
-      Thread.delay (float_of_int t.cfg.commit_interval_us *. 1e-6)
-  end;
-  let batch = take_batch t in
-  (try commit_batch t batch
-   with e ->
-     (* Never strand a follower: a failed commit (I/O error mid-batch)
-        reports to every parked session rather than hanging them.  The
-        records' durability is unknown; the error says so.  And never let
-        a half-committed document keep taking writes: a master whose
-        applied state ran ahead of its journal would reject every later
-        append with a sequence break (write-wedged until restart), and one
-        that ran ahead of the published snapshot would have later
-        incremental publications replay onto a base that silently misses
-        these records.  Such documents are quarantined — updates refused
-        explicitly — until a restart re-derives state from the journal.  A
-        document whose journal and snapshot both caught up before the
-        failure (e.g. the exception came from a segment rotation after the
-        acks) stays live. *)
-     let msg =
-       Printf.sprintf "commit failed (durability unknown): %s"
-         (Printexc.to_string e)
-     in
-     Mutex.lock t.write_mu;
-     let snap = Atomic.get t.current in
-     List.iter
-       (fun p ->
-         let m = t.masters.(p.doc_index) in
-         let consistent =
-           m.applied_seq = Wal.seq m.wal
-           && snap.Snapshot.docs.(p.doc_index).Snapshot.doc_version
-              >= m.applied_version
-         in
-         if (not consistent) && m.wedged = None then m.wedged <- Some msg)
-       batch;
-     Mutex.unlock t.write_mu;
-     List.iter (fun p -> Ivar.fill p.iv (Protocol.Err msg)) batch);
-  (* Retire only on an empty queue: arrivals since the drain saw the
-     committing flag up and parked without electing a leader. *)
-  let continue =
-    Mutex.lock t.group_mu;
-    let more = not (Queue.is_empty t.group_queue) in
-    if not more then t.group_committing <- false;
-    Mutex.unlock t.group_mu;
-    more
-  in
-  if continue then leader_loop t
-
-let commit_pump t =
-  let lead =
-    Mutex.lock t.group_mu;
-    let lead =
-      (not t.group_committing) && not (Queue.is_empty t.group_queue)
+let leader_loop t (g : group) =
+  let rec drain () =
+    (* Optional pacing: with a configured interval, wait for stragglers
+       unless the queue already fills a batch.  The default interval of 0
+       relies on natural batching — whatever arrives during the in-flight
+       fsync forms the next batch — and costs a lone writer nothing. *)
+    if t.cfg.commit_interval_us > 0 then begin
+      Mutex.lock g.g_mu;
+      let n = Queue.length g.g_queue in
+      Mutex.unlock g.g_mu;
+      if n < t.cfg.commit_max_batch then
+        Thread.delay (float_of_int t.cfg.commit_interval_us *. 1e-6)
+    end;
+    let batch = take_batch t g in
+    (try commit_batch t g batch
+     with e ->
+       (* Never strand a writer: a failed commit (I/O error mid-batch)
+          reports to every parked session rather than hanging them.  The
+          records' durability is unknown; the error says so.  And never let
+          a half-committed document keep taking writes: a master whose
+          applied state ran ahead of its journal would reject every later
+          append with a sequence break (write-wedged until restart), and
+          one that ran ahead of the published snapshot would have later
+          incremental publications replay onto a base that silently misses
+          these records.  Such documents are quarantined — updates refused
+          explicitly — until a restart re-derives state from the journal.
+          A document whose journal and snapshot both caught up before the
+          failure (e.g. the exception came from a segment rotation after
+          the acks) stays live.  Only this group's documents are in the
+          batch, so only this group pauses to quarantine — other pipelines
+          keep committing. *)
+       let msg =
+         Printf.sprintf "commit failed (durability unknown): %s"
+           (Printexc.to_string e)
+       in
+       Mutex.lock g.g_write_mu;
+       let snap = Atomic.get t.current in
+       List.iter
+         (fun p ->
+           let m = t.masters.(p.doc_index) in
+           let consistent =
+             m.applied_seq = Wal.seq m.wal
+             && snap.Snapshot.docs.(p.doc_index).Snapshot.doc_version
+                >= m.applied_version
+           in
+           if (not consistent) && m.wedged = None then m.wedged <- Some msg)
+         batch;
+       Mutex.unlock g.g_write_mu;
+       List.iter (fun p -> Ivar.fill p.iv (Protocol.Err msg)) batch);
+    (* Retire only on an empty queue: arrivals since the drain saw the
+       committing flag up and parked without waking the pipeline. *)
+    let continue =
+      Mutex.lock g.g_mu;
+      let more = not (Queue.is_empty g.g_queue) in
+      if not more then g.g_committing <- false;
+      Mutex.unlock g.g_mu;
+      more
     in
-    if lead then t.group_committing <- true;
-    Mutex.unlock t.group_mu;
-    lead
+    if continue then drain ()
   in
-  if lead then leader_loop t
+  drain ()
+
+(* The pipeline domain: parked on the condition until a writer enqueues
+   (or stop is requested), then drains as the group's commit leader.
+   Dedicated domains — not elected session threads — because publication
+   is CPU-bound (clone + replay of the touched areas): systhreads all
+   share one domain, so elected leaders could never overlap publication
+   work; domains can. *)
+let rec pipeline_loop t (g : group) =
+  Mutex.lock g.g_mu;
+  while Queue.is_empty g.g_queue && not g.g_stop do
+    Condition.wait g.g_cond g.g_mu
+  done;
+  if Queue.is_empty g.g_queue then Mutex.unlock g.g_mu
+    (* stopping, queue drained: exit *)
+  else begin
+    g.g_committing <- true;
+    g.g_handoffs <- g.g_handoffs + 1;
+    Mutex.unlock g.g_mu;
+    leader_loop t g;
+    pipeline_loop t g
+  end
 
 let run_update t doc op =
   match find_master_idx t doc with
   | None -> Protocol.Err (Printf.sprintf "unknown document %S" doc)
   | Some idx -> begin
-    (* Phase 1: apply + enqueue, under the write lock only. *)
-    Mutex.lock t.write_mu;
+    (* The slot's group never changes (it is a pure function of the name,
+       and revival keeps the name), so it is safe to read before locking. *)
+    let g = t.groups.(t.masters.(idx).group) in
+    (* Phase 1: apply + enqueue, under the group's write lock only. *)
+    let w0 = Unix.gettimeofday () in
+    Mutex.lock g.g_write_mu;
+    let wait_ns = (Unix.gettimeofday () -. w0) *. 1e9 in
     let queued =
       let m = t.masters.(idx) in
       match m.wedged with
@@ -619,32 +732,32 @@ let run_update t doc op =
         match
           let area, changed = Wal.apply m.r2 op in
           m.applied_seq <- m.applied_seq + 1;
-          t.last_version <- t.last_version + 1;
-          m.applied_version <- t.last_version;
+          let version = 1 + Atomic.fetch_and_add t.last_version 1 in
+          m.applied_version <- version;
           let p =
             {
               doc_index = idx;
               record = { Wal.seq = m.applied_seq; op; area; changed };
-              version = t.last_version;
+              version;
               iv = Ivar.create ();
             }
           in
-          Mutex.lock t.group_mu;
-          Queue.add p t.group_queue;
-          Mutex.unlock t.group_mu;
+          Mutex.lock g.g_mu;
+          Queue.add p g.g_queue;
+          record_wait g.g_lock_wait wait_ns;
+          Condition.signal g.g_cond;
+          Mutex.unlock g.g_mu;
           p
         with
         | p -> Ok p
         | exception Wal.Replay_error msg -> Error msg)
     in
-    Mutex.unlock t.write_mu;
-    (* Phase 2: commit — as the leader, or by parking on the ivar while the
-       current leader folds this record into its next batch. *)
+    Mutex.unlock g.g_write_mu;
+    (* Phase 2: park on the ivar; the group's pipeline folds this record
+       into its next batch and fills it after fsync + publication. *)
     match queued with
     | Error msg -> Protocol.Err ("update rejected: " ^ msg)
-    | Ok p ->
-      commit_pump t;
-      Ivar.read p.iv
+    | Ok p -> Ivar.read p.iv
   end
 
 let eval_check s doc =
@@ -740,10 +853,22 @@ let stop t =
     (* 3. drain the admitted queues, park the workers and the domains *)
     Scheduler.shutdown t.sched;
     (match t.exec with Some ex -> Executor.shutdown ex | None -> ());
-    (* 4. the WAL needs no flush — every batch was fsynced at commit, and
-       the commit queue is provably empty: each queued record's session
-       was joined above, which required its ack, which a leader only
-       issues after the batch's fsync.  The files are final. *)
+    (* 4. stop the commit pipelines — only now: until every session and
+       worker is joined, a writer may still be parked on an ivar only a
+       live pipeline can fill.  By here the queues are provably empty
+       (each queued record's session was joined above, which required its
+       ack, which a pipeline only issues after the batch's fsync), so the
+       domains exit at once. *)
+    Array.iter
+      (fun g ->
+        Mutex.lock g.g_mu;
+        g.g_stop <- true;
+        Condition.broadcast g.g_cond;
+        Mutex.unlock g.g_mu)
+      t.groups;
+    Array.iter Domain.join t.pipelines;
+    (* 5. the WAL needs no flush — every batch was fsynced at commit.
+       The files are final. *)
     (try Sys.remove t.cfg.socket_path with Sys_error _ -> ());
     Mutex.lock t.state_mu;
     t.state <- `Stopped;
@@ -797,10 +922,13 @@ let run_repl_state t =
        { Replication.s_epoch = t.cfg.epoch;
          s_version = s.Snapshot.version; s_docs })
 
-(* Rotation swaps the active journal by rename while we read it; re-check
-   the generation around the read and retry on a swap, so a chunk is
-   always bytes of the generation the reply names. *)
+(* A chunk must be bytes of the generation the reply names.  [rotate_mu]
+   excludes the rotation in the group's pipeline domain, making the
+   (generation, file bytes) pair atomic; the generation re-check is kept
+   as a cheap invariant (it can no longer fail under the lock). *)
 let read_stable_chunk m path ~offset ~limit =
+  Mutex.lock m.rotate_mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m.rotate_mu) @@ fun () ->
   let rec go tries =
     let g0 = Wal.generation m.wal in
     let data, size = Replication.read_chunk path ~offset ~limit in
@@ -867,25 +995,38 @@ let run_repl_wait t doc want_gen offset timeout_ms =
    Documents arrive and leave at runtime: streamed ingest adds fresh
    documents, rebalance adopts a document shipped from another shard and
    drops the source copy.  All three mutate [masters] and publish a
-   snapshot outside the commit leader, so they run with the write lock
-   held AND the commit queue quiesced: no enqueued update can be awaiting
-   publication while we swap the membership under the leader's feet.  The
-   quiesce loop releases the write lock while a leader is draining —
-   the full-fallback publication path takes the write lock, so holding it
-   while waiting would deadlock. *)
+   snapshot outside the commit pipelines, so they run with {e every}
+   group's write lock held AND every commit queue quiesced: no enqueued
+   update can be awaiting publication while we swap the membership under
+   the pipelines' feet, and no pipeline can be mid-publication (its CAS
+   would clobber, or be clobbered by, the membership's [Atomic.set]).  The
+   quiesce loop releases the write locks while any pipeline is draining —
+   the full-fallback publication path takes its group's write lock, so
+   holding them while waiting would deadlock. *)
 
 let with_quiesced t f =
+  let lock_all () =
+    Array.iter (fun g -> Mutex.lock g.g_write_mu) t.groups
+  and unlock_all () =
+    Array.iter (fun g -> Mutex.unlock g.g_write_mu) t.groups
+  in
   let rec go () =
-    Mutex.lock t.write_mu;
-    Mutex.lock t.group_mu;
-    let busy = t.group_committing || not (Queue.is_empty t.group_queue) in
-    Mutex.unlock t.group_mu;
+    lock_all ();
+    let busy =
+      Array.exists
+        (fun g ->
+          Mutex.lock g.g_mu;
+          let b = g.g_committing || not (Queue.is_empty g.g_queue) in
+          Mutex.unlock g.g_mu;
+          b)
+        t.groups
+    in
     if busy then begin
-      Mutex.unlock t.write_mu;
+      unlock_all ();
       Thread.delay 0.001;
       go ()
     end
-    else Fun.protect ~finally:(fun () -> Mutex.unlock t.write_mu) f
+    else Fun.protect ~finally:unlock_all f
   in
   go ()
 
@@ -898,17 +1039,18 @@ let master_paths t name =
   (base ^ ".xml", base ^ ".ruid", base ^ ".wal")
 
 (* Register a master + publish the document.  Caller holds the quiesced
-   write lock.  A name mapping to a retired slot is revived in place —
-   the commit queue is empty, so no pending record can reference the old
-   master being replaced. *)
+   write locks (all groups).  A name mapping to a retired slot is revived
+   in place — the commit queues are empty, so no pending record can
+   reference the old master being replaced.  Publication is a plain
+   [Atomic.set]: quiescence guarantees no pipeline is racing a CAS. *)
 let install_master t ~name ~r2 ~wal ~applied_seq =
   let xml_path, sidecar_path, wal_path = master_paths t name in
-  t.last_version <- t.last_version + 1;
-  let version = t.last_version in
+  let version = 1 + Atomic.fetch_and_add t.last_version 1 in
+  let group = Shard_map.hash ~shards:(Array.length t.groups) name in
   let m =
-    { name; retired = false; r2; wal; applied_seq; applied_version = version;
-      durable_version = version; wedged = None; xml_path; sidecar_path;
-      wal_path }
+    { name; group; retired = false; r2; wal; applied_seq;
+      applied_version = version; durable_version = version; wedged = None;
+      xml_path; sidecar_path; wal_path; rotate_mu = Mutex.create () }
   in
   let next, idx =
     Snapshot.add_doc (Atomic.get t.current) ?planner:t.planner_shared ~version
@@ -1089,27 +1231,22 @@ let run_drop_doc t doc =
   | Some idx ->
     let m = t.masters.(idx) in
     m.retired <- true;
-    t.last_version <- t.last_version + 1;
+    let version = 1 + Atomic.fetch_and_add t.last_version 1 in
     let next =
-      Snapshot.retire_doc (Atomic.get t.current) ~version:t.last_version
-        ~doc_index:idx
+      Snapshot.retire_doc (Atomic.get t.current) ~version ~doc_index:idx
     in
     Atomic.set t.current next;
     (* Delete the artifacts: the document moved; a crash-restart of this
-       shard must not resurrect a stale copy.  Checkpoints and archives
-       share the wal path prefix. *)
-    let prefix = Filename.basename m.wal_path in
-    Array.iter
-      (fun f ->
-        if String.length f >= String.length prefix
-           && String.sub f 0 (String.length prefix) = prefix then
-          try Sys.remove (Filename.concat t.cfg.data_dir f)
-          with Sys_error _ -> ())
-      (try Sys.readdir t.cfg.data_dir with Sys_error _ -> [||]);
+       shard must not resurrect a stale copy.  The journal's whole segment
+       family (active segment, checkpoint pairs, archives) is enumerated
+       rather than guessed from the live generation. *)
+    List.iter
+      (fun (_, path) -> try Sys.remove path with Sys_error _ -> ())
+      (Wal.family m.wal_path);
     List.iter
       (fun p -> try Sys.remove p with Sys_error _ -> ())
       [ m.xml_path; m.sidecar_path ];
-    Protocol.Ok_ (Printf.sprintf "doc=%s dropped v=%d" doc t.last_version)
+    Protocol.Ok_ (Printf.sprintf "doc=%s dropped v=%d" doc version)
 
 let handle_frame t oc payload =
   let t0 = Unix.gettimeofday () in
@@ -1286,6 +1423,7 @@ let start cfg docs =
      depends on every node knowing which generation it speaks for. *)
   Replication.store_epoch cfg.data_dir cfg.epoch;
   let coll = Rxpath.Collection.create ~max_area_size:cfg.max_area_size () in
+  let n_groups = resolved_commit_groups cfg in
   let masters =
     Array.of_list
       (List.map
@@ -1304,9 +1442,11 @@ let start cfg docs =
            let wal = Wal.create wal_path in
            (* version 1 is the startup snapshot's stamp; every cursor
               starts there, matching [Snapshot.capture ~version:1] below *)
-           { name; retired = false; r2; wal; applied_seq = 0;
+           { name; group = Shard_map.hash ~shards:n_groups name;
+             retired = false; r2; wal; applied_seq = 0;
              applied_version = 1; durable_version = 1; wedged = None;
-             xml_path; sidecar_path; wal_path })
+             xml_path; sidecar_path; wal_path;
+             rotate_mu = Mutex.create () })
          docs)
   in
   let catalog = Hashtbl.create (2 * Array.length masters) in
@@ -1357,14 +1497,25 @@ let start cfg docs =
       adopt_mu = Mutex.create ();
       planner_shared;
       current = Atomic.make snapshot0;
-      write_mu = Mutex.create ();
-      group_mu = Mutex.create ();
-      group_queue = Queue.create ();
-      group_committing = false;
-      last_version = snapshot0.Snapshot.version;
-      writes =
-        { w_batches = 0; w_records = 0; w_max_batch = 0; w_flush_ns = 0.;
-          w_pub_inc = 0; w_pub_full = 0; w_areas = 0; w_rotations = 0 };
+      groups =
+        Array.init n_groups (fun g_id ->
+            { g_id;
+              g_write_mu = Mutex.create ();
+              g_mu = Mutex.create ();
+              g_cond = Condition.create ();
+              g_queue = Queue.create ();
+              g_committing = false;
+              g_stop = false;
+              g_writes =
+                { w_batches = 0; w_records = 0; w_max_batch = 0;
+                  w_flush_ns = 0.; w_pub_inc = 0; w_pub_full = 0;
+                  w_areas = 0; w_rotations = 0 };
+              g_handoffs = 0;
+              g_lock_wait = Array.make Metrics.hist_buckets 0;
+              g_fsync_wait = Array.make Metrics.hist_buckets 0;
+            });
+      pipelines = [||];
+      last_version = Atomic.make snapshot0.Snapshot.version;
       repl_requests = Atomic.make 0;
       repl_bytes = Atomic.make 0;
       sched;
@@ -1424,23 +1575,53 @@ let start cfg docs =
           plan_evictions = evictions;
           plan_entries = entries;
         }));
+  (* [wal_*]/[publish_*] keys stay aggregated across groups — every
+     existing consumer (tests, benches, dashboards) keeps its totals —
+     while the per-group contention detail goes out via the pipeline
+     probe. *)
   Metrics.set_write_probe metrics (fun () ->
-      Mutex.lock t.group_mu;
-      let w = t.writes in
-      let s =
+      Array.fold_left
+        (fun acc g ->
+          Mutex.lock g.g_mu;
+          let w = g.g_writes in
+          let acc =
+            {
+              Metrics.batches = acc.Metrics.batches + w.w_batches;
+              records = acc.Metrics.records + w.w_records;
+              max_batch = max acc.Metrics.max_batch w.w_max_batch;
+              flush_ns = acc.Metrics.flush_ns +. w.w_flush_ns;
+              publish_incremental =
+                acc.Metrics.publish_incremental + w.w_pub_inc;
+              publish_full = acc.Metrics.publish_full + w.w_pub_full;
+              areas_rebuilt = acc.Metrics.areas_rebuilt + w.w_areas;
+              rotations = acc.Metrics.rotations + w.w_rotations;
+            }
+          in
+          Mutex.unlock g.g_mu;
+          acc)
         {
-          Metrics.batches = w.w_batches;
-          records = w.w_records;
-          max_batch = w.w_max_batch;
-          flush_ns = w.w_flush_ns;
-          publish_incremental = w.w_pub_inc;
-          publish_full = w.w_pub_full;
-          areas_rebuilt = w.w_areas;
-          rotations = w.w_rotations;
+          Metrics.batches = 0; records = 0; max_batch = 0; flush_ns = 0.;
+          publish_incremental = 0; publish_full = 0; areas_rebuilt = 0;
+          rotations = 0;
         }
-      in
-      Mutex.unlock t.group_mu;
-      s);
+        t.groups);
+  Metrics.set_pipeline_probe metrics (fun () ->
+      Array.map
+        (fun g ->
+          Mutex.lock g.g_mu;
+          let s =
+            {
+              Metrics.gq_depth = Queue.length g.g_queue;
+              g_batches = g.g_writes.w_batches;
+              g_records = g.g_writes.w_records;
+              g_handoffs = g.g_handoffs;
+              g_lock_wait = Array.copy g.g_lock_wait;
+              g_fsync_wait = Array.copy g.g_fsync_wait;
+            }
+          in
+          Mutex.unlock g.g_mu;
+          s)
+        t.groups);
   Metrics.set_repl_probe metrics (fun () ->
       {
         Metrics.role = "primary";
@@ -1453,5 +1634,7 @@ let start cfg docs =
         reconnects = 0;
         refused_epoch = 0;
       });
+  t.pipelines <-
+    Array.map (fun g -> Domain.spawn (fun () -> pipeline_loop t g)) t.groups;
   t.accept_thread <- Some (Thread.create accept_loop t);
   t

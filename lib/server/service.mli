@@ -19,21 +19,32 @@
       are memoized in a snapshot-versioned sharded LRU ({!Query_cache})
       whose keys embed the snapshot version — a cached answer can never
       be stale, and publication needs no invalidation protocol.
-    - {e Writes are serialized, committed in groups.}  A single mutex
-      orders updates: each is applied to the master numbering, sequenced,
-      and parked in a commit queue.  A leader thread drains the queue and
-      fsyncs up to [commit_max_batch] records as {e one} WAL batch frame,
-      then publishes {e one} snapshot for the whole batch — derived
-      incrementally from the previous snapshot (clone + replay of just the
-      touched areas) rather than a full serialize/reparse.  Records that
-      arrive during an in-flight fsync coalesce into the next batch, so
-      concurrent writers share fsyncs (group commit) while a lone writer
-      commits immediately with unbatched latency.  An UPDATE is
+    - {e Writes are partitioned into independent commit pipelines.}
+      Documents hash by name into [commit_groups] groups (the same stable
+      placement hash the collection router uses); each group owns a write
+      mutex, a commit queue, and a dedicated pipeline domain, so updates
+      to documents of different groups apply, fsync, and publish
+      concurrently — the paper's area-confined-update independence turned
+      into multicore write throughput.  Within a group, writes are
+      serialized and committed in batches: each update is applied to the
+      master numbering, sequenced, parked in the group's queue, and the
+      pipeline drains up to [commit_max_batch] records into {e one} WAL
+      batch frame per touched document, then publishes {e one} snapshot
+      for the whole batch — derived incrementally from the previous
+      snapshot (clone + replay of just the touched areas) rather than a
+      full serialize/reparse, installed by compare-and-set so concurrent
+      groups' publications interleave safely.  Records that arrive during
+      an in-flight fsync coalesce into the next batch, so concurrent
+      writers of one group share fsyncs (group commit) while a lone
+      writer commits immediately with unbatched latency.  An UPDATE is
       acknowledged only after its batch's fsync and publication, so the
       on-disk journal is always a redo log of everything any client was
-      ever told ([OK seq=...]).  With [wal_segment_bytes > 0] a document's
-      journal is rotated once it outgrows the threshold: a checkpoint of
-      the durable state is cut and replay restarts from it.
+      ever told ([OK seq=...]).  Per-document ordering, quarantine after
+      a failed commit, and WAL batch atomicity are all per group — a
+      fault in one group never pauses another.  With
+      [wal_segment_bytes > 0] a document's journal is rotated once it
+      outgrows the threshold: a checkpoint of the durable state is cut
+      and replay restarts from it.
     - {e Overload is explicit.}  The admission queue is bounded; beyond it
       clients get [BUSY] immediately, and a per-request deadline turns
       stale queued work into [BUSY] instead of late replies.
@@ -64,6 +75,11 @@ type config = {
   commit_max_batch : int;
       (** most records coalesced into one WAL batch frame / one snapshot
           publication; 1 = unbatched (every record its own fsync) *)
+  commit_groups : int;
+      (** independent commit pipelines; documents hash to one by name.
+          0 (the default) = one pipeline per read domain ([domains]),
+          minimum 1.  1 = the single-pipeline behavior (all writes share
+          one mutex, queue and leader) *)
   wal_segment_bytes : int;
       (** rotate a document's WAL segment once it reaches this size,
           cutting a checkpoint; 0 disables rotation *)
@@ -84,17 +100,22 @@ type config = {
 val default_config : socket_path:string -> data_dir:string -> unit -> config
 (** workers 4, max_queue 0 (= 4 × workers), deadline_ms 0,
     max_area_size 64, domains 0, cache_mb 0, commit_interval_us 0,
-    commit_max_batch 64, wal_segment_bytes 0, planner true,
-    plan_cache 256, epoch 1. *)
+    commit_max_batch 64, commit_groups 0 (= one per read domain, min 1),
+    wal_segment_bytes 0, planner true, plan_cache 256, epoch 1. *)
 
 val resolved_max_queue : config -> int
 (** The effective per-pool admission bound: [max_queue] when positive,
     else 4 × the larger pool ([workers] vs [domains]). *)
 
+val resolved_commit_groups : config -> int
+(** The effective commit-pipeline count: [commit_groups] when positive,
+    else [max 1 domains]. *)
+
 val validate_config : config -> (unit, string) result
 (** Bounds checking for the CLI flags: workers >= 1, max_queue >= 0
     (0 = auto), deadline_ms >= 0, max_area_size >= 2, domains >= 0,
     cache_mb >= 0, commit_interval_us >= 0, commit_max_batch >= 1,
+    commit_groups >= 0 (0 = auto),
     wal_segment_bytes >= 0, plan_cache >= 0, epoch >= 1,
     socket path non-empty and short enough for
     [sockaddr_un]. *)

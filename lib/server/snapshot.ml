@@ -161,6 +161,15 @@ let advance_doc prev ~doc_version ops =
       live = prev.live },
     Hashtbl.length areas )
 
+(* The stamp a successor of [t] must be published under: strictly above
+   [t.version] (cache keys embed the stamp, so it must move on every
+   publication) and at least [floor] — the highest update version the
+   successor folds in.  With several commit groups publishing concurrently
+   through a CAS loop, each contender recomputes its stamp against the
+   freshly re-read predecessor, so stamps stay strictly increasing across
+   whichever publication wins the race. *)
+let next_stamp t ~floor = max floor (t.version + 1)
+
 let advance t ~version updates =
   let docs = Array.copy t.docs in
   let rebuilt = ref 0 in

@@ -12,6 +12,12 @@
     untouched documents are shared structurally between consecutive
     snapshots, so publish cost is O(affected document), not O(collection).
 
+    Several commit pipelines may publish concurrently: each derives a
+    successor from the snapshot it re-reads, stamps it with {!next_stamp},
+    and installs it with [Atomic.compare_and_set], retrying from the new
+    current on a lost race.  Pipelines own disjoint document sets, so the
+    per-document copies never conflict — only the stamp is contended.
+
     A captured snapshot is immutable and safe to read from any number of
     threads {e and domains} concurrently: every constituent structure
     (DOM clone, numbering tables, document-order index, tag postings,
@@ -68,6 +74,13 @@ val replace_doc :
     [doc_index], which is re-captured from the (just-updated) master with
     its cursor at [doc_version] — the version of the last operation the
     master has applied, which may trail the global [version] stamp. *)
+
+val next_stamp : t -> floor:int -> int
+(** The stamp a successor of this snapshot must carry: strictly above
+    [version] and at least [floor] (the highest update version the
+    successor folds in).  Concurrent publishers recompute it against the
+    freshly re-read predecessor on every CAS retry, which keeps stamps
+    strictly increasing across whichever publication wins. *)
 
 val advance :
   t -> version:int -> (int * Rstorage.Wal.op list * int) list -> t * int

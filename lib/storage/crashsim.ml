@@ -32,6 +32,39 @@ let wal_op_of_update = function
     Wal.Insert { parent_rank; pos; tag = "upd" }
   | Updates.Delete { rank } -> Wal.Delete { rank }
 
+type group_outcome = {
+  g_docs : int;
+  g_groups : int;
+  g_victim : string;
+  g_victim_group : int;
+  g_victim_survived : int;
+  g_victim_total : int;
+  g_intact_docs : int;
+}
+
+let pp_group_outcome ppf o =
+  Format.fprintf ppf
+    "%d documents over %d commit group(s); %s (group %d) torn to %d/%d \
+     op(s); %d other document(s) replayed every operation byte-identical \
+     and fsck clean"
+    o.g_docs o.g_groups o.g_victim o.g_victim_group o.g_victim_survived
+    o.g_victim_total o.g_intact_docs
+
+(* The server's placement hash ({!Rserver.Shard_map.hash}, FNV-1a 64),
+   restated because rstorage sits below rserver in the dependency order.
+   The labels only annotate the outcome — per-document journals mean the
+   blast radius is one document regardless of grouping — but matching the
+   server's hash makes the simulated layout the one a real collection
+   would produce for the same names. *)
+let group_of ~groups name =
+  let h = ref 0x4bf29ce484222325 in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * 0x100000001b3)
+    name;
+  (!h land max_int) mod groups
+
 (* Identifiers of every live node, in document order, as their wire bytes —
    the strongest equality the scheme offers. *)
 let encoded_ids r2 =
@@ -156,4 +189,101 @@ let run ?(vfs = Ruid.Vfs.real) ~dir ~seed ?(ops = 64) ?(size = 200)
     untouched_checked = !untouched_checked;
     batches = recovery.Wal.journal.Wal.batches;
     checkpoint_ops = !checkpoint_ops;
+  }
+
+(* Cross-group crash independence: [docs] documents, labeled with the
+   commit group the server would place them in, grow their per-document
+   journals in interleaved order (the way independent pipelines drive
+   them); then ONE document's journal is torn.  Every other document —
+   in the victim's group or not — must replay all of its operations
+   byte-identical to an in-memory replica and fsck Clean; the victim
+   recovers its valid prefix.  This is the structural property the
+   commit-pipeline split rests on: journal families are per-document,
+   so a fault's blast radius is one document, never a group. *)
+let run_group ?(vfs = Ruid.Vfs.real) ~dir ~seed ?(docs = 4) ?(groups = 2)
+    ?(ops = 24) ?(size = 120) ?(area = 8) () =
+  if docs < 2 then invalid_arg "Crashsim.run_group: docs must be >= 2";
+  if groups < 1 then invalid_arg "Crashsim.run_group: groups must be >= 1";
+  let name d = Printf.sprintf "doc%d" d in
+  let paths d =
+    let base = Filename.concat dir (name d) in
+    (base ^ ".xml", base ^ ".ruid", base ^ ".wal")
+  in
+  (* Per-document worlds: base tree, snapshot pair, journal, script. *)
+  let live =
+    Array.init docs (fun d ->
+        let base =
+          Rworkload.Shape.generate ~seed:(seed + (d * 17)) ~target:size
+            (Rworkload.Shape.Uniform { fanout_lo = 1; fanout_hi = 4 })
+        in
+        let r2 = R2.number ~max_area_size:area base in
+        let xml, sidecar, wal = paths d in
+        Ruid.Persist.save ~vfs r2 ~xml ~sidecar;
+        let w = Wal.create ~vfs wal in
+        let script =
+          Array.of_list
+            (List.map wal_op_of_update
+               (Updates.script ~seed:(seed + 1 + (d * 31)) ~ops base))
+        in
+        (r2, w, script))
+  in
+  (* Interleaved appends: round-robin over the documents so every journal
+     grows while the others do, like concurrent pipelines on one disk. *)
+  for i = 0 to ops - 1 do
+    Array.iter
+      (fun (r2, w, script) ->
+        let op = script.(i) in
+        let area, changed = Wal.apply r2 op in
+        Wal.append_batch w [ { Wal.seq = Wal.seq w + 1; op; area; changed } ])
+      live
+  done;
+  (* The crash: one document's journal survives only up to [cut] bytes;
+     every other journal is untouched. *)
+  let victim = seed mod docs in
+  let _, _, vwal = paths victim in
+  let vsize = vfs.Ruid.Vfs.size vwal in
+  let cut = Rng.int_in (Rng.create ((seed * 2654435761) lor 1)) 0 vsize in
+  Fault.torn_tail ~vfs vwal ~keep:cut;
+  (* Recovery under test, document by document. *)
+  let intact = ref 0 and victim_survived = ref 0 in
+  Array.iteri
+    (fun d (_, _, script) ->
+      let xml, sidecar, wal = paths d in
+      let recovery = Wal.replay ~vfs ~xml ~sidecar ~wal () in
+      let survived = List.length recovery.Wal.replayed in
+      (* Authoritative replica: snapshot + exactly the surviving prefix. *)
+      let _doc, replica = Ruid.Persist.load ~vfs ~xml ~sidecar () in
+      Array.iteri
+        (fun i op -> if i < survived then ignore (Wal.apply replica op))
+        script;
+      if encoded_ids recovery.Wal.r2 <> encoded_ids replica then
+        mismatch "document %s: recovered identifiers differ from the replica"
+          (name d);
+      if d = victim then begin
+        victim_survived := survived;
+        match Wal.fsck ~vfs ~xml ~sidecar ~wal () with
+        | Wal.Unrecoverable why ->
+          mismatch "torn document %s unrecoverable: %s" (name d) why
+        | Wal.Clean | Wal.Recoverable _ -> ()
+      end
+      else begin
+        if survived <> ops then
+          mismatch "document %s lost %d operation(s) to another journal's tear"
+            (name d) (ops - survived);
+        (match Wal.fsck ~vfs ~xml ~sidecar ~wal () with
+        | Wal.Clean -> ()
+        | st ->
+          mismatch "document %s: fsck not clean after a foreign tear: %a"
+            (name d) Wal.pp_status st);
+        incr intact
+      end)
+    live;
+  {
+    g_docs = docs;
+    g_groups = groups;
+    g_victim = name victim;
+    g_victim_group = group_of ~groups (name victim);
+    g_victim_survived = !victim_survived;
+    g_victim_total = ops;
+    g_intact_docs = !intact;
   }

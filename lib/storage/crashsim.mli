@@ -59,3 +59,48 @@ val run :
     many operations; the tear point then never falls below the fresh
     segment's size, because rotation publishes it with fsync + rename.
     @raise Mismatch when recovery and replica disagree. *)
+
+(** {1 Cross-group crash independence} *)
+
+type group_outcome = {
+  g_docs : int;  (** documents simulated *)
+  g_groups : int;  (** commit groups the documents were labeled with *)
+  g_victim : string;  (** the one document whose journal was torn *)
+  g_victim_group : int;  (** the victim's commit-group label *)
+  g_victim_survived : int;  (** operations the victim's valid prefix kept *)
+  g_victim_total : int;  (** operations journaled per document *)
+  g_intact_docs : int;
+      (** non-victim documents that replayed {e every} operation
+          byte-identical and fsck'd [Clean] (always [g_docs - 1] on
+          success) *)
+}
+
+val pp_group_outcome : Format.formatter -> group_outcome -> unit
+
+val group_of : groups:int -> string -> int
+(** Commit-group label for a document name: the server's stable FNV-1a
+    placement hash, [mod groups]. *)
+
+val run_group :
+  ?vfs:Ruid.Vfs.t ->
+  dir:string ->
+  seed:int ->
+  ?docs:int ->
+  ?groups:int ->
+  ?ops:int ->
+  ?size:int ->
+  ?area:int ->
+  unit ->
+  group_outcome
+(** Multi-document crash experiment in [dir]: [docs] (default 4, >= 2)
+    documents labeled over [groups] (default 2) commit groups journal
+    [ops] operations each in interleaved order, then exactly one
+    journal — the victim's, chosen from [seed] — is torn at a random
+    byte.  Recovery must confine the damage to the victim: every other
+    document replays all [ops] operations byte-identical to an
+    in-memory replica and fscks [Clean]; the victim recovers its valid
+    prefix and must not be [Unrecoverable].  This is the property that
+    lets commit pipelines fail independently: journal families are
+    per-document, so no tear crosses a document boundary, let alone a
+    group one.
+    @raise Mismatch when any document violates its clause. *)

@@ -496,6 +496,50 @@ let checkpoint_files path gen =
 
 let segment_archive path gen = Printf.sprintf "%s.seg%d" path gen
 
+type family_member =
+  | Active
+  | Checkpoint_xml of int
+  | Checkpoint_sidecar of int
+  | Segment of int
+
+(* A journal path owns a whole segment family on disk; enumerating it by
+   re-deriving the names from generations would miss artifacts of crashed
+   rotations, so the family is discovered by scanning the directory for
+   the path's suffix grammar instead. *)
+let family path =
+  let dir = Filename.dirname path and base = Filename.basename path in
+  let blen = String.length base in
+  let parse f =
+    if f = base then Some Active
+    else if String.length f > blen && String.sub f 0 blen = base then begin
+      let suffix = String.sub f blen (String.length f - blen) in
+      match
+        Scanf.sscanf suffix ".ckpt%d.%s" (fun g ext ->
+            match ext with
+            | "xml" -> Some (Checkpoint_xml g)
+            | "ruid" -> Some (Checkpoint_sidecar g)
+            | _ -> None)
+      with
+      | some_or_none -> some_or_none
+      | exception (Scanf.Scan_failure _ | Failure _ | End_of_file) -> (
+        match Scanf.sscanf suffix ".seg%d%!" (fun g -> Segment g) with
+        | seg -> Some seg
+        | exception (Scanf.Scan_failure _ | Failure _ | End_of_file) -> None)
+    end
+    else None
+  in
+  let key = function
+    | Active -> (-1, 0)
+    | Checkpoint_xml g -> (g, 0)
+    | Checkpoint_sidecar g -> (g, 1)
+    | Segment g -> (g, 2)
+  in
+  (try Sys.readdir dir with Sys_error _ -> [||])
+  |> Array.to_list
+  |> List.filter_map (fun f ->
+         Option.map (fun m -> (m, Filename.concat dir f)) (parse f))
+  |> List.sort (fun (a, _) (b, _) -> compare (key a) (key b))
+
 let should_rotate w ~threshold =
   threshold > 0
   && (try w.vfs.Vfs.size w.path >= threshold with _ -> false)

@@ -158,6 +158,21 @@ val segment_archive : string -> int -> string
     segment.  Replication catch-up reads these when a follower is behind
     the live generation. *)
 
+type family_member =
+  | Active  (** the live journal at the path itself *)
+  | Checkpoint_xml of int
+  | Checkpoint_sidecar of int
+  | Segment of int  (** an archived segment *)
+
+val family : string -> (family_member * string) list
+(** Every on-disk artifact of the journal's segment family, discovered by
+    scanning the path's directory (not by re-deriving names from the live
+    generation, which would miss leftovers of a crashed rotation): the
+    active journal if present, then each generation's checkpoint pair and
+    archived segment in generation order.  Used by [DROPDOC] to delete a
+    document without guessing at its rotation history, and by tests to
+    assert the family a run produced. *)
+
 (** {1 Reading and recovery} *)
 
 type scan = {

@@ -39,6 +39,7 @@ let with_server ?(workers = 2) ?(max_queue = 0) ?(domains = 0) ?(cache_mb = 0)
       cache_mb;
       commit_interval_us = 0;
       commit_max_batch = 64;
+      commit_groups = 1;
       wal_segment_bytes = 0;
       planner = true;
       plan_cache = 256;

@@ -29,7 +29,7 @@ let doc_of_string s = Dom.root_element (Rxml.Parser.parse_string s)
 
 let with_server ?(workers = 2) ?(max_queue = 8) ?(deadline_ms = 0)
     ?(max_area_size = 8) ?(domains = 0) ?(cache_mb = 0)
-    ?(commit_interval_us = 0) ?(commit_max_batch = 64)
+    ?(commit_interval_us = 0) ?(commit_max_batch = 64) ?(commit_groups = 0)
     ?(wal_segment_bytes = 0) ?(planner = true) ?(plan_cache = 256)
     ?(epoch = 1) docs f =
   let cfg =
@@ -44,6 +44,7 @@ let with_server ?(workers = 2) ?(max_queue = 8) ?(deadline_ms = 0)
       cache_mb;
       commit_interval_us;
       commit_max_batch;
+      commit_groups;
       wal_segment_bytes;
       planner;
       plan_cache;
@@ -583,6 +584,112 @@ let test_group_commit_service () =
   Alcotest.(check bool) "publications counted" true
     (get_kv stats "publish_incremental" + get_kv stats "publish_full" >= 1)
 
+let test_commit_pipelines_concurrent_docs () =
+  (* W writers over D documents hashed across 4 commit pipelines: the
+     global version sequence stays gapless, every document's journal
+     sequence stays consecutive and version-ordered, acks stay batched,
+     and after a clean stop every document's journal family fscks clean
+     and recovers exactly what clients were told.  This is the
+     whole-service contract the per-group split must not bend. *)
+  let n_docs = 6 and writers = 12 and per_writer = 8 in
+  let docs =
+    List.init n_docs (fun i -> (Printf.sprintf "doc%d" i, doc_of_string library))
+  in
+  let files = ref [] in
+  let mu = Mutex.create () in
+  let seen : (string, int * int) Hashtbl.t = Hashtbl.create 64 in
+  (with_server ~workers:(writers + 1) ~max_queue:256 ~commit_groups:4 docs
+   @@ fun cfg t ->
+   files :=
+     List.map (fun (name, _) -> (name, Option.get (Service.doc_files t name)))
+       docs;
+   let body k () =
+     let doc = Printf.sprintf "doc%d" (k mod n_docs) in
+     C.with_connection cfg.Service.socket_path @@ fun c ->
+     for _ = 1 to per_writer do
+       let body =
+         ok_body
+           (C.request c
+              (P.Update
+                 { doc;
+                   op = Wal.Insert { parent_rank = 0; pos = 0; tag = "m" } }))
+       in
+       if get_kv body "batch" < 1 then
+         Alcotest.failf "ack %S lacks a positive batch=" body;
+       Mutex.lock mu;
+       Hashtbl.add seen doc (get_kv body "seq", get_kv body "v");
+       Mutex.unlock mu
+     done
+   in
+   let threads = Array.init writers (fun k -> Thread.create (body k) ()) in
+   Array.iter Thread.join threads;
+   let total = writers * per_writer in
+   (* Global versions: distinct and gapless across all pipelines — the
+      shared counter leaves no holes even though four leaders interleave. *)
+   let versions =
+     List.sort compare (Hashtbl.fold (fun _ (_, v) acc -> v :: acc) seen [])
+   in
+   Alcotest.(check (list int))
+     "globally distinct consecutive versions"
+     (List.init total (fun i -> i + 2))
+     versions;
+   (* Per document: journal sequences are exactly 1..N, and versions
+      increase with sequence (per-document ordering is untouched). *)
+   let per_doc = total / n_docs in
+   List.iter
+     (fun (name, _) ->
+       let stream =
+         List.sort compare (Hashtbl.find_all seen name)
+       in
+       Alcotest.(check (list int))
+         (name ^ ": consecutive journal sequence")
+         (List.init per_doc (fun i -> i + 1))
+         (List.map fst stream);
+       ignore
+         (List.fold_left
+            (fun prev (_, v) ->
+              if v <= prev then
+                Alcotest.failf "%s: version %d not above %d" name v prev;
+              v)
+            0 stream))
+     !files;
+   C.with_connection cfg.Service.socket_path @@ fun c ->
+   (* Reads see everything; STATS aggregates across groups and details
+      each pipeline. *)
+   let count = ok_body (C.request c (P.Count "//m")) in
+   Alcotest.(check int) "all inserts visible" total (get_kv count "total");
+   let stats = ok_body (C.request c P.Stats) in
+   Alcotest.(check int) "all records journaled (aggregated)" total
+     (get_kv stats "wal_records");
+   Alcotest.(check int) "four pipelines reported" 4
+     (get_kv stats "commit_groups");
+   let group_lines =
+     List.filter
+       (fun l -> String.length l > 6 && String.sub l 0 6 = "group=")
+       (String.split_on_char '\n' stats)
+   in
+   Alcotest.(check int) "one detail line per group" 4
+     (List.length group_lines);
+   Alcotest.(check bool) "handoffs counted" true
+     (get_kv stats "leader_handoffs" >= 1));
+  (* Server stopped: every journal family recovers what clients saw. *)
+  List.iter
+    (fun (name, (xml, sidecar, wal)) ->
+      let status = Wal.fsck ~xml ~sidecar ~wal () in
+      Alcotest.(check int)
+        (Format.asprintf "%s: fsck clean after stop (%a)" name Wal.pp_status
+           status)
+        0 (Wal.exit_code status);
+      let recovery = Wal.replay ~xml ~sidecar ~wal () in
+      let ms =
+        List.filter (fun n -> Dom.tag n = "m") (R2.all_nodes recovery.Wal.r2)
+      in
+      Alcotest.(check int)
+        (name ^ ": recovered every acked insert")
+        (writers * per_writer / n_docs)
+        (List.length ms))
+    !files
+
 let test_segment_rotation_service () =
   let files = ref None in
   (with_server ~wal_segment_bytes:256 [ ("lib", doc_of_string library) ]
@@ -627,6 +734,7 @@ let test_shutdown_verb () =
       cache_mb = 0;
       commit_interval_us = 0;
       commit_max_batch = 64;
+      commit_groups = 0;
       wal_segment_bytes = 0;
       planner = true;
       plan_cache = 256;
@@ -658,7 +766,17 @@ let test_config_validation () =
   bad { base with Service.max_area_size = 1 };
   bad { base with Service.domains = -1 };
   bad { base with Service.cache_mb = -1 };
+  bad { base with Service.commit_groups = -1 };
   bad { base with Service.epoch = 0 };
+  (* commit_groups = 0 means "one pipeline per read domain", min 1 *)
+  Alcotest.(check int) "auto commit groups" 1
+    (Service.resolved_commit_groups { base with Service.commit_groups = 0 });
+  Alcotest.(check int) "auto groups follow domains" 4
+    (Service.resolved_commit_groups
+       { base with Service.commit_groups = 0; domains = 4 });
+  Alcotest.(check int) "explicit commit groups" 3
+    (Service.resolved_commit_groups
+       { base with Service.commit_groups = 3; domains = 8 });
   (* max_queue = 0 means "4 x the larger pool" *)
   Alcotest.(check int) "auto queue bound" 16
     (Service.resolved_max_queue { base with Service.max_queue = 0; workers = 4 });
@@ -831,6 +949,8 @@ let suite =
     Alcotest.test_case "incremental publication = full round-trip (100 seeds)" `Quick test_incremental_publication_equivalence;
     Alcotest.test_case "per-document publication cursors" `Quick test_per_document_version_cursor;
     Alcotest.test_case "group commit: 4 writers, atomic batched acks" `Quick test_group_commit_service;
+    Alcotest.test_case "commit pipelines: 12 writers x 6 docs x 4 groups" `Quick
+      test_commit_pipelines_concurrent_docs;
     Alcotest.test_case "segment rotation under live service" `Quick test_segment_rotation_service;
     Alcotest.test_case "SHUTDOWN verb" `Quick test_shutdown_verb;
     Alcotest.test_case "config validation" `Quick test_config_validation;

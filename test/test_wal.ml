@@ -486,6 +486,72 @@ let test_checkpoint_crash_equivalence () =
       (o.Crashsim.ops_survived <= o.Crashsim.ops_total)
   done
 
+let test_cross_group_crash_independence () =
+  (* The commit-pipeline contract at the storage layer, on 10 seeds:
+     four documents labeled over two commit groups journal interleaved
+     scripts, one journal is torn, and Crashsim.run_group raises
+     Mismatch unless every other document — victim's group or not —
+     replays all of its operations byte-identical and fscks Clean. *)
+  for seed = 80 to 89 do
+    let o = Crashsim.run_group ~dir ~seed ~docs:4 ~groups:2 ~ops:24 () in
+    Alcotest.(check int)
+      (Printf.sprintf "seed %d: every non-victim document intact" seed)
+      3 o.Crashsim.g_intact_docs;
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d: victim prefix bounded" seed)
+      true
+      (o.Crashsim.g_victim_survived <= o.Crashsim.g_victim_total);
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d: victim group labeled" seed)
+      true
+      (o.Crashsim.g_victim_group >= 0 && o.Crashsim.g_victim_group < 2)
+  done;
+  (* The group labeling is the server's placement hash: stable, total. *)
+  Alcotest.(check int) "one group maps everything to 0" 0
+    (Crashsim.group_of ~groups:1 "anything");
+  Alcotest.(check int) "labels deterministic"
+    (Crashsim.group_of ~groups:4 "doc3")
+    (Crashsim.group_of ~groups:4 "doc3")
+
+let test_family_enumeration () =
+  (* Wal.family discovers every on-disk artifact of a journal — active
+     segment, checkpoint pairs, archived segments — in generation order,
+     from the directory alone.  DROPDOC relies on this list to remove a
+     document without leaking archives. *)
+  let root, live, _xml, _sidecar, wal = snapshot "fam" in
+  let w = Wal.create wal in
+  let ops = script root ~seed:26 ~ops:9 in
+  let chunk i = List.filteri (fun j _ -> j / 3 = i) ops in
+  List.iter (fun op -> ignore (Wal.log_update w live op)) (chunk 0);
+  ignore
+    (Wal.rotate w ~xml:(P.xml_to_bytes live)
+       ~sidecar:(P.sidecar_to_bytes live));
+  List.iter (fun op -> ignore (Wal.log_update w live op)) (chunk 1);
+  ignore
+    (Wal.rotate w ~xml:(P.xml_to_bytes live)
+       ~sidecar:(P.sidecar_to_bytes live));
+  List.iter (fun op -> ignore (Wal.log_update w live op)) (chunk 2);
+  let fam = Wal.family wal in
+  let members = List.map fst fam in
+  Alcotest.(check bool) "active + 2 checkpoint pairs + 2 archives" true
+    (members
+    = [
+        Wal.Active;
+        Wal.Checkpoint_xml 1; Wal.Checkpoint_sidecar 1; Wal.Segment 1;
+        Wal.Checkpoint_xml 2; Wal.Checkpoint_sidecar 2; Wal.Segment 2;
+      ]);
+  List.iter
+    (fun (_, p) ->
+      Alcotest.(check bool) (p ^ " exists") true (Sys.file_exists p))
+    fam;
+  (* A sibling journal's family is untouched by ours. *)
+  let _, _, _, _, wal2 = snapshot "famsib" in
+  let w2 = Wal.create wal2 in
+  ignore
+    (Wal.log_update w2 live (Wal.Insert { parent_rank = 0; pos = 0; tag = "s" }));
+  Alcotest.(check int) "sibling family is just its active segment" 1
+    (List.length (Wal.family wal2))
+
 let test_transient_faults_absorbed () =
   (* The whole pipeline — save, journaling, recovery — under a transient
      fault plan whose bursts stay below the retry budget. *)
@@ -536,6 +602,9 @@ let suite =
       test_checkpoint_damage;
     Alcotest.test_case "checkpoint crash equivalence (10 seeds)" `Quick
       test_checkpoint_crash_equivalence;
+    Alcotest.test_case "cross-group crash independence (10 seeds)" `Quick
+      test_cross_group_crash_independence;
+    Alcotest.test_case "family enumeration" `Quick test_family_enumeration;
     Alcotest.test_case "transient faults absorbed" `Quick
       test_transient_faults_absorbed;
   ]
