@@ -43,6 +43,7 @@ let run_level ~doc_name ~root ~clients ~per_client ~workers ~max_queue =
       max_queue;
       deadline_ms = 0;
       max_area_size = 64;
+      max_depth = 10_000;
       domains = 0;
       cache_mb = 0;
       commit_interval_us = 0;

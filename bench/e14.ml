@@ -86,6 +86,7 @@ let run_level ~doc_name ~root ~mode ~cache_mb ~mix_name ~update_every ~clients
       max_queue = 0 (* default: 4 x pool *);
       deadline_ms = 0;
       max_area_size = 64;
+      max_depth = 10_000;
       domains;
       cache_mb;
       commit_interval_us = 0;

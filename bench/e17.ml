@@ -45,6 +45,7 @@ let service_config tag =
     max_queue = 16;
     deadline_ms = 0;
     max_area_size = 64;
+    max_depth = 10_000;
     domains = 0;
     cache_mb = 0;
     commit_interval_us = 0;

@@ -57,6 +57,7 @@ let shard_config tag =
     max_queue = 32;
     deadline_ms = 0;
     max_area_size = 16;
+    max_depth = 10_000;
     domains = 0;
     cache_mb = 0;
     commit_interval_us = 0;

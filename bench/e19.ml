@@ -61,6 +61,7 @@ let run_level ~roots ~groups ~clients ~per_client =
       max_queue = 0 (* default: 4 x pool *);
       deadline_ms = 0;
       max_area_size = 64;
+      max_depth = 10_000;
       domains = 0;
       cache_mb = 0;
       commit_interval_us = 0;

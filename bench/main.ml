@@ -22,6 +22,7 @@ let experiments =
     ("E17", E17.run);
     ("E18", E18.run);
     ("E19", E19.run);
+    ("E20", E20.run);
   ]
 
 let () =

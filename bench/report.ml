@@ -42,6 +42,28 @@ let fns ns =
 
 let fbool b = if b then "yes" else "no"
 
+(* Peak resident set (VmHWM) of the calling process in KiB, from
+   /proc/self/status; 0 where /proc is unavailable (non-Linux).  The
+   high-water mark is monotone for the process lifetime, so callers that
+   want the footprint of one phase sample it before and after and take the
+   difference. *)
+let peak_rss_kb () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> 0
+  | ic ->
+    Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+    let rec go () =
+      match input_line ic with
+      | exception End_of_file -> 0
+      | line ->
+        if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then
+          try Scanf.sscanf (String.sub line 6 (String.length line - 6)) " %d"
+                Fun.id
+          with Scanf.Scan_failure _ | Failure _ -> 0
+        else go ()
+    in
+    go ()
+
 (* Provenance stamped into every BENCH_*.json: bench numbers without the
    machine, toolchain and revision that produced them are not comparable
    run-to-run — and concurrency numbers without the worker/domain/
@@ -65,10 +87,10 @@ let meta_json ?(knobs = []) () =
       (List.map (fun (k, v) -> Printf.sprintf ", %S: %d" k v) knobs)
   in
   Printf.sprintf
-    {|  "meta": {"cores": %d, "ocaml": %S, "git_rev": %S, "timestamp": %.0f%s}|}
+    {|  "meta": {"cores": %d, "ocaml": %S, "git_rev": %S, "timestamp": %.0f, "peak_rss_kb": %d%s}|}
     (Domain.recommended_domain_count ())
     Sys.ocaml_version git_rev (Unix.gettimeofday ())
-    knob_members
+    (peak_rss_kb ()) knob_members
 
 (* Wall-clock timing for macro operations (result, seconds). *)
 let time f =

@@ -850,6 +850,7 @@ let serve_cmd =
         max_queue;
         deadline_ms;
         max_area_size = max_area;
+        max_depth;
         domains;
         cache_mb;
         commit_interval_us;
@@ -1238,47 +1239,56 @@ let ingest_cmd =
             "Ship every document through the router at PATH instead of \
              directly to the shards.")
   in
-  let jobs =
+  let parallel =
     Arg.(
       value & opt int 4
-      & info [ "jobs" ] ~docv:"N"
-          ~doc:"Concurrent connections in $(b,--router) mode (>= 1).")
+      & info [ "parallel"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Concurrent worker connections (>= 1): N connections to the \
+             router with $(b,--router), N connections $(i,per shard) in \
+             direct mode (each shard's files dealt round-robin over its \
+             workers).")
   in
   let fail msg =
     prerr_endline ("ruidtool ingest: " ^ msg);
     exit 2
   in
-  let run dir shards router jobs =
-    if jobs < 1 then fail "--jobs must be >= 1";
+  let run dir shards router parallel =
+    if parallel < 1 then fail "--parallel must be >= 1";
     let files =
       Sys.readdir dir |> Array.to_list
       |> List.filter (fun f -> Filename.check_suffix f ".xml")
       |> List.sort String.compare
     in
     if files = [] then fail (Printf.sprintf "no *.xml files under %s" dir);
-    (* Work buckets: in direct mode each shard gets exactly the files the
-       placement hash assigns it (the same FNV the router computes, so a
-       later query routes straight to the copy); in router mode files are
-       dealt round-robin over the connections and the router places them. *)
+    (* Work buckets, one per worker connection: in direct mode each shard
+       gets exactly the files the placement hash assigns it (the same FNV
+       the router computes, so a later query routes straight to the copy),
+       spread round-robin over its [parallel] workers; in router mode
+       files are dealt round-robin over the connections and the router
+       places them. *)
     let buckets, connect =
       match (shards, router) with
       | [], Some r ->
-        let buckets = Array.make jobs [] in
+        let buckets = Array.make parallel [] in
         List.iteri
-          (fun i f -> buckets.(i mod jobs) <- f :: buckets.(i mod jobs))
+          (fun i f -> buckets.(i mod parallel) <- f :: buckets.(i mod parallel))
           files;
         (buckets, fun _ -> r)
       | (_ :: _ as shards), None ->
         let sockets = Array.of_list shards in
         let n = Array.length sockets in
-        let buckets = Array.make n [] in
+        let buckets = Array.make (n * parallel) [] in
+        let rr = Array.make n 0 in
         List.iter
           (fun f ->
             let name = Filename.remove_extension f in
             let s = Shard_map.hash ~shards:n name in
-            buckets.(s) <- f :: buckets.(s))
+            let slot = (s * parallel) + (rr.(s) mod parallel) in
+            rr.(s) <- rr.(s) + 1;
+            buckets.(slot) <- f :: buckets.(slot))
           files;
-        (buckets, fun i -> sockets.(i))
+        (buckets, fun i -> sockets.(i / parallel))
       | [], None -> fail "one of --shard ... or --router is required"
       | _ :: _, Some _ -> fail "--shard and --router are mutually exclusive"
     in
@@ -1292,11 +1302,6 @@ let ingest_cmd =
       | Some msg -> failures := (f, msg) :: !failures);
       Mutex.unlock mu
     in
-    let read_file path =
-      let ic = open_in_bin path in
-      Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
-      really_input_string ic (in_channel_length ic)
-    in
     let t0 = Unix.gettimeofday () in
     let worker i =
       match buckets.(i) with
@@ -1307,35 +1312,28 @@ let ingest_cmd =
         List.iter
           (fun f ->
             let name = Filename.remove_extension f in
-            (* One document in memory per worker, never the corpus: the
-               file's bytes stream through a SAX well-formedness pass
-               (no DOM on this side — the shard builds its own) and out
-               as a single ADDDOC frame. *)
-            let xml = read_file (Filename.concat dir f) in
-            if String.length xml + String.length name + 8
-               > Rserver.Protocol.max_frame
-            then record f (Some "document exceeds the protocol frame cap")
-            else
-              match Rxml.Sax.iter xml ~f:(fun _ -> ()) with
-              | exception Rxml.Parser.Parse_error e ->
-                record f
-                  (Some (Format.asprintf "%a" Rxml.Parser.pp_error e))
-              | () -> (
-                match
-                  Rserver.Client.request_retry ~retries:3 c
-                    (Rserver.Protocol.Add_doc { doc = name; xml })
-                with
-                | Rserver.Protocol.Ok_ body ->
-                  Mutex.lock mu;
-                  incr docs;
-                  bytes := !bytes + String.length xml;
-                  (match Rserver.Client.kv_int body "nodes" with
-                  | Some n -> nodes := !nodes + n
-                  | None -> ());
-                  Mutex.unlock mu
-                | Rserver.Protocol.Err msg -> record f (Some msg)
-                | Rserver.Protocol.Busy why ->
-                  record f (Some ("busy: " ^ why))))
+            let path = Filename.concat dir f in
+            (* One chunk in memory per worker, never the document (let
+               alone the corpus): the file ships straight from disk — a
+               single ADDDOC frame when it fits, an ADDCHUNK sequence
+               otherwise — and the shard parses it exactly once, in the
+               same streaming pass that numbers it.  Malformed input
+               comes back as the shard's ERR. *)
+            let size =
+              try (Unix.stat path).Unix.st_size with Unix.Unix_error _ -> 0
+            in
+            match Rserver.Client.add_doc_file ~retries:3 c ~doc:name path with
+            | Rserver.Protocol.Ok_ body ->
+              Mutex.lock mu;
+              incr docs;
+              bytes := !bytes + size;
+              (match Rserver.Client.kv_int body "nodes" with
+              | Some n -> nodes := !nodes + n
+              | None -> ());
+              Mutex.unlock mu
+            | Rserver.Protocol.Err msg -> record f (Some msg)
+            | Rserver.Protocol.Busy why -> record f (Some ("busy: " ^ why))
+            | exception Sys_error msg -> record f (Some msg))
           (List.rev bucket)
     in
     let threads =
@@ -1364,11 +1362,13 @@ let ingest_cmd =
     (Cmd.info "ingest"
        ~doc:
          "Bulk-load a directory of XML files into a sharded collection: \
-          each document is SAX-checked, placed by the shared FNV hash (or \
-          by the router with $(b,--router)) and shipped as one ADDDOC \
-          frame.  Memory use is bounded by the largest single document, \
-          not the corpus.")
-    Term.(const run $ dir $ shard_sockets_arg $ router $ jobs)
+          each document is placed by the shared FNV hash (or by the router \
+          with $(b,--router)) and streamed from disk — one ADDDOC frame \
+          when it fits, a chunked ADDCHUNK sequence otherwise.  The shard \
+          parses each document exactly once, in the same pass that numbers \
+          it; client memory is bounded by one frame per worker, not by \
+          document or corpus size.")
+    Term.(const run $ dir $ shard_sockets_arg $ router $ parallel)
 
 (* ------------------------------------------------------------------ *)
 (* guide                                                               *)

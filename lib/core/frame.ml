@@ -178,17 +178,26 @@ let adjust_fanout t =
             | [] -> fc (* fc is a direct T-child of u *)
           in
           let cur =
-            Option.value ~default:[] (Hashtbl.find_opt groups branch.Dom.serial)
+            match Hashtbl.find_opt groups branch.Dom.serial with
+            | Some (_, members) -> members
+            | None -> []
           in
-          Hashtbl.replace groups branch.Dom.serial (fc :: cur))
+          Hashtbl.replace groups branch.Dom.serial (branch, fc :: cur))
         !l;
+      (* Largest group wins; ties break on the branch's position among u's
+         children.  Never on hash order of serials — that would make the
+         cut depend on node-allocation history, so two parses of the same
+         bytes could partition (and number) differently. *)
       let best =
-        Hashtbl.fold
-          (fun _ group acc ->
-            match acc with
-            | Some g when List.length g >= List.length group -> acc
-            | _ -> if List.length group >= 2 then Some group else acc)
-          groups None
+        Hashtbl.fold (fun _ bg acc -> bg :: acc) groups []
+        |> List.filter (fun (_, g) -> List.length g >= 2)
+        |> List.sort (fun (b1, g1) (b2, g2) ->
+               match compare (List.length g2) (List.length g1) with
+               | 0 -> compare (Dom.child_index b1) (Dom.child_index b2)
+               | c -> c)
+        |> function
+        | [] -> None
+        | (_, g) :: _ -> Some g
       in
       match best with
       | None ->
@@ -245,7 +254,14 @@ let bits v =
   let rec go acc v = if v = 0 then acc else go (acc + 1) (v lsr 1) in
   go 0 v
 
-let partition ?(max_area_size = 64) ?max_area_depth ?(adjust = true) root =
+let default_area_size = 64
+
+(* Keep k^depth comfortably inside a native integer: local indices stay
+   under ~48 bits, leaving headroom for fan-out growth under updates. *)
+let default_area_depth ~max_fanout = max 4 (48 / bits (max_fanout + 1))
+
+let partition ?(max_area_size = default_area_size) ?max_area_depth
+    ?(adjust = true) root =
   if max_area_size < 2 then invalid_arg "Frame.partition: max_area_size < 2";
   let max_area_depth =
     match max_area_depth with
@@ -253,17 +269,81 @@ let partition ?(max_area_size = 64) ?max_area_depth ?(adjust = true) root =
       if d < 1 then invalid_arg "Frame.partition: max_area_depth < 1";
       d
     | None ->
-      (* Keep k^depth comfortably inside a native integer: local indices
-         stay under ~48 bits, leaving headroom for fan-out growth under
-         updates. *)
       let max_fanout =
         Dom.fold_preorder (fun acc n -> max acc (Dom.degree n)) 1 root
       in
-      max 4 (48 / bits (max_fanout + 1))
+      default_area_depth ~max_fanout
   in
   let t = greedy_cut ~max_area_size ~max_area_depth root in
   if adjust then adjust_fanout t;
   t
+
+(* The greedy cut as an online algorithm over a preorder enter/leave walk:
+   the decision for a node depends only on the budget its enumerating area
+   has already spent on earlier nodes (all before it in document order) and
+   its depth inside that area, so a stack of open areas suffices — the cut
+   set is computed during a single streaming pass, with no tree in hand.
+   Produces exactly the cut of [greedy_cut] (tested equivalent). *)
+module Cut_builder = struct
+  type area = { mutable budget : int }
+
+  type builder = {
+    max_area_size : int;
+    max_area_depth : int;
+    cut : (int, unit) Hashtbl.t;
+    (* per open node: the area enumerating its children and the greedy
+       depth those children are checked at *)
+    mutable stack : (area * int) list;
+    mutable root_serial : int;
+  }
+
+  let create ?(max_area_size = default_area_size) ~max_area_depth () =
+    if max_area_size < 2 then
+      invalid_arg "Frame.Cut_builder.create: max_area_size < 2";
+    if max_area_depth < 1 then
+      invalid_arg "Frame.Cut_builder.create: max_area_depth < 1";
+    {
+      max_area_size;
+      max_area_depth;
+      cut = Hashtbl.create 64;
+      stack = [];
+      root_serial = -1;
+    }
+
+  let enter b ~serial =
+    match b.stack with
+    | [] ->
+      (* tree root: always an area root, children checked at greedy depth 1 *)
+      Hashtbl.replace b.cut serial ();
+      b.root_serial <- serial;
+      b.stack <- ({ budget = b.max_area_size - 1 }, 1) :: b.stack;
+      true
+    | (area, gdepth) :: _ ->
+      area.budget <- area.budget - 1;
+      if area.budget >= 0 && gdepth < b.max_area_depth then begin
+        b.stack <- (area, gdepth + 1) :: b.stack;
+        false
+      end
+      else begin
+        (* the node still consumed a slot as a leaf of the upper area, but
+           its own children start a fresh area rooted here *)
+        Hashtbl.replace b.cut serial ();
+        b.stack <- ({ budget = b.max_area_size - 1 }, 1) :: b.stack;
+        true
+      end
+
+  let leave b =
+    match b.stack with
+    | _ :: rest -> b.stack <- rest
+    | [] -> invalid_arg "Frame.Cut_builder.leave: empty stack"
+
+  let finish b ~root =
+    if b.stack <> [] then
+      invalid_arg "Frame.Cut_builder.finish: unbalanced enter/leave";
+    if root.Dom.serial <> b.root_serial then
+      invalid_arg "Frame.Cut_builder.finish: root is not the first entered node";
+    { root; cut = b.cut }
+end
 
 let check_invariants t =
   let fail fmt = Format.kasprintf failwith fmt in

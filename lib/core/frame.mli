@@ -32,6 +32,49 @@ val partition :
     under roughly 48 bits — "appropriately dividing an XML tree into
     UID-local areas" (Section 3.1). *)
 
+val default_area_size : int
+(** 64 — the [max_area_size] {!partition} uses when none is given. *)
+
+val default_area_depth : max_fanout:int -> int
+(** The depth budget {!partition} derives when none is given: keeps every
+    local index under roughly 48 bits for a tree of the given maximal
+    fan-out. *)
+
+val adjust_fanout : t -> unit
+(** The Section 2.3 refinement in isolation: promote branching nodes to
+    area roots until the frame's maximal fan-out does not exceed the source
+    tree's.  {!partition} applies it when [adjust] is set; exposed so the
+    streaming builder ({!Stream_build}) can run it over an online-computed
+    cut. *)
+
+(** The greedy cut of {!partition} as an online algorithm: feed it a
+    preorder enter/leave walk — e.g. SAX start/end events — and it decides
+    each node's area-root status the moment the node starts, from a stack
+    of open-area budgets alone.  State is O(tree depth); the resulting cut
+    is exactly the one [greedy_cut] inside {!partition} produces (tested
+    equivalent). *)
+module Cut_builder : sig
+  type builder
+
+  val create : ?max_area_size:int -> max_area_depth:int -> unit -> builder
+  (** Defaults [max_area_size] to {!default_area_size}.  The depth budget
+      is required: deriving it needs the tree's maximal fan-out, which a
+      stream only knows at the end ({!default_area_depth}). *)
+
+  val enter : builder -> serial:int -> bool
+  (** Called at each node start in document order with the node's DOM
+      serial; returns whether the node becomes an area root.  The first
+      node entered is the tree root (always an area root). *)
+
+  val leave : builder -> unit
+  (** Called at each node end. *)
+
+  val finish : builder -> root:Rxml.Dom.t -> t
+  (** The completed frame over the tree rooted at [root] (which must carry
+      the serial of the first entered node).
+      @raise Invalid_argument on an unbalanced walk or a foreign root. *)
+end
+
 val of_cut_set : Rxml.Dom.t -> Rxml.Dom.t list -> t
 (** Build a frame from an explicit cut set (the tree root is added
     implicitly).  Used by tests reconstructing the paper's figures.

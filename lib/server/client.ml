@@ -110,6 +110,40 @@ let request_raw_retry ?(retries = 0) ?(budget_ms = default_retry_budget_ms) t
 let request_retry ?retries ?budget_ms t req =
   request_raw_retry ?retries ?budget_ms t (Protocol.request_to_string req)
 
+(* Ship a document from disk without ever holding it in memory: one
+   ADDDOC frame when it fits, else an ordered ADDCHUNK sequence feeding
+   the shard's spool.  [one_shot_cap] mirrors the frame arithmetic of
+   [Protocol.request_to_string]: "ADDDOC <doc>\n" is 8 bytes + the name. *)
+let add_doc_file ?retries ?budget_ms ?chunk t ~doc path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+  let size = in_channel_length ic in
+  let one_shot_cap = Protocol.max_frame - (String.length doc + 8) in
+  if size <= one_shot_cap then
+    let xml = really_input_string ic size in
+    request_retry ?retries ?budget_ms t (Protocol.Add_doc { doc; xml })
+  else begin
+    (* "ADDCHUNK <doc> <off> <0|1>\n" — 32 bytes covers verb, flags and
+       any offset the frame cap allows *)
+    let cap = Protocol.max_frame - (String.length doc + 32) in
+    let chunk =
+      match chunk with Some c -> max 1 (min c cap) | None -> cap
+    in
+    let buf = Bytes.create chunk in
+    let rec go off =
+      let n = input ic buf 0 chunk in
+      let last = n = 0 || off + n >= size in
+      let bytes = Bytes.sub_string buf 0 n in
+      match
+        request_retry ?retries ?budget_ms t
+          (Protocol.Add_chunk { doc; off; last; bytes })
+      with
+      | Protocol.Ok_ _ as r -> if last then r else go (off + n)
+      | r -> r
+    in
+    go 0
+  end
+
 let kv body key =
   let tokens =
     String.split_on_char '\n' body

@@ -57,6 +57,26 @@ val request_raw_retry :
   ?retries:int -> ?budget_ms:int -> t -> string -> Protocol.response
 (** {!request_raw} with the same BUSY retry policy. *)
 
+(** {1 Streaming ingest} *)
+
+val add_doc_file :
+  ?retries:int ->
+  ?budget_ms:int ->
+  ?chunk:int ->
+  t ->
+  doc:string ->
+  string ->
+  Protocol.response
+(** [add_doc_file t ~doc path] ships the file at [path] as document
+    [doc] without ever materializing it in client memory: a single
+    [ADDDOC] frame when the file fits under {!Protocol.max_frame}, else
+    an ordered [ADDCHUNK] sequence ([chunk] bytes per frame, default the
+    largest that fits) that the shard spools and ingests in one
+    streaming pass on the committing chunk.  Returns the first non-OK
+    response, or the committing chunk's
+    [OK doc=<name> nodes=<n> v=<version>].  The retry knobs are those of
+    {!request_retry}, applied per frame. *)
+
 (** {1 Reply token helpers} *)
 
 val kv : string -> string -> string option

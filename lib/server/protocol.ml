@@ -26,6 +26,7 @@ type request =
   | Query_doc of { doc : string; xpath : string }
   | Count_doc of { doc : string; xpath : string }
   | Add_doc of { doc : string; xml : string }
+  | Add_chunk of { doc : string; off : int; last : bool; bytes : string }
   | Adopt of { doc : string; file : repl_file; last : bool; bytes : string }
   | Adopt_abort of string
   | Drop_doc of string
@@ -49,6 +50,7 @@ let verb = function
   | Query_doc _ -> "QUERYD"
   | Count_doc _ -> "COUNTD"
   | Add_doc _ -> "ADDDOC"
+  | Add_chunk _ -> "ADDCHUNK"
   | Adopt _ -> "ADOPT"
   | Adopt_abort _ -> "ADOPTABORT"
   | Drop_doc _ -> "DROPDOC"
@@ -146,6 +148,21 @@ let parse_request line =
     if not (valid_word header) then Error "ADDDOC: bad document name"
     else if xml = "" then Error "ADDDOC: missing XML body"
     else Ok (Add_doc { doc = header; xml })
+  | "ADDCHUNK", rest -> begin
+    let header, bytes = split_body rest in
+    match String.split_on_char ' ' header with
+    | [ doc; off; last ] ->
+      if not (valid_word doc) then Error "ADDCHUNK: bad document name"
+      else
+        int_word "ADDCHUNK offset" off (fun off ->
+            if off < 0 then Error "ADDCHUNK: negative offset"
+            else
+              match last with
+              | "0" -> Ok (Add_chunk { doc; off; last = false; bytes })
+              | "1" -> Ok (Add_chunk { doc; off; last = true; bytes })
+              | _ -> Error "ADDCHUNK: last flag must be 0 or 1")
+    | _ -> Error "ADDCHUNK: expected '<doc> <offset> <0|1>\\n<bytes>'"
+  end
   | "ADOPT", rest -> begin
     let header, bytes = split_body rest in
     match String.split_on_char ' ' header with
@@ -253,6 +270,10 @@ let request_to_string = function
   | Query_doc { doc; xpath } -> Printf.sprintf "QUERYD %s %s" doc xpath
   | Count_doc { doc; xpath } -> Printf.sprintf "COUNTD %s %s" doc xpath
   | Add_doc { doc; xml } -> Printf.sprintf "ADDDOC %s\n%s" doc xml
+  | Add_chunk { doc; off; last; bytes } ->
+    Printf.sprintf "ADDCHUNK %s %d %d\n%s" doc off
+      (if last then 1 else 0)
+      bytes
   | Adopt { doc; file; last; bytes } ->
     Printf.sprintf "ADOPT %s %s %d\n%s" doc (repl_file_to_string file)
       (if last then 1 else 0)

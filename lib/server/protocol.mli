@@ -33,6 +33,7 @@
     (the frame length keeps them self-delimiting, like [REPL FILE]
     replies):
     {v ADDDOC <doc>\n<xml bytes>
+       ADDCHUNK <doc> <offset> <0|1>\n<xml bytes>
        ADOPT <doc> <kind>[:<gen>] <0|1>\n<file bytes> v}
 
     Response payloads start with one status word:
@@ -88,6 +89,15 @@ type request =
       (** parse, number, persist and host a new document at runtime —
           the streaming-ingest entry point.  Replies
           [OK doc=<name> nodes=<n> v=<version>]. *)
+  | Add_chunk of { doc : string; off : int; last : bool; bytes : string }
+      (** chunked [Add_doc], for documents larger than {!max_frame}:
+          append [bytes] to the document's spooled source text at byte
+          [off] ([off = 0] starts a fresh spool; any other [off] must
+          equal the spool's current size — a mismatch aborts the spool
+          so a retry restarts from zero).  [last = true] closes the
+          spool and ingests it through the same streaming build as
+          [Add_doc], replying [OK doc=<name> nodes=<n> v=<version>];
+          intermediate chunks reply [OK doc=<name> off=<next offset>]. *)
   | Adopt of { doc : string; file : repl_file; last : bool; bytes : string }
       (** rebalance target side: append [bytes] to the staged copy of
           the addressed artifact; [last = true] commits the whole staged

@@ -871,8 +871,8 @@ let handle_frame t oc payload =
     | Protocol.Sleep ms ->
       Thread.delay (float_of_int ms /. 1000.);
       reply verb (Protocol.Ok_ (Printf.sprintf "slept=%d" ms))
-    | Protocol.Add_doc _ | Protocol.Adopt _ | Protocol.Adopt_abort _
-    | Protocol.Drop_doc _ ->
+    | Protocol.Add_doc _ | Protocol.Add_chunk _ | Protocol.Adopt _
+    | Protocol.Adopt_abort _ | Protocol.Drop_doc _ ->
       (* collection membership is the primary's to change; it replicates
          through the journal/file shipping like any other write *)
       reply verb

@@ -681,7 +681,8 @@ let run_request t (req : Protocol.request) =
   (* everything else reads the gate and talks to shards *)
   | Protocol.Query _ | Protocol.Count _ | Protocol.Explain _ | Protocol.Docs
   | Protocol.Update _ | Protocol.Check _ | Protocol.Query_doc _
-  | Protocol.Count_doc _ | Protocol.Add_doc _ | Protocol.Drop_doc _ ->
+  | Protocol.Count_doc _ | Protocol.Add_doc _ | Protocol.Add_chunk _
+  | Protocol.Drop_doc _ ->
     with_read_gate t @@ fun () -> (
       match req with
       | Protocol.Query _ -> scatter_merge t req merge_query
@@ -694,13 +695,22 @@ let run_request t (req : Protocol.request) =
       | Protocol.Query_doc { doc; _ }
       | Protocol.Count_doc { doc; _ } ->
         forward_doc t doc req
-      | Protocol.Add_doc { doc; _ } -> begin
+      | Protocol.Add_doc { doc; _ } | Protocol.Add_chunk { doc; _ } -> begin
         (* new documents go to their hash home unless the map says
-           otherwise; a success is a catalog fact worth keeping *)
+           otherwise; [place] is deterministic, so every chunk of an
+           ADDCHUNK sequence lands on the same shard's spool.  A success
+           is a catalog fact worth keeping — for ADDCHUNK only the
+           committing chunk's reply carries it (nodes= appears only
+           there). *)
         let owner = Shard_map.place t.map doc in
         match shard_call t owner req with
         | Some (Protocol.Ok_ _ as r) ->
-          known_add t doc;
+          let committed =
+            match req with
+            | Protocol.Add_chunk { last = false; _ } -> false
+            | _ -> true
+          in
+          if committed then known_add t doc;
           r
         | Some r -> r
         | None -> Protocol.Err (Printf.sprintf "shard %d unavailable" owner)

@@ -9,6 +9,7 @@ type config = {
   max_queue : int;
   deadline_ms : int;
   max_area_size : int;
+  max_depth : int;
   domains : int;
   cache_mb : int;
   commit_interval_us : int;
@@ -22,7 +23,7 @@ type config = {
 
 let default_config ~socket_path ~data_dir () =
   { socket_path; data_dir; workers = 4; max_queue = 0; deadline_ms = 0;
-    max_area_size = 64; domains = 0; cache_mb = 0;
+    max_area_size = 64; max_depth = 10_000; domains = 0; cache_mb = 0;
     commit_interval_us = 0; commit_max_batch = 64; commit_groups = 0;
     wal_segment_bytes = 0; planner = true; plan_cache = 256; epoch = 1 }
 
@@ -49,6 +50,7 @@ let validate_config c =
     Error "max-queue must be >= 1 (or 0 for the default of 4 x workers)"
   else if c.deadline_ms < 0 then Error "deadline-ms must be >= 0"
   else if c.max_area_size < 2 then Error "max-area-size must be >= 2"
+  else if c.max_depth < 1 then Error "max-depth must be >= 1"
   else if c.domains < 0 then Error "domains must be >= 0 (0 disables)"
   else if c.cache_mb < 0 then Error "cache-mb must be >= 0 (0 disables)"
   else if c.commit_interval_us < 0 then Error "commit-interval-us must be >= 0"
@@ -190,7 +192,8 @@ type t = {
           keeps valid indices *)
   catalog : (string, int) Hashtbl.t;  (** name -> masters index *)
   catalog_mu : Mutex.t;
-  adopt_mu : Mutex.t;  (** serializes ADOPT staging appends + commits *)
+  adopt_mu : Mutex.t;
+      (** serializes ADOPT/ADDCHUNK staging appends + commits *)
   planner_shared : Rxpath.Planner.shared option;
   current : Snapshot.t Atomic.t;
   groups : group array;  (** the commit pipelines; length >= 1, fixed *)
@@ -795,8 +798,9 @@ let run_request t (req : Protocol.request) =
     Protocol.Ok_ (Printf.sprintf "slept=%d" ms)
   | Protocol.Ping | Protocol.Docs | Protocol.Stats | Protocol.Shutdown
   | Protocol.Repl_state | Protocol.Repl_file _ | Protocol.Repl_wait _
-  | Protocol.Promote | Protocol.Add_doc _ | Protocol.Adopt _
-  | Protocol.Adopt_abort _ | Protocol.Drop_doc _ | Protocol.Rebalance _ ->
+  | Protocol.Promote | Protocol.Add_doc _ | Protocol.Add_chunk _
+  | Protocol.Adopt _ | Protocol.Adopt_abort _ | Protocol.Drop_doc _
+  | Protocol.Rebalance _ ->
     (* handled inline by the session *)
     Protocol.Err "internal: control verb reached the worker pool"
 
@@ -1071,33 +1075,102 @@ let install_master t ~name ~r2 ~wal ~applied_seq =
   Atomic.set t.current next;
   version
 
+let append_to_file path bytes =
+  let oc =
+    open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path
+  in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) @@ fun () ->
+  output_string oc bytes
+
+(* Shared tail of ADDDOC and the committing ADDCHUNK: the streaming build
+   already parsed and numbered the document in one pass; persist it and
+   publish under quiescence. *)
+let install_built t ~verb name (b : Ruid.Stream_build.built) =
+  with_quiesced t @@ fun () ->
+  if find_master_idx t name <> None then
+    Protocol.Err (Printf.sprintf "%s: duplicate document %S" verb name)
+  else begin
+    let r2 = b.Ruid.Stream_build.r2 in
+    let xml_path, sidecar_path, wal_path = master_paths t name in
+    Ruid.Persist.save r2 ~xml:xml_path ~sidecar:sidecar_path;
+    let wal = Wal.create wal_path in
+    let version = install_master t ~name ~r2 ~wal ~applied_seq:0 in
+    (try ignore (Rxpath.Collection.add_numbered t.coll ~name r2)
+     with Invalid_argument _ -> () (* revived name: already registered *));
+    Protocol.Ok_
+      (Printf.sprintf "doc=%s nodes=%d v=%d" name
+         b.Ruid.Stream_build.stats.Ruid.Stream_build.nodes version)
+  end
+
 let run_add_doc t name xml =
   if not (valid_doc_name name) then
     Protocol.Err (Printf.sprintf "ADDDOC: bad document name %S" name)
   else
-    match Rxml.Sax.build_dom xml with
+    match
+      Ruid.Stream_build.of_string ~max_depth:t.cfg.max_depth
+        ~max_area_size:t.cfg.max_area_size xml
+    with
     | exception e ->
       Protocol.Err
         (Printf.sprintf "ADDDOC: unparsable XML for %S: %s" name
            (Printexc.to_string e))
-    | root ->
-      with_quiesced t @@ fun () ->
-      if find_master_idx t name <> None then
-        Protocol.Err (Printf.sprintf "ADDDOC: duplicate document %S" name)
-      else begin
-        let r2 =
-          R2.number ~max_area_size:t.cfg.max_area_size root
-        in
-        let xml_path, sidecar_path, wal_path = master_paths t name in
-        Ruid.Persist.save r2 ~xml:xml_path ~sidecar:sidecar_path;
-        let wal = Wal.create wal_path in
-        let version = install_master t ~name ~r2 ~wal ~applied_seq:0 in
-        (try ignore (Rxpath.Collection.add_numbered t.coll ~name r2)
-         with Invalid_argument _ -> () (* revived name: already registered *));
-        Protocol.Ok_
-          (Printf.sprintf "doc=%s nodes=%d v=%d" name
-             (List.length (R2.all_nodes r2)) version)
-      end
+    | b -> install_built t ~verb:"ADDDOC" name b
+
+(* ADDCHUNK spooling: a document too large for one protocol frame arrives
+   as ordered chunks that accumulate in a dot-prefixed spool file; the
+   committing chunk streams the spool through the same single-pass build
+   as ADDDOC (Stream_build.of_file — the source text is never resident).
+   An offset mismatch discards the spool so a confused client restarts
+   from zero instead of silently corrupting the document. *)
+
+let addchunk_spool_path t doc =
+  Filename.concat t.cfg.data_dir (".addchunk." ^ doc ^ ".xml")
+
+let run_add_chunk t doc off last bytes =
+  if not (valid_doc_name doc) then
+    Protocol.Err (Printf.sprintf "ADDCHUNK: bad document name %S" doc)
+  else begin
+    Mutex.lock t.adopt_mu;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.adopt_mu) @@ fun () ->
+    let spool = addchunk_spool_path t doc in
+    let spooled =
+      match Unix.stat spool with
+      | st -> st.Unix.st_size
+      | exception Unix.Unix_error _ -> 0
+    in
+    if off = 0 && spooled > 0 then Sys.remove spool;
+    if off <> 0 && off <> spooled then begin
+      (try Sys.remove spool with Sys_error _ -> ());
+      Protocol.Err
+        (Printf.sprintf
+           "ADDCHUNK: offset %d does not match spooled %d bytes for %S; \
+            spool discarded, restart from offset 0"
+           off spooled doc)
+    end
+    else begin
+      match append_to_file spool bytes with
+      | exception Sys_error msg ->
+        (try Sys.remove spool with Sys_error _ -> ());
+        Protocol.Err ("ADDCHUNK: spooling failed: " ^ msg)
+      | () ->
+        if not last then
+          Protocol.Ok_
+            (Printf.sprintf "doc=%s off=%d" doc (off + String.length bytes))
+        else begin
+          let finally () = try Sys.remove spool with Sys_error _ -> () in
+          Fun.protect ~finally @@ fun () ->
+          match
+            Ruid.Stream_build.of_file ~max_depth:t.cfg.max_depth
+              ~max_area_size:t.cfg.max_area_size spool
+          with
+          | exception e ->
+            Protocol.Err
+              (Printf.sprintf "ADDCHUNK: unparsable XML for %S: %s" doc
+                 (Printexc.to_string e))
+          | b -> install_built t ~verb:"ADDCHUNK" doc b
+        end
+    end
+  end
 
 (* ADOPT staging: chunks accumulate in dot-prefixed files (invisible to
    document-name rules) until the committing chunk arrives; then the
@@ -1144,13 +1217,6 @@ let adopt_staged_files t doc =
            | Ok file -> Some (Filename.concat t.cfg.data_dir f, file)
            | Error _ -> None
          else None)
-
-let append_to_file path bytes =
-  let oc =
-    open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path
-  in
-  Fun.protect ~finally:(fun () -> close_out_noerr oc) @@ fun () ->
-  output_string oc bytes
 
 let commit_adopt t doc =
   let staged = adopt_staged_files t doc in
@@ -1299,6 +1365,8 @@ let handle_frame t oc payload =
        must stay available while the admission queue is saturated — a
        rebalance is often the cure for the saturation. *)
     | Protocol.Add_doc { doc; xml } -> reply verb (run_add_doc t doc xml)
+    | Protocol.Add_chunk { doc; off; last; bytes } ->
+      reply verb (run_add_chunk t doc off last bytes)
     | Protocol.Adopt { doc; file; last; bytes } ->
       reply verb (run_adopt t doc file last bytes)
     | Protocol.Adopt_abort doc -> reply verb (run_adopt_abort t doc)

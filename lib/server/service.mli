@@ -64,6 +64,10 @@ type config = {
                         0 = default: 4 × the pool's worker count *)
   deadline_ms : int;  (** per-request deadline; 0 disables *)
   max_area_size : int;  (** numbering parameter for hosted documents *)
+  max_depth : int;
+      (** maximal XML element nesting accepted on every ingest path —
+          startup files and runtime ADDDOC/ADDCHUNK alike; deeper input
+          is rejected before any node is built *)
   domains : int;  (** read-executor domain count; 0 = reads share the
                       systhread pool (single-domain behavior) *)
   cache_mb : int;  (** result-cache budget in MiB; 0 disables caching *)
@@ -99,7 +103,8 @@ type config = {
 
 val default_config : socket_path:string -> data_dir:string -> unit -> config
 (** workers 4, max_queue 0 (= 4 × workers), deadline_ms 0,
-    max_area_size 64, domains 0, cache_mb 0, commit_interval_us 0,
+    max_area_size 64, max_depth 10000, domains 0, cache_mb 0,
+    commit_interval_us 0,
     commit_max_batch 64, commit_groups 0 (= one per read domain, min 1),
     wal_segment_bytes 0, planner true, plan_cache 256, epoch 1. *)
 
@@ -113,7 +118,8 @@ val resolved_commit_groups : config -> int
 
 val validate_config : config -> (unit, string) result
 (** Bounds checking for the CLI flags: workers >= 1, max_queue >= 0
-    (0 = auto), deadline_ms >= 0, max_area_size >= 2, domains >= 0,
+    (0 = auto), deadline_ms >= 0, max_area_size >= 2, max_depth >= 1,
+    domains >= 0,
     cache_mb >= 0, commit_interval_us >= 0, commit_max_batch >= 1,
     commit_groups >= 0 (0 = auto),
     wal_segment_bytes >= 0, plan_cache >= 0, epoch >= 1,

@@ -53,6 +53,15 @@ let append_child parent child =
   child.parent <- Some parent;
   parent.children <- parent.children @ [ child ]
 
+let append_children parent children =
+  List.iter
+    (fun c ->
+      match c.parent with
+      | Some _ -> invalid_arg "Dom.append_children: child already attached"
+      | None -> c.parent <- Some parent)
+    children;
+  parent.children <- parent.children @ children
+
 let insert_child parent ~pos child =
   (match child.parent with
   | Some _ -> invalid_arg "Dom.insert_child: child already attached"
@@ -150,7 +159,7 @@ let rec clone n =
     | (Text _ | Comment _ | Pi _) as k -> k
   in
   let copy = make kind in
-  List.iter (fun c -> append_child copy (clone c)) n.children;
+  append_children copy (List.map clone n.children);
   copy
 
 let pp_kind ppf n =

@@ -55,7 +55,14 @@ val root_element : t -> t
 
 val append_child : t -> t -> unit
 (** [append_child parent child]. @raise Invalid_argument if [child] already
-    has a parent. *)
+    has a parent.  Costs O(degree) — builders appending many siblings should
+    collect them and call {!append_children} once. *)
+
+val append_children : t -> t list -> unit
+(** [append_children parent children] appends [children] in order, in
+    O(degree + |children|) total — the bulk form parsers use to keep wide
+    nodes linear.  @raise Invalid_argument if any child already has a
+    parent. *)
 
 val insert_child : t -> pos:int -> t -> unit
 (** [insert_child parent ~pos child] inserts [child] so that it becomes the

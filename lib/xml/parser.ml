@@ -241,31 +241,33 @@ let skip_doctype st =
 
 let is_all_whitespace s = String.for_all is_space s
 
+(* Siblings accumulate in reverse and are attached with one bulk
+   [Dom.append_children] per parent — per-child [append_child] is O(degree)
+   and turns wide elements quadratic. *)
 let rec parse_content st (parent : Dom.t) =
-  if eof st then ()
-  else if looking_at st "</" then ()
+  Dom.append_children parent (parse_siblings st [])
+
+and parse_siblings st acc =
+  if eof st then List.rev acc
+  else if looking_at st "</" then List.rev acc
   else if looking_at st "<!--" then begin
     expect_str st "<!--";
     let body = parse_comment st in
-    Dom.append_child parent (Dom.comment body);
-    parse_content st parent
+    parse_siblings st (Dom.comment body :: acc)
   end
   else if looking_at st "<![CDATA[" then begin
     expect_str st "<![CDATA[";
     let body = parse_cdata st in
-    Dom.append_child parent (Dom.text body);
-    parse_content st parent
+    parse_siblings st (Dom.text body :: acc)
   end
   else if looking_at st "<?" then begin
     expect_str st "<?";
     let target, data = parse_pi st in
-    Dom.append_child parent (Dom.pi target data);
-    parse_content st parent
+    parse_siblings st (Dom.pi target data :: acc)
   end
   else if peek st = '<' then begin
     let child = parse_element st in
-    Dom.append_child parent child;
-    parse_content st parent
+    parse_siblings st (child :: acc)
   end
   else begin
     let buf = Buffer.create 32 in
@@ -283,9 +285,12 @@ let rec parse_content st (parent : Dom.t) =
     in
     go ();
     let s = Buffer.contents buf in
-    if String.length s > 0 && (st.keep_whitespace || not (is_all_whitespace s))
-    then Dom.append_child parent (Dom.text s);
-    parse_content st parent
+    let acc =
+      if String.length s > 0 && (st.keep_whitespace || not (is_all_whitespace s))
+      then Dom.text s :: acc
+      else acc
+    in
+    parse_siblings st acc
   end
 
 and parse_element st =

@@ -1,5 +1,9 @@
-(* Event-stream layer: reuses Parser's lexical machinery conceptually but
-   is written directly against the source string so no tree is built. *)
+(* Event-stream layer over a chunked byte feed.  Events are pulled from a
+   refill function through a fixed sliding window, so a document streams
+   through memory bounded by tree depth plus one chunk — never by document
+   size.  The string entry points are thin wrappers over a string-backed
+   feed; the lexical subset, entity handling and nesting validation are
+   those of Parser (tested equivalent). *)
 
 type event =
   | Start_element of { tag : string; attrs : (string * string) list }
@@ -8,26 +12,99 @@ type event =
   | Comment of string
   | Pi of string * string
 
-(* A tiny re-statement of the Parser cursor; kept separate so the DOM
-   parser and the streaming layer cannot interfere with each other's
-   invariants. *)
-type state = {
-  src : string;
-  mutable pos : int;
+let default_chunk = 65536
+
+(* The window must cover the longest fixed lookahead token, "<![CDATA[". *)
+let min_window = 16
+
+type source = {
+  refill : bytes -> int -> int -> int;
+  mutable buf : bytes;  (* sliding window *)
+  mutable pos : int;  (* read cursor into [buf] *)
+  mutable len : int;  (* valid bytes in [buf] *)
+  mutable seen_eof : bool;  (* refill returned 0 *)
   mutable line : int;
   mutable col : int;
 }
 
-let fail st message =
-  raise
-    (Parser.Parse_error { Parser.line = st.line; col = st.col; message })
+let source_of_refill ?(chunk = default_chunk) refill =
+  let cap = max chunk min_window in
+  {
+    refill;
+    buf = Bytes.create cap;
+    pos = 0;
+    len = 0;
+    seen_eof = false;
+    line = 1;
+    col = 1;
+  }
 
-let eof st = st.pos >= String.length st.src
-let peek st = if eof st then '\000' else st.src.[st.pos]
+let source_of_channel ?chunk ic =
+  source_of_refill ?chunk (fun buf off len -> input ic buf off len)
+
+let source_of_string s =
+  let chunk = min default_chunk (max (String.length s) 1) in
+  let sent = ref 0 in
+  source_of_refill ~chunk (fun buf off len ->
+      let n = min len (String.length s - !sent) in
+      Bytes.blit_string s !sent buf off n;
+      sent := !sent + n;
+      n)
+
+let source_position st = (st.line, st.col)
+
+let fail st message =
+  raise (Parser.Parse_error { Parser.line = st.line; col = st.col; message })
+
+(* Slide the unread tail to the front of the window and pull bytes until at
+   least [n] are available or the feed is dry.  [n] never exceeds the
+   window for the fixed tokens; a larger demand grows the window so the
+   invariant stays local. *)
+let ensure st n =
+  if st.len - st.pos < n && not st.seen_eof then begin
+    if st.pos > 0 then begin
+      Bytes.blit st.buf st.pos st.buf 0 (st.len - st.pos);
+      st.len <- st.len - st.pos;
+      st.pos <- 0
+    end;
+    if n > Bytes.length st.buf then begin
+      let grown = Bytes.create (max n (2 * Bytes.length st.buf)) in
+      Bytes.blit st.buf 0 grown 0 st.len;
+      st.buf <- grown
+    end;
+    let pulling = ref true in
+    while !pulling && st.len - st.pos < n do
+      let got = st.refill st.buf st.len (Bytes.length st.buf - st.len) in
+      if got = 0 then begin
+        st.seen_eof <- true;
+        pulling := false
+      end
+      else st.len <- st.len + got
+    done
+  end
+
+let available st n =
+  ensure st n;
+  st.len - st.pos >= n
+
+(* The byte primitives below are the per-character cost of the whole event
+   layer, so each tests the common in-window case before touching the
+   refill machinery — the window check is one compare, and [available]
+   (hence [ensure]) runs only at a chunk boundary. *)
+
+let eof st = st.pos >= st.len && not (available st 1)
+
+let peek st =
+  if st.pos < st.len then Bytes.unsafe_get st.buf st.pos
+  else if available st 1 then Bytes.unsafe_get st.buf st.pos
+  else '\000'
+
+let peek2 st =
+  if available st 2 then Bytes.unsafe_get st.buf (st.pos + 1) else '\000'
 
 let advance st =
-  if not (eof st) then begin
-    if st.src.[st.pos] = '\n' then begin
+  if st.pos < st.len || available st 1 then begin
+    if Bytes.unsafe_get st.buf st.pos = '\n' then begin
       st.line <- st.line + 1;
       st.col <- 1
     end
@@ -37,7 +114,47 @@ let advance st =
 
 let looking_at st s =
   let n = String.length s in
-  st.pos + n <= String.length st.src && String.sub st.src st.pos n = s
+  available st n
+  &&
+  let rec eq i =
+    i >= n || (Bytes.unsafe_get st.buf (st.pos + i) = s.[i] && eq (i + 1))
+  in
+  eq 0
+
+(* Bulk-copy the maximal run of bytes differing from [s1] and [s2] into
+   [buf], refilling as the window drains.  Text and comment/CDATA bodies
+   are the bulk of real documents; feeding them byte-wise through the full
+   markup dispatch is what would make the streaming parser slower than the
+   string one. *)
+let scan_plain st buf s1 s2 =
+  let scanning = ref true in
+  while !scanning do
+    if st.pos >= st.len && not (available st 1) then scanning := false
+    else begin
+      let b = st.buf and lim = st.len in
+      let i = ref st.pos in
+      while
+        !i < lim
+        &&
+        let c = Bytes.unsafe_get b !i in
+        c <> s1 && c <> s2
+      do
+        incr i
+      done;
+      if !i > st.pos then begin
+        Buffer.add_subbytes buf b st.pos (!i - st.pos);
+        for j = st.pos to !i - 1 do
+          if Bytes.unsafe_get b j = '\n' then begin
+            st.line <- st.line + 1;
+            st.col <- 1
+          end
+          else st.col <- st.col + 1
+        done;
+        st.pos <- !i
+      end;
+      if !i < lim then scanning := false
+    end
+  done
 
 let skip_str st s =
   if looking_at st s then begin
@@ -70,11 +187,12 @@ let is_name_char c =
 
 let parse_name st =
   if not (is_name_start (peek st)) then fail st "expected a name";
-  let start = st.pos in
+  let b = Buffer.create 12 in
   while (not (eof st)) && is_name_char (peek st) do
+    Buffer.add_char b (peek st);
     advance st
   done;
-  String.sub st.src start (st.pos - start)
+  Buffer.contents b
 
 let add_codepoint buf code =
   if code < 0x80 then Buffer.add_char buf (Char.chr code)
@@ -100,11 +218,12 @@ let parse_entity st buf =
     advance st;
     let hex = peek st = 'x' || peek st = 'X' in
     if hex then advance st;
-    let start = st.pos in
+    let digits = Buffer.create 8 in
     while peek st <> ';' && not (eof st) do
+      Buffer.add_char digits (peek st);
       advance st
     done;
-    let digits = String.sub st.src start (st.pos - start) in
+    let digits = Buffer.contents digits in
     expect st ';';
     let code =
       try int_of_string (if hex then "0x" ^ digits else digits)
@@ -165,19 +284,22 @@ let parse_attributes st =
   go []
 
 let scan_until st terminator what =
-  let start = st.pos in
+  let body = Buffer.create 32 in
+  let t0 = terminator.[0] in
   let rec find () =
-    if eof st then fail st (Printf.sprintf "unterminated %s" what)
-    else if looking_at st terminator then ()
+    scan_plain st body t0 t0;
+    if looking_at st terminator then ()
+    else if eof st then fail st (Printf.sprintf "unterminated %s" what)
     else begin
+      (* a lone [t0] that does not open the terminator *)
+      Buffer.add_char body (peek st);
       advance st;
       find ()
     end
   in
   find ();
-  let body = String.sub st.src start (st.pos - start) in
   expect_str st terminator;
-  body
+  Buffer.contents body
 
 let skip_doctype st =
   let rec go () =
@@ -197,11 +319,11 @@ let skip_doctype st =
 
 let is_all_whitespace s = String.for_all is_space s
 
-let fold ?(keep_whitespace = false) src ~init ~f =
-  let st = { src; pos = 0; line = 1; col = 1 } in
+let fold_source ?(keep_whitespace = false) ?(max_depth = 10_000) st ~init ~f =
   let acc = ref init in
   let emit e = acc := f !acc e in
   let stack = ref [] in
+  let depth = ref 0 in
   let seen_root = ref false in
   (* prolog *)
   skip_ws st;
@@ -219,77 +341,83 @@ let fold ?(keep_whitespace = false) src ~init ~f =
       else if not (is_all_whitespace s) then fail st "text outside the root element"
   in
   let text_buf = Buffer.create 64 in
-  let rec loop () =
-    if eof st then ()
-    else if looking_at st "<!--" then begin
-      flush_text text_buf;
-      expect_str st "<!--";
-      emit (Comment (scan_until st "-->" "comment"));
-      loop ()
-    end
-    else if looking_at st "<![CDATA[" then begin
-      if !stack = [] then fail st "CDATA outside the root element";
-      expect_str st "<![CDATA[";
-      Buffer.add_string text_buf (scan_until st "]]>" "CDATA section");
-      loop ()
-    end
-    else if looking_at st "<!DOCTYPE" then begin
-      if !seen_root then fail st "DOCTYPE after the root element";
-      expect_str st "<!DOCTYPE";
-      skip_doctype st;
-      loop ()
-    end
-    else if looking_at st "<?" then begin
-      flush_text text_buf;
-      expect_str st "<?";
-      let target = parse_name st in
-      skip_ws st;
-      let data = scan_until st "?>" "processing instruction" in
-      emit (Pi (target, data));
-      loop ()
-    end
-    else if looking_at st "</" then begin
-      flush_text text_buf;
-      expect_str st "</";
-      let tag = parse_name st in
-      skip_ws st;
-      expect st '>';
-      (match !stack with
-      | top :: rest when top = tag ->
-        stack := rest;
-        emit (End_element tag)
-      | top :: _ ->
-        fail st (Printf.sprintf "mismatched end tag: <%s> closed by </%s>" top tag)
-      | [] -> fail st "end tag without open element");
-      loop ()
-    end
-    else if peek st = '<' then begin
-      flush_text text_buf;
-      if !stack = [] && !seen_root then fail st "content after root element";
-      advance st;
-      let tag = parse_name st in
-      let attrs = parse_attributes st in
-      skip_ws st;
-      seen_root := true;
-      if skip_str st "/>" then begin
-        emit (Start_element { tag; attrs });
-        emit (End_element tag)
-      end
-      else begin
-        expect st '>';
-        emit (Start_element { tag; attrs });
-        stack := tag :: !stack
-      end;
-      loop ()
-    end
-    else if peek st = '&' then begin
-      if !stack = [] then fail st "entity outside the root element";
-      parse_entity st text_buf;
-      loop ()
+  (* Dispatch on the first two bytes; anything else is a text run handled
+     by the bulk scanner.  The [`!`] arm falls through to [start_tag] on
+     unknown markup so errors surface exactly as in the chained version
+     ("expected a name" at the '!'). *)
+  let start_tag () =
+    flush_text text_buf;
+    if !stack = [] && !seen_root then fail st "content after root element";
+    advance st;
+    let tag = parse_name st in
+    let attrs = parse_attributes st in
+    skip_ws st;
+    seen_root := true;
+    if !depth + 1 > max_depth then
+      fail st
+        (Printf.sprintf "element nesting deeper than %d (max_depth)" max_depth);
+    if skip_str st "/>" then begin
+      emit (Start_element { tag; attrs });
+      emit (End_element tag)
     end
     else begin
-      Buffer.add_char text_buf (peek st);
-      advance st;
+      expect st '>';
+      emit (Start_element { tag; attrs });
+      stack := tag :: !stack;
+      incr depth
+    end
+  in
+  let rec loop () =
+    if eof st then ()
+    else begin
+      (match peek st with
+      | '<' -> (
+        match peek2 st with
+        | '!' ->
+          if looking_at st "<!--" then begin
+            flush_text text_buf;
+            expect_str st "<!--";
+            emit (Comment (scan_until st "-->" "comment"))
+          end
+          else if looking_at st "<![CDATA[" then begin
+            if !stack = [] then fail st "CDATA outside the root element";
+            expect_str st "<![CDATA[";
+            Buffer.add_string text_buf (scan_until st "]]>" "CDATA section")
+          end
+          else if looking_at st "<!DOCTYPE" then begin
+            if !seen_root then fail st "DOCTYPE after the root element";
+            expect_str st "<!DOCTYPE";
+            skip_doctype st
+          end
+          else start_tag ()
+        | '?' ->
+          flush_text text_buf;
+          expect_str st "<?";
+          let target = parse_name st in
+          skip_ws st;
+          let data = scan_until st "?>" "processing instruction" in
+          emit (Pi (target, data))
+        | '/' ->
+          flush_text text_buf;
+          expect_str st "</";
+          let tag = parse_name st in
+          skip_ws st;
+          expect st '>';
+          (match !stack with
+          | top :: rest when top = tag ->
+            stack := rest;
+            decr depth;
+            emit (End_element tag)
+          | top :: _ ->
+            fail st
+              (Printf.sprintf "mismatched end tag: <%s> closed by </%s>" top
+                 tag)
+          | [] -> fail st "end tag without open element")
+        | _ -> start_tag ())
+      | '&' ->
+        if !stack = [] then fail st "entity outside the root element";
+        parse_entity st text_buf
+      | _ -> scan_plain st text_buf '<' '&');
       loop ()
     end
   in
@@ -299,8 +427,14 @@ let fold ?(keep_whitespace = false) src ~init ~f =
   if not !seen_root then fail st "expected root element";
   !acc
 
-let iter ?keep_whitespace src ~f =
-  fold ?keep_whitespace src ~init:() ~f:(fun () e -> f e)
+let iter_source ?keep_whitespace ?max_depth st ~f =
+  fold_source ?keep_whitespace ?max_depth st ~init:() ~f:(fun () e -> f e)
+
+let fold ?keep_whitespace ?max_depth src ~init ~f =
+  fold_source ?keep_whitespace ?max_depth (source_of_string src) ~init ~f
+
+let iter ?keep_whitespace ?max_depth src ~f =
+  fold ?keep_whitespace ?max_depth src ~init:() ~f:(fun () e -> f e)
 
 let count_elements src =
   let tbl = Hashtbl.create 64 in
@@ -320,18 +454,34 @@ let max_depth src =
     | Text _ | Comment _ | Pi _ -> ());
   !best
 
-let build_dom ?keep_whitespace src =
+let build_dom_source ?keep_whitespace ?max_depth st =
+  (* Children are collected in reverse per open node and attached with one
+     bulk append when the node closes, keeping wide elements linear. *)
   let doc = Dom.document () in
-  let stack = ref [ doc ] in
-  let top () = match !stack with t :: _ -> t | [] -> assert false in
-  iter ?keep_whitespace src ~f:(function
+  let stack = ref [ (doc, ref []) ] in
+  let add n =
+    match !stack with
+    | (_, kids) :: _ -> kids := n :: !kids
+    | [] -> assert false
+  in
+  iter_source ?keep_whitespace ?max_depth st ~f:(function
     | Start_element { tag; attrs } ->
       let e = Dom.element ~attrs tag in
-      Dom.append_child (top ()) e;
-      stack := e :: !stack
+      add e;
+      stack := (e, ref []) :: !stack
     | End_element _ -> (
-      match !stack with _ :: rest -> stack := rest | [] -> assert false)
-    | Text s -> Dom.append_child (top ()) (Dom.text s)
-    | Comment s -> Dom.append_child (top ()) (Dom.comment s)
-    | Pi (t, d) -> Dom.append_child (top ()) (Dom.pi t d));
+      match !stack with
+      | (e, kids) :: rest ->
+        Dom.append_children e (List.rev !kids);
+        stack := rest
+      | [] -> assert false)
+    | Text s -> add (Dom.text s)
+    | Comment s -> add (Dom.comment s)
+    | Pi (t, d) -> add (Dom.pi t d));
+  (match !stack with
+  | [ (_, kids) ] -> Dom.append_children doc (List.rev !kids)
+  | _ -> assert false);
   doc
+
+let build_dom ?keep_whitespace ?max_depth src =
+  build_dom_source ?keep_whitespace ?max_depth (source_of_string src)

@@ -5,6 +5,7 @@ let () =
       ("dom", Test_dom.suite);
       ("parser", Test_parser.suite);
       ("sax", Test_sax.suite);
+      ("stream_build", Test_stream_build.suite);
       ("uid", Test_uid.suite);
       ("frame", Test_frame.suite);
       ("ruid2", Test_ruid2.suite);

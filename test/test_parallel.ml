@@ -35,6 +35,7 @@ let with_server ?(workers = 2) ?(max_queue = 0) ?(domains = 0) ?(cache_mb = 0)
       max_queue;
       deadline_ms = 0;
       max_area_size = 16;
+      max_depth = 10_000;
       domains;
       cache_mb;
       commit_interval_us = 0;

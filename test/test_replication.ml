@@ -48,6 +48,7 @@ let with_primary ?(wal_segment_bytes = 0) ?(epoch = 1) ?(commit_groups = 0)
       max_queue = 32;
       deadline_ms = 0;
       max_area_size = 8;
+      max_depth = 10_000;
       domains = 0;
       cache_mb = 0;
       commit_interval_us = 0;
@@ -393,6 +394,7 @@ let failover_story seed =
       max_queue = 32;
       deadline_ms = 0;
       max_area_size = 8;
+      max_depth = 10_000;
       domains = 0;
       cache_mb = 0;
       commit_interval_us = 0;

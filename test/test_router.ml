@@ -37,6 +37,7 @@ let shard_cfg () =
     max_queue = 16;
     deadline_ms = 0;
     max_area_size = 8;
+    max_depth = 10_000;
     domains = 0;
     cache_mb = 0;
     commit_interval_us = 0;
@@ -398,7 +399,41 @@ let test_membership_via_router () =
     ok_body
       (ask rcfg.Router.socket_path (P.Count_doc { doc = "m3"; xpath = "//n" }))
   in
-  Alcotest.(check int) "revived with fresh content" 1 (get_kv body "total")
+  Alcotest.(check int) "revived with fresh content" 1 (get_kv body "total");
+  (* chunked ingest through the router: [place] is deterministic, so
+     every ADDCHUNK frame of the sequence lands on the same shard's
+     spool — even across separate router sessions *)
+  let big = "mbig" in
+  let xml =
+    "<m>" ^ String.concat "" (List.init 40 (fun _ -> "<n/>")) ^ "</m>"
+  in
+  let len = String.length xml in
+  let rec ship off =
+    let n = min 9 (len - off) in
+    let last = off + n >= len in
+    let body =
+      ok_body
+        (ask rcfg.Router.socket_path
+           (P.Add_chunk { doc = big; off; last; bytes = String.sub xml off n }))
+    in
+    if last then body else ship (off + n)
+  in
+  Alcotest.(check int) "chunked document fully built" 42
+    (get_kv (ship 0) "nodes");
+  (* the router catalogued it on commit: the single-doc fast path routes *)
+  Alcotest.(check int) "chunked document serves through the router" 40
+    (get_kv
+       (ok_body
+          (ask rcfg.Router.socket_path (P.Count_doc { doc = big; xpath = "//n" })))
+       "total");
+  (* and it sits on its hash shard, like any one-shot ADDDOC *)
+  let s = Shard_map.hash ~shards:3 big in
+  Alcotest.(check int) "chunked document on its hash shard" 40
+    (get_kv
+       (ok_body
+          (ask cfgs.(s).Service.socket_path
+             (P.Count_doc { doc = big; xpath = "//n" })))
+       "total")
 
 let strip_version body =
   String.split_on_char ' ' body

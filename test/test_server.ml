@@ -28,7 +28,7 @@ let sock_path () = Filename.concat "/tmp" ("ruid-" ^ unique () ^ ".sock")
 let doc_of_string s = Dom.root_element (Rxml.Parser.parse_string s)
 
 let with_server ?(workers = 2) ?(max_queue = 8) ?(deadline_ms = 0)
-    ?(max_area_size = 8) ?(domains = 0) ?(cache_mb = 0)
+    ?(max_area_size = 8) ?(max_depth = 10_000) ?(domains = 0) ?(cache_mb = 0)
     ?(commit_interval_us = 0) ?(commit_max_batch = 64) ?(commit_groups = 0)
     ?(wal_segment_bytes = 0) ?(planner = true) ?(plan_cache = 256)
     ?(epoch = 1) docs f =
@@ -40,6 +40,7 @@ let with_server ?(workers = 2) ?(max_queue = 8) ?(deadline_ms = 0)
       max_queue;
       deadline_ms;
       max_area_size;
+      max_depth;
       domains;
       cache_mb;
       commit_interval_us;
@@ -86,6 +87,9 @@ let test_request_roundtrip () =
       P.Query_doc { doc = "lib"; xpath = "//book[author]/title" };
       P.Count_doc { doc = "lib"; xpath = "//item//text" };
       P.Add_doc { doc = "fresh"; xml = "<a><b/>\n<c/></a>" };
+      P.Add_chunk { doc = "big"; off = 0; last = false; bytes = "<a><b" };
+      P.Add_chunk { doc = "big"; off = 5; last = true; bytes = "/></a>\n" };
+      P.Add_chunk { doc = "tiny"; off = 0; last = true; bytes = "" };
       P.Adopt { doc = "lib"; file = P.Base_xml; last = false; bytes = "<a/>\n" };
       P.Adopt { doc = "lib"; file = P.Ckpt_sidecar 3; last = false; bytes = "" };
       P.Adopt { doc = "lib"; file = P.Active_wal; last = true; bytes = "" };
@@ -108,6 +112,9 @@ let test_request_rejects () =
       (* collection-tier rejects *)
       "QUERYD lib"; "COUNTD"; "COUNTD lib";
       "ADDDOC"; "ADDDOC lib"; "ADDDOC two words\n<a/>";
+      "ADDCHUNK"; "ADDCHUNK lib\n<a/>"; "ADDCHUNK lib 0 2\n<a/>";
+      "ADDCHUNK lib -1 0\n<a/>"; "ADDCHUNK lib x 1\n<a/>";
+      "ADDCHUNK two words 0 1\n<a/>";
       "ADOPT lib base-xml 2\nx"; "ADOPT lib nosuchfile 0\nx"; "ADOPT lib";
       "ADOPTABORT"; "ADOPTABORT two words";
       "DROPDOC"; "DROPDOC two words";
@@ -730,6 +737,7 @@ let test_shutdown_verb () =
       max_queue = 8;
       deadline_ms = 0;
       max_area_size = 8;
+      max_depth = 10_000;
       domains = 0;
       cache_mb = 0;
       commit_interval_us = 0;
@@ -907,6 +915,140 @@ let test_peer_drop_mid_reply () =
   Alcotest.(check string) "server still serves" "pong"
     (ok_body (C.request c P.Ping))
 
+(* ------------------------------------------------------------------ *)
+(* Streaming ingest: ADDCHUNK spooling and the depth budget             *)
+(* ------------------------------------------------------------------ *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+  really_input_string ic (in_channel_length ic)
+
+let test_add_chunk () =
+  with_server [] @@ fun cfg _t ->
+  C.with_connection cfg.Service.socket_path @@ fun c ->
+  let xml =
+    "<lib>"
+    ^ String.concat ""
+        (List.init 30 (fun i -> Printf.sprintf "<book n='%d'><t/></book>" i))
+    ^ "</lib>"
+  in
+  (* the same bytes one-shot and chunked must persist identical artifacts *)
+  let one = ok_body (C.request c (P.Add_doc { doc = "one"; xml })) in
+  let len = String.length xml in
+  let rec ship off =
+    let n = min 17 (len - off) in
+    let last = off + n >= len in
+    let body =
+      ok_body
+        (C.request c
+           (P.Add_chunk
+              { doc = "two"; off; last; bytes = String.sub xml off n }))
+    in
+    if last then body
+    else begin
+      Alcotest.(check int) "intermediate reply advances the offset" (off + n)
+        (get_kv body "off");
+      ship (off + n)
+    end
+  in
+  let two = ship 0 in
+  Alcotest.(check int) "same node count"
+    (get_kv one "nodes") (get_kv two "nodes");
+  let artifact name ext =
+    read_file (Filename.concat cfg.Service.data_dir (name ^ ext))
+  in
+  Alcotest.(check string) "xml artifacts byte-identical"
+    (artifact "one" ".xml") (artifact "two" ".xml");
+  Alcotest.(check string) "ruid sidecars byte-identical"
+    (artifact "one" ".ruid") (artifact "two" ".ruid");
+  (* both serve identical query answers *)
+  let count doc =
+    get_kv (ok_body (C.request c (P.Count_doc { doc; xpath = "//book" })))
+      "total"
+  in
+  Alcotest.(check int) "query answers match" (count "one") (count "two");
+  (* an offset mismatch discards the spool; restarting from 0 succeeds *)
+  ignore
+    (ok_body
+       (C.request c
+          (P.Add_chunk { doc = "three"; off = 0; last = false; bytes = "<a>" })));
+  (match
+     C.request c
+       (P.Add_chunk { doc = "three"; off = 999; last = false; bytes = "x" })
+   with
+  | P.Err msg ->
+    Alcotest.(check bool) "names the mismatch" true
+      (String.length msg > 0)
+  | r -> Alcotest.failf "offset mismatch accepted: %s" (P.response_to_string r));
+  let three =
+    ok_body
+      (C.request c
+         (P.Add_chunk { doc = "three"; off = 0; last = true; bytes = "<a/>" }))
+  in
+  Alcotest.(check int) "restart from zero ingested cleanly" 2
+    (get_kv three "nodes");
+  (* a duplicate name is rejected at commit, and malformed spools error *)
+  (match
+     C.request c
+       (P.Add_chunk { doc = "one"; off = 0; last = true; bytes = "<z/>" })
+   with
+  | P.Err _ -> ()
+  | r -> Alcotest.failf "duplicate accepted: %s" (P.response_to_string r));
+  (match
+     C.request c
+       (P.Add_chunk { doc = "bad"; off = 0; last = true; bytes = "<a><b>" })
+   with
+  | P.Err _ -> ()
+  | r -> Alcotest.failf "malformed spool accepted: %s" (P.response_to_string r));
+  (* ... and leaves no document behind *)
+  match C.request c (P.Count_doc { doc = "bad"; xpath = "//*" }) with
+  | P.Err _ -> ()
+  | r -> Alcotest.failf "failed spool left a document: %s" (P.response_to_string r)
+
+let test_add_doc_file_chunks () =
+  (* a document beyond the frame cap ships as an ADDCHUNK sequence and
+     serves like any other — the client never holds more than one chunk *)
+  with_server [] @@ fun cfg _t ->
+  let leaves = 90_000 in
+  let path = Filename.temp_file "ruid-big" ".xml" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  let oc = open_out_bin path in
+  output_string oc "<r>";
+  for i = 1 to leaves do
+    output_string oc (Printf.sprintf "<x i='%d'/>" i)
+  done;
+  output_string oc "</r>";
+  close_out oc;
+  Alcotest.(check bool) "test file actually exceeds the frame cap" true
+    ((Unix.stat path).Unix.st_size > P.max_frame);
+  C.with_connection cfg.Service.socket_path @@ fun c ->
+  let body = ok_body (C.add_doc_file c ~doc:"big" path) in
+  Alcotest.(check int) "all nodes built" (leaves + 2) (get_kv body "nodes");
+  let total =
+    get_kv
+      (ok_body (C.request c (P.Count_doc { doc = "big"; xpath = "//x" })))
+      "total"
+  in
+  Alcotest.(check int) "queryable after chunked ingest" leaves total
+
+let test_adddoc_depth_budget () =
+  (* the server's --max-depth holds on the streaming ingest path *)
+  let deep k =
+    String.concat "" (List.init k (fun _ -> "<d>"))
+    ^ String.concat "" (List.init k (fun _ -> "</d>"))
+  in
+  with_server ~max_depth:5 [] @@ fun cfg _t ->
+  C.with_connection cfg.Service.socket_path @@ fun c ->
+  ignore
+    (ok_body (C.request c (P.Add_doc { doc = "ok5"; xml = deep 5 })));
+  match C.request c (P.Add_doc { doc = "deep6"; xml = deep 6 }) with
+  | P.Err msg ->
+    Alcotest.(check bool) "mentions the depth budget" true
+      (String.length msg > 0)
+  | r -> Alcotest.failf "over-deep document accepted: %s" (P.response_to_string r)
+
 let test_metrics_registry () =
   let m = Rserver.Metrics.create () in
   for i = 1 to 100 do
@@ -959,5 +1101,11 @@ let suite =
     Alcotest.test_case "buffer pool: concurrent touches" `Quick test_buffer_pool_concurrent;
     Alcotest.test_case "peer drop mid-reply: one session error, server lives"
       `Quick test_peer_drop_mid_reply;
+    Alcotest.test_case "ADDCHUNK: spooled ingest == one-shot ADDDOC" `Quick
+      test_add_chunk;
+    Alcotest.test_case "add_doc_file: oversized document ships chunked" `Quick
+      test_add_doc_file_chunks;
+    Alcotest.test_case "ADDDOC honors the nesting depth budget" `Quick
+      test_adddoc_depth_budget;
     Alcotest.test_case "metrics registry" `Quick test_metrics_registry;
   ]
